@@ -1,0 +1,245 @@
+//! Process-graph mode (§4.1).
+//!
+//! When a middleware cannot guarantee the no-sharing property, the
+//! per-activity reference graph is unavailable and the paper falls back
+//! to the **graph of address spaces**: one DGC endpoint per process,
+//! whose idleness is the conjunction of its activities' idleness, and
+//! whose out-edges are the union of its activities' cross-process
+//! references (equation (2)).
+//!
+//! [`ProcessModeSim`] runs exactly the same `dgc_core` protocol at that
+//! granularity, reusing the in-memory harness. Its purpose is the
+//! precision comparison of `benches/process_graph_precision.rs`: a
+//! garbage cycle spanning processes that also host one live activity is
+//! *not* collected in this mode, while the reference-graph mode collects
+//! it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dgc_core::config::DgcConfig;
+use dgc_core::harness::Harness;
+use dgc_core::id::AoId;
+use dgc_core::process_graph::ProcessGraph;
+use dgc_core::units::Dur;
+
+/// A coarse-grained (per-process) DGC simulation.
+pub struct ProcessModeSim {
+    harness: Harness,
+    graph: ProcessGraph,
+    /// Process group → harness endpoint.
+    endpoints: BTreeMap<u32, AoId>,
+    /// Group edges currently mirrored into the harness.
+    mirrored_edges: BTreeSet<(u32, u32)>,
+    /// Activities collected because their whole process group was.
+    collected: BTreeSet<AoId>,
+    next_index: BTreeMap<u32, u32>,
+}
+
+impl ProcessModeSim {
+    /// Creates a simulation with `procs` processes, all running the DGC
+    /// with `config`, over links of one-way latency `latency`.
+    pub fn new(procs: u32, config: DgcConfig, latency: Dur) -> Self {
+        let mut harness = Harness::new(latency);
+        let mut endpoints = BTreeMap::new();
+        for g in 0..procs {
+            let ep = harness.add(config);
+            endpoints.insert(g, ep);
+        }
+        ProcessModeSim {
+            harness,
+            graph: ProcessGraph::new(),
+            endpoints,
+            mirrored_edges: BTreeSet::new(),
+            collected: BTreeSet::new(),
+            next_index: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an activity on process `proc` (initially busy).
+    pub fn add_activity(&mut self, proc: u32) -> AoId {
+        assert!(self.endpoints.contains_key(&proc), "unknown process {proc}");
+        let idx = self.next_index.entry(proc).or_insert(0);
+        let id = AoId::new(proc, *idx);
+        *idx += 1;
+        self.graph.add_member(id);
+        id
+    }
+
+    /// Sets an activity's idleness.
+    pub fn set_idle(&mut self, activity: AoId, idle: bool) {
+        self.graph.set_idle(activity, idle);
+    }
+
+    /// Adds an activity-level reference edge.
+    pub fn add_edge(&mut self, from: AoId, to: AoId) {
+        self.graph.add_edge(from, to);
+    }
+
+    /// Removes an activity-level reference edge.
+    pub fn remove_edge(&mut self, from: AoId, to: AoId) {
+        self.graph.remove_edge(from, to);
+    }
+
+    /// Advances the coarse simulation by `d`, mirroring group idleness
+    /// and group edges into the per-process DGC endpoints first.
+    pub fn step(&mut self, d: Dur) {
+        // Mirror idleness.
+        let groups: Vec<u32> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let ep = self.endpoints[&g];
+            if !self.harness.alive(ep) {
+                continue;
+            }
+            // An empty group is vacuously idle but also uninteresting;
+            // only occupied groups matter for collection outcomes.
+            let idle = self.graph.group_len(g) > 0 && self.graph.group_idle(g);
+            self.harness.set_idle(ep, idle);
+        }
+        // Mirror edge changes (equation (2)).
+        let desired = self.graph.group_edges();
+        let added: Vec<(u32, u32)> = desired.difference(&self.mirrored_edges).copied().collect();
+        let removed: Vec<(u32, u32)> = self.mirrored_edges.difference(&desired).copied().collect();
+        for (f, t) in added {
+            let (ef, et) = (self.endpoints[&f], self.endpoints[&t]);
+            if self.harness.alive(ef) {
+                self.harness.add_ref(ef, et);
+            }
+            self.mirrored_edges.insert((f, t));
+        }
+        for (f, t) in removed {
+            let (ef, et) = (self.endpoints[&f], self.endpoints[&t]);
+            if self.harness.alive(ef) {
+                self.harness.drop_ref(ef, et);
+            }
+            self.mirrored_edges.remove(&(f, t));
+        }
+
+        self.harness.run_for(d);
+
+        // A terminated process endpoint collects all its activities.
+        let groups: Vec<u32> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let ep = self.endpoints[&g];
+            if !self.harness.alive(ep) {
+                for m in self.graph.group_members(g) {
+                    self.collected.insert(m);
+                }
+                for m in self.collected.iter().copied().collect::<Vec<_>>() {
+                    if ProcessGraph::group_of(m) == g {
+                        self.graph.remove_member(m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the activity's process group has not been collected.
+    pub fn is_alive(&self, activity: AoId) -> bool {
+        !self.collected.contains(&activity)
+    }
+
+    /// Activities collected so far.
+    pub fn collected(&self) -> &BTreeSet<AoId> {
+        &self.collected
+    }
+
+    /// True if the process endpoint of group `g` is still alive.
+    pub fn group_alive(&self, g: u32) -> bool {
+        self.harness.alive(self.endpoints[&g])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DgcConfig {
+        DgcConfig::builder()
+            .ttb(Dur::from_secs(30))
+            .tta(Dur::from_secs(61))
+            .build()
+    }
+
+    fn lat() -> Dur {
+        Dur::from_millis(1)
+    }
+
+    #[test]
+    fn idle_cross_process_cycle_is_collected() {
+        // One activity per process; a ⇄ b cycle across processes 0 and 1.
+        let mut sim = ProcessModeSim::new(2, cfg(), lat());
+        let a = sim.add_activity(0);
+        let b = sim.add_activity(1);
+        sim.add_edge(a, b);
+        sim.add_edge(b, a);
+        sim.set_idle(a, true);
+        sim.set_idle(b, true);
+        for _ in 0..30 {
+            sim.step(Dur::from_secs(30));
+        }
+        assert!(!sim.is_alive(a) && !sim.is_alive(b));
+    }
+
+    #[test]
+    fn live_co_hosted_activity_blocks_collection() {
+        // The imprecision the paper warns about: process 0 hosts both a
+        // cycle member and a busy activity; the whole group stays alive.
+        let mut sim = ProcessModeSim::new(2, cfg(), lat());
+        let a = sim.add_activity(0);
+        let busy = sim.add_activity(0);
+        let b = sim.add_activity(1);
+        sim.add_edge(a, b);
+        sim.add_edge(b, a);
+        sim.set_idle(a, true);
+        sim.set_idle(b, true);
+        sim.set_idle(busy, false);
+        for _ in 0..40 {
+            sim.step(Dur::from_secs(30));
+        }
+        assert!(
+            sim.is_alive(a),
+            "group 0 is busy because of the co-hosted activity"
+        );
+        assert!(
+            sim.is_alive(b),
+            "group 1 idles but group 0 keeps referencing it (heartbeats flow)"
+        );
+    }
+
+    #[test]
+    fn co_hosted_activity_becoming_idle_releases_the_group_cycle() {
+        let mut sim = ProcessModeSim::new(2, cfg(), lat());
+        let a = sim.add_activity(0);
+        let busy = sim.add_activity(0);
+        let b = sim.add_activity(1);
+        sim.add_edge(a, b);
+        sim.add_edge(b, a);
+        sim.set_idle(a, true);
+        sim.set_idle(b, true);
+        sim.set_idle(busy, false);
+        for _ in 0..10 {
+            sim.step(Dur::from_secs(30));
+        }
+        assert!(sim.is_alive(a));
+        sim.set_idle(busy, true);
+        for _ in 0..40 {
+            sim.step(Dur::from_secs(30));
+        }
+        assert!(!sim.is_alive(a) && !sim.is_alive(b) && !sim.is_alive(busy));
+    }
+
+    #[test]
+    fn intra_process_edges_do_not_appear() {
+        let mut sim = ProcessModeSim::new(2, cfg(), lat());
+        let a = sim.add_activity(0);
+        let b = sim.add_activity(0);
+        sim.add_edge(a, b); // same process: not a group edge
+        sim.set_idle(a, true);
+        sim.set_idle(b, true);
+        for _ in 0..30 {
+            sim.step(Dur::from_secs(30));
+        }
+        // Group 0 idle with no referencers: collected acyclically.
+        assert!(!sim.is_alive(a) && !sim.is_alive(b));
+    }
+}

@@ -1,0 +1,129 @@
+//! Requests, replies and futures.
+//!
+//! Method calls between active objects are **asynchronous** (§4.1): the
+//! caller enqueues a [`Request`] in the callee's request queue and
+//! immediately obtains a [`FutureId`] — a placeholder for the result. The
+//! callee later sends a [`Reply`] carrying the value. An activity that
+//! *waits* on a future is **busy** ("waiting for a future can only be
+//! done during the service of a request"), while the mere arrival of a
+//! reply never wakes an idle activity — the property that justifies the
+//! oriented reference edges of the DGC (Fig. 4).
+//!
+//! Payloads are modelled by their serialized size plus the list of
+//! carried remote references, which is everything the garbage collector
+//! and the bandwidth meters can observe.
+
+use dgc_core::id::AoId;
+
+/// Identifier of a future: the calling activity plus a per-caller
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FutureId {
+    /// The caller that holds the future.
+    pub caller: AoId,
+    /// Per-caller sequence number.
+    pub seq: u64,
+}
+
+/// An application request (asynchronous method call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Sending activity.
+    pub sender: AoId,
+    /// Application-defined method selector.
+    pub method: u32,
+    /// Serialized size of the arguments, excluding carried references.
+    pub payload_bytes: u64,
+    /// Remote references carried by the arguments; deserializing them on
+    /// the callee side creates reference-graph edges (§2.2).
+    pub refs: Vec<AoId>,
+    /// Future to reply to, if the caller wants a result.
+    pub future: Option<FutureId>,
+}
+
+/// An application reply (future value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The future being resolved.
+    pub future: FutureId,
+    /// Serialized size of the result, excluding carried references.
+    pub payload_bytes: u64,
+    /// Remote references carried by the result.
+    pub refs: Vec<AoId>,
+}
+
+/// Fixed per-request header bytes on the wire (sender, method, future id,
+/// counts), before payload and references.
+pub const REQUEST_HEADER_BYTES: u64 = 40;
+/// Fixed per-reply header bytes.
+pub const REPLY_HEADER_BYTES: u64 = 28;
+/// Wire bytes per carried remote reference (an `AoId` plus routing hint —
+/// ProActive serializes a full stub, we charge a compact 16 bytes).
+pub const REF_BYTES: u64 = 16;
+
+impl Request {
+    /// Serialized size on the wire (before the per-call envelope).
+    pub fn wire_size(&self) -> u64 {
+        REQUEST_HEADER_BYTES + self.payload_bytes + self.refs.len() as u64 * REF_BYTES
+    }
+}
+
+impl Reply {
+    /// Serialized size on the wire (before the per-call envelope).
+    pub fn wire_size(&self) -> u64 {
+        REPLY_HEADER_BYTES + self.payload_bytes + self.refs.len() as u64 * REF_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ao(n: u32) -> AoId {
+        AoId::new(n, 0)
+    }
+
+    #[test]
+    fn request_wire_size_counts_refs_and_payload() {
+        let r = Request {
+            sender: ao(1),
+            method: 7,
+            payload_bytes: 100,
+            refs: vec![ao(2), ao(3)],
+            future: None,
+        };
+        assert_eq!(r.wire_size(), REQUEST_HEADER_BYTES + 100 + 2 * REF_BYTES);
+    }
+
+    #[test]
+    fn reply_wire_size_counts_refs_and_payload() {
+        let r = Reply {
+            future: FutureId {
+                caller: ao(1),
+                seq: 3,
+            },
+            payload_bytes: 64,
+            refs: vec![ao(9)],
+        };
+        assert_eq!(r.wire_size(), REPLY_HEADER_BYTES + 64 + REF_BYTES);
+    }
+
+    #[test]
+    fn future_ids_order_by_caller_then_seq() {
+        let a = FutureId {
+            caller: ao(1),
+            seq: 9,
+        };
+        let b = FutureId {
+            caller: ao(2),
+            seq: 0,
+        };
+        assert!(a < b);
+        assert!(
+            FutureId {
+                caller: ao(1),
+                seq: 1
+            } < a
+        );
+    }
+}

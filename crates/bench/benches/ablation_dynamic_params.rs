@@ -1,0 +1,78 @@
+//! Ablation — §7.1 dynamic TTB/TTA.
+//!
+//! The paper's first future-work item: let each activity adapt its
+//! heartbeat — faster when garbage is suspected (an activity that is
+//! idle, owns/anchors a clock and sees referencers agreeing), slower
+//! otherwise. Our implementation halves the TTB on suspicion (bounded by
+//! `min_ttb`) and relaxes geometrically back toward `max_ttb`; TTA is
+//! validated against the worst-case TTB so the §3.1 formula still holds.
+//! This ablation compares static and adaptive modes on idle rings.
+
+use dgc_activeobj::collector::CollectorKind;
+use dgc_activeobj::runtime::{Grid, GridConfig};
+use dgc_bench::{mib, Table};
+use dgc_core::config::{DgcConfig, TimingMode};
+use dgc_core::units::Dur;
+use dgc_simnet::time::{SimDuration, SimTime};
+use dgc_simnet::topology::Topology;
+use dgc_workloads::scenarios::ring;
+
+fn run(timing: TimingMode) -> (f64, f64) {
+    let cfg = DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(241)) // safe even for max_ttb = 120 s
+        .max_comm(Dur::from_millis(500))
+        .timing(timing)
+        .build();
+    cfg.validate().expect("safe config");
+    let mut grid = Grid::new(
+        GridConfig::new(Topology::single_site(8, SimDuration::from_millis(1)))
+            .collector(CollectorKind::Complete(cfg))
+            .seed(17),
+    );
+    let ids = ring(&mut grid, 12, 8);
+    let deadline = SimTime::from_secs(60_000);
+    while grid.now() < deadline && ids.iter().any(|id| grid.is_alive(*id)) {
+        grid.run_for(SimDuration::from_secs(15));
+    }
+    assert!(ids.iter().all(|id| !grid.is_alive(*id)));
+    assert!(grid.violations().is_empty());
+    let last = grid
+        .collected()
+        .iter()
+        .map(|c| c.at.as_secs_f64())
+        .fold(0.0, f64::max);
+    (last, mib(grid.traffic().total_bytes()))
+}
+
+fn main() {
+    println!("=== Ablation: §7.1 static vs adaptive TTB (idle 12-ring) ===\n");
+    let mut table = Table::new(vec!["Timing", "Collected at", "Traffic"]);
+    let (static_at, static_mb) = run(TimingMode::Static);
+    let adaptive = TimingMode::Adaptive {
+        min_ttb: Dur::from_secs(5),
+        max_ttb: Dur::from_secs(120),
+    };
+    let (adaptive_at, adaptive_mb) = run(adaptive);
+    table.row(vec![
+        "static 30 s (paper)".to_string(),
+        format!("{static_at:.0} s"),
+        format!("{static_mb:.2} MB"),
+    ]);
+    table.row(vec![
+        "adaptive 5–120 s".to_string(),
+        format!("{adaptive_at:.0} s"),
+        format!("{adaptive_mb:.2} MB"),
+    ]);
+    table.print();
+    println!(
+        "\nAdaptive detection time is {:.0}% of static; once a consensus starts\n\
+         forming, suspicion halves the TTB toward 5 s and the remaining rounds\n\
+         run at the fast rate — the §7.1 motivation. Traffic rises accordingly.",
+        adaptive_at / static_at * 100.0
+    );
+    assert!(
+        adaptive_at < static_at,
+        "suspicion-driven speed-up must beat the static heartbeat ({adaptive_at} vs {static_at})"
+    );
+}

@@ -1,0 +1,91 @@
+//! Fig. 7 — compound-cycle detection walkthrough.
+//!
+//! The figure shows two executions: a compound cycle (two rings sharing
+//! an activity) that is fully collected, and the same graph with one
+//! live (busy) object referencing it, which must block collection
+//! entirely. This bench replays both and reports detection/collection
+//! timing and the consensus counters.
+
+use dgc_activeobj::collector::CollectorKind;
+use dgc_activeobj::runtime::{Grid, GridConfig};
+use dgc_bench::{nas_dgc_config, Table};
+use dgc_simnet::time::SimDuration;
+use dgc_simnet::topology::Topology;
+use dgc_workloads::scenarios::fig7_compound;
+
+fn run(with_blocker: bool) -> (Grid, Vec<dgc_core::id::AoId>) {
+    let mut grid = Grid::new(
+        GridConfig::new(Topology::single_site(5, SimDuration::from_millis(1)))
+            .collector(CollectorKind::Complete(nas_dgc_config()))
+            .seed(7),
+    );
+    let (ids, _) = fig7_compound(&mut grid, 5, with_blocker);
+    grid.run_for(SimDuration::from_secs(1_200));
+    (grid, ids)
+}
+
+fn main() {
+    println!("=== Fig. 7: compound cycle, with and without a live blocker ===\n");
+    let mut table = Table::new(vec![
+        "Scenario",
+        "Members collected",
+        "First collection",
+        "Last collection",
+        "Consensus detected",
+        "Propagated",
+        "Violations",
+    ]);
+
+    for with_blocker in [false, true] {
+        let (grid, ids) = run(with_blocker);
+        let collected: Vec<_> = grid
+            .collected()
+            .iter()
+            .filter(|c| ids.contains(&c.ao))
+            .collect();
+        let stats = grid.dgc_stats();
+        table.row(vec![
+            if with_blocker {
+                "live blocker".to_string()
+            } else {
+                "pure garbage".to_string()
+            },
+            format!("{}/{}", collected.len(), ids.len()),
+            collected
+                .iter()
+                .map(|c| c.at.as_secs())
+                .min()
+                .map(|t| format!("{t} s"))
+                .unwrap_or_else(|| "-".into()),
+            collected
+                .iter()
+                .map(|c| c.at.as_secs())
+                .max()
+                .map(|t| format!("{t} s"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{}", stats.consensus_detected),
+            format!("{}", stats.consensus_propagated),
+            format!("{}", grid.violations().len()),
+        ]);
+        assert!(grid.violations().is_empty());
+        if with_blocker {
+            assert_eq!(
+                collected.len(),
+                0,
+                "a single live object must block everything"
+            );
+        } else {
+            assert_eq!(
+                collected.len(),
+                ids.len(),
+                "pure compound garbage must vanish"
+            );
+        }
+    }
+    table.print();
+    println!(
+        "\nAs in the paper: one busy referencer anywhere in the recursive\n\
+         referencer closure keeps the whole compound alive; without it the\n\
+         consensus collects both rings in one wave (steps 1-4 of §4.3)."
+    );
+}

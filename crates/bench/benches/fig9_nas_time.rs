@@ -1,0 +1,74 @@
+//! Fig. 9 — NAS time overhead and DGC time table.
+//!
+//! Regenerates the paper's runtime table: per kernel, the application
+//! runtime without and with the DGC (overhead %), and the **DGC time** —
+//! the span between the benchmark having its result and the collector
+//! reclaiming all 256 workers. With TTB = 30 s the paper observes 457 to
+//! 534 s, i.e. 15–17 broadcast rounds; two factors make it that fast:
+//! the consensus-propagation optimization and the complete reference
+//! graph spreading consensus attempts quickly.
+
+use dgc_bench::{mean, nas_series, overhead_pct, std_dev, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== Fig. 9: NAS time overhead and DGC time (scale: {scale:?}) ===\n");
+    let series = nas_series(scale);
+
+    let mut table = Table::new(vec![
+        "Kernel",
+        "No DGC avg",
+        "DGC avg",
+        "Overhead",
+        "DGC time avg",
+        "DGC time std",
+    ]);
+    for s in &series {
+        let base: Vec<f64> = s
+            .control
+            .iter()
+            .map(|o| o.result_at.as_secs_f64())
+            .collect();
+        let with: Vec<f64> = s.dgc.iter().map(|o| o.result_at.as_secs_f64()).collect();
+        let dgc_time: Vec<f64> = s
+            .dgc
+            .iter()
+            .filter_map(|o| o.dgc_time.map(|d| d.as_secs_f64()))
+            .collect();
+        assert_eq!(
+            dgc_time.len(),
+            s.dgc.len(),
+            "{:?}: a DGC run failed to collect all workers",
+            s.kernel
+        );
+        table.row(vec![
+            format!("{:?}", s.kernel).to_uppercase(),
+            format!("{:.2} s", mean(&base)),
+            format!("{:.2} s", mean(&with)),
+            format!("{:.2} %", overhead_pct(mean(&base), mean(&with))),
+            format!("{:.2} s", mean(&dgc_time)),
+            format!("{:.2} s", std_dev(&dgc_time)),
+        ]);
+    }
+    table.print();
+
+    println!("\nPaper (Fig. 9):");
+    let mut paper = Table::new(vec![
+        "Kernel",
+        "No DGC avg",
+        "DGC avg",
+        "Overhead",
+        "DGC time",
+    ]);
+    paper.row(vec!["CG", "3529.45 s", "3190.00 s", "-9.62 %", "534.31 s"]);
+    paper.row(vec!["EP", "8.36 s", "8.37 s", "0.12 %", "530.41 s"]);
+    paper.row(vec!["FT", "424.40 s", "427.66 s", "0.77 %", "457.41 s"]);
+    paper.print();
+    println!(
+        "\nNotes: the paper's negative CG overhead is an RMI socket-reopening\n\
+         artifact it discusses at length (retesting with warm sockets gave\n\
+         +0.44 %); our transport has no such artifact, so expect ~0 %.\n\
+         DGC time should land within a few broadcast rounds of the paper's\n\
+         (15–20 × TTB plus the final TTA wait)."
+    );
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the protocol hot paths: named-clock
+//! operations, wire codec round trips, message handling throughput of a
+//! `DgcState`, and end-to-end harness event throughput on a clique.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dgc_core::clock::NamedClock;
+use dgc_core::config::DgcConfig;
+use dgc_core::harness::Harness;
+use dgc_core::id::AoId;
+use dgc_core::message::{DgcMessage, DgcResponse};
+use dgc_core::protocol::DgcState;
+use dgc_core::units::{Dur, Time};
+use dgc_core::wire;
+
+fn cfg() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(61))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+fn bench_clock(c: &mut Criterion) {
+    let a = NamedClock {
+        value: 41,
+        owner: AoId::new(3, 7),
+    };
+    let b = NamedClock {
+        value: 41,
+        owner: AoId::new(3, 8),
+    };
+    c.bench_function("clock/merge+bump", |bench| {
+        bench.iter(|| black_box(a.merged_with(black_box(b)).bumped_by(AoId::new(1, 1))))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = DgcMessage {
+        sender: AoId::new(9, 9),
+        clock: NamedClock {
+            value: 123,
+            owner: AoId::new(4, 4),
+        },
+        consensus: true,
+        sender_ttb: Dur::from_secs(30),
+    };
+    c.bench_function("wire/message-roundtrip", |bench| {
+        bench.iter(|| {
+            let enc = wire::encode_message(black_box(&msg));
+            black_box(wire::decode_message(enc).expect("valid"))
+        })
+    });
+    let resp = DgcResponse {
+        responder: AoId::new(2, 2),
+        clock: NamedClock {
+            value: 9,
+            owner: AoId::new(2, 2),
+        },
+        has_parent: true,
+        consensus_reached: false,
+        depth: Some(4),
+    };
+    c.bench_function("wire/response-roundtrip", |bench| {
+        bench.iter(|| {
+            let enc = wire::encode_response(black_box(&resp));
+            black_box(wire::decode_response(enc).expect("valid"))
+        })
+    });
+}
+
+fn bench_on_message(c: &mut Criterion) {
+    c.bench_function("protocol/on_message", |bench| {
+        let mut state = DgcState::new(AoId::new(0, 0), Time::ZERO, cfg());
+        let msg = DgcMessage {
+            sender: AoId::new(1, 0),
+            clock: NamedClock {
+                value: 5,
+                owner: AoId::new(1, 0),
+            },
+            consensus: false,
+            sender_ttb: Dur::from_secs(30),
+        };
+        let mut t = 0u64;
+        bench.iter(|| {
+            t += 1;
+            black_box(state.on_message(Time::from_nanos(t), black_box(&msg)))
+        })
+    });
+}
+
+fn bench_tick_fanout(c: &mut Criterion) {
+    c.bench_function("protocol/on_tick-64-referenced", |bench| {
+        let mut state = DgcState::new(AoId::new(0, 0), Time::ZERO, cfg());
+        for i in 1..=64 {
+            state.on_stub_deserialized(AoId::new(i, 0));
+        }
+        let mut t = 0u64;
+        bench.iter(|| {
+            t += 30;
+            black_box(state.on_tick(Time::from_secs(t), false))
+        })
+    });
+}
+
+fn bench_harness_clique(c: &mut Criterion) {
+    c.bench_function("harness/clique-16-until-collected", |bench| {
+        bench.iter(|| {
+            let mut h = Harness::new(Dur::from_millis(1));
+            let ids = h.add_many(16, cfg());
+            for i in 0..16 {
+                for j in 0..16 {
+                    if i != j {
+                        h.add_ref(ids[i], ids[j]);
+                    }
+                }
+            }
+            for id in &ids {
+                h.set_idle(*id, true);
+            }
+            h.run_for(Dur::from_secs(600));
+            assert_eq!(h.alive_count(), 0);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clock,
+    bench_codec,
+    bench_on_message,
+    bench_tick_fanout,
+    bench_harness_clique
+);
+criterion_main!(benches);

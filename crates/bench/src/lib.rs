@@ -1,0 +1,249 @@
+//! Shared harness code for the benchmark targets in `benches/`.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a dedicated
+//! `harness = false` bench target that prints the regenerated rows next
+//! to the paper's published numbers. This crate holds the pieces they
+//! share: scale selection, simple statistics, table formatting, and the
+//! standard paper configurations.
+
+use std::fmt::Write as _;
+
+use dgc_activeobj::collector::CollectorKind;
+use dgc_core::config::DgcConfig;
+use dgc_core::units::Dur;
+use dgc_simnet::topology::Topology;
+use dgc_workloads::nas::{run_kernel, Kernel, NasOutcome, NasParams};
+
+/// Benchmark scale, selected by the `DGC_BENCH_SCALE` environment
+/// variable (`full`, the default, reproduces the paper's sizes; `quick`
+/// shrinks them so `cargo bench` smoke runs stay snappy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale: 128 processes, 256 NAS workers, 6401 torture objects.
+    Full,
+    /// Reduced sizes for smoke benchmarking.
+    Quick,
+}
+
+impl Scale {
+    /// Reads `DGC_BENCH_SCALE` (default [`Scale::Full`] — the bench
+    /// suite's purpose is regenerating the paper's numbers; set `quick`
+    /// to smoke-test).
+    pub fn from_env() -> Scale {
+        match std::env::var("DGC_BENCH_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Number of repeated runs for mean/std-dev rows (paper: 3;
+    /// overridable via `DGC_BENCH_RUNS`).
+    pub fn runs(self) -> usize {
+        match std::env::var("DGC_BENCH_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => match self {
+                Scale::Full => 3,
+                Scale::Quick => 1,
+            },
+        }
+    }
+
+    /// NAS parameters at this scale.
+    pub fn nas_params(self, kernel: Kernel) -> NasParams {
+        match self {
+            Scale::Full => kernel.class_c(),
+            Scale::Quick => kernel.class_c().scaled_down(12, 15),
+        }
+    }
+
+    /// Topology at this scale.
+    pub fn topology(self) -> Topology {
+        match self {
+            Scale::Full => Topology::grid5000(),
+            Scale::Quick => Topology::grid5000_scaled(2),
+        }
+    }
+}
+
+/// The paper's NAS DGC parameters (§5.2): TTB 30 s, TTA 61 s.
+pub fn nas_dgc_config() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(61))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (paper tables show std dev across 3 runs).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Bytes → mebibytes, as in the paper's tables.
+pub fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// A plain-text table printer with right-aligned columns.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// One NAS measurement pair (control + DGC runs for every seed).
+#[derive(Debug, Clone)]
+pub struct NasSeries {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Control runs (no collector).
+    pub control: Vec<NasOutcome>,
+    /// Runs with the complete DGC.
+    pub dgc: Vec<NasOutcome>,
+}
+
+/// Runs the full NAS series for all three kernels — shared by the
+/// Fig. 8 and Fig. 9 targets. Deterministic per (scale, seed).
+pub fn nas_series(scale: Scale) -> Vec<NasSeries> {
+    let runs = scale.runs();
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let params = scale.nas_params(kernel);
+            let mut control = Vec::new();
+            let mut dgc = Vec::new();
+            for r in 0..runs {
+                let seed = 0xBA5E + r as u64;
+                eprintln!(
+                    "[nas] {} run {}/{} (control + dgc)…",
+                    params.name,
+                    r + 1,
+                    runs
+                );
+                control.push(run_kernel(
+                    kernel,
+                    &params,
+                    scale.topology(),
+                    CollectorKind::None,
+                    seed,
+                ));
+                dgc.push(run_kernel(
+                    kernel,
+                    &params,
+                    scale.topology(),
+                    CollectorKind::Complete(nas_dgc_config()),
+                    seed,
+                ));
+            }
+            NasSeries {
+                kernel,
+                control,
+                dgc,
+            }
+        })
+        .collect()
+}
+
+/// Percentage overhead `(with - without) / without`.
+pub fn overhead_pct(without: f64, with: f64) -> f64 {
+    if without == 0.0 {
+        return 0.0;
+    }
+    (with - without) / without * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(std_dev(&[2.0, 4.0]) > 1.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn overhead_formula_matches_paper() {
+        // Fig. 8 CG row: 194351.81 -> 223639.83 = 15.07 %.
+        let pct = overhead_pct(194_351.81, 223_639.83);
+        assert!((pct - 15.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["100", "x"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        assert_eq!(mib(1024 * 1024), 1.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! In-memory protocol harness.
+//!
+//! Drives a set of [`DgcState`]s over a loss-less, fixed-latency, FIFO
+//! in-memory network with manually advanced time. This is *not* the full
+//! middleware (no request queues, no futures, no local GC) — it exists so
+//! that protocol-level behaviours (the figures of the paper, liveness
+//! bounds, races) can be tested precisely and quickly, both here and in
+//! the property-based suites.
+//!
+//! The harness owns idleness: tests declare objects idle or busy, create
+//! and drop reference edges, and step simulated time; the harness ticks
+//! every endpoint at its own TTB phase, ships messages and responses
+//! after `latency`, and records terminations.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::config::DgcConfig;
+use crate::id::AoId;
+use crate::message::{Action, DgcMessage, DgcResponse, TerminateReason};
+use crate::protocol::DgcState;
+use crate::units::{Dur, Time};
+
+/// A recorded termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Termination {
+    /// Who terminated.
+    pub id: AoId,
+    /// Why.
+    pub reason: TerminateReason,
+    /// When.
+    pub at: Time,
+}
+
+enum Wire {
+    Message {
+        from: AoId,
+        to: AoId,
+        message: DgcMessage,
+    },
+    Response {
+        from: AoId,
+        to: AoId,
+        response: DgcResponse,
+    },
+}
+
+struct Endpoint {
+    state: DgcState,
+    idle: bool,
+    next_tick: Time,
+}
+
+/// Deterministic multi-endpoint protocol driver.
+pub struct Harness {
+    now: Time,
+    latency: Dur,
+    endpoints: BTreeMap<AoId, Endpoint>,
+    in_flight: VecDeque<(Time, Wire)>,
+    terminations: Vec<Termination>,
+    next_node: u32,
+}
+
+impl Harness {
+    /// Creates a harness whose links all have the given one-way latency.
+    pub fn new(latency: Dur) -> Self {
+        Harness {
+            now: Time::ZERO,
+            latency,
+            endpoints: BTreeMap::new(),
+            in_flight: VecDeque::new(),
+            terminations: Vec::new(),
+            next_node: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Adds an endpoint with `config`, initially **busy** (tests flip it
+    /// idle explicitly so the busy→idle bump is exercised like in the
+    /// real middleware). Returns its id.
+    pub fn add(&mut self, config: DgcConfig) -> AoId {
+        let id = AoId::new(self.next_node, 0);
+        self.next_node += 1;
+        let first_tick = self.now + config.ttb;
+        self.endpoints.insert(
+            id,
+            Endpoint {
+                state: DgcState::new(id, self.now, config),
+                idle: false,
+                next_tick: first_tick,
+            },
+        );
+        id
+    }
+
+    /// Adds `n` endpoints with the same config.
+    pub fn add_many(&mut self, n: usize, config: DgcConfig) -> Vec<AoId> {
+        (0..n).map(|_| self.add(config)).collect()
+    }
+
+    /// Declares `id` idle or busy; a busy→idle transition bumps the
+    /// activity clock exactly as the middleware would.
+    pub fn set_idle(&mut self, id: AoId, idle: bool) {
+        let ep = self.endpoints.get_mut(&id).expect("unknown endpoint");
+        if idle && !ep.idle {
+            ep.state.on_became_idle();
+        }
+        ep.idle = idle;
+    }
+
+    /// True if `id` is currently declared idle.
+    pub fn is_idle(&self, id: AoId) -> bool {
+        self.endpoints.get(&id).map(|e| e.idle).unwrap_or(false)
+    }
+
+    /// Creates the reference edge `from → to` (stub deserialization).
+    pub fn add_ref(&mut self, from: AoId, to: AoId) {
+        self.endpoints
+            .get_mut(&from)
+            .expect("unknown endpoint")
+            .state
+            .on_stub_deserialized(to);
+    }
+
+    /// Removes the reference edge `from → to` (all stubs collected).
+    pub fn drop_ref(&mut self, from: AoId, to: AoId) {
+        self.endpoints
+            .get_mut(&from)
+            .expect("unknown endpoint")
+            .state
+            .on_stubs_collected(to);
+    }
+
+    /// Immutable view of an endpoint's protocol state.
+    pub fn state(&self, id: AoId) -> &DgcState {
+        &self.endpoints.get(&id).expect("unknown endpoint").state
+    }
+
+    /// True if `id` is still alive (present and not dead).
+    pub fn alive(&self, id: AoId) -> bool {
+        self.endpoints.get(&id).is_some_and(|e| !e.state.is_dead())
+    }
+
+    /// Number of endpoints still alive.
+    pub fn alive_count(&self) -> usize {
+        self.endpoints
+            .values()
+            .filter(|e| !e.state.is_dead())
+            .count()
+    }
+
+    /// All recorded terminations, in order.
+    pub fn terminations(&self) -> &[Termination] {
+        &self.terminations
+    }
+
+    /// Advances simulated time to `deadline`, processing deliveries and
+    /// ticks in timestamp order (FIFO per sender thanks to queue order).
+    pub fn run_until(&mut self, deadline: Time) {
+        loop {
+            // Earliest pending delivery or tick.
+            let next_delivery = self.in_flight.front().map(|(t, _)| *t);
+            let next_tick = self
+                .endpoints
+                .values()
+                .filter(|e| !e.state.is_dead())
+                .map(|e| e.next_tick)
+                .min();
+            let next = match (next_delivery, next_tick) {
+                (None, None) => break,
+                (Some(d), None) => d,
+                (None, Some(t)) => t,
+                (Some(d), Some(t)) => d.min(t),
+            };
+            if next > deadline {
+                break;
+            }
+            self.now = next;
+            if next_delivery == Some(next) {
+                let (_, wire) = self.in_flight.pop_front().expect("non-empty");
+                self.deliver(wire);
+            } else {
+                self.tick_due();
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Advances time by `d`.
+    pub fn run_for(&mut self, d: Dur) {
+        self.run_until(self.now + d);
+    }
+
+    fn tick_due(&mut self) {
+        let due: Vec<AoId> = self
+            .endpoints
+            .iter()
+            .filter(|(_, e)| !e.state.is_dead() && e.next_tick <= self.now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            let (idle, actions, period) = {
+                let ep = self.endpoints.get_mut(&id).expect("exists");
+                let idle = ep.idle;
+                let actions = ep.state.on_tick(self.now, idle);
+                let period = ep.state.current_ttb();
+                ep.next_tick = self.now + period;
+                (idle, actions, period)
+            };
+            let _ = (idle, period);
+            self.apply_actions(id, actions);
+        }
+    }
+
+    fn deliver(&mut self, wire: Wire) {
+        match wire {
+            Wire::Message { from, to, message } => {
+                let actions = match self.endpoints.get_mut(&to) {
+                    Some(ep) if !ep.state.is_dead() => ep.state.on_message(self.now, &message),
+                    _ => {
+                        // Target terminated: sender observes a failure.
+                        if let Some(sender) = self.endpoints.get_mut(&from) {
+                            sender.state.on_send_failure(to);
+                        }
+                        return;
+                    }
+                };
+                self.apply_actions(to, actions);
+            }
+            Wire::Response { from, to, response } => {
+                let Some(ep) = self.endpoints.get_mut(&to) else {
+                    return;
+                };
+                if ep.state.is_dead() {
+                    return;
+                }
+                let idle = ep.idle;
+                let actions = ep.state.on_response(self.now, from, &response, idle);
+                self.apply_actions(to, actions);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendMessage { to, message } => {
+                    self.in_flight.push_back((
+                        self.now + self.latency,
+                        Wire::Message {
+                            from: who,
+                            to,
+                            message,
+                        },
+                    ));
+                }
+                Action::SendResponse { to, response } => {
+                    self.in_flight.push_back((
+                        self.now + self.latency,
+                        Wire::Response {
+                            from: who,
+                            to,
+                            response,
+                        },
+                    ));
+                }
+                Action::Terminate { reason } => {
+                    self.terminations.push(Termination {
+                        id: who,
+                        reason,
+                        at: self.now,
+                    });
+                }
+            }
+        }
+        // Keep the queue sorted by delivery time; pushes use now+latency
+        // with constant latency so it already is, but ticks at different
+        // phases can interleave — enforce it for safety.
+        let mut v: Vec<_> = std::mem::take(&mut self.in_flight).into();
+        v.sort_by_key(|(t, _)| *t);
+        self.in_flight = v.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DgcConfig {
+        DgcConfig::builder()
+            .ttb(Dur::from_secs(30))
+            .tta(Dur::from_secs(61))
+            .max_comm(Dur::from_millis(500))
+            .build()
+    }
+
+    fn lat() -> Dur {
+        Dur::from_millis(10)
+    }
+
+    #[test]
+    fn lone_idle_object_dies_acyclically() {
+        let mut h = Harness::new(lat());
+        let a = h.add(cfg());
+        h.set_idle(a, true);
+        h.run_for(Dur::from_secs(200));
+        assert!(!h.alive(a));
+        assert_eq!(h.terminations().len(), 1);
+        assert_eq!(h.terminations()[0].reason, TerminateReason::Acyclic);
+    }
+
+    #[test]
+    fn heartbeats_keep_referenced_object_alive() {
+        let mut h = Harness::new(lat());
+        let a = h.add(cfg()); // busy root
+        let b = h.add(cfg());
+        h.add_ref(a, b);
+        h.set_idle(b, true);
+        h.run_for(Dur::from_secs(400));
+        assert!(h.alive(b), "b hears from a every TTB");
+        assert!(h.alive(a), "a is busy");
+    }
+
+    #[test]
+    fn dropping_the_last_reference_collects_the_target() {
+        let mut h = Harness::new(lat());
+        let a = h.add(cfg());
+        let b = h.add(cfg());
+        h.add_ref(a, b);
+        h.set_idle(b, true);
+        h.run_for(Dur::from_secs(100));
+        assert!(h.alive(b));
+        h.drop_ref(a, b);
+        h.run_for(Dur::from_secs(200));
+        assert!(!h.alive(b), "silence for TTA collects b");
+        assert!(h.alive(a));
+    }
+
+    #[test]
+    fn two_cycle_is_collected() {
+        let mut h = Harness::new(lat());
+        let a = h.add(cfg());
+        let b = h.add(cfg());
+        h.add_ref(a, b);
+        h.add_ref(b, a);
+        h.set_idle(a, true);
+        h.set_idle(b, true);
+        h.run_for(Dur::from_secs(600));
+        assert!(!h.alive(a) && !h.alive(b), "idle 2-cycle is garbage");
+        assert!(h.terminations().iter().any(|t| t.reason.is_cyclic()));
+    }
+
+    #[test]
+    fn cycle_with_busy_member_survives() {
+        let mut h = Harness::new(lat());
+        let a = h.add(cfg());
+        let b = h.add(cfg());
+        let c = h.add(cfg());
+        h.add_ref(a, b);
+        h.add_ref(b, c);
+        h.add_ref(c, a);
+        h.set_idle(a, true);
+        h.set_idle(b, true);
+        // c stays busy.
+        h.run_for(Dur::from_secs(1000));
+        assert!(h.alive(a) && h.alive(b) && h.alive(c));
+    }
+
+    #[test]
+    fn busy_member_becoming_idle_releases_the_cycle() {
+        let mut h = Harness::new(lat());
+        let ids = h.add_many(3, cfg());
+        for w in 0..3 {
+            h.add_ref(ids[w], ids[(w + 1) % 3]);
+        }
+        h.set_idle(ids[0], true);
+        h.set_idle(ids[1], true);
+        h.run_for(Dur::from_secs(500));
+        assert_eq!(h.alive_count(), 3);
+        h.set_idle(ids[2], true);
+        h.run_for(Dur::from_secs(800));
+        assert_eq!(h.alive_count(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The process graph (§4.1).
+//!
+//! When the no-sharing property is unavailable, the per-activity
+//! reference graph cannot be built reliably; the paper falls back to the
+//! coarser **graph of address spaces**: every activity of process *P* is
+//! considered to reference every activity of process *Q* as soon as any
+//! edge crosses from *P* to *Q* (equation (2) of the paper). The same DGC
+//! algorithm then runs with one virtual endpoint per *process*, whose
+//! idleness is the conjunction of its members' idleness.
+//!
+//! The trade-off, which `benches/process_graph_precision.rs` measures: a
+//! garbage cycle spanning processes that also host live activities is
+//! **not** collected in this mode.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::id::AoId;
+
+/// Aggregates activity-level facts into process-level DGC inputs.
+///
+/// `group` identifiers are the `node` field of [`AoId`]; the virtual
+/// endpoint of group `g` has id `AoId::new(g, u32::MAX)` so it can never
+/// collide with a real activity.
+#[derive(Debug, Default)]
+pub struct ProcessGraph {
+    /// Members per group, with their idleness.
+    members: BTreeMap<u32, BTreeMap<AoId, bool>>,
+    /// Activity-level edges, kept so group edges can be recomputed.
+    edges: BTreeSet<(AoId, AoId)>,
+}
+
+impl ProcessGraph {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        ProcessGraph::default()
+    }
+
+    /// The virtual endpoint id representing group `g`.
+    pub fn endpoint_id(g: u32) -> AoId {
+        AoId::new(g, u32::MAX)
+    }
+
+    /// Group of an activity (its hosting process).
+    pub fn group_of(id: AoId) -> u32 {
+        id.node
+    }
+
+    /// Registers an activity (initially busy).
+    pub fn add_member(&mut self, id: AoId) {
+        self.members.entry(id.node).or_default().insert(id, false);
+    }
+
+    /// Removes an activity (terminated) together with its edges.
+    pub fn remove_member(&mut self, id: AoId) {
+        if let Some(g) = self.members.get_mut(&id.node) {
+            g.remove(&id);
+            if g.is_empty() {
+                self.members.remove(&id.node);
+            }
+        }
+        self.edges.retain(|(a, b)| *a != id && *b != id);
+    }
+
+    /// Updates an activity's idleness.
+    pub fn set_idle(&mut self, id: AoId, idle: bool) {
+        if let Some(g) = self.members.get_mut(&id.node) {
+            if let Some(slot) = g.get_mut(&id) {
+                *slot = idle;
+            }
+        }
+    }
+
+    /// Adds an activity-level reference edge.
+    pub fn add_edge(&mut self, from: AoId, to: AoId) {
+        self.edges.insert((from, to));
+    }
+
+    /// Removes an activity-level reference edge.
+    pub fn remove_edge(&mut self, from: AoId, to: AoId) {
+        self.edges.remove(&(from, to));
+    }
+
+    /// A process is idle iff **all** its activities are idle (an empty
+    /// group is vacuously idle).
+    pub fn group_idle(&self, g: u32) -> bool {
+        self.members
+            .get(&g)
+            .map(|m| m.values().all(|i| *i))
+            .unwrap_or(true)
+    }
+
+    /// Number of live activities in a group.
+    pub fn group_len(&self, g: u32) -> usize {
+        self.members.get(&g).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// All groups with at least one member.
+    pub fn groups(&self) -> Vec<u32> {
+        self.members.keys().copied().collect()
+    }
+
+    /// The current process-level edges (equation (2)): `(P, Q)` present
+    /// iff some activity of `P` references some activity of `Q`, with
+    /// `P ≠ Q`.
+    pub fn group_edges(&self) -> BTreeSet<(u32, u32)> {
+        self.edges
+            .iter()
+            .filter(|(a, b)| a.node != b.node)
+            .map(|(a, b)| (a.node, b.node))
+            .collect()
+    }
+
+    /// Members of a group, in id order.
+    pub fn group_members(&self, g: u32) -> Vec<AoId> {
+        self.members
+            .get(&g)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ao(node: u32, idx: u32) -> AoId {
+        AoId::new(node, idx)
+    }
+
+    #[test]
+    fn endpoint_ids_cannot_collide_with_activities() {
+        // Activity indices are allocated from 0 upward; u32::MAX is
+        // reserved for the virtual endpoint.
+        assert_eq!(ProcessGraph::endpoint_id(3), AoId::new(3, u32::MAX));
+        assert_eq!(ProcessGraph::group_of(ao(3, 7)), 3);
+    }
+
+    #[test]
+    fn group_idle_is_conjunction() {
+        let mut pg = ProcessGraph::new();
+        pg.add_member(ao(0, 0));
+        pg.add_member(ao(0, 1));
+        assert!(!pg.group_idle(0));
+        pg.set_idle(ao(0, 0), true);
+        assert!(!pg.group_idle(0), "one member still busy");
+        pg.set_idle(ao(0, 1), true);
+        assert!(pg.group_idle(0));
+        pg.set_idle(ao(0, 0), false);
+        assert!(!pg.group_idle(0));
+    }
+
+    #[test]
+    fn group_edges_follow_equation_2() {
+        let mut pg = ProcessGraph::new();
+        pg.add_member(ao(0, 0));
+        pg.add_member(ao(1, 0));
+        pg.add_member(ao(1, 1));
+        pg.add_edge(ao(0, 0), ao(1, 0));
+        pg.add_edge(ao(0, 0), ao(1, 1)); // same group pair
+        pg.add_edge(ao(1, 0), ao(1, 1)); // intra-process: not a group edge
+        let ge = pg.group_edges();
+        assert_eq!(ge.len(), 1);
+        assert!(ge.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn removing_last_crossing_edge_removes_group_edge() {
+        let mut pg = ProcessGraph::new();
+        pg.add_edge(ao(0, 0), ao(1, 0));
+        pg.add_edge(ao(0, 1), ao(1, 0));
+        pg.remove_edge(ao(0, 0), ao(1, 0));
+        assert!(
+            pg.group_edges().contains(&(0, 1)),
+            "second edge still crosses"
+        );
+        pg.remove_edge(ao(0, 1), ao(1, 0));
+        assert!(pg.group_edges().is_empty());
+    }
+
+    #[test]
+    fn remove_member_cleans_edges_and_groups() {
+        let mut pg = ProcessGraph::new();
+        pg.add_member(ao(0, 0));
+        pg.add_member(ao(1, 0));
+        pg.add_edge(ao(0, 0), ao(1, 0));
+        pg.remove_member(ao(0, 0));
+        assert!(pg.group_edges().is_empty());
+        assert_eq!(pg.group_len(0), 0);
+        assert!(pg.group_idle(0), "empty group is vacuously idle");
+        assert_eq!(pg.groups(), vec![1]);
+    }
+
+    #[test]
+    fn group_members_are_ordered() {
+        let mut pg = ProcessGraph::new();
+        pg.add_member(ao(0, 2));
+        pg.add_member(ao(0, 0));
+        pg.add_member(ao(0, 1));
+        assert_eq!(pg.group_members(0), vec![ao(0, 0), ao(0, 1), ao(0, 2)]);
+    }
+}

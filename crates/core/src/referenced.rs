@@ -1,0 +1,267 @@
+//! The referenced table (§2.2).
+//!
+//! For each remote active object we hold a reference to, the DGC stores
+//! the last DGC response received from it and whether the edge is still
+//! needed. Two mechanisms from the paper:
+//!
+//! * **Stub tags.** Several local stubs may denote the same remote
+//!   object; the middleware gives them one shared *tag* and tells us only
+//!   when the tag dies (all stubs collected) — that removal is a "loss of
+//!   a referenced" which must bump the activity clock (§3.2, Fig. 6).
+//! * **`must_send_once`.** A freshly deserialized reference guarantees at
+//!   least one DGC message at the next broadcast *even if the stub is
+//!   immediately collected*, so a reference hopping quickly between
+//!   objects keeps its target alive (§3.1).
+
+use std::collections::BTreeMap;
+
+use crate::id::AoId;
+use crate::message::DgcResponse;
+
+/// What we know about one referenced active object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferencedInfo {
+    /// Last DGC response received from it, if any.
+    pub last_response: Option<DgcResponse>,
+    /// True while at least one local stub (the shared tag) is alive.
+    pub reachable: bool,
+    /// True if we still owe this target one DGC message (deserialization
+    /// happened after the last broadcast).
+    pub must_send_once: bool,
+}
+
+/// Table of all referenced active objects, keyed by id.
+#[derive(Debug, Clone, Default)]
+pub struct ReferencedTable {
+    entries: BTreeMap<AoId, ReferencedInfo>,
+}
+
+impl ReferencedTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ReferencedTable::default()
+    }
+
+    /// Registers the deserialization of a stub for `target` (the §2.2
+    /// hook). Creates the edge if needed, marks it reachable, and arms
+    /// `must_send_once`. Returns `true` if the edge is new.
+    pub fn on_stub_deserialized(&mut self, target: AoId) -> bool {
+        let entry = self.entries.entry(target).or_insert(ReferencedInfo {
+            last_response: None,
+            reachable: false,
+            must_send_once: false,
+        });
+        let was_new = !entry.reachable && entry.last_response.is_none() && !entry.must_send_once;
+        entry.reachable = true;
+        entry.must_send_once = true;
+        was_new
+    }
+
+    /// The local collector reports that **all** stubs for `target` died
+    /// (the weak-referenced tag was collected). The edge survives only if
+    /// a first DGC message is still owed. Returns `true` if the edge was
+    /// removed now (a "loss of a referenced").
+    pub fn on_stubs_collected(&mut self, target: AoId) -> bool {
+        match self.entries.get_mut(&target) {
+            None => false,
+            Some(info) => {
+                info.reachable = false;
+                if info.must_send_once {
+                    // Keep the edge until the promised message is sent.
+                    false
+                } else {
+                    self.entries.remove(&target);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a DGC response from `target`. Returns `false` if we no
+    /// longer track that target (late response after edge removal).
+    pub fn record_response(&mut self, target: AoId, response: DgcResponse) -> bool {
+        match self.entries.get_mut(&target) {
+            Some(info) => {
+                info.last_response = Some(response);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the edge to `target` unconditionally (send failure: the
+    /// target terminated). Returns `true` if it existed.
+    pub fn remove(&mut self, target: AoId) -> bool {
+        self.entries.remove(&target).is_some()
+    }
+
+    /// Ids to include in the next broadcast: all reachable targets plus
+    /// any target still owed its first message. Clears `must_send_once`
+    /// flags, and drops edges that were only kept for that promise —
+    /// returning those drops as "losses of a referenced" (second element).
+    pub fn broadcast_targets(&mut self) -> (Vec<AoId>, Vec<AoId>) {
+        let targets: Vec<AoId> = self
+            .entries
+            .iter()
+            .filter(|(_, info)| info.reachable || info.must_send_once)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut dropped = Vec::new();
+        for id in &targets {
+            let info = self.entries.get_mut(id).expect("target exists");
+            info.must_send_once = false;
+            if !info.reachable {
+                // The promised message is being sent now; afterwards the
+                // edge is gone (stub already collected).
+                self.entries.remove(id);
+                dropped.push(*id);
+            }
+        }
+        (targets, dropped)
+    }
+
+    /// Last response from `target`, if tracked and received.
+    pub fn last_response(&self, target: AoId) -> Option<&DgcResponse> {
+        self.entries
+            .get(&target)
+            .and_then(|i| i.last_response.as_ref())
+    }
+
+    /// Look up one edge.
+    pub fn get(&self, target: AoId) -> Option<&ReferencedInfo> {
+        self.entries.get(&target)
+    }
+
+    /// True if `target` is currently tracked.
+    pub fn contains(&self, target: AoId) -> bool {
+        self.entries.contains_key(&target)
+    }
+
+    /// Number of tracked edges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no edge is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, info)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AoId, &ReferencedInfo)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NamedClock;
+
+    fn ao(n: u32) -> AoId {
+        AoId::new(n, 0)
+    }
+
+    fn resp(n: u32) -> DgcResponse {
+        DgcResponse {
+            responder: ao(n),
+            clock: NamedClock::initial(ao(n)),
+            has_parent: false,
+            consensus_reached: false,
+            depth: None,
+        }
+    }
+
+    #[test]
+    fn deserialization_creates_edge_and_arms_must_send() {
+        let mut t = ReferencedTable::new();
+        assert!(t.on_stub_deserialized(ao(1)));
+        assert!(
+            !t.on_stub_deserialized(ao(1)),
+            "second stub is not a new edge"
+        );
+        let info = t.get(ao(1)).unwrap();
+        assert!(info.reachable);
+        assert!(info.must_send_once);
+    }
+
+    #[test]
+    fn broadcast_clears_must_send_and_keeps_reachable_edges() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(1));
+        let (targets, dropped) = t.broadcast_targets();
+        assert_eq!(targets, vec![ao(1)]);
+        assert!(dropped.is_empty());
+        assert!(!t.get(ao(1)).unwrap().must_send_once);
+        // Still broadcast next time: the stub is alive.
+        let (targets, _) = t.broadcast_targets();
+        assert_eq!(targets, vec![ao(1)]);
+    }
+
+    #[test]
+    fn quickly_collected_stub_still_gets_one_message() {
+        // §3.1: reference passed through and collected before the first
+        // broadcast — one DGC message must still go out.
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(1));
+        assert!(
+            !t.on_stubs_collected(ao(1)),
+            "edge kept for the promised message"
+        );
+        let (targets, dropped) = t.broadcast_targets();
+        assert_eq!(targets, vec![ao(1)]);
+        assert_eq!(
+            dropped,
+            vec![ao(1)],
+            "edge dropped after the promise is honoured"
+        );
+        assert!(!t.contains(ao(1)));
+        let (targets, _) = t.broadcast_targets();
+        assert!(targets.is_empty());
+    }
+
+    #[test]
+    fn stub_collection_after_broadcast_removes_edge() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(1));
+        t.broadcast_targets();
+        assert!(t.on_stubs_collected(ao(1)), "loss of a referenced");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn re_deserialization_revives_edge() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(1));
+        t.broadcast_targets();
+        t.on_stubs_collected(ao(1));
+        assert!(t.on_stub_deserialized(ao(1)), "revived edge counts as new");
+        assert!(t.get(ao(1)).unwrap().reachable);
+    }
+
+    #[test]
+    fn responses_recorded_only_for_tracked_targets() {
+        let mut t = ReferencedTable::new();
+        assert!(!t.record_response(ao(1), resp(1)), "untracked target");
+        t.on_stub_deserialized(ao(1));
+        assert!(t.record_response(ao(1), resp(1)));
+        assert_eq!(t.last_response(ao(1)).unwrap().responder, ao(1));
+    }
+
+    #[test]
+    fn remove_on_send_failure() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(1));
+        assert!(t.remove(ao(1)));
+        assert!(!t.remove(ao(1)));
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(2));
+        t.on_stub_deserialized(ao(1));
+        let ids: Vec<AoId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ao(1), ao(2)]);
+    }
+}

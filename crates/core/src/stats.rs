@@ -1,0 +1,108 @@
+//! Per-endpoint protocol counters, for observability and the benchmarks.
+
+/// Why the activity clock was bumped (§3.2 lists exactly these three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ClockBumpReason {
+    /// The active object transitioned busy → idle.
+    BecameIdle,
+    /// A referencer stayed silent for TTA (Fig. 5).
+    LostReferencer,
+    /// A referenced edge disappeared — stubs collected or send failure
+    /// (Fig. 6).
+    LostReferenced,
+}
+
+/// Counters accumulated by one DGC endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DgcStats {
+    /// DGC messages sent (one per referenced target per beat).
+    pub messages_sent: u64,
+    /// DGC responses sent (one per received message).
+    pub responses_sent: u64,
+    /// DGC messages received.
+    pub messages_received: u64,
+    /// DGC responses received.
+    pub responses_received: u64,
+    /// Clock bumps because this object became idle.
+    pub bumps_became_idle: u64,
+    /// Clock bumps because a referencer was lost.
+    pub bumps_lost_referencer: u64,
+    /// Clock bumps because a referenced edge was lost.
+    pub bumps_lost_referenced: u64,
+    /// Times a parent was adopted in the reverse spanning tree.
+    pub parents_adopted: u64,
+    /// Times the parent was switched to a shallower one (MinDepth policy).
+    pub parents_switched: u64,
+    /// Consensus detections (this endpoint was the originator).
+    pub consensus_detected: u64,
+    /// Entries into the dying phase via a propagated consensus.
+    pub consensus_propagated: u64,
+}
+
+impl DgcStats {
+    /// Records one clock bump.
+    pub fn record_bump(&mut self, reason: ClockBumpReason) {
+        match reason {
+            ClockBumpReason::BecameIdle => self.bumps_became_idle += 1,
+            ClockBumpReason::LostReferencer => self.bumps_lost_referencer += 1,
+            ClockBumpReason::LostReferenced => self.bumps_lost_referenced += 1,
+        }
+    }
+
+    /// Total clock bumps across reasons.
+    pub fn total_bumps(&self) -> u64 {
+        self.bumps_became_idle + self.bumps_lost_referencer + self.bumps_lost_referenced
+    }
+
+    /// Merges counters from another endpoint (for fleet-wide reports).
+    pub fn merge(&mut self, other: &DgcStats) {
+        self.messages_sent += other.messages_sent;
+        self.responses_sent += other.responses_sent;
+        self.messages_received += other.messages_received;
+        self.responses_received += other.responses_received;
+        self.bumps_became_idle += other.bumps_became_idle;
+        self.bumps_lost_referencer += other.bumps_lost_referencer;
+        self.bumps_lost_referenced += other.bumps_lost_referenced;
+        self.parents_adopted += other.parents_adopted;
+        self.parents_switched += other.parents_switched;
+        self.consensus_detected += other.consensus_detected;
+        self.consensus_propagated += other.consensus_propagated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_reasons_are_separated() {
+        let mut s = DgcStats::default();
+        s.record_bump(ClockBumpReason::BecameIdle);
+        s.record_bump(ClockBumpReason::BecameIdle);
+        s.record_bump(ClockBumpReason::LostReferencer);
+        s.record_bump(ClockBumpReason::LostReferenced);
+        assert_eq!(s.bumps_became_idle, 2);
+        assert_eq!(s.bumps_lost_referencer, 1);
+        assert_eq!(s.bumps_lost_referenced, 1);
+        assert_eq!(s.total_bumps(), 4);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = DgcStats {
+            messages_sent: 3,
+            consensus_detected: 1,
+            ..Default::default()
+        };
+        let b = DgcStats {
+            messages_sent: 4,
+            responses_sent: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 7);
+        assert_eq!(a.responses_sent, 2);
+        assert_eq!(a.consensus_detected, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal time units for the sans-io protocol core.
+//!
+//! The protocol only needs to *compare* instants and add durations; it
+//! never reads a wall clock. Runtimes (simulated or threaded) convert
+//! their own notion of time into these nanosecond counters when driving
+//! the state machine, which keeps this crate free of any runtime
+//! dependency.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An instant, as nanoseconds since an arbitrary runtime-defined origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The origin instant.
+    pub const ZERO: Time = Time(0);
+
+    /// Builds an instant from raw nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Time(n)
+    }
+
+    /// Builds an instant from whole seconds (convenience for tests).
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, zero if `earlier` is in the future.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+    /// Effectively infinite span (disables a timeout).
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Builds a span from raw nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Dur(n)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Builds a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, o: Dur) -> Dur {
+        Dur(self.0.saturating_add(o.0))
+    }
+
+    /// Integer division by a non-zero constant.
+    pub const fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0 as f64 / 1e9)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0 as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Dur::from_millis(5).as_nanos(), 5_000_000);
+        assert!(Dur::ZERO.is_zero());
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Time::from_secs(1);
+        let b = Time::from_secs(3);
+        assert_eq!(b.since(a), Dur::from_secs(2));
+        assert_eq!(a.since(b), Dur::ZERO);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let t = Time::from_nanos(u64::MAX) + Dur::from_secs(1);
+        assert_eq!(t.as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn dur_arithmetic() {
+        assert_eq!(Dur::from_secs(3).saturating_mul(2), Dur::from_secs(6));
+        assert_eq!(Dur::from_secs(4).div(2), Dur::from_secs(2));
+        assert_eq!(Dur::MAX.saturating_add(Dur::from_secs(1)), Dur::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_secs(1) < Time::from_secs(2));
+        assert!(Dur::from_millis(1) < Dur::from_secs(1));
+    }
+}

@@ -1,0 +1,310 @@
+//! Binary wire codec for DGC messages and responses.
+//!
+//! The paper measures its bandwidth overhead through an instrumented
+//! SOCKS proxy, so every byte of the Java-RMI-serialized DGC calls
+//! counts. To reproduce those measurements honestly we encode protocol
+//! units into a concrete binary format (rather than inventing sizes), and
+//! the simulator charges the encoded length — plus a configurable
+//! per-call *envelope* modelling the RMI invocation overhead (operation
+//! hash, object UID, serialization headers) — to the network meters.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! message  := tag(1) sender(8) clock(16) flags(1) sender_ttb(8)
+//! response := tag(1) responder(8) clock(16) flags(1) depth?(4)
+//! clock    := value(8) owner(8)
+//! aoid     := node(4) index(4)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::clock::NamedClock;
+use crate::id::AoId;
+use crate::message::{DgcMessage, DgcResponse};
+use crate::units::Dur;
+
+const TAG_MESSAGE: u8 = 0xD1;
+const TAG_RESPONSE: u8 = 0xD2;
+
+const FLAG_CONSENSUS: u8 = 0b0000_0001;
+const FLAG_HAS_PARENT: u8 = 0b0000_0010;
+const FLAG_CONSENSUS_REACHED: u8 = 0b0000_0100;
+const FLAG_HAS_DEPTH: u8 = 0b0000_1000;
+
+/// Errors produced when decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the fixed-size fields were read.
+    Truncated,
+    /// The leading tag byte did not match the expected unit.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "wire buffer truncated"),
+            DecodeError::BadTag(t) => write!(f, "unexpected wire tag 0x{t:02X}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_aoid(buf: &mut BytesMut, id: AoId) {
+    buf.put_u32(id.node);
+    buf.put_u32(id.index);
+}
+
+fn get_aoid(buf: &mut Bytes) -> Result<AoId, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(AoId::new(buf.get_u32(), buf.get_u32()))
+}
+
+fn put_clock(buf: &mut BytesMut, c: NamedClock) {
+    buf.put_u64(c.value);
+    put_aoid(buf, c.owner);
+}
+
+fn get_clock(buf: &mut Bytes) -> Result<NamedClock, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let value = buf.get_u64();
+    let owner = get_aoid(buf)?;
+    Ok(NamedClock { value, owner })
+}
+
+/// Encodes a DGC message.
+pub fn encode_message(m: &DgcMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(34);
+    buf.put_u8(TAG_MESSAGE);
+    put_aoid(&mut buf, m.sender);
+    put_clock(&mut buf, m.clock);
+    let mut flags = 0u8;
+    if m.consensus {
+        flags |= FLAG_CONSENSUS;
+    }
+    buf.put_u8(flags);
+    buf.put_u64(m.sender_ttb.as_nanos());
+    buf.freeze()
+}
+
+/// Decodes a DGC message.
+pub fn decode_message(mut buf: Bytes) -> Result<DgcMessage, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_MESSAGE {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let sender = get_aoid(&mut buf)?;
+    let clock = get_clock(&mut buf)?;
+    if buf.remaining() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    let flags = buf.get_u8();
+    let sender_ttb = Dur::from_nanos(buf.get_u64());
+    Ok(DgcMessage {
+        sender,
+        clock,
+        consensus: flags & FLAG_CONSENSUS != 0,
+        sender_ttb,
+    })
+}
+
+/// Encodes a DGC response.
+pub fn encode_response(r: &DgcResponse) -> Bytes {
+    let mut buf = BytesMut::with_capacity(30);
+    buf.put_u8(TAG_RESPONSE);
+    put_aoid(&mut buf, r.responder);
+    put_clock(&mut buf, r.clock);
+    let mut flags = 0u8;
+    if r.has_parent {
+        flags |= FLAG_HAS_PARENT;
+    }
+    if r.consensus_reached {
+        flags |= FLAG_CONSENSUS_REACHED;
+    }
+    if r.depth.is_some() {
+        flags |= FLAG_HAS_DEPTH;
+    }
+    buf.put_u8(flags);
+    if let Some(d) = r.depth {
+        buf.put_u32(d);
+    }
+    buf.freeze()
+}
+
+/// Decodes a DGC response.
+pub fn decode_response(mut buf: Bytes) -> Result<DgcResponse, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_RESPONSE {
+        return Err(DecodeError::BadTag(tag));
+    }
+    let responder = get_aoid(&mut buf)?;
+    let clock = get_clock(&mut buf)?;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let flags = buf.get_u8();
+    let depth = if flags & FLAG_HAS_DEPTH != 0 {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        Some(buf.get_u32())
+    } else {
+        None
+    };
+    Ok(DgcResponse {
+        responder,
+        clock,
+        has_parent: flags & FLAG_HAS_PARENT != 0,
+        consensus_reached: flags & FLAG_CONSENSUS_REACHED != 0,
+        depth,
+    })
+}
+
+/// Wire size in bytes of an encoded DGC message (fixed).
+pub fn message_wire_size() -> u64 {
+    34
+}
+
+/// Wire size in bytes of an encoded DGC response.
+pub fn response_wire_size(with_depth: bool) -> u64 {
+    if with_depth {
+        30
+    } else {
+        26
+    }
+}
+
+/// Per-call envelope modelling the overhead of an RMI invocation
+/// (transport framing, operation identifiers, serialization headers).
+///
+/// The paper's measured per-beat DGC cost on the NAS runs is far larger
+/// than the raw fields of the message, because each DGC call travels as a
+/// Java-RMI remote invocation. `RMI_CALL_ENVELOPE` is our calibrated
+/// stand-in; EXPERIMENTS.md documents the calibration.
+pub const RMI_CALL_ENVELOPE: u64 = 240;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ao(n: u32, i: u32) -> AoId {
+        AoId::new(n, i)
+    }
+
+    fn sample_message() -> DgcMessage {
+        DgcMessage {
+            sender: ao(3, 7),
+            clock: NamedClock {
+                value: 42,
+                owner: ao(1, 2),
+            },
+            consensus: true,
+            sender_ttb: Dur::from_secs(30),
+        }
+    }
+
+    fn sample_response(depth: Option<u32>) -> DgcResponse {
+        DgcResponse {
+            responder: ao(9, 1),
+            clock: NamedClock {
+                value: 7,
+                owner: ao(9, 1),
+            },
+            has_parent: true,
+            consensus_reached: false,
+            depth,
+        }
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let m = sample_message();
+        let encoded = encode_message(&m);
+        assert_eq!(encoded.len() as u64, message_wire_size());
+        assert_eq!(decode_message(encoded).unwrap(), m);
+    }
+
+    #[test]
+    fn response_round_trip_without_depth() {
+        let r = sample_response(None);
+        let encoded = encode_response(&r);
+        assert_eq!(encoded.len() as u64, response_wire_size(false));
+        assert_eq!(decode_response(encoded).unwrap(), r);
+    }
+
+    #[test]
+    fn response_round_trip_with_depth() {
+        let r = sample_response(Some(12));
+        let encoded = encode_response(&r);
+        assert_eq!(encoded.len() as u64, response_wire_size(true));
+        assert_eq!(decode_response(encoded).unwrap(), r);
+    }
+
+    #[test]
+    fn flags_encode_independently() {
+        for consensus in [false, true] {
+            let m = DgcMessage {
+                consensus,
+                ..sample_message()
+            };
+            assert_eq!(
+                decode_message(encode_message(&m)).unwrap().consensus,
+                consensus
+            );
+        }
+        for (hp, cr) in [(false, false), (true, false), (false, true), (true, true)] {
+            let r = DgcResponse {
+                has_parent: hp,
+                consensus_reached: cr,
+                ..sample_response(None)
+            };
+            let d = decode_response(encode_response(&r)).unwrap();
+            assert_eq!(d.has_parent, hp);
+            assert_eq!(d.consensus_reached, cr);
+        }
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        let m = encode_message(&sample_message());
+        assert!(matches!(decode_response(m), Err(DecodeError::BadTag(_))));
+        let r = encode_response(&sample_response(None));
+        assert!(matches!(decode_message(r), Err(DecodeError::BadTag(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = encode_message(&sample_message());
+        for len in 0..m.len() {
+            let cut = m.slice(0..len);
+            assert!(
+                decode_message(cut).is_err(),
+                "truncated at {len} must not decode"
+            );
+        }
+        let r = encode_response(&sample_response(Some(3)));
+        for len in 0..r.len() {
+            let cut = r.slice(0..len);
+            assert!(decode_response(cut).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert_eq!(DecodeError::Truncated.to_string(), "wire buffer truncated");
+        assert!(DecodeError::BadTag(0xAB).to_string().contains("0xAB"));
+    }
+}

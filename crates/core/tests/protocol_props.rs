@@ -1,0 +1,183 @@
+//! Property-based tests of the protocol core: codec totality and
+//! round-tripping, named-clock order laws, referencer-table invariants,
+//! and harness-level convergence across timing parameters.
+
+use proptest::prelude::*;
+
+use dgc_core::clock::NamedClock;
+use dgc_core::config::DgcConfig;
+use dgc_core::harness::Harness;
+use dgc_core::id::AoId;
+use dgc_core::message::{DgcMessage, DgcResponse};
+use dgc_core::referencers::ReferencerTable;
+use dgc_core::units::{Dur, Time};
+use dgc_core::wire;
+
+fn arb_aoid() -> impl Strategy<Value = AoId> {
+    (any::<u32>(), any::<u32>()).prop_map(|(n, i)| AoId::new(n, i))
+}
+
+fn arb_clock() -> impl Strategy<Value = NamedClock> {
+    (any::<u64>(), arb_aoid()).prop_map(|(value, owner)| NamedClock { value, owner })
+}
+
+fn arb_message() -> impl Strategy<Value = DgcMessage> {
+    (arb_aoid(), arb_clock(), any::<bool>(), any::<u64>()).prop_map(
+        |(sender, clock, consensus, ttb)| DgcMessage {
+            sender,
+            clock,
+            consensus,
+            sender_ttb: Dur::from_nanos(ttb),
+        },
+    )
+}
+
+fn arb_response() -> impl Strategy<Value = DgcResponse> {
+    (
+        arb_aoid(),
+        arb_clock(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(
+            |(responder, clock, has_parent, consensus_reached, depth)| DgcResponse {
+                responder,
+                clock,
+                has_parent,
+                consensus_reached,
+                depth,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn any_message_round_trips(m in arb_message()) {
+        let encoded = wire::encode_message(&m);
+        prop_assert_eq!(encoded.len() as u64, wire::message_wire_size());
+        prop_assert_eq!(wire::decode_message(encoded).unwrap(), m);
+    }
+
+    #[test]
+    fn any_response_round_trips(r in arb_response()) {
+        let encoded = wire::encode_response(&r);
+        prop_assert_eq!(
+            encoded.len() as u64,
+            wire::response_wire_size(r.depth.is_some())
+        );
+        prop_assert_eq!(wire::decode_response(encoded).unwrap(), r);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error or
+    /// a value, totality a network-facing codec must have.
+    #[test]
+    fn decoding_arbitrary_bytes_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let b = bytes::Bytes::from(bytes);
+        let _ = wire::decode_message(b.clone());
+        let _ = wire::decode_response(b);
+    }
+
+    /// The named clock order is total and strict-monotone under bumps.
+    #[test]
+    fn clock_order_laws(a in arb_clock(), b in arb_clock(), who in arb_aoid()) {
+        // Totality / antisymmetry via Ord.
+        prop_assert_eq!(a == b, !(a < b) && !(b < a));
+        // Merge is the max, commutative, idempotent.
+        prop_assert_eq!(a.merged_with(b), b.merged_with(a));
+        prop_assert_eq!(a.merged_with(a), a);
+        prop_assert!(a.merged_with(b) >= a && a.merged_with(b) >= b);
+        // Bumping strictly dominates both inputs (Lamport property).
+        if a.value < u64::MAX {
+            let bumped = a.merged_with(b).max(b.merged_with(a)).bumped_by(who);
+            prop_assert!(bumped > a && bumped > b);
+            prop_assert!(bumped.is_owned_by(who));
+        }
+    }
+
+    /// Referencer expiry: after `expire_silent(now)`, every remaining
+    /// entry is within its timeout, and the removed ones are not.
+    #[test]
+    fn referencer_expiry_is_exact(
+        entries in proptest::collection::vec((any::<u32>(), 0u64..400), 1..16),
+        now in 400u64..1_000,
+    ) {
+        let tta = Dur::from_secs(61);
+        let ttb = Dur::from_secs(30);
+        let mut table = ReferencerTable::new();
+        for (node, at) in &entries {
+            table.record_message(
+                AoId::new(*node, 0),
+                NamedClock::initial(AoId::new(*node, 0)),
+                false,
+                Time::from_secs(*at),
+                ttb,
+            );
+        }
+        let lost = table.expire_silent(Time::from_secs(now), tta, Dur::ZERO);
+        for id in &lost {
+            prop_assert!(table.get(*id).is_none());
+        }
+        for (id, info) in table.iter() {
+            let silence = Time::from_secs(now).since(info.last_message);
+            prop_assert!(silence <= tta.max(ttb.saturating_mul(2)), "{id} kept but expired");
+        }
+    }
+
+    /// Harness-level liveness across timing parameters: any idle ring is
+    /// collected within the §4.3 bound for its TTB/TTA.
+    #[test]
+    fn rings_collect_within_bound(
+        n in 2usize..10,
+        ttb_s in 5u64..60,
+        latency_ms in 1u64..200,
+    ) {
+        let tta = Dur::from_secs(ttb_s * 2 + 2); // > 2·TTB + MaxComm(≤1s)
+        let cfg = DgcConfig::builder()
+            .ttb(Dur::from_secs(ttb_s))
+            .tta(tta)
+            .max_comm(Dur::from_secs(1))
+            .build();
+        cfg.validate().expect("safe");
+        let mut h = Harness::new(Dur::from_millis(latency_ms));
+        let ids = h.add_many(n, cfg);
+        for w in 0..n {
+            h.add_ref(ids[w], ids[(w + 1) % n]);
+        }
+        for id in &ids {
+            h.set_idle(*id, true);
+        }
+        // O(h·TTB) + TTA with slack factor 4.
+        let bound = Dur::from_secs(4 * (n as u64 + 3) * ttb_s).saturating_add(tta.saturating_mul(3));
+        h.run_for(bound);
+        prop_assert_eq!(h.alive_count(), 0, "ring {} ttb {}s not collected", n, ttb_s);
+    }
+
+    /// Safety at the harness level: a ring with one permanently busy
+    /// member never loses anyone, whatever the parameters.
+    #[test]
+    fn busy_member_is_never_overrun(
+        n in 2usize..10,
+        ttb_s in 5u64..60,
+        busy_at in 0usize..10,
+    ) {
+        let cfg = DgcConfig::builder()
+            .ttb(Dur::from_secs(ttb_s))
+            .tta(Dur::from_secs(ttb_s * 2 + 2))
+            .max_comm(Dur::from_secs(1))
+            .build();
+        let mut h = Harness::new(Dur::from_millis(5));
+        let ids = h.add_many(n, cfg);
+        for w in 0..n {
+            h.add_ref(ids[w], ids[(w + 1) % n]);
+        }
+        let busy = busy_at % n;
+        for (i, id) in ids.iter().enumerate() {
+            if i != busy {
+                h.set_idle(*id, true);
+            }
+        }
+        h.run_for(Dur::from_secs(20 * (n as u64 + 3) * ttb_s));
+        prop_assert_eq!(h.alive_count(), n, "somebody died despite the busy member");
+    }
+}

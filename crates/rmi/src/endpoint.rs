@@ -1,0 +1,422 @@
+//! The lease-based endpoint: client (lease renewal) and server (lease
+//! table) roles fused into one state machine per active object.
+
+use std::collections::BTreeMap;
+
+use dgc_core::id::AoId;
+use dgc_core::units::{Dur, Time};
+
+/// Configuration of the RMI-style collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmiConfig {
+    /// Lease duration granted to referencers. Sun's RMI shipped 1 minute
+    /// up to Java 5 and 1 hour from Java 6 (the paper cites the bug
+    /// report motivating the change, §4.2).
+    pub lease: Dur,
+}
+
+impl Default for RmiConfig {
+    fn default() -> Self {
+        // The historical RMI default (pre-Java-6): 60 s.
+        RmiConfig {
+            lease: Dur::from_secs(60),
+        }
+    }
+}
+
+/// Wire units of the RMI DGC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmiMessage {
+    /// `DGCClient.dirty`: register / renew the sender's lease.
+    Dirty {
+        /// The lease holder.
+        holder: AoId,
+        /// Requested lease duration.
+        lease: Dur,
+    },
+    /// `DGCClient.clean`: the sender's stub was collected.
+    Clean {
+        /// The former lease holder.
+        holder: AoId,
+    },
+}
+
+/// What the runtime must do after an endpoint handler ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmiAction {
+    /// Send an RMI DGC call to a referenced object.
+    Send {
+        /// Destination.
+        to: AoId,
+        /// The call.
+        message: RmiMessage,
+    },
+    /// This object has no lease holders and is idle: destroy it.
+    Terminate,
+}
+
+#[derive(Debug, Clone)]
+struct HeldRef {
+    /// Next dirty (renewal) due.
+    next_renewal: Time,
+    /// At least one local stub alive.
+    reachable: bool,
+}
+
+/// Per-active-object endpoint of the RMI-style collector.
+#[derive(Debug, Clone)]
+pub struct RmiEndpoint {
+    id: AoId,
+    config: RmiConfig,
+    /// Server role: lease holder → expiry.
+    leases: BTreeMap<AoId, Time>,
+    /// Client role: referenced target → renewal schedule.
+    held: BTreeMap<AoId, HeldRef>,
+    /// Last dirty received (or creation), for the no-referencer grace.
+    last_dirty: Time,
+    dead: bool,
+    /// Dirty calls sent (for traffic sanity checks).
+    dirty_sent: u64,
+    /// Clean calls sent.
+    clean_sent: u64,
+}
+
+impl RmiEndpoint {
+    /// Creates the endpoint for `id` at `now`.
+    pub fn new(id: AoId, now: Time, config: RmiConfig) -> Self {
+        RmiEndpoint {
+            id,
+            config,
+            leases: BTreeMap::new(),
+            held: BTreeMap::new(),
+            last_dirty: now,
+            dead: false,
+            dirty_sent: 0,
+            clean_sent: 0,
+        }
+    }
+
+    /// A stub for `target` was deserialized: send an immediate dirty and
+    /// schedule renewals.
+    pub fn on_stub_deserialized(&mut self, now: Time, target: AoId) -> Vec<RmiAction> {
+        if self.dead {
+            return Vec::new();
+        }
+        self.held.insert(
+            target,
+            HeldRef {
+                next_renewal: now + self.config.lease.div(2),
+                reachable: true,
+            },
+        );
+        self.dirty_sent += 1;
+        vec![RmiAction::Send {
+            to: target,
+            message: RmiMessage::Dirty {
+                holder: self.id,
+                lease: self.config.lease,
+            },
+        }]
+    }
+
+    /// All stubs for `target` were collected: send a clean call.
+    pub fn on_stubs_collected(&mut self, target: AoId) -> Vec<RmiAction> {
+        if self.dead || self.held.remove(&target).is_none() {
+            return Vec::new();
+        }
+        self.clean_sent += 1;
+        vec![RmiAction::Send {
+            to: target,
+            message: RmiMessage::Clean { holder: self.id },
+        }]
+    }
+
+    /// A send to `target` failed (it terminated): forget it.
+    pub fn on_send_failure(&mut self, target: AoId) {
+        self.held.remove(&target);
+    }
+
+    /// Handles an incoming DGC call.
+    pub fn on_message(&mut self, now: Time, message: &RmiMessage) {
+        if self.dead {
+            return;
+        }
+        match *message {
+            RmiMessage::Dirty { holder, lease } => {
+                self.leases.insert(holder, now + lease);
+                self.last_dirty = now;
+            }
+            RmiMessage::Clean { holder } => {
+                self.leases.remove(&holder);
+            }
+        }
+    }
+
+    /// Periodic work: renew due leases (client role), expire stale ones
+    /// (server role), and terminate if idle with no holder for a full
+    /// lease period.
+    pub fn on_tick(&mut self, now: Time, idle: bool) -> Vec<RmiAction> {
+        if self.dead {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+
+        // Client: renewals at lease/2.
+        for (target, held) in &mut self.held {
+            if held.reachable && now >= held.next_renewal {
+                held.next_renewal = now + self.config.lease.div(2);
+                self.dirty_sent += 1;
+                actions.push(RmiAction::Send {
+                    to: *target,
+                    message: RmiMessage::Dirty {
+                        holder: self.id,
+                        lease: self.config.lease,
+                    },
+                });
+            }
+        }
+
+        // Server: expire stale leases.
+        self.leases.retain(|_, expiry| *expiry > now);
+
+        // Collection: reference listing empty, idle, and a grace of one
+        // lease since the last dirty (covers in-flight first dirties).
+        if idle && self.leases.is_empty() && now.since(self.last_dirty) > self.config.lease {
+            self.dead = true;
+            actions.push(RmiAction::Terminate);
+        }
+        actions
+    }
+
+    /// This endpoint's id.
+    pub fn id(&self) -> AoId {
+        self.id
+    }
+
+    /// The configuration this endpoint runs with.
+    pub fn config(&self) -> RmiConfig {
+        self.config
+    }
+
+    /// True once terminated.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Current number of lease holders.
+    pub fn lease_holders(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Current number of held (referenced) targets.
+    pub fn held_refs(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Dirty calls sent so far.
+    pub fn dirty_sent(&self) -> u64 {
+        self.dirty_sent
+    }
+
+    /// Clean calls sent so far.
+    pub fn clean_sent(&self) -> u64 {
+        self.clean_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ao(n: u32) -> AoId {
+        AoId::new(n, 0)
+    }
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    fn cfg() -> RmiConfig {
+        RmiConfig {
+            lease: Dur::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn deserialization_sends_immediate_dirty() {
+        let mut e = RmiEndpoint::new(ao(1), t(0), cfg());
+        let actions = e.on_stub_deserialized(t(0), ao(2));
+        assert_eq!(
+            actions,
+            vec![RmiAction::Send {
+                to: ao(2),
+                message: RmiMessage::Dirty {
+                    holder: ao(1),
+                    lease: Dur::from_secs(60)
+                },
+            }]
+        );
+        assert_eq!(e.held_refs(), 1);
+    }
+
+    #[test]
+    fn renewal_happens_at_half_lease() {
+        let mut e = RmiEndpoint::new(ao(1), t(0), cfg());
+        e.on_stub_deserialized(t(0), ao(2));
+        assert!(e.on_tick(t(29), false).is_empty(), "too early");
+        let actions = e.on_tick(t(30), false);
+        assert_eq!(actions.len(), 1, "renewal due at lease/2");
+        assert!(e.on_tick(t(31), false).is_empty(), "rescheduled");
+    }
+
+    #[test]
+    fn clean_sent_when_stubs_collected() {
+        let mut e = RmiEndpoint::new(ao(1), t(0), cfg());
+        e.on_stub_deserialized(t(0), ao(2));
+        let actions = e.on_stubs_collected(ao(2));
+        assert_eq!(
+            actions,
+            vec![RmiAction::Send {
+                to: ao(2),
+                message: RmiMessage::Clean { holder: ao(1) }
+            }]
+        );
+        assert_eq!(e.held_refs(), 0);
+        assert!(e.on_stubs_collected(ao(2)).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn lease_holder_keeps_target_alive() {
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        srv.on_message(
+            t(1),
+            &RmiMessage::Dirty {
+                holder: ao(1),
+                lease: Dur::from_secs(60),
+            },
+        );
+        assert_eq!(srv.lease_holders(), 1);
+        assert!(srv.on_tick(t(50), true).is_empty(), "leased: stays alive");
+    }
+
+    #[test]
+    fn expired_lease_allows_collection() {
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        srv.on_message(
+            t(1),
+            &RmiMessage::Dirty {
+                holder: ao(1),
+                lease: Dur::from_secs(60),
+            },
+        );
+        // Lease expires at 61; grace needs last_dirty + lease < now.
+        let actions = srv.on_tick(t(62), true);
+        assert_eq!(actions, vec![RmiAction::Terminate]);
+        assert!(srv.is_dead());
+    }
+
+    #[test]
+    fn clean_call_releases_lease() {
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        srv.on_message(
+            t(1),
+            &RmiMessage::Dirty {
+                holder: ao(1),
+                lease: Dur::from_secs(60),
+            },
+        );
+        srv.on_message(t(2), &RmiMessage::Clean { holder: ao(1) });
+        assert_eq!(srv.lease_holders(), 0);
+        // Still within the grace of the last dirty.
+        assert!(srv.on_tick(t(30), true).is_empty());
+        let actions = srv.on_tick(t(62), true);
+        assert_eq!(actions, vec![RmiAction::Terminate]);
+    }
+
+    #[test]
+    fn busy_object_is_never_collected() {
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        assert!(srv.on_tick(t(1_000), false).is_empty());
+        assert!(!srv.is_dead());
+    }
+
+    #[test]
+    fn fresh_object_has_grace_before_collection() {
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        assert!(
+            srv.on_tick(t(59), true).is_empty(),
+            "grace: one lease period"
+        );
+        assert_eq!(srv.on_tick(t(61), true), vec![RmiAction::Terminate]);
+    }
+
+    #[test]
+    fn renewals_refresh_the_server_side() {
+        let mut client = RmiEndpoint::new(ao(1), t(0), cfg());
+        let mut srv = RmiEndpoint::new(ao(2), t(0), cfg());
+        client.on_stub_deserialized(t(0), ao(2));
+        srv.on_message(
+            t(0),
+            &RmiMessage::Dirty {
+                holder: ao(1),
+                lease: Dur::from_secs(60),
+            },
+        );
+        // At t=30 the client renews; deliver to server.
+        for a in client.on_tick(t(30), false) {
+            if let RmiAction::Send { message, .. } = a {
+                srv.on_message(t(30), &message);
+            }
+        }
+        // At t=70 the original lease would be stale, but the renewal holds.
+        assert!(srv.on_tick(t(70), true).is_empty());
+        assert_eq!(srv.lease_holders(), 1);
+    }
+
+    #[test]
+    fn cycle_leaks_forever() {
+        // a ⇄ b, both idle: leases renew forever, nobody terminates.
+        let mut a = RmiEndpoint::new(ao(1), t(0), cfg());
+        let mut b = RmiEndpoint::new(ao(2), t(0), cfg());
+        let mut pending: Vec<(AoId, RmiMessage)> = Vec::new();
+        for act in a.on_stub_deserialized(t(0), ao(2)) {
+            if let RmiAction::Send { to, message } = act {
+                pending.push((to, message));
+            }
+        }
+        for act in b.on_stub_deserialized(t(0), ao(1)) {
+            if let RmiAction::Send { to, message } = act {
+                pending.push((to, message));
+            }
+        }
+        for secs in 0..2000 {
+            let now = t(secs);
+            for (to, m) in std::mem::take(&mut pending) {
+                if to == ao(1) {
+                    a.on_message(now, &m);
+                } else {
+                    b.on_message(now, &m);
+                }
+            }
+            for (ep, _other) in [(&mut a, ao(2)), (&mut b, ao(1))] {
+                for act in ep.on_tick(now, true) {
+                    match act {
+                        RmiAction::Send { to, message } => pending.push((to, message)),
+                        RmiAction::Terminate => panic!("RMI DGC must not collect a cycle"),
+                    }
+                }
+            }
+        }
+        assert!(!a.is_dead() && !b.is_dead(), "the cycle leaks, as expected");
+        assert!(a.dirty_sent() > 10, "leases kept being renewed");
+    }
+
+    #[test]
+    fn send_failure_stops_renewals() {
+        let mut e = RmiEndpoint::new(ao(1), t(0), cfg());
+        e.on_stub_deserialized(t(0), ao(2));
+        e.on_send_failure(ao(2));
+        assert!(e.on_tick(t(30), false).is_empty());
+        assert_eq!(e.held_refs(), 0);
+    }
+}

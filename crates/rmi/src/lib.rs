@@ -1,0 +1,26 @@
+//! # dgc-rmi — the Java/RMI-style baseline collector
+//!
+//! The paper positions its complete DGC against the collector of Java
+//! RMI: a **lease-based reference-listing** scheme (Birrell et al.). Each
+//! holder of a remote reference registers itself with the target via a
+//! `dirty` call carrying a lease duration, renews the lease at half its
+//! duration, and sends a `clean` call when its stub is collected. The
+//! target keeps the list of lease holders; when the list empties (cleans
+//! received or leases expired) and no local root remains, the object is
+//! collectable.
+//!
+//! This scheme collects acyclic garbage with the same heartbeat-like cost
+//! profile as the paper's algorithm, but **cannot collect cycles**: the
+//! members of a distributed cycle hold leases on one another forever.
+//! `benches/baseline_rmi.rs` demonstrates both properties.
+//!
+//! The implementation is sans-io, mirroring `dgc_core::DgcState`, so the
+//! same runtimes can drive either collector.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod endpoint;
+pub mod wire;
+
+pub use endpoint::{RmiAction, RmiConfig, RmiEndpoint, RmiMessage};

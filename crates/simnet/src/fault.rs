@@ -1,0 +1,190 @@
+//! Fault injection: link delays and process pauses.
+//!
+//! The paper's DGC is *hard real-time* (§4.2): if a DGC message is delayed
+//! beyond the `TTA > 2·TTB + MaxComm` bound — by TCP timeouts or local GC
+//! pauses — a live activity can be wrongfully collected. This module
+//! injects exactly those hazards so tests can demonstrate both the failure
+//! mode and the safety of correctly chosen parameters.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::ProcId;
+
+/// Extra delay applied to messages traversing a link during a time window.
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Source process filter; `None` matches any source.
+    pub from: Option<ProcId>,
+    /// Destination process filter; `None` matches any destination.
+    pub to: Option<ProcId>,
+    /// Start of the fault window (inclusive).
+    pub start: SimTime,
+    /// End of the fault window (exclusive).
+    pub end: SimTime,
+    /// Additional one-way delay applied to matching messages.
+    pub extra_delay: SimDuration,
+}
+
+impl LinkFault {
+    fn matches(&self, now: SimTime, from: ProcId, to: ProcId) -> bool {
+        now >= self.start
+            && now < self.end
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// A "stop-the-world" pause of one process (models a long local-GC pause,
+/// §4.2). While paused, the process neither sends broadcasts nor processes
+/// deliveries; the runtime defers its events to the end of the pause.
+#[derive(Debug, Clone)]
+pub struct ProcessPause {
+    /// The paused process.
+    pub proc: ProcId,
+    /// Start of the pause (inclusive).
+    pub start: SimTime,
+    /// End of the pause (exclusive).
+    pub end: SimTime,
+}
+
+/// A schedule of link faults and process pauses.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    link_faults: Vec<LinkFault>,
+    pauses: Vec<ProcessPause>,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with the given link faults.
+    pub fn with_faults(link_faults: Vec<LinkFault>) -> Self {
+        FaultPlan {
+            link_faults,
+            pauses: Vec::new(),
+        }
+    }
+
+    /// Adds a link fault.
+    pub fn add_link_fault(&mut self, fault: LinkFault) {
+        self.link_faults.push(fault);
+    }
+
+    /// Adds a process pause.
+    pub fn add_pause(&mut self, pause: ProcessPause) {
+        self.pauses.push(pause);
+    }
+
+    /// Total extra delay for a message sent at `now` over `(from, to)`.
+    /// Overlapping faults accumulate.
+    pub fn extra_delay(&self, now: SimTime, from: ProcId, to: ProcId) -> SimDuration {
+        let mut d = SimDuration::ZERO;
+        for f in &self.link_faults {
+            if f.matches(now, from, to) {
+                d = d.saturating_add(f.extra_delay);
+            }
+        }
+        d
+    }
+
+    /// If `proc` is paused at `now`, returns the time the pause ends.
+    pub fn pause_end(&self, now: SimTime, proc: ProcId) -> Option<SimTime> {
+        self.pauses
+            .iter()
+            .filter(|p| p.proc == proc && now >= p.start && now < p.end)
+            .map(|p| p.end)
+            .max()
+    }
+
+    /// True if the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.pauses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(
+            FaultPlan::none().extra_delay(t(0), ProcId(0), ProcId(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn link_fault_applies_in_window() {
+        let mut p = FaultPlan::none();
+        p.add_link_fault(LinkFault {
+            from: Some(ProcId(0)),
+            to: None,
+            start: t(10),
+            end: t(20),
+            extra_delay: SimDuration::from_secs(5),
+        });
+        assert_eq!(p.extra_delay(t(9), ProcId(0), ProcId(1)), SimDuration::ZERO);
+        assert_eq!(
+            p.extra_delay(t(10), ProcId(0), ProcId(1)),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            p.extra_delay(t(19), ProcId(0), ProcId(9)),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            p.extra_delay(t(20), ProcId(0), ProcId(1)),
+            SimDuration::ZERO
+        );
+        // Different source unaffected.
+        assert_eq!(
+            p.extra_delay(t(15), ProcId(2), ProcId(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn overlapping_faults_accumulate() {
+        let mut p = FaultPlan::none();
+        for _ in 0..2 {
+            p.add_link_fault(LinkFault {
+                from: None,
+                to: None,
+                start: t(0),
+                end: t(100),
+                extra_delay: SimDuration::from_secs(1),
+            });
+        }
+        assert_eq!(
+            p.extra_delay(t(1), ProcId(0), ProcId(1)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn pause_end_reports_longest() {
+        let mut p = FaultPlan::none();
+        p.add_pause(ProcessPause {
+            proc: ProcId(3),
+            start: t(5),
+            end: t(10),
+        });
+        p.add_pause(ProcessPause {
+            proc: ProcId(3),
+            start: t(5),
+            end: t(15),
+        });
+        assert_eq!(p.pause_end(t(7), ProcId(3)), Some(t(15)));
+        assert_eq!(p.pause_end(t(4), ProcId(3)), None);
+        assert_eq!(p.pause_end(t(15), ProcId(3)), None);
+        assert_eq!(p.pause_end(t(7), ProcId(4)), None);
+    }
+}

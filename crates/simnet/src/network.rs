@@ -1,0 +1,270 @@
+//! FIFO network model.
+//!
+//! The paper assumes the transport of Java RMI: reliable, connection
+//! oriented, FIFO per ordered process pair ("DGC messages and responses
+//! cannot race with application messages as they are sent over the same
+//! FIFO connection", §3.2). This module computes delivery times that
+//! respect that ordering, meters cross-process bytes per traffic class,
+//! and supports per-link fault windows (extra delay) used by the §4.2
+//! experiments on missed deadlines.
+
+use std::collections::HashMap;
+
+use crate::fault::FaultPlan;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{ProcId, Topology};
+use crate::traffic::{TrafficClass, TrafficMeter};
+
+/// Computes message delivery times over the grid and meters traffic.
+pub struct Network {
+    topology: Topology,
+    /// Last scheduled delivery per ordered (from, to) pair, enforcing FIFO.
+    last_delivery: HashMap<(ProcId, ProcId), SimTime>,
+    meter: TrafficMeter,
+    /// Per-process meters (paper: one SOCKS proxy per machine).
+    per_proc: Vec<TrafficMeter>,
+    faults: FaultPlan,
+    /// Optional fixed per-message serialization overhead added to latency
+    /// per KiB of payload (models marshalling cost); zero by default.
+    per_kib_cost: SimDuration,
+}
+
+impl Network {
+    /// Creates a network over `topology` with no faults.
+    pub fn new(topology: Topology) -> Self {
+        let procs = topology.procs() as usize;
+        Network {
+            topology,
+            last_delivery: HashMap::new(),
+            meter: TrafficMeter::new(),
+            per_proc: vec![TrafficMeter::new(); procs],
+            faults: FaultPlan::none(),
+            per_kib_cost: SimDuration::ZERO,
+        }
+    }
+
+    /// Installs a fault plan (extra delays on links during time windows).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Sets a serialization cost added to latency per KiB of payload.
+    pub fn set_per_kib_cost(&mut self, cost: SimDuration) {
+        self.per_kib_cost = cost;
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Computes the delivery time of a message sent at `now` from process
+    /// `from` to process `to`, carrying `size` bytes of class `class`.
+    ///
+    /// Cross-process messages are metered (both globally and on the two
+    /// endpoint processes); intra-process messages are free and delivered
+    /// immediately, exactly as the paper accounts traffic ("DGC messages
+    /// and responses transmitted inside a single JVM are not accounted as
+    /// they are directly passed by reference").
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: ProcId,
+        to: ProcId,
+        class: TrafficClass,
+        size: u64,
+    ) -> SimTime {
+        if from == to {
+            // Intra-process: immediate, unmetered, but still FIFO with
+            // itself (delivery at `now`, ordering by event sequence).
+            return now;
+        }
+        self.meter.record(class, size);
+        self.per_proc[from.0 as usize].record(class, size);
+        self.per_proc[to.0 as usize].record(class, size);
+
+        let mut latency = self.topology.latency(from, to);
+        if !self.per_kib_cost.is_zero() {
+            let kib = size.div_ceil(1024);
+            latency = latency.saturating_add(self.per_kib_cost.saturating_mul(kib));
+        }
+        latency = latency.saturating_add(self.faults.extra_delay(now, from, to));
+
+        let arrival = now + latency;
+        let slot = self
+            .last_delivery
+            .entry((from, to))
+            .or_insert(SimTime::ZERO);
+        let delivery = arrival.max(*slot);
+        *slot = delivery;
+        delivery
+    }
+
+    /// Global traffic meter (all cross-process bytes).
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Traffic meter of a single process.
+    pub fn proc_meter(&self, proc: ProcId) -> &TrafficMeter {
+        &self.per_proc[proc.0 as usize]
+    }
+
+    /// Resets all meters (e.g. after a warm-up phase).
+    pub fn reset_meters(&mut self) {
+        self.meter.reset();
+        for m in &mut self.per_proc {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, LinkFault};
+
+    fn net() -> Network {
+        Network::new(Topology::single_site(3, SimDuration::from_millis(2)))
+    }
+
+    #[test]
+    fn delivery_adds_latency() {
+        let mut n = net();
+        let t = n.send(
+            SimTime::from_secs(1),
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            100,
+        );
+        assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn intra_process_is_free_and_instant() {
+        let mut n = net();
+        let t = n.send(
+            SimTime::from_secs(5),
+            ProcId(2),
+            ProcId(2),
+            TrafficClass::DgcMessage,
+            100,
+        );
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(n.meter().total_bytes(), 0);
+    }
+
+    #[test]
+    fn fifo_per_ordered_pair() {
+        let mut n = net();
+        // Two sends at the same instant: second must not overtake the first.
+        let t1 = n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            10,
+        );
+        let t2 = n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::DgcMessage,
+            10,
+        );
+        assert!(t2 >= t1);
+        // Reverse direction is an independent link.
+        let t3 = n.send(
+            SimTime::ZERO,
+            ProcId(1),
+            ProcId(0),
+            TrafficClass::AppRequest,
+            10,
+        );
+        assert_eq!(t3, SimTime::ZERO + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn fifo_blocks_reordering_with_fault_delay() {
+        let mut n = net();
+        // First message hit by a fault window: +100ms.
+        n.set_fault_plan(FaultPlan::with_faults(vec![LinkFault {
+            from: Some(ProcId(0)),
+            to: Some(ProcId(1)),
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(1),
+            extra_delay: SimDuration::from_millis(100),
+        }]));
+        let t1 = n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            10,
+        );
+        // Second message sent after the window, would normally arrive earlier.
+        let t2 = n.send(
+            SimTime::from_millis(2),
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            10,
+        );
+        assert_eq!(t1, SimTime::from_millis(102));
+        assert_eq!(t2, t1, "FIFO: later send must not overtake the delayed one");
+    }
+
+    #[test]
+    fn metering_counts_both_endpoints() {
+        let mut n = net();
+        n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            128,
+        );
+        assert_eq!(n.meter().total_bytes(), 128);
+        assert_eq!(n.proc_meter(ProcId(0)).total_bytes(), 128);
+        assert_eq!(n.proc_meter(ProcId(1)).total_bytes(), 128);
+        assert_eq!(n.proc_meter(ProcId(2)).total_bytes(), 0);
+    }
+
+    #[test]
+    fn per_kib_cost_scales_with_size() {
+        let mut n = net();
+        n.set_per_kib_cost(SimDuration::from_millis(1));
+        let small = n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppRequest,
+            10,
+        );
+        let big = n.send(
+            SimTime::ZERO,
+            ProcId(1),
+            ProcId(2),
+            TrafficClass::AppRequest,
+            10 * 1024,
+        );
+        assert_eq!(small, SimTime::ZERO + SimDuration::from_millis(3)); // 2 + 1*1KiB
+        assert_eq!(big, SimTime::ZERO + SimDuration::from_millis(12)); // 2 + 10KiB
+    }
+
+    #[test]
+    fn reset_meters_clears_everything() {
+        let mut n = net();
+        n.send(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::AppReply,
+            64,
+        );
+        n.reset_meters();
+        assert_eq!(n.meter().total_bytes(), 0);
+        assert_eq!(n.proc_meter(ProcId(0)).total_bytes(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Seeded, forkable randomness.
+//!
+//! All randomness in a simulation flows from a single root seed so runs
+//! are reproducible. Components fork independent streams (`fork`) so that
+//! adding randomness in one module does not perturb another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random stream.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forks an independent stream labelled by `stream`. Two forks with
+    /// different labels from the same parent produce unrelated sequences;
+    /// forking never advances the parent in a way that depends on how the
+    /// child is used.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.random();
+        // SplitMix-style mix of the label into the forked seed.
+        let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::from_seed(z ^ (z >> 31))
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.random_bool(p)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Random duration in `[0, d)`, used e.g. to desynchronise broadcast
+    /// phases ("broadcasts are fortuitously synchronized" would bias the
+    /// tree heights, §7.2).
+    pub fn jitter(&mut self, d: SimDuration) -> SimDuration {
+        if d.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.below(d.as_nanos()))
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.below(u64::MAX)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.below(u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let mut root1 = SimRng::from_seed(7);
+        let mut root2 = SimRng::from_seed(7);
+        let mut f1 = root1.fork(3);
+        let mut f2 = root2.fork(3);
+        for _ in 0..10 {
+            assert_eq!(f1.below(100), f2.below(100));
+        }
+        // Forks with different labels diverge.
+        let mut root3 = SimRng::from_seed(7);
+        let mut g = root3.fork(4);
+        let a: Vec<u64> = (0..16).map(|_| f1.below(u64::MAX)).collect();
+        let b: Vec<u64> = (0..16).map(|_| g.below(u64::MAX)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::from_seed(9);
+        for _ in 0..1000 {
+            let x = r.range(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn jitter_below_bound() {
+        let mut r = SimRng::from_seed(11);
+        let d = SimDuration::from_secs(30);
+        for _ in 0..100 {
+            assert!(r.jitter(d) < d);
+        }
+        assert_eq!(r.jitter(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::from_seed(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(17);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = SimRng::from_seed(19);
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

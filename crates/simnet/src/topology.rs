@@ -1,0 +1,271 @@
+//! Grid topology: sites, processes (JVM-like address spaces) and link
+//! latencies.
+//!
+//! The default preset reproduces the three-site Grid'5000 slice used in the
+//! paper's evaluation (§5.1): 49 nodes in Bordeaux, 39 in Sophia, 40 in
+//! Rennes, with the published round-trip latencies (intra-site 0.1–0.2 ms,
+//! Rennes–Bordeaux 8 ms, Bordeaux–Sophia 10 ms, Rennes–Sophia 20 ms).
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Identifier of a process (an address space hosting many active objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+/// Identifier of a site (a cluster of processes with low mutual latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u16);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A named site with a process count and an intra-site one-way latency.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Human-readable name (e.g. `"bordeaux"`).
+    pub name: String,
+    /// Number of processes hosted at this site.
+    pub procs: u32,
+    /// One-way latency between two distinct processes of this site.
+    pub local_latency: SimDuration,
+}
+
+/// Static description of the grid: sites plus an inter-site latency matrix.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    sites: Vec<Site>,
+    /// One-way latency between sites, indexed `[from][to]`.
+    inter: Vec<Vec<SimDuration>>,
+    /// Cumulative process-count offsets per site (for ProcId -> SiteId).
+    offsets: Vec<u32>,
+    total_procs: u32,
+}
+
+impl Topology {
+    /// Builds a topology from sites and a symmetric inter-site one-way
+    /// latency matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `sites.len() × sites.len()` or if there
+    /// are no processes at all.
+    pub fn new(sites: Vec<Site>, inter_site_latency: Vec<Vec<SimDuration>>) -> Self {
+        assert!(!sites.is_empty(), "topology needs at least one site");
+        assert_eq!(inter_site_latency.len(), sites.len(), "latency matrix rows");
+        for row in &inter_site_latency {
+            assert_eq!(row.len(), sites.len(), "latency matrix columns");
+        }
+        let mut offsets = Vec::with_capacity(sites.len());
+        let mut total = 0u32;
+        for s in &sites {
+            offsets.push(total);
+            total = total.checked_add(s.procs).expect("too many processes");
+        }
+        assert!(total > 0, "topology needs at least one process");
+        Topology {
+            sites,
+            inter: inter_site_latency,
+            offsets,
+            total_procs: total,
+        }
+    }
+
+    /// A single site with `procs` processes and a uniform latency between
+    /// them. Convenient for unit tests and small experiments.
+    pub fn single_site(procs: u32, latency: SimDuration) -> Self {
+        Topology::new(
+            vec![Site {
+                name: "local".to_owned(),
+                procs,
+                local_latency: latency,
+            }],
+            vec![vec![SimDuration::ZERO]],
+        )
+    }
+
+    /// The Grid'5000 slice of the paper (§5.1): Bordeaux (49), Sophia (39),
+    /// Rennes (40). Latencies are one-way, i.e. half the published RTTs.
+    pub fn grid5000() -> Self {
+        let ms = |x: u64| SimDuration::from_micros(x * 500); // half-RTT in ms
+        let us = SimDuration::from_micros;
+        Topology::new(
+            vec![
+                Site {
+                    name: "bordeaux".to_owned(),
+                    procs: 49,
+                    local_latency: us(100),
+                },
+                Site {
+                    name: "sophia".to_owned(),
+                    procs: 39,
+                    local_latency: us(50),
+                },
+                Site {
+                    name: "rennes".to_owned(),
+                    procs: 40,
+                    local_latency: us(50),
+                },
+            ],
+            vec![
+                // bordeaux   sophia    rennes
+                vec![us(100), ms(10), ms(8)], // bordeaux
+                vec![ms(10), us(50), ms(20)], // sophia
+                vec![ms(8), ms(20), us(50)],  // rennes
+            ],
+        )
+    }
+
+    /// A scaled-down Grid'5000-like topology with `procs_per_site` processes
+    /// on each of the three sites (for tests and quick benchmarks).
+    pub fn grid5000_scaled(procs_per_site: u32) -> Self {
+        let mut t = Topology::grid5000();
+        for s in &mut t.sites {
+            s.procs = procs_per_site;
+        }
+        Topology::new(t.sites, t.inter)
+    }
+
+    /// Total number of processes.
+    pub fn procs(&self) -> u32 {
+        self.total_procs
+    }
+
+    /// Iterator over all process ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.total_procs).map(ProcId)
+    }
+
+    /// The sites of this topology.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Site hosting a given process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn site_of(&self, proc: ProcId) -> SiteId {
+        assert!(proc.0 < self.total_procs, "process {proc} out of range");
+        // offsets is sorted; find the last offset <= proc.0.
+        let idx = match self.offsets.binary_search(&proc.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        SiteId(idx as u16)
+    }
+
+    /// One-way network latency between two processes. Zero for a process
+    /// talking to itself (intra-JVM reference passing).
+    pub fn latency(&self, from: ProcId, to: ProcId) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let sf = self.site_of(from);
+        let st = self.site_of(to);
+        if sf == st {
+            self.sites[sf.0 as usize].local_latency
+        } else {
+            self.inter[sf.0 as usize][st.0 as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid5000_matches_paper() {
+        let t = Topology::grid5000();
+        assert_eq!(t.procs(), 128);
+        assert_eq!(t.sites().len(), 3);
+        assert_eq!(t.sites()[0].procs, 49);
+        assert_eq!(t.sites()[1].procs, 39);
+        assert_eq!(t.sites()[2].procs, 40);
+        // bordeaux <-> sophia RTT 10ms => one-way 5ms
+        let l = t.latency(ProcId(0), ProcId(49));
+        assert_eq!(l, SimDuration::from_micros(5_000));
+        // rennes <-> sophia RTT 20ms => one-way 10ms
+        let l = t.latency(ProcId(88), ProcId(49));
+        assert_eq!(l, SimDuration::from_micros(10_000));
+        // rennes <-> bordeaux RTT 8ms => one-way 4ms
+        let l = t.latency(ProcId(88), ProcId(0));
+        assert_eq!(l, SimDuration::from_micros(4_000));
+    }
+
+    #[test]
+    fn site_of_respects_offsets() {
+        let t = Topology::grid5000();
+        assert_eq!(t.site_of(ProcId(0)), SiteId(0));
+        assert_eq!(t.site_of(ProcId(48)), SiteId(0));
+        assert_eq!(t.site_of(ProcId(49)), SiteId(1));
+        assert_eq!(t.site_of(ProcId(87)), SiteId(1));
+        assert_eq!(t.site_of(ProcId(88)), SiteId(2));
+        assert_eq!(t.site_of(ProcId(127)), SiteId(2));
+    }
+
+    #[test]
+    fn self_latency_is_zero() {
+        let t = Topology::grid5000();
+        assert_eq!(t.latency(ProcId(5), ProcId(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn intra_site_uses_local_latency() {
+        let t = Topology::grid5000();
+        assert_eq!(
+            t.latency(ProcId(0), ProcId(1)),
+            SimDuration::from_micros(100)
+        );
+        assert_eq!(
+            t.latency(ProcId(50), ProcId(51)),
+            SimDuration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn single_site_topology() {
+        let t = Topology::single_site(4, SimDuration::from_millis(1));
+        assert_eq!(t.procs(), 4);
+        assert_eq!(t.latency(ProcId(0), ProcId(3)), SimDuration::from_millis(1));
+        assert_eq!(t.proc_ids().count(), 4);
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let t = Topology::grid5000();
+        for a in [0u32, 10, 49, 60, 88, 127] {
+            for b in [0u32, 10, 49, 60, 88, 127] {
+                assert_eq!(
+                    t.latency(ProcId(a), ProcId(b)),
+                    t.latency(ProcId(b), ProcId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn site_of_out_of_range_panics() {
+        Topology::grid5000().site_of(ProcId(128));
+    }
+
+    #[test]
+    fn scaled_topology() {
+        let t = Topology::grid5000_scaled(2);
+        assert_eq!(t.procs(), 6);
+        assert_eq!(t.site_of(ProcId(2)), SiteId(1));
+    }
+}

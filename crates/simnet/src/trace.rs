@@ -1,0 +1,172 @@
+//! Lightweight structured trace log.
+//!
+//! The simulator and the middleware record notable events (terminations,
+//! consensus steps, clock bumps…) into an in-memory log that tests and
+//! examples can inspect or print. Tracing is off by default and filtered
+//! by level to keep large benchmarks allocation-free.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Nothing is recorded.
+    Off,
+    /// Life-cycle events: creations, terminations, consensus decisions.
+    Info,
+    /// Every protocol step: clock updates, parent adoption, message flow.
+    Debug,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When the event happened (simulated time).
+    pub at: SimTime,
+    /// Level it was recorded at.
+    pub level: TraceLevel,
+    /// Short category tag, e.g. `"terminate"`, `"clock-bump"`.
+    pub tag: &'static str,
+    /// Free-form details.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:<14} {}", self.at, self.tag, self.detail)
+    }
+}
+
+/// An append-only trace log with level filtering.
+#[derive(Debug)]
+pub struct TraceLog {
+    level: TraceLevel,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// Creates a log that records events at or below `level`.
+    pub fn new(level: TraceLevel) -> Self {
+        TraceLog {
+            level,
+            records: Vec::new(),
+        }
+    }
+
+    /// A disabled log.
+    pub fn off() -> Self {
+        TraceLog::new(TraceLevel::Off)
+    }
+
+    /// Current filter level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// True if records at `level` would be kept (callers can skip building
+    /// the detail string otherwise).
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level <= self.level && self.level != TraceLevel::Off
+    }
+
+    /// Records an event if the level passes the filter.
+    pub fn record(&mut self, at: SimTime, level: TraceLevel, tag: &'static str, detail: String) {
+        if self.enabled(level) {
+            self.records.push(TraceRecord {
+                at,
+                level,
+                tag,
+                detail,
+            });
+        }
+    }
+
+    /// Convenience for `Info` records.
+    pub fn info(&mut self, at: SimTime, tag: &'static str, detail: String) {
+        self.record(at, TraceLevel::Info, tag, detail);
+    }
+
+    /// Convenience for `Debug` records.
+    pub fn debug(&mut self, at: SimTime, tag: &'static str, detail: String) {
+        self.record(at, TraceLevel::Debug, tag, detail);
+    }
+
+    /// All records so far, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose tag equals `tag`.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Discards all records (the filter level is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let mut log = TraceLog::off();
+        log.info(SimTime::ZERO, "x", "y".into());
+        log.debug(SimTime::ZERO, "x", "y".into());
+        assert!(log.records().is_empty());
+        assert!(!log.enabled(TraceLevel::Info));
+    }
+
+    #[test]
+    fn info_filters_debug() {
+        let mut log = TraceLog::new(TraceLevel::Info);
+        log.info(SimTime::ZERO, "a", "1".into());
+        log.debug(SimTime::ZERO, "b", "2".into());
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].tag, "a");
+    }
+
+    #[test]
+    fn debug_records_everything() {
+        let mut log = TraceLog::new(TraceLevel::Debug);
+        log.info(SimTime::from_secs(1), "a", "1".into());
+        log.debug(SimTime::from_secs(2), "b", "2".into());
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn with_tag_filters() {
+        let mut log = TraceLog::new(TraceLevel::Info);
+        log.info(SimTime::ZERO, "terminate", "ao1".into());
+        log.info(SimTime::ZERO, "clock-bump", "ao2".into());
+        log.info(SimTime::ZERO, "terminate", "ao3".into());
+        assert_eq!(log.with_tag("terminate").count(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_level() {
+        let mut log = TraceLog::new(TraceLevel::Debug);
+        log.info(SimTime::ZERO, "a", String::new());
+        log.clear();
+        assert!(log.records().is_empty());
+        assert_eq!(log.level(), TraceLevel::Debug);
+    }
+
+    #[test]
+    fn display_contains_tag_and_detail() {
+        let r = TraceRecord {
+            at: SimTime::from_secs(2),
+            level: TraceLevel::Info,
+            tag: "terminate",
+            detail: "ao 7 (cyclic)".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("terminate"));
+        assert!(s.contains("ao 7 (cyclic)"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the simulator substrate: event-queue
+//! ordering/stability, network FIFO and latency monotonicity, meter
+//! arithmetic, and RNG determinism.
+
+use proptest::prelude::*;
+
+use dgc_simnet::queue::EventQueue;
+use dgc_simnet::rng::SimRng;
+use dgc_simnet::time::{SimDuration, SimTime};
+use dgc_simnet::topology::{ProcId, Topology};
+use dgc_simnet::traffic::{TrafficClass, TrafficMeter};
+use dgc_simnet::Network;
+
+proptest! {
+    /// Pop order is (time, insertion) lexicographic for any schedule.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..1_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            popped.push((at.as_nanos(), idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t1, i1), (t2, i2)) = (w[0], w[1]);
+            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2),
+                "order violated: ({t1},{i1}) before ({t2},{i2})");
+        }
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn cancellation_is_precise(
+        n in 1usize..100,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> =
+            (0..n).map(|i| q.schedule(SimTime::from_nanos(i as u64 % 7), i)).collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut seen = Vec::new();
+        while let Some((_, idx)) = q.pop() {
+            seen.push(idx);
+        }
+        seen.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(seen, kept);
+    }
+
+    /// FIFO per ordered pair: deliveries never reorder, whatever the
+    /// send times.
+    #[test]
+    fn network_is_fifo_per_pair(
+        sends in proptest::collection::vec((0u64..10_000, 0u64..4096), 1..100)
+    ) {
+        let mut net = Network::new(Topology::grid5000_scaled(2));
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut last_delivery = SimTime::ZERO;
+        for (t, size) in sorted {
+            let d = net.send(
+                SimTime::from_nanos(t),
+                ProcId(0),
+                ProcId(3),
+                TrafficClass::AppRequest,
+                size,
+            );
+            prop_assert!(d >= last_delivery, "reordered delivery");
+            prop_assert!(d >= SimTime::from_nanos(t), "delivery before send");
+            last_delivery = d;
+        }
+        let total: u64 = sends.iter().map(|(_, s)| *s).sum();
+        prop_assert_eq!(net.meter().total_bytes(), total);
+    }
+
+    /// Meter merge equals element-wise sums.
+    #[test]
+    fn meter_merge_is_addition(
+        a in proptest::collection::vec((0usize..5, 0u64..10_000), 0..50),
+        b in proptest::collection::vec((0usize..5, 0u64..10_000), 0..50),
+    ) {
+        let record = |items: &[(usize, u64)]| {
+            let mut m = TrafficMeter::new();
+            for (c, s) in items {
+                m.record(TrafficClass::ALL[*c], *s);
+            }
+            m
+        };
+        let ma = record(&a);
+        let mb = record(&b);
+        let mut merged = ma.clone();
+        merged.merge(&mb);
+        for class in TrafficClass::ALL {
+            prop_assert_eq!(merged.bytes(class), ma.bytes(class) + mb.bytes(class));
+            prop_assert_eq!(merged.messages(class), ma.messages(class) + mb.messages(class));
+        }
+        prop_assert_eq!(merged.total_bytes(), ma.total_bytes() + mb.total_bytes());
+    }
+
+    /// Same seed ⇒ same stream; jitter stays within its bound.
+    #[test]
+    fn rng_determinism_and_bounds(seed in any::<u64>(), bound_ms in 1u64..100_000) {
+        let mut a = SimRng::from_seed(seed);
+        let mut b = SimRng::from_seed(seed);
+        let d = SimDuration::from_millis(bound_ms);
+        for _ in 0..32 {
+            let ja = a.jitter(d);
+            prop_assert_eq!(ja, b.jitter(d));
+            prop_assert!(ja < d);
+        }
+    }
+
+    /// Latency is symmetric and respects the intra-site < inter-site
+    /// hierarchy on the Grid'5000 preset.
+    #[test]
+    fn grid5000_latency_hierarchy(a in 0u32..128, b in 0u32..128) {
+        let t = Topology::grid5000();
+        let l = t.latency(ProcId(a), ProcId(b));
+        prop_assert_eq!(l, t.latency(ProcId(b), ProcId(a)));
+        if a == b {
+            prop_assert_eq!(l, SimDuration::ZERO);
+        } else if t.site_of(ProcId(a)) == t.site_of(ProcId(b)) {
+            prop_assert!(l <= SimDuration::from_micros(100));
+        } else {
+            prop_assert!(l >= SimDuration::from_micros(4_000));
+            prop_assert!(l <= SimDuration::from_micros(10_000));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dgc-workloads — the paper's evaluation workloads
+//!
+//! Everything §5 of the paper runs, rebuilt on the simulated grid:
+//!
+//! * [`nas`] — the ProActive NAS kernels CG, EP and FT at class-C scale
+//!   (genuine scaled-down local numerics, class-C message sizes and
+//!   compute times, complete reference graph from global barriers);
+//! * [`torture`] — the master/slave reference-churn torture test of
+//!   §5.3 (6401 activities at paper scale, Fig. 10 time series);
+//! * [`scenarios`] — the reference-graph shapes of Figs. 3–7 plus
+//!   rings, chains, cliques and random graphs for tests and ablations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod nas;
+pub mod scenarios;
+pub mod torture;
+
+pub use nas::{run_kernel, Kernel, NasOutcome, NasParams};
+pub use torture::{run_torture, TortureOutcome, TortureParams};

@@ -1,0 +1,161 @@
+//! EP — the embarrassingly parallel kernel.
+//!
+//! NPB EP generates pseudo-random pairs with a linear congruential
+//! generator, keeps those inside the unit circle, converts them to
+//! Gaussian deviates by the Marsaglia polar method, and tallies them
+//! into ten square annuli. No inter-worker communication at all — which
+//! makes it the paper's *worst case for relative DGC overhead*: nearly
+//! every byte on the wire during an EP run is collector traffic
+//! (929 % bandwidth overhead in Fig. 8).
+
+use dgc_simnet::time::SimDuration;
+
+use super::common::{KernelMath, NasParams};
+
+/// Class-C-scaled parameters.
+pub fn class_c() -> NasParams {
+    NasParams {
+        name: "EP",
+        workers: 256,
+        iterations: 1,
+        exchange: false,
+        chunk_bytes: 0,
+        // Class C EP finishes in ~8.4 s wall clock on the paper's grid.
+        compute_per_iter: SimDuration::from_millis(8_300),
+        reply_bytes: 256,
+    }
+}
+
+/// NPB's LCG: `x ← a·x mod 2^46`, `a = 5^13`.
+#[derive(Debug, Clone)]
+pub struct NpbRandom {
+    x: u64,
+}
+
+const A: u64 = 1_220_703_125; // 5^13
+const MASK46: u64 = (1 << 46) - 1;
+
+impl NpbRandom {
+    /// Seeds the generator (NPB uses 271828183 by default).
+    pub fn new(seed: u64) -> Self {
+        NpbRandom { x: seed & MASK46 }
+    }
+
+    /// Next uniform deviate in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = self.x.wrapping_mul(A) & MASK46;
+        self.x as f64 / (1u64 << 46) as f64
+    }
+}
+
+/// Per-worker EP state: the pair budget and the annulus tallies.
+pub struct EpMath {
+    rng: NpbRandom,
+    pairs_per_iter: u64,
+    /// Annulus counts `q[0..10]`.
+    pub counts: [u64; 10],
+    /// Sums of the Gaussian deviates (NPB's verification values).
+    pub sx: f64,
+    /// See [`EpMath::sx`].
+    pub sy: f64,
+}
+
+impl EpMath {
+    /// Creates the worker's generator; each worker gets a distinct seed
+    /// segment like NPB's `2^k` jump-ahead.
+    pub fn new(pairs_per_iter: u64, index: u32) -> Self {
+        EpMath {
+            rng: NpbRandom::new(271_828_183 ^ ((index as u64 + 1) * 0x5DEE_CE66)),
+            pairs_per_iter,
+            counts: [0; 10],
+            sx: 0.0,
+            sy: 0.0,
+        }
+    }
+
+    /// Total accepted pairs.
+    pub fn accepted(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl KernelMath for EpMath {
+    fn compute(&mut self, _iteration: u32) -> f64 {
+        for _ in 0..self.pairs_per_iter {
+            let x = 2.0 * self.rng.next_f64() - 1.0;
+            let y = 2.0 * self.rng.next_f64() - 1.0;
+            let t = x * x + y * y;
+            if t <= 1.0 && t > 0.0 {
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let gx = x * f;
+                let gy = y * f;
+                self.sx += gx;
+                self.sy += gy;
+                let l = gx.abs().max(gy.abs()) as usize;
+                if l < 10 {
+                    self.counts[l] += 1;
+                }
+            }
+        }
+        self.sx
+    }
+
+    fn checksum(&self) -> f64 {
+        self.sx + self.sy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_stays_in_unit_interval_and_varies() {
+        let mut r = NpbRandom::new(271_828_183);
+        let mut values = Vec::new();
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            values.push(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "roughly uniform, mean={mean}");
+    }
+
+    #[test]
+    fn acceptance_rate_is_about_pi_over_4() {
+        let mut ep = EpMath::new(200_000, 0);
+        ep.compute(0);
+        let rate = ep.accepted() as f64 / 200_000.0;
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "acceptance ≈ π/4, got {rate}"
+        );
+    }
+
+    #[test]
+    fn gaussian_tallies_concentrate_in_inner_annuli() {
+        let mut ep = EpMath::new(100_000, 1);
+        ep.compute(0);
+        assert!(ep.counts[0] > ep.counts[2]);
+        assert!(ep.counts[1] > ep.counts[3]);
+        // Gaussian deviates beyond |4| are vanishingly rare.
+        assert_eq!(ep.counts[6..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn distinct_workers_differ() {
+        let mut a = EpMath::new(1000, 0);
+        let mut b = EpMath::new(1000, 1);
+        a.compute(0);
+        b.compute(0);
+        assert_ne!(a.sx.to_bits(), b.sx.to_bits());
+    }
+
+    #[test]
+    fn class_c_has_no_exchange() {
+        let p = class_c();
+        assert!(!p.exchange);
+        assert_eq!(p.iterations, 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! FT — 3-D FFT partial-differential-equation kernel.
+//!
+//! NPB FT solves ∂u/∂t = α∇²u with forward FFT, per-step evolution in
+//! the frequency domain, and inverse FFT; the distributed version's
+//! communication is dominated by the global transpose (an all-to-all)
+//! each iteration. Class C: a 512×512×512 grid, 20 iterations.
+//!
+//! Each worker genuinely evolves a scaled-down 1-D complex line with a
+//! real radix-2 FFT; the all-to-all transpose traffic and per-iteration
+//! compute are charged at class-C scale by the parameters below.
+
+use dgc_simnet::time::SimDuration;
+
+use super::common::{KernelMath, NasParams};
+
+/// Class-C-scaled parameters.
+pub fn class_c() -> NasParams {
+    NasParams {
+        name: "FT",
+        workers: 256,
+        iterations: 20,
+        exchange: true,
+        // Transpose chunk ≈ 512³ · 16 B / 256² per peer pair.
+        chunk_bytes: 32_768,
+        compute_per_iter: SimDuration::from_secs(20),
+        reply_bytes: 1_024,
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT on interleaved complex data.
+///
+/// `data` holds `(re, im)` pairs; `inverse` selects the inverse
+/// transform (with 1/n normalization).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [(f64, f64)], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Danielson–Lanczos.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[i + k];
+                let (br, bi) = data[i + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[i + k] = (ar + tr, ai + ti);
+                data[i + k + len / 2] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            v.0 *= inv;
+            v.1 *= inv;
+        }
+    }
+}
+
+/// Per-worker FT state: a complex line evolved in frequency space.
+pub struct FtMath {
+    line: Vec<(f64, f64)>,
+    evolve: Vec<f64>,
+}
+
+impl FtMath {
+    /// Builds the worker's line of `n` (power-of-two) complex points.
+    pub fn new(n: usize, index: u32) -> Self {
+        assert!(n.is_power_of_two());
+        let mut seed = 0xF7u64 ^ ((index as u64 + 1) << 16);
+        let mut next = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let line: Vec<(f64, f64)> = (0..n).map(|_| (next(), next())).collect();
+        // exp(-4α π² k̄²) factors, α chosen so nothing underflows at toy n.
+        let alpha = 1e-4;
+        let evolve = (0..n)
+            .map(|k| {
+                let kk = if k <= n / 2 { k as f64 } else { (n - k) as f64 };
+                (-4.0 * alpha * std::f64::consts::PI.powi(2) * kk * kk).exp()
+            })
+            .collect();
+        FtMath { line, evolve }
+    }
+}
+
+impl KernelMath for FtMath {
+    fn compute(&mut self, _iteration: u32) -> f64 {
+        fft(&mut self.line, false);
+        for (v, e) in self.line.iter_mut().zip(&self.evolve) {
+            v.0 *= e;
+            v.1 *= e;
+        }
+        fft(&mut self.line, true);
+        self.checksum()
+    }
+
+    fn checksum(&self) -> f64 {
+        self.line.iter().map(|(r, i)| r + i).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_round_trip_recovers_input() {
+        let mut data: Vec<(f64, f64)> = (0..64)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let original = data.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-10);
+            assert!((a.1 - b.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 32];
+        data[0] = (1.0, 0.0);
+        fft(&mut data, false);
+        for (r, i) in &data {
+            assert!((r - 1.0).abs() < 1e-12);
+            assert!(i.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![(1.0, 0.0); 16];
+        fft(&mut data, false);
+        assert!((data[0].0 - 16.0).abs() < 1e-12);
+        for (r, i) in &data[1..] {
+            assert!(r.abs() < 1e-12 && i.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut data: Vec<(f64, f64)> = (0..128).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = data.iter().map(|(r, i)| r * r + i * i).sum();
+        fft(&mut data, false);
+        let freq_energy: f64 = data.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn evolution_damps_energy() {
+        let mut ft = FtMath::new(64, 0);
+        let before: f64 = ft.line.iter().map(|(r, i)| r * r + i * i).sum();
+        for it in 0..5 {
+            ft.compute(it);
+        }
+        let after: f64 = ft.line.iter().map(|(r, i)| r * r + i * i).sum();
+        assert!(after < before, "diffusion must dissipate energy");
+        assert!(after > 0.0, "but not to nothing at toy scale");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft(&mut data, false);
+    }
+
+    #[test]
+    fn class_c_matches_paper_structure() {
+        let p = class_c();
+        assert_eq!(p.iterations, 20);
+        assert!(p.exchange);
+    }
+}

@@ -1,0 +1,69 @@
+//! One NAS kernel, with and without the collector (a miniature Fig. 8/9).
+//!
+//! Runs the CG kernel at a reduced scale twice — control run with
+//! explicit termination, then with the complete DGC — and prints the
+//! bandwidth/time comparison the paper's evaluation tables are made of.
+//!
+//! Run with: `cargo run --release --example nas_bench`
+
+use grid_dgc::activeobj::collector::CollectorKind;
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::simnet::topology::Topology;
+use grid_dgc::workloads::nas::{run_kernel, Kernel};
+
+fn main() {
+    let kernel = Kernel::Cg;
+    // 32 workers, iterations/compute/chunks scaled down 5×.
+    let params = kernel.class_c().scaled_down(32, 5);
+    let topology = Topology::grid5000_scaled(6); // 18 processes
+    let dgc = CollectorKind::Complete(
+        DgcConfig::builder()
+            .ttb(Dur::from_secs(30))
+            .tta(Dur::from_secs(61))
+            .max_comm(Dur::from_millis(500))
+            .build(),
+    );
+
+    println!(
+        "NAS {} (scaled): {} workers, {} iterations on {} processes\n",
+        params.name,
+        params.workers,
+        params.iterations,
+        topology.procs()
+    );
+
+    let control = run_kernel(kernel, &params, topology.clone(), CollectorKind::None, 1);
+    let with_dgc = run_kernel(kernel, &params, topology, dgc, 1);
+
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    println!("                         no DGC         with DGC");
+    println!(
+        "result at        {:>12.2} s   {:>12.2} s",
+        control.result_at.as_secs_f64(),
+        with_dgc.result_at.as_secs_f64()
+    );
+    println!(
+        "total traffic    {:>12.2} MB  {:>12.2} MB",
+        mib(control.total_bytes),
+        mib(with_dgc.total_bytes)
+    );
+    println!(
+        "collector share  {:>12.2} MB  {:>12.2} MB",
+        mib(control.dgc_bytes),
+        mib(with_dgc.dgc_bytes)
+    );
+    println!(
+        "bandwidth overhead: {:.2} %",
+        (with_dgc.total_bytes as f64 - control.total_bytes as f64) / control.total_bytes as f64
+            * 100.0
+    );
+    let dgc_time = with_dgc.dgc_time.expect("all workers collected");
+    println!(
+        "DGC time: {:.0} s (≈ {:.1} broadcast rounds after the result, then all {} workers gone)",
+        dgc_time.as_secs_f64(),
+        dgc_time.as_secs_f64() / 30.0,
+        params.workers
+    );
+    assert_eq!(with_dgc.violations, 0);
+}

@@ -1,0 +1,102 @@
+//! Quickstart: five minutes with the complete DGC.
+//!
+//! Builds a tiny grid, shows the three behaviours that define the
+//! collector: acyclic garbage falls to the TTB/TTA heartbeat, cyclic
+//! garbage falls to the activity-clock consensus, and anything a busy
+//! activity or root can reach survives.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use grid_dgc::activeobj::activity::Inert;
+use grid_dgc::activeobj::collector::CollectorKind;
+use grid_dgc::activeobj::runtime::{Grid, GridConfig};
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::simnet::time::SimDuration;
+use grid_dgc::simnet::topology::{ProcId, Topology};
+
+fn main() {
+    // The paper's NAS settings: TTB 30 s, TTA 61 s (§5.2). The builder
+    // checks TTA > 2·TTB + MaxComm for you via `validate()`.
+    let dgc = DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(61))
+        .max_comm(Dur::from_millis(500))
+        .build();
+    dgc.validate().expect("safe timing parameters");
+
+    // Four processes on one site, 1 ms links.
+    let topology = Topology::single_site(4, SimDuration::from_millis(1));
+    let mut grid = Grid::new(
+        GridConfig::new(topology)
+            .collector(CollectorKind::Complete(dgc))
+            .seed(42),
+    );
+
+    // A root (registered object / dummy referencer): never collected.
+    let root = grid.spawn_root(ProcId(0), Box::new(Inert));
+
+    // Acyclic garbage: an activity nobody references.
+    let lonely = grid.spawn(ProcId(1), Box::new(Inert));
+
+    // A protected activity: the root holds a reference to it.
+    let kept = grid.spawn(ProcId(2), Box::new(Inert));
+    grid.make_ref(root, kept);
+
+    // Cyclic garbage: a ⇄ b across two processes. Reference listing (the
+    // RMI DGC) can never reclaim this; the consensus can.
+    let a = grid.spawn(ProcId(2), Box::new(Inert));
+    let b = grid.spawn(ProcId(3), Box::new(Inert));
+    grid.make_ref(a, b);
+    grid.make_ref(b, a);
+
+    println!(
+        "t=0s        alive={} (root, lonely, kept, a, b)",
+        grid.alive_count()
+    );
+
+    grid.run_for(SimDuration::from_secs(120));
+    println!(
+        "t=120s      alive={}  lonely={}  (acyclic garbage fell to the TTA timeout)",
+        grid.alive_count(),
+        if grid.is_alive(lonely) {
+            "alive"
+        } else {
+            "collected"
+        },
+    );
+
+    grid.run_for(SimDuration::from_secs(480));
+    println!(
+        "t=600s      alive={}  cycle a,b={}  (consensus on the final activity clock)",
+        grid.alive_count(),
+        if grid.is_alive(a) || grid.is_alive(b) {
+            "alive"
+        } else {
+            "collected"
+        },
+    );
+    println!(
+        "            kept={} (the root's heartbeats keep it alive)",
+        if grid.is_alive(kept) {
+            "alive"
+        } else {
+            "collected"
+        },
+    );
+
+    // Ground truth: the oracle saw no live activity terminated.
+    assert!(grid.violations().is_empty());
+    assert!(!grid.is_alive(lonely) && !grid.is_alive(a) && !grid.is_alive(b));
+    assert!(grid.is_alive(kept) && grid.is_alive(root));
+
+    println!("\ncollected, in order:");
+    for c in grid.collected() {
+        println!("  {} at {} ({:?})", c.ao, c.at, c.reason);
+    }
+    println!(
+        "\nDGC traffic: {} bytes over {} messages — zero safety violations.",
+        grid.traffic().dgc_bytes(),
+        grid.traffic().total_messages(),
+    );
+}

@@ -1,0 +1,28 @@
+//! # grid-dgc — facade crate
+//!
+//! Re-exports the whole workspace reproducing *"Garbage Collecting the
+//! Grid: A Complete DGC for Activities"* (Caromel, Chazarain, Henrio —
+//! Middleware 2007) under one roof:
+//!
+//! * [`simnet`] — deterministic discrete-event grid simulator (the
+//!   Grid'5000 stand-in);
+//! * [`activeobj`] — ProActive-style active-object middleware plus the
+//!   simulation driver and the ground-truth liveness oracle;
+//! * [`dgc`] — the paper's contribution: the complete (acyclic + cyclic)
+//!   distributed garbage collector as a sans-io protocol core;
+//! * [`rmi`] — the lease-based reference-listing baseline (Java RMI
+//!   style, acyclic only);
+//! * [`workloads`] — NAS CG/EP/FT kernels, the torture test and the
+//!   figure scenarios from the paper;
+//! * [`rt_thread`] — a real-thread runtime driving the same protocol core
+//!   with wall-clock timers.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction inventory.
+
+pub use dgc_activeobj as activeobj;
+pub use dgc_core as dgc;
+pub use dgc_rmi as rmi;
+pub use dgc_rt_thread as rt_thread;
+pub use dgc_simnet as simnet;
+pub use dgc_workloads as workloads;

@@ -1,0 +1,188 @@
+//! Integration tests for the two alternative collectors: the RMI-style
+//! lease baseline (acyclic-only, §1/§6) and the process-graph mode
+//! (§4.1), compared against the complete DGC on identical workloads.
+
+use grid_dgc::activeobj::activity::Inert;
+use grid_dgc::activeobj::collector::CollectorKind;
+use grid_dgc::activeobj::process_mode::ProcessModeSim;
+use grid_dgc::activeobj::runtime::{Grid, GridConfig};
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::rmi::endpoint::RmiConfig;
+use grid_dgc::simnet::time::SimDuration;
+use grid_dgc::simnet::topology::{ProcId, Topology};
+use grid_dgc::simnet::traffic::TrafficClass;
+use grid_dgc::workloads::scenarios;
+
+fn dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(61))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+fn grid(collector: CollectorKind, seed: u64) -> Grid {
+    Grid::new(
+        GridConfig::new(Topology::single_site(6, SimDuration::from_millis(1)))
+            .collector(collector)
+            .seed(seed),
+    )
+}
+
+#[test]
+fn rmi_reclaims_chains_with_lease_traffic_only() {
+    let mut g = grid(CollectorKind::Rmi(RmiConfig::default()), 1);
+    let ids = scenarios::chain(&mut g, 6, 6);
+    g.run_for(SimDuration::from_secs(1_500));
+    assert!(
+        ids.iter().all(|id| !g.is_alive(*id)),
+        "acyclic garbage reclaimed"
+    );
+    assert!(g.traffic().bytes(TrafficClass::RmiLease) > 0);
+    assert_eq!(
+        g.traffic().dgc_bytes(),
+        0,
+        "no complete-DGC traffic in RMI mode"
+    );
+}
+
+#[test]
+fn rmi_leaks_exactly_the_cycles() {
+    let mut g = grid(CollectorKind::Rmi(RmiConfig::default()), 2);
+    let ring = scenarios::ring(&mut g, 5, 6);
+    let chain = scenarios::chain(&mut g, 5, 6);
+    g.run_for(SimDuration::from_secs(2_000));
+    assert!(ring.iter().all(|id| g.is_alive(*id)), "the ring leaks");
+    assert!(
+        chain.iter().all(|id| !g.is_alive(*id)),
+        "the chain is reclaimed"
+    );
+    // The oracle agrees the leak is real garbage.
+    let garbage = g.garbage_remaining();
+    for id in &ring {
+        assert!(garbage.contains(id));
+    }
+}
+
+#[test]
+fn complete_dgc_reclaims_what_rmi_leaks() {
+    let mut g = grid(CollectorKind::Complete(dgc()), 3);
+    let ring = scenarios::ring(&mut g, 5, 6);
+    g.run_for(SimDuration::from_secs(2_000));
+    assert!(ring.iter().all(|id| !g.is_alive(*id)));
+    assert!(g.violations().is_empty());
+}
+
+#[test]
+fn rmi_keeps_live_objects_alive_through_renewals() {
+    let mut g = grid(CollectorKind::Rmi(RmiConfig::default()), 4);
+    let root = g.spawn_root(ProcId(0), Box::new(Inert));
+    let kept = g.spawn(ProcId(1), Box::new(Inert));
+    g.make_ref(root, kept);
+    // Many lease periods: renewals must keep arriving.
+    g.run_for(SimDuration::from_secs(1_000));
+    assert!(g.is_alive(kept));
+    g.drop_ref(root, kept);
+    g.run_for(SimDuration::from_secs(300));
+    assert!(!g.is_alive(kept), "clean + lease expiry reclaim it");
+}
+
+#[test]
+fn rmi_lease_duration_trades_traffic_for_latency() {
+    let run = |lease_secs: u64| {
+        let mut g = grid(
+            CollectorKind::Rmi(RmiConfig {
+                lease: Dur::from_secs(lease_secs),
+            }),
+            5,
+        );
+        let root = g.spawn_root(ProcId(0), Box::new(Inert));
+        let kept = g.spawn(ProcId(1), Box::new(Inert));
+        g.make_ref(root, kept);
+        g.run_for(SimDuration::from_secs(1_000));
+        g.drop_ref(root, kept);
+        let drop_at = g.now();
+        g.run_for(SimDuration::from_secs(4 * lease_secs + 120));
+        assert!(!g.is_alive(kept));
+        let reclaimed = g
+            .collected()
+            .iter()
+            .find(|c| c.ao == kept)
+            .expect("collected")
+            .at;
+        (
+            g.traffic().bytes(TrafficClass::RmiLease),
+            reclaimed.saturating_since(drop_at).as_secs(),
+        )
+    };
+    // Short leases (pre-Java-6 1 min) vs long leases (Java 6 default 1 h,
+    // the change the paper cites in §4.2).
+    let (short_traffic, short_latency) = run(60);
+    let (long_traffic, long_latency) = run(3600);
+    assert!(
+        short_traffic > long_traffic,
+        "short leases renew more often"
+    );
+    assert!(
+        short_latency < long_latency,
+        "long leases linger after the drop"
+    );
+}
+
+#[test]
+fn process_mode_collects_whole_idle_processes() {
+    let cfg = dgc();
+    let mut sim = ProcessModeSim::new(3, cfg, Dur::from_millis(1));
+    let a = sim.add_activity(0);
+    let b = sim.add_activity(1);
+    let c = sim.add_activity(2);
+    sim.add_edge(a, b);
+    sim.add_edge(b, c);
+    sim.add_edge(c, a);
+    for id in [a, b, c] {
+        sim.set_idle(id, true);
+    }
+    for _ in 0..40 {
+        sim.step(Dur::from_secs(30));
+    }
+    assert!(!sim.is_alive(a) && !sim.is_alive(b) && !sim.is_alive(c));
+}
+
+#[test]
+fn process_mode_imprecision_matches_the_papers_warning() {
+    // Same graph, but process 1 also hosts a busy activity: under the
+    // process graph nothing is ever collected, under the reference graph
+    // the cycle goes. This is the §4.1 trade-off, end to end.
+    let cfg = dgc();
+    let mut sim = ProcessModeSim::new(3, cfg, Dur::from_millis(1));
+    let a = sim.add_activity(0);
+    let b = sim.add_activity(1);
+    let c = sim.add_activity(2);
+    let busy = sim.add_activity(1);
+    sim.add_edge(a, b);
+    sim.add_edge(b, c);
+    sim.add_edge(c, a);
+    for id in [a, b, c] {
+        sim.set_idle(id, true);
+    }
+    sim.set_idle(busy, false);
+    for _ in 0..60 {
+        sim.step(Dur::from_secs(30));
+    }
+    assert!(sim.is_alive(a) && sim.is_alive(b) && sim.is_alive(c));
+
+    // Reference-graph control: the cycle is collected even though the
+    // busy bystander shares a process with b.
+    let mut g = grid(CollectorKind::Complete(cfg), 6);
+    let ra = g.spawn(ProcId(0), Box::new(Inert));
+    let rb = g.spawn(ProcId(1), Box::new(Inert));
+    let rc = g.spawn(ProcId(2), Box::new(Inert));
+    let _busy = g.spawn_root(ProcId(1), Box::new(Inert));
+    g.make_ref(ra, rb);
+    g.make_ref(rb, rc);
+    g.make_ref(rc, ra);
+    g.run_for(SimDuration::from_secs(2_000));
+    assert!(!g.is_alive(ra) && !g.is_alive(rb) && !g.is_alive(rc));
+    assert!(g.violations().is_empty());
+}

@@ -1,0 +1,163 @@
+//! §4.2 — the hard real-time caveat, demonstrated.
+//!
+//! The DGC is safe only while `TTA > 2·TTB + MaxComm` actually holds at
+//! run time. These tests inject the §4.2 hazards — long link delays
+//! (TCP timeouts) and stop-the-world process pauses (local GC) — and
+//! show (a) the oracle catching the wrongful collection when the bound
+//! is violated, and (b) safety holding when TTA has enough slack.
+
+use grid_dgc::activeobj::activity::Inert;
+use grid_dgc::activeobj::collector::CollectorKind;
+use grid_dgc::activeobj::runtime::{Grid, GridConfig};
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::simnet::fault::{FaultPlan, LinkFault, ProcessPause};
+use grid_dgc::simnet::time::{SimDuration, SimTime};
+use grid_dgc::simnet::topology::{ProcId, Topology};
+
+fn topo() -> Topology {
+    Topology::single_site(3, SimDuration::from_millis(1))
+}
+
+fn dgc(ttb: u64, tta: u64) -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(ttb))
+        .tta(Dur::from_secs(tta))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+/// A grid where a root keeps one activity alive over the faulty link.
+fn root_and_kept(grid: &mut Grid) -> grid_dgc::dgc::AoId {
+    let root = grid.spawn_root(ProcId(0), Box::new(Inert));
+    let kept = grid.spawn(ProcId(1), Box::new(Inert));
+    grid.make_ref(root, kept);
+    kept
+}
+
+#[test]
+fn long_link_delay_with_tight_tta_wrongly_collects() {
+    // TTA = 61 s (minimal for TTB 30 s + small MaxComm). A 70 s link
+    // outage starting mid-run exceeds the slack: `kept` misses two
+    // heartbeats and self-collects although its referencer is alive —
+    // the malfunction the paper accepts as the price of synchrony.
+    let mut plan = FaultPlan::none();
+    plan.add_link_fault(LinkFault {
+        from: Some(ProcId(0)),
+        to: Some(ProcId(1)),
+        start: SimTime::from_secs(100),
+        end: SimTime::from_secs(175),
+        extra_delay: SimDuration::from_secs(75),
+    });
+    let mut grid = Grid::new(
+        GridConfig::new(topo())
+            .collector(CollectorKind::Complete(dgc(30, 61)))
+            .fault_plan(plan)
+            .seed(1),
+    );
+    let kept = root_and_kept(&mut grid);
+    grid.run_for(SimDuration::from_secs(400));
+    assert!(!grid.is_alive(kept), "the outage exceeded the TTA slack");
+    assert!(
+        !grid.violations().is_empty(),
+        "the oracle must flag the wrongful collection"
+    );
+}
+
+#[test]
+fn same_outage_with_generous_tta_is_safe() {
+    // Same 75 s outage, but TTA = 300 s: "deadlines can be pushed
+    // arbitrarily far away, obviously slowing down the DGC".
+    let mut plan = FaultPlan::none();
+    plan.add_link_fault(LinkFault {
+        from: Some(ProcId(0)),
+        to: Some(ProcId(1)),
+        start: SimTime::from_secs(100),
+        end: SimTime::from_secs(175),
+        extra_delay: SimDuration::from_secs(75),
+    });
+    let mut grid = Grid::new(
+        GridConfig::new(topo())
+            .collector(CollectorKind::Complete(dgc(30, 300)))
+            .fault_plan(plan)
+            .seed(2),
+    );
+    let kept = root_and_kept(&mut grid);
+    grid.run_for(SimDuration::from_secs(1_000));
+    assert!(grid.is_alive(kept), "enough slack: no malfunction");
+    assert!(grid.violations().is_empty());
+}
+
+#[test]
+fn gc_pause_on_the_referencer_process_can_kill_its_referenced() {
+    // §4.2's other culprit: a stop-the-world pause of the *referencer's*
+    // process delays its broadcasts beyond TTA.
+    let mut plan = FaultPlan::none();
+    plan.add_pause(ProcessPause {
+        proc: ProcId(0),
+        start: SimTime::from_secs(100),
+        end: SimTime::from_secs(190), // 90 s pause > TTA 61 s
+    });
+    let mut grid = Grid::new(
+        GridConfig::new(topo())
+            .collector(CollectorKind::Complete(dgc(30, 61)))
+            .fault_plan(plan)
+            .seed(3),
+    );
+    let kept = root_and_kept(&mut grid);
+    grid.run_for(SimDuration::from_secs(400));
+    assert!(!grid.is_alive(kept));
+    assert!(!grid.violations().is_empty());
+}
+
+#[test]
+fn short_gc_pause_within_slack_is_harmless() {
+    let mut plan = FaultPlan::none();
+    plan.add_pause(ProcessPause {
+        proc: ProcId(0),
+        start: SimTime::from_secs(100),
+        end: SimTime::from_secs(120), // 20 s < TTA - TTB
+    });
+    let mut grid = Grid::new(
+        GridConfig::new(topo())
+            .collector(CollectorKind::Complete(dgc(30, 61)))
+            .fault_plan(plan)
+            .seed(4),
+    );
+    let kept = root_and_kept(&mut grid);
+    grid.run_for(SimDuration::from_secs(600));
+    assert!(grid.is_alive(kept));
+    assert!(grid.violations().is_empty());
+}
+
+#[test]
+fn faults_never_cause_leaks_only_haste() {
+    // Failure mode asymmetry: delays can only make the collector *too
+    // eager* (missed heartbeat ⇒ wrongful collection), never too lazy
+    // forever — garbage is still reclaimed under faults.
+    let mut plan = FaultPlan::none();
+    plan.add_link_fault(LinkFault {
+        from: None,
+        to: None,
+        start: SimTime::from_secs(0),
+        end: SimTime::from_secs(10_000),
+        extra_delay: SimDuration::from_millis(400), // within MaxComm
+    });
+    let mut grid = Grid::new(
+        GridConfig::new(topo())
+            .collector(CollectorKind::Complete(dgc(30, 61)))
+            .fault_plan(plan)
+            .seed(5),
+    );
+    let a = grid.spawn(ProcId(0), Box::new(Inert));
+    let b = grid.spawn(ProcId(1), Box::new(Inert));
+    grid.make_ref(a, b);
+    grid.make_ref(b, a);
+    grid.run_for(SimDuration::from_secs(1_000));
+    assert_eq!(
+        grid.alive_count(),
+        0,
+        "garbage still reclaimed under 400 ms jitter"
+    );
+    assert!(grid.violations().is_empty(), "within MaxComm: safe");
+}

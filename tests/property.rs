@@ -1,0 +1,236 @@
+//! Property-based tests of the collector's two defining properties.
+//!
+//! * **Safety** — no execution may terminate a live activity (oracle
+//!   violations stay empty, and nothing a root reaches ever dies);
+//! * **Liveness / completeness** — once the application quiesces, every
+//!   garbage activity is reclaimed within a bounded number of rounds
+//!   (`O(h·TTB) + TTA` with generous slack).
+//!
+//! Inputs are random reference graphs, random root attachments, random
+//! busy/idle schedules and random edge churn, all replayed through the
+//! full middleware (deterministic per seed, so failures shrink cleanly).
+
+use proptest::prelude::*;
+
+use grid_dgc::activeobj::activity::Inert;
+use grid_dgc::activeobj::collector::CollectorKind;
+use grid_dgc::activeobj::runtime::{Grid, GridConfig};
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::dgc::AoId;
+use grid_dgc::simnet::time::SimDuration;
+use grid_dgc::simnet::topology::{ProcId, Topology};
+
+const PROCS: u32 = 4;
+
+fn dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        .tta(Dur::from_secs(61))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+fn grid(seed: u64) -> Grid {
+    Grid::new(
+        GridConfig::new(Topology::single_site(PROCS, SimDuration::from_millis(1)))
+            .collector(CollectorKind::Complete(dgc()))
+            .seed(seed),
+    )
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    rooted: Vec<usize>,
+    dropped_edges: Vec<usize>,
+    dropped_roots: Vec<usize>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..14)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n), 0..n * 3);
+            let rooted = proptest::collection::vec(0..n, 0..3);
+            let dropped_edges = proptest::collection::vec(0usize..64, 0..6);
+            let dropped_roots = proptest::collection::vec(0usize..4, 0..3);
+            (Just(n), edges, rooted, dropped_edges, dropped_roots)
+        })
+        .prop_map(
+            |(n, edges, rooted, dropped_edges, dropped_roots)| Scenario {
+                n,
+                edges: edges.into_iter().filter(|(a, b)| a != b).collect(),
+                rooted,
+                dropped_edges,
+                dropped_roots,
+            },
+        )
+}
+
+struct Built {
+    grid: Grid,
+    ids: Vec<AoId>,
+    root: AoId,
+    root_held: Vec<AoId>,
+}
+
+fn build(sc: &Scenario, seed: u64) -> Built {
+    let mut grid = grid(seed);
+    let ids: Vec<AoId> = (0..sc.n)
+        .map(|i| grid.spawn(ProcId(i as u32 % PROCS), Box::new(Inert)))
+        .collect();
+    for (a, b) in &sc.edges {
+        grid.make_ref(ids[*a], ids[*b]);
+    }
+    let root = grid.spawn_root(ProcId(0), Box::new(Inert));
+    let mut root_held = Vec::new();
+    for r in &sc.rooted {
+        grid.make_ref(root, ids[*r]);
+        root_held.push(ids[*r]);
+    }
+    Built {
+        grid,
+        ids,
+        root,
+        root_held,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Static graphs: after enough time, exactly the oracle-live
+    /// activities survive — nothing more (completeness), nothing less
+    /// (safety).
+    #[test]
+    fn static_graphs_converge_to_the_live_set(sc in scenario(), seed in 0u64..1000) {
+        let Built { mut grid, ids, .. } = build(&sc, seed);
+        // Bound: h ≤ n, detection O(h·TTB); triple it plus two TTAs.
+        let bound = 30 * 3 * (sc.n as u64 + 4) + 2 * 61 + 120;
+        grid.run_for(SimDuration::from_secs(bound));
+
+        prop_assert!(grid.violations().is_empty(),
+            "wrongful collections: {:?}", grid.violations());
+        let leftover = grid.garbage_remaining();
+        prop_assert!(leftover.is_empty(),
+            "garbage still alive after {bound}s: {leftover:?}");
+        // Cross-check with the oracle's live set: every live id is alive.
+        let live = grid_dgc::activeobj::oracle::live_set(&grid.snapshot());
+        for id in &ids {
+            if live.contains(id) {
+                prop_assert!(grid.is_alive(*id), "{id} live but collected");
+            }
+        }
+    }
+
+    /// Dynamic graphs: edges and root attachments are dropped mid-run;
+    /// safety must hold throughout and the final garbage must vanish.
+    #[test]
+    fn churned_graphs_stay_safe_and_converge(sc in scenario(), seed in 0u64..1000) {
+        let Built { mut grid, ids, root, root_held } = build(&sc, seed);
+        // Let the collector get going, then churn.
+        grid.run_for(SimDuration::from_secs(95));
+        let mut edges = sc.edges.clone();
+        for k in &sc.dropped_edges {
+            if edges.is_empty() { break; }
+            let (a, b) = edges.swap_remove(k % edges.len());
+            if grid.is_alive(ids[a]) {
+                grid.drop_ref(ids[a], ids[b]);
+            }
+            grid.run_for(SimDuration::from_secs(40));
+        }
+        let mut held = root_held.clone();
+        for k in &sc.dropped_roots {
+            if held.is_empty() { break; }
+            let victim = held.swap_remove(k % held.len());
+            grid.drop_ref(root, victim);
+            grid.run_for(SimDuration::from_secs(40));
+        }
+        let bound = 30 * 3 * (sc.n as u64 + 4) + 2 * 61 + 120;
+        grid.run_for(SimDuration::from_secs(bound));
+
+        prop_assert!(grid.violations().is_empty(),
+            "wrongful collections: {:?}", grid.violations());
+        prop_assert!(grid.garbage_remaining().is_empty(),
+            "garbage left: {:?}", grid.garbage_remaining());
+    }
+
+    /// Determinism: a scenario replays bit-identically for a fixed seed.
+    #[test]
+    fn scenarios_replay_identically(sc in scenario(), seed in 0u64..1000) {
+        let run = |sc: &Scenario| {
+            let Built { mut grid, .. } = build(sc, seed);
+            grid.run_for(SimDuration::from_secs(700));
+            (
+                grid.collected().len(),
+                grid.traffic().total_bytes(),
+                grid.dgc_stats().messages_sent,
+            )
+        };
+        prop_assert_eq!(run(&sc), run(&sc));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// The protocol-level harness (no middleware): random graphs with
+    /// random idleness flags converge to exactly the live set too.
+    #[test]
+    fn harness_level_random_graphs(
+        n in 2usize..12,
+        edge_bits in proptest::collection::vec(any::<bool>(), 144),
+        busy_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        use grid_dgc::dgc::harness::Harness;
+        let mut h = Harness::new(Dur::from_millis(5));
+        let cfg = dgc();
+        let ids = h.add_many(n, cfg);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && edge_bits[i * 12 + j] {
+                    h.add_ref(ids[i], ids[j]);
+                    edges.push((i, j));
+                }
+            }
+        }
+        let mut busy = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if busy_bits[i] {
+                busy.push(i);
+            } else {
+                h.set_idle(*id, true);
+            }
+        }
+        h.run_for(Dur::from_secs(30 * 3 * (n as u64 + 4) + 2 * 61));
+
+        // Ground truth: forward closure from busy nodes.
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = busy.clone();
+        for &b in &stack { live[b] = true; }
+        while let Some(x) = stack.pop() {
+            for &(a, b) in &edges {
+                if a == x && !live[b] {
+                    live[b] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(
+                h.alive(ids[i]),
+                live[i],
+                "node {} (busy set {:?}): expected live={}",
+                i, busy, live[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests of the real-thread runtime: the identical sans-io
+//! protocol core under true concurrency and wall-clock timers.
+
+use std::time::Duration;
+
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::dgc::TerminateReason;
+use grid_dgc::rt_thread::ThreadGrid;
+
+fn cfg() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_millis(30))
+        .tta(Dur::from_millis(100))
+        .max_comm(Dur::from_millis(30))
+        .build()
+}
+
+#[test]
+fn mixed_graph_converges_under_threads() {
+    // chain → ring, plus an isolated node: everything garbage.
+    let grid = ThreadGrid::new(4, cfg());
+    let chain: Vec<_> = (0..3).map(|i| grid.add_activity(i)).collect();
+    let ring: Vec<_> = (0..3).map(|i| grid.add_activity((i + 1) & 3)).collect();
+    let lone = grid.add_activity(0);
+    grid.add_ref(chain[0], chain[1]);
+    grid.add_ref(chain[1], chain[2]);
+    grid.add_ref(chain[2], ring[0]);
+    for w in 0..3 {
+        grid.add_ref(ring[w], ring[(w + 1) % 3]);
+    }
+    for id in chain.iter().chain(&ring).chain([&lone]) {
+        grid.set_idle(*id, true);
+    }
+    let total = chain.len() + ring.len() + 1;
+    assert!(
+        grid.wait_until(Duration::from_secs(20), |t| t.len() == total),
+        "everything is garbage; got {:?}",
+        grid.terminated()
+    );
+    grid.shutdown();
+}
+
+#[test]
+fn live_subgraph_survives_thread_scheduling_noise() {
+    let grid = ThreadGrid::new(4, cfg());
+    let root = grid.add_activity(0); // never set idle: a root
+    let kept: Vec<_> = (1..4).map(|i| grid.add_activity(i)).collect();
+    grid.add_ref(root, kept[0]);
+    grid.add_ref(kept[0], kept[1]);
+    grid.add_ref(kept[1], kept[2]);
+    grid.add_ref(kept[2], kept[0]); // a cycle, but reachable from root
+    for id in &kept {
+        grid.set_idle(*id, true);
+    }
+    std::thread::sleep(Duration::from_millis(800));
+    assert!(
+        grid.terminated().is_empty(),
+        "nothing may die: {:?}",
+        grid.terminated()
+    );
+    // Cut the root's edge: now the cycle is garbage.
+    grid.drop_ref(root, kept[0]);
+    assert!(grid.wait_until(Duration::from_secs(20), |t| t.len() == kept.len()));
+    grid.shutdown();
+}
+
+#[test]
+fn acyclic_and_cyclic_reasons_both_appear() {
+    let grid = ThreadGrid::new(2, cfg());
+    let lone = grid.add_activity(0);
+    let a = grid.add_activity(0);
+    let b = grid.add_activity(1);
+    grid.add_ref(a, b);
+    grid.add_ref(b, a);
+    grid.set_idle(lone, true);
+    grid.set_idle(a, true);
+    grid.set_idle(b, true);
+    assert!(grid.wait_until(Duration::from_secs(20), |t| t.len() == 3));
+    let reasons: Vec<TerminateReason> = grid.terminated().iter().map(|t| t.reason).collect();
+    assert!(reasons.contains(&TerminateReason::Acyclic));
+    assert!(reasons.iter().any(|r| r.is_cyclic()));
+    grid.shutdown();
+}
+
+#[test]
+fn many_activities_per_thread() {
+    // 4 threads × 8 activities wired as one big ring: one consensus must
+    // sweep all 32.
+    let grid = ThreadGrid::new(4, cfg());
+    let ids: Vec<_> = (0..32).map(|i| grid.add_activity(i % 4)).collect();
+    for w in 0..32 {
+        grid.add_ref(ids[w], ids[(w + 1) % 32]);
+    }
+    for id in &ids {
+        grid.set_idle(*id, true);
+    }
+    assert!(
+        grid.wait_until(Duration::from_secs(60), |t| t.len() == 32),
+        "ring of 32 across 4 threads: {:?} collected",
+        grid.terminated().len()
+    );
+    grid.shutdown();
+}
