@@ -53,24 +53,29 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_aoid(buf: &mut BytesMut, id: AoId) {
+/// Appends an [`AoId`] (8 bytes). Public so node-level transports can
+/// compose frames out of the same primitives the simulator charges for.
+pub fn put_aoid(buf: &mut BytesMut, id: AoId) {
     buf.put_u32(id.node);
     buf.put_u32(id.index);
 }
 
-fn get_aoid(buf: &mut Bytes) -> Result<AoId, DecodeError> {
+/// Reads an [`AoId`] back.
+pub fn get_aoid(buf: &mut Bytes) -> Result<AoId, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
     Ok(AoId::new(buf.get_u32(), buf.get_u32()))
 }
 
-fn put_clock(buf: &mut BytesMut, c: NamedClock) {
+/// Appends a [`NamedClock`] (16 bytes).
+pub fn put_clock(buf: &mut BytesMut, c: NamedClock) {
     buf.put_u64(c.value);
     put_aoid(buf, c.owner);
 }
 
-fn get_clock(buf: &mut Bytes) -> Result<NamedClock, DecodeError> {
+/// Reads a [`NamedClock`] back.
+pub fn get_clock(buf: &mut Bytes) -> Result<NamedClock, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
@@ -79,23 +84,24 @@ fn get_clock(buf: &mut Bytes) -> Result<NamedClock, DecodeError> {
     Ok(NamedClock { value, owner })
 }
 
-/// Encodes a DGC message.
-pub fn encode_message(m: &DgcMessage) -> Bytes {
-    let mut buf = BytesMut::with_capacity(34);
+/// Appends an encoded DGC message to `buf` (tag included), letting
+/// transports embed messages inside larger frames without intermediate
+/// allocations.
+pub fn put_message(buf: &mut BytesMut, m: &DgcMessage) {
     buf.put_u8(TAG_MESSAGE);
-    put_aoid(&mut buf, m.sender);
-    put_clock(&mut buf, m.clock);
+    put_aoid(buf, m.sender);
+    put_clock(buf, m.clock);
     let mut flags = 0u8;
     if m.consensus {
         flags |= FLAG_CONSENSUS;
     }
     buf.put_u8(flags);
     buf.put_u64(m.sender_ttb.as_nanos());
-    buf.freeze()
 }
 
-/// Decodes a DGC message.
-pub fn decode_message(mut buf: Bytes) -> Result<DgcMessage, DecodeError> {
+/// Reads one DGC message from the front of `buf`, leaving any trailing
+/// bytes unread (the encoding is self-delimiting).
+pub fn get_message(buf: &mut Bytes) -> Result<DgcMessage, DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -103,8 +109,8 @@ pub fn decode_message(mut buf: Bytes) -> Result<DgcMessage, DecodeError> {
     if tag != TAG_MESSAGE {
         return Err(DecodeError::BadTag(tag));
     }
-    let sender = get_aoid(&mut buf)?;
-    let clock = get_clock(&mut buf)?;
+    let sender = get_aoid(buf)?;
+    let clock = get_clock(buf)?;
     if buf.remaining() < 9 {
         return Err(DecodeError::Truncated);
     }
@@ -118,12 +124,11 @@ pub fn decode_message(mut buf: Bytes) -> Result<DgcMessage, DecodeError> {
     })
 }
 
-/// Encodes a DGC response.
-pub fn encode_response(r: &DgcResponse) -> Bytes {
-    let mut buf = BytesMut::with_capacity(30);
+/// Appends an encoded DGC response to `buf` (tag included).
+pub fn put_response(buf: &mut BytesMut, r: &DgcResponse) {
     buf.put_u8(TAG_RESPONSE);
-    put_aoid(&mut buf, r.responder);
-    put_clock(&mut buf, r.clock);
+    put_aoid(buf, r.responder);
+    put_clock(buf, r.clock);
     let mut flags = 0u8;
     if r.has_parent {
         flags |= FLAG_HAS_PARENT;
@@ -138,11 +143,11 @@ pub fn encode_response(r: &DgcResponse) -> Bytes {
     if let Some(d) = r.depth {
         buf.put_u32(d);
     }
-    buf.freeze()
 }
 
-/// Decodes a DGC response.
-pub fn decode_response(mut buf: Bytes) -> Result<DgcResponse, DecodeError> {
+/// Reads one DGC response from the front of `buf`, leaving any trailing
+/// bytes unread.
+pub fn get_response(buf: &mut Bytes) -> Result<DgcResponse, DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -150,8 +155,8 @@ pub fn decode_response(mut buf: Bytes) -> Result<DgcResponse, DecodeError> {
     if tag != TAG_RESPONSE {
         return Err(DecodeError::BadTag(tag));
     }
-    let responder = get_aoid(&mut buf)?;
-    let clock = get_clock(&mut buf)?;
+    let responder = get_aoid(buf)?;
+    let clock = get_clock(buf)?;
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -171,6 +176,30 @@ pub fn decode_response(mut buf: Bytes) -> Result<DgcResponse, DecodeError> {
         consensus_reached: flags & FLAG_CONSENSUS_REACHED != 0,
         depth,
     })
+}
+
+/// Encodes a DGC message.
+pub fn encode_message(m: &DgcMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(34);
+    put_message(&mut buf, m);
+    buf.freeze()
+}
+
+/// Decodes a DGC message.
+pub fn decode_message(mut buf: Bytes) -> Result<DgcMessage, DecodeError> {
+    get_message(&mut buf)
+}
+
+/// Encodes a DGC response.
+pub fn encode_response(r: &DgcResponse) -> Bytes {
+    let mut buf = BytesMut::with_capacity(30);
+    put_response(&mut buf, r);
+    buf.freeze()
+}
+
+/// Decodes a DGC response.
+pub fn decode_response(mut buf: Bytes) -> Result<DgcResponse, DecodeError> {
+    get_response(&mut buf)
 }
 
 /// Wire size in bytes of an encoded DGC message (fixed).

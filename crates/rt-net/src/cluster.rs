@@ -1,0 +1,131 @@
+//! Multi-node test/demo driver: a whole DGC deployment on localhost.
+//!
+//! Spawns N [`NetNode`]s on ephemeral `127.0.0.1` ports, cross-registers
+//! their listen addresses, and exposes the same driver surface as
+//! `dgc_rt_thread::ThreadGrid` — create activities, flip idleness, wire
+//! reference edges, watch terminations — except every DGC message and
+//! response now crosses a real TCP socket in a length-prefixed batched
+//! frame.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use dgc_core::id::AoId;
+
+use crate::config::NetConfig;
+use crate::node::{NetNode, Terminated};
+use crate::stats::NetStatsSnapshot;
+
+/// A running localhost cluster of DGC nodes.
+pub struct Cluster {
+    nodes: Vec<NetNode>,
+}
+
+impl Cluster {
+    /// Starts `n` nodes, each with `config`, fully peered.
+    pub fn listen_local(n: u32, config: NetConfig) -> std::io::Result<Cluster> {
+        let mut nodes = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            nodes.push(NetNode::bind(id, config)?);
+        }
+        let addrs: Vec<(u32, SocketAddr)> =
+            nodes.iter().map(|nd| (nd.node_id(), nd.addr())).collect();
+        for node in &nodes {
+            for (id, addr) in &addrs {
+                if *id != node.node_id() {
+                    node.add_peer(*id, *addr);
+                }
+            }
+        }
+        Ok(Cluster { nodes })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node hosting id-namespace `node`.
+    pub fn node(&self, node: u32) -> &NetNode {
+        &self.nodes[node as usize]
+    }
+
+    /// Creates an activity on `node` (initially busy); returns its id.
+    pub fn add_activity(&self, node: u32) -> AoId {
+        self.nodes[node as usize].add_activity()
+    }
+
+    /// Declares `ao` idle or busy.
+    pub fn set_idle(&self, ao: AoId, idle: bool) {
+        self.nodes[ao.node as usize].set_idle(ao, idle);
+    }
+
+    /// Adds the reference edge `from → to` (any pair of nodes).
+    pub fn add_ref(&self, from: AoId, to: AoId) {
+        self.nodes[from.node as usize].add_ref(from, to);
+    }
+
+    /// Drops the reference edge `from → to`.
+    pub fn drop_ref(&self, from: AoId, to: AoId) {
+        self.nodes[from.node as usize].drop_ref(from, to);
+    }
+
+    /// All terminations recorded so far, across nodes.
+    pub fn terminated(&self) -> Vec<Terminated> {
+        let mut all: Vec<Terminated> = self.nodes.iter().flat_map(|n| n.terminated()).collect();
+        all.sort_by_key(|t| t.ao);
+        all
+    }
+
+    /// True if `ao` has terminated.
+    pub fn is_terminated(&self, ao: AoId) -> bool {
+        self.nodes[ao.node as usize]
+            .terminated()
+            .iter()
+            .any(|t| t.ao == ao)
+    }
+
+    /// Blocks until `predicate` holds over the merged termination log or
+    /// the deadline passes; returns whether it held.
+    pub fn wait_until(
+        &self,
+        deadline: Duration,
+        predicate: impl Fn(&[Terminated]) -> bool,
+    ) -> bool {
+        crate::node::poll_until(deadline, || predicate(&self.terminated()))
+    }
+
+    /// Per-node transport counters.
+    pub fn stats(&self) -> Vec<NetStatsSnapshot> {
+        self.nodes.iter().map(|n| n.stats()).collect()
+    }
+
+    /// Transport counters summed over all nodes.
+    pub fn total_stats(&self) -> NetStatsSnapshot {
+        let mut total = NetStatsSnapshot::default();
+        for s in self.stats() {
+            total.frames_sent += s.frames_sent;
+            total.bytes_sent += s.bytes_sent;
+            total.items_sent += s.items_sent;
+            total.frames_received += s.frames_received;
+            total.bytes_received += s.bytes_received;
+            total.items_received += s.items_received;
+            total.reconnects += s.reconnects;
+            total.send_failures += s.send_failures;
+            total.decode_errors += s.decode_errors;
+        }
+        total
+    }
+
+    /// Stops every node and joins their threads.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}

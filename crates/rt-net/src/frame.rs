@@ -1,0 +1,447 @@
+//! Node-level framing: the envelope DGC protocol units travel in when
+//! they cross a real socket.
+//!
+//! The sans-io codec in [`dgc_core::wire`] knows how to lay out one
+//! message or response; a *node* link needs more: who is connecting
+//! (hello), which activity a unit is addressed to, notification that a
+//! destination activity no longer exists, and — the paper's fig. 8 cost
+//! lever — **batching**, so every DGC unit bound for the same remote
+//! node inside one TTB window shares a single frame and its overhead.
+//!
+//! Layout (big-endian), length-prefixed for TCP:
+//!
+//! ```text
+//! frame    := len(4) payload            len = payload size in bytes
+//! payload  := 0xF0 version(1) node(4)                      -- Hello
+//!           | 0xF1 count(4) item*                          -- Batch
+//! item     := 0x01 from(8) to(8) message                   -- Dgc
+//!           | 0x02 from(8) to(8) response                  -- Resp
+//!           | 0x03 holder(8) target(8)                     -- SendFailure
+//! ```
+//!
+//! `message` / `response` reuse [`dgc_core::wire`]'s self-delimiting
+//! encodings byte for byte, so the bandwidth accounting of the simulator
+//! and of the socket transport agree on the cost of a protocol unit.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dgc_core::id::AoId;
+use dgc_core::message::{DgcMessage, DgcResponse};
+use dgc_core::wire::{self, DecodeError};
+
+/// Protocol version carried by [`Frame::Hello`]; bumped on any layout
+/// change so mismatched nodes fail the handshake instead of
+/// misinterpreting frames.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame tag bytes (disjoint from `dgc_core::wire`'s unit tags).
+const TAG_HELLO: u8 = 0xF0;
+const TAG_BATCH: u8 = 0xF1;
+
+const ITEM_DGC: u8 = 0x01;
+const ITEM_RESP: u8 = 0x02;
+const ITEM_FAIL: u8 = 0x03;
+
+/// Frames larger than this are rejected as corrupt rather than buffered
+/// (a batch of 64 Ki heartbeats is already ~3 MiB; nothing legitimate
+/// comes close).
+pub const MAX_FRAME_LEN: usize = 8 << 20;
+
+/// Hard cap on items per batch, mirrored by the encoder.
+pub const MAX_BATCH_ITEMS: u32 = 1 << 20;
+
+/// One activity-addressed protocol unit inside a [`Frame::Batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Item {
+    /// A DGC message (TTB heartbeat) from `from` to `to`.
+    Dgc {
+        /// Sending activity.
+        from: AoId,
+        /// Destination activity, hosted on the receiving node.
+        to: AoId,
+        /// The protocol unit.
+        message: DgcMessage,
+    },
+    /// A DGC response travelling back to a referencer.
+    Resp {
+        /// Responding activity.
+        from: AoId,
+        /// Destination activity (the referencer).
+        to: AoId,
+        /// The protocol unit.
+        response: DgcResponse,
+    },
+    /// The destination activity of an earlier message no longer exists;
+    /// `holder` should drop its reference to `target` (the transport
+    /// analogue of an RMI call failing with `NoSuchObjectException`).
+    SendFailure {
+        /// Referencer holding the now-dangling reference.
+        holder: AoId,
+        /// The activity that is gone.
+        target: AoId,
+    },
+}
+
+impl Item {
+    /// The node the item must be routed to.
+    pub fn destination_node(&self) -> u32 {
+        match self {
+            Item::Dgc { to, .. } | Item::Resp { to, .. } => to.node,
+            Item::SendFailure { holder, .. } => holder.node,
+        }
+    }
+}
+
+/// A node-level envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Link handshake: the connecting node identifies itself.
+    Hello {
+        /// Sender's node id (the `AoId::node` namespace it hosts).
+        node: u32,
+        /// Frame-layout version; see [`PROTOCOL_VERSION`].
+        version: u8,
+    },
+    /// One or more protocol units for activities on the receiving node.
+    Batch(Vec<Item>),
+}
+
+fn put_item(buf: &mut BytesMut, item: &Item) {
+    match item {
+        Item::Dgc { from, to, message } => {
+            buf.put_u8(ITEM_DGC);
+            wire::put_aoid(buf, *from);
+            wire::put_aoid(buf, *to);
+            wire::put_message(buf, message);
+        }
+        Item::Resp { from, to, response } => {
+            buf.put_u8(ITEM_RESP);
+            wire::put_aoid(buf, *from);
+            wire::put_aoid(buf, *to);
+            wire::put_response(buf, response);
+        }
+        Item::SendFailure { holder, target } => {
+            buf.put_u8(ITEM_FAIL);
+            wire::put_aoid(buf, *holder);
+            wire::put_aoid(buf, *target);
+        }
+    }
+}
+
+fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    match buf.get_u8() {
+        ITEM_DGC => {
+            let from = wire::get_aoid(buf)?;
+            let to = wire::get_aoid(buf)?;
+            let message = wire::get_message(buf)?;
+            Ok(Item::Dgc { from, to, message })
+        }
+        ITEM_RESP => {
+            let from = wire::get_aoid(buf)?;
+            let to = wire::get_aoid(buf)?;
+            let response = wire::get_response(buf)?;
+            Ok(Item::Resp { from, to, response })
+        }
+        ITEM_FAIL => {
+            let holder = wire::get_aoid(buf)?;
+            let target = wire::get_aoid(buf)?;
+            Ok(Item::SendFailure { holder, target })
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Encodes `frame` *without* the length prefix (the payload).
+pub fn encode_payload(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Hello { node, version } => {
+            buf.put_u8(TAG_HELLO);
+            buf.put_u8(*version);
+            buf.put_u32(*node);
+        }
+        Frame::Batch(items) => put_batch(&mut buf, items),
+    }
+    buf.freeze()
+}
+
+/// Single source of truth for the batch payload layout, shared by
+/// [`encode_payload`] and [`encode_batch_frame`].
+fn put_batch(buf: &mut BytesMut, items: &[Item]) {
+    assert!(
+        items.len() <= MAX_BATCH_ITEMS as usize,
+        "batch of {} items exceeds MAX_BATCH_ITEMS",
+        items.len()
+    );
+    buf.put_u8(TAG_BATCH);
+    buf.put_u32(items.len() as u32);
+    for item in items {
+        put_item(buf, item);
+    }
+}
+
+/// Decodes a payload produced by [`encode_payload`]. Trailing garbage
+/// after a structurally complete frame is an error (`BadTag`), since a
+/// length-prefixed link never legitimately concatenates payloads.
+pub fn decode_payload(mut buf: Bytes) -> Result<Frame, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let frame = match buf.get_u8() {
+        TAG_HELLO => {
+            if buf.remaining() < 5 {
+                return Err(DecodeError::Truncated);
+            }
+            let version = buf.get_u8();
+            let node = buf.get_u32();
+            Frame::Hello { node, version }
+        }
+        TAG_BATCH => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let count = buf.get_u32();
+            if count > MAX_BATCH_ITEMS {
+                return Err(DecodeError::BadTag(TAG_BATCH));
+            }
+            let mut items = Vec::with_capacity(count.min(4096) as usize);
+            for _ in 0..count {
+                items.push(get_item(&mut buf)?);
+            }
+            Frame::Batch(items)
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if buf.remaining() != 0 {
+        return Err(DecodeError::BadTag(0));
+    }
+    Ok(frame)
+}
+
+/// Encodes `frame` with its 4-byte length prefix — exactly the bytes a
+/// link writes to the socket.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32(payload.len() as u32);
+    out.put_slice(payload.as_ref());
+    out
+}
+
+/// Encodes a batch frame (length prefix included) straight from a
+/// borrowed slice, so link writers can frame their queues without
+/// cloning items into a `Frame`.
+pub fn encode_batch_frame(items: &[Item]) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(8 + items.len() * 64);
+    put_batch(&mut payload, items);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32(payload.len() as u32);
+    out.put_slice(payload.as_ref());
+    out
+}
+
+/// Length-prefix framing overhead plus batch header, in bytes: what one
+/// extra frame costs over adding an item to an existing batch. Used by
+/// the `net_batching` bench to predict fig. 8-style savings.
+pub const FRAME_OVERHEAD: u64 = 4 + 1 + 4;
+
+/// Incremental frame extractor: feed arbitrary byte chunks as they
+/// arrive from a stream, take complete frames out. This is the exact
+/// decode path the node's socket readers use, so the property tests that
+/// split encodings at arbitrary boundaries exercise production code.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Extracts the next complete frame, if any.
+    ///
+    /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
+    /// corrupt and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::BadTag(0));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        decode_payload(Bytes::from(payload)).map(Some)
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_core::clock::NamedClock;
+    use dgc_core::units::Dur;
+
+    fn msg(n: u32) -> DgcMessage {
+        DgcMessage {
+            sender: AoId::new(n, 1),
+            clock: NamedClock {
+                value: 9,
+                owner: AoId::new(n, 1),
+            },
+            consensus: false,
+            sender_ttb: Dur::from_millis(25),
+        }
+    }
+
+    fn resp(n: u32) -> DgcResponse {
+        DgcResponse {
+            responder: AoId::new(n, 0),
+            clock: NamedClock::initial(AoId::new(n, 0)),
+            has_parent: true,
+            consensus_reached: false,
+            depth: Some(2),
+        }
+    }
+
+    fn sample_batch() -> Frame {
+        Frame::Batch(vec![
+            Item::Dgc {
+                from: AoId::new(0, 1),
+                to: AoId::new(1, 0),
+                message: msg(0),
+            },
+            Item::Resp {
+                from: AoId::new(1, 0),
+                to: AoId::new(0, 1),
+                response: resp(1),
+            },
+            Item::SendFailure {
+                holder: AoId::new(0, 1),
+                target: AoId::new(1, 9),
+            },
+        ])
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let f = Frame::Hello {
+            node: 7,
+            version: PROTOCOL_VERSION,
+        };
+        assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let f = sample_batch();
+        assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let f = Frame::Batch(Vec::new());
+        assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let payload = encode_payload(&sample_batch());
+        for len in 0..payload.len() {
+            assert!(
+                decode_payload(payload.slice(0..len)).is_err(),
+                "payload truncated to {len} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let payload = encode_payload(&sample_batch());
+        let mut raw: Vec<u8> = payload.as_ref().to_vec();
+        raw.push(0xEE);
+        assert!(decode_payload(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_across_arbitrary_splits() {
+        let frames = vec![
+            Frame::Hello {
+                node: 3,
+                version: PROTOCOL_VERSION,
+            },
+            sample_batch(),
+            Frame::Batch(Vec::new()),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        // Feed one byte at a time: the worst possible fragmentation.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn slice_encoder_matches_frame_encoder() {
+        let Frame::Batch(items) = sample_batch() else {
+            unreachable!()
+        };
+        assert_eq!(
+            encode_batch_frame(&items),
+            encode_frame(&Frame::Batch(items.clone()))
+        );
+        assert_eq!(encode_batch_frame(&[]), encode_frame(&Frame::Batch(vec![])));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_be_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn batched_frame_is_smaller_than_split_frames() {
+        let items: Vec<Item> = (0..16)
+            .map(|i| Item::Dgc {
+                from: AoId::new(0, i),
+                to: AoId::new(1, i),
+                message: msg(0),
+            })
+            .collect();
+        let batched = encode_frame(&Frame::Batch(items.clone())).len();
+        let unbatched: usize = items
+            .iter()
+            .map(|i| encode_frame(&Frame::Batch(vec![*i])).len())
+            .sum();
+        assert!(batched < unbatched);
+        assert_eq!(unbatched - batched, 15 * FRAME_OVERHEAD as usize);
+    }
+}

@@ -1,0 +1,706 @@
+//! A network node: one address space of the DGC, listening on a real
+//! TCP socket and hosting many activities.
+//!
+//! Mirrors the structure proven by `dgc-rt-thread` — a single event
+//! loop owns every hosted [`DgcState`] and wall-clock tick — but the
+//! mailbox is fed by sockets instead of in-process channels:
+//!
+//! ```text
+//!            ┌────────────── NetNode (handle) ───────────────┐
+//!  control → │ event loop: endpoints, ticks, routing         │
+//!            │   ├─ outbound links (peer.rs): msgs out       │
+//!            │   └─ reply senders: responses/failures back   │
+//!            │ acceptor ─ reader thread per inbound conn     │
+//!            └───────────────────────────────────────────────┘
+//! ```
+//!
+//! Routing discipline (paper §2.2): DGC **messages** go over the link
+//! this node *initiates* toward the referenced node; **responses** and
+//! send-failure notifications go back over whichever socket the peer
+//! opened to us. A node behind a NAT that can open connections but not
+//! accept them still collects correctly.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dgc_core::id::AoId;
+use dgc_core::message::{Action, TerminateReason};
+use dgc_core::protocol::DgcState;
+use dgc_core::units::Time;
+
+use crate::config::NetConfig;
+use crate::frame::{Frame, FrameDecoder, Item, PROTOCOL_VERSION};
+use crate::peer::{spawn_reply_writer, OutboundLink};
+use crate::stats::{NetStats, NetStatsSnapshot};
+
+/// Polls `check` every couple of milliseconds until it holds or
+/// `deadline` passes; shared by the node- and cluster-level
+/// `wait_until` drivers.
+pub(crate) fn poll_until(deadline: Duration, check: impl Fn() -> bool) -> bool {
+    let start = Instant::now();
+    loop {
+        if check() {
+            return true;
+        }
+        if start.elapsed() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A recorded termination, visible to drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Terminated {
+    /// Which activity ended.
+    pub ao: AoId,
+    /// Why.
+    pub reason: TerminateReason,
+}
+
+/// Everything the event loop can be asked to process.
+#[derive(Debug)]
+pub enum Event {
+    /// A protocol unit, from a socket or the local loopback.
+    Item(Item),
+    /// An accepted connection finished its hello; responses for `node`
+    /// now have a reply path.
+    PeerLink {
+        /// The remote node id.
+        node: u32,
+        /// Queue of the reply writer bound to that socket.
+        tx: mpsc::Sender<Item>,
+    },
+    /// Registers the listen address of a remote node.
+    AddPeer {
+        /// Remote node id.
+        node: u32,
+        /// Its listen address.
+        addr: SocketAddr,
+    },
+    /// Hosts a new activity.
+    AddActivity {
+        /// Its id (allocated by the handle).
+        id: AoId,
+    },
+    /// Marks an activity idle or busy.
+    SetIdle {
+        /// The activity.
+        ao: AoId,
+        /// New idleness.
+        idle: bool,
+    },
+    /// The application serialized a reference `from → to`.
+    AddRef {
+        /// Referencer (hosted here).
+        from: AoId,
+        /// Referenced activity (anywhere).
+        to: AoId,
+    },
+    /// The application dropped the reference `from → to`.
+    DropRef {
+        /// Referencer (hosted here).
+        from: AoId,
+        /// Referenced activity.
+        to: AoId,
+    },
+    /// Stops the event loop.
+    Shutdown,
+}
+
+struct Endpoint {
+    state: DgcState,
+    idle: bool,
+    next_tick: Instant,
+}
+
+/// Registry of every live socket a node's reader threads are blocked
+/// on, so shutdown can unblock them all with `Shutdown::Both`. Entries
+/// remove themselves when their reader exits (no fd accumulation on
+/// flapping links).
+#[derive(Debug, Default)]
+pub(crate) struct SocketTracker {
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+    next: AtomicU64,
+}
+
+impl SocketTracker {
+    /// Registers a clone of `stream`; the returned guard unregisters it
+    /// when dropped.
+    fn register(self: &Arc<Self>, stream: &TcpStream) -> Option<TrackedSocket> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.sockets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, clone);
+        Some(TrackedSocket {
+            tracker: Arc::clone(self),
+            id,
+        })
+    }
+
+    /// Shuts down every registered socket, unblocking its reader.
+    fn shutdown_all(&self) {
+        for s in self
+            .sockets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+pub(crate) struct TrackedSocket {
+    tracker: Arc<SocketTracker>,
+    id: u64,
+}
+
+impl Drop for TrackedSocket {
+    fn drop(&mut self) {
+        self.tracker
+            .sockets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
+/// A running DGC node bound to a TCP listener.
+pub struct NetNode {
+    node_id: u32,
+    addr: SocketAddr,
+    tx: mpsc::Sender<Event>,
+    next_index: AtomicU32,
+    stats: Arc<NetStats>,
+    terminated: Arc<Mutex<Vec<Terminated>>>,
+    shutting_down: Arc<AtomicBool>,
+    tracker: Arc<SocketTracker>,
+    loop_handle: Option<JoinHandle<()>>,
+    acceptor_handle: Option<JoinHandle<()>>,
+}
+
+impl NetNode {
+    /// Binds `node_id` to a fresh ephemeral port on `127.0.0.1` and
+    /// starts its event loop and acceptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.dgc` violates the TTA safety formula.
+    pub fn bind(node_id: u32, config: NetConfig) -> std::io::Result<NetNode> {
+        config.dgc.validate().expect("unsafe TTB/TTA configuration");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel();
+        let stats = NetStats::shared();
+        let terminated = Arc::new(Mutex::new(Vec::new()));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(SocketTracker::default());
+
+        let worker = Worker {
+            node_id,
+            config,
+            rx,
+            loopback: tx.clone(),
+            endpoints: BTreeMap::new(),
+            peer_addrs: HashMap::new(),
+            outbound: HashMap::new(),
+            reply: HashMap::new(),
+            epoch: Instant::now(),
+            stats: Arc::clone(&stats),
+            terminated: Arc::clone(&terminated),
+            tracker: Arc::clone(&tracker),
+        };
+        let loop_handle = std::thread::Builder::new()
+            .name(format!("dgc-net-node-{node_id}"))
+            .spawn(move || worker.run())
+            .expect("spawn node event loop");
+
+        let acceptor = Acceptor {
+            node_id,
+            listener,
+            config,
+            events: tx.clone(),
+            stats: Arc::clone(&stats),
+            shutting_down: Arc::clone(&shutting_down),
+            tracker: Arc::clone(&tracker),
+        };
+        let acceptor_handle = std::thread::Builder::new()
+            .name(format!("dgc-net-accept-{node_id}"))
+            .spawn(move || acceptor.run())
+            .expect("spawn acceptor");
+
+        Ok(NetNode {
+            node_id,
+            addr,
+            tx,
+            next_index: AtomicU32::new(0),
+            stats,
+            terminated,
+            shutting_down,
+            tracker,
+            loop_handle: Some(loop_handle),
+            acceptor_handle: Some(acceptor_handle),
+        })
+    }
+
+    /// This node's id (the `AoId::node` namespace it allocates from).
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a remote node's listen address; links are established
+    /// lazily on first routed message.
+    pub fn add_peer(&self, node: u32, addr: SocketAddr) {
+        let _ = self.tx.send(Event::AddPeer { node, addr });
+    }
+
+    /// Creates an activity on this node (initially busy); returns its id.
+    pub fn add_activity(&self) -> AoId {
+        let index = self.next_index.fetch_add(1, Ordering::Relaxed);
+        let id = AoId::new(self.node_id, index);
+        let _ = self.tx.send(Event::AddActivity { id });
+        id
+    }
+
+    /// Declares `ao` (hosted here) idle or busy.
+    pub fn set_idle(&self, ao: AoId, idle: bool) {
+        let _ = self.tx.send(Event::SetIdle { ao, idle });
+    }
+
+    /// Adds the reference edge `from → to`; `from` must be hosted here.
+    pub fn add_ref(&self, from: AoId, to: AoId) {
+        let _ = self.tx.send(Event::AddRef { from, to });
+    }
+
+    /// Drops the reference edge `from → to`; `from` must be hosted here.
+    pub fn drop_ref(&self, from: AoId, to: AoId) {
+        let _ = self.tx.send(Event::DropRef { from, to });
+    }
+
+    /// Snapshot of terminations recorded on this node.
+    pub fn terminated(&self) -> Vec<Terminated> {
+        self.terminated
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Transport counters for this node.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Blocks until `predicate` holds over this node's termination log
+    /// or the deadline passes; returns whether it held.
+    pub fn wait_until(
+        &self,
+        deadline: Duration,
+        predicate: impl Fn(&[Terminated]) -> bool,
+    ) -> bool {
+        poll_until(deadline, || predicate(&self.terminated()))
+    }
+
+    /// Stops the event loop, acceptor and link threads and joins them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(Event::Shutdown);
+        // Shut every live socket down *before* joining: the event loop
+        // join transitively joins writer threads, and a writer blocked
+        // in `write_all` against a peer that stopped reading can only
+        // be unblocked by killing its connection (each connection's
+        // reader registered a clone covering the whole socket).
+        self.tracker.shutdown_all();
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.acceptor_handle.take() {
+            let _ = h.join();
+        }
+        // Again, for connections established during the join window.
+        self.tracker.shutdown_all();
+    }
+}
+
+impl Drop for NetNode {
+    fn drop(&mut self) {
+        if self.loop_handle.is_some() || self.acceptor_handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+struct Acceptor {
+    node_id: u32,
+    listener: TcpListener,
+    config: NetConfig,
+    events: mpsc::Sender<Event>,
+    stats: Arc<NetStats>,
+    shutting_down: Arc<AtomicBool>,
+    tracker: Arc<SocketTracker>,
+}
+
+impl Acceptor {
+    fn run(self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    // Transient accept errors (EMFILE, ECONNABORTED)
+                    // must not silently end inbound connectivity.
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            // Reader threads are detached: they exit on EOF/error, which
+            // `NetNode::stop` forces via the tracker's `Shutdown::Both`.
+            spawn_socket_reader(
+                self.node_id,
+                stream,
+                self.config,
+                self.events.clone(),
+                Arc::clone(&self.stats),
+                true,
+                Arc::clone(&self.tracker),
+            );
+        }
+    }
+}
+
+/// Spawns a detached thread decoding frames off `stream` into the event
+/// loop. Used for both sides of the link topology: accepted connections
+/// (`accept_hello = true`, registering a reply path on the peer's
+/// hello) and the read half of connections this node *initiated*, which
+/// is where the peer's responses and failure notifications arrive.
+pub(crate) fn spawn_socket_reader(
+    node_id: u32,
+    stream: TcpStream,
+    config: NetConfig,
+    events: mpsc::Sender<Event>,
+    stats: Arc<NetStats>,
+    accept_hello: bool,
+    tracker: Arc<SocketTracker>,
+) {
+    let _ = std::thread::Builder::new()
+        .name(format!("dgc-net-read-{node_id}"))
+        .spawn(move || {
+            let mut stream = stream;
+            // Registered for the reader's lifetime: node shutdown can
+            // unblock this thread, and the entry leaves with it.
+            let _tracked = tracker.register(&stream);
+            let mut decoder = FrameDecoder::new();
+            let mut chunk = [0u8; 16 * 1024];
+            let mut peer: Option<u32> = None;
+            loop {
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                stats.on_raw_received(n as u64);
+                decoder.push(&chunk[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(Frame::Hello { node, version })) => {
+                            if version != PROTOCOL_VERSION {
+                                stats.on_decode_error();
+                                let _ = stream.shutdown(Shutdown::Both);
+                                return;
+                            }
+                            stats.on_frame_received(0);
+                            if accept_hello && peer.is_none() {
+                                peer = Some(node);
+                                // Give the event loop a reply path over
+                                // this same socket (firewall-transparent).
+                                if let Ok(w) = stream.try_clone() {
+                                    let (tx, _h) = spawn_reply_writer(
+                                        node_id,
+                                        node,
+                                        w,
+                                        config,
+                                        Arc::clone(&stats),
+                                    );
+                                    let _ = events.send(Event::PeerLink { node, tx });
+                                }
+                            }
+                        }
+                        Ok(Some(Frame::Batch(items))) => {
+                            stats.on_frame_received(items.len() as u64);
+                            for item in items {
+                                if events.send(Event::Item(item)).is_err() {
+                                    return; // node is shutting down
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            stats.on_decode_error();
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+struct Worker {
+    node_id: u32,
+    config: NetConfig,
+    rx: mpsc::Receiver<Event>,
+    loopback: mpsc::Sender<Event>,
+    endpoints: BTreeMap<u32, Endpoint>,
+    peer_addrs: HashMap<u32, SocketAddr>,
+    outbound: HashMap<u32, OutboundLink>,
+    reply: HashMap<u32, mpsc::Sender<Item>>,
+    epoch: Instant,
+    stats: Arc<NetStats>,
+    terminated: Arc<Mutex<Vec<Terminated>>>,
+    tracker: Arc<SocketTracker>,
+}
+
+impl Worker {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Sends `item` toward its destination node. Messages prefer the
+    /// forward (initiated) link; responses and failure notifications
+    /// prefer the reply path of the socket the peer opened to us.
+    fn route(&mut self, item: Item) {
+        let dest = item.destination_node();
+        if dest == self.node_id {
+            let _ = self.loopback.send(Event::Item(item));
+            return;
+        }
+        match item {
+            Item::Dgc { .. } => self.route_forward(dest, item),
+            Item::Resp { .. } | Item::SendFailure { .. } => {
+                if let Some(tx) = self.reply.get(&dest) {
+                    if tx.send(item).is_ok() {
+                        return;
+                    }
+                    self.reply.remove(&dest);
+                }
+                // No live inbound socket from that node: fall back to a
+                // forward link if we can reach it at all.
+                self.route_forward(dest, item);
+            }
+        }
+    }
+
+    fn route_forward(&mut self, dest: u32, item: Item) {
+        if !self.outbound.contains_key(&dest) {
+            let Some(addr) = self.peer_addrs.get(&dest).copied() else {
+                // Unknown peer: the reference can never be honoured.
+                if let Item::Dgc { from, to, .. } = item {
+                    let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                        holder: from,
+                        target: to,
+                    }));
+                    self.stats.on_send_failures(1);
+                }
+                return;
+            };
+            let link = OutboundLink::spawn(
+                self.node_id,
+                dest,
+                addr,
+                self.config,
+                Arc::clone(&self.stats),
+                self.loopback.clone(),
+                Arc::clone(&self.tracker),
+            );
+            self.outbound.insert(dest, link);
+        }
+        self.outbound
+            .get(&dest)
+            .expect("link just ensured")
+            .send(item);
+    }
+
+    fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendMessage { to, message } => self.route(Item::Dgc {
+                    from: who,
+                    to,
+                    message,
+                }),
+                Action::SendResponse { to, response } => self.route(Item::Resp {
+                    from: who,
+                    to,
+                    response,
+                }),
+                Action::Terminate { reason } => {
+                    self.endpoints.remove(&who.index);
+                    self.terminated
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(Terminated { ao: who, reason });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn handle_item(&mut self, item: Item) {
+        // A unit addressed to a different node must never be applied
+        // here: endpoints are keyed by index, so a misrouted item from
+        // a buggy or hostile peer would otherwise mutate an unrelated
+        // local activity. Answer misaddressed messages with a send
+        // failure (the protocol's self-healing path) and drop the rest.
+        if item.destination_node() != self.node_id {
+            self.stats.on_decode_error();
+            if let Item::Dgc { from, to, .. } = item {
+                self.route(Item::SendFailure {
+                    holder: from,
+                    target: to,
+                });
+            }
+            return;
+        }
+        let now = self.now();
+        match item {
+            Item::Dgc { from, to, message } => match self.endpoints.get_mut(&to.index) {
+                Some(ep) => {
+                    let actions = ep.state.on_message(now, &message);
+                    self.apply_actions(to, actions);
+                }
+                None => {
+                    // Target is gone: tell the sending node.
+                    self.route(Item::SendFailure {
+                        holder: from,
+                        target: to,
+                    });
+                }
+            },
+            Item::Resp { from, to, response } => {
+                if let Some(ep) = self.endpoints.get_mut(&to.index) {
+                    let idle = ep.idle;
+                    let actions = ep.state.on_response(now, from, &response, idle);
+                    self.apply_actions(to, actions);
+                }
+            }
+            Item::SendFailure { holder, target } => {
+                if let Some(ep) = self.endpoints.get_mut(&holder.index) {
+                    ep.state.on_send_failure(target);
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, event: Event) -> bool {
+        match event {
+            Event::Shutdown => return false,
+            Event::Item(item) => self.handle_item(item),
+            Event::PeerLink { node, tx } => {
+                self.reply.insert(node, tx);
+            }
+            Event::AddPeer { node, addr } => {
+                self.peer_addrs.insert(node, addr);
+            }
+            Event::AddActivity { id } => {
+                let now = self.now();
+                self.endpoints.insert(
+                    id.index,
+                    Endpoint {
+                        state: DgcState::new(id, now, self.config.dgc),
+                        idle: false,
+                        next_tick: Instant::now()
+                            + Duration::from_nanos(self.config.dgc.ttb.as_nanos()),
+                    },
+                );
+            }
+            Event::SetIdle { ao, idle } => {
+                if let Some(ep) = self.endpoints.get_mut(&ao.index) {
+                    if idle && !ep.idle {
+                        ep.state.on_became_idle();
+                    }
+                    ep.idle = idle;
+                }
+            }
+            Event::AddRef { from, to } => {
+                if let Some(ep) = self.endpoints.get_mut(&from.index) {
+                    ep.state.on_stub_deserialized(to);
+                }
+            }
+            Event::DropRef { from, to } => {
+                if let Some(ep) = self.endpoints.get_mut(&from.index) {
+                    ep.state.on_stubs_collected(to);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs every endpoint whose TTB tick is due. All messages emitted
+    /// in one sweep are queued before any link flushes, which is what
+    /// lets the per-peer writers coalesce a whole sweep into one frame.
+    fn tick_due(&mut self) {
+        let now_i = Instant::now();
+        let due: Vec<u32> = self
+            .endpoints
+            .iter()
+            .filter(|(_, ep)| ep.next_tick <= now_i)
+            .map(|(idx, _)| *idx)
+            .collect();
+        let now = self.now();
+        for idx in due {
+            let Some(ep) = self.endpoints.get_mut(&idx) else {
+                continue;
+            };
+            let idle = ep.idle;
+            let actions = ep.state.on_tick(now, idle);
+            let period = Duration::from_nanos(ep.state.current_ttb().as_nanos());
+            ep.next_tick = now_i + period;
+            self.apply_actions(AoId::new(self.node_id, idx), actions);
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let next_tick = self
+                .endpoints
+                .values()
+                .map(|e| e.next_tick)
+                .min()
+                .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
+            let timeout = next_tick.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(timeout) {
+                Ok(event) => {
+                    if !self.handle(event) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            self.tick_due();
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Outbound peer links: one queue + writer thread per remote node.
+//!
+//! A link owns the TCP connection **initiated** by this node toward a
+//! peer. DGC messages travel in that direction (referencer → referenced,
+//! the direction the application can already talk in, which is what
+//! keeps the collector firewall-transparent); responses and failure
+//! notifications ride back on the *accepting* side's reply writer (see
+//! [`crate::node`]), never on a fresh reverse connection.
+//!
+//! Both directions share one queue-draining engine, [`BatchPump`],
+//! which implements the transport behaviours the tentpole is about:
+//!
+//! * **Per-destination batching** — after the first queued item it
+//!   lingers `batch_window`, then packs everything queued for this peer
+//!   into shared [`Frame::Batch`]es (capped well under the frame size
+//!   limit). At scale, the TTB sweep of a node with many activities
+//!   referencing one remote node becomes a single frame instead of
+//!   hundreds (the paper's fig. 8 bandwidth lever).
+//! * **Reconnect-on-drop** — a broken connection is retried with
+//!   exponential backoff while items keep queueing; after
+//!   `fail_after_attempts` consecutive failures (connects *or* writes,
+//!   so a peer that accepts and immediately closes still backs off)
+//!   the queued DGC messages are surfaced to the local protocol as
+//!   send failures so referencers drop edges to the unreachable node,
+//!   exactly like a permanently failing RMI call. Backoff waits keep
+//!   draining the queue channel, so shutdown never blocks on a sleep.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::NetConfig;
+use crate::frame::{encode_batch_frame, encode_frame, Frame, Item, PROTOCOL_VERSION};
+use crate::node::{Event, SocketTracker};
+use crate::stats::NetStats;
+
+/// Queue bound: a peer that stays down long enough to accumulate this
+/// many pending items starts shedding the oldest (they are periodic
+/// heartbeats; the next TTB regenerates them anyway).
+const MAX_PENDING: usize = 100_000;
+
+/// Items per flushed frame, kept orders of magnitude under both
+/// [`crate::frame::MAX_BATCH_ITEMS`] and [`crate::frame::MAX_FRAME_LEN`].
+const MAX_ITEMS_PER_FRAME: usize = 4096;
+
+/// The queue-draining half shared by the outbound writer and the reply
+/// writer: blocks for work, lingers to coalesce, flushes in bounded
+/// frames, and sheds overflow when the sink stalls.
+struct BatchPump {
+    rx: mpsc::Receiver<Item>,
+    pending: VecDeque<Item>,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+    /// All senders dropped: the owning node is shutting down.
+    closed: bool,
+}
+
+impl BatchPump {
+    fn new(rx: mpsc::Receiver<Item>, config: NetConfig, stats: Arc<NetStats>) -> Self {
+        BatchPump {
+            rx,
+            pending: VecDeque::new(),
+            config,
+            stats,
+            closed: false,
+        }
+    }
+
+    /// Blocks until there is something to send. `false` means the
+    /// channel is closed and nothing is pending: time to exit.
+    fn wait_for_work(&mut self) -> bool {
+        if !self.pending.is_empty() {
+            return true;
+        }
+        if self.closed {
+            return false;
+        }
+        match self.rx.recv() {
+            Ok(item) => {
+                self.pending.push_back(item);
+                true
+            }
+            Err(_) => {
+                self.closed = true;
+                false
+            }
+        }
+    }
+
+    /// After the first item, linger `batch_window` collecting co-due
+    /// items, then drain whatever else is queued and shed overflow.
+    fn gather(&mut self) {
+        if self.config.batching && !self.config.batch_window.is_zero() {
+            let deadline = Instant::now() + self.config.batch_window;
+            while !self.closed {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match self.rx.recv_timeout(left) {
+                    Ok(item) => self.pending.push_back(item),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => self.closed = true,
+                }
+            }
+        }
+        while let Ok(item) = self.rx.try_recv() {
+            self.pending.push_back(item);
+        }
+        while self.pending.len() > MAX_PENDING {
+            self.pending.pop_front();
+        }
+    }
+
+    /// Sleeps up to `d` while still accepting queued items, returning
+    /// early (and fast) once the channel closes — an interruptible
+    /// backoff, so a node shutting down never waits out a retry timer.
+    fn idle(&mut self, d: Duration) {
+        let deadline = Instant::now() + d;
+        while !self.closed {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            match self.rx.recv_timeout(left) {
+                Ok(item) => self.pending.push_back(item),
+                Err(RecvTimeoutError::Timeout) => return,
+                Err(RecvTimeoutError::Disconnected) => self.closed = true,
+            }
+        }
+    }
+
+    /// Writes everything pending to `stream` in bounded frames (one
+    /// item per frame when batching is off). Items are drained only
+    /// after their frame is written, so a failure keeps them for the
+    /// retry — without cloning on the success path.
+    fn flush_to(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
+        while !self.pending.is_empty() {
+            let n = if self.config.batching {
+                self.pending.len().min(MAX_ITEMS_PER_FRAME)
+            } else {
+                1
+            };
+            let raw = encode_batch_frame(&self.pending.make_contiguous()[..n]);
+            stream.write_all(&raw)?;
+            self.stats.on_frame_sent(n as u64, raw.len() as u64);
+            self.pending.drain(..n);
+        }
+        Ok(())
+    }
+}
+
+/// Handle to an outbound link's queue and thread.
+pub struct OutboundLink {
+    tx: mpsc::Sender<Item>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OutboundLink {
+    /// Spawns the writer thread for `peer_addr`.
+    ///
+    /// `loopback` feeds send-failure notifications back into the owning
+    /// node's event loop when the peer proves unreachable; `tracker`
+    /// owns the read-half sockets so node shutdown can unblock them.
+    pub(crate) fn spawn(
+        local_node: u32,
+        peer_node: u32,
+        peer_addr: SocketAddr,
+        config: NetConfig,
+        stats: Arc<NetStats>,
+        loopback: mpsc::Sender<Event>,
+        tracker: Arc<SocketTracker>,
+    ) -> OutboundLink {
+        let (tx, rx) = mpsc::channel();
+        let worker = Writer {
+            local_node,
+            peer_addr,
+            config,
+            stats: Arc::clone(&stats),
+            loopback,
+            tracker,
+            pump: BatchPump::new(rx, config, stats),
+            conn: None,
+            failed_attempts: 0,
+            ever_connected: false,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("dgc-net-{local_node}-to-{peer_node}"))
+            .spawn(move || worker.run())
+            .expect("spawn outbound link thread");
+        OutboundLink {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Queues `item` for the peer. Errors (thread gone during shutdown)
+    /// are ignored — the item is a periodic protocol unit.
+    pub fn send(&self, item: Item) {
+        let _ = self.tx.send(item);
+    }
+}
+
+impl Drop for OutboundLink {
+    fn drop(&mut self) {
+        // Closing the channel lets the writer flush and exit.
+        let (dead_tx, _) = mpsc::channel();
+        self.tx = dead_tx;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Writer {
+    local_node: u32,
+    peer_addr: SocketAddr,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+    loopback: mpsc::Sender<Event>,
+    tracker: Arc<SocketTracker>,
+    pump: BatchPump,
+    conn: Option<TcpStream>,
+    failed_attempts: u32,
+    ever_connected: bool,
+}
+
+impl Writer {
+    fn run(mut self) {
+        loop {
+            if !self.pump.wait_for_work() {
+                return; // owner gone, nothing pending
+            }
+            self.pump.gather();
+            if self.conn.is_none() && !self.connect() {
+                if self.pump.closed {
+                    // Shutting down and the peer is unreachable: the
+                    // pending heartbeats die with the node.
+                    return;
+                }
+                continue;
+            }
+            match self
+                .pump
+                .flush_to(self.conn.as_mut().expect("connection just ensured"))
+            {
+                // Only a completed flush proves the link works; a
+                // successful connect alone must not reset the failure
+                // count, or a peer that accepts and instantly closes
+                // (e.g. version mismatch) would spin without backoff.
+                Ok(()) => self.failed_attempts = 0,
+                Err(_) => {
+                    self.conn = None;
+                    self.penalty();
+                }
+            }
+            if self.pump.closed && self.pump.pending.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Returns true when a usable connection exists afterwards.
+    fn connect(&mut self) -> bool {
+        match TcpStream::connect_timeout(&self.peer_addr, Duration::from_millis(500)) {
+            Ok(mut stream) => {
+                let _ = stream.set_nodelay(true);
+                // Backstop for peers that accept but stop reading: a
+                // full send buffer must surface as an error, not block
+                // this thread (and node shutdown) forever.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let hello = encode_frame(&Frame::Hello {
+                    node: self.local_node,
+                    version: PROTOCOL_VERSION,
+                });
+                if stream.write_all(&hello).is_err() {
+                    self.penalty();
+                    return false;
+                }
+                self.stats.on_frame_sent(0, hello.len() as u64);
+                if self.ever_connected {
+                    self.stats.on_reconnect();
+                }
+                self.ever_connected = true;
+                // Responses and send-failure notifications come back on
+                // this same connection (the referenced node never opens
+                // one toward us — §2.2 firewall transparency), so the
+                // initiating side reads it too.
+                if let Ok(rs) = stream.try_clone() {
+                    crate::node::spawn_socket_reader(
+                        self.local_node,
+                        rs,
+                        self.config,
+                        self.loopback.clone(),
+                        Arc::clone(&self.stats),
+                        false,
+                        Arc::clone(&self.tracker),
+                    );
+                }
+                self.conn = Some(stream);
+                true
+            }
+            Err(_) => {
+                self.penalty();
+                false
+            }
+        }
+    }
+
+    /// One failed connect or write: count it, surface queued messages
+    /// as send failures once the peer looks gone, back off (without
+    /// blocking shutdown or the queue).
+    fn penalty(&mut self) {
+        self.failed_attempts = self.failed_attempts.saturating_add(1);
+        if self.failed_attempts >= self.config.fail_after_attempts {
+            self.surface_send_failures();
+        }
+        let backoff = self
+            .config
+            .reconnect_base
+            .saturating_mul(1u32 << self.failed_attempts.min(10))
+            .min(self.config.reconnect_max);
+        self.pump.idle(backoff);
+    }
+
+    /// Abandons everything queued for the unreachable peer, converting
+    /// DGC messages into local send-failure events (the referencing
+    /// activities must learn the edge is gone). Responses and relayed
+    /// failure notifications have no local handler to notify, but their
+    /// loss is still counted so the degraded link shows in the stats.
+    fn surface_send_failures(&mut self) {
+        let abandoned = self.pump.pending.len() as u64;
+        for item in self.pump.pending.drain(..) {
+            if let Item::Dgc { from, to, .. } = item {
+                let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                    holder: from,
+                    target: to,
+                }));
+            }
+        }
+        if abandoned > 0 {
+            self.stats.on_send_failures(abandoned);
+        }
+    }
+}
+
+/// Spawns the batching writer for an **accepted** connection's reply
+/// direction: responses and send-failure notifications travel back on
+/// the socket the referencer's node opened, so no reverse connectivity
+/// is ever required (NAT/firewall transparency, §2.2 of the paper).
+pub fn spawn_reply_writer(
+    local_node: u32,
+    peer_node: u32,
+    mut stream: TcpStream,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+) -> (mpsc::Sender<Item>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<Item>();
+    let handle = std::thread::Builder::new()
+        .name(format!("dgc-net-{local_node}-reply-{peer_node}"))
+        .spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            let mut pump = BatchPump::new(rx, config, stats);
+            loop {
+                if !pump.wait_for_work() {
+                    return;
+                }
+                pump.gather();
+                if pump.flush_to(&mut stream).is_err() {
+                    return; // reply link dead; peer will reconnect
+                }
+                if pump.closed && pump.pending.is_empty() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn reply writer thread");
+    (tx, handle)
+}

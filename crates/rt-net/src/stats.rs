@@ -1,0 +1,147 @@
+//! Transport counters: what actually went over the wire.
+//!
+//! The paper's fig. 8 argument is about bytes on the network, so the
+//! socket runtime meters itself the same way the simulator does — every
+//! frame and every protocol unit is counted at the moment it is written
+//! to or read from a socket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic transport counters, shared between a node's link threads
+/// and its driver. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    items_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+    items_received: AtomicU64,
+    reconnects: AtomicU64,
+    send_failures: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+/// Point-in-time copy of a [`NetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Bytes written to sockets (length prefixes included).
+    pub bytes_sent: u64,
+    /// Protocol units carried by those frames.
+    pub items_sent: u64,
+    /// Frames read from sockets.
+    pub frames_received: u64,
+    /// Bytes read from sockets.
+    pub bytes_received: u64,
+    /// Protocol units carried by received frames.
+    pub items_received: u64,
+    /// Times an outbound link re-established its connection.
+    pub reconnects: u64,
+    /// Items abandoned because a peer stayed unreachable (queued DGC
+    /// messages additionally notify the local protocol, which drops the
+    /// dead edges).
+    pub send_failures: u64,
+    /// Inbound traffic rejected as corrupt or misaddressed.
+    pub decode_errors: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Mean protocol units per sent frame — the batching factor the
+    /// `net_batching` bench tracks (1.0 means no batching benefit).
+    pub fn items_per_frame(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.items_sent as f64 / self.frames_sent as f64
+        }
+    }
+}
+
+impl NetStats {
+    /// Fresh zeroed counters behind an [`Arc`].
+    pub fn shared() -> Arc<NetStats> {
+        Arc::new(NetStats::default())
+    }
+
+    /// Records one written frame carrying `items` units in `bytes` bytes.
+    pub fn on_frame_sent(&self, items: u64, bytes: u64) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.items_sent.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Records one read frame carrying `items` units.
+    pub fn on_frame_received(&self, items: u64) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.items_received.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Records raw bytes read off a socket (counted per `read`, so it
+    /// covers partial frames too).
+    pub fn on_raw_received(&self, bytes: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records an outbound link reconnect.
+    pub fn on_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` items surfaced as send failures.
+    pub fn on_send_failures(&self, n: u64) {
+        self.send_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a corrupt inbound frame.
+    pub fn on_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            items_sent: self.items_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            items_received: self.items_received.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            send_failures: self.send_failures.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::shared();
+        s.on_frame_sent(3, 100);
+        s.on_frame_sent(1, 20);
+        s.on_frame_received(2);
+        s.on_raw_received(64);
+        s.on_reconnect();
+        s.on_send_failures(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.frames_sent, 2);
+        assert_eq!(snap.bytes_sent, 120);
+        assert_eq!(snap.items_sent, 4);
+        assert_eq!(snap.items_per_frame(), 2.0);
+        assert_eq!(snap.frames_received, 1);
+        assert_eq!(snap.bytes_received, 64);
+        assert_eq!(snap.reconnects, 1);
+        assert_eq!(snap.send_failures, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_batching_factor() {
+        assert_eq!(NetStatsSnapshot::default().items_per_frame(), 0.0);
+    }
+}

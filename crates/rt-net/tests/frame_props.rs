@@ -1,0 +1,178 @@
+//! Property-based tests of the node-level frame codec, alongside the
+//! protocol-unit properties in `core/tests/protocol_props.rs`: arbitrary
+//! frames survive encode → concatenate → split-at-arbitrary-boundaries →
+//! incremental decode, and corrupt inputs never panic.
+
+use proptest::prelude::*;
+
+use dgc_core::clock::NamedClock;
+use dgc_core::id::AoId;
+use dgc_core::message::{DgcMessage, DgcResponse};
+use dgc_core::units::Dur;
+use dgc_rt_net::frame::{decode_payload, encode_frame, encode_payload, FrameDecoder};
+use dgc_rt_net::{Frame, Item};
+
+fn arb_aoid() -> impl Strategy<Value = AoId> {
+    (any::<u32>(), any::<u32>()).prop_map(|(n, i)| AoId::new(n, i))
+}
+
+fn arb_clock() -> impl Strategy<Value = NamedClock> {
+    (any::<u64>(), arb_aoid()).prop_map(|(value, owner)| NamedClock { value, owner })
+}
+
+fn arb_message() -> impl Strategy<Value = DgcMessage> {
+    (arb_aoid(), arb_clock(), any::<bool>(), any::<u64>()).prop_map(
+        |(sender, clock, consensus, ttb)| DgcMessage {
+            sender,
+            clock,
+            consensus,
+            sender_ttb: Dur::from_nanos(ttb),
+        },
+    )
+}
+
+fn arb_response() -> impl Strategy<Value = DgcResponse> {
+    (
+        arb_aoid(),
+        arb_clock(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(
+            |(responder, clock, has_parent, consensus_reached, depth)| DgcResponse {
+                responder,
+                clock,
+                has_parent,
+                consensus_reached,
+                depth,
+            },
+        )
+}
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    (
+        0u8..3,
+        arb_aoid(),
+        arb_aoid(),
+        arb_message(),
+        arb_response(),
+    )
+        .prop_map(|(kind, x, y, message, response)| match kind {
+            0 => Item::Dgc {
+                from: x,
+                to: y,
+                message,
+            },
+            1 => Item::Resp {
+                from: x,
+                to: y,
+                response,
+            },
+            _ => Item::SendFailure {
+                holder: x,
+                target: y,
+            },
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u8..4,
+        any::<u32>(),
+        proptest::collection::vec(arb_item(), 0..24),
+    )
+        .prop_map(|(kind, node, items)| {
+            if kind == 0 {
+                Frame::Hello {
+                    node,
+                    version: dgc_rt_net::frame::PROTOCOL_VERSION,
+                }
+            } else {
+                Frame::Batch(items)
+            }
+        })
+}
+
+proptest! {
+    /// Any frame's payload round-trips through the payload codec.
+    #[test]
+    fn any_frame_round_trips(f in arb_frame()) {
+        prop_assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+    }
+
+    /// A stream of frames, split at arbitrary chunk boundaries, is
+    /// reassembled exactly by the incremental decoder the socket
+    /// readers use — whatever TCP does to segment the bytes.
+    #[test]
+    fn any_stream_survives_arbitrary_fragmentation(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        cuts in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        // Derive chunk sizes from the cut list; always terminates with
+        // one final chunk holding the remainder.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut offset = 0usize;
+        for cut in &cuts {
+            if offset >= stream.len() { break; }
+            let end = (offset + cut).min(stream.len());
+            decoder.push(&stream[offset..end]);
+            while let Some(f) = decoder.next_frame().unwrap() {
+                got.push(f);
+            }
+            offset = end;
+        }
+        decoder.push(&stream[offset..]);
+        while let Some(f) = decoder.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    /// Truncating a payload anywhere must yield an error, never a panic
+    /// and never a bogus frame.
+    #[test]
+    fn truncated_payloads_error_out(f in arb_frame(), keep in 0u32..10_000) {
+        let payload = encode_payload(&f);
+        if payload.len() > 1 {
+            let keep = 1 + (keep as usize % (payload.len() - 1));
+            prop_assert!(decode_payload(payload.slice(0..keep)).is_err());
+        }
+    }
+
+    /// Decoding arbitrary bytes is total: an error or a frame, never a
+    /// panic (the property a network-facing codec must have).
+    #[test]
+    fn decoding_arbitrary_bytes_is_total(
+        raw in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = decode_payload(bytes::Bytes::from(raw.clone()));
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw);
+        // Drain until the decoder either wants more bytes or errors.
+        while let Ok(Some(_)) = dec.next_frame() {}
+    }
+
+    /// The batching invariant the transport relies on: a coalesced batch
+    /// always costs fewer bytes than the same items framed singly, by
+    /// exactly (n-1) times the framing overhead.
+    #[test]
+    fn batching_saves_exact_framing_overhead(
+        items in proptest::collection::vec(arb_item(), 2..32)
+    ) {
+        let batched = encode_frame(&Frame::Batch(items.clone())).len();
+        let singles: usize = items
+            .iter()
+            .map(|i| encode_frame(&Frame::Batch(vec![*i])).len())
+            .sum();
+        let expected_saving =
+            (items.len() - 1) * dgc_rt_net::frame::FRAME_OVERHEAD as usize;
+        prop_assert_eq!(singles - batched, expected_saving);
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no crates.io access; this shim provides the
+//! `bench_function` / `Bencher::iter` surface plus [`criterion_group!`]
+//! and [`criterion_main!`]. Timing is a straightforward
+//! median-of-samples measurement printed to stdout — no statistical
+//! regression analysis, no HTML reports. Good enough to compare hot
+//! paths on one machine, which is all the workspace's micro-benchmarks
+//! ask of it.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name`, printing a per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "bench {name:<40} median {:>12.1} ns/iter ({} samples)",
+            median.as_nanos() as f64,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Handle the benchmark closure drives its workload through.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly until the time budget is spent, recording
+    /// per-iteration samples in batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate a batch size aiming at ~1 ms per batch.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u32;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(10),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

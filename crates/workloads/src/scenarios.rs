@@ -22,7 +22,12 @@ impl Behavior for Spinner {
         ctx.set_timer(dgc_simnet::time::SimDuration::from_secs(1), 0);
     }
     fn on_timer(&mut self, ctx: &mut dgc_activeobj::activity::AoCtx<'_>, _token: u64) {
-        ctx.compute(dgc_simnet::time::SimDuration::from_millis(900));
+        // Compute past the next timer fire so a pending event always
+        // exists before the activity could go idle: without the overlap
+        // there is a window each period in which the DGC (correctly)
+        // observes the spinner idle, which is not what a "live blocker"
+        // scenario wants to model.
+        ctx.compute(dgc_simnet::time::SimDuration::from_millis(1100));
         ctx.set_timer(dgc_simnet::time::SimDuration::from_secs(1), 0);
     }
 }

@@ -15,14 +15,17 @@
 //! * [`workloads`] — NAS CG/EP/FT kernels, the torture test and the
 //!   figure scenarios from the paper;
 //! * [`rt_thread`] — a real-thread runtime driving the same protocol core
-//!   with wall-clock timers.
+//!   with wall-clock timers;
+//! * [`rt_net`] — a real TCP transport runtime: nodes on sockets,
+//!   length-prefixed batched frames, reconnecting peer links.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
-//! EXPERIMENTS.md for the reproduction inventory.
+//! See `examples/quickstart.rs` for a five-minute tour and the README
+//! for the crate map and how to run the test/bench suites.
 
 pub use dgc_activeobj as activeobj;
 pub use dgc_core as dgc;
 pub use dgc_rmi as rmi;
+pub use dgc_rt_net as rt_net;
 pub use dgc_rt_thread as rt_thread;
 pub use dgc_simnet as simnet;
 pub use dgc_workloads as workloads;

@@ -1,0 +1,170 @@
+//! End-to-end tests of the TCP transport runtime: the paper's protocol
+//! collecting real garbage over real sockets.
+//!
+//! The headline case is the acceptance scenario for `dgc-rt-net`: a
+//! two-activity cycle `a ⇄ b` split across two nodes that only talk
+//! through `127.0.0.1` TCP connections, collected end-to-end with
+//! millisecond-scale TTB/TTA.
+
+use std::time::Duration;
+
+use grid_dgc::dgc::config::DgcConfig;
+use grid_dgc::dgc::message::TerminateReason;
+use grid_dgc::dgc::units::Dur;
+use grid_dgc::rt_net::{Cluster, NetConfig};
+
+fn cfg() -> NetConfig {
+    NetConfig::new(
+        DgcConfig::builder()
+            .ttb(Dur::from_millis(25))
+            .tta(Dur::from_millis(80))
+            .max_comm(Dur::from_millis(20))
+            .build(),
+    )
+}
+
+#[test]
+fn cross_node_cycle_is_collected_over_tcp() {
+    let cluster = Cluster::listen_local(2, cfg()).expect("bind cluster");
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    assert_ne!(a.node, b.node, "the cycle must actually cross nodes");
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, a);
+    cluster.set_idle(a, true);
+    cluster.set_idle(b, true);
+
+    assert!(
+        cluster.wait_until(Duration::from_secs(20), |t| t.len() == 2),
+        "a ⇄ b cycle over sockets not collected: {:?}",
+        cluster.terminated()
+    );
+    let t = cluster.terminated();
+    assert!(t.iter().any(|x| x.ao == a) && t.iter().any(|x| x.ao == b));
+    assert!(
+        t.iter().any(|x| x.reason.is_cyclic()),
+        "a cycle needs the cyclic path, got {t:?}"
+    );
+    // All of it went over real TCP: both nodes moved protocol units.
+    let stats = cluster.stats();
+    assert!(stats[0].items_sent > 0 && stats[1].items_sent > 0);
+    assert!(stats[0].bytes_received > 0 && stats[1].bytes_received > 0);
+    assert_eq!(cluster.total_stats().decode_errors, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn three_node_ring_is_collected_over_tcp() {
+    let cluster = Cluster::listen_local(3, cfg()).expect("bind cluster");
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    let c = cluster.add_activity(2);
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, c);
+    cluster.add_ref(c, a);
+    for id in [a, b, c] {
+        cluster.set_idle(id, true);
+    }
+    assert!(
+        cluster.wait_until(Duration::from_secs(30), |t| t.len() == 3),
+        "three-node ring not collected: {:?}",
+        cluster.terminated()
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn busy_referencer_on_remote_node_protects_the_cycle() {
+    let cluster = Cluster::listen_local(2, cfg()).expect("bind cluster");
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, a);
+    cluster.set_idle(a, true);
+    // b stays busy: nothing may be collected, however long we wait
+    // relative to the timers.
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(
+        cluster.terminated().is_empty(),
+        "busy member overrun: {:?}",
+        cluster.terminated()
+    );
+    cluster.set_idle(b, true);
+    assert!(cluster.wait_until(Duration::from_secs(20), |t| t.len() == 2));
+    cluster.shutdown();
+}
+
+#[test]
+fn acyclic_garbage_is_collected_and_roots_survive() {
+    let cluster = Cluster::listen_local(2, cfg()).expect("bind cluster");
+    let root = cluster.add_activity(0); // never idled: a root
+    let kept = cluster.add_activity(1);
+    let garbage = cluster.add_activity(1);
+    cluster.add_ref(root, kept);
+    cluster.set_idle(kept, true);
+    cluster.set_idle(garbage, true);
+    assert!(
+        cluster.wait_until(Duration::from_secs(10), |t| t
+            .iter()
+            .any(|x| x.ao == garbage)),
+        "unreferenced idle activity must fall acyclically"
+    );
+    assert_eq!(
+        cluster
+            .terminated()
+            .iter()
+            .find(|t| t.ao == garbage)
+            .unwrap()
+            .reason,
+        TerminateReason::Acyclic
+    );
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        !cluster.is_terminated(kept),
+        "remote heartbeats from the busy root must keep `kept` alive"
+    );
+    assert!(!cluster.is_terminated(root));
+    cluster.shutdown();
+}
+
+#[test]
+fn ttb_and_tta_run_at_millisecond_scale() {
+    // The whole point of the transport runtime: wall-clock protocol
+    // timers. An isolated idle activity falls after TTA, so its
+    // collection latency bounds the real timer period from above.
+    let cluster = Cluster::listen_local(1, cfg()).expect("bind cluster");
+    let a = cluster.add_activity(0);
+    cluster.set_idle(a, true);
+    let start = std::time::Instant::now();
+    assert!(cluster.wait_until(Duration::from_secs(5), |t| !t.is_empty()));
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "ms-scale TTA should collect in well under 3 s, took {elapsed:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn batching_packs_cohosted_heartbeats_into_shared_frames() {
+    // 12 referencers on node 0, all pointing at activities on node 1:
+    // one TTB sweep queues 12·4 messages for the same peer, which the
+    // link must coalesce instead of framing one by one.
+    let cluster = Cluster::listen_local(2, cfg()).expect("bind cluster");
+    let targets: Vec<_> = (0..4).map(|_| cluster.add_activity(1)).collect();
+    for _ in 0..12 {
+        let holder = cluster.add_activity(0);
+        for t in &targets {
+            cluster.add_ref(holder, *t);
+        }
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    let s = cluster.stats()[0];
+    assert!(s.items_sent >= 48, "expected several TTB sweeps");
+    assert!(
+        s.items_per_frame() > 2.0,
+        "co-located heartbeats should batch: {:.2} items/frame",
+        s.items_per_frame()
+    );
+    cluster.shutdown();
+}
