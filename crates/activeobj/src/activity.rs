@@ -286,6 +286,10 @@ pub struct Activity {
     /// Roots are never idle: registered objects and dummy referencers
     /// (§4.1).
     pub is_root: bool,
+    /// Driver-pinned busyness (`Grid::set_busy`): an external client is
+    /// mid-call on this activity. Orthogonal to `is_root`, so pinning
+    /// and releasing never disturbs registry/root status.
+    pub pinned_busy: bool,
     /// Idleness at the last refresh, to detect busy→idle transitions.
     pub was_idle: bool,
     /// Future sequence counter.
@@ -307,6 +311,7 @@ impl Activity {
             stubs: StubTable::new(),
             collector: Collector::None,
             is_root,
+            pinned_busy: false,
             // Start "busy": the runtime refreshes idleness right after
             // on_start, producing the busy→idle transition if warranted.
             was_idle: false,
@@ -315,9 +320,11 @@ impl Activity {
         }
     }
 
-    /// §4.1 idleness: not serving, empty queue, not waiting, not a root.
+    /// §4.1 idleness: not serving, empty queue, not waiting, not a root,
+    /// not pinned busy by the driver.
     pub fn is_idle(&self) -> bool {
         !self.is_root
+            && !self.pinned_busy
             && self.pending_serves == 0
             && self.waiting.is_empty()
             && self.queue.is_empty()

@@ -10,8 +10,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dgc_core::faults::FaultProfile;
 use dgc_simnet::fault::FaultPlan;
-use dgc_simnet::network::Network;
+use dgc_simnet::network::{Delivery, Network};
 use dgc_simnet::queue::EventQueue;
 use dgc_simnet::rng::SimRng;
 use dgc_simnet::time::{SimDuration, SimTime};
@@ -116,6 +117,13 @@ impl GridConfig {
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Installs the simulator realization of a runtime-neutral
+    /// [`FaultProfile`] (the same description a `dgc-rt-net` chaos
+    /// proxy replays over real sockets).
+    pub fn fault_profile(self, profile: &FaultProfile) -> Self {
+        self.fault_plan(FaultPlan::from_profile(profile))
     }
 
     /// Sets the per-process deployment payload.
@@ -305,6 +313,19 @@ impl Grid {
     /// Looks up a registered activity.
     pub fn lookup(&self, name: &str) -> Option<AoId> {
         self.registry.get(name).copied()
+    }
+
+    /// Pins `ao` busy (`busy = true`) or releases the pin — the
+    /// deterministic equivalent of the socket runtime's explicit
+    /// `set_idle(ao, false)`, used by the conformance harness to script
+    /// identical busy/idle timelines on both runtimes. The pin is its
+    /// own flag, not `is_root`, so pinning and releasing never disturbs
+    /// root status from [`Grid::register`] / [`Grid::spawn_root`].
+    pub fn set_busy(&mut self, ao: AoId, busy: bool) {
+        if let Some(act) = get_act(&mut self.procs, ao) {
+            act.pinned_busy = busy;
+        }
+        self.refresh_idle(ao);
     }
 
     /// Hands `holder` a reference to `target` (deployment-time wiring:
@@ -755,13 +776,26 @@ impl Grid {
             future,
         };
         let size = request.wire_size() + self.envelope(sender, to);
-        let at = self.net.send(
+        let Delivery::At(at) = self.net.route(
             self.now,
             ProcId(sender.node),
             ProcId(to.node),
             TrafficClass::AppRequest,
             size,
-        );
+        ) else {
+            // Lost to a fault-plan drop window: the call never arrives
+            // and no future will ever resolve. The rendezvous phase is
+            // synchronous (§2), so the caller observes the failed send
+            // rather than waiting forever on a future that cannot be
+            // updated — clear the wait registered by `apply_effects`.
+            // (The oracle must not see the call as in flight either.)
+            if let Some(fut) = request.future {
+                if let Some(act) = get_act(&mut self.procs, sender) {
+                    act.waiting.remove(&fut.seq);
+                }
+            }
+            return;
+        };
         let key = self.next_inflight_key;
         self.next_inflight_key += 1;
         self.inflight_app.insert(
@@ -779,13 +813,24 @@ impl Grid {
     fn dispatch_reply(&mut self, sender: AoId, reply: Reply) {
         let to = reply.future.caller;
         let size = reply.wire_size() + self.envelope(sender, to);
-        let at = self.net.send(
+        let Delivery::At(at) = self.net.route(
             self.now,
             ProcId(sender.node),
             ProcId(to.node),
             TrafficClass::AppReply,
             size,
-        );
+        ) else {
+            // Lost future update. §4.1 tolerates these for a collected
+            // caller; a *live* caller must not wait forever on an
+            // update that can no longer arrive — release its wait,
+            // mirroring the request-drop path above. (Its on_reply
+            // handler never runs, exactly as on a dropped request.)
+            if let Some(act) = get_act(&mut self.procs, to) {
+                act.waiting.remove(&reply.future.seq);
+            }
+            self.refresh_idle(to);
+            return;
+        };
         let key = self.next_inflight_key;
         self.next_inflight_key += 1;
         self.inflight_app.insert(
@@ -859,40 +904,45 @@ impl Grid {
             match action {
                 Action::SendMessage { to, message } => {
                     let size = dgc_wire::message_wire_size() + self.envelope(ao, to);
-                    let at = self.net.send(
+                    // DGC traffic is subject to loss: a dropped heartbeat
+                    // is what the fault profiles are *for* (the next TTB
+                    // regenerates it; TTA decides whether that sufficed).
+                    if let Delivery::At(at) = self.net.route(
                         self.now,
                         ProcId(ao.node),
                         ProcId(to.node),
                         TrafficClass::DgcMessage,
                         size,
-                    );
-                    self.events.schedule(
-                        at,
-                        Event::DgcMsg {
-                            from: ao,
-                            to,
-                            message,
-                        },
-                    );
+                    ) {
+                        self.events.schedule(
+                            at,
+                            Event::DgcMsg {
+                                from: ao,
+                                to,
+                                message,
+                            },
+                        );
+                    }
                 }
                 Action::SendResponse { to, response } => {
                     let size = dgc_wire::response_wire_size(response.depth.is_some())
                         + self.envelope(ao, to);
-                    let at = self.net.send(
+                    if let Delivery::At(at) = self.net.route(
                         self.now,
                         ProcId(ao.node),
                         ProcId(to.node),
                         TrafficClass::DgcResponse,
                         size,
-                    );
-                    self.events.schedule(
-                        at,
-                        Event::DgcResp {
-                            from: ao,
-                            to,
-                            response,
-                        },
-                    );
+                    ) {
+                        self.events.schedule(
+                            at,
+                            Event::DgcResp {
+                                from: ao,
+                                to,
+                                response,
+                            },
+                        );
+                    }
                 }
                 Action::Terminate { reason } => {
                     self.terminate_activity(ao, Some(reason));
@@ -952,21 +1002,22 @@ impl Grid {
             match action {
                 RmiAction::Send { to, message } => {
                     let size = rmi_wire::wire_size(&message) + self.envelope(ao, to);
-                    let at = self.net.send(
+                    if let Delivery::At(at) = self.net.route(
                         self.now,
                         ProcId(ao.node),
                         ProcId(to.node),
                         TrafficClass::RmiLease,
                         size,
-                    );
-                    self.events.schedule(
-                        at,
-                        Event::Rmi {
-                            from: ao,
-                            to,
-                            message,
-                        },
-                    );
+                    ) {
+                        self.events.schedule(
+                            at,
+                            Event::Rmi {
+                                from: ao,
+                                to,
+                                message,
+                            },
+                        );
+                    }
                 }
                 RmiAction::Terminate => {
                     self.terminate_activity(ao, Some(TerminateReason::Acyclic));
@@ -1070,6 +1121,11 @@ impl Grid {
     /// Requests that arrived after their target terminated.
     pub fn app_sends_to_dead(&self) -> u64 {
         self.app_sends_to_dead
+    }
+
+    /// Messages lost to the fault plan's drop windows.
+    pub fn dropped_messages(&self) -> u64 {
+        self.net.dropped_messages()
     }
 
     /// Global traffic meter.
@@ -1279,6 +1335,96 @@ mod tests {
     }
 
     #[test]
+    fn dropped_awaited_request_releases_the_caller() {
+        // A drop window swallows the only app request: the synchronous
+        // rendezvous fails, so the caller must not stay busy forever
+        // waiting on a future nothing will ever update.
+        let profile = dgc_core::faults::FaultProfile::none().drop_frames(
+            Some(1),
+            Some(0),
+            dgc_core::faults::Window::from_millis(0, 100),
+            1000,
+        );
+        let topo = Topology::single_site(4, SimDuration::from_millis(1));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::None)
+                .seed(7)
+                .fault_profile(&profile),
+        );
+        let echo = g.spawn_root(ProcId(0), Box::new(Echo));
+        let caller = g.spawn(
+            ProcId(1),
+            Box::new(CallOnce {
+                target: echo,
+                got_reply: false,
+            }),
+        );
+        g.make_ref(caller, echo);
+        g.events.schedule(
+            g.now + SimDuration::from_millis(1),
+            Event::AppTimer {
+                ao: caller,
+                token: 0,
+            },
+        );
+        g.run_for(SimDuration::from_secs(1));
+        assert!(g.dropped_messages() >= 1, "the request must be lost");
+        let act = g.activity(caller).expect("alive");
+        assert!(
+            act.is_idle(),
+            "a dropped request must not leave the caller waiting"
+        );
+    }
+
+    #[test]
+    fn dropped_awaited_reply_releases_the_caller() {
+        // The mirror wedge: the request gets through, but the reply
+        // crosses a drop window. The live caller must be released, not
+        // left waiting forever on an update that can no longer arrive.
+        let profile = dgc_core::faults::FaultProfile::none().drop_frames(
+            Some(0),
+            Some(1),
+            dgc_core::faults::Window::from_millis(0, 100),
+            1000,
+        );
+        let topo = Topology::single_site(4, SimDuration::from_millis(1));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::None)
+                .seed(7)
+                .fault_profile(&profile),
+        );
+        let echo = g.spawn_root(ProcId(0), Box::new(Echo));
+        let caller = g.spawn(
+            ProcId(1),
+            Box::new(CallOnce {
+                target: echo,
+                got_reply: false,
+            }),
+        );
+        g.make_ref(caller, echo);
+        g.events.schedule(
+            g.now + SimDuration::from_millis(1),
+            Event::AppTimer {
+                ao: caller,
+                token: 0,
+            },
+        );
+        g.run_for(SimDuration::from_secs(1));
+        assert!(g.dropped_messages() >= 1, "the reply must be lost");
+        assert!(
+            g.traffic().bytes(TrafficClass::AppRequest) > 0,
+            "the request itself got through"
+        );
+        let act = g.activity(caller).expect("alive");
+        assert!(
+            act.is_idle(),
+            "a dropped reply must not leave the caller waiting"
+        );
+    }
+
+    #[test]
     fn unreferenced_activity_is_collected_by_dgc() {
         let mut g = grid(CollectorKind::Complete(dgc_cfg()));
         let a = g.spawn(ProcId(0), Box::new(Inert));
@@ -1413,6 +1559,65 @@ mod tests {
             (g.collected().len(), g.traffic().total_bytes(), g.now())
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn total_heartbeat_loss_defeats_tta_and_the_oracle_sees_it() {
+        use dgc_core::faults::{FaultProfile, Window};
+        // Every DGC message from 0 to 1 is lost for 200 s — far beyond
+        // TTA(61 s) — so the referenced activity times out while its
+        // busy root still holds it: the §4.2 wrongful collection,
+        // triggered by drops instead of delays.
+        let profile = FaultProfile::none().seeded(1).drop_frames(
+            Some(0),
+            Some(1),
+            Window::from_millis(0, 200_000),
+            1000,
+        );
+        let topo = Topology::single_site(2, SimDuration::from_millis(1));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::Complete(dgc_cfg()))
+                .seed(7)
+                .fault_profile(&profile),
+        );
+        let root = g.spawn_root(ProcId(0), Box::new(Inert));
+        let a = g.spawn(ProcId(1), Box::new(Inert));
+        g.make_ref(root, a);
+        g.run_for(SimDuration::from_secs(150));
+        assert!(!g.is_alive(a), "silence beyond TTA must collect");
+        assert!(g.dropped_messages() > 0);
+        assert_eq!(
+            g.violations().len(),
+            1,
+            "collecting a root-referenced activity is wrongful"
+        );
+    }
+
+    #[test]
+    fn set_busy_pins_and_releases() {
+        let mut g = grid(CollectorKind::Complete(dgc_cfg()));
+        let a = g.spawn(ProcId(0), Box::new(Inert));
+        g.set_busy(a, true);
+        g.run_for(SimDuration::from_secs(300));
+        assert!(g.is_alive(a), "pinned busy: never garbage");
+        g.set_busy(a, false);
+        g.run_for(SimDuration::from_secs(300));
+        assert!(!g.is_alive(a), "released and unreferenced: collected");
+        assert!(g.violations().is_empty());
+    }
+
+    #[test]
+    fn set_busy_does_not_disturb_root_status() {
+        let mut g = grid(CollectorKind::Complete(dgc_cfg()));
+        let a = g.spawn(ProcId(0), Box::new(Inert));
+        g.register("svc", a);
+        g.set_busy(a, true);
+        g.set_busy(a, false); // releasing the pin must not unregister
+        g.run_for(SimDuration::from_secs(300));
+        assert!(g.is_alive(a), "registered activities are never collected");
+        assert_eq!(g.lookup("svc"), Some(a));
+        assert!(g.violations().is_empty());
     }
 
     #[test]

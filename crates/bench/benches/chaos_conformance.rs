@@ -1,0 +1,106 @@
+//! Chaos/conformance cost profile: what fault injection costs each
+//! runtime, and how faults move the collection latency itself.
+//!
+//! Three measurements:
+//!
+//! 1. **Simulator throughput** — wall time to replay each canonical
+//!    conformance scenario on `dgc-simnet` (they are the regression
+//!    suite every transport PR reruns; they must stay cheap);
+//! 2. **Proxy overhead** — wall-clock collection latency of the
+//!    cross-node cycle on a plain localhost cluster vs the same cluster
+//!    with *clean* chaos proxies interposed (the interposition tax);
+//! 3. **Fault impact** — the same cycle under a 20 ms delay profile,
+//!    showing that in-slack faults cost latency but not correctness.
+//!
+//! Run: `cargo bench -p dgc-bench --bench chaos_conformance`
+
+use std::time::{Duration, Instant};
+
+use dgc_conformance::{run_simnet, scenarios};
+use dgc_core::config::DgcConfig;
+use dgc_core::faults::{FaultProfile, Window};
+use dgc_core::units::Dur;
+use dgc_rt_net::{Cluster, NetConfig};
+
+fn net_cfg() -> NetConfig {
+    NetConfig::new(
+        DgcConfig::builder()
+            .ttb(Dur::from_millis(25))
+            .tta(Dur::from_millis(80))
+            .max_comm(Dur::from_millis(20))
+            .build(),
+    )
+}
+
+/// Wall time until a 2-node a ⇄ b cycle is fully collected.
+fn cycle_latency(cluster: Cluster) -> Duration {
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, a);
+    cluster.set_idle(a, true);
+    cluster.set_idle(b, true);
+    let start = Instant::now();
+    assert!(
+        cluster.wait_until(Duration::from_secs(30), |t| t.len() == 2),
+        "cycle not collected"
+    );
+    let elapsed = start.elapsed();
+    cluster.shutdown();
+    elapsed
+}
+
+fn simnet_scenarios() {
+    println!("simulator replay cost per canonical conformance scenario (seed 42):");
+    for s in scenarios::all() {
+        let start = Instant::now();
+        let verdict = run_simnet(&s, 42);
+        println!(
+            "  {:<24} {:>8.1} ms wall   verdict {{wrongful: {}, leftover: {}}}",
+            s.name,
+            start.elapsed().as_secs_f64() * 1e3,
+            verdict.wrongful_collection,
+            verdict.leftover_garbage
+        );
+        assert_eq!(verdict, s.expect, "bench must not mask a regression");
+    }
+}
+
+fn socket_latency() {
+    println!("\nsocket cycle collection latency (2 nodes, TTB 25 ms / TTA 80 ms), median of 3:");
+    let median = |mut xs: Vec<Duration>| {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    };
+    let runs = |mk: &dyn Fn() -> Cluster| median((0..3).map(|_| cycle_latency(mk())).collect());
+
+    let plain = runs(&|| Cluster::listen_local(2, net_cfg()).expect("bind"));
+    let proxied =
+        runs(&|| Cluster::listen_local_chaos(2, net_cfg(), FaultProfile::none()).expect("bind"));
+    let delayed = runs(&|| {
+        let profile = FaultProfile::none().delay(
+            None,
+            None,
+            Window::from_millis(0, 60_000),
+            Dur::from_millis(20),
+        );
+        Cluster::listen_local_chaos(2, net_cfg(), profile).expect("bind")
+    });
+    println!(
+        "  direct TCP            {:>8.1} ms",
+        plain.as_secs_f64() * 1e3
+    );
+    println!(
+        "  clean chaos proxies   {:>8.1} ms  (interposition tax)",
+        proxied.as_secs_f64() * 1e3
+    );
+    println!(
+        "  +20 ms delay profile  {:>8.1} ms  (in-slack fault: slower, still safe)",
+        delayed.as_secs_f64() * 1e3
+    );
+}
+
+fn main() {
+    simnet_scenarios();
+    socket_latency();
+}

@@ -1,0 +1,281 @@
+//! The canonical conformance scenarios: the four §4.2 quadrants.
+//!
+//! All four share one protocol configuration, chosen so a socket run
+//! finishes in seconds while leaving wide wall-clock margins:
+//!
+//! * `TTB = 50 ms`, `TTA = 250 ms`, `MaxComm = 100 ms` — statically
+//!   safe (`250 > 2·50 + 100`), with ~148 ms of real slack over the
+//!   ~2 ms localhost/simulated latency.
+//!
+//! Every fault is then sized against that slack: "safe" scenarios keep
+//! the worst added delay far below it (and give the verdict ≥ 50 ms of
+//! scheduling margin on both sides of every deadline); "unsafe"
+//! scenarios overshoot TTA itself by more than 2×. That is what makes
+//! the expected verdicts robust across runtimes, seeds and loaded CI
+//! machines.
+
+use dgc_core::config::DgcConfig;
+use dgc_core::faults::{FaultProfile, Window};
+use dgc_core::units::{Dur, Time};
+
+use crate::{Op, Scenario, ScriptOp, Verdict};
+
+/// The shared protocol parameters (see module docs).
+pub fn conformance_dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_millis(50))
+        .tta(Dur::from_millis(250))
+        .max_comm(Dur::from_millis(100))
+        .build()
+}
+
+fn at_ms(ms: u64, op: Op) -> ScriptOp {
+    ScriptOp {
+        at: Time::from_nanos(ms * 1_000_000),
+        op,
+    }
+}
+
+/// All four canonical scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        safe_with_slack(),
+        delay_violates_tta(),
+        partition_heals(),
+        pause_models_local_gc(),
+    ]
+}
+
+/// **safe-with-slack** — a cross-node garbage cycle collected while the
+/// links misbehave *within* the TTA slack: 20 ms extra delay plus 10%
+/// seeded frame loss. The bound holds, so the verdict must be clean
+/// collection; and since both cycle members are garbage from 100 ms on,
+/// no loss pattern can make a termination wrongful — the scenario is
+/// seed-robust by construction.
+pub fn safe_with_slack() -> Scenario {
+    Scenario {
+        name: "safe-with-slack",
+        nodes: 2,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true,
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true,
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(0, Op::AddRef { from: 1, to: 0 }),
+            at_ms(100, Op::SetIdle { tag: 0, idle: true }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+        ],
+        profile: FaultProfile::none()
+            .delay(
+                None,
+                None,
+                Window::from_millis(200, 1500),
+                Dur::from_millis(20),
+            )
+            .drop_frames(Some(0), Some(1), Window::from_millis(200, 1200), 100),
+        horizon: Dur::from_secs(25),
+        expect: Verdict::SAFE_AND_COMPLETE,
+    }
+}
+
+/// **delay-violates-tta** — the §4.2 counterexample: a busy root keeps
+/// referencing `v`, but its heartbeats cross a window of 600 ms extra
+/// delay (2.4 × TTA). `v` hears silence longer than TTA, terminates,
+/// and the oracle convicts the run: wrongful collection.
+pub fn delay_violates_tta() -> Scenario {
+    Scenario {
+        name: "delay-violates-tta",
+        nodes: 2,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // stays busy: the root
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true,
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+        ],
+        profile: FaultProfile::none().delay(
+            Some(0),
+            Some(1),
+            Window::from_millis(500, 1600),
+            Dur::from_millis(600),
+        ),
+        horizon: Dur::from_secs(25),
+        expect: Verdict::WRONGFUL,
+    }
+}
+
+/// **partition-heals** — both directions between the nodes are severed
+/// for 120 ms, then heal. The worst heartbeat gap is one TTB plus the
+/// partition plus reconnect (≈ 220 ms), still under TTA = 250 ms with
+/// the transport's backoff accounted for: the referenced activity `v`
+/// must survive, and the garbage cycle that straddles the partition
+/// must still be collected after the heal.
+pub fn partition_heals() -> Scenario {
+    Scenario {
+        name: "partition-heals",
+        nodes: 2,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // the root, busy forever
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true, // v: kept alive only by cross-node heartbeats
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 2,
+                    node: 0,
+                    busy: true,
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 3,
+                    node: 1,
+                    busy: true,
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(0, Op::AddRef { from: 2, to: 3 }),
+            at_ms(0, Op::AddRef { from: 3, to: 2 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+            at_ms(100, Op::SetIdle { tag: 2, idle: true }),
+            at_ms(100, Op::SetIdle { tag: 3, idle: true }),
+        ],
+        profile: FaultProfile::none().partition_pair(0, 1, Window::from_millis(600, 720)),
+        horizon: Dur::from_secs(25),
+        expect: Verdict::SAFE_AND_COMPLETE,
+    }
+}
+
+/// **pause-models-local-gc** — §4.2's other hazard: the *referencer's*
+/// node stops the world for 700 ms (a long local-GC pause), sending no
+/// heartbeats. 700 ms ≫ TTA, so the referenced activity times out while
+/// genuinely live: wrongful collection, on both runtimes.
+pub fn pause_models_local_gc() -> Scenario {
+    Scenario {
+        name: "pause-models-local-gc",
+        nodes: 2,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // busy root on the node that will pause
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true,
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+        ],
+        profile: FaultProfile::none().pause(0, Window::from_millis(600, 1300)),
+        horizon: Dur::from_secs(25),
+        expect: Verdict::WRONGFUL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_is_statically_safe_and_sorted() {
+        for s in all() {
+            s.dgc
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: unsafe static config: {e:?}", s.name));
+            assert!(
+                s.script.windows(2).all(|w| w[0].at <= w[1].at),
+                "{}: script must be time-sorted",
+                s.name
+            );
+            assert!(s.nodes >= 2, "{}: conformance needs a network", s.name);
+        }
+    }
+
+    #[test]
+    fn safe_scenarios_stay_inside_the_slack() {
+        // TTA − 2·TTB − latency budget: what a fault may add without
+        // breaking the bound. The two "safe" scenarios must fit; the
+        // two "unsafe" ones must overshoot TTA itself.
+        let dgc = conformance_dgc();
+        let slack = Dur::from_nanos(
+            dgc.tta.as_nanos() - 2 * dgc.ttb.as_nanos() - Dur::from_millis(4).as_nanos(),
+        );
+        let s = safe_with_slack();
+        assert!(
+            s.profile.worst_case_extra_delay() < slack,
+            "{}: worst case {} ≥ slack {}",
+            s.name,
+            s.profile.worst_case_extra_delay(),
+            slack
+        );
+        // The symmetric partition sums both directions in the global
+        // worst case, but one message crosses only one of them: the
+        // per-direction bound (the window width) is what must fit.
+        let p = partition_heals();
+        let width = p.profile.link_disruptions()[0].window;
+        assert!(
+            width.end.since(width.start) < slack,
+            "{}: partition too wide",
+            p.name
+        );
+        {
+            let s = delay_violates_tta();
+            assert!(s.profile.worst_case_extra_delay() > dgc.tta);
+        }
+        let pause = pause_models_local_gc();
+        let p = &pause.profile.node_pauses()[0];
+        assert!(p.window.end.since(p.window.start) > dgc.tta.saturating_mul(2));
+    }
+}

@@ -1,0 +1,106 @@
+//! The conformance contract: every canonical scenario reaches its
+//! expected oracle verdict on **both** runtimes, under every seed of
+//! this run (three fixed seeds by default; `CONFORMANCE_SEED=<n>`
+//! pins one — the CI random job uses that and echoes the value).
+//!
+//! One test per scenario so the suites run concurrently and a failure
+//! names the scenario directly.
+
+use dgc_conformance::{evaluate, run_rtnet, run_simnet, scenarios, seeds, Observation, Scenario};
+
+fn agree_on(scenario: Scenario) {
+    for seed in seeds() {
+        let sim = run_simnet(&scenario, seed);
+        assert_eq!(
+            sim, scenario.expect,
+            "[{} seed {seed}] simnet verdict diverged",
+            scenario.name
+        );
+        let net = run_rtnet(&scenario, seed).expect("bind chaos cluster");
+        assert_eq!(
+            net, scenario.expect,
+            "[{} seed {seed}] rt-net verdict diverged",
+            scenario.name
+        );
+        assert_eq!(
+            sim, net,
+            "[{} seed {seed}] the two runtimes disagree",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn safe_with_slack_agrees_across_runtimes() {
+    agree_on(scenarios::safe_with_slack());
+}
+
+#[test]
+fn delay_violates_tta_agrees_across_runtimes() {
+    agree_on(scenarios::delay_violates_tta());
+}
+
+#[test]
+fn partition_heals_agrees_across_runtimes() {
+    agree_on(scenarios::partition_heals());
+}
+
+#[test]
+fn pause_models_local_gc_agrees_across_runtimes() {
+    agree_on(scenarios::pause_models_local_gc());
+}
+
+/// Randomized profiles, simulator-side: a fixed, verified corpus of
+/// seeded profiles with amplitudes well inside the TTA slack keeps the
+/// safe scenario safe. The corpus is deterministic (same seeds → same
+/// profiles → same verdicts), so this is a regression net, not a
+/// universal claim — `FaultProfile::randomized` documents why no seed
+/// range can prove safety for *all* profiles (consecutive-heartbeat
+/// drop patterns have no deterministic bound). Widening the range or
+/// changing the generator requires re-verifying the new profiles.
+/// (The simulator explores many seeds cheaply; the socket runs above
+/// keep the wall-clock budget.)
+#[test]
+fn randomized_profiles_inside_the_slack_stay_safe_on_simnet() {
+    use dgc_core::faults::FaultProfile;
+    use dgc_core::units::Dur;
+
+    let base = scenarios::safe_with_slack();
+    for seed in 0..16u64 {
+        // ≤ 5 disruptions × ≤ 25 ms of delay/partition, plus drop
+        // windows narrower than one TTB round: worst heartbeat gap for
+        // these seeds ≈ 50 + 125 + 50 + latency < TTA = 250 ms.
+        let profile =
+            FaultProfile::randomized(seed, base.nodes, Dur::from_secs(2), Dur::from_millis(25));
+        let scenario = Scenario {
+            name: "randomized-within-slack",
+            profile,
+            ..base.clone()
+        };
+        let verdict = run_simnet(&scenario, seed);
+        assert!(
+            !verdict.wrongful_collection,
+            "seed {seed}: a bounded profile broke the §4.2 bound"
+        );
+        assert!(
+            !verdict.leftover_garbage,
+            "seed {seed}: collection never completed"
+        );
+    }
+}
+
+/// The harness's own check is runtime-agnostic: feeding it the same
+/// observations must give the same verdict no matter which runtime
+/// produced them.
+#[test]
+fn evaluate_is_a_pure_function_of_observations() {
+    use dgc_core::units::Time;
+
+    let s = scenarios::delay_violates_tta();
+    let obs = [Observation {
+        at: Time::from_nanos(900_000_000),
+        tag: 1,
+    }];
+    assert_eq!(evaluate(&s, &obs), evaluate(&s, &obs));
+    assert_eq!(evaluate(&s, &obs), s.expect);
+}

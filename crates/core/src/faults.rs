@@ -1,0 +1,633 @@
+//! Runtime-neutral fault profiles for conformance testing.
+//!
+//! The paper's safety claim (§4.2) is conditional: the DGC is correct
+//! only while `TTA > 2·TTB + MaxComm` holds under the *actual* delays a
+//! deployment experiences. Exercising that bound therefore needs the
+//! same fault scenario to run against every runtime — the deterministic
+//! simulator (`dgc-simnet`), where faults are delivery-time arithmetic,
+//! and the socket runtime (`dgc-rt-net`), where a chaos proxy perturbs
+//! real TCP frames. This module is the shared vocabulary: a
+//! [`FaultProfile`] describes *what* goes wrong on which links and when,
+//! in runtime-neutral nanoseconds since scenario start ([`Time`]), and
+//! each runtime realizes it with its own machinery:
+//!
+//! * `dgc_simnet::FaultPlan::from_profile` turns it into extra delivery
+//!   latency, per-message drops and deferred events;
+//! * `dgc_rt_net::chaos::ChaosProxy` turns it into held, discarded,
+//!   reordered frames and severed connections between live sockets;
+//! * `dgc_rt_net::NetNode::pause_for` realizes [`NodePause`] as a real
+//!   stop-the-world stall of the node event loop.
+//!
+//! Primitives:
+//!
+//! * [`FaultKind::Delay`] — extra one-way latency during a window;
+//! * [`FaultKind::Drop`] — seeded Bernoulli loss of individual
+//!   messages/frames (TCP segments do not silently vanish, but frames
+//!   crossing a flapping proxied link do — and the DGC's heartbeats must
+//!   tolerate it);
+//! * [`FaultKind::Partition`] — nothing crosses the link until the
+//!   window closes (the simulator delivers at heal time, matching TCP
+//!   retransmission after connectivity returns; the proxy severs
+//!   connections and lets the transport's reconnect path deliver);
+//! * [`FaultKind::Reorder`] — adjacent-frame swaps, violating the
+//!   paper's FIFO transport assumption (§3.2). The FIFO simulator
+//!   cannot express this one — it exists for adversarial robustness
+//!   testing of the socket runtime only;
+//! * [`NodePause`] — a stop-the-world pause of one whole node (§4.2's
+//!   local-GC hazard).
+//!
+//! All randomness (drop and reorder decisions, [`FaultProfile::randomized`])
+//! is derived from the profile's seed with a SplitMix64 hash, so each
+//! runtime's realization of a `(profile, seed)` pair is reproducible
+//! run-to-run. The realizations are *not* loss-for-loss identical
+//! across runtimes — they cannot be: the simulator decides per
+//! protocol message while the proxy decides per TCP frame (which
+//! batches many messages), and their sequence counters advance
+//! differently. Conformance therefore compares oracle *verdicts*, not
+//! loss patterns, and scenarios must be written so the expected verdict
+//! is robust to any decision stream the stated probabilities allow.
+
+use crate::units::{Dur, Time};
+
+/// A half-open time window `[start, end)`: `start` is inside the
+/// window, `end` is the first instant outside it. Matches the window
+/// semantics of `dgc_simnet::fault` exactly, so conversions cannot
+/// shift boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First instant of the window (inclusive).
+    pub start: Time,
+    /// First instant after the window (exclusive).
+    pub end: Time,
+}
+
+impl Window {
+    /// Builds a window from millisecond offsets since scenario start.
+    pub const fn from_millis(start_ms: u64, end_ms: u64) -> Window {
+        Window {
+            start: Time::from_nanos(start_ms * 1_000_000),
+            end: Time::from_nanos(end_ms * 1_000_000),
+        }
+    }
+
+    /// True iff `t` is inside the half-open window.
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Time remaining until the window closes; zero outside it.
+    pub fn remaining(&self, t: Time) -> Dur {
+        if self.contains(t) {
+            self.end.since(t)
+        } else {
+            Dur::ZERO
+        }
+    }
+}
+
+/// What a [`LinkDisruption`] does to matching traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Extra one-way latency added to every matching message.
+    Delay(Dur),
+    /// Each matching message/frame is independently lost with
+    /// probability `permille`/1000 (seeded, deterministic per profile).
+    Drop {
+        /// Loss probability in thousandths (0..=1000).
+        permille: u16,
+    },
+    /// The link is down: nothing crosses until the window closes.
+    Partition,
+    /// Each matching frame is swapped with its successor with
+    /// probability `permille`/1000. FIFO runtimes ignore this kind.
+    Reorder {
+        /// Swap probability in thousandths (0..=1000).
+        permille: u16,
+    },
+}
+
+/// One fault on directed node-to-node traffic during a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDisruption {
+    /// Source node filter; `None` matches any source.
+    pub from: Option<u32>,
+    /// Destination node filter; `None` matches any destination.
+    pub to: Option<u32>,
+    /// When the fault is active.
+    pub window: Window,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+impl LinkDisruption {
+    fn matches(&self, now: Time, from: u32, to: u32) -> bool {
+        self.window.contains(now)
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// A stop-the-world pause of one node: it neither ticks its activities
+/// nor processes deliveries until the window closes (models a long
+/// local-GC pause, the paper's §4.2 hazard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePause {
+    /// The paused node.
+    pub node: u32,
+    /// When it is stopped.
+    pub window: Window,
+}
+
+/// A runtime-neutral schedule of link disruptions and node pauses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultProfile {
+    links: Vec<LinkDisruption>,
+    pauses: Vec<NodePause>,
+    seed: u64,
+}
+
+impl FaultProfile {
+    /// An empty profile: no faults.
+    pub fn none() -> FaultProfile {
+        FaultProfile::default()
+    }
+
+    /// Sets the seed that drop/reorder decisions derive from.
+    pub fn seeded(mut self, seed: u64) -> FaultProfile {
+        self.seed = seed;
+        self
+    }
+
+    /// The decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a delay disruption on `from → to` (either side `None` for a
+    /// wildcard).
+    pub fn delay(
+        mut self,
+        from: Option<u32>,
+        to: Option<u32>,
+        window: Window,
+        extra: Dur,
+    ) -> FaultProfile {
+        self.links.push(LinkDisruption {
+            from,
+            to,
+            window,
+            kind: FaultKind::Delay(extra),
+        });
+        self
+    }
+
+    /// Adds a seeded frame-drop disruption.
+    pub fn drop_frames(
+        mut self,
+        from: Option<u32>,
+        to: Option<u32>,
+        window: Window,
+        permille: u16,
+    ) -> FaultProfile {
+        assert!(permille <= 1000, "drop probability above 100%");
+        self.links.push(LinkDisruption {
+            from,
+            to,
+            window,
+            kind: FaultKind::Drop { permille },
+        });
+        self
+    }
+
+    /// Adds a partition of `from → to` during `window`. Call twice with
+    /// the directions swapped for a symmetric partition.
+    pub fn partition(mut self, from: Option<u32>, to: Option<u32>, window: Window) -> FaultProfile {
+        self.links.push(LinkDisruption {
+            from,
+            to,
+            window,
+            kind: FaultKind::Partition,
+        });
+        self
+    }
+
+    /// Adds a symmetric partition (both directions) between `a` and `b`.
+    pub fn partition_pair(self, a: u32, b: u32, window: Window) -> FaultProfile {
+        self.partition(Some(a), Some(b), window)
+            .partition(Some(b), Some(a), window)
+    }
+
+    /// Adds a seeded adjacent-frame reorder disruption (socket runtimes
+    /// only; FIFO runtimes ignore it).
+    pub fn reorder(
+        mut self,
+        from: Option<u32>,
+        to: Option<u32>,
+        window: Window,
+        permille: u16,
+    ) -> FaultProfile {
+        assert!(permille <= 1000, "reorder probability above 100%");
+        self.links.push(LinkDisruption {
+            from,
+            to,
+            window,
+            kind: FaultKind::Reorder { permille },
+        });
+        self
+    }
+
+    /// Adds a stop-the-world pause of `node`.
+    pub fn pause(mut self, node: u32, window: Window) -> FaultProfile {
+        self.pauses.push(NodePause { node, window });
+        self
+    }
+
+    /// Raw link disruptions (for runtime realizations).
+    pub fn link_disruptions(&self) -> &[LinkDisruption] {
+        &self.links
+    }
+
+    /// Raw node pauses (for runtime realizations).
+    pub fn node_pauses(&self) -> &[NodePause] {
+        &self.pauses
+    }
+
+    /// True if the profile contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.pauses.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries runtimes evaluate per message/frame
+    // ------------------------------------------------------------------
+
+    /// Total extra one-way latency for traffic sent at `now` over
+    /// `from → to`. Overlapping delays accumulate; an active partition
+    /// contributes "until the window closes", which is how a FIFO
+    /// delivery-time runtime realizes a partition that heals.
+    pub fn extra_delay(&self, now: Time, from: u32, to: u32) -> Dur {
+        let mut d = Dur::ZERO;
+        for l in &self.links {
+            if l.matches(now, from, to) {
+                match l.kind {
+                    FaultKind::Delay(extra) => d = d.saturating_add(extra),
+                    FaultKind::Partition => d = d.saturating_add(l.window.remaining(now)),
+                    FaultKind::Drop { .. } | FaultKind::Reorder { .. } => {}
+                }
+            }
+        }
+        d
+    }
+
+    /// If `from → to` is inside an active partition window at `now`,
+    /// returns the earliest instant the link heals.
+    pub fn severed_until(&self, now: Time, from: u32, to: u32) -> Option<Time> {
+        self.links
+            .iter()
+            .filter(|l| matches!(l.kind, FaultKind::Partition) && l.matches(now, from, to))
+            .map(|l| l.window.end)
+            .max()
+    }
+
+    /// Seeded drop decision for the `seq`-th message/frame on
+    /// `from → to` at `now`. Deterministic in `(seed, from, to, seq)`
+    /// and independent across links and sequence numbers.
+    pub fn should_drop(&self, now: Time, from: u32, to: u32, seq: u64) -> bool {
+        self.links.iter().enumerate().any(|(i, l)| {
+            let FaultKind::Drop { permille } = l.kind else {
+                return false;
+            };
+            l.matches(now, from, to) && bernoulli(self.seed, i as u64, from, to, seq, permille)
+        })
+    }
+
+    /// Seeded reorder decision for the `seq`-th frame on `from → to`.
+    pub fn should_reorder(&self, now: Time, from: u32, to: u32, seq: u64) -> bool {
+        self.links.iter().enumerate().any(|(i, l)| {
+            let FaultKind::Reorder { permille } = l.kind else {
+                return false;
+            };
+            l.matches(now, from, to)
+                && bernoulli(self.seed ^ 0x5EED, i as u64, from, to, seq, permille)
+        })
+    }
+
+    /// If `node` is paused at `now`, returns the instant the longest
+    /// covering pause ends.
+    pub fn pause_end(&self, now: Time, node: u32) -> Option<Time> {
+        self.pauses
+            .iter()
+            .filter(|p| p.node == node && p.window.contains(now))
+            .map(|p| p.window.end)
+            .max()
+    }
+
+    /// Upper bound on the extra one-way delay any single message can
+    /// experience under this profile (delays summed where windows can
+    /// overlap, partitions counted by their full width). Conformance
+    /// scenarios use this to prove a profile respects the TTA slack.
+    ///
+    /// A [`FaultKind::Reorder`] disruption makes the bound [`Dur::MAX`]:
+    /// a held-back frame waits for its *successor*, which on periodic
+    /// traffic can be arbitrarily far away — reorder profiles cannot be
+    /// proven in-slack and belong in adversarial robustness tests, not
+    /// "safe" conformance scenarios.
+    ///
+    /// A total-loss drop window (`permille == 1000`) is a partition in
+    /// disguise and is counted by its full width. *Probabilistic* drops
+    /// (`permille < 1000`) are **not** counted: no deterministic bound
+    /// covers them (any frame might be lost), so a scenario that mixes
+    /// partial loss into a "safe" profile must argue its safety
+    /// separately — see `safe-with-slack`, whose cycle is garbage
+    /// before the loss window opens, making every loss pattern
+    /// verdict-neutral.
+    ///
+    /// [`NodePause`]s count by their full width too: a paused sender
+    /// stops heartbeating and a paused receiver stops processing until
+    /// the window closes, so end-to-end a pause stretches a message's
+    /// effective delivery by up to the window — the hazard
+    /// `pause-models-local-gc` demonstrates must not certify as
+    /// in-slack.
+    pub fn worst_case_extra_delay(&self) -> Dur {
+        let mut total = Dur::ZERO;
+        for l in &self.links {
+            match l.kind {
+                FaultKind::Delay(extra) => total = total.saturating_add(extra),
+                FaultKind::Partition => {
+                    total = total.saturating_add(l.window.end.since(l.window.start))
+                }
+                FaultKind::Reorder { .. } => return Dur::MAX,
+                FaultKind::Drop { permille } if permille >= 1000 => {
+                    total = total.saturating_add(l.window.end.since(l.window.start))
+                }
+                FaultKind::Drop { .. } => {}
+            }
+        }
+        for p in &self.pauses {
+            total = total.saturating_add(p.window.end.since(p.window.start));
+        }
+        total
+    }
+
+    /// A seeded random profile over `nodes` nodes within `horizon`:
+    /// up to four disruptions (delay / drop / partition) plus at most
+    /// one pause, every delay bounded by `max_delay` and every
+    /// partition/pause window bounded by `max_delay` wide.
+    ///
+    /// The amplitude caps make these profiles *typically* in-slack for
+    /// a `max_delay` chosen inside the configured TTA slack, but not
+    /// provably so for every seed: up to four drop windows (≤ 30%
+    /// loss each) can in principle line up over consecutive heartbeat
+    /// rounds, and probabilistic loss has no deterministic bound (see
+    /// [`FaultProfile::worst_case_extra_delay`]). The randomized
+    /// conformance tests therefore pin a *fixed, verified* seed range —
+    /// a deterministic regression corpus, not a universal safety
+    /// theorem. Extending the range (or changing this generator) means
+    /// re-verifying the new profiles.
+    pub fn randomized(seed: u64, nodes: u32, horizon: Dur, max_delay: Dur) -> FaultProfile {
+        assert!(nodes > 0, "profile over zero nodes");
+        let mut rng = SplitMix64::new(seed);
+        let mut profile = FaultProfile::none().seeded(seed);
+        let window = |rng: &mut SplitMix64| {
+            let start = rng.below(horizon.as_nanos().max(1));
+            let len = 1 + rng.below(max_delay.as_nanos().max(1));
+            Window {
+                start: Time::from_nanos(start),
+                end: Time::from_nanos(start.saturating_add(len)),
+            }
+        };
+        let endpoint = |rng: &mut SplitMix64| -> Option<u32> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(rng.below(nodes as u64) as u32)
+            }
+        };
+        let n = 1 + rng.below(4);
+        for _ in 0..n {
+            let w = window(&mut rng);
+            let from = endpoint(&mut rng);
+            let to = endpoint(&mut rng);
+            profile = match rng.below(3) {
+                0 => profile.delay(
+                    from,
+                    to,
+                    w,
+                    Dur::from_nanos(1 + rng.below(max_delay.as_nanos().max(1))),
+                ),
+                1 => profile.drop_frames(from, to, w, rng.below(301) as u16),
+                _ => profile.partition(from, to, w),
+            };
+        }
+        if rng.below(2) == 0 {
+            let w = window(&mut rng);
+            profile = profile.pause(rng.below(nodes as u64) as u32, w);
+        }
+        profile
+    }
+}
+
+/// Deterministic Bernoulli trial: hash the identifying tuple and
+/// compare against the permille threshold. Public so every runtime
+/// realization (simulator fault plans, chaos proxies) draws its loss
+/// decisions from the same generator: a `(seed, stream, from, to,
+/// seq)` tuple always decides the same way, making each realization
+/// reproducible. (Runtimes number streams and sequences differently —
+/// see the module docs — so reproducibility is per-runtime, not a
+/// cross-runtime loss-pattern match.)
+pub fn decision(seed: u64, stream: u64, from: u32, to: u32, seq: u64, permille: u16) -> bool {
+    bernoulli(seed, stream, from, to, seq, permille)
+}
+
+fn bernoulli(seed: u64, link: u64, from: u32, to: u32, seq: u64, permille: u16) -> bool {
+    let mut h = SplitMix64::new(
+        seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((from as u64) << 32 | to as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ seq.wrapping_mul(0x94D0_49BB_1331_11EB),
+    );
+    h.below(1000) < permille as u64
+}
+
+/// Minimal SplitMix64: `dgc-core` stays dependency-free, and fault
+/// decisions must be bit-identical across runtimes, so the generator is
+/// pinned here rather than borrowed from a runtime's RNG.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough integer in `[0, bound)`; `bound` must be > 0.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Time {
+        Time::from_nanos(v * 1_000_000)
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::from_millis(10, 20);
+        assert!(!w.contains(ms(9)));
+        assert!(w.contains(ms(10)), "start is inclusive");
+        assert!(w.contains(ms(19)));
+        assert!(!w.contains(ms(20)), "end is exclusive");
+        assert_eq!(w.remaining(ms(15)), Dur::from_millis(5));
+        assert_eq!(w.remaining(ms(25)), Dur::ZERO);
+    }
+
+    #[test]
+    fn delays_accumulate_and_filter() {
+        let p = FaultProfile::none()
+            .delay(
+                Some(0),
+                None,
+                Window::from_millis(0, 100),
+                Dur::from_millis(5),
+            )
+            .delay(
+                None,
+                Some(1),
+                Window::from_millis(0, 100),
+                Dur::from_millis(7),
+            );
+        assert_eq!(p.extra_delay(ms(50), 0, 1), Dur::from_millis(12));
+        assert_eq!(p.extra_delay(ms(50), 0, 2), Dur::from_millis(5));
+        assert_eq!(p.extra_delay(ms(50), 3, 1), Dur::from_millis(7));
+        assert_eq!(p.extra_delay(ms(50), 3, 2), Dur::ZERO);
+        assert_eq!(p.extra_delay(ms(100), 0, 1), Dur::ZERO, "window closed");
+    }
+
+    #[test]
+    fn partition_delays_until_heal_and_reports_sever() {
+        let p = FaultProfile::none().partition_pair(0, 1, Window::from_millis(100, 300));
+        assert_eq!(p.extra_delay(ms(150), 0, 1), Dur::from_millis(150));
+        assert_eq!(p.extra_delay(ms(150), 1, 0), Dur::from_millis(150));
+        assert_eq!(p.severed_until(ms(150), 0, 1), Some(ms(300)));
+        assert_eq!(p.severed_until(ms(300), 0, 1), None, "healed at end");
+        assert_eq!(p.severed_until(ms(150), 0, 2), None, "other links clear");
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_and_windowed() {
+        let p = FaultProfile::none().seeded(42).drop_frames(
+            Some(0),
+            Some(1),
+            Window::from_millis(0, 1000),
+            500,
+        );
+        let decisions: Vec<bool> = (0..64).map(|s| p.should_drop(ms(10), 0, 1, s)).collect();
+        let again: Vec<bool> = (0..64).map(|s| p.should_drop(ms(10), 0, 1, s)).collect();
+        assert_eq!(decisions, again, "same tuple, same decision");
+        let hits = decisions.iter().filter(|d| **d).count();
+        assert!((10..=54).contains(&hits), "~50% expected, got {hits}/64");
+        assert!(
+            (0..64).all(|s| !p.should_drop(ms(2000), 0, 1, s)),
+            "outside the window nothing drops"
+        );
+        assert!(
+            (0..64).all(|s| !p.should_drop(ms(10), 1, 0, s)),
+            "reverse direction unaffected"
+        );
+    }
+
+    #[test]
+    fn different_seeds_make_different_drop_decisions() {
+        let mk = |seed| {
+            FaultProfile::none().seeded(seed).drop_frames(
+                None,
+                None,
+                Window::from_millis(0, 1000),
+                500,
+            )
+        };
+        let a: Vec<bool> = (0..64).map(|s| mk(1).should_drop(ms(1), 0, 1, s)).collect();
+        let b: Vec<bool> = (0..64).map(|s| mk(2).should_drop(ms(1), 0, 1, s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pause_end_takes_longest_cover() {
+        let p = FaultProfile::none()
+            .pause(3, Window::from_millis(5, 10))
+            .pause(3, Window::from_millis(5, 15));
+        assert_eq!(p.pause_end(ms(7), 3), Some(ms(15)));
+        assert_eq!(p.pause_end(ms(4), 3), None);
+        assert_eq!(p.pause_end(ms(15), 3), None);
+        assert_eq!(p.pause_end(ms(7), 4), None);
+    }
+
+    #[test]
+    fn worst_case_bounds_every_query() {
+        let p = FaultProfile::none()
+            .delay(None, None, Window::from_millis(0, 100), Dur::from_millis(9))
+            .partition(Some(0), Some(1), Window::from_millis(200, 260));
+        assert_eq!(p.worst_case_extra_delay(), Dur::from_millis(69));
+        for t in 0..300 {
+            assert!(p.extra_delay(ms(t), 0, 1) <= p.worst_case_extra_delay());
+        }
+    }
+
+    #[test]
+    fn worst_case_counts_total_loss_as_partition_and_skips_partial_loss() {
+        // A 100% drop window delivers nothing — outage-equivalent to a
+        // partition of the same width, and must not certify as
+        // in-slack.
+        let total_loss =
+            FaultProfile::none().drop_frames(None, None, Window::from_millis(0, 10_000), 1000);
+        assert_eq!(
+            total_loss.worst_case_extra_delay(),
+            Dur::from_millis(10_000)
+        );
+        // Probabilistic loss is outside the deterministic bound's
+        // contract (documented), not silently zero-cost safety.
+        let partial =
+            FaultProfile::none().drop_frames(None, None, Window::from_millis(0, 10_000), 100);
+        assert_eq!(partial.worst_case_extra_delay(), Dur::ZERO);
+    }
+
+    #[test]
+    fn worst_case_counts_pauses_by_width() {
+        // A profile whose only hazard is a long stop-the-world pause
+        // must not certify as in-slack.
+        let p = FaultProfile::none()
+            .pause(0, Window::from_millis(0, 10_000))
+            .pause(1, Window::from_millis(100, 200));
+        assert_eq!(p.worst_case_extra_delay(), Dur::from_millis(10_100));
+    }
+
+    #[test]
+    fn randomized_profiles_are_reproducible_and_bounded() {
+        let horizon = Dur::from_secs(2);
+        let cap = Dur::from_millis(40);
+        for seed in 0..32 {
+            let a = FaultProfile::randomized(seed, 3, horizon, cap);
+            let b = FaultProfile::randomized(seed, 3, horizon, cap);
+            assert_eq!(a, b, "same seed, same profile");
+            assert!(!a.is_empty());
+            // Worst case counts every disruption, each bounded by cap.
+            assert!(a.worst_case_extra_delay() <= cap.saturating_mul(5));
+        }
+        assert_ne!(
+            FaultProfile::randomized(1, 3, horizon, cap),
+            FaultProfile::randomized(2, 3, horizon, cap)
+        );
+    }
+}

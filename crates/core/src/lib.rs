@@ -33,6 +33,10 @@
 //! * [`config::DgcConfig`] — TTB/TTA (safety: `TTA > 2·TTB + MaxComm`),
 //!   the §4.3 consensus-propagation optimization, and the paper's §7
 //!   extensions (adaptive timing, breadth-first spanning trees);
+//! * [`faults`] — runtime-neutral fault profiles (delay / drop /
+//!   partition / pause) that both the simulator and the socket runtime's
+//!   chaos proxy replay, so one scenario exercises the §4.2 bound
+//!   everywhere;
 //! * [`referencers`] / [`referenced`] — the two §2.2 tables;
 //! * [`process_graph`] — the §4.1 coarse-grained fallback;
 //! * [`harness`] — an in-memory multi-endpoint driver for tests.
@@ -64,6 +68,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod faults;
 pub mod harness;
 pub mod id;
 pub mod message;
@@ -77,6 +82,7 @@ pub mod wire;
 
 pub use clock::NamedClock;
 pub use config::{DgcConfig, DgcConfigBuilder, ParentPolicy, TimingMode};
+pub use faults::{FaultKind, FaultProfile, LinkDisruption, NodePause, Window};
 pub use id::{AoId, AoIdAllocator};
 pub use message::{Action, DgcMessage, DgcResponse, TerminateReason};
 pub use process_graph::ProcessGraph;

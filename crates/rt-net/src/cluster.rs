@@ -8,17 +8,23 @@
 //! frame.
 
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use dgc_core::faults::FaultProfile;
 use dgc_core::id::AoId;
 
+use crate::chaos::{ChaosProxy, ChaosStatsSnapshot};
 use crate::config::NetConfig;
-use crate::node::{NetNode, Terminated};
+use crate::node::{Event, NetNode, Terminated};
 use crate::stats::NetStatsSnapshot;
 
 /// A running localhost cluster of DGC nodes.
 pub struct Cluster {
     nodes: Vec<NetNode>,
+    proxies: Vec<ChaosProxy>,
+    /// Scenario clock origin, when the cluster was built with chaos.
+    epoch: Instant,
 }
 
 impl Cluster {
@@ -37,7 +43,98 @@ impl Cluster {
                 }
             }
         }
-        Ok(Cluster { nodes })
+        Ok(Cluster {
+            nodes,
+            proxies: Vec::new(),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Starts `n` nodes fully peered **through chaos proxies**: every
+    /// directed pair's traffic crosses a [`ChaosProxy`] replaying
+    /// `profile`, and the profile's node pauses are scheduled against
+    /// the node event loops. The scenario clock (the profile's
+    /// [`dgc_core::units::Time`] axis) starts when this returns.
+    pub fn listen_local_chaos(
+        n: u32,
+        config: NetConfig,
+        profile: FaultProfile,
+    ) -> std::io::Result<Cluster> {
+        let mut nodes = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            nodes.push(NetNode::bind(id, config)?);
+        }
+        let epoch = Instant::now();
+        let profile = Arc::new(profile);
+        let mut proxies = Vec::with_capacity((n as usize) * (n as usize).saturating_sub(1));
+        for node in &nodes {
+            for peer in &nodes {
+                if node.node_id() == peer.node_id() {
+                    continue;
+                }
+                let proxy = ChaosProxy::spawn(
+                    node.node_id(),
+                    peer.node_id(),
+                    peer.addr(),
+                    Arc::clone(&profile),
+                    epoch,
+                )?;
+                node.add_peer(peer.node_id(), proxy.addr());
+                proxies.push(proxy);
+            }
+        }
+        // Schedule stop-the-world pauses: one detached timer thread per
+        // pause window sends the pause into the node's event loop at the
+        // window start. A cluster that shuts down earlier just leaves
+        // the send to fail against a closed loop.
+        for pause in profile.node_pauses() {
+            let Some(node) = nodes.iter().find(|nd| nd.node_id() == pause.node) else {
+                continue;
+            };
+            let tx = node.event_sender();
+            let start = Duration::from_nanos(pause.window.start.as_nanos());
+            // Absolute deadline on the scenario clock: overlapping
+            // windows extend one stall to the latest end (the
+            // covering-union `FaultPlan`/`pause_end` realizes) rather
+            // than sleeping their widths back to back.
+            let until = epoch + Duration::from_nanos(pause.window.end.as_nanos());
+            let _ = std::thread::Builder::new()
+                .name(format!("dgc-chaos-pause-{}", pause.node))
+                .spawn(move || {
+                    std::thread::sleep(start.saturating_sub(epoch.elapsed()));
+                    let _ = tx.send(Event::Pause { until });
+                });
+        }
+        Ok(Cluster {
+            nodes,
+            proxies,
+            epoch,
+        })
+    }
+
+    /// The scenario clock origin (chaos clusters: when proxies started).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Aggregated chaos-proxy counters (all zero for a plain cluster).
+    pub fn chaos_stats(&self) -> ChaosStatsSnapshot {
+        let mut total = ChaosStatsSnapshot::default();
+        for p in &self.proxies {
+            let s = p.stats();
+            total.forwarded += s.forwarded;
+            total.dropped += s.dropped;
+            total.delayed += s.delayed;
+            total.reordered += s.reordered;
+            total.severed += s.severed;
+            total.corrupted += s.corrupted;
+        }
+        total
+    }
+
+    /// Stops this node's world for `d` (see [`NetNode::pause_for`]).
+    pub fn pause_node(&self, node: u32, d: Duration) {
+        self.nodes[node as usize].pause_for(d);
     }
 
     /// Number of nodes.
@@ -100,6 +197,18 @@ impl Cluster {
         crate::node::poll_until(deadline, || predicate(&self.terminated()))
     }
 
+    /// Blocks until `predicate` holds over the per-node transport
+    /// counters or the deadline passes; returns whether it held. The
+    /// polling twin of [`Cluster::wait_until`] for tests that assert on
+    /// traffic instead of terminations — no fixed sleeps required.
+    pub fn wait_stats_until(
+        &self,
+        deadline: Duration,
+        predicate: impl Fn(&[NetStatsSnapshot]) -> bool,
+    ) -> bool {
+        crate::node::poll_until(deadline, || predicate(&self.stats()))
+    }
+
     /// Per-node transport counters.
     pub fn stats(&self) -> Vec<NetStatsSnapshot> {
         self.nodes.iter().map(|n| n.stats()).collect()
@@ -122,10 +231,25 @@ impl Cluster {
         total
     }
 
-    /// Stops every node and joins their threads.
+    /// Stops every node and proxy and joins their threads. Safe to call
+    /// (or to skip — dropping the cluster does the same work) after a
+    /// failed assertion: dead links and half-closed proxies are already
+    /// tolerated by every join path.
     pub fn shutdown(self) {
-        for node in self.nodes {
+        drop(self);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Nodes first: their link threads are the proxies' clients, so
+        // closing them lets proxy pumps drain out on EOF instead of
+        // being killed mid-frame.
+        for node in self.nodes.drain(..) {
             node.shutdown();
+        }
+        for proxy in self.proxies.drain(..) {
+            proxy.shutdown();
         }
     }
 }

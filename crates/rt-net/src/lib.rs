@@ -23,7 +23,13 @@
 //!   attacking the fig. 8 bandwidth cost at scale;
 //! * [`cluster`] — a localhost N-node driver with the same surface as
 //!   `ThreadGrid`, used by `tests/net.rs` to collect a cross-node cycle
-//!   end-to-end over real sockets.
+//!   end-to-end over real sockets;
+//! * [`chaos`] — a per-link fault-injecting proxy replaying the
+//!   runtime-neutral [`dgc_core::faults::FaultProfile`] descriptions
+//!   (delay / drop / sever / reorder) over live connections, plus the
+//!   [`node::Event::Pause`] stop-the-world hook — together the socket
+//!   realization of the same scenarios the simulator replays, which is
+//!   what the `dgc-conformance` harness compares.
 //!
 //! Implementation note: the container this repository builds in has no
 //! crates.io access, so the runtime is written against `std::net` with
@@ -59,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod frame;
@@ -66,6 +73,7 @@ pub mod node;
 pub mod peer;
 pub mod stats;
 
+pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
 pub use config::NetConfig;
 pub use frame::{Frame, FrameDecoder, Item};

@@ -110,6 +110,18 @@ pub enum Event {
         /// Referenced activity.
         to: AoId,
     },
+    /// Stops the world: the event loop sleeps until the deadline,
+    /// processing nothing and ticking nobody (models a long local-GC
+    /// pause, the §4.2 hazard; deliveries queue up and land in a burst
+    /// when the pause ends, exactly like the simulator's deferred
+    /// events). An *absolute* deadline, not a span: a pause that
+    /// queues behind another only extends the stall to the later end —
+    /// the covering-union semantics of `FaultProfile::pause_end` —
+    /// instead of serializing the full widths back to back.
+    Pause {
+        /// When the world resumes (already-past deadlines are no-ops).
+        until: Instant,
+    },
     /// Stops the event loop.
     Shutdown,
 }
@@ -133,7 +145,7 @@ pub(crate) struct SocketTracker {
 impl SocketTracker {
     /// Registers a clone of `stream`; the returned guard unregisters it
     /// when dropped.
-    fn register(self: &Arc<Self>, stream: &TcpStream) -> Option<TrackedSocket> {
+    pub(crate) fn register(self: &Arc<Self>, stream: &TcpStream) -> Option<TrackedSocket> {
         let clone = stream.try_clone().ok()?;
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         self.sockets
@@ -147,7 +159,7 @@ impl SocketTracker {
     }
 
     /// Shuts down every registered socket, unblocking its reader.
-    fn shutdown_all(&self) {
+    pub(crate) fn shutdown_all(&self) {
         for s in self
             .sockets
             .lock()
@@ -217,6 +229,7 @@ impl NetNode {
             epoch: Instant::now(),
             stats: Arc::clone(&stats),
             terminated: Arc::clone(&terminated),
+            shutting_down: Arc::clone(&shutting_down),
             tracker: Arc::clone(&tracker),
         };
         let loop_handle = std::thread::Builder::new()
@@ -289,6 +302,23 @@ impl NetNode {
     /// Drops the reference edge `from → to`; `from` must be hosted here.
     pub fn drop_ref(&self, from: AoId, to: AoId) {
         let _ = self.tx.send(Event::DropRef { from, to });
+    }
+
+    /// Stops this node's world until `now + d`: no TTB ticks fire and
+    /// no deliveries are processed until the pause ends (the §4.2
+    /// local-GC-pause hazard, injectable on demand). The deadline is
+    /// anchored *here*, at request time — a busy event loop that
+    /// dequeues the request late stalls correspondingly less, it does
+    /// not overshoot.
+    pub fn pause_for(&self, d: Duration) {
+        let _ = self.tx.send(Event::Pause {
+            until: Instant::now() + d,
+        });
+    }
+
+    /// Clone of the event-loop sender, for in-crate fault schedulers.
+    pub(crate) fn event_sender(&self) -> mpsc::Sender<Event> {
+        self.tx.clone()
     }
 
     /// Snapshot of terminations recorded on this node.
@@ -480,6 +510,7 @@ struct Worker {
     epoch: Instant,
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
+    shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
 }
 
@@ -617,6 +648,20 @@ impl Worker {
     fn handle(&mut self, event: Event) -> bool {
         match event {
             Event::Shutdown => return false,
+            Event::Pause { until } => {
+                // A real stop-the-world: this thread owns every endpoint
+                // and every tick, so sleeping here stops the protocol on
+                // this node while sockets keep queueing into the channel.
+                // Sliced so node shutdown (e.g. a test unwinding out of
+                // a failed assertion) never waits out a long pause.
+                while Instant::now() < until {
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let left = until.saturating_duration_since(Instant::now());
+                    std::thread::sleep(left.min(Duration::from_millis(20)));
+                }
+            }
             Event::Item(item) => self.handle_item(item),
             Event::PeerLink { node, tx } => {
                 self.reply.insert(node, tx);

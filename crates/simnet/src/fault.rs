@@ -6,6 +6,8 @@
 //! injects exactly those hazards so tests can demonstrate both the failure
 //! mode and the safety of correctly chosen parameters.
 
+use dgc_core::faults::{FaultKind, FaultProfile};
+
 use crate::time::{SimDuration, SimTime};
 use crate::topology::ProcId;
 
@@ -46,11 +48,59 @@ pub struct ProcessPause {
     pub end: SimTime,
 }
 
+/// A full partition of a link during a window: nothing crosses until
+/// the window closes. In a reliable-FIFO delivery-time model this is
+/// "delivered at heal time" — the same outcome TCP retransmission
+/// produces once connectivity returns.
+#[derive(Debug, Clone)]
+pub struct LinkPartition {
+    /// Source process filter; `None` matches any source.
+    pub from: Option<ProcId>,
+    /// Destination process filter; `None` matches any destination.
+    pub to: Option<ProcId>,
+    /// Start of the partition (inclusive).
+    pub start: SimTime,
+    /// First healed instant (exclusive).
+    pub end: SimTime,
+}
+
+impl LinkPartition {
+    fn matches(&self, now: SimTime, from: ProcId, to: ProcId) -> bool {
+        now >= self.start
+            && now < self.end
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Probabilistic message loss on a link during a window. Decisions are
+/// seeded and deterministic (see [`FaultPlan::should_drop`]), drawn
+/// from the same generator as the chaos proxy's frame drops
+/// ([`dgc_core::faults::decision`]) — though the two realizations
+/// number their streams differently (per-message here, per-frame
+/// there), so a shared profile reproduces *rates*, not loss patterns.
+#[derive(Debug, Clone)]
+pub struct LinkDrop {
+    /// Source process filter; `None` matches any source.
+    pub from: Option<ProcId>,
+    /// Destination process filter; `None` matches any destination.
+    pub to: Option<ProcId>,
+    /// Start of the loss window (inclusive).
+    pub start: SimTime,
+    /// End of the loss window (exclusive).
+    pub end: SimTime,
+    /// Loss probability in thousandths.
+    pub permille: u16,
+}
+
 /// A schedule of link faults and process pauses.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     link_faults: Vec<LinkFault>,
     pauses: Vec<ProcessPause>,
+    partitions: Vec<LinkPartition>,
+    drops: Vec<LinkDrop>,
+    seed: u64,
 }
 
 impl FaultPlan {
@@ -63,8 +113,58 @@ impl FaultPlan {
     pub fn with_faults(link_faults: Vec<LinkFault>) -> Self {
         FaultPlan {
             link_faults,
-            pauses: Vec::new(),
+            ..FaultPlan::default()
         }
+    }
+
+    /// Realizes a runtime-neutral [`FaultProfile`] as a simulator fault
+    /// plan. Profile times are nanoseconds since scenario start, which
+    /// is exactly [`SimTime`]'s epoch; node ids map to [`ProcId`]s.
+    /// [`FaultKind::Reorder`] has no FIFO realization and is skipped —
+    /// the simulator models the paper's in-order transport (§3.2).
+    pub fn from_profile(profile: &FaultProfile) -> Self {
+        let mut plan = FaultPlan {
+            seed: profile.seed(),
+            ..FaultPlan::default()
+        };
+        let endpoint = |n: Option<u32>| n.map(ProcId);
+        for l in profile.link_disruptions() {
+            let (start, end) = (
+                SimTime::from_nanos(l.window.start.as_nanos()),
+                SimTime::from_nanos(l.window.end.as_nanos()),
+            );
+            match l.kind {
+                FaultKind::Delay(extra) => plan.add_link_fault(LinkFault {
+                    from: endpoint(l.from),
+                    to: endpoint(l.to),
+                    start,
+                    end,
+                    extra_delay: SimDuration::from_nanos(extra.as_nanos()),
+                }),
+                FaultKind::Partition => plan.add_partition(LinkPartition {
+                    from: endpoint(l.from),
+                    to: endpoint(l.to),
+                    start,
+                    end,
+                }),
+                FaultKind::Drop { permille } => plan.add_drop(LinkDrop {
+                    from: endpoint(l.from),
+                    to: endpoint(l.to),
+                    start,
+                    end,
+                    permille,
+                }),
+                FaultKind::Reorder { .. } => {}
+            }
+        }
+        for p in profile.node_pauses() {
+            plan.add_pause(ProcessPause {
+                proc: ProcId(p.node),
+                start: SimTime::from_nanos(p.window.start.as_nanos()),
+                end: SimTime::from_nanos(p.window.end.as_nanos()),
+            });
+        }
+        plan
     }
 
     /// Adds a link fault.
@@ -77,8 +177,24 @@ impl FaultPlan {
         self.pauses.push(pause);
     }
 
+    /// Adds a link partition.
+    pub fn add_partition(&mut self, partition: LinkPartition) {
+        self.partitions.push(partition);
+    }
+
+    /// Adds a probabilistic-loss window.
+    pub fn add_drop(&mut self, drop: LinkDrop) {
+        self.drops.push(drop);
+    }
+
+    /// Sets the seed loss decisions derive from.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     /// Total extra delay for a message sent at `now` over `(from, to)`.
-    /// Overlapping faults accumulate.
+    /// Overlapping faults accumulate; an active partition defers the
+    /// message to its heal time (`end - now` extra).
     pub fn extra_delay(&self, now: SimTime, from: ProcId, to: ProcId) -> SimDuration {
         let mut d = SimDuration::ZERO;
         for f in &self.link_faults {
@@ -86,7 +202,26 @@ impl FaultPlan {
                 d = d.saturating_add(f.extra_delay);
             }
         }
+        for p in &self.partitions {
+            if p.matches(now, from, to) {
+                d = d.saturating_add(p.end.saturating_since(now));
+            }
+        }
         d
+    }
+
+    /// Seeded loss decision for the `seq`-th metered message over
+    /// `(from, to)` at `now`. Deterministic in `(seed, drop index,
+    /// from, to, seq)` via [`dgc_core::faults::decision`], the same
+    /// generator the chaos proxy draws from.
+    pub fn should_drop(&self, now: SimTime, from: ProcId, to: ProcId, seq: u64) -> bool {
+        self.drops.iter().enumerate().any(|(i, dr)| {
+            now >= dr.start
+                && now < dr.end
+                && dr.from.is_none_or(|f| f == from)
+                && dr.to.is_none_or(|t| t == to)
+                && dgc_core::faults::decision(self.seed, i as u64, from.0, to.0, seq, dr.permille)
+        })
     }
 
     /// If `proc` is paused at `now`, returns the time the pause ends.
@@ -100,7 +235,16 @@ impl FaultPlan {
 
     /// True if the plan contains no faults.
     pub fn is_empty(&self) -> bool {
-        self.link_faults.is_empty() && self.pauses.is_empty()
+        self.link_faults.is_empty()
+            && self.pauses.is_empty()
+            && self.partitions.is_empty()
+            && self.drops.is_empty()
+    }
+}
+
+impl From<&FaultProfile> for FaultPlan {
+    fn from(profile: &FaultProfile) -> FaultPlan {
+        FaultPlan::from_profile(profile)
     }
 }
 
@@ -170,6 +314,130 @@ mod tests {
     }
 
     #[test]
+    fn link_fault_window_is_start_inclusive_end_exclusive() {
+        let mut p = FaultPlan::none();
+        p.add_link_fault(LinkFault {
+            from: None,
+            to: None,
+            start: t(10),
+            end: t(20),
+            extra_delay: SimDuration::from_secs(1),
+        });
+        // One nanosecond before `start`: outside.
+        let just_before = SimTime::from_nanos(t(10).as_nanos() - 1);
+        assert_eq!(
+            p.extra_delay(just_before, ProcId(0), ProcId(1)),
+            SimDuration::ZERO
+        );
+        // Exactly `start`: inside.
+        assert_eq!(
+            p.extra_delay(t(10), ProcId(0), ProcId(1)),
+            SimDuration::from_secs(1)
+        );
+        // One nanosecond before `end`: still inside.
+        let just_inside = SimTime::from_nanos(t(20).as_nanos() - 1);
+        assert_eq!(
+            p.extra_delay(just_inside, ProcId(0), ProcId(1)),
+            SimDuration::from_secs(1)
+        );
+        // Exactly `end`: outside.
+        assert_eq!(
+            p.extra_delay(t(20), ProcId(0), ProcId(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn pause_window_is_start_inclusive_end_exclusive() {
+        let mut p = FaultPlan::none();
+        p.add_pause(ProcessPause {
+            proc: ProcId(0),
+            start: t(10),
+            end: t(20),
+        });
+        let just_before = SimTime::from_nanos(t(10).as_nanos() - 1);
+        assert_eq!(p.pause_end(just_before, ProcId(0)), None);
+        assert_eq!(p.pause_end(t(10), ProcId(0)), Some(t(20)));
+        let just_inside = SimTime::from_nanos(t(20).as_nanos() - 1);
+        assert_eq!(p.pause_end(just_inside, ProcId(0)), Some(t(20)));
+        assert_eq!(p.pause_end(t(20), ProcId(0)), None);
+    }
+
+    #[test]
+    fn wildcard_filters_match_any_pair() {
+        let mut any_any = FaultPlan::none();
+        any_any.add_link_fault(LinkFault {
+            from: None,
+            to: None,
+            start: t(0),
+            end: t(10),
+            extra_delay: SimDuration::from_secs(1),
+        });
+        for (f, to) in [(0u32, 1u32), (5, 9), (9, 5), (7, 0)] {
+            assert_eq!(
+                any_any.extra_delay(t(5), ProcId(f), ProcId(to)),
+                SimDuration::from_secs(1),
+                "None/None must match {f}→{to}"
+            );
+        }
+        // Half-wildcards filter only their bound side.
+        let mut from_only = FaultPlan::none();
+        from_only.add_link_fault(LinkFault {
+            from: Some(ProcId(2)),
+            to: None,
+            start: t(0),
+            end: t(10),
+            extra_delay: SimDuration::from_secs(1),
+        });
+        assert_eq!(
+            from_only.extra_delay(t(5), ProcId(2), ProcId(8)),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            from_only.extra_delay(t(5), ProcId(3), ProcId(8)),
+            SimDuration::ZERO
+        );
+        let mut to_only = FaultPlan::none();
+        to_only.add_link_fault(LinkFault {
+            from: None,
+            to: Some(ProcId(4)),
+            start: t(0),
+            end: t(10),
+            extra_delay: SimDuration::from_secs(1),
+        });
+        assert_eq!(
+            to_only.extra_delay(t(5), ProcId(9), ProcId(4)),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            to_only.extra_delay(t(5), ProcId(9), ProcId(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn overlapping_pauses_on_one_process_extend_to_latest_end() {
+        // Chained partial overlaps: [5,10) ∪ [8,14) ∪ [13,21). Probing
+        // inside each segment reports the longest end *covering that
+        // instant*, not the global maximum.
+        let mut p = FaultPlan::none();
+        for (s, e) in [(5, 10), (8, 14), (13, 21)] {
+            p.add_pause(ProcessPause {
+                proc: ProcId(1),
+                start: t(s),
+                end: t(e),
+            });
+        }
+        assert_eq!(p.pause_end(t(6), ProcId(1)), Some(t(10)), "only 1st covers");
+        assert_eq!(p.pause_end(t(9), ProcId(1)), Some(t(14)), "1st and 2nd");
+        assert_eq!(p.pause_end(t(13), ProcId(1)), Some(t(21)), "2nd and 3rd");
+        assert_eq!(p.pause_end(t(20), ProcId(1)), Some(t(21)));
+        assert_eq!(p.pause_end(t(21), ProcId(1)), None);
+        // A different process never pauses.
+        assert_eq!(p.pause_end(t(9), ProcId(2)), None);
+    }
+
+    #[test]
     fn pause_end_reports_longest() {
         let mut p = FaultPlan::none();
         p.add_pause(ProcessPause {
@@ -186,5 +454,116 @@ mod tests {
         assert_eq!(p.pause_end(t(4), ProcId(3)), None);
         assert_eq!(p.pause_end(t(15), ProcId(3)), None);
         assert_eq!(p.pause_end(t(7), ProcId(4)), None);
+    }
+
+    #[test]
+    fn partition_defers_to_heal_time() {
+        let mut p = FaultPlan::none();
+        p.add_partition(LinkPartition {
+            from: Some(ProcId(0)),
+            to: Some(ProcId(1)),
+            start: t(10),
+            end: t(30),
+        });
+        assert_eq!(
+            p.extra_delay(t(10), ProcId(0), ProcId(1)),
+            SimDuration::from_secs(20)
+        );
+        assert_eq!(
+            p.extra_delay(t(25), ProcId(0), ProcId(1)),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            p.extra_delay(t(30), ProcId(0), ProcId(1)),
+            SimDuration::ZERO,
+            "healed"
+        );
+        assert_eq!(
+            p.extra_delay(t(25), ProcId(1), ProcId(0)),
+            SimDuration::ZERO,
+            "reverse direction unaffected"
+        );
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn drops_are_seeded_and_windowed() {
+        let mut p = FaultPlan::none();
+        p.set_seed(7);
+        p.add_drop(LinkDrop {
+            from: Some(ProcId(0)),
+            to: None,
+            start: t(0),
+            end: t(100),
+            permille: 500,
+        });
+        let seq: Vec<bool> = (0..64)
+            .map(|s| p.should_drop(t(5), ProcId(0), ProcId(1), s))
+            .collect();
+        let again: Vec<bool> = (0..64)
+            .map(|s| p.should_drop(t(5), ProcId(0), ProcId(1), s))
+            .collect();
+        assert_eq!(seq, again);
+        let hits = seq.iter().filter(|d| **d).count();
+        assert!((10..=54).contains(&hits), "~50% expected, got {hits}/64");
+        assert!(
+            !p.should_drop(t(100), ProcId(0), ProcId(1), 0),
+            "window end"
+        );
+        assert!(
+            !p.should_drop(t(5), ProcId(2), ProcId(1), 0),
+            "wrong source"
+        );
+    }
+
+    #[test]
+    fn from_profile_realizes_every_fifo_primitive() {
+        use dgc_core::faults::{FaultProfile, Window};
+        use dgc_core::units::Dur;
+
+        let profile = FaultProfile::none()
+            .seeded(99)
+            .delay(
+                Some(0),
+                Some(1),
+                Window::from_millis(0, 50),
+                Dur::from_millis(5),
+            )
+            .partition_pair(0, 1, Window::from_millis(100, 200))
+            .drop_frames(None, Some(2), Window::from_millis(0, 1000), 1000)
+            .reorder(None, None, Window::from_millis(0, 1000), 500)
+            .pause(1, Window::from_millis(300, 400));
+        let plan = FaultPlan::from_profile(&profile);
+        assert!(!plan.is_empty());
+        // Delay window carried over.
+        assert_eq!(
+            plan.extra_delay(SimTime::from_millis(10), ProcId(0), ProcId(1)),
+            SimDuration::from_millis(5)
+        );
+        // Partition defers to heal in both directions.
+        assert_eq!(
+            plan.extra_delay(SimTime::from_millis(150), ProcId(0), ProcId(1)),
+            SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            plan.extra_delay(SimTime::from_millis(150), ProcId(1), ProcId(0)),
+            SimDuration::from_millis(50)
+        );
+        // A certain drop drops; reorder has no FIFO realization.
+        assert!(plan.should_drop(SimTime::from_millis(1), ProcId(0), ProcId(2), 0));
+        assert!(!plan.should_drop(SimTime::from_millis(1), ProcId(0), ProcId(1), 0));
+        // Pause carried over with the same window semantics.
+        assert_eq!(
+            plan.pause_end(SimTime::from_millis(350), ProcId(1)),
+            Some(SimTime::from_millis(400))
+        );
+        // The matching profile query agrees with the plan realization.
+        assert_eq!(
+            profile
+                .extra_delay(dgc_core::units::Time::from_nanos(150_000_000), 0, 1)
+                .as_nanos(),
+            plan.extra_delay(SimTime::from_millis(150), ProcId(0), ProcId(1))
+                .as_nanos()
+        );
     }
 }

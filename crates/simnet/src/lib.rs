@@ -52,8 +52,8 @@ pub mod topology;
 pub mod trace;
 pub mod traffic;
 
-pub use fault::{FaultPlan, LinkFault, ProcessPause};
-pub use network::Network;
+pub use fault::{FaultPlan, LinkDrop, LinkFault, LinkPartition, ProcessPause};
+pub use network::{Delivery, Network};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

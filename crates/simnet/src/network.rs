@@ -15,15 +15,40 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{ProcId, Topology};
 use crate::traffic::{TrafficClass, TrafficMeter};
 
+/// Outcome of routing one message through the (possibly faulty) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives at this time.
+    At(SimTime),
+    /// The message is lost (a drop window hit it). The sender is not
+    /// told — exactly like a frame discarded by a flaky link.
+    Dropped,
+}
+
+impl Delivery {
+    /// The arrival time, if the message was delivered.
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            Delivery::At(t) => Some(t),
+            Delivery::Dropped => None,
+        }
+    }
+}
+
 /// Computes message delivery times over the grid and meters traffic.
 pub struct Network {
     topology: Topology,
     /// Last scheduled delivery per ordered (from, to) pair, enforcing FIFO.
     last_delivery: HashMap<(ProcId, ProcId), SimTime>,
+    /// Messages metered per ordered pair: the sequence number loss
+    /// decisions are keyed on (deterministic per run).
+    sent_seq: HashMap<(ProcId, ProcId), u64>,
     meter: TrafficMeter,
     /// Per-process meters (paper: one SOCKS proxy per machine).
     per_proc: Vec<TrafficMeter>,
     faults: FaultPlan,
+    /// Cross-process messages lost to drop windows.
+    dropped: u64,
     /// Optional fixed per-message serialization overhead added to latency
     /// per KiB of payload (models marshalling cost); zero by default.
     per_kib_cost: SimDuration,
@@ -36,9 +61,11 @@ impl Network {
         Network {
             topology,
             last_delivery: HashMap::new(),
+            sent_seq: HashMap::new(),
             meter: TrafficMeter::new(),
             per_proc: vec![TrafficMeter::new(); procs],
             faults: FaultPlan::none(),
+            dropped: 0,
             per_kib_cost: SimDuration::ZERO,
         }
     }
@@ -74,13 +101,57 @@ impl Network {
         class: TrafficClass,
         size: u64,
     ) -> SimTime {
-        if from == to {
-            // Intra-process: immediate, unmetered, but still FIFO with
-            // itself (delivery at `now`, ordering by event sequence).
-            return now;
+        match self.route_inner(now, from, to, class, size, false) {
+            Delivery::At(t) => t,
+            Delivery::Dropped => unreachable!("loss disabled on the send path"),
         }
+    }
+
+    /// Like [`Network::send`], but subject to the fault plan's drop
+    /// windows: `Delivery::Dropped` means the message never arrives and
+    /// the caller must not schedule it. Bytes are still metered (the
+    /// sender paid for them up to the point of loss).
+    pub fn route(
+        &mut self,
+        now: SimTime,
+        from: ProcId,
+        to: ProcId,
+        class: TrafficClass,
+        size: u64,
+    ) -> Delivery {
+        self.route_inner(now, from, to, class, size, true)
+    }
+
+    fn route_inner(
+        &mut self,
+        now: SimTime,
+        from: ProcId,
+        to: ProcId,
+        class: TrafficClass,
+        size: u64,
+        lossy: bool,
+    ) -> Delivery {
+        if from == to {
+            // Intra-process: immediate, unmetered, never lost, but still
+            // FIFO with itself (delivery at `now`, ordering by event
+            // sequence).
+            return Delivery::At(now);
+        }
+        // Sender-side accounting happens whether or not the message
+        // survives (the bytes crossed the sender's proxy); the
+        // receiver's meter only sees what actually arrives.
         self.meter.record(class, size);
         self.per_proc[from.0 as usize].record(class, size);
+
+        if lossy {
+            let seq = self.sent_seq.entry((from, to)).or_insert(0);
+            let this_seq = *seq;
+            *seq += 1;
+            if self.faults.should_drop(now, from, to, this_seq) {
+                self.dropped += 1;
+                return Delivery::Dropped;
+            }
+        }
         self.per_proc[to.0 as usize].record(class, size);
 
         let mut latency = self.topology.latency(from, to);
@@ -97,7 +168,12 @@ impl Network {
             .or_insert(SimTime::ZERO);
         let delivery = arrival.max(*slot);
         *slot = delivery;
-        delivery
+        Delivery::At(delivery)
+    }
+
+    /// Cross-process messages lost to the fault plan's drop windows.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
     }
 
     /// Global traffic meter (all cross-process bytes).
@@ -251,6 +327,54 @@ mod tests {
         );
         assert_eq!(small, SimTime::ZERO + SimDuration::from_millis(3)); // 2 + 1*1KiB
         assert_eq!(big, SimTime::ZERO + SimDuration::from_millis(12)); // 2 + 10KiB
+    }
+
+    #[test]
+    fn route_drops_inside_loss_windows_and_meters_anyway() {
+        use crate::fault::LinkDrop;
+        let mut n = net();
+        let mut plan = FaultPlan::none();
+        plan.set_seed(3);
+        plan.add_drop(LinkDrop {
+            from: Some(ProcId(0)),
+            to: Some(ProcId(1)),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+            permille: 1000, // certain loss
+        });
+        n.set_fault_plan(plan);
+        let d = n.route(
+            SimTime::ZERO,
+            ProcId(0),
+            ProcId(1),
+            TrafficClass::DgcMessage,
+            64,
+        );
+        assert_eq!(d, Delivery::Dropped);
+        assert_eq!(d.time(), None);
+        assert_eq!(n.dropped_messages(), 1);
+        assert_eq!(n.meter().total_bytes(), 64, "loss still costs the wire");
+        // Other links and the post-window era deliver normally.
+        assert!(matches!(
+            n.route(
+                SimTime::ZERO,
+                ProcId(1),
+                ProcId(0),
+                TrafficClass::DgcMessage,
+                64
+            ),
+            Delivery::At(_)
+        ));
+        assert!(matches!(
+            n.route(
+                SimTime::from_secs(10),
+                ProcId(0),
+                ProcId(1),
+                TrafficClass::DgcMessage,
+                64
+            ),
+            Delivery::At(_)
+        ));
     }
 
     #[test]

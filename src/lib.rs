@@ -17,12 +17,17 @@
 //! * [`rt_thread`] — a real-thread runtime driving the same protocol core
 //!   with wall-clock timers;
 //! * [`rt_net`] — a real TCP transport runtime: nodes on sockets,
-//!   length-prefixed batched frames, reconnecting peer links.
+//!   length-prefixed batched frames, reconnecting peer links, and a
+//!   chaos proxy that replays fault profiles over live connections;
+//! * [`conformance`] — the dual-runtime conformance harness: one fault
+//!   scenario, one wrongful-collection-oracle verdict, checked on both
+//!   the simulator and a chaos-proxied localhost cluster.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and the README
 //! for the crate map and how to run the test/bench suites.
 
 pub use dgc_activeobj as activeobj;
+pub use dgc_conformance as conformance;
 pub use dgc_core as dgc;
 pub use dgc_rmi as rmi;
 pub use dgc_rt_net as rt_net;

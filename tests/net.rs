@@ -82,10 +82,11 @@ fn busy_referencer_on_remote_node_protects_the_cycle() {
     cluster.add_ref(b, a);
     cluster.set_idle(a, true);
     // b stays busy: nothing may be collected, however long we wait
-    // relative to the timers.
-    std::thread::sleep(Duration::from_millis(500));
+    // relative to the timers. `wait_until` polls for the *violation*,
+    // so a correct run waits out the window and a buggy run fails fast
+    // instead of sleeping blindly.
     assert!(
-        cluster.terminated().is_empty(),
+        !cluster.wait_until(Duration::from_millis(500), |t| !t.is_empty()),
         "busy member overrun: {:?}",
         cluster.terminated()
     );
@@ -118,12 +119,13 @@ fn acyclic_garbage_is_collected_and_roots_survive() {
             .reason,
         TerminateReason::Acyclic
     );
-    std::thread::sleep(Duration::from_millis(300));
     assert!(
-        !cluster.is_terminated(kept),
-        "remote heartbeats from the busy root must keep `kept` alive"
+        !cluster.wait_until(Duration::from_millis(300), |t| t
+            .iter()
+            .any(|x| x.ao == kept || x.ao == root)),
+        "remote heartbeats from the busy root must keep `kept` alive: {:?}",
+        cluster.terminated()
     );
-    assert!(!cluster.is_terminated(root));
     cluster.shutdown();
 }
 
@@ -146,6 +148,26 @@ fn ttb_and_tta_run_at_millisecond_scale() {
 }
 
 #[test]
+fn shutdown_is_safe_after_a_failed_assertion() {
+    // A failing test unwinds while links are live and half the
+    // topology may already be dead; the cluster's Drop runs on that
+    // unwind path and must neither hang nor double-panic. (Before the
+    // Drop impl, an assertion failure leaked every node thread.)
+    let cluster = Cluster::listen_local(3, cfg()).expect("bind cluster");
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, a);
+    cluster.set_idle(a, true);
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _owned = cluster; // dropped by the unwind below
+        panic!("simulated failed assertion");
+    }));
+    assert!(unwound.is_err(), "the panic must have propagated");
+    // Reaching this line is the assertion: the drop completed.
+}
+
+#[test]
 fn batching_packs_cohosted_heartbeats_into_shared_frames() {
     // 12 referencers on node 0, all pointing at activities on node 1:
     // one TTB sweep queues 12·4 messages for the same peer, which the
@@ -158,9 +180,15 @@ fn batching_packs_cohosted_heartbeats_into_shared_frames() {
             cluster.add_ref(holder, *t);
         }
     }
-    std::thread::sleep(Duration::from_millis(600));
+    // Poll for the traffic condition instead of guessing how long the
+    // sweeps take: the test finishes as soon as enough heartbeats have
+    // flowed, and only a genuinely unbatched link exhausts the deadline.
+    assert!(
+        cluster.wait_stats_until(Duration::from_secs(10), |s| s[0].items_sent >= 48),
+        "expected several TTB sweeps, got {:?}",
+        cluster.stats()[0]
+    );
     let s = cluster.stats()[0];
-    assert!(s.items_sent >= 48, "expected several TTB sweeps");
     assert!(
         s.items_per_frame() > 2.0,
         "co-located heartbeats should batch: {:.2} items/frame",
