@@ -24,6 +24,10 @@ use dgc_core::id::AoId;
 use dgc_core::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use dgc_core::stats::DgcStats;
 use dgc_core::wire as dgc_wire;
+use dgc_membership::wire as membership_wire;
+use dgc_membership::{
+    GossipOut, Membership, MembershipConfig, MembershipEvent, NodeRecord, Transition,
+};
 use dgc_rmi::endpoint::{RmiAction, RmiMessage};
 use dgc_rmi::wire as rmi_wire;
 
@@ -62,6 +66,15 @@ pub struct GridConfig {
     pub deployment_bytes: u64,
     /// Link faults and process pauses (§4.2 experiments).
     pub fault_plan: FaultPlan,
+    /// When set, every process runs a `dgc-membership` engine driven by
+    /// simulated gossip delivery: nodes discover each other from the
+    /// `membership_seeds`, suspect and bury silent peers, and each
+    /// **dead** verdict feeds the hosted collectors' send-failure path
+    /// ([`dgc_core::protocol::DgcState::on_node_dead`]).
+    pub membership: Option<MembershipConfig>,
+    /// The processes every engine is seeded with (assumed-alive
+    /// contacts); the usual deployment knows only process 0.
+    pub membership_seeds: Vec<ProcId>,
 }
 
 impl GridConfig {
@@ -79,7 +92,15 @@ impl GridConfig {
             tick_jitter: true,
             deployment_bytes: 0,
             fault_plan: FaultPlan::none(),
+            membership: None,
+            membership_seeds: vec![ProcId(0)],
         }
+    }
+
+    /// Enables the membership layer with `config` timings.
+    pub fn membership(mut self, config: MembershipConfig) -> Self {
+        self.membership = Some(config);
+        self
     }
 
     /// Sets the collector.
@@ -196,6 +217,27 @@ enum Event {
         ao: AoId,
         token: u64,
     },
+    /// Drives `proc`'s membership engine (failure detection + gossip).
+    MembershipTick {
+        proc: ProcId,
+    },
+    /// A gossip digest crossing the simulated network.
+    Gossip {
+        from: ProcId,
+        to: ProcId,
+        records: Vec<NodeRecord>,
+    },
+    /// `proc` crashes: every hosted activity dies, its membership
+    /// engine stops. Scheduled from the fault plan's `NodeCrash`es.
+    NodeCrash {
+        proc: ProcId,
+    },
+    /// `proc` restarts empty under `incarnation` and re-bootstraps from
+    /// the seeds.
+    NodeRejoin {
+        proc: ProcId,
+        incarnation: u64,
+    },
     Sample,
 }
 
@@ -226,6 +268,11 @@ pub struct Grid {
     inflight_app: BTreeMap<u64, InflightMessage>,
     next_inflight_key: u64,
     dgc_stats_collected: DgcStats,
+    /// Per-process membership engines (`None` while a process is down,
+    /// or for every process when the layer is disabled).
+    members: Vec<Option<Membership>>,
+    /// Every membership transition each process observed, in order.
+    member_events: Vec<Vec<MembershipEvent>>,
 }
 
 impl Grid {
@@ -244,6 +291,32 @@ impl Grid {
         }
         if let Some(period) = config.sample_every {
             events.schedule(SimTime::ZERO + period, Event::Sample);
+        }
+        // Membership: one engine per process, seeded, ticked at half the
+        // gossip interval so failure detection stays responsive.
+        let members: Vec<Option<Membership>> = (0..procs_n)
+            .map(|p| {
+                config.membership.map(|m| {
+                    let engine = new_member(&config, ProcId(p), 1, SimTime::ZERO, m);
+                    events.schedule(SimTime::ZERO, Event::MembershipTick { proc: ProcId(p) });
+                    engine
+                })
+            })
+            .collect();
+        // Crash-restarts come from the fault plan, like pauses — but as
+        // explicit events, since they destroy state rather than defer it.
+        for crash in config.fault_plan.crashes() {
+            let proc = ProcId(crash.node);
+            events.schedule(
+                SimTime::from_nanos(crash.down.start.as_nanos()),
+                Event::NodeCrash { proc },
+            );
+            if let Some(incarnation) = crash.rejoin_incarnation {
+                events.schedule(
+                    SimTime::from_nanos(crash.down.end.as_nanos()),
+                    Event::NodeRejoin { proc, incarnation },
+                );
+            }
         }
         let trace = TraceLog::new(config.trace_level);
         Grid {
@@ -265,6 +338,8 @@ impl Grid {
             inflight_app: BTreeMap::new(),
             next_inflight_key: 0,
             dgc_stats_collected: DgcStats::default(),
+            members,
+            member_events: (0..procs_n).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -424,6 +499,10 @@ impl Grid {
             Event::ServeDone { ao } => self.handle_serve_done(ao),
             Event::LocalGc { proc } => self.handle_local_gc(proc),
             Event::AppTimer { ao, token } => self.handle_app_timer(ao, token),
+            Event::MembershipTick { proc } => self.handle_membership_tick(proc),
+            Event::Gossip { from, to, records } => self.handle_gossip(from, to, records),
+            Event::NodeCrash { proc } => self.handle_crash(proc),
+            Event::NodeRejoin { proc, incarnation } => self.handle_rejoin(proc, incarnation),
             Event::Sample => {
                 self.samples.push(Sample {
                     at: self.now,
@@ -1047,6 +1126,125 @@ impl Grid {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Membership and churn
+    // ------------------------------------------------------------------
+
+    fn handle_membership_tick(&mut self, proc: ProcId) {
+        let Some(m) = self.config.membership else {
+            return;
+        };
+        let now = self.now;
+        let outs = match &mut self.members[proc.0 as usize] {
+            Some(engine) => engine.on_tick(proto_time(now)),
+            // Crashed: this tick chain dies with the node; a rejoin
+            // starts a fresh one.
+            None => return,
+        };
+        self.flush_membership(proc, outs);
+        // Half the gossip interval keeps failure detection responsive
+        // without flooding the event queue.
+        let half = SimDuration::from_nanos((m.gossip_interval.as_nanos() / 2).max(1));
+        self.events
+            .schedule(now + half, Event::MembershipTick { proc });
+    }
+
+    fn handle_gossip(&mut self, from: ProcId, to: ProcId, records: Vec<NodeRecord>) {
+        let now = self.now;
+        let outs = match &mut self.members[to.0 as usize] {
+            Some(engine) => engine.on_digest(proto_time(now), from.0, &records),
+            None => return, // down nodes hear nothing
+        };
+        self.flush_membership(to, outs);
+    }
+
+    /// Routes `proc`'s outgoing digests (metered, droppable, delayed
+    /// like any other traffic) and applies its freshly observed
+    /// membership transitions: every **dead** verdict feeds the hosted
+    /// collectors' send-failure path.
+    fn flush_membership(&mut self, proc: ProcId, outs: Vec<GossipOut>) {
+        for out in outs {
+            let size = membership_wire::digest_wire_size(&out.records);
+            if let Delivery::At(at) =
+                self.net
+                    .route(self.now, proc, ProcId(out.to), TrafficClass::Gossip, size)
+            {
+                self.events.schedule(
+                    at,
+                    Event::Gossip {
+                        from: proc,
+                        to: ProcId(out.to),
+                        records: out.records,
+                    },
+                );
+            }
+        }
+        let events = match &mut self.members[proc.0 as usize] {
+            Some(engine) => engine.poll_events(),
+            None => Vec::new(),
+        };
+        for ev in events {
+            if ev.transition == Transition::Dead {
+                self.apply_node_dead(proc, ev.node);
+            }
+            self.member_events[proc.0 as usize].push(ev);
+        }
+    }
+
+    /// `observer`'s membership engine buried `dead`: every collector it
+    /// hosts treats that node's referencers and referenced activities
+    /// as departed (§4.1's send-failure path, in bulk).
+    fn apply_node_dead(&mut self, observer: ProcId, dead: u32) {
+        for act in self.procs[observer.0 as usize].values_mut() {
+            if let Collector::Complete(s) = &mut act.collector {
+                s.on_node_dead(dead);
+            }
+        }
+        if self.trace.enabled(TraceLevel::Info) {
+            self.trace.info(
+                self.now,
+                "node-dead",
+                format!("proc {} buried node {}", observer.0, dead),
+            );
+        }
+    }
+
+    /// The fault plan's `NodeCrash` realization: every hosted activity
+    /// dies **by crash** (`reason: None` in the collected log — the
+    /// oracle must not judge the environment's kills as collector
+    /// terminations), and the membership engine stops answering.
+    fn handle_crash(&mut self, proc: ProcId) {
+        let indices: Vec<u32> = self.procs[proc.0 as usize].keys().copied().collect();
+        for idx in indices {
+            self.terminate_activity(AoId::new(proc.0, idx), None);
+        }
+        self.members[proc.0 as usize] = None;
+        if self.trace.enabled(TraceLevel::Info) {
+            self.trace
+                .info(self.now, "crash", format!("proc {} went down", proc.0));
+        }
+    }
+
+    /// The restart half of a `NodeCrash`: the process comes back empty
+    /// under a fresh incarnation and re-bootstraps from the seeds (its
+    /// higher incarnation supersedes the death record peers hold).
+    fn handle_rejoin(&mut self, proc: ProcId, incarnation: u64) {
+        let Some(m) = self.config.membership else {
+            return;
+        };
+        let engine = new_member(&self.config, proc, incarnation, self.now, m);
+        self.members[proc.0 as usize] = Some(engine);
+        self.events
+            .schedule(self.now, Event::MembershipTick { proc });
+        if self.trace.enabled(TraceLevel::Info) {
+            self.trace.info(
+                self.now,
+                "rejoin",
+                format!("proc {} back as incarnation {}", proc.0, incarnation),
+            );
+        }
+    }
+
     fn handle_local_gc(&mut self, proc: ProcId) {
         let indices: Vec<u32> = self.procs[proc.0 as usize].keys().copied().collect();
         for idx in indices {
@@ -1166,6 +1364,27 @@ impl Grid {
         self.procs[ao.node as usize].get(&ao.index)
     }
 
+    /// Membership transitions `proc` has observed so far (always empty
+    /// when the layer is disabled).
+    pub fn membership_events(&self, proc: ProcId) -> &[MembershipEvent] {
+        &self.member_events[proc.0 as usize]
+    }
+
+    /// Snapshot of `proc`'s membership directory; `None` while the
+    /// process is down or the layer is disabled.
+    pub fn member_records(&self, proc: ProcId) -> Option<Vec<NodeRecord>> {
+        self.members[proc.0 as usize].as_ref().map(|m| m.records())
+    }
+
+    /// True while `proc` is crashed (between a `NodeCrash`'s down start
+    /// and its rejoin, if any).
+    pub fn proc_is_down(&self, proc: ProcId) -> bool {
+        self.config
+            .fault_plan
+            .profile()
+            .crashed(proto_time(self.now), proc.0)
+    }
+
     /// Builds an oracle snapshot of the current state.
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
@@ -1212,8 +1431,33 @@ fn event_proc(event: &Event) -> Option<ProcId> {
             Some(ProcId(ao.node))
         }
         Event::LocalGc { proc } => Some(*proc),
+        // A paused process gossips late (and gets suspected — that is
+        // the §4.2 hazard, faithfully): these defer like its other work.
+        Event::MembershipTick { proc } => Some(*proc),
+        Event::Gossip { to, .. } => Some(*to),
+        // Crash and restart are the *environment's* doing: they happen
+        // on schedule even to a paused process.
+        Event::NodeCrash { .. } | Event::NodeRejoin { .. } => None,
         Event::Sample => None,
     }
+}
+
+/// A freshly bootstrapped membership engine for `proc`: announces
+/// itself under `incarnation` and knows only the configured seeds.
+fn new_member(
+    config: &GridConfig,
+    proc: ProcId,
+    incarnation: u64,
+    now: SimTime,
+    m: MembershipConfig,
+) -> Membership {
+    let mut engine = Membership::new(proc.0, None, incarnation, proto_time(now), m);
+    for seed in &config.membership_seeds {
+        if *seed != proc {
+            engine.on_contact(proto_time(now), seed.0, None);
+        }
+    }
+    engine
 }
 
 fn hash_id(id: AoId) -> u64 {
@@ -1618,6 +1862,118 @@ mod tests {
         assert!(g.is_alive(a), "registered activities are never collected");
         assert_eq!(g.lookup("svc"), Some(a));
         assert!(g.violations().is_empty());
+    }
+
+    #[test]
+    fn membership_converges_from_seed_only_knowledge() {
+        use dgc_membership::NodeStatus;
+        let topo = Topology::single_site(3, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .seed(5)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1))),
+        );
+        g.run_for(SimDuration::from_secs(30));
+        for p in 0..3 {
+            let records = g.member_records(ProcId(p)).expect("engine up");
+            assert_eq!(records.len(), 3, "proc {p} directory incomplete");
+            assert!(
+                records.iter().all(|r| r.status == NodeStatus::Alive),
+                "proc {p} holds non-alive records: {records:?}"
+            );
+        }
+        assert!(
+            g.traffic().bytes(TrafficClass::Gossip) > 0,
+            "gossip must be metered"
+        );
+        // Nodes 1 and 2 knew only the seed: each must have observed the
+        // other *join* through it.
+        assert!(g
+            .membership_events(ProcId(2))
+            .iter()
+            .any(|e| e.node == 1 && e.transition == dgc_membership::Transition::Joined));
+    }
+
+    #[test]
+    fn crashed_proc_is_buried_and_a_rejoin_incarnation_recovers() {
+        use dgc_core::faults::{FaultProfile, Window};
+        use dgc_membership::{NodeStatus, Transition};
+        // Crash proc 2 at t=20 s, restart it at t=60 s as incarnation 2.
+        let profile = FaultProfile::none().crash(2, Window::from_millis(20_000, 60_000), Some(2));
+        let topo = Topology::single_site(3, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .seed(5)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1)))
+                .fault_profile(&profile),
+        );
+        g.run_for(SimDuration::from_secs(45));
+        assert!(g.proc_is_down(ProcId(2)));
+        assert!(g.member_records(ProcId(2)).is_none(), "down engine gone");
+        for p in 0..2 {
+            let records = g.member_records(ProcId(p)).expect("engine up");
+            let dead = records.iter().find(|r| r.node == 2).expect("known");
+            assert_eq!(dead.status, NodeStatus::Dead, "proc {p} view: {records:?}");
+            assert!(g
+                .membership_events(ProcId(p))
+                .iter()
+                .any(|e| e.node == 2 && e.transition == Transition::Dead));
+        }
+        // After the rejoin, everyone converges back to alive, and the
+        // survivors see the *new* incarnation supersede the corpse.
+        g.run_for(SimDuration::from_secs(45));
+        assert!(!g.proc_is_down(ProcId(2)));
+        for p in 0..3 {
+            let records = g.member_records(ProcId(p)).expect("engine up");
+            let back = records.iter().find(|r| r.node == 2).expect("known");
+            assert_eq!(back.status, NodeStatus::Alive, "proc {p} view: {records:?}");
+            assert_eq!(back.incarnation, 2, "proc {p} must adopt the rejoin");
+        }
+        assert!(g
+            .membership_events(ProcId(0))
+            .iter()
+            .any(|e| e.node == 2 && e.incarnation == 2 && e.transition == Transition::Alive));
+    }
+
+    #[test]
+    fn crash_kills_activities_and_the_dgc_cleans_up_after_the_node() {
+        use dgc_core::faults::{FaultProfile, Window};
+        // w (proc 2, busy) holds u (proc 1, idle); proc 2 crashes for
+        // good at t=50 s. u must then fall — but only as *correct*
+        // collection (its ground-truth referencer died in the crash) —
+        // while v, held by a live root, must survive the churn.
+        let profile = FaultProfile::none().crash(2, Window::from_millis(50_000, 50_000), None);
+        let topo = Topology::single_site(3, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::Complete(dgc_cfg()))
+                .seed(7)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1)))
+                .fault_profile(&profile),
+        );
+        let root = g.spawn_root(ProcId(0), Box::new(Inert));
+        let v = g.spawn(ProcId(1), Box::new(Inert));
+        let w = g.spawn(ProcId(2), Box::new(Inert));
+        let u = g.spawn(ProcId(1), Box::new(Inert));
+        g.make_ref(root, v);
+        g.set_busy(w, true);
+        g.make_ref(w, u);
+        g.run_for(SimDuration::from_secs(300));
+        assert!(g.is_alive(v), "root-held activity must survive the crash");
+        assert!(!g.is_alive(u), "orphaned by the crash: must be collected");
+        assert!(!g.is_alive(w), "died in the crash");
+        assert!(
+            g.collected()
+                .iter()
+                .any(|c| c.ao == w && c.reason.is_none()),
+            "crash deaths are kills, not collections: {:?}",
+            g.collected()
+        );
+        assert!(
+            g.violations().is_empty(),
+            "no wrongful collection under churn: {:?}",
+            g.violations()
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn codec_level() {
         let batched = encode_frame(&Frame::Batch(round.clone())).len() as u64;
         let unbatched: u64 = round
             .iter()
-            .map(|i| encode_frame(&Frame::Batch(vec![*i])).len() as u64)
+            .map(|i| encode_frame(&Frame::Batch(vec![i.clone()])).len() as u64)
             .sum();
         let predicted = (k as u64 - 1) * FRAME_OVERHEAD;
         assert!(

@@ -49,6 +49,7 @@ use dgc_core::config::DgcConfig;
 use dgc_core::faults::FaultProfile;
 use dgc_core::id::AoId;
 use dgc_core::units::{Dur, Time};
+use dgc_membership::MembershipConfig;
 use dgc_rt_net::{Cluster, NetConfig};
 use dgc_simnet::time::{SimDuration, SimTime};
 use dgc_simnet::topology::{ProcId, Topology};
@@ -138,6 +139,11 @@ pub struct Scenario {
     pub script: Vec<ScriptOp>,
     /// The faults, unseeded; runners seed it per run.
     pub profile: FaultProfile,
+    /// Membership timings, for churn scenarios: the simulator runs a
+    /// gossip engine per process, the socket runner builds a
+    /// seed-bootstrapped join cluster instead of a statically wired
+    /// one. `None` keeps the pre-membership wiring.
+    pub membership: Option<MembershipConfig>,
     /// Evaluation horizon: virtual for the simulator, a wall-clock cap
     /// (with early exit once the verdict stabilizes) on sockets.
     pub horizon: Dur,
@@ -227,18 +233,69 @@ fn live_tags(script: &[ScriptOp], t: Time, terminated: &BTreeSet<usize>) -> BTre
         .collect()
 }
 
-/// Derives the verdict for a run from its observed terminations. The
-/// same function judges both runtimes — that is the whole point.
+/// The ground-truth kills a scenario's `NodeCrash`es inflict: every tag
+/// spawned on a crashing node *before* the crash instant dies at
+/// `down.start`. (Tags scripted onto the node after a rejoin are new
+/// activities of the new incarnation.) These are the environment's
+/// kills, not collections: [`evaluate`] folds them into the terminated
+/// set — so a dead referencer stops propagating liveness and a
+/// crash-killed activity is neither "wrongfully collected" nor
+/// "leftover garbage" — without ever convicting the collector for them.
+fn crash_kills(scenario: &Scenario) -> Vec<(Time, usize)> {
+    let mut kills = Vec::new();
+    for crash in scenario.profile.node_crashes() {
+        for s in &scenario.script {
+            if let Op::Spawn { tag, node, .. } = s.op {
+                if node == crash.node && s.at < crash.down.start {
+                    kills.push((crash.down.start, tag));
+                }
+            }
+        }
+    }
+    kills.sort();
+    kills
+}
+
+/// Derives the verdict for a run from its observed **collector**
+/// terminations. The same function judges both runtimes — that is the
+/// whole point. Crash kills come from the scenario itself (see
+/// [`crash_kills`]), never from the runtime under test: runners must
+/// not report them as observations.
 pub fn evaluate(scenario: &Scenario, observations: &[Observation]) -> Verdict {
-    let mut obs: Vec<Observation> = observations.to_vec();
-    obs.sort_by_key(|o| (o.at, o.tag));
+    enum Ev {
+        Kill(usize),
+        Collect(usize),
+    }
+    let mut timeline: Vec<(Time, u8, Ev)> = crash_kills(scenario)
+        .into_iter()
+        .map(|(at, tag)| (at, 0, Ev::Kill(tag))) // kills first on ties
+        .collect();
+    timeline.extend(observations.iter().map(|o| (o.at, 1, Ev::Collect(o.tag))));
+    timeline.sort_by_key(|(at, pri, ev)| {
+        (
+            *at,
+            *pri,
+            match ev {
+                Ev::Kill(t) | Ev::Collect(t) => *t,
+            },
+        )
+    });
     let mut terminated: BTreeSet<usize> = BTreeSet::new();
     let mut wrongful = false;
-    for o in &obs {
-        if live_tags(&scenario.script, o.at, &terminated).contains(&o.tag) {
-            wrongful = true;
+    for (at, _, ev) in &timeline {
+        match ev {
+            Ev::Kill(tag) => {
+                terminated.insert(*tag);
+            }
+            Ev::Collect(tag) => {
+                if !terminated.contains(tag)
+                    && live_tags(&scenario.script, *at, &terminated).contains(tag)
+                {
+                    wrongful = true;
+                }
+                terminated.insert(*tag);
+            }
         }
-        terminated.insert(o.tag);
     }
     let end = Time::ZERO + scenario.horizon;
     let live = live_tags(&scenario.script, end, &terminated);
@@ -264,12 +321,14 @@ pub fn evaluate(scenario: &Scenario, observations: &[Observation]) -> Verdict {
 pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
     let profile = scenario.profile.clone().seeded(seed);
     let topo = Topology::single_site(scenario.nodes, SimDuration::from_millis(2));
-    let mut grid = Grid::new(
-        GridConfig::new(topo)
-            .collector(CollectorKind::Complete(scenario.dgc))
-            .seed(seed)
-            .fault_profile(&profile),
-    );
+    let mut config = GridConfig::new(topo)
+        .collector(CollectorKind::Complete(scenario.dgc))
+        .seed(seed)
+        .fault_profile(&profile);
+    if let Some(m) = scenario.membership {
+        config = config.membership(m);
+    }
+    let mut grid = Grid::new(config);
     let mut ids: BTreeMap<usize, AoId> = BTreeMap::new();
     for s in &scenario.script {
         grid.run_until(SimTime::from_nanos(s.at.as_nanos()));
@@ -291,9 +350,13 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
     ));
 
     let by_id: BTreeMap<AoId, usize> = ids.iter().map(|(tag, id)| (*id, *tag)).collect();
+    // Only collector-driven terminations are observations; crash kills
+    // (`reason: None`) are the environment's and already folded into
+    // the ground truth by `evaluate`.
     let observations: Vec<Observation> = grid
         .collected()
         .iter()
+        .filter(|c| c.reason.is_some())
         .map(|c| Observation {
             at: Time::from_nanos(c.at.as_nanos()),
             tag: by_id[&c.ao],
@@ -334,8 +397,21 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
 /// could plausibly terminate an activity, and the skew is harmless.
 pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
     let profile = scenario.profile.clone().seeded(seed);
-    let cluster =
-        Cluster::listen_local_chaos(scenario.nodes, NetConfig::new(scenario.dgc), profile)?;
+    // Churn scenarios run on a seed-bootstrapped join cluster (crashed
+    // nodes need gossip to re-announce their new addresses); everything
+    // else keeps the chaos-proxied static topology.
+    let cluster = if profile.node_crashes().is_empty() {
+        Cluster::listen_local_chaos(scenario.nodes, NetConfig::new(scenario.dgc), profile)?
+    } else {
+        let membership = scenario
+            .membership
+            .expect("churn scenarios must set Scenario::membership");
+        Cluster::join_local_churn(
+            scenario.nodes,
+            NetConfig::new(scenario.dgc).membership(membership),
+            &profile,
+        )?
+    };
     let epoch = cluster.epoch();
     let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
 
@@ -377,6 +453,13 @@ pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
         }
         for p in scenario.profile.node_pauses() {
             last = last.max(p.window.end);
+        }
+        for c in scenario.profile.node_crashes() {
+            last = last.max(if c.rejoin_incarnation.is_some() {
+                c.down.end
+            } else {
+                c.down.start
+            });
         }
         Duration::from_nanos(last.as_nanos())
     };
@@ -469,6 +552,7 @@ mod tests {
                 },
             ],
             profile: FaultProfile::none(),
+            membership: None,
             horizon: Dur::from_secs(10),
             expect,
         }

@@ -17,6 +17,7 @@
 use dgc_core::config::DgcConfig;
 use dgc_core::faults::{FaultProfile, Window};
 use dgc_core::units::{Dur, Time};
+use dgc_membership::MembershipConfig;
 
 use crate::{Op, Scenario, ScriptOp, Verdict};
 
@@ -36,13 +37,28 @@ fn at_ms(ms: u64, op: Op) -> ScriptOp {
     }
 }
 
-/// All four canonical scenarios.
+/// Membership timings for the churn scenarios: gossip every 50 ms,
+/// suspicion after 250 ms of silence, burial after 600 ms — so a
+/// crashed node is buried within a second while ordinary scheduling
+/// jitter (≪ 250 ms) never slanders a live one.
+pub fn conformance_membership() -> MembershipConfig {
+    MembershipConfig {
+        gossip_interval: Dur::from_millis(50),
+        suspect_after: Dur::from_millis(250),
+        dead_after: Dur::from_millis(600),
+    }
+}
+
+/// All canonical scenarios: the four §4.2 quadrants plus the two churn
+/// scenarios of the membership layer.
 pub fn all() -> Vec<Scenario> {
     vec![
         safe_with_slack(),
         delay_violates_tta(),
         partition_heals(),
         pause_models_local_gc(),
+        crash_without_rejoin(),
+        crash_and_rejoin(),
     ]
 }
 
@@ -87,6 +103,7 @@ pub fn safe_with_slack() -> Scenario {
                 Dur::from_millis(20),
             )
             .drop_frames(Some(0), Some(1), Window::from_millis(200, 1200), 100),
+        membership: None,
         horizon: Dur::from_secs(25),
         expect: Verdict::SAFE_AND_COMPLETE,
     }
@@ -127,6 +144,7 @@ pub fn delay_violates_tta() -> Scenario {
             Window::from_millis(500, 1600),
             Dur::from_millis(600),
         ),
+        membership: None,
         horizon: Dur::from_secs(25),
         expect: Verdict::WRONGFUL,
     }
@@ -184,6 +202,7 @@ pub fn partition_heals() -> Scenario {
             at_ms(100, Op::SetIdle { tag: 3, idle: true }),
         ],
         profile: FaultProfile::none().partition_pair(0, 1, Window::from_millis(600, 720)),
+        membership: None,
         horizon: Dur::from_secs(25),
         expect: Verdict::SAFE_AND_COMPLETE,
     }
@@ -219,8 +238,137 @@ pub fn pause_models_local_gc() -> Scenario {
             at_ms(100, Op::SetIdle { tag: 1, idle: true }),
         ],
         profile: FaultProfile::none().pause(0, Window::from_millis(600, 1300)),
+        membership: None,
         horizon: Dur::from_secs(25),
         expect: Verdict::WRONGFUL,
+    }
+}
+
+/// **crash-without-rejoin** — the first churn quadrant: node 2 dies at
+/// 800 ms and never returns. Its busy referencer `w` dies *with* it
+/// (the environment's kill, not a collection), which orphans the idle
+/// `u` it was keeping alive on node 1 — `u` must then fall as correct
+/// collection (silence past TTA, accelerated by the membership dead
+/// verdict feeding the send-failure path). Meanwhile `v`, held by a
+/// live busy root across the surviving link, must not be touched: a
+/// membership layer that slanders live nodes would convict itself
+/// here. Both runtimes must reach clean collection.
+pub fn crash_without_rejoin() -> Scenario {
+    Scenario {
+        name: "crash-without-rejoin",
+        nodes: 3,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // the root, busy forever
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true, // v: live forever, guarded by the root
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 2,
+                    node: 2,
+                    busy: true, // w: dies in the crash while busy
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 3,
+                    node: 1,
+                    busy: true, // u: held only by w
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(0, Op::AddRef { from: 2, to: 3 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+            at_ms(100, Op::SetIdle { tag: 3, idle: true }),
+        ],
+        profile: FaultProfile::none().crash(2, Window::from_millis(800, 800), None),
+        membership: Some(conformance_membership()),
+        horizon: Dur::from_secs(25),
+        expect: Verdict::SAFE_AND_COMPLETE,
+    }
+}
+
+/// **crash-and-rejoin** — the second churn quadrant: node 2 crashes at
+/// 700 ms and restarts at 1600 ms as incarnation 2 (empty, a fresh
+/// port on sockets, re-bootstrapped from the seed). After the rejoin
+/// the script builds a garbage cycle *through* the reborn node
+/// (`w2 ⇄ u2` across nodes 2 and 1): collecting it proves the rejoined
+/// incarnation re-registered cleanly — peers re-learned its address
+/// from gossip and the full TTB/TTA + consensus cycle resumed in both
+/// directions — while `v` again guards against wrongful collection.
+pub fn crash_and_rejoin() -> Scenario {
+    Scenario {
+        name: "crash-and-rejoin",
+        nodes: 3,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // the root, busy forever
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true, // v: live forever, guarded by the root
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 2,
+                    node: 2,
+                    busy: true, // w: dies (busy) in the crash
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+            // --- node 2 is down from 700 ms to 1600 ms ---
+            at_ms(
+                2000,
+                Op::Spawn {
+                    tag: 3,
+                    node: 2,
+                    busy: true, // w2: first activity of incarnation 2
+                },
+            ),
+            at_ms(
+                2000,
+                Op::Spawn {
+                    tag: 4,
+                    node: 1,
+                    busy: true, // u2: its cross-node cycle partner
+                },
+            ),
+            at_ms(2000, Op::AddRef { from: 3, to: 4 }),
+            at_ms(2000, Op::AddRef { from: 4, to: 3 }),
+            at_ms(2300, Op::SetIdle { tag: 3, idle: true }),
+            at_ms(2300, Op::SetIdle { tag: 4, idle: true }),
+        ],
+        profile: FaultProfile::none().crash(2, Window::from_millis(700, 1600), Some(2)),
+        membership: Some(conformance_membership()),
+        horizon: Dur::from_secs(30),
+        expect: Verdict::SAFE_AND_COMPLETE,
     }
 }
 
@@ -240,6 +388,47 @@ mod tests {
                 s.name
             );
             assert!(s.nodes >= 2, "{}: conformance needs a network", s.name);
+        }
+    }
+
+    #[test]
+    fn churn_scenarios_leave_the_detector_room() {
+        // The churn quadrants are seed-robust only if their timing
+        // leaves margins: the crash must come well after the last
+        // pre-crash op settles, the membership layer must be able to
+        // bury the node long before the horizon, and post-rejoin ops
+        // must come comfortably after the restart.
+        for s in [crash_without_rejoin(), crash_and_rejoin()] {
+            let m = s.membership.expect("churn needs membership");
+            assert!(m.dead_after > m.suspect_after);
+            for crash in s.profile.node_crashes() {
+                let start = crash.down.start;
+                for op in s.script.iter().filter(|op| {
+                    matches!(op.op, Op::SetIdle { .. } | Op::AddRef { .. }) && op.at < start
+                }) {
+                    assert!(
+                        start.since(op.at) >= Dur::from_millis(500),
+                        "{}: op at {} too close to crash at {}",
+                        s.name,
+                        op.at,
+                        start
+                    );
+                }
+                if crash.rejoin_incarnation.is_some() {
+                    for op in s.script.iter().filter(|op| op.at >= start) {
+                        assert!(
+                            op.at.since(crash.down.end) >= Dur::from_millis(300),
+                            "{}: post-rejoin op at {} too close to restart at {}",
+                            s.name,
+                            op.at,
+                            crash.down.end
+                        );
+                    }
+                }
+            }
+            // Crashes have no deterministic delay bound — they must
+            // never masquerade as an in-slack profile.
+            assert_eq!(s.profile.worst_case_extra_delay(), Dur::MAX);
         }
     }
 

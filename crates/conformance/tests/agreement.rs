@@ -50,6 +50,16 @@ fn pause_models_local_gc_agrees_across_runtimes() {
     agree_on(scenarios::pause_models_local_gc());
 }
 
+#[test]
+fn crash_without_rejoin_agrees_across_runtimes() {
+    agree_on(scenarios::crash_without_rejoin());
+}
+
+#[test]
+fn crash_and_rejoin_agrees_across_runtimes() {
+    agree_on(scenarios::crash_and_rejoin());
+}
+
 /// Randomized profiles, simulator-side: a fixed, verified corpus of
 /// seeded profiles with amplitudes well inside the TTA slack keeps the
 /// safe scenario safe. The corpus is deterministic (same seeds → same

@@ -34,7 +34,11 @@
 //!   cannot express this one — it exists for adversarial robustness
 //!   testing of the socket runtime only;
 //! * [`NodePause`] — a stop-the-world pause of one whole node (§4.2's
-//!   local-GC hazard).
+//!   local-GC hazard);
+//! * [`NodeCrash`] — a crash (and optional higher-incarnation restart)
+//!   of one whole node: its activities are destroyed, the transport's
+//!   send-failure path goes terminal, and the `dgc-membership` layer's
+//!   dead verdict tells surviving referencers the node departed.
 //!
 //! All randomness (drop and reorder decisions, [`FaultProfile::randomized`])
 //! is derived from the profile's seed with a SplitMix64 hash, so each
@@ -138,11 +142,49 @@ pub struct NodePause {
     pub window: Window,
 }
 
-/// A runtime-neutral schedule of link disruptions and node pauses.
+/// A crash-restart of one whole node: at `down.start` the node dies —
+/// every activity it hosts is destroyed (not *collected*: the crash is
+/// the environment's doing, not the collector's) and it stops sending
+/// or receiving anything. If `rejoin_incarnation` is set, the node
+/// restarts at `down.end` as an **empty** node under that incarnation
+/// number and must re-enter the cluster through the membership layer's
+/// seed bootstrap (`dgc-membership`); when `None` the node never comes
+/// back and `down.end` is only the bookkeeping end of the window.
+///
+/// This is the churn primitive the ROADMAP's discovery item calls for:
+/// unlike a [`NodePause`], state does not survive, and unlike a
+/// partition, the transport's send-failure path must go *terminal* so
+/// referencers treat the node's activities as departed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: u32,
+    /// Down window: crash at `start`; restart (if any) at `end`.
+    pub down: Window,
+    /// Incarnation the node rejoins under, strictly greater than any it
+    /// lived before; `None` means it stays dead.
+    pub rejoin_incarnation: Option<u64>,
+}
+
+impl NodeCrash {
+    /// True if this crash leaves `node` dead at `t` (inside the down
+    /// window, or forever past `down.start` when it never rejoins).
+    pub fn down_at(&self, t: Time) -> bool {
+        if self.rejoin_incarnation.is_some() {
+            self.down.contains(t)
+        } else {
+            t >= self.down.start
+        }
+    }
+}
+
+/// A runtime-neutral schedule of link disruptions, node pauses and node
+/// crash-restarts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultProfile {
     links: Vec<LinkDisruption>,
     pauses: Vec<NodePause>,
+    crashes: Vec<NodeCrash>,
     seed: u64,
 }
 
@@ -242,6 +284,23 @@ impl FaultProfile {
         self
     }
 
+    /// Adds a crash of `node` at `down.start`; if `rejoin_incarnation`
+    /// is `Some`, the node restarts empty at `down.end` under that
+    /// incarnation (see [`NodeCrash`]).
+    pub fn crash(
+        mut self,
+        node: u32,
+        down: Window,
+        rejoin_incarnation: Option<u64>,
+    ) -> FaultProfile {
+        self.crashes.push(NodeCrash {
+            node,
+            down,
+            rejoin_incarnation,
+        });
+        self
+    }
+
     /// Raw link disruptions (for runtime realizations).
     pub fn link_disruptions(&self) -> &[LinkDisruption] {
         &self.links
@@ -252,9 +311,21 @@ impl FaultProfile {
         &self.pauses
     }
 
+    /// Raw node crash-restarts (for runtime realizations).
+    pub fn node_crashes(&self) -> &[NodeCrash] {
+        &self.crashes
+    }
+
+    /// True if `node` is crashed (down) at `now`.
+    pub fn crashed(&self, now: Time, node: u32) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && c.down_at(now))
+    }
+
     /// True if the profile contains no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty() && self.pauses.is_empty()
+        self.links.is_empty() && self.pauses.is_empty() && self.crashes.is_empty()
     }
 
     // ------------------------------------------------------------------
@@ -333,6 +404,12 @@ impl FaultProfile {
     /// proven in-slack and belong in adversarial robustness tests, not
     /// "safe" conformance scenarios.
     ///
+    /// A [`NodeCrash`] makes the bound [`Dur::MAX`] too: a crash
+    /// destroys endpoint state rather than delaying messages, so no
+    /// delay bound can certify the profile — churn scenarios must argue
+    /// their expected verdict from the ground truth (the crashed
+    /// activities *are* dead) instead.
+    ///
     /// A total-loss drop window (`permille == 1000`) is a partition in
     /// disguise and is counted by its full width. *Probabilistic* drops
     /// (`permille < 1000`) are **not** counted: no deterministic bound
@@ -349,6 +426,9 @@ impl FaultProfile {
     /// `pause-models-local-gc` demonstrates must not certify as
     /// in-slack.
     pub fn worst_case_extra_delay(&self) -> Dur {
+        if !self.crashes.is_empty() {
+            return Dur::MAX;
+        }
         let mut total = Dur::ZERO;
         for l in &self.links {
             match l.kind {
@@ -611,6 +691,31 @@ mod tests {
             .pause(0, Window::from_millis(0, 10_000))
             .pause(1, Window::from_millis(100, 200));
         assert_eq!(p.worst_case_extra_delay(), Dur::from_millis(10_100));
+    }
+
+    #[test]
+    fn crash_windows_and_the_rejoin_distinction() {
+        let p = FaultProfile::none()
+            .crash(2, Window::from_millis(100, 500), Some(2))
+            .crash(3, Window::from_millis(200, 300), None);
+        assert_eq!(p.node_crashes().len(), 2);
+        // Rejoining crash: down exactly over the window.
+        assert!(!p.crashed(ms(99), 2));
+        assert!(p.crashed(ms(100), 2));
+        assert!(p.crashed(ms(499), 2));
+        assert!(!p.crashed(ms(500), 2), "rejoined at down.end");
+        // Non-rejoining crash: dead forever past the start.
+        assert!(!p.crashed(ms(199), 3));
+        assert!(p.crashed(ms(250), 3));
+        assert!(p.crashed(ms(10_000), 3), "never comes back");
+        assert!(!p.crashed(ms(250), 4), "other nodes unaffected");
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn crashes_cannot_certify_as_in_slack() {
+        let p = FaultProfile::none().crash(0, Window::from_millis(0, 10), Some(2));
+        assert_eq!(p.worst_case_extra_delay(), Dur::MAX);
     }
 
     #[test]

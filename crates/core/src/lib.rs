@@ -82,7 +82,7 @@ pub mod wire;
 
 pub use clock::NamedClock;
 pub use config::{DgcConfig, DgcConfigBuilder, ParentPolicy, TimingMode};
-pub use faults::{FaultKind, FaultProfile, LinkDisruption, NodePause, Window};
+pub use faults::{FaultKind, FaultProfile, LinkDisruption, NodeCrash, NodePause, Window};
 pub use id::{AoId, AoIdAllocator};
 pub use message::{Action, DgcMessage, DgcResponse, TerminateReason};
 pub use process_graph::ProcessGraph;

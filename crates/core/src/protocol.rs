@@ -120,6 +120,38 @@ impl DgcState {
         }
     }
 
+    /// The runtime learned — from the transport's *terminal* send
+    /// failure or from a membership layer's "dead" verdict — that the
+    /// whole node `node` departed. Every referenced edge toward it is
+    /// dropped as if each individual send had failed, and every
+    /// referencer hosted there is treated as departed immediately (the
+    /// "loss of a referencer" of §3.2, Fig. 5) instead of waiting out
+    /// its TTA expiry. A node that later *rejoins* does so under a new
+    /// incarnation with fresh activities, so forgetting the old ids here
+    /// is final: re-registration happens through new stubs and new
+    /// DGC messages, never by resurrecting these entries.
+    pub fn on_node_dead(&mut self, node: u32) {
+        if self.phase != Phase::Active || node == self.id.node {
+            return;
+        }
+        for target in self.referenced_ids() {
+            if target.node == node && self.referenced.remove(target) {
+                self.lose_referenced_edge(target);
+            }
+        }
+        let departed: Vec<AoId> = self
+            .referencers
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| id.node == node)
+            .collect();
+        for r in departed {
+            if self.referencers.remove(r) {
+                self.bump_clock(ClockBumpReason::LostReferencer);
+            }
+        }
+    }
+
     /// The activity transitioned busy → idle: bump the clock (§3.2 — the
     /// primary reason the clock exists; an object that alternates between
     /// idle and busy must invalidate in-progress consensus attempts).
@@ -591,6 +623,53 @@ mod tests {
         let mut s = DgcState::new(ao(1), t(0), cfg());
         assert!(s.on_tick(t(1_000_000), false).is_empty());
         assert_eq!(s.phase(), Phase::Active);
+    }
+
+    #[test]
+    fn node_dead_drops_referenced_edges_and_referencers() {
+        let mut s = DgcState::new(ao(1), t(0), cfg());
+        // Referenced: two activities on node 2, one on node 3.
+        s.on_stub_deserialized(AoId::new(2, 0));
+        s.on_stub_deserialized(AoId::new(2, 7));
+        s.on_stub_deserialized(ao(3));
+        // Referencers: one on node 2, one on node 4.
+        for sender in [AoId::new(2, 3), ao(4)] {
+            s.on_message(
+                t(1),
+                &DgcMessage {
+                    sender,
+                    clock: NamedClock::initial(sender),
+                    consensus: false,
+                    sender_ttb: Dur::from_secs(30),
+                },
+            );
+        }
+        let clock_before = s.clock();
+        s.on_node_dead(2);
+        assert_eq!(s.referenced_count(), 1, "edges toward node 2 dropped");
+        assert_eq!(s.referenced_ids(), vec![ao(3)]);
+        assert_eq!(s.referencer_count(), 1, "node 2's referencer departed");
+        assert!(
+            s.clock().value > clock_before.value && s.clock().is_owned_by(ao(1)),
+            "losing edges and referencers bumps the activity clock"
+        );
+        // Subsequent broadcasts no longer target the dead node.
+        let actions = s.on_tick(t(2), false);
+        assert!(actions.iter().all(|a| match a {
+            Action::SendMessage { to, .. } => to.node != 2,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn node_dead_ignores_self_and_unknown_nodes() {
+        let mut s = DgcState::new(ao(1), t(0), cfg());
+        s.on_stub_deserialized(AoId::new(1, 5)); // co-hosted neighbour
+        let clock_before = s.clock();
+        s.on_node_dead(1); // own node: nonsense, must be a no-op
+        s.on_node_dead(9); // nothing known there
+        assert_eq!(s.referenced_count(), 1);
+        assert_eq!(s.clock(), clock_before, "no edge lost, no bump");
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The membership directory: what one node believes about every node.
+//!
+//! A [`Directory`] is a conflict-free replicated map of
+//! [`NodeRecord`]s. Convergence rests on one total order, the record
+//! [`NodeRecord::precedence`]: the pair `(incarnation, status rank)`
+//! compared lexicographically. Any two replicas that have seen the same
+//! set of records hold the same directory, regardless of delivery order
+//! or duplication — which is exactly what lets the deterministic
+//! simulator and the socket runtime share this type verbatim.
+//!
+//! The incarnation number is the anti-zombie device (SWIM's): only the
+//! node itself ever *raises* its incarnation. A suspicion or death
+//! verdict is pinned to the incarnation it observed, so the accused can
+//! always outbid it by re-announcing itself one incarnation higher, and
+//! a node that crashes and rejoins under a fresh incarnation cleanly
+//! supersedes its own corpse.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+/// Liveness verdict carried by a [`NodeRecord`].
+///
+/// The derived order **is** the merge precedence *within one
+/// incarnation*: a death verdict beats a graceful leave beats a
+/// suspicion beats plain liveness. Across incarnations the incarnation
+/// decides first (see [`NodeRecord::precedence`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeStatus {
+    /// Heard from recently (or announced by itself).
+    Alive,
+    /// Silent past the suspicion timeout; may still refute.
+    Suspect,
+    /// Announced its own departure (graceful shutdown).
+    Left,
+    /// Declared dead: silent past the death timeout, or its transport
+    /// links failed terminally.
+    Dead,
+}
+
+impl NodeStatus {
+    /// Precedence rank inside one incarnation.
+    pub fn rank(self) -> u8 {
+        match self {
+            NodeStatus::Alive => 0,
+            NodeStatus::Suspect => 1,
+            NodeStatus::Left => 2,
+            NodeStatus::Dead => 3,
+        }
+    }
+
+    /// True for statuses that still participate in gossip exchanges
+    /// (alive or merely suspected).
+    pub fn is_present(self) -> bool {
+        matches!(self, NodeStatus::Alive | NodeStatus::Suspect)
+    }
+}
+
+/// One node's entry in the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// The node id (the `AoId::node` namespace it hosts).
+    pub node: u32,
+    /// Incarnation the verdict is pinned to; only the node itself may
+    /// raise it.
+    pub incarnation: u64,
+    /// The verdict.
+    pub status: NodeStatus,
+    /// The node's listen address, when the runtime has one (the socket
+    /// runtime gossips real addresses so peers can dial newly
+    /// discovered or rejoined nodes; the simulator leaves this `None`).
+    pub addr: Option<SocketAddr>,
+}
+
+impl NodeRecord {
+    /// A fresh alive record.
+    pub fn alive(node: u32, incarnation: u64, addr: Option<SocketAddr>) -> NodeRecord {
+        NodeRecord {
+            node,
+            incarnation,
+            status: NodeStatus::Alive,
+            addr,
+        }
+    }
+
+    /// The merge order: `(incarnation, status rank)`, lexicographic.
+    /// Strictly greater precedence wins a merge; equal precedence is a
+    /// duplicate.
+    pub fn precedence(&self) -> (u64, u8) {
+        (self.incarnation, self.status.rank())
+    }
+}
+
+/// The effective change a merged record caused, reported as a
+/// membership transition (the `MembershipEvent` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// A node not in the directory before appeared alive.
+    Joined,
+    /// A known node transitioned (back) to alive: a refuted suspicion
+    /// or a crash-rejoin under a higher incarnation.
+    Alive,
+    /// A node was suspected.
+    Suspected,
+    /// A node announced a graceful leave.
+    Left,
+    /// A node was declared dead.
+    Dead,
+}
+
+fn transition_of(status: NodeStatus, newly_known: bool) -> Transition {
+    match status {
+        NodeStatus::Alive => {
+            if newly_known {
+                Transition::Joined
+            } else {
+                Transition::Alive
+            }
+        }
+        NodeStatus::Suspect => Transition::Suspected,
+        NodeStatus::Left => Transition::Left,
+        NodeStatus::Dead => Transition::Dead,
+    }
+}
+
+/// A replicated map of [`NodeRecord`]s with last-writer-wins merge on
+/// [`NodeRecord::precedence`]. `BTreeMap` keeps iteration deterministic
+/// (the simulator's reproducibility depends on it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Directory {
+    records: BTreeMap<u32, NodeRecord>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Merges `rec`, returning the [`Transition`] it caused — `None`
+    /// when the record lost (stale) or changed nothing visible.
+    ///
+    /// Address handling is orthogonal to the verdict: a winning record
+    /// without an address keeps the one already known, and a record
+    /// that ties on precedence may still contribute an address we lack
+    /// (the simulator gossips address-free records; the socket runtime
+    /// must never *lose* an address to them).
+    pub fn merge(&mut self, rec: &NodeRecord) -> Option<Transition> {
+        match self.records.get_mut(&rec.node) {
+            None => {
+                self.records.insert(rec.node, *rec);
+                Some(transition_of(rec.status, true))
+            }
+            Some(cur) => {
+                if rec.precedence() > cur.precedence() {
+                    let status_changed = rec.status != cur.status;
+                    let addr = rec.addr.or(cur.addr);
+                    *cur = NodeRecord { addr, ..*rec };
+                    status_changed.then(|| transition_of(rec.status, false))
+                } else {
+                    if rec.precedence() == cur.precedence() && cur.addr.is_none() {
+                        cur.addr = rec.addr;
+                    }
+                    None
+                }
+            }
+        }
+    }
+
+    /// The record for `node`, if any.
+    pub fn get(&self, node: u32) -> Option<&NodeRecord> {
+        self.records.get(&node)
+    }
+
+    /// True if `node` has a record.
+    pub fn contains(&self, node: u32) -> bool {
+        self.records.contains_key(&node)
+    }
+
+    /// The known listen address of `node`.
+    pub fn addr_of(&self, node: u32) -> Option<SocketAddr> {
+        self.records.get(&node).and_then(|r| r.addr)
+    }
+
+    /// The status of `node`, if known.
+    pub fn status_of(&self, node: u32) -> Option<NodeStatus> {
+        self.records.get(&node).map(|r| r.status)
+    }
+
+    /// All records, in node-id order (the gossip digest).
+    pub fn records(&self) -> Vec<NodeRecord> {
+        self.records.values().copied().collect()
+    }
+
+    /// Iterates records in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeRecord> {
+        self.records.values()
+    }
+
+    /// Number of known nodes (any status).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is known.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Ids of nodes currently believed alive.
+    pub fn alive_nodes(&self) -> Vec<u32> {
+        self.records
+            .values()
+            .filter(|r| r.status == NodeStatus::Alive)
+            .map(|r| r.node)
+            .collect()
+    }
+
+    /// Ids of nodes still gossip-worthy (alive or suspect).
+    pub fn present_nodes(&self) -> Vec<u32> {
+        self.records
+            .values()
+            .filter(|r| r.status.is_present())
+            .map(|r| r.node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u32, inc: u64, status: NodeStatus) -> NodeRecord {
+        NodeRecord {
+            node,
+            incarnation: inc,
+            status,
+            addr: None,
+        }
+    }
+
+    #[test]
+    fn first_record_joins() {
+        let mut d = Directory::new();
+        assert_eq!(
+            d.merge(&rec(1, 1, NodeStatus::Alive)),
+            Some(Transition::Joined)
+        );
+        assert_eq!(d.merge(&rec(1, 1, NodeStatus::Alive)), None, "duplicate");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn same_incarnation_orders_by_severity() {
+        let mut d = Directory::new();
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        assert_eq!(
+            d.merge(&rec(1, 1, NodeStatus::Suspect)),
+            Some(Transition::Suspected)
+        );
+        assert_eq!(d.merge(&rec(1, 1, NodeStatus::Alive)), None, "stale alive");
+        assert_eq!(
+            d.merge(&rec(1, 1, NodeStatus::Dead)),
+            Some(Transition::Dead)
+        );
+        assert_eq!(
+            d.merge(&rec(1, 1, NodeStatus::Suspect)),
+            None,
+            "dead is final at this incarnation"
+        );
+    }
+
+    #[test]
+    fn higher_incarnation_refutes_and_rejoins() {
+        let mut d = Directory::new();
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        d.merge(&rec(1, 1, NodeStatus::Suspect));
+        // Refutation: the node re-announces itself one incarnation up.
+        assert_eq!(
+            d.merge(&rec(1, 2, NodeStatus::Alive)),
+            Some(Transition::Alive)
+        );
+        // Death verdict at incarnation 2, then a crash-rejoin at 3.
+        assert_eq!(
+            d.merge(&rec(1, 2, NodeStatus::Dead)),
+            Some(Transition::Dead)
+        );
+        assert_eq!(
+            d.merge(&rec(1, 3, NodeStatus::Alive)),
+            Some(Transition::Alive)
+        );
+        assert_eq!(d.status_of(1), Some(NodeStatus::Alive));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let records = [
+            rec(1, 1, NodeStatus::Alive),
+            rec(1, 1, NodeStatus::Suspect),
+            rec(1, 2, NodeStatus::Alive),
+            rec(2, 5, NodeStatus::Dead),
+            rec(2, 4, NodeStatus::Alive),
+        ];
+        let mut fwd = Directory::new();
+        for r in &records {
+            fwd.merge(r);
+        }
+        let mut rev = Directory::new();
+        for r in records.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(fwd, rev, "directories are CRDTs: order must not matter");
+        assert_eq!(fwd.status_of(1), Some(NodeStatus::Alive));
+        assert_eq!(fwd.status_of(2), Some(NodeStatus::Dead));
+    }
+
+    #[test]
+    fn addresses_survive_addressless_winners_and_fill_ties() {
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        let mut d = Directory::new();
+        d.merge(&NodeRecord {
+            addr: Some(addr),
+            ..rec(1, 1, NodeStatus::Alive)
+        });
+        // A simulator-style addressless suspicion must not erase it.
+        d.merge(&rec(1, 1, NodeStatus::Suspect));
+        assert_eq!(d.addr_of(1), Some(addr));
+        // A tie on precedence may still contribute a missing address.
+        let mut d2 = Directory::new();
+        d2.merge(&rec(2, 1, NodeStatus::Alive));
+        d2.merge(&NodeRecord {
+            addr: Some(addr),
+            ..rec(2, 1, NodeStatus::Alive)
+        });
+        assert_eq!(d2.addr_of(2), Some(addr));
+    }
+
+    #[test]
+    fn membership_sets_reflect_status() {
+        let mut d = Directory::new();
+        d.merge(&rec(0, 1, NodeStatus::Alive));
+        d.merge(&rec(1, 1, NodeStatus::Suspect));
+        d.merge(&rec(2, 1, NodeStatus::Dead));
+        d.merge(&rec(3, 1, NodeStatus::Left));
+        assert_eq!(d.alive_nodes(), vec![0]);
+        assert_eq!(d.present_nodes(), vec![0, 1]);
+        assert_eq!(d.len(), 4);
+    }
+}

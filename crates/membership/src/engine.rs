@@ -1,0 +1,627 @@
+//! The sans-io membership engine: one per node, driven by whatever
+//! clock and transport the runtime owns.
+//!
+//! Like [`dgc_core::protocol::DgcState`], the engine performs no I/O:
+//! the runtime calls [`Membership::on_tick`] periodically and
+//! [`Membership::on_digest`] for every received gossip digest, and
+//! sends whatever [`GossipOut`]s come back. The simulator drives it
+//! from virtual time and simulated delivery (verdicts stay
+//! deterministic); the socket runtime drives it from its node event
+//! loop and piggybacks digests on the DGC's batched frames.
+//!
+//! Protocol, in brief:
+//!
+//! * **Bootstrap** — a joining node knows only seed contacts
+//!   ([`Membership::on_contact`], or a socket dial of a seed address).
+//!   Its first digest introduces it; the seed replies with the full
+//!   directory (push-on-new), and anti-entropy spreads the join.
+//! * **Anti-entropy** — every `gossip_interval` the engine pushes its
+//!   full directory to every present peer. For the cluster sizes this
+//!   repository drives (single-digit nodes) full push is simpler and
+//!   converges in one round-trip; the digest is a few dozen bytes per
+//!   node and rides piggybacked on frames that were being sent anyway.
+//! * **Failure detection** — a peer silent past `suspect_after` is
+//!   suspected; past `dead_after` it is declared dead, which the
+//!   runtime feeds into `DgcState::on_node_dead` so the collector
+//!   treats the node's referencers as departed (the paper's
+//!   send-failure path, §4.1).
+//! * **Refutation / rejoin** — verdicts are pinned to incarnations
+//!   (see [`crate::directory`]); a slandered node outbids the verdict
+//!   by re-announcing one incarnation higher, and a crash-rejoin under
+//!   a fresh incarnation supersedes its own death record.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+use dgc_core::units::{Dur, Time};
+
+use crate::directory::{Directory, NodeRecord, NodeStatus, Transition};
+
+/// Timing knobs of the membership layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Anti-entropy period: how often the full directory is pushed to
+    /// every present peer.
+    pub gossip_interval: Dur,
+    /// Silence after which an alive peer is suspected. Must cover
+    /// several gossip intervals, or ordinary jitter slanders peers.
+    pub suspect_after: Dur,
+    /// Silence after which a peer is declared dead. Must exceed
+    /// `suspect_after`; the gap is the refutation window.
+    pub dead_after: Dur,
+}
+
+impl MembershipConfig {
+    /// A config scaled around one gossip interval: suspicion after 5
+    /// silent intervals, death after 15.
+    pub fn scaled(gossip_interval: Dur) -> MembershipConfig {
+        MembershipConfig {
+            gossip_interval,
+            suspect_after: gossip_interval.saturating_mul(5),
+            dead_after: gossip_interval.saturating_mul(15),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.gossip_interval.is_zero(),
+            "gossip_interval must be positive"
+        );
+        assert!(
+            self.suspect_after.as_nanos() >= self.gossip_interval.as_nanos() * 2,
+            "suspect_after below 2 gossip intervals slanders healthy peers"
+        );
+        assert!(
+            self.dead_after > self.suspect_after,
+            "dead_after must leave a refutation window past suspect_after"
+        );
+    }
+}
+
+impl Default for MembershipConfig {
+    fn default() -> MembershipConfig {
+        MembershipConfig::scaled(Dur::from_millis(100))
+    }
+}
+
+/// One digest the runtime must deliver to a peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipOut {
+    /// Destination node.
+    pub to: u32,
+    /// The full directory at emission time.
+    pub records: Vec<NodeRecord>,
+}
+
+/// One observed membership transition, in the runtime's scenario time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// When the local engine applied it.
+    pub at: Time,
+    /// The node the verdict is about.
+    pub node: u32,
+    /// The incarnation the verdict is pinned to.
+    pub incarnation: u64,
+    /// What happened.
+    pub transition: Transition,
+}
+
+/// The per-node membership engine.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    node: u32,
+    addr: Option<SocketAddr>,
+    incarnation: u64,
+    config: MembershipConfig,
+    directory: Directory,
+    /// Last instant a digest arrived from each peer.
+    last_heard: BTreeMap<u32, Time>,
+    next_gossip: Time,
+    events: Vec<MembershipEvent>,
+}
+
+impl Membership {
+    /// A fresh engine for `node`, announcing itself under
+    /// `incarnation` (first lives start at 1; rejoins must pass
+    /// something strictly above every incarnation the node lived
+    /// before).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` timings are inconsistent (see
+    /// [`MembershipConfig`]).
+    pub fn new(
+        node: u32,
+        addr: Option<SocketAddr>,
+        incarnation: u64,
+        now: Time,
+        config: MembershipConfig,
+    ) -> Membership {
+        config.validate();
+        let mut directory = Directory::new();
+        directory.merge(&NodeRecord::alive(node, incarnation, addr));
+        Membership {
+            node,
+            addr,
+            incarnation,
+            config,
+            directory,
+            last_heard: BTreeMap::new(),
+            next_gossip: now,
+            events: Vec::new(),
+        }
+    }
+
+    /// This engine's node id.
+    pub fn node_id(&self) -> u32 {
+        self.node
+    }
+
+    /// The incarnation this node currently announces. Monotone:
+    /// refutations only ever raise it.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &MembershipConfig {
+        &self.config
+    }
+
+    /// The current directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The current full digest (what gossip carries).
+    pub fn records(&self) -> Vec<NodeRecord> {
+        self.directory.records()
+    }
+
+    /// Seed bootstrap: the runtime knows (out of band) that `node`
+    /// exists, optionally at `addr`. Inserted as assumed-alive at
+    /// incarnation 0, which any real announcement supersedes.
+    pub fn on_contact(&mut self, now: Time, node: u32, addr: Option<SocketAddr>) {
+        if node == self.node {
+            return;
+        }
+        if let Some(tr) = self.directory.merge(&NodeRecord::alive(node, 0, addr)) {
+            self.push_event(now, node, 0, tr);
+        }
+        self.last_heard.entry(node).or_insert(now);
+    }
+
+    /// Periodic driver: runs failure detection, and when the gossip
+    /// period elapsed, emits the anti-entropy push to every present
+    /// peer. Call at least a couple of times per `gossip_interval`.
+    pub fn on_tick(&mut self, now: Time) -> Vec<GossipOut> {
+        self.detect_failures(now);
+        if now >= self.next_gossip {
+            self.next_gossip = now + self.config.gossip_interval;
+            self.broadcast()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles one received digest. Returns any immediate replies:
+    /// the full directory pushed back when the sender is new or just
+    /// transitioned (back) to alive (a joiner or rejoiner converges in
+    /// one round-trip instead of waiting out a gossip period), when a
+    /// record about *this* node had to be refuted, or when the sender
+    /// is one we had written off (it must learn the verdict to outbid
+    /// it).
+    pub fn on_digest(&mut self, now: Time, from: u32, records: &[NodeRecord]) -> Vec<GossipOut> {
+        let known_before = self.directory.contains(from);
+        self.last_heard.insert(from, now);
+        let mut refuted = false;
+        let mut sender_reappeared = false;
+        for rec in records {
+            if rec.node == self.node {
+                refuted |= self.defend(now, rec);
+                continue;
+            }
+            if let Some(tr) = self.directory.merge(rec) {
+                self.push_event(now, rec.node, rec.incarnation, tr);
+                // A node (re)appearing alive starts a fresh silence
+                // clock; without this it would be instantly re-suspected.
+                if matches!(tr, Transition::Joined | Transition::Alive) {
+                    self.last_heard.insert(rec.node, now);
+                    sender_reappeared |= rec.node == from;
+                }
+            }
+        }
+        let written_off = self
+            .directory
+            .status_of(from)
+            .is_some_and(|s| !s.is_present());
+        if !known_before || refuted || written_off || sender_reappeared {
+            let mut outs = self.broadcast();
+            // `broadcast` skips written-off peers; this reply is the one
+            // channel through which a slandered node learns its verdict.
+            if written_off {
+                outs.push(GossipOut {
+                    to: from,
+                    records: self.records(),
+                });
+            }
+            outs
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Transport-level hint: the runtime's link to `node` failed
+    /// terminally (e.g. `fail_after_attempts` consecutive connect
+    /// failures). Recorded as an immediate suspicion at the node's
+    /// current incarnation — `dead_after` still gates the dead verdict,
+    /// so a refutation through a third node can save it.
+    pub fn on_peer_unreachable(&mut self, now: Time, node: u32) {
+        if node == self.node {
+            return;
+        }
+        let Some(rec) = self.directory.get(node).copied() else {
+            return;
+        };
+        if rec.status == NodeStatus::Alive {
+            let suspect = NodeRecord {
+                status: NodeStatus::Suspect,
+                ..rec
+            };
+            if let Some(tr) = self.directory.merge(&suspect) {
+                self.push_event(now, node, rec.incarnation, tr);
+            }
+            // Backdate the silence clock to at least `suspect_after`
+            // ago, so the dead verdict does not restart from a digest
+            // that arrived just before the link died.
+            let backdated = Time::from_nanos(
+                now.as_nanos()
+                    .saturating_sub(self.config.suspect_after.as_nanos()),
+            );
+            let prior = self.heard(node, now);
+            self.last_heard.insert(node, prior.min(backdated));
+        }
+    }
+
+    /// Graceful departure: marks this node [`NodeStatus::Left`] and
+    /// returns the farewell digest for every present peer. The engine
+    /// should not be driven afterwards.
+    pub fn leave(&mut self, now: Time) -> Vec<GossipOut> {
+        let rec = NodeRecord {
+            node: self.node,
+            incarnation: self.incarnation,
+            status: NodeStatus::Left,
+            addr: self.addr,
+        };
+        if let Some(tr) = self.directory.merge(&rec) {
+            self.push_event(now, self.node, self.incarnation, tr);
+        }
+        self.broadcast()
+    }
+
+    /// Drains the pending membership events, oldest first.
+    pub fn poll_events(&mut self) -> Vec<MembershipEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn heard(&mut self, node: u32, now: Time) -> Time {
+        *self.last_heard.entry(node).or_insert(now)
+    }
+
+    fn push_event(&mut self, at: Time, node: u32, incarnation: u64, transition: Transition) {
+        self.events.push(MembershipEvent {
+            at,
+            node,
+            incarnation,
+            transition,
+        });
+    }
+
+    /// Self-defense (SWIM refutation): a circulating record claims this
+    /// node is suspect/left/dead, or someone echoes an incarnation at
+    /// least ours with a worse status. Outbid it: jump strictly above
+    /// the slander and re-announce alive. Returns true if a refutation
+    /// happened (the caller then pushes the new record out).
+    fn defend(&mut self, now: Time, rec: &NodeRecord) -> bool {
+        let slandered = rec.status != NodeStatus::Alive && rec.incarnation >= self.incarnation;
+        let outrun = rec.incarnation > self.incarnation;
+        if !(slandered || outrun) {
+            return false;
+        }
+        // Saturating: a hostile digest claiming u64::MAX must not wrap
+        // the incarnation back to 0 (which would bury this node behind
+        // its own higher-precedence slander forever) or panic the
+        // engine. At saturation the refutation cannot outbid a
+        // same-incarnation slander — an accepted edge of a 2^64 space
+        // no honest cluster approaches.
+        self.incarnation = rec.incarnation.saturating_add(u64::from(slandered));
+        let own = NodeRecord::alive(self.node, self.incarnation, self.addr);
+        if let Some(tr) = self.directory.merge(&own) {
+            self.push_event(now, self.node, self.incarnation, tr);
+        }
+        slandered
+    }
+
+    fn detect_failures(&mut self, now: Time) {
+        let present: Vec<NodeRecord> = self
+            .directory
+            .iter()
+            .filter(|r| r.node != self.node && r.status.is_present())
+            .copied()
+            .collect();
+        for rec in present {
+            let silent = now.since(self.heard(rec.node, now));
+            if rec.status == NodeStatus::Alive && silent >= self.config.suspect_after {
+                let suspect = NodeRecord {
+                    status: NodeStatus::Suspect,
+                    ..rec
+                };
+                if let Some(tr) = self.directory.merge(&suspect) {
+                    self.push_event(now, rec.node, rec.incarnation, tr);
+                }
+            }
+            if silent >= self.config.dead_after {
+                let dead = NodeRecord {
+                    status: NodeStatus::Dead,
+                    ..rec
+                };
+                if let Some(tr) = self.directory.merge(&dead) {
+                    self.push_event(now, rec.node, rec.incarnation, tr);
+                }
+            }
+        }
+    }
+
+    fn broadcast(&self) -> Vec<GossipOut> {
+        let records = self.records();
+        self.directory
+            .iter()
+            .filter(|r| r.node != self.node && r.status.is_present())
+            .map(|r| GossipOut {
+                to: r.node,
+                records: records.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Time {
+        Time::from_nanos(v * 1_000_000)
+    }
+
+    fn cfg() -> MembershipConfig {
+        // 50 ms gossip, suspect at 250 ms, dead at 750 ms.
+        MembershipConfig {
+            gossip_interval: Dur::from_millis(50),
+            suspect_after: Dur::from_millis(250),
+            dead_after: Dur::from_millis(750),
+        }
+    }
+
+    /// Drives `engines` lock-step with instant loss-free delivery until
+    /// `until`, in `step`-ms increments.
+    fn run(engines: &mut [Membership], from_ms: u64, until_ms: u64, step: u64) {
+        let mut t = from_ms;
+        while t <= until_ms {
+            let mut outbox: Vec<(u32, GossipOut)> = Vec::new();
+            for e in engines.iter_mut() {
+                let from = e.node_id();
+                for out in e.on_tick(ms(t)) {
+                    outbox.push((from, out));
+                }
+            }
+            while let Some((from, out)) = outbox.pop() {
+                if let Some(dst) = engines.iter_mut().find(|e| e.node_id() == out.to) {
+                    for reply in dst.on_digest(ms(t), from, &out.records) {
+                        outbox.push((dst.node_id(), reply));
+                    }
+                }
+            }
+            t += step;
+        }
+    }
+
+    #[test]
+    fn seed_bootstrap_converges_to_full_membership() {
+        let mut engines: Vec<Membership> = (0..3u32)
+            .map(|n| Membership::new(n, None, 1, ms(0), cfg()))
+            .collect();
+        // Nodes 1 and 2 know only the seed (node 0); the seed knows no
+        // one. Node 2 must still learn node 1 exists, through the seed.
+        engines[1].on_contact(ms(0), 0, None);
+        engines[2].on_contact(ms(0), 0, None);
+        run(&mut engines, 0, 300, 10);
+        for e in &engines {
+            assert_eq!(e.directory().len(), 3, "node {} incomplete", e.node_id());
+            assert_eq!(
+                e.directory().alive_nodes(),
+                vec![0, 1, 2],
+                "node {} disagrees",
+                e.node_id()
+            );
+        }
+        // Every engine saw the other two join.
+        for e in engines.iter_mut() {
+            let joins: Vec<u32> = e
+                .poll_events()
+                .iter()
+                .filter(|ev| matches!(ev.transition, Transition::Joined))
+                .map(|ev| ev.node)
+                .collect();
+            assert_eq!(joins.len(), 2, "node {} joins: {joins:?}", e.node_id());
+        }
+    }
+
+    #[test]
+    fn silence_escalates_to_suspect_then_dead() {
+        let mut engines: Vec<Membership> = (0..2u32)
+            .map(|n| Membership::new(n, None, 1, ms(0), cfg()))
+            .collect();
+        engines[1].on_contact(ms(0), 0, None);
+        run(&mut engines, 0, 200, 10);
+        assert_eq!(engines[0].directory().alive_nodes(), vec![0, 1]);
+        // Node 1 goes silent: only node 0 ticks from now on.
+        let a = &mut engines[0];
+        a.poll_events(); // drain the join
+        let mut transitions = Vec::new();
+        for t in (210..1300).step_by(10) {
+            a.on_tick(ms(t));
+            transitions.extend(a.poll_events().into_iter().map(|e| (e.transition, e.node)));
+        }
+        assert_eq!(
+            transitions,
+            vec![(Transition::Suspected, 1), (Transition::Dead, 1)],
+            "silence must escalate exactly once through suspect to dead"
+        );
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Dead));
+    }
+
+    #[test]
+    fn suspected_node_refutes_and_survives() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        b.on_contact(ms(0), 0, None);
+        // Introduce them.
+        let hello = b.on_tick(ms(0));
+        for out in hello {
+            for reply in a.on_digest(ms(0), 1, &out.records) {
+                if reply.to == 1 {
+                    b.on_digest(ms(0), 0, &reply.records);
+                }
+            }
+        }
+        // A suspects B (silence on A's side only).
+        for t in (0..400).step_by(10) {
+            a.on_tick(ms(t));
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Suspect));
+        // A's next digest reaches B: B must outbid the suspicion.
+        let inc_before = b.incarnation();
+        let replies = b.on_digest(ms(400), 0, &a.records());
+        assert_eq!(b.incarnation(), inc_before + 1, "refutation bumps");
+        assert!(
+            replies.iter().any(|o| o.to == 0),
+            "the refutation must be pushed back immediately"
+        );
+        for out in replies {
+            if out.to == 0 {
+                a.on_digest(ms(400), 1, &out.records);
+            }
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Alive));
+    }
+
+    #[test]
+    fn dead_node_rejoining_under_higher_incarnation_recovers() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        a.on_contact(ms(0), 1, None);
+        // Write node 1 off entirely.
+        for t in (0..1000).step_by(10) {
+            a.on_tick(ms(t));
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Dead));
+        a.poll_events();
+        // Rejoin under incarnation 2 (strictly above the corpse).
+        let b2 = Membership::new(1, None, 2, ms(1500), cfg());
+        let outs = a.on_digest(ms(1500), 1, &b2.records());
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Alive));
+        let evs = a.poll_events();
+        assert!(
+            evs.iter()
+                .any(|e| e.node == 1 && e.incarnation == 2 && e.transition == Transition::Alive),
+            "rejoin must surface as an Alive transition at the new incarnation: {evs:?}"
+        );
+        // And the (formerly written-off) sender gets a direct reply.
+        assert!(outs.iter().any(|o| o.to == 1));
+    }
+
+    #[test]
+    fn wrongly_buried_node_learns_its_verdict_and_refutes() {
+        // A declares B dead; B never crashed and keeps gossiping at its
+        // original incarnation. The direct reply to a written-off sender
+        // is what closes the loop.
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        b.on_contact(ms(0), 0, None);
+        // A has heard B's real announcement once, so the eventual death
+        // verdict is pinned to B's true incarnation (not the weaker
+        // assumed-contact one an alive re-announcement would outbid).
+        for out in b.on_tick(ms(0)) {
+            if out.to == 0 {
+                a.on_digest(ms(0), 1, &out.records);
+            }
+        }
+        for t in (0..1000).step_by(10) {
+            a.on_tick(ms(t)); // hears nothing more: buries B
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Dead));
+        // B's routine digest reaches A: A replies with the verdict.
+        let replies = a.on_digest(ms(1000), 1, &b.records());
+        let to_b: Vec<_> = replies.into_iter().filter(|o| o.to == 1).collect();
+        assert!(!to_b.is_empty(), "a written-off sender must get a reply");
+        for out in to_b {
+            for back in b.on_digest(ms(1000), 0, &out.records) {
+                if back.to == 0 {
+                    a.on_digest(ms(1000), 1, &back.records);
+                }
+            }
+        }
+        assert_eq!(b.incarnation(), 2, "refuted the death verdict");
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Alive));
+    }
+
+    #[test]
+    fn leave_is_announced_and_not_refuted_by_its_own_record() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        a.on_contact(ms(0), 1, None);
+        b.on_contact(ms(0), 0, None);
+        let farewell = b.leave(ms(100));
+        assert!(farewell.iter().any(|o| o.to == 0));
+        for out in farewell {
+            if out.to == 0 {
+                a.on_digest(ms(100), 1, &out.records);
+            }
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Left));
+        // Left is quieter than dead but still departed: not present.
+        assert_eq!(a.directory().present_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn unreachable_report_suspects_immediately() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        a.on_contact(ms(0), 1, None);
+        a.on_peer_unreachable(ms(10), 1);
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Suspect));
+        let evs = a.poll_events();
+        assert!(evs
+            .iter()
+            .any(|e| e.node == 1 && e.transition == Transition::Suspected));
+        // Death still waits for dead_after from the report.
+        a.on_tick(ms(20));
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Suspect));
+        for t in (20..1300).step_by(10) {
+            a.on_tick(ms(t));
+        }
+        assert_eq!(a.directory().status_of(1), Some(NodeStatus::Dead));
+    }
+
+    #[test]
+    fn gossip_respects_the_interval() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        a.on_contact(ms(0), 1, None);
+        assert!(!a.on_tick(ms(0)).is_empty(), "first tick gossips");
+        assert!(a.on_tick(ms(10)).is_empty(), "inside the interval");
+        assert!(a.on_tick(ms(49)).is_empty());
+        assert!(!a.on_tick(ms(50)).is_empty(), "interval elapsed");
+    }
+}

@@ -1,0 +1,61 @@
+//! # dgc-membership — seed-node gossip directory for the DGC runtimes
+//!
+//! The paper's DGC assumes every activity can reach the nodes hosting
+//! its referencers and referenced peers; the reproduction, until this
+//! crate, wired that topology **statically** (every node handed every
+//! other node's address up front). Production grids churn: nodes join,
+//! leave gracefully, crash, and rejoin. This crate is the missing
+//! membership layer, runtime-neutral in the same sans-io style as
+//! `dgc-core`:
+//!
+//! * [`Directory`] — a replicated map of [`NodeRecord`]s ordered by
+//!   `(incarnation, status severity)`; merges are commutative, so any
+//!   gossip order converges;
+//! * [`Membership`] — the per-node engine: seed bootstrap, periodic
+//!   anti-entropy push of the full directory, silence-based
+//!   suspect/dead detection, SWIM-style refutation by incarnation
+//!   outbidding, and a [`MembershipEvent`] stream for the runtime;
+//! * [`wire`] — the binary digest codec, sized so gossip piggybacks on
+//!   the socket runtime's existing batched frames and meters honestly
+//!   in the simulator.
+//!
+//! Both runtimes realize the same engine: `dgc-simnet`'s grid drives it
+//! from simulated delivery (deterministic verdicts, replayable churn),
+//! and `dgc-rt-net` drives it from its node event loop with digests in
+//! real TCP frames and a `join(seed_addrs)` bootstrap. A **dead**
+//! verdict feeds `DgcState::on_node_dead`, which is how the collector
+//! learns that a departed node's referencers are gone (the send-failure
+//! path of §4.1) — and a node rejoining under a higher incarnation
+//! supersedes its own death record cleanly.
+//!
+//! ## Example: three nodes from one seed
+//!
+//! ```
+//! use dgc_core::units::{Dur, Time};
+//! use dgc_membership::{Membership, MembershipConfig};
+//!
+//! let cfg = MembershipConfig::scaled(Dur::from_millis(50));
+//! let mut seed = Membership::new(0, None, 1, Time::ZERO, cfg);
+//! let mut b = Membership::new(1, None, 1, Time::ZERO, cfg);
+//! b.on_contact(Time::ZERO, 0, None); // all b knows: the seed exists
+//! // b's first gossip introduces it; the seed replies with everything.
+//! for out in b.on_tick(Time::ZERO) {
+//!     for reply in seed.on_digest(Time::ZERO, 1, &out.records) {
+//!         if reply.to == 1 {
+//!             b.on_digest(Time::ZERO, 0, &reply.records);
+//!         }
+//!     }
+//! }
+//! assert_eq!(seed.directory().alive_nodes(), vec![0, 1]);
+//! assert_eq!(b.directory().alive_nodes(), vec![0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod directory;
+pub mod engine;
+pub mod wire;
+
+pub use directory::{Directory, NodeRecord, NodeStatus, Transition};
+pub use engine::{GossipOut, Membership, MembershipConfig, MembershipEvent};

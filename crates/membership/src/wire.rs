@@ -1,0 +1,259 @@
+//! Binary codec for membership records and gossip digests.
+//!
+//! Shares [`dgc_core::wire`]'s conventions (big-endian, tag bytes,
+//! self-delimiting units, [`DecodeError`]) so the socket runtime can
+//! embed digests in the same length-prefixed frames that carry DGC
+//! units — gossip piggybacks on traffic that was flowing anyway — and
+//! so the simulator charges the same byte counts to its meters.
+//!
+//! Layout:
+//!
+//! ```text
+//! digest := count(2) record*
+//! record := node(4) incarnation(8) status(1) addr
+//! addr   := 0x00                                -- none
+//!         | 0x04 ip(4) port(2)                  -- IPv4
+//!         | 0x06 ip(16) port(2)                 -- IPv6
+//! status := 0 alive | 1 suspect | 2 left | 3 dead
+//! ```
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dgc_core::wire::DecodeError;
+
+use crate::directory::{NodeRecord, NodeStatus};
+
+const STATUS_ALIVE: u8 = 0;
+const STATUS_SUSPECT: u8 = 1;
+const STATUS_LEFT: u8 = 2;
+const STATUS_DEAD: u8 = 3;
+
+const ADDR_NONE: u8 = 0x00;
+const ADDR_V4: u8 = 0x04;
+const ADDR_V6: u8 = 0x06;
+
+/// Hard cap on records per digest; anything larger is corrupt (the
+/// directory of a cluster this repository can drive is orders of
+/// magnitude smaller).
+pub const MAX_DIGEST_RECORDS: usize = 4096;
+
+fn status_byte(s: NodeStatus) -> u8 {
+    match s {
+        NodeStatus::Alive => STATUS_ALIVE,
+        NodeStatus::Suspect => STATUS_SUSPECT,
+        NodeStatus::Left => STATUS_LEFT,
+        NodeStatus::Dead => STATUS_DEAD,
+    }
+}
+
+fn status_of(b: u8) -> Result<NodeStatus, DecodeError> {
+    match b {
+        STATUS_ALIVE => Ok(NodeStatus::Alive),
+        STATUS_SUSPECT => Ok(NodeStatus::Suspect),
+        STATUS_LEFT => Ok(NodeStatus::Left),
+        STATUS_DEAD => Ok(NodeStatus::Dead),
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Appends one record (self-delimiting).
+pub fn put_record(buf: &mut BytesMut, rec: &NodeRecord) {
+    buf.put_u32(rec.node);
+    buf.put_u64(rec.incarnation);
+    buf.put_u8(status_byte(rec.status));
+    match rec.addr {
+        None => buf.put_u8(ADDR_NONE),
+        Some(SocketAddr::V4(a)) => {
+            buf.put_u8(ADDR_V4);
+            buf.put_slice(&a.ip().octets());
+            buf.put_u16(a.port());
+        }
+        Some(SocketAddr::V6(a)) => {
+            buf.put_u8(ADDR_V6);
+            buf.put_slice(&a.ip().octets());
+            buf.put_u16(a.port());
+        }
+    }
+}
+
+/// Reads one record from the front of `buf`.
+pub fn get_record(buf: &mut Bytes) -> Result<NodeRecord, DecodeError> {
+    if buf.remaining() < 4 + 8 + 1 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let node = buf.get_u32();
+    let incarnation = buf.get_u64();
+    let status = status_of(buf.get_u8())?;
+    let addr = match buf.get_u8() {
+        ADDR_NONE => None,
+        ADDR_V4 => {
+            if buf.remaining() < 4 + 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let ip = Ipv4Addr::from(buf.get_u32());
+            let port = buf.get_u16();
+            Some(SocketAddr::new(IpAddr::V4(ip), port))
+        }
+        ADDR_V6 => {
+            if buf.remaining() < 16 + 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let mut octets = [0u8; 16];
+            buf.copy_to_slice(&mut octets);
+            let port = buf.get_u16();
+            Some(SocketAddr::new(IpAddr::V6(Ipv6Addr::from(octets)), port))
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok(NodeRecord {
+        node,
+        incarnation,
+        status,
+        addr,
+    })
+}
+
+/// Appends a whole digest (count-prefixed record list).
+///
+/// # Panics
+///
+/// Panics if `records` exceeds [`MAX_DIGEST_RECORDS`].
+pub fn put_digest(buf: &mut BytesMut, records: &[NodeRecord]) {
+    assert!(
+        records.len() <= MAX_DIGEST_RECORDS,
+        "digest of {} records exceeds MAX_DIGEST_RECORDS",
+        records.len()
+    );
+    buf.put_u16(records.len() as u16);
+    for rec in records {
+        put_record(buf, rec);
+    }
+}
+
+/// Reads a digest written by [`put_digest`] from the front of `buf`.
+pub fn get_digest(buf: &mut Bytes) -> Result<Vec<NodeRecord>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = buf.get_u16() as usize;
+    if count > MAX_DIGEST_RECORDS {
+        return Err(DecodeError::BadTag(0));
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(get_record(buf)?);
+    }
+    Ok(records)
+}
+
+/// Encoded size of one record, in bytes (what the simulator's traffic
+/// meters charge per gossiped record).
+pub fn record_wire_size(rec: &NodeRecord) -> u64 {
+    let addr = match rec.addr {
+        None => 1,
+        Some(SocketAddr::V4(_)) => 1 + 4 + 2,
+        Some(SocketAddr::V6(_)) => 1 + 16 + 2,
+    };
+    4 + 8 + 1 + addr
+}
+
+/// Encoded size of a whole digest.
+pub fn digest_wire_size(records: &[NodeRecord]) -> u64 {
+    2 + records.iter().map(record_wire_size).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<NodeRecord> {
+        vec![
+            NodeRecord {
+                node: 0,
+                incarnation: 1,
+                status: NodeStatus::Alive,
+                addr: Some("127.0.0.1:45017".parse().unwrap()),
+            },
+            NodeRecord {
+                node: 1,
+                incarnation: 3,
+                status: NodeStatus::Suspect,
+                addr: Some("[2001:db8::7]:9000".parse().unwrap()),
+            },
+            NodeRecord {
+                node: 2,
+                incarnation: u64::MAX,
+                status: NodeStatus::Dead,
+                addr: None,
+            },
+            NodeRecord {
+                node: u32::MAX,
+                incarnation: 0,
+                status: NodeStatus::Left,
+                addr: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn digest_round_trips() {
+        let records = sample();
+        let mut buf = BytesMut::new();
+        put_digest(&mut buf, &records);
+        assert_eq!(buf.len() as u64, digest_wire_size(&records));
+        let mut bytes = buf.freeze();
+        assert_eq!(get_digest(&mut bytes).unwrap(), records);
+        assert_eq!(bytes.remaining(), 0, "self-delimiting");
+    }
+
+    #[test]
+    fn empty_digest_round_trips() {
+        let mut buf = BytesMut::new();
+        put_digest(&mut buf, &[]);
+        assert_eq!(get_digest(&mut buf.freeze()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_prefix() {
+        let mut buf = BytesMut::new();
+        put_digest(&mut buf, &sample());
+        let raw = buf.freeze();
+        for len in 0..raw.len() {
+            let mut cut = raw.slice(0..len);
+            assert!(
+                get_digest(&mut cut).is_err(),
+                "digest truncated to {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_status_and_addr_tags_are_rejected() {
+        let mut buf = BytesMut::new();
+        put_record(
+            &mut buf,
+            &NodeRecord {
+                node: 1,
+                incarnation: 1,
+                status: NodeStatus::Alive,
+                addr: None,
+            },
+        );
+        let good = buf.freeze().to_vec();
+        let mut bad_status = good.clone();
+        bad_status[12] = 9; // status byte
+        assert!(get_record(&mut Bytes::from(bad_status)).is_err());
+        let mut bad_addr = good;
+        bad_addr[13] = 0xEE; // addr tag
+        assert!(get_record(&mut Bytes::from(bad_addr)).is_err());
+    }
+
+    #[test]
+    fn oversized_digest_count_is_corrupt() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(u16::MAX);
+        assert!(get_digest(&mut buf.freeze()).is_err());
+    }
+}

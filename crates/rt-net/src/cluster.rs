@@ -1,34 +1,140 @@
 //! Multi-node test/demo driver: a whole DGC deployment on localhost.
 //!
-//! Spawns N [`NetNode`]s on ephemeral `127.0.0.1` ports, cross-registers
-//! their listen addresses, and exposes the same driver surface as
-//! `dgc_rt_thread::ThreadGrid` — create activities, flip idleness, wire
-//! reference edges, watch terminations — except every DGC message and
-//! response now crosses a real TCP socket in a length-prefixed batched
-//! frame.
+//! Spawns N [`NetNode`]s on ephemeral `127.0.0.1` ports and exposes the
+//! same driver surface as `dgc_rt_thread::ThreadGrid` — create
+//! activities, flip idleness, wire reference edges, watch terminations
+//! — except every DGC message and response now crosses a real TCP
+//! socket in a length-prefixed batched frame.
+//!
+//! Two topologies:
+//!
+//! * [`Cluster::listen_local`] — **static registration**: every node is
+//!   handed every other node's address up front (the pre-membership
+//!   wiring, kept for focused transport tests);
+//! * [`Cluster::join_local`] — **seed bootstrap**: only node 0's
+//!   address is known; every other node joins through it and discovers
+//!   the rest via `dgc-membership` gossip. Join clusters support
+//!   *churn*: [`Cluster::crash_node`] / [`Cluster::restart_node`] kill
+//!   and resurrect whole nodes (fresh incarnation, fresh port, fresh
+//!   activity-id range), and [`Cluster::schedule_churn`] scripts them
+//!   from a [`FaultProfile`]'s `NodeCrash` primitives.
 
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dgc_core::faults::FaultProfile;
 use dgc_core::id::AoId;
+use dgc_membership::{MembershipEvent, NodeRecord};
 
 use crate::chaos::{ChaosProxy, ChaosStatsSnapshot};
 use crate::config::NetConfig;
 use crate::node::{Event, NetNode, Terminated};
 use crate::stats::NetStatsSnapshot;
 
+/// One node position: the running node (if up) plus the bookkeeping a
+/// restart needs.
+struct Slot {
+    node: Option<NetNode>,
+    /// First activity index a restarted node may allocate (crash-era
+    /// ids are never reused).
+    next_first_index: u32,
+    /// Highest incarnation this position has lived.
+    incarnation: u64,
+}
+
+type SharedSlot = Arc<Mutex<Slot>>;
+
+fn lock(slot: &SharedSlot) -> std::sync::MutexGuard<'_, Slot> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Kills the node in `slot` (if any): collector terminations it
+/// recorded are preserved in `graveyard`, its id allocation high-water
+/// mark is kept for the restart, and the node is shut down.
+fn crash_slot(slot: &SharedSlot, graveyard: &Mutex<Vec<Terminated>>) {
+    let mut s = lock(slot);
+    if let Some(node) = s.node.take() {
+        s.next_first_index = node.allocated();
+        graveyard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(node.terminated());
+        node.shutdown();
+    }
+}
+
+/// Restarts the node in `slot` under `incarnation`, rejoining through
+/// `seeds`. The `closed` flag is re-checked **under the slot lock**:
+/// `Cluster::drop` sets it before it locks any slot, so either this
+/// restart observes it and aborts, or it finishes inserting the node
+/// while still holding the lock and the teardown (blocked on that same
+/// lock) takes the fresh node down like any other — a scheduled
+/// restart can never resurrect a node after teardown unseen.
+fn restart_slot(
+    slot: &SharedSlot,
+    config: NetConfig,
+    seeds: &[SocketAddr],
+    node_id: u32,
+    incarnation: u64,
+    closed: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut s = lock(slot);
+    if closed.load(Ordering::SeqCst) {
+        return Ok(()); // cluster is gone; stay down
+    }
+    assert!(s.node.is_none(), "restart of a node that is up");
+    assert!(
+        incarnation > s.incarnation,
+        "rejoin incarnation must exceed every earlier life"
+    );
+    let node = NetNode::bind_rejoin(node_id, config, incarnation, s.next_first_index)?;
+    node.join(seeds);
+    s.incarnation = incarnation;
+    s.node = Some(node);
+    Ok(())
+}
+
 /// A running localhost cluster of DGC nodes.
 pub struct Cluster {
-    nodes: Vec<NetNode>,
+    slots: Vec<SharedSlot>,
+    /// Collector terminations recorded by nodes that later crashed.
+    graveyard: Arc<Mutex<Vec<Terminated>>>,
+    /// Seed addresses used by (re)joins; empty for static clusters.
+    seeds: Vec<SocketAddr>,
+    config: NetConfig,
     proxies: Vec<ChaosProxy>,
+    /// Tells scheduled churn/pause timers the cluster is gone.
+    closed: Arc<AtomicBool>,
     /// Scenario clock origin, when the cluster was built with chaos.
     epoch: Instant,
 }
 
 impl Cluster {
-    /// Starts `n` nodes, each with `config`, fully peered.
+    fn from_nodes(nodes: Vec<NetNode>, config: NetConfig, epoch: Instant) -> Cluster {
+        Cluster {
+            slots: nodes
+                .into_iter()
+                .map(|node| {
+                    Arc::new(Mutex::new(Slot {
+                        incarnation: node.incarnation(),
+                        next_first_index: 0,
+                        node: Some(node),
+                    }))
+                })
+                .collect(),
+            graveyard: Arc::new(Mutex::new(Vec::new())),
+            seeds: Vec::new(),
+            config,
+            proxies: Vec::new(),
+            closed: Arc::new(AtomicBool::new(false)),
+            epoch,
+        }
+    }
+
+    /// Starts `n` nodes, each with `config`, fully peered by **static
+    /// registration** (every address wired up front).
     pub fn listen_local(n: u32, config: NetConfig) -> std::io::Result<Cluster> {
         let mut nodes = Vec::with_capacity(n as usize);
         for id in 0..n {
@@ -43,11 +149,52 @@ impl Cluster {
                 }
             }
         }
-        Ok(Cluster {
-            nodes,
-            proxies: Vec::new(),
-            epoch: Instant::now(),
-        })
+        Ok(Cluster::from_nodes(nodes, config, Instant::now()))
+    }
+
+    /// Starts `n` nodes that discover each other through **seed
+    /// bootstrap**: node 0 is the seed; nodes 1.. are handed only its
+    /// address and must join, gossip, and converge. Requires (and
+    /// asserts) `config.membership`.
+    pub fn join_local(n: u32, config: NetConfig) -> std::io::Result<Cluster> {
+        assert!(
+            config.membership.is_some(),
+            "Cluster::join_local needs NetConfig::membership"
+        );
+        assert!(n >= 1, "a cluster needs at least the seed");
+        let mut nodes = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            nodes.push(NetNode::bind(id, config)?);
+        }
+        let seeds = vec![nodes[0].addr()];
+        for node in nodes.iter().skip(1) {
+            node.join(&seeds);
+        }
+        let mut cluster = Cluster::from_nodes(nodes, config, Instant::now());
+        cluster.seeds = seeds;
+        Ok(cluster)
+    }
+
+    /// [`Cluster::join_local`] plus the profile's **churn and pauses**
+    /// scheduled against the scenario clock (which starts when this
+    /// returns): every [`dgc_core::faults::NodeCrash`] kills its node
+    /// at `down.start` and — when a rejoin incarnation is given —
+    /// restarts it at `down.end` through the seed, and every node pause
+    /// stalls the event loop like `listen_local_chaos` does. Link
+    /// disruptions need the chaos-proxy topology and are rejected.
+    pub fn join_local_churn(
+        n: u32,
+        config: NetConfig,
+        profile: &FaultProfile,
+    ) -> std::io::Result<Cluster> {
+        assert!(
+            profile.link_disruptions().is_empty(),
+            "link disruptions need Cluster::listen_local_chaos (proxied links)"
+        );
+        let cluster = Cluster::join_local(n, config)?;
+        cluster.schedule_pauses(profile);
+        cluster.schedule_churn(profile);
+        Ok(cluster)
     }
 
     /// Starts `n` nodes fully peered **through chaos proxies**: every
@@ -55,11 +202,17 @@ impl Cluster {
     /// `profile`, and the profile's node pauses are scheduled against
     /// the node event loops. The scenario clock (the profile's
     /// [`dgc_core::units::Time`] axis) starts when this returns.
+    /// Crash-restarts need a join topology (proxies pin addresses):
+    /// use [`Cluster::join_local_churn`].
     pub fn listen_local_chaos(
         n: u32,
         config: NetConfig,
         profile: FaultProfile,
     ) -> std::io::Result<Cluster> {
+        assert!(
+            profile.node_crashes().is_empty(),
+            "crash-restarts need Cluster::join_local_churn (gossiped addresses)"
+        );
         let mut nodes = Vec::with_capacity(n as usize);
         for id in 0..n {
             nodes.push(NetNode::bind(id, config)?);
@@ -83,15 +236,22 @@ impl Cluster {
                 proxies.push(proxy);
             }
         }
-        // Schedule stop-the-world pauses: one detached timer thread per
-        // pause window sends the pause into the node's event loop at the
-        // window start. A cluster that shuts down earlier just leaves
-        // the send to fail against a closed loop.
+        let mut cluster = Cluster::from_nodes(nodes, config, epoch);
+        cluster.proxies = proxies;
+        cluster.schedule_pauses(&profile);
+        Ok(cluster)
+    }
+
+    /// Schedules the profile's stop-the-world pauses: one detached
+    /// timer thread per pause window sends the pause into the node's
+    /// event loop at the window start. A cluster that shuts down
+    /// earlier just leaves the send to fail against a closed loop.
+    fn schedule_pauses(&self, profile: &FaultProfile) {
+        let epoch = self.epoch;
         for pause in profile.node_pauses() {
-            let Some(node) = nodes.iter().find(|nd| nd.node_id() == pause.node) else {
+            let Some(tx) = self.with_node(pause.node, |nd| nd.event_sender()) else {
                 continue;
             };
-            let tx = node.event_sender();
             let start = Duration::from_nanos(pause.window.start.as_nanos());
             // Absolute deadline on the scenario clock: overlapping
             // windows extend one stall to the latest end (the
@@ -105,16 +265,107 @@ impl Cluster {
                     let _ = tx.send(Event::Pause { until });
                 });
         }
-        Ok(Cluster {
-            nodes,
-            proxies,
-            epoch,
-        })
+    }
+
+    /// Schedules the profile's `NodeCrash`es: one detached timer thread
+    /// per crash kills the node at `down.start` and, for rejoining
+    /// crashes, restarts it at `down.end` under the scripted
+    /// incarnation via the seed addresses. Crashing the seed itself is
+    /// rejected (nothing could bootstrap the rejoin).
+    pub fn schedule_churn(&self, profile: &FaultProfile) {
+        assert!(
+            !self.seeds.is_empty(),
+            "churn needs a join cluster (Cluster::join_local)"
+        );
+        let epoch = self.epoch;
+        for crash in profile.node_crashes() {
+            assert!(
+                !(crash.node == 0 && crash.rejoin_incarnation.is_some()),
+                "crashing the seed strands every rejoin"
+            );
+            let slot = Arc::clone(&self.slots[crash.node as usize]);
+            let graveyard = Arc::clone(&self.graveyard);
+            let closed = Arc::clone(&self.closed);
+            let seeds = self.seeds.clone();
+            let config = self.config;
+            let crash = *crash;
+            let _ = std::thread::Builder::new()
+                .name(format!("dgc-churn-{}", crash.node))
+                .spawn(move || {
+                    let sleep_until = |deadline: Duration| {
+                        while epoch.elapsed() < deadline {
+                            if closed.load(Ordering::SeqCst) {
+                                return false;
+                            }
+                            let left = deadline.saturating_sub(epoch.elapsed());
+                            std::thread::sleep(left.min(Duration::from_millis(20)));
+                        }
+                        !closed.load(Ordering::SeqCst)
+                    };
+                    if !sleep_until(Duration::from_nanos(crash.down.start.as_nanos())) {
+                        return;
+                    }
+                    crash_slot(&slot, &graveyard);
+                    let Some(incarnation) = crash.rejoin_incarnation else {
+                        return;
+                    };
+                    if !sleep_until(Duration::from_nanos(crash.down.end.as_nanos())) {
+                        return;
+                    }
+                    let _ = restart_slot(&slot, config, &seeds, crash.node, incarnation, &closed);
+                });
+        }
+    }
+
+    /// Kills `node` right now: its activities die with it (they are
+    /// *not* recorded as collector terminations), its links go dark,
+    /// and the survivors' membership layer gets to notice.
+    pub fn crash_node(&self, node: u32) {
+        crash_slot(&self.slots[node as usize], &self.graveyard);
+    }
+
+    /// Restarts a crashed `node` under `incarnation` (must exceed every
+    /// earlier life), rejoining through the seed. Join clusters only.
+    pub fn restart_node(&self, node: u32, incarnation: u64) -> std::io::Result<()> {
+        assert!(
+            !self.seeds.is_empty(),
+            "restart needs a join cluster (Cluster::join_local)"
+        );
+        restart_slot(
+            &self.slots[node as usize],
+            self.config,
+            &self.seeds,
+            node,
+            incarnation,
+            &self.closed,
+        )
+    }
+
+    /// True while `node` is crashed.
+    pub fn is_down(&self, node: u32) -> bool {
+        lock(&self.slots[node as usize]).node.is_none()
+    }
+
+    /// Runs `f` against `node` if it is up.
+    fn with_node<R>(&self, node: u32, f: impl FnOnce(&NetNode) -> R) -> Option<R> {
+        lock(&self.slots[node as usize]).node.as_ref().map(f)
+    }
+
+    /// Runs `f` against `node`, panicking while it is down (driver
+    /// scripts must not address crashed nodes).
+    fn with_live<R>(&self, node: u32, f: impl FnOnce(&NetNode) -> R) -> R {
+        self.with_node(node, f)
+            .unwrap_or_else(|| panic!("node {node} is down"))
     }
 
     /// The scenario clock origin (chaos clusters: when proxies started).
     pub fn epoch(&self) -> Instant {
         self.epoch
+    }
+
+    /// The seed addresses of a join cluster (empty for static ones).
+    pub fn seed_addrs(&self) -> &[SocketAddr] {
+        &self.seeds
     }
 
     /// Aggregated chaos-proxy counters (all zero for a plain cluster).
@@ -134,57 +385,66 @@ impl Cluster {
 
     /// Stops this node's world for `d` (see [`NetNode::pause_for`]).
     pub fn pause_node(&self, node: u32, d: Duration) {
-        self.nodes[node as usize].pause_for(d);
+        self.with_live(node, |nd| nd.pause_for(d));
     }
 
-    /// Number of nodes.
+    /// Number of nodes (up or down).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
     /// True if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.slots.is_empty()
     }
 
-    /// The node hosting id-namespace `node`.
-    pub fn node(&self, node: u32) -> &NetNode {
-        &self.nodes[node as usize]
+    /// The listen address of `node` (panics while it is down).
+    pub fn addr(&self, node: u32) -> SocketAddr {
+        self.with_live(node, |nd| nd.addr())
     }
 
     /// Creates an activity on `node` (initially busy); returns its id.
     pub fn add_activity(&self, node: u32) -> AoId {
-        self.nodes[node as usize].add_activity()
+        self.with_live(node, |nd| nd.add_activity())
     }
 
     /// Declares `ao` idle or busy.
     pub fn set_idle(&self, ao: AoId, idle: bool) {
-        self.nodes[ao.node as usize].set_idle(ao, idle);
+        self.with_live(ao.node, |nd| nd.set_idle(ao, idle));
     }
 
     /// Adds the reference edge `from → to` (any pair of nodes).
     pub fn add_ref(&self, from: AoId, to: AoId) {
-        self.nodes[from.node as usize].add_ref(from, to);
+        self.with_live(from.node, |nd| nd.add_ref(from, to));
     }
 
     /// Drops the reference edge `from → to`.
     pub fn drop_ref(&self, from: AoId, to: AoId) {
-        self.nodes[from.node as usize].drop_ref(from, to);
+        self.with_live(from.node, |nd| nd.drop_ref(from, to));
     }
 
-    /// All terminations recorded so far, across nodes.
+    /// All collector terminations recorded so far, across nodes —
+    /// including those a since-crashed node recorded before it died.
+    /// (Activities killed *by* a crash never appear here: a crash is
+    /// the environment's kill, not a collection.)
     pub fn terminated(&self) -> Vec<Terminated> {
-        let mut all: Vec<Terminated> = self.nodes.iter().flat_map(|n| n.terminated()).collect();
+        let mut all: Vec<Terminated> = self
+            .graveyard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for node in 0..self.slots.len() as u32 {
+            if let Some(mut t) = self.with_node(node, |nd| nd.terminated()) {
+                all.append(&mut t);
+            }
+        }
         all.sort_by_key(|t| t.ao);
         all
     }
 
-    /// True if `ao` has terminated.
+    /// True if `ao` has terminated (by collection, not by crash).
     pub fn is_terminated(&self, ao: AoId) -> bool {
-        self.nodes[ao.node as usize]
-            .terminated()
-            .iter()
-            .any(|t| t.ao == ao)
+        self.terminated().iter().any(|t| t.ao == ao)
     }
 
     /// Blocks until `predicate` holds over the merged termination log or
@@ -209,9 +469,11 @@ impl Cluster {
         crate::node::poll_until(deadline, || predicate(&self.stats()))
     }
 
-    /// Per-node transport counters.
+    /// Per-node transport counters (zeroed placeholders for down nodes).
     pub fn stats(&self) -> Vec<NetStatsSnapshot> {
-        self.nodes.iter().map(|n| n.stats()).collect()
+        (0..self.slots.len() as u32)
+            .map(|n| self.with_node(n, |nd| nd.stats()).unwrap_or_default())
+            .collect()
     }
 
     /// Transport counters summed over all nodes.
@@ -231,6 +493,31 @@ impl Cluster {
         total
     }
 
+    /// `node`'s membership directory snapshot (`None` while it is down
+    /// or when membership is disabled).
+    pub fn member_records(&self, node: u32) -> Option<Vec<NodeRecord>> {
+        self.with_node(node, |nd| nd.member_records()).flatten()
+    }
+
+    /// Membership transitions `node` has observed in its current life.
+    pub fn membership_events(&self, node: u32) -> Vec<MembershipEvent> {
+        self.with_node(node, |nd| nd.membership_events())
+            .unwrap_or_default()
+    }
+
+    /// Blocks until `predicate` holds over `node`'s directory snapshot
+    /// or the deadline passes; returns whether it held.
+    pub fn wait_membership_until(
+        &self,
+        node: u32,
+        deadline: Duration,
+        predicate: impl Fn(&[NodeRecord]) -> bool,
+    ) -> bool {
+        crate::node::poll_until(deadline, || {
+            self.member_records(node).is_some_and(|r| predicate(&r))
+        })
+    }
+
     /// Stops every node and proxy and joins their threads. Safe to call
     /// (or to skip — dropping the cluster does the same work) after a
     /// failed assertion: dead links and half-closed proxies are already
@@ -242,11 +529,16 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        // Nodes first: their link threads are the proxies' clients, so
+        // Stop scheduled churn first: a restart racing the teardown
+        // would resurrect a node nobody will ever stop.
+        self.closed.store(true, Ordering::SeqCst);
+        // Nodes next: their link threads are the proxies' clients, so
         // closing them lets proxy pumps drain out on EOF instead of
         // being killed mid-frame.
-        for node in self.nodes.drain(..) {
-            node.shutdown();
+        for slot in &self.slots {
+            if let Some(node) = lock(slot).node.take() {
+                node.shutdown();
+            }
         }
         for proxy in self.proxies.drain(..) {
             proxy.shutdown();

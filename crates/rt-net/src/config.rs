@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use dgc_core::config::DgcConfig;
+use dgc_membership::MembershipConfig;
 
 /// Configuration of one network node: the DGC parameters its activities
 /// run with plus the link behaviour of the transport.
@@ -26,10 +27,19 @@ pub struct NetConfig {
     /// Reconnect delay cap.
     pub reconnect_max: Duration,
     /// Consecutive connection failures after which queued items for the
-    /// peer are reported to the local protocol as send failures
-    /// (referencers then drop the unreachable edges, as the paper's
-    /// collector does when an RMI call fails permanently).
+    /// peer are reported to the local protocol as send failures and the
+    /// link goes **terminal** — a `PeerUnreachable` verdict instead of
+    /// an endless retry (referencers then drop the unreachable edges,
+    /// as the paper's collector does when an RMI call fails
+    /// permanently). Reached only after the full backoff ladder, so
+    /// chaos-length partitions reconnect long before it fires.
     pub fail_after_attempts: u32,
+    /// When set, the node runs a `dgc-membership` engine: gossip
+    /// digests piggyback on frames, peers are discovered through
+    /// [`crate::NetNode::join`] seeds, and dead verdicts feed the
+    /// collectors' send-failure path. `None` keeps the static
+    /// registration behaviour.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl NetConfig {
@@ -42,7 +52,14 @@ impl NetConfig {
             reconnect_base: Duration::from_millis(10),
             reconnect_max: Duration::from_secs(1),
             fail_after_attempts: 20,
+            membership: None,
         }
+    }
+
+    /// Enables the membership layer with `m` timings.
+    pub fn membership(mut self, m: MembershipConfig) -> Self {
+        self.membership = Some(m);
+        self
     }
 
     /// Sets the batching window.

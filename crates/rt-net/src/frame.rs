@@ -28,6 +28,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dgc_core::id::AoId;
 use dgc_core::message::{DgcMessage, DgcResponse};
 use dgc_core::wire::{self, DecodeError};
+use dgc_membership::wire as membership_wire;
+use dgc_membership::NodeRecord;
 
 /// Protocol version carried by [`Frame::Hello`]; bumped on any layout
 /// change so mismatched nodes fail the handshake instead of
@@ -41,6 +43,14 @@ const TAG_BATCH: u8 = 0xF1;
 const ITEM_DGC: u8 = 0x01;
 const ITEM_RESP: u8 = 0x02;
 const ITEM_FAIL: u8 = 0x03;
+const ITEM_GOSSIP: u8 = 0x04;
+
+/// Wildcard destination for the gossip item a **join probe** sends: a
+/// joining node dials a seed *address* before it knows the seed's node
+/// id, so its introduction is addressed "to whoever answers here". The
+/// receiving node accepts anycast gossip as its own; everything else
+/// misaddressed is still rejected (see `node::Worker::handle_item`).
+pub const GOSSIP_ANYCAST: u32 = u32::MAX;
 
 /// Frames larger than this are rejected as corrupt rather than buffered
 /// (a batch of 64 Ki heartbeats is already ~3 MiB; nothing legitimate
@@ -50,8 +60,10 @@ pub const MAX_FRAME_LEN: usize = 8 << 20;
 /// Hard cap on items per batch, mirrored by the encoder.
 pub const MAX_BATCH_ITEMS: u32 = 1 << 20;
 
-/// One activity-addressed protocol unit inside a [`Frame::Batch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One protocol unit inside a [`Frame::Batch`]: activity-addressed DGC
+/// traffic, or a node-addressed membership digest piggybacking on the
+/// same frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Item {
     /// A DGC message (TTB heartbeat) from `from` to `to`.
     Dgc {
@@ -80,6 +92,16 @@ pub enum Item {
         /// The activity that is gone.
         target: AoId,
     },
+    /// A membership gossip digest (`dgc-membership` anti-entropy),
+    /// batched into the same frames as the DGC units it rides with.
+    Gossip {
+        /// Sending node.
+        from: u32,
+        /// Destination node, or [`GOSSIP_ANYCAST`] on a join probe.
+        to: u32,
+        /// The sender's full directory.
+        records: Vec<NodeRecord>,
+    },
 }
 
 impl Item {
@@ -88,6 +110,7 @@ impl Item {
         match self {
             Item::Dgc { to, .. } | Item::Resp { to, .. } => to.node,
             Item::SendFailure { holder, .. } => holder.node,
+            Item::Gossip { to, .. } => *to,
         }
     }
 }
@@ -125,6 +148,12 @@ fn put_item(buf: &mut BytesMut, item: &Item) {
             wire::put_aoid(buf, *holder);
             wire::put_aoid(buf, *target);
         }
+        Item::Gossip { from, to, records } => {
+            buf.put_u8(ITEM_GOSSIP);
+            buf.put_u32(*from);
+            buf.put_u32(*to);
+            membership_wire::put_digest(buf, records);
+        }
     }
 }
 
@@ -149,6 +178,15 @@ fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
             let holder = wire::get_aoid(buf)?;
             let target = wire::get_aoid(buf)?;
             Ok(Item::SendFailure { holder, target })
+        }
+        ITEM_GOSSIP => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let from = buf.get_u32();
+            let to = buf.get_u32();
+            let records = membership_wire::get_digest(buf)?;
+            Ok(Item::Gossip { from, to, records })
         }
         other => Err(DecodeError::BadTag(other)),
     }
@@ -338,6 +376,24 @@ mod tests {
                 holder: AoId::new(0, 1),
                 target: AoId::new(1, 9),
             },
+            Item::Gossip {
+                from: 0,
+                to: 1,
+                records: vec![
+                    dgc_membership::NodeRecord {
+                        node: 0,
+                        incarnation: 2,
+                        status: dgc_membership::NodeStatus::Alive,
+                        addr: Some("127.0.0.1:40100".parse().unwrap()),
+                    },
+                    dgc_membership::NodeRecord {
+                        node: 2,
+                        incarnation: 1,
+                        status: dgc_membership::NodeStatus::Dead,
+                        addr: None,
+                    },
+                ],
+            },
         ])
     }
 
@@ -439,7 +495,7 @@ mod tests {
         let batched = encode_frame(&Frame::Batch(items.clone())).len();
         let unbatched: usize = items
             .iter()
-            .map(|i| encode_frame(&Frame::Batch(vec![*i])).len())
+            .map(|i| encode_frame(&Frame::Batch(vec![i.clone()])).len())
             .sum();
         assert!(batched < unbatched);
         assert_eq!(unbatched - batched, 15 * FRAME_OVERHEAD as usize);

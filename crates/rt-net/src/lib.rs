@@ -24,6 +24,15 @@
 //! * [`cluster`] — a localhost N-node driver with the same surface as
 //!   `ThreadGrid`, used by `tests/net.rs` to collect a cross-node cycle
 //!   end-to-end over real sockets;
+//! * membership — with [`NetConfig::membership`] set, every node runs
+//!   a `dgc-membership` gossip engine: digests ride as one more item
+//!   kind inside the same batched frames ([`frame::GOSSIP_ANYCAST`]
+//!   marks a join probe), [`NetNode::join`] bootstraps from seed
+//!   addresses instead of static registration, peers' listen addresses
+//!   are learned (and re-learned after a crash-rejoin) from gossip,
+//!   and a **dead** verdict feeds every hosted collector's
+//!   send-failure path; [`Cluster::join_local`] /
+//!   [`Cluster::join_local_churn`] drive whole churn scenarios;
 //! * [`chaos`] — a per-link fault-injecting proxy replaying the
 //!   runtime-neutral [`dgc_core::faults::FaultProfile`] descriptions
 //!   (delay / drop / sever / reorder) over live connections, plus the
@@ -76,7 +85,7 @@ pub mod stats;
 pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
 pub use config::NetConfig;
-pub use frame::{Frame, FrameDecoder, Item};
+pub use frame::{Frame, FrameDecoder, Item, GOSSIP_ANYCAST};
 pub use node::{NetNode, Terminated};
 pub use stats::{NetStats, NetStatsSnapshot};
 

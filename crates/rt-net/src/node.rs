@@ -33,9 +33,10 @@ use dgc_core::id::AoId;
 use dgc_core::message::{Action, TerminateReason};
 use dgc_core::protocol::DgcState;
 use dgc_core::units::Time;
+use dgc_membership::{Membership, MembershipEvent, NodeRecord, NodeStatus, Transition};
 
 use crate::config::NetConfig;
-use crate::frame::{Frame, FrameDecoder, Item, PROTOCOL_VERSION};
+use crate::frame::{encode_frame, Frame, FrameDecoder, Item, GOSSIP_ANYCAST, PROTOCOL_VERSION};
 use crate::peer::{spawn_reply_writer, OutboundLink};
 use crate::stats::{NetStats, NetStatsSnapshot};
 
@@ -122,6 +123,16 @@ pub enum Event {
         /// When the world resumes (already-past deadlines are no-ops).
         until: Instant,
     },
+    /// An outbound link burned through `fail_after_attempts`: the peer
+    /// is unreachable until further notice. With membership enabled
+    /// this is a transport-level suspicion (the dead verdict still
+    /// waits out the refutation window); without it, it is the
+    /// *terminal* send failure — every hosted collector treats the
+    /// node's activities as departed instead of retrying forever.
+    PeerUnreachable {
+        /// The unreachable node.
+        node: u32,
+    },
     /// Stops the event loop.
     Shutdown,
 }
@@ -190,10 +201,14 @@ impl Drop for TrackedSocket {
 pub struct NetNode {
     node_id: u32,
     addr: SocketAddr,
+    config: NetConfig,
+    incarnation: u64,
     tx: mpsc::Sender<Event>,
     next_index: AtomicU32,
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
+    member_events: Arc<Mutex<Vec<MembershipEvent>>>,
+    member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
     loop_handle: Option<JoinHandle<()>>,
@@ -202,21 +217,42 @@ pub struct NetNode {
 
 impl NetNode {
     /// Binds `node_id` to a fresh ephemeral port on `127.0.0.1` and
-    /// starts its event loop and acceptor.
+    /// starts its event loop and acceptor. First lives run as
+    /// incarnation 1; see [`NetNode::bind_rejoin`] for crash-restarts.
     ///
     /// # Panics
     ///
     /// Panics if `config.dgc` violates the TTA safety formula.
     pub fn bind(node_id: u32, config: NetConfig) -> std::io::Result<NetNode> {
+        NetNode::bind_rejoin(node_id, config, 1, 0)
+    }
+
+    /// Binds a **restarted** node: announces itself under
+    /// `incarnation` (must exceed every incarnation this node id lived
+    /// before, so its membership record supersedes its own corpse) and
+    /// allocates activity indices from `first_index` (so rejoin-era
+    /// activities never reuse the ids that died in the crash).
+    pub fn bind_rejoin(
+        node_id: u32,
+        config: NetConfig,
+        incarnation: u64,
+        first_index: u32,
+    ) -> std::io::Result<NetNode> {
         config.dgc.validate().expect("unsafe TTB/TTA configuration");
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
         let stats = NetStats::shared();
         let terminated = Arc::new(Mutex::new(Vec::new()));
+        let member_events = Arc::new(Mutex::new(Vec::new()));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SocketTracker::default());
 
+        let membership = config
+            .membership
+            .map(|m| Membership::new(node_id, Some(addr), incarnation, Time::ZERO, m));
+        let member_snapshot = Arc::new(Mutex::new(membership.as_ref().map(|m| m.records())));
+        let next_member_tick = membership.as_ref().map(|_| Instant::now());
         let worker = Worker {
             node_id,
             config,
@@ -227,6 +263,10 @@ impl NetNode {
             outbound: HashMap::new(),
             reply: HashMap::new(),
             epoch: Instant::now(),
+            membership,
+            next_member_tick,
+            member_events: Arc::clone(&member_events),
+            member_snapshot: Arc::clone(&member_snapshot),
             stats: Arc::clone(&stats),
             terminated: Arc::clone(&terminated),
             shutting_down: Arc::clone(&shutting_down),
@@ -254,10 +294,14 @@ impl NetNode {
         Ok(NetNode {
             node_id,
             addr,
+            config,
+            incarnation,
             tx,
-            next_index: AtomicU32::new(0),
+            next_index: AtomicU32::new(first_index),
             stats,
             terminated,
+            member_events,
+            member_snapshot,
             shutting_down,
             tracker,
             loop_handle: Some(loop_handle),
@@ -279,6 +323,136 @@ impl NetNode {
     /// lazily on first routed message.
     pub fn add_peer(&self, node: u32, addr: SocketAddr) {
         let _ = self.tx.send(Event::AddPeer { node, addr });
+    }
+
+    /// The incarnation this node announces (1 for first lives).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// How many activity indices this node has handed out; a restart
+    /// passes this as `first_index` so ids are never reused.
+    pub fn allocated(&self) -> u32 {
+        self.next_index.load(Ordering::Relaxed)
+    }
+
+    /// Bootstraps membership from `seeds` — listen addresses of any
+    /// already-running nodes (typically one). Replaces static
+    /// registration: a detached dialer per seed sends a join probe
+    /// (hello + a one-record anycast gossip digest); the seed learns
+    /// `{node id, address}` from the record, replies with its full
+    /// directory over the same socket, and anti-entropy spreads the
+    /// join. Dialers retry until the directory shows a peer, the node
+    /// shuts down, or the attempts run out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was bound without `config.membership`.
+    pub fn join(&self, seeds: &[SocketAddr]) {
+        assert!(
+            self.config.membership.is_some(),
+            "NetNode::join needs membership enabled in NetConfig"
+        );
+        let record = NodeRecord {
+            node: self.node_id,
+            incarnation: self.incarnation,
+            status: NodeStatus::Alive,
+            addr: Some(self.addr),
+        };
+        for seed in seeds {
+            let seed = *seed;
+            let probe_hello = encode_frame(&Frame::Hello {
+                node: self.node_id,
+                version: PROTOCOL_VERSION,
+            });
+            let probe_digest = encode_frame(&Frame::Batch(vec![Item::Gossip {
+                from: self.node_id,
+                to: GOSSIP_ANYCAST,
+                records: vec![record],
+            }]));
+            let node_id = self.node_id;
+            let config = self.config;
+            let events = self.tx.clone();
+            let stats = Arc::clone(&self.stats);
+            let tracker = Arc::clone(&self.tracker);
+            let shutting_down = Arc::clone(&self.shutting_down);
+            let snapshot = Arc::clone(&self.member_snapshot);
+            let _ = std::thread::Builder::new()
+                .name(format!("dgc-net-join-{node_id}"))
+                .spawn(move || {
+                    for _ in 0..40 {
+                        if shutting_down.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let introduced = snapshot
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .as_ref()
+                            .is_some_and(|records| records.len() > 1);
+                        if introduced {
+                            return; // some seed already answered
+                        }
+                        if let Ok(mut stream) =
+                            TcpStream::connect_timeout(&seed, Duration::from_millis(500))
+                        {
+                            let _ = stream.set_nodelay(true);
+                            use std::io::Write;
+                            if stream
+                                .write_all(&probe_hello)
+                                .and_then(|()| stream.write_all(&probe_digest))
+                                .is_ok()
+                            {
+                                stats.on_frame_sent(
+                                    1,
+                                    (probe_hello.len() + probe_digest.len()) as u64,
+                                );
+                                // The seed replies over this same socket
+                                // (its reply writer binds to our hello),
+                                // so read it into the event loop.
+                                spawn_socket_reader(
+                                    node_id,
+                                    stream,
+                                    config,
+                                    events.clone(),
+                                    Arc::clone(&stats),
+                                    false,
+                                    Arc::clone(&tracker),
+                                );
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                });
+        }
+    }
+
+    /// Membership transitions observed so far (join/suspect/dead/...).
+    pub fn membership_events(&self) -> Vec<MembershipEvent> {
+        self.member_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Snapshot of the membership directory; `None` when the layer is
+    /// disabled.
+    pub fn member_records(&self) -> Option<Vec<NodeRecord>> {
+        self.member_snapshot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Blocks until `predicate` holds over the membership directory or
+    /// the deadline passes; returns whether it held.
+    pub fn wait_membership_until(
+        &self,
+        deadline: Duration,
+        predicate: impl Fn(&[NodeRecord]) -> bool,
+    ) -> bool {
+        poll_until(deadline, || {
+            self.member_records().is_some_and(|r| predicate(&r))
+        })
     }
 
     /// Creates an activity on this node (initially busy); returns its id.
@@ -508,6 +682,10 @@ struct Worker {
     outbound: HashMap<u32, OutboundLink>,
     reply: HashMap<u32, mpsc::Sender<Item>>,
     epoch: Instant,
+    membership: Option<Membership>,
+    next_member_tick: Option<Instant>,
+    member_events: Arc<Mutex<Vec<MembershipEvent>>>,
+    member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
     shutting_down: Arc<AtomicBool>,
@@ -530,13 +708,21 @@ impl Worker {
         }
         match item {
             Item::Dgc { .. } => self.route_forward(dest, item),
-            Item::Resp { .. } | Item::SendFailure { .. } => {
-                if let Some(tx) = self.reply.get(&dest) {
-                    if tx.send(item).is_ok() {
-                        return;
+            // Gossip prefers the socket the peer opened toward us (the
+            // join-probe reply *must* ride it: the joiner's listen addr
+            // may not have merged yet), then the forward link.
+            Item::Resp { .. } | Item::SendFailure { .. } | Item::Gossip { .. } => {
+                let item = if let Some(tx) = self.reply.get(&dest) {
+                    match tx.send(item) {
+                        Ok(()) => return,
+                        Err(mpsc::SendError(item)) => {
+                            self.reply.remove(&dest);
+                            item
+                        }
                     }
-                    self.reply.remove(&dest);
-                }
+                } else {
+                    item
+                };
                 // No live inbound socket from that node: fall back to a
                 // forward link if we can reach it at all.
                 self.route_forward(dest, item);
@@ -547,13 +733,30 @@ impl Worker {
     fn route_forward(&mut self, dest: u32, item: Item) {
         if !self.outbound.contains_key(&dest) {
             let Some(addr) = self.peer_addrs.get(&dest).copied() else {
-                // Unknown peer: the reference can never be honoured.
                 if let Item::Dgc { from, to, .. } = item {
-                    let _ = self.loopback.send(Event::Item(Item::SendFailure {
-                        holder: from,
-                        target: to,
-                    }));
-                    self.stats.on_send_failures(1);
+                    // Whether a missing address condemns the edge
+                    // depends on the wiring. Static registration:
+                    // unknown means never — fail the send so the
+                    // referencer drops it. Membership: the address may
+                    // simply not have gossiped in yet, so only a
+                    // dead/left verdict convicts; otherwise drop the
+                    // heartbeat silently — the next TTB regenerates it
+                    // once discovery converges (TTA budgets for far
+                    // more than a gossip round-trip).
+                    let condemned = match &self.membership {
+                        Some(engine) => matches!(
+                            engine.directory().status_of(dest),
+                            Some(s) if !s.is_present()
+                        ),
+                        None => true,
+                    };
+                    if condemned {
+                        let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                            holder: from,
+                            target: to,
+                        }));
+                        self.stats.on_send_failures(1);
+                    }
                 }
                 return;
             };
@@ -605,7 +808,10 @@ impl Worker {
         // a buggy or hostile peer would otherwise mutate an unrelated
         // local activity. Answer misaddressed messages with a send
         // failure (the protocol's self-healing path) and drop the rest.
-        if item.destination_node() != self.node_id {
+        // The one legitimate exception is an *anycast* gossip digest: a
+        // join probe dialed our address before knowing our node id.
+        let anycast_probe = matches!(item, Item::Gossip { to, .. } if to == GOSSIP_ANYCAST);
+        if !anycast_probe && item.destination_node() != self.node_id {
             self.stats.on_decode_error();
             if let Item::Dgc { from, to, .. } = item {
                 self.route(Item::SendFailure {
@@ -642,6 +848,119 @@ impl Worker {
                     ep.state.on_send_failure(target);
                 }
             }
+            Item::Gossip { from, records, .. } => self.handle_gossip(from, records),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Applies one received digest and pushes out whatever the engine
+    /// wants answered (introductions, refutations, verdict replies).
+    fn handle_gossip(&mut self, from: u32, records: Vec<NodeRecord>) {
+        let now = self.now();
+        let outs = match &mut self.membership {
+            Some(engine) => engine.on_digest(now, from, &records),
+            // Static cluster (membership disabled): digests are noise.
+            None => return,
+        };
+        self.flush_gossip(outs);
+    }
+
+    /// Converts engine output into wire items from this node.
+    fn gossip_item(&self, out: dgc_membership::GossipOut) -> Item {
+        Item::Gossip {
+            from: self.node_id,
+            to: out.to,
+            records: out.records,
+        }
+    }
+
+    /// Runs the engine's periodic driver when due (failure detection +
+    /// anti-entropy), at half the gossip interval.
+    fn membership_due(&mut self) {
+        let Some(next) = self.next_member_tick else {
+            return;
+        };
+        if Instant::now() < next {
+            return;
+        }
+        let now = self.now();
+        let (outs, interval) = match (&mut self.membership, self.config.membership) {
+            (Some(engine), Some(m)) => (engine.on_tick(now), m.gossip_interval),
+            _ => return,
+        };
+        let half = Duration::from_nanos((interval.as_nanos() / 2).max(1_000_000));
+        self.next_member_tick = Some(Instant::now() + half);
+        self.flush_gossip(outs);
+    }
+
+    /// Routes outgoing digests and applies the engine's side effects:
+    /// learned addresses (re)wire peer links, dead verdicts feed every
+    /// hosted collector's send-failure path, and the handle-visible
+    /// snapshot/event log are refreshed.
+    fn flush_gossip(&mut self, outs: Vec<dgc_membership::GossipOut>) {
+        // Address learning first: an out-digest may target a peer whose
+        // (new) address only this merge round discovered.
+        self.sync_member_addrs();
+        for out in outs {
+            let item = self.gossip_item(out);
+            self.route(item);
+        }
+        self.drain_member_events();
+    }
+
+    /// Learns peers' listen addresses from the directory. An address
+    /// change — a rejoined node listens on a fresh port — invalidates
+    /// the old outbound link so the next send dials the new address.
+    fn sync_member_addrs(&mut self) {
+        let Some(engine) = &self.membership else {
+            return;
+        };
+        let mut changed: Vec<(u32, SocketAddr)> = Vec::new();
+        for rec in engine.directory().iter() {
+            if rec.node == self.node_id {
+                continue;
+            }
+            let Some(addr) = rec.addr else { continue };
+            if self.peer_addrs.get(&rec.node) != Some(&addr) {
+                changed.push((rec.node, addr));
+            }
+        }
+        for (node, addr) in changed {
+            self.peer_addrs.insert(node, addr);
+            self.outbound.remove(&node);
+        }
+    }
+
+    fn drain_member_events(&mut self) {
+        let (events, snapshot) = match &mut self.membership {
+            Some(engine) => (engine.poll_events(), engine.records()),
+            None => return,
+        };
+        for ev in &events {
+            if ev.transition == Transition::Dead {
+                // The dead verdict is the terminal send failure, in
+                // bulk: every hosted collector treats the node's
+                // activities as departed, and its links are torn down
+                // (a rejoin re-announces a fresh address).
+                for ep in self.endpoints.values_mut() {
+                    ep.state.on_node_dead(ev.node);
+                }
+                self.outbound.remove(&ev.node);
+                self.reply.remove(&ev.node);
+            }
+        }
+        *self
+            .member_snapshot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(snapshot);
+        if !events.is_empty() {
+            self.member_events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(events);
         }
     }
 
@@ -665,6 +984,26 @@ impl Worker {
             Event::Item(item) => self.handle_item(item),
             Event::PeerLink { node, tx } => {
                 self.reply.insert(node, tx);
+            }
+            Event::PeerUnreachable { node } => {
+                // Stop feeding the dead link; membership (or a fresh
+                // address announcement) decides if it ever comes back.
+                self.outbound.remove(&node);
+                let now = self.now();
+                match &mut self.membership {
+                    Some(engine) => {
+                        engine.on_peer_unreachable(now, node);
+                        self.drain_member_events();
+                    }
+                    None => {
+                        // No membership layer to adjudicate: the
+                        // transport's verdict is terminal, not an
+                        // endless retry.
+                        for ep in self.endpoints.values_mut() {
+                            ep.state.on_node_dead(node);
+                        }
+                    }
+                }
             }
             Event::AddPeer { node, addr } => {
                 self.peer_addrs.insert(node, addr);
@@ -729,13 +1068,16 @@ impl Worker {
 
     fn run(mut self) {
         loop {
-            let next_tick = self
+            let mut next_wake = self
                 .endpoints
                 .values()
                 .map(|e| e.next_tick)
                 .min()
                 .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
-            let timeout = next_tick.saturating_duration_since(Instant::now());
+            if let Some(t) = self.next_member_tick {
+                next_wake = next_wake.min(t);
+            }
+            let timeout = next_wake.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(timeout) {
                 Ok(event) => {
                     if !self.handle(event) {
@@ -746,6 +1088,7 @@ impl Worker {
                 Err(RecvTimeoutError::Disconnected) => return,
             }
             self.tick_due();
+            self.membership_due();
         }
     }
 }

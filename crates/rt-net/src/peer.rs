@@ -178,6 +178,7 @@ impl OutboundLink {
         let (tx, rx) = mpsc::channel();
         let worker = Writer {
             local_node,
+            peer_node,
             peer_addr,
             config,
             stats: Arc::clone(&stats),
@@ -187,6 +188,7 @@ impl OutboundLink {
             conn: None,
             failed_attempts: 0,
             ever_connected: false,
+            terminal: false,
         };
         let handle = std::thread::Builder::new()
             .name(format!("dgc-net-{local_node}-to-{peer_node}"))
@@ -218,6 +220,7 @@ impl Drop for OutboundLink {
 
 struct Writer {
     local_node: u32,
+    peer_node: u32,
     peer_addr: SocketAddr,
     config: NetConfig,
     stats: Arc<NetStats>,
@@ -227,6 +230,9 @@ struct Writer {
     conn: Option<TcpStream>,
     failed_attempts: u32,
     ever_connected: bool,
+    /// Set once `fail_after_attempts` consecutive failures convicted
+    /// the peer: the writer exits instead of retrying forever.
+    terminal: bool,
 }
 
 impl Writer {
@@ -237,9 +243,10 @@ impl Writer {
             }
             self.pump.gather();
             if self.conn.is_none() && !self.connect() {
-                if self.pump.closed {
-                    // Shutting down and the peer is unreachable: the
-                    // pending heartbeats die with the node.
+                if self.terminal || self.pump.closed {
+                    // Convicted as unreachable (or shutting down): the
+                    // pending heartbeats were already surfaced as send
+                    // failures; the writer's job is over.
                     return;
                 }
                 continue;
@@ -258,7 +265,7 @@ impl Writer {
                     self.penalty();
                 }
             }
-            if self.pump.closed && self.pump.pending.is_empty() {
+            if self.terminal || (self.pump.closed && self.pump.pending.is_empty()) {
                 return;
             }
         }
@@ -311,13 +318,24 @@ impl Writer {
         }
     }
 
-    /// One failed connect or write: count it, surface queued messages
-    /// as send failures once the peer looks gone, back off (without
-    /// blocking shutdown or the queue).
+    /// One failed connect or write: count it, back off (without
+    /// blocking shutdown or the queue) — and at `fail_after_attempts`
+    /// consecutive failures, go **terminal**: everything queued is
+    /// surfaced as send failures, the node is told the peer is
+    /// unreachable (`Event::PeerUnreachable` — membership's transport
+    /// hook, or the direct `on_node_dead` verdict without membership),
+    /// and the writer exits instead of retrying forever. The node
+    /// re-establishes a link lazily if the peer's address is ever
+    /// (re)announced.
     fn penalty(&mut self) {
         self.failed_attempts = self.failed_attempts.saturating_add(1);
         if self.failed_attempts >= self.config.fail_after_attempts {
             self.surface_send_failures();
+            let _ = self.loopback.send(Event::PeerUnreachable {
+                node: self.peer_node,
+            });
+            self.terminal = true;
+            return;
         }
         let backoff = self
             .config

@@ -50,15 +50,38 @@ fn arb_response() -> impl Strategy<Value = DgcResponse> {
         )
 }
 
+fn arb_record() -> impl Strategy<Value = dgc_membership::NodeRecord> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        0u8..4,
+        proptest::option::of(any::<u16>()),
+    )
+        .prop_map(
+            |(node, incarnation, status, port)| dgc_membership::NodeRecord {
+                node,
+                incarnation,
+                status: match status {
+                    0 => dgc_membership::NodeStatus::Alive,
+                    1 => dgc_membership::NodeStatus::Suspect,
+                    2 => dgc_membership::NodeStatus::Left,
+                    _ => dgc_membership::NodeStatus::Dead,
+                },
+                addr: port.map(|p| std::net::SocketAddr::from(([127, 0, 0, 1], p))),
+            },
+        )
+}
+
 fn arb_item() -> impl Strategy<Value = Item> {
     (
-        0u8..3,
+        0u8..4,
         arb_aoid(),
         arb_aoid(),
         arb_message(),
         arb_response(),
+        proptest::collection::vec(arb_record(), 0..5),
     )
-        .prop_map(|(kind, x, y, message, response)| match kind {
+        .prop_map(|(kind, x, y, message, response, records)| match kind {
             0 => Item::Dgc {
                 from: x,
                 to: y,
@@ -69,9 +92,14 @@ fn arb_item() -> impl Strategy<Value = Item> {
                 to: y,
                 response,
             },
-            _ => Item::SendFailure {
+            2 => Item::SendFailure {
                 holder: x,
                 target: y,
+            },
+            _ => Item::Gossip {
+                from: x.node,
+                to: y.node,
+                records,
             },
         })
 }
@@ -169,7 +197,7 @@ proptest! {
         let batched = encode_frame(&Frame::Batch(items.clone())).len();
         let singles: usize = items
             .iter()
-            .map(|i| encode_frame(&Frame::Batch(vec![*i])).len())
+            .map(|i| encode_frame(&Frame::Batch(vec![i.clone()])).len())
             .sum();
         let expected_saving =
             (items.len() - 1) * dgc_rt_net::frame::FRAME_OVERHEAD as usize;

@@ -1,0 +1,169 @@
+//! Membership over real sockets: seed bootstrap, failure detection,
+//! crash-rejoin incarnations, and the rejoined node's participation in
+//! the DGC — the acceptance path of the seed-node gossip directory.
+
+use std::time::Duration;
+
+use dgc_core::config::DgcConfig;
+use dgc_core::units::Dur;
+use dgc_membership::{MembershipConfig, NodeStatus, Transition};
+use dgc_rt_net::{Cluster, NetConfig};
+
+fn cfg() -> NetConfig {
+    NetConfig::new(
+        DgcConfig::builder()
+            .ttb(Dur::from_millis(25))
+            .tta(Dur::from_millis(80))
+            .max_comm(Dur::from_millis(20))
+            .build(),
+    )
+    .membership(MembershipConfig {
+        gossip_interval: Dur::from_millis(50),
+        suspect_after: Dur::from_millis(250),
+        dead_after: Dur::from_millis(750),
+    })
+}
+
+/// All `n` nodes alive in `records`.
+fn full_alive(records: &[dgc_membership::NodeRecord], n: u32) -> bool {
+    records.len() == n as usize && records.iter().all(|r| r.status == NodeStatus::Alive)
+}
+
+#[test]
+fn three_nodes_converge_from_one_seed_address() {
+    // Nodes 1 and 2 are handed ONLY node 0's address. Node 2 must still
+    // learn node 1 exists — and where it listens — through gossip.
+    let cluster = Cluster::join_local(3, cfg()).expect("bind cluster");
+    for node in 0..3 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 3)),
+            "node {node} never converged: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    // The discovered address is the real one, not hearsay.
+    let records = cluster.member_records(2).expect("up");
+    let of_1 = records.iter().find(|r| r.node == 1).expect("learned 1");
+    assert_eq!(of_1.addr, Some(cluster.addr(1)));
+    assert_eq!(of_1.incarnation, 1, "first lives run as incarnation 1");
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_is_buried_and_a_higher_incarnation_rejoin_recovers() {
+    let cluster = Cluster::join_local(3, cfg()).expect("bind cluster");
+    for node in 0..3 {
+        assert!(cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 3)));
+    }
+    cluster.crash_node(2);
+    assert!(cluster.is_down(2));
+    for node in 0..2 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(10), |r| {
+                r.iter()
+                    .any(|x| x.node == 2 && x.status == NodeStatus::Dead)
+            }),
+            "node {node} never buried node 2: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    // Restart under incarnation 2 — a fresh port, rejoined through the
+    // seed; its record must supersede the corpse everywhere.
+    cluster.restart_node(2, 2).expect("restart");
+    for node in 0..3 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(10), |r| {
+                r.iter()
+                    .any(|x| x.node == 2 && x.status == NodeStatus::Alive && x.incarnation == 2)
+                    && full_alive(r, 3)
+            }),
+            "node {node} never saw the rejoin: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    // The survivor observed the full lifecycle as an event stream.
+    let events = cluster.membership_events(0);
+    let about_2: Vec<Transition> = events
+        .iter()
+        .filter(|e| e.node == 2)
+        .map(|e| e.transition)
+        .collect();
+    assert!(
+        about_2.contains(&Transition::Dead) && about_2.ends_with(&[Transition::Alive]),
+        "node 0 lifecycle view of node 2: {about_2:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn rejoined_node_runs_the_full_collection_cycle() {
+    // The end-to-end acceptance: after a crash + rejoin (new
+    // incarnation, new port, gossiped address), a cross-node garbage
+    // cycle through the REJOINED node must still be collected — the
+    // TTB/TTA machinery resumes over links dialed from gossip, in both
+    // directions.
+    let cluster = Cluster::join_local(3, cfg()).expect("bind cluster");
+    for node in 0..3 {
+        assert!(cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 3)));
+    }
+    cluster.crash_node(2);
+    assert!(
+        cluster.wait_membership_until(0, Duration::from_secs(10), |r| {
+            r.iter()
+                .any(|x| x.node == 2 && x.status == NodeStatus::Dead)
+        })
+    );
+    cluster.restart_node(2, 2).expect("restart");
+    for node in 0..3 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(15), |r| full_alive(r, 3)),
+            "node {node} never reconverged: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    let a = cluster.add_activity(0);
+    let c = cluster.add_activity(2);
+    cluster.add_ref(a, c);
+    cluster.add_ref(c, a);
+    cluster.set_idle(a, true);
+    cluster.set_idle(c, true);
+    assert!(
+        cluster.wait_until(Duration::from_secs(20), |t| {
+            t.iter().any(|x| x.ao == a) && t.iter().any(|x| x.ao == c)
+        }),
+        "cycle through the rejoined node must fall: {:?}",
+        cluster.terminated()
+    );
+    assert!(
+        cluster.terminated().iter().any(|t| t.reason.is_cyclic()),
+        "it is a cycle: consensus must have fired"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_without_membership_goes_terminal_not_retry_forever() {
+    // Satellite regression: with membership disabled, a permanently
+    // unreachable peer must surface a *terminal* verdict (send failures
+    // + on_node_dead) after fail_after_attempts — the link thread exits
+    // instead of spinning on backoff.
+    let config = NetConfig {
+        fail_after_attempts: 3,
+        membership: None,
+        ..cfg()
+    };
+    let cluster = Cluster::listen_local(2, config).expect("bind cluster");
+    let holder = cluster.add_activity(0);
+    let target = cluster.add_activity(1);
+    cluster.add_ref(holder, target);
+    cluster.crash_node(1);
+    // The holder stays busy (never collectable) but must shed the edge:
+    // queued heartbeats surface as send failures once the link goes
+    // terminal.
+    assert!(
+        cluster.wait_stats_until(Duration::from_secs(15), |s| s[0].send_failures > 0),
+        "terminal link must surface send failures: {:?}",
+        cluster.stats()
+    );
+    cluster.shutdown();
+}

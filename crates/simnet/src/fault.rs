@@ -1,12 +1,24 @@
-//! Fault injection: link delays and process pauses.
+//! Fault injection: link delays, loss, partitions and process pauses.
 //!
 //! The paper's DGC is *hard real-time* (§4.2): if a DGC message is delayed
 //! beyond the `TTA > 2·TTB + MaxComm` bound — by TCP timeouts or local GC
 //! pauses — a live activity can be wrongfully collected. This module
 //! injects exactly those hazards so tests can demonstrate both the failure
 //! mode and the safety of correctly chosen parameters.
+//!
+//! A [`FaultPlan`] is now a thin [`SimTime`]-typed veneer over the
+//! runtime-neutral [`dgc_core::faults::FaultProfile`]: the builder
+//! methods below convert their `SimTime` windows into profile time
+//! (both are nanoseconds since scenario start, so conversions cannot
+//! shift boundaries) and every query — window/filter matching, the
+//! seeded drop Bernoulli, pause covering-unions — delegates to the one
+//! implementation in `dgc-core` that the chaos proxy also evaluates.
+//! The plan used to carry private copies of that logic; embedding the
+//! profile deleted them, and `from_profile_realizes_every_fifo_primitive`
+//! pins that the realization still matches the profile's own answers.
 
-use dgc_core::faults::{FaultKind, FaultProfile};
+use dgc_core::faults::{FaultProfile, NodeCrash, Window};
+use dgc_core::units::{Dur, Time};
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::ProcId;
@@ -24,15 +36,6 @@ pub struct LinkFault {
     pub end: SimTime,
     /// Additional one-way delay applied to matching messages.
     pub extra_delay: SimDuration,
-}
-
-impl LinkFault {
-    fn matches(&self, now: SimTime, from: ProcId, to: ProcId) -> bool {
-        now >= self.start
-            && now < self.end
-            && self.from.is_none_or(|f| f == from)
-            && self.to.is_none_or(|t| t == to)
-    }
 }
 
 /// A "stop-the-world" pause of one process (models a long local-GC pause,
@@ -64,21 +67,12 @@ pub struct LinkPartition {
     pub end: SimTime,
 }
 
-impl LinkPartition {
-    fn matches(&self, now: SimTime, from: ProcId, to: ProcId) -> bool {
-        now >= self.start
-            && now < self.end
-            && self.from.is_none_or(|f| f == from)
-            && self.to.is_none_or(|t| t == to)
-    }
-}
-
 /// Probabilistic message loss on a link during a window. Decisions are
-/// seeded and deterministic (see [`FaultPlan::should_drop`]), drawn
-/// from the same generator as the chaos proxy's frame drops
-/// ([`dgc_core::faults::decision`]) — though the two realizations
-/// number their streams differently (per-message here, per-frame
-/// there), so a shared profile reproduces *rates*, not loss patterns.
+/// seeded and deterministic, drawn from the same generator as the chaos
+/// proxy's frame drops ([`dgc_core::faults::decision`]) — though the
+/// two realizations number their streams differently (per-message here,
+/// per-frame there), so a shared profile reproduces *rates*, not loss
+/// patterns.
 #[derive(Debug, Clone)]
 pub struct LinkDrop {
     /// Source process filter; `None` matches any source.
@@ -93,14 +87,22 @@ pub struct LinkDrop {
     pub permille: u16,
 }
 
-/// A schedule of link faults and process pauses.
+fn window(start: SimTime, end: SimTime) -> Window {
+    Window {
+        start: Time::from_nanos(start.as_nanos()),
+        end: Time::from_nanos(end.as_nanos()),
+    }
+}
+
+fn endpoint(p: Option<ProcId>) -> Option<u32> {
+    p.map(|p| p.0)
+}
+
+/// A schedule of link faults and process pauses: the simulator's
+/// realization of a [`FaultProfile`].
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    link_faults: Vec<LinkFault>,
-    pauses: Vec<ProcessPause>,
-    partitions: Vec<LinkPartition>,
-    drops: Vec<LinkDrop>,
-    seed: u64,
+    profile: FaultProfile,
 }
 
 impl FaultPlan {
@@ -111,134 +113,106 @@ impl FaultPlan {
 
     /// A plan with the given link faults.
     pub fn with_faults(link_faults: Vec<LinkFault>) -> Self {
-        FaultPlan {
-            link_faults,
-            ..FaultPlan::default()
+        let mut plan = FaultPlan::none();
+        for f in link_faults {
+            plan.add_link_fault(f);
         }
+        plan
     }
 
     /// Realizes a runtime-neutral [`FaultProfile`] as a simulator fault
     /// plan. Profile times are nanoseconds since scenario start, which
     /// is exactly [`SimTime`]'s epoch; node ids map to [`ProcId`]s.
-    /// [`FaultKind::Reorder`] has no FIFO realization and is skipped —
-    /// the simulator models the paper's in-order transport (§3.2).
+    /// [`dgc_core::faults::FaultKind::Reorder`] has no FIFO realization
+    /// and is ignored by every query — the simulator models the paper's
+    /// in-order transport (§3.2).
     pub fn from_profile(profile: &FaultProfile) -> Self {
-        let mut plan = FaultPlan {
-            seed: profile.seed(),
-            ..FaultPlan::default()
-        };
-        let endpoint = |n: Option<u32>| n.map(ProcId);
-        for l in profile.link_disruptions() {
-            let (start, end) = (
-                SimTime::from_nanos(l.window.start.as_nanos()),
-                SimTime::from_nanos(l.window.end.as_nanos()),
-            );
-            match l.kind {
-                FaultKind::Delay(extra) => plan.add_link_fault(LinkFault {
-                    from: endpoint(l.from),
-                    to: endpoint(l.to),
-                    start,
-                    end,
-                    extra_delay: SimDuration::from_nanos(extra.as_nanos()),
-                }),
-                FaultKind::Partition => plan.add_partition(LinkPartition {
-                    from: endpoint(l.from),
-                    to: endpoint(l.to),
-                    start,
-                    end,
-                }),
-                FaultKind::Drop { permille } => plan.add_drop(LinkDrop {
-                    from: endpoint(l.from),
-                    to: endpoint(l.to),
-                    start,
-                    end,
-                    permille,
-                }),
-                FaultKind::Reorder { .. } => {}
-            }
+        FaultPlan {
+            profile: profile.clone(),
         }
-        for p in profile.node_pauses() {
-            plan.add_pause(ProcessPause {
-                proc: ProcId(p.node),
-                start: SimTime::from_nanos(p.window.start.as_nanos()),
-                end: SimTime::from_nanos(p.window.end.as_nanos()),
-            });
-        }
-        plan
     }
 
     /// Adds a link fault.
     pub fn add_link_fault(&mut self, fault: LinkFault) {
-        self.link_faults.push(fault);
+        self.profile = std::mem::take(&mut self.profile).delay(
+            endpoint(fault.from),
+            endpoint(fault.to),
+            window(fault.start, fault.end),
+            Dur::from_nanos(fault.extra_delay.as_nanos()),
+        );
     }
 
     /// Adds a process pause.
     pub fn add_pause(&mut self, pause: ProcessPause) {
-        self.pauses.push(pause);
+        self.profile =
+            std::mem::take(&mut self.profile).pause(pause.proc.0, window(pause.start, pause.end));
     }
 
     /// Adds a link partition.
     pub fn add_partition(&mut self, partition: LinkPartition) {
-        self.partitions.push(partition);
+        self.profile = std::mem::take(&mut self.profile).partition(
+            endpoint(partition.from),
+            endpoint(partition.to),
+            window(partition.start, partition.end),
+        );
     }
 
     /// Adds a probabilistic-loss window.
     pub fn add_drop(&mut self, drop: LinkDrop) {
-        self.drops.push(drop);
+        self.profile = std::mem::take(&mut self.profile).drop_frames(
+            endpoint(drop.from),
+            endpoint(drop.to),
+            window(drop.start, drop.end),
+            drop.permille,
+        );
     }
 
     /// Sets the seed loss decisions derive from.
     pub fn set_seed(&mut self, seed: u64) {
-        self.seed = seed;
+        self.profile = std::mem::take(&mut self.profile).seeded(seed);
+    }
+
+    /// The embedded runtime-neutral profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Node crash-restarts carried by the profile (realized by the grid
+    /// runtime, not by delivery arithmetic).
+    pub fn crashes(&self) -> &[NodeCrash] {
+        self.profile.node_crashes()
     }
 
     /// Total extra delay for a message sent at `now` over `(from, to)`.
     /// Overlapping faults accumulate; an active partition defers the
     /// message to its heal time (`end - now` extra).
     pub fn extra_delay(&self, now: SimTime, from: ProcId, to: ProcId) -> SimDuration {
-        let mut d = SimDuration::ZERO;
-        for f in &self.link_faults {
-            if f.matches(now, from, to) {
-                d = d.saturating_add(f.extra_delay);
-            }
-        }
-        for p in &self.partitions {
-            if p.matches(now, from, to) {
-                d = d.saturating_add(p.end.saturating_since(now));
-            }
-        }
-        d
+        SimDuration::from_nanos(
+            self.profile
+                .extra_delay(Time::from_nanos(now.as_nanos()), from.0, to.0)
+                .as_nanos(),
+        )
     }
 
     /// Seeded loss decision for the `seq`-th metered message over
-    /// `(from, to)` at `now`. Deterministic in `(seed, drop index,
-    /// from, to, seq)` via [`dgc_core::faults::decision`], the same
-    /// generator the chaos proxy draws from.
+    /// `(from, to)` at `now`. Deterministic in `(seed, disruption
+    /// index, from, to, seq)` via [`dgc_core::faults::decision`], the
+    /// same generator the chaos proxy draws from.
     pub fn should_drop(&self, now: SimTime, from: ProcId, to: ProcId, seq: u64) -> bool {
-        self.drops.iter().enumerate().any(|(i, dr)| {
-            now >= dr.start
-                && now < dr.end
-                && dr.from.is_none_or(|f| f == from)
-                && dr.to.is_none_or(|t| t == to)
-                && dgc_core::faults::decision(self.seed, i as u64, from.0, to.0, seq, dr.permille)
-        })
+        self.profile
+            .should_drop(Time::from_nanos(now.as_nanos()), from.0, to.0, seq)
     }
 
     /// If `proc` is paused at `now`, returns the time the pause ends.
     pub fn pause_end(&self, now: SimTime, proc: ProcId) -> Option<SimTime> {
-        self.pauses
-            .iter()
-            .filter(|p| p.proc == proc && now >= p.start && now < p.end)
-            .map(|p| p.end)
-            .max()
+        self.profile
+            .pause_end(Time::from_nanos(now.as_nanos()), proc.0)
+            .map(|t| SimTime::from_nanos(t.as_nanos()))
     }
 
     /// True if the plan contains no faults.
     pub fn is_empty(&self) -> bool {
-        self.link_faults.is_empty()
-            && self.pauses.is_empty()
-            && self.partitions.is_empty()
-            && self.drops.is_empty()
+        self.profile.is_empty()
     }
 }
 
@@ -247,7 +221,6 @@ impl From<&FaultProfile> for FaultPlan {
         FaultPlan::from_profile(profile)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ fn main() {
         .build();
     let cluster = Cluster::listen_local(3, NetConfig::new(dgc)).expect("bind 3 nodes");
     for node in 0..3 {
-        println!("node {node} listening on {}", cluster.node(node).addr());
+        println!("node {node} listening on {}", cluster.addr(node));
     }
 
     // A root on node 0 keeps one activity on node 1 alive.

@@ -10,6 +10,10 @@
 //!   simulation driver and the ground-truth liveness oracle;
 //! * [`dgc`] — the paper's contribution: the complete (acyclic + cyclic)
 //!   distributed garbage collector as a sans-io protocol core;
+//! * [`membership`] — seed-node gossip directory: node records with
+//!   incarnation numbers, anti-entropy join/leave/suspect/dead
+//!   transitions, and the membership-event stream both runtimes feed
+//!   into the collector's send-failure path;
 //! * [`rmi`] — the lease-based reference-listing baseline (Java RMI
 //!   style, acyclic only);
 //! * [`workloads`] — NAS CG/EP/FT kernels, the torture test and the
@@ -29,6 +33,7 @@
 pub use dgc_activeobj as activeobj;
 pub use dgc_conformance as conformance;
 pub use dgc_core as dgc;
+pub use dgc_membership as membership;
 pub use dgc_rmi as rmi;
 pub use dgc_rt_net as rt_net;
 pub use dgc_rt_thread as rt_thread;
