@@ -20,13 +20,14 @@ use dgc_simnet::topology::{ProcId, Topology};
 use dgc_simnet::trace::{TraceLevel, TraceLog};
 use dgc_simnet::traffic::{TrafficClass, TrafficMeter};
 
+use dgc_core::egress::{EgressClass, Flush, FlushPolicy, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use dgc_core::stats::DgcStats;
 use dgc_core::wire as dgc_wire;
 use dgc_membership::wire as membership_wire;
 use dgc_membership::{
-    GossipOut, Membership, MembershipConfig, MembershipEvent, NodeRecord, Transition,
+    Digest, GossipOut, Membership, MembershipConfig, MembershipEvent, NodeRecord, Transition,
 };
 use dgc_rmi::endpoint::{RmiAction, RmiMessage};
 use dgc_rmi::wire as rmi_wire;
@@ -75,6 +76,16 @@ pub struct GridConfig {
     /// The processes every engine is seeded with (assumed-alive
     /// contacts); the usual deployment knows only process 0.
     pub membership_seeds: Vec<ProcId>,
+    /// The egress plane's flush policy: when a process's queued
+    /// cross-process units (DGC heartbeats, gossip digests, app
+    /// requests/replies) become one metered frame sharing a single
+    /// call envelope. The default is [`FlushPolicy::immediate`] — every
+    /// unit its own frame, the paper's baseline accounting — so
+    /// existing experiments are byte-identical; switch to
+    /// [`FlushPolicy::default`] (or a custom policy) to measure the
+    /// piggyback saving. `flush_on_app` must stay on: the application's
+    /// synchronous rendezvous (§2) cannot wait out a linger.
+    pub egress: FlushPolicy,
 }
 
 impl GridConfig {
@@ -94,12 +105,19 @@ impl GridConfig {
             fault_plan: FaultPlan::none(),
             membership: None,
             membership_seeds: vec![ProcId(0)],
+            egress: FlushPolicy::immediate(),
         }
     }
 
     /// Enables the membership layer with `config` timings.
     pub fn membership(mut self, config: MembershipConfig) -> Self {
         self.membership = Some(config);
+        self
+    }
+
+    /// Sets the egress flush policy (see [`GridConfig::egress`]).
+    pub fn egress(mut self, policy: FlushPolicy) -> Self {
+        self.egress = policy;
         self
     }
 
@@ -225,7 +243,13 @@ enum Event {
     Gossip {
         from: ProcId,
         to: ProcId,
-        records: Vec<NodeRecord>,
+        digest: Digest,
+    },
+    /// `proc`'s egress outbox reached a max-delay deadline: flush the
+    /// due destinations. (A paused process defers this like all its
+    /// work — a stalled node sends nothing, faithfully.)
+    EgressFlush {
+        proc: ProcId,
     },
     /// `proc` crashes: every hosted activity dies, its membership
     /// engine stops. Scheduled from the fault plan's `NodeCrash`es.
@@ -246,6 +270,49 @@ enum HandlerKind {
     Request(Request),
     Reply(FutureId, Reply),
     Timer(u64),
+}
+
+/// One cross-process unit queued on a process's egress outbox. The
+/// outbox coalesces these into frames; [`Grid::realize_flush`] turns a
+/// flush back into scheduled delivery events (or per-unit loss
+/// handling when the frame crosses a drop window).
+enum OutUnit {
+    Request {
+        to: AoId,
+        request: Request,
+    },
+    Reply {
+        to: AoId,
+        reply: Reply,
+    },
+    Dgc {
+        from: AoId,
+        to: AoId,
+        message: DgcMessage,
+    },
+    Resp {
+        from: AoId,
+        to: AoId,
+        response: DgcResponse,
+    },
+    Gossip {
+        to: ProcId,
+        digest: Digest,
+    },
+}
+
+/// The meter class an egress class is charged under.
+fn traffic_class(class: EgressClass) -> TrafficClass {
+    match class {
+        EgressClass::AppRequest => TrafficClass::AppRequest,
+        EgressClass::AppReply => TrafficClass::AppReply,
+        EgressClass::DgcMessage => TrafficClass::DgcMessage,
+        EgressClass::DgcResponse => TrafficClass::DgcResponse,
+        EgressClass::Gossip => TrafficClass::Gossip,
+        // The grid never queues bare control units today; metered like
+        // DGC traffic if it ever does.
+        EgressClass::Control => TrafficClass::DgcMessage,
+    }
 }
 
 /// The grid: processes, activities, network, collector, oracle.
@@ -273,11 +340,25 @@ pub struct Grid {
     members: Vec<Option<Membership>>,
     /// Every membership transition each process observed, in order.
     member_events: Vec<Vec<MembershipEvent>>,
+    /// Per-process egress outboxes (cross-process units only).
+    outboxes: Vec<Outbox<OutUnit>>,
+    /// The earliest scheduled [`Event::EgressFlush`] per process, to
+    /// avoid flooding the queue with duplicate wake-ups.
+    egress_wake: Vec<Option<SimTime>>,
 }
 
 impl Grid {
     /// Builds a grid from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.egress.flush_on_app` is off: the application's
+    /// synchronous rendezvous cannot wait out an egress linger.
     pub fn new(config: GridConfig) -> Self {
+        assert!(
+            config.egress.flush_on_app,
+            "GridConfig::egress must keep flush_on_app enabled"
+        );
         let procs_n = config.topology.procs();
         let mut rng = SimRng::from_seed(config.seed);
         let mut net = Network::new(config.topology.clone());
@@ -319,6 +400,7 @@ impl Grid {
             }
         }
         let trace = TraceLog::new(config.trace_level);
+        let egress = config.egress;
         Grid {
             spawn_alloc: SpawnAlloc::new(procs_n),
             procs: (0..procs_n).map(|_| BTreeMap::new()).collect(),
@@ -340,6 +422,8 @@ impl Grid {
             dgc_stats_collected: DgcStats::default(),
             members,
             member_events: (0..procs_n).map(|_| Vec::new()).collect(),
+            outboxes: (0..procs_n).map(|_| Outbox::new(egress)).collect(),
+            egress_wake: vec![None; procs_n as usize],
         }
     }
 
@@ -500,7 +584,8 @@ impl Grid {
             Event::LocalGc { proc } => self.handle_local_gc(proc),
             Event::AppTimer { ao, token } => self.handle_app_timer(ao, token),
             Event::MembershipTick { proc } => self.handle_membership_tick(proc),
-            Event::Gossip { from, to, records } => self.handle_gossip(from, to, records),
+            Event::Gossip { from, to, digest } => self.handle_gossip(from, to, digest),
+            Event::EgressFlush { proc } => self.handle_egress_flush(proc),
             Event::NodeCrash { proc } => self.handle_crash(proc),
             Event::NodeRejoin { proc, incarnation } => self.handle_rejoin(proc, incarnation),
             Event::Sample => {
@@ -854,80 +939,212 @@ impl Grid {
             refs,
             future,
         };
-        let size = request.wire_size() + self.envelope(sender, to);
-        let Delivery::At(at) = self.net.route(
-            self.now,
+        if sender.node == to.node {
+            // Intra-process: free, instant, never lost.
+            self.schedule_unit(
+                self.now,
+                ProcId(sender.node),
+                OutUnit::Request { to, request },
+            );
+            return;
+        }
+        let size = request.wire_size();
+        self.enqueue_unit(
             ProcId(sender.node),
             ProcId(to.node),
-            TrafficClass::AppRequest,
+            EgressClass::AppRequest,
             size,
-        ) else {
-            // Lost to a fault-plan drop window: the call never arrives
-            // and no future will ever resolve. The rendezvous phase is
-            // synchronous (§2), so the caller observes the failed send
-            // rather than waiting forever on a future that cannot be
-            // updated — clear the wait registered by `apply_effects`.
-            // (The oracle must not see the call as in flight either.)
-            if let Some(fut) = request.future {
-                if let Some(act) = get_act(&mut self.procs, sender) {
-                    act.waiting.remove(&fut.seq);
-                }
-            }
-            return;
-        };
-        let key = self.next_inflight_key;
-        self.next_inflight_key += 1;
-        self.inflight_app.insert(
-            key,
-            InflightMessage {
-                to,
-                is_request: true,
-                refs: request.refs.clone(),
-            },
+            OutUnit::Request { to, request },
         );
-        self.events
-            .schedule(at, Event::Request { key, to, request });
     }
 
     fn dispatch_reply(&mut self, sender: AoId, reply: Reply) {
         let to = reply.future.caller;
-        let size = reply.wire_size() + self.envelope(sender, to);
-        let Delivery::At(at) = self.net.route(
-            self.now,
+        if sender.node == to.node {
+            self.schedule_unit(self.now, ProcId(sender.node), OutUnit::Reply { to, reply });
+            return;
+        }
+        let size = reply.wire_size();
+        self.enqueue_unit(
             ProcId(sender.node),
             ProcId(to.node),
-            TrafficClass::AppReply,
+            EgressClass::AppReply,
             size,
-        ) else {
-            // Lost future update. §4.1 tolerates these for a collected
-            // caller; a *live* caller must not wait forever on an
-            // update that can no longer arrive — release its wait,
-            // mirroring the request-drop path above. (Its on_reply
-            // handler never runs, exactly as on a dropped request.)
-            if let Some(act) = get_act(&mut self.procs, to) {
-                act.waiting.remove(&reply.future.seq);
-            }
-            self.refresh_idle(to);
-            return;
-        };
-        let key = self.next_inflight_key;
-        self.next_inflight_key += 1;
-        self.inflight_app.insert(
-            key,
-            InflightMessage {
-                to,
-                is_request: false,
-                refs: reply.refs.clone(),
-            },
+            OutUnit::Reply { to, reply },
         );
-        self.events.schedule(at, Event::ReplyMsg { key, to, reply });
     }
 
+    /// Per-call envelope for traffic that does not ride the egress
+    /// plane (the RMI lease baseline keeps its one-invocation-per-unit
+    /// accounting — it *is* the thing the egress plane is measured
+    /// against).
     fn envelope(&self, from: AoId, to: AoId) -> u64 {
         if from.node == to.node {
             0
         } else {
             self.config.call_envelope
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Egress plane
+    // ------------------------------------------------------------------
+
+    /// Queues one **cross-process** unit on `from`'s egress outbox and
+    /// realizes whatever the flush policy emits right now (always the
+    /// unit itself under the default immediate policy; under a
+    /// coalescing policy, background units linger for company and
+    /// flush with the next app send or at `max_delay`). Same-process
+    /// traffic never comes here — it is free, instant and unmetered.
+    fn enqueue_unit(
+        &mut self,
+        from: ProcId,
+        dest: ProcId,
+        class: EgressClass,
+        size: u64,
+        unit: OutUnit,
+    ) {
+        debug_assert_ne!(from, dest, "same-process traffic bypasses egress");
+        let now = crate::collector::proto_time(self.now);
+        match self.outboxes[from.0 as usize].enqueue(now, dest.0, class, size, unit) {
+            Some(flush) => self.realize_flush(from, flush),
+            None => self.schedule_egress_wake(from),
+        }
+    }
+
+    /// Schedules the [`Event::EgressFlush`] wake-up for `proc`'s next
+    /// outbox deadline, unless an earlier one is already queued.
+    fn schedule_egress_wake(&mut self, proc: ProcId) {
+        let Some(deadline) = self.outboxes[proc.0 as usize].next_deadline() else {
+            return;
+        };
+        let at = SimTime::from_nanos(deadline.as_nanos());
+        match self.egress_wake[proc.0 as usize] {
+            Some(t) if t <= at => {}
+            _ => {
+                self.egress_wake[proc.0 as usize] = Some(at);
+                self.events.schedule(at, Event::EgressFlush { proc });
+            }
+        }
+    }
+
+    fn handle_egress_flush(&mut self, proc: ProcId) {
+        self.egress_wake[proc.0 as usize] = None;
+        let now = crate::collector::proto_time(self.now);
+        let flushes = self.outboxes[proc.0 as usize].poll(now);
+        for flush in flushes {
+            self.realize_flush(proc, flush);
+        }
+        self.schedule_egress_wake(proc);
+    }
+
+    /// Turns one egress flush into a single network frame: each unit is
+    /// metered under its own traffic class, the RMI call envelope is
+    /// charged **once per frame** (and not at all for pure-gossip
+    /// frames, which never paid one) — that shared envelope is the
+    /// piggyback saving — and one drop decision covers the frame.
+    /// Delivered units schedule their events at the frame's arrival;
+    /// a dropped frame applies each unit's loss handling.
+    fn realize_flush(&mut self, from: ProcId, flush: Flush<OutUnit>) {
+        let to = ProcId(flush.dest);
+        let units: Vec<(TrafficClass, u64)> = flush
+            .items
+            .iter()
+            .map(|qi| (traffic_class(qi.class), qi.size))
+            .collect();
+        let envelope = if flush.items.iter().any(|qi| qi.class != EgressClass::Gossip) {
+            self.config.call_envelope
+        } else {
+            0
+        };
+        match self.net.route_frame(self.now, from, to, &units, envelope) {
+            Delivery::At(at) => {
+                for qi in flush.items {
+                    self.schedule_unit(at, from, qi.item);
+                }
+            }
+            Delivery::Dropped => {
+                for qi in flush.items {
+                    self.drop_unit(qi.item);
+                }
+            }
+        }
+    }
+
+    /// Schedules delivery of one unit at `at` (`from` is the sending
+    /// process, needed by gossip events).
+    fn schedule_unit(&mut self, at: SimTime, from: ProcId, unit: OutUnit) {
+        match unit {
+            OutUnit::Request { to, request } => {
+                let key = self.next_inflight_key;
+                self.next_inflight_key += 1;
+                self.inflight_app.insert(
+                    key,
+                    InflightMessage {
+                        to,
+                        is_request: true,
+                        refs: request.refs.clone(),
+                    },
+                );
+                self.events
+                    .schedule(at, Event::Request { key, to, request });
+            }
+            OutUnit::Reply { to, reply } => {
+                let key = self.next_inflight_key;
+                self.next_inflight_key += 1;
+                self.inflight_app.insert(
+                    key,
+                    InflightMessage {
+                        to,
+                        is_request: false,
+                        refs: reply.refs.clone(),
+                    },
+                );
+                self.events.schedule(at, Event::ReplyMsg { key, to, reply });
+            }
+            OutUnit::Dgc { from, to, message } => {
+                self.events
+                    .schedule(at, Event::DgcMsg { from, to, message });
+            }
+            OutUnit::Resp { from, to, response } => {
+                self.events
+                    .schedule(at, Event::DgcResp { from, to, response });
+            }
+            OutUnit::Gossip { to, digest } => {
+                self.events.schedule(at, Event::Gossip { from, to, digest });
+            }
+        }
+    }
+
+    /// The frame carrying `unit` was lost to a drop window: apply the
+    /// unit's loss semantics.
+    fn drop_unit(&mut self, unit: OutUnit) {
+        match unit {
+            OutUnit::Request { request, .. } => {
+                // The call never arrives and no future will ever
+                // resolve. The rendezvous phase is synchronous (§2), so
+                // the caller observes the failed send rather than
+                // waiting forever on a future that cannot be updated —
+                // clear the wait registered by `apply_effects`. (The
+                // oracle must not see the call as in flight either.)
+                if let Some(fut) = request.future {
+                    if let Some(act) = get_act(&mut self.procs, request.sender) {
+                        act.waiting.remove(&fut.seq);
+                    }
+                }
+            }
+            OutUnit::Reply { to, reply } => {
+                // Lost future update. §4.1 tolerates these for a
+                // collected caller; a *live* caller must not wait
+                // forever on an update that can no longer arrive.
+                if let Some(act) = get_act(&mut self.procs, to) {
+                    act.waiting.remove(&reply.future.seq);
+                }
+                self.refresh_idle(to);
+            }
+            // A dropped heartbeat/digest is what the fault profiles are
+            // *for*: the next TTB/gossip round regenerates it.
+            OutUnit::Dgc { .. } | OutUnit::Resp { .. } | OutUnit::Gossip { .. } => {}
         }
     }
 
@@ -981,45 +1198,45 @@ impl Grid {
     fn apply_dgc_actions(&mut self, ao: AoId, actions: Vec<Action>) {
         for action in actions {
             match action {
+                // Cross-process DGC traffic queues on the egress plane
+                // (and is subject to loss there: a dropped heartbeat is
+                // what the fault profiles are *for* — the next TTB
+                // regenerates it; TTA decides whether that sufficed).
+                // Intra-process units stay free, instant and lossless.
                 Action::SendMessage { to, message } => {
-                    let size = dgc_wire::message_wire_size() + self.envelope(ao, to);
-                    // DGC traffic is subject to loss: a dropped heartbeat
-                    // is what the fault profiles are *for* (the next TTB
-                    // regenerates it; TTA decides whether that sufficed).
-                    if let Delivery::At(at) = self.net.route(
-                        self.now,
-                        ProcId(ao.node),
-                        ProcId(to.node),
-                        TrafficClass::DgcMessage,
-                        size,
-                    ) {
-                        self.events.schedule(
-                            at,
-                            Event::DgcMsg {
-                                from: ao,
-                                to,
-                                message,
-                            },
+                    let unit = OutUnit::Dgc {
+                        from: ao,
+                        to,
+                        message,
+                    };
+                    if ao.node == to.node {
+                        self.schedule_unit(self.now, ProcId(ao.node), unit);
+                    } else {
+                        self.enqueue_unit(
+                            ProcId(ao.node),
+                            ProcId(to.node),
+                            EgressClass::DgcMessage,
+                            dgc_wire::message_wire_size(),
+                            unit,
                         );
                     }
                 }
                 Action::SendResponse { to, response } => {
-                    let size = dgc_wire::response_wire_size(response.depth.is_some())
-                        + self.envelope(ao, to);
-                    if let Delivery::At(at) = self.net.route(
-                        self.now,
-                        ProcId(ao.node),
-                        ProcId(to.node),
-                        TrafficClass::DgcResponse,
-                        size,
-                    ) {
-                        self.events.schedule(
-                            at,
-                            Event::DgcResp {
-                                from: ao,
-                                to,
-                                response,
-                            },
+                    let size = dgc_wire::response_wire_size(response.depth.is_some());
+                    let unit = OutUnit::Resp {
+                        from: ao,
+                        to,
+                        response,
+                    };
+                    if ao.node == to.node {
+                        self.schedule_unit(self.now, ProcId(ao.node), unit);
+                    } else {
+                        self.enqueue_unit(
+                            ProcId(ao.node),
+                            ProcId(to.node),
+                            EgressClass::DgcResponse,
+                            size,
+                            unit,
                         );
                     }
                 }
@@ -1149,42 +1366,42 @@ impl Grid {
             .schedule(now + half, Event::MembershipTick { proc });
     }
 
-    fn handle_gossip(&mut self, from: ProcId, to: ProcId, records: Vec<NodeRecord>) {
+    fn handle_gossip(&mut self, from: ProcId, to: ProcId, digest: Digest) {
         let now = self.now;
         let outs = match &mut self.members[to.0 as usize] {
-            Some(engine) => engine.on_digest(proto_time(now), from.0, &records),
+            Some(engine) => engine.on_digest(proto_time(now), from.0, &digest),
             None => return, // down nodes hear nothing
         };
         self.flush_membership(to, outs);
     }
 
-    /// Routes `proc`'s outgoing digests (metered, droppable, delayed
-    /// like any other traffic) and applies its freshly observed
-    /// membership transitions: every **dead** verdict feeds the hosted
+    /// Queues `proc`'s outgoing digests on its egress outbox (metered,
+    /// droppable, delayed — and piggybacking — like any other traffic)
+    /// and applies its freshly observed membership transitions: every
+    /// **dead** verdict — and every announced graceful **leave**, the
+    /// same departure without the suspicion delay — feeds the hosted
     /// collectors' send-failure path.
     fn flush_membership(&mut self, proc: ProcId, outs: Vec<GossipOut>) {
         for out in outs {
-            let size = membership_wire::digest_wire_size(&out.records);
-            if let Delivery::At(at) =
-                self.net
-                    .route(self.now, proc, ProcId(out.to), TrafficClass::Gossip, size)
-            {
-                self.events.schedule(
-                    at,
-                    Event::Gossip {
-                        from: proc,
-                        to: ProcId(out.to),
-                        records: out.records,
-                    },
-                );
-            }
+            let size = membership_wire::digest_wire_size(&out.digest);
+            let dest = ProcId(out.to);
+            self.enqueue_unit(
+                proc,
+                dest,
+                EgressClass::Gossip,
+                size,
+                OutUnit::Gossip {
+                    to: dest,
+                    digest: out.digest,
+                },
+            );
         }
         let events = match &mut self.members[proc.0 as usize] {
             Some(engine) => engine.poll_events(),
             None => Vec::new(),
         };
         for ev in events {
-            if ev.transition == Transition::Dead {
+            if matches!(ev.transition, Transition::Dead | Transition::Left) && ev.node != proc.0 {
                 self.apply_node_dead(proc, ev.node);
             }
             self.member_events[proc.0 as usize].push(ev);
@@ -1219,10 +1436,78 @@ impl Grid {
             self.terminate_activity(AoId::new(proc.0, idx), None);
         }
         self.members[proc.0 as usize] = None;
+        // Whatever the crashed process had queued on its egress plane
+        // dies with it (stale EgressFlush wake-ups find it empty).
+        self.outboxes[proc.0 as usize] = Outbox::new(self.config.egress);
+        self.egress_wake[proc.0 as usize] = None;
         if self.trace.enabled(TraceLevel::Info) {
             self.trace
                 .info(self.now, "crash", format!("proc {} went down", proc.0));
         }
+    }
+
+    /// Graceful departure of one process — the clean-shutdown path the
+    /// engine's `leave()` exists for: its membership engine announces
+    /// [`dgc_membership::NodeStatus::Left`], the farewell digests flush
+    /// through the egress plane *immediately* (a leaver does not wait
+    /// out a linger), every hosted activity dies with the process
+    /// (environment kills, `reason: None` — not collections), and the
+    /// engine stops. Peers treat the announced departure like a dead
+    /// verdict for collection purposes — the leaver's referencers are
+    /// gone — but without the suspicion delay.
+    pub fn leave_proc(&mut self, proc: ProcId) {
+        let now = crate::collector::proto_time(self.now);
+        let outs = match &mut self.members[proc.0 as usize] {
+            Some(engine) => engine.leave(now),
+            None => Vec::new(),
+        };
+        self.flush_membership(proc, outs);
+        let flushes = self.outboxes[proc.0 as usize].flush_all();
+        for flush in flushes {
+            self.realize_flush(proc, flush);
+        }
+        self.egress_wake[proc.0 as usize] = None;
+        let indices: Vec<u32> = self.procs[proc.0 as usize].keys().copied().collect();
+        for idx in indices {
+            self.terminate_activity(AoId::new(proc.0, idx), None);
+        }
+        self.members[proc.0 as usize] = None;
+        if self.trace.enabled(TraceLevel::Info) {
+            self.trace.info(
+                self.now,
+                "leave",
+                format!("proc {} left gracefully", proc.0),
+            );
+        }
+    }
+
+    /// Graceful teardown of the whole deployment: every live process
+    /// [leaves](Grid::leave_proc) in turn, then the grid runs `grace`
+    /// longer so the last farewells deliver to whoever is still
+    /// listening. After this the simulation is over — every activity
+    /// is dead (as environment kills, not collections).
+    pub fn shutdown(&mut self, grace: SimDuration) {
+        // One farewell must *land* before the next process goes, or a
+        // simultaneous mass departure gossips into the void — so the
+        // inter-leave gap covers the topology's worst link latency.
+        let procs_n = self.procs.len() as u32;
+        let mut max_latency = SimDuration::ZERO;
+        for from in 0..procs_n {
+            for to in 0..procs_n {
+                if from != to {
+                    max_latency =
+                        max_latency.max(self.config.topology.latency(ProcId(from), ProcId(to)));
+                }
+            }
+        }
+        let gap = max_latency + SimDuration::from_millis(1);
+        for p in 0..procs_n {
+            if self.members[p as usize].is_some() || !self.procs[p as usize].is_empty() {
+                self.leave_proc(ProcId(p));
+                self.run_for(gap);
+            }
+        }
+        self.run_for(grace);
     }
 
     /// The restart half of a `NodeCrash`: the process comes back empty
@@ -1364,6 +1649,12 @@ impl Grid {
         self.procs[ao.node as usize].get(&ao.index)
     }
 
+    /// What `proc`'s egress outbox has flushed so far (frames, units,
+    /// piggybacked counts).
+    pub fn egress_stats(&self, proc: ProcId) -> dgc_core::egress::EgressStats {
+        self.outboxes[proc.0 as usize].stats()
+    }
+
     /// Membership transitions `proc` has observed so far (always empty
     /// when the layer is disabled).
     pub fn membership_events(&self, proc: ProcId) -> &[MembershipEvent] {
@@ -1435,6 +1726,9 @@ fn event_proc(event: &Event) -> Option<ProcId> {
         // the §4.2 hazard, faithfully): these defer like its other work.
         Event::MembershipTick { proc } => Some(*proc),
         Event::Gossip { to, .. } => Some(*to),
+        // A paused process flushes late too: a stalled node sends
+        // nothing until the world resumes.
+        Event::EgressFlush { proc } => Some(*proc),
         // Crash and restart are the *environment's* doing: they happen
         // on schedule even to a paused process.
         Event::NodeCrash { .. } | Event::NodeRejoin { .. } => None,
@@ -1974,6 +2268,202 @@ mod tests {
             "no wrongful collection under churn: {:?}",
             g.violations()
         );
+    }
+
+    /// Fires one `send` (no reply) at the target every period, forever.
+    struct PeriodicSender {
+        target: AoId,
+        period: SimDuration,
+    }
+    impl Behavior for PeriodicSender {
+        fn on_start(&mut self, ctx: &mut AoCtx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut AoCtx<'_>, _token: u64) {
+            ctx.send(self.target, PING, 64, vec![]);
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    /// Runs the same workload — steady app traffic p0 → p1 plus 8
+    /// cross-process DGC referencers — under a given egress policy and
+    /// returns (total bytes, dgc bytes, piggybacked units).
+    fn egress_workload(policy: dgc_core::egress::FlushPolicy) -> (u64, u64, u64) {
+        let topo = Topology::single_site(2, SimDuration::from_millis(1));
+        let mut config = GridConfig::new(topo)
+            .collector(CollectorKind::Complete(dgc_cfg()))
+            .seed(11)
+            .egress(policy);
+        // Synchronized TTB sweeps, so co-due heartbeats can share a
+        // frame (the socket runtime's event loop co-schedules them the
+        // same way).
+        config.tick_jitter = false;
+        let mut g = Grid::new(config);
+        let sink = g.spawn_root(ProcId(1), Box::new(Echo));
+        let pinger = g.spawn_root(
+            ProcId(0),
+            Box::new(PeriodicSender {
+                target: sink,
+                period: SimDuration::from_millis(400),
+            }),
+        );
+        g.make_ref(pinger, sink);
+        // 8 referencers on p0 heartbeating activities on p1 forever.
+        for _ in 0..8 {
+            let holder = g.spawn_root(ProcId(0), Box::new(Inert));
+            let target = g.spawn(ProcId(1), Box::new(Inert));
+            g.make_ref(holder, target);
+        }
+        g.run_for(SimDuration::from_secs(600));
+        (
+            g.traffic().total_bytes(),
+            g.traffic().dgc_bytes(),
+            g.egress_stats(ProcId(0)).piggybacked,
+        )
+    }
+
+    #[test]
+    fn coalescing_egress_piggybacks_heartbeats_and_saves_envelopes() {
+        let (imm_total, imm_dgc, imm_piggy) =
+            egress_workload(dgc_core::egress::FlushPolicy::immediate());
+        assert_eq!(imm_piggy, 0, "immediate policy never piggybacks");
+        // Coalesce with a window wide enough that co-scheduled TTB
+        // heartbeats to the same peer share one frame (and one
+        // envelope) even without app traffic to ride on.
+        let policy = dgc_core::egress::FlushPolicy {
+            flush_on_app: true,
+            max_delay: dgc_core::units::Dur::from_millis(5),
+            max_bytes: 64 * 1024,
+            max_items: 4096,
+        };
+        let (co_total, co_dgc, _) = egress_workload(policy);
+        assert!(
+            co_dgc < imm_dgc,
+            "shared frames must shed per-heartbeat envelopes: {co_dgc} vs {imm_dgc}"
+        );
+        assert!(
+            co_total < imm_total,
+            "coalescing must reduce total bytes: {co_total} vs {imm_total}"
+        );
+        // The protocol outcome is identical either way: nothing was
+        // collected (all roots / referenced), in both runs.
+    }
+
+    #[test]
+    fn app_sends_flush_immediately_and_carry_queued_heartbeats() {
+        // A policy with an *enormous* background linger: heartbeats
+        // would wait 10 s — unless app traffic flushes them out. The
+        // referenced activity on p1 survives on heartbeats alone, which
+        // proves they rode the app frames well before their own
+        // deadline.
+        let policy = dgc_core::egress::FlushPolicy {
+            flush_on_app: true,
+            max_delay: dgc_core::units::Dur::from_secs(10),
+            max_bytes: u64::MAX,
+            max_items: usize::MAX,
+        };
+        let topo = Topology::single_site(2, SimDuration::from_millis(1));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::Complete(dgc_cfg()))
+                .seed(3)
+                .egress(policy),
+        );
+        let sink = g.spawn_root(ProcId(1), Box::new(Echo));
+        let pinger = g.spawn_root(
+            ProcId(0),
+            Box::new(PeriodicSender {
+                target: sink,
+                // Well under TTB = 30 s: every heartbeat finds a ride.
+                period: SimDuration::from_secs(5),
+            }),
+        );
+        g.make_ref(pinger, sink);
+        let holder = g.spawn_root(ProcId(0), Box::new(Inert));
+        let kept = g.spawn(ProcId(1), Box::new(Inert));
+        g.make_ref(holder, kept);
+        g.run_for(SimDuration::from_secs(300));
+        assert!(
+            g.is_alive(kept),
+            "heartbeats must piggyback on app frames instead of rotting in the outbox"
+        );
+        assert!(g.violations().is_empty());
+        assert!(
+            g.egress_stats(ProcId(0)).piggybacked > 0,
+            "the ride must be visible in the egress stats"
+        );
+    }
+
+    #[test]
+    fn graceful_leave_buries_the_leaver_and_orphans_fall_as_correct_collection() {
+        use dgc_membership::NodeStatus;
+        // w (proc 2, busy) holds u (proc 1, idle); proc 2 *leaves*
+        // gracefully at t = 50 s. Unlike a crash, peers learn at once
+        // through the Left verdict — no suspicion timeout — and u must
+        // fall as correct collection while root-held v survives.
+        let topo = Topology::single_site(3, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::Complete(dgc_cfg()))
+                .seed(7)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1))),
+        );
+        let root = g.spawn_root(ProcId(0), Box::new(Inert));
+        let v = g.spawn(ProcId(1), Box::new(Inert));
+        let w = g.spawn(ProcId(2), Box::new(Inert));
+        let u = g.spawn(ProcId(1), Box::new(Inert));
+        g.make_ref(root, v);
+        g.set_busy(w, true);
+        g.make_ref(w, u);
+        g.run_for(SimDuration::from_secs(50));
+        assert!(g.is_alive(u), "held by busy w until the leave");
+        g.leave_proc(ProcId(2));
+        // The farewell delivers promptly; every survivor records Left.
+        g.run_for(SimDuration::from_secs(5));
+        for p in 0..2 {
+            let records = g.member_records(ProcId(p)).expect("engine up");
+            let gone = records.iter().find(|r| r.node == 2).expect("known");
+            assert_eq!(gone.status, NodeStatus::Left, "proc {p}: {records:?}");
+            assert!(g
+                .membership_events(ProcId(p))
+                .iter()
+                .any(|e| e.node == 2 && e.transition == Transition::Left));
+        }
+        g.run_for(SimDuration::from_secs(245));
+        assert!(g.is_alive(v), "root-held activity must survive the leave");
+        assert!(!g.is_alive(u), "orphaned by the leave: must be collected");
+        assert!(
+            g.collected()
+                .iter()
+                .any(|c| c.ao == w && c.reason.is_none()),
+            "leave deaths are kills, not collections: {:?}",
+            g.collected()
+        );
+        assert!(g.violations().is_empty(), "{:?}", g.violations());
+    }
+
+    #[test]
+    fn shutdown_drives_graceful_leave_everywhere() {
+        let topo = Topology::single_site(3, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .seed(5)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1))),
+        );
+        let a = g.spawn(ProcId(0), Box::new(Inert));
+        g.run_for(SimDuration::from_secs(20)); // converge membership
+        g.shutdown(SimDuration::from_secs(2));
+        assert!(!g.is_alive(a), "teardown kills every activity");
+        assert_eq!(g.alive_count(), 0);
+        assert!(
+            g.collected().iter().all(|c| c.reason.is_none()),
+            "teardown deaths are environment kills"
+        );
+        // Later leavers heard the earlier farewells before going.
+        assert!(g
+            .membership_events(ProcId(2))
+            .iter()
+            .any(|e| e.node == 0 && e.transition == Transition::Left));
     }
 
     #[test]

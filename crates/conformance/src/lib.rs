@@ -89,6 +89,16 @@ pub enum Op {
         /// Referenced tag.
         to: usize,
     },
+    /// `node` departs **gracefully** (clean shutdown): its membership
+    /// engine announces `Left`, the farewell flushes, and every
+    /// activity it hosts dies with it — the environment's kill, not a
+    /// collection (like a crash, but peers learn immediately instead of
+    /// waiting out the suspicion timeout). Requires
+    /// [`Scenario::membership`].
+    Leave {
+        /// The departing node.
+        node: u32,
+    },
 }
 
 /// An [`Op`] with its scenario time.
@@ -200,6 +210,10 @@ fn state_at(script: &[ScriptOp], t: Time) -> GroundTruth {
             Op::DropRef { from, to } => {
                 gt.edges.remove(&(from, to));
             }
+            // A leave's kills are folded into the terminated set by
+            // `evaluate` (see `environment_kills`), not into the
+            // busy/edge state.
+            Op::Leave { .. } => {}
         }
     }
     gt
@@ -233,21 +247,33 @@ fn live_tags(script: &[ScriptOp], t: Time, terminated: &BTreeSet<usize>) -> BTre
         .collect()
 }
 
-/// The ground-truth kills a scenario's `NodeCrash`es inflict: every tag
-/// spawned on a crashing node *before* the crash instant dies at
-/// `down.start`. (Tags scripted onto the node after a rejoin are new
-/// activities of the new incarnation.) These are the environment's
-/// kills, not collections: [`evaluate`] folds them into the terminated
-/// set — so a dead referencer stops propagating liveness and a
-/// crash-killed activity is neither "wrongfully collected" nor
-/// "leftover garbage" — without ever convicting the collector for them.
-fn crash_kills(scenario: &Scenario) -> Vec<(Time, usize)> {
+/// The ground-truth kills the *environment* inflicts: every tag spawned
+/// on a crashing node before the crash instant dies at `down.start`,
+/// and every tag spawned on a gracefully leaving node before the
+/// scripted [`Op::Leave`] dies at the leave instant. (Tags scripted
+/// onto a node after a rejoin are new activities of the new
+/// incarnation.) These are kills, not collections: [`evaluate`] folds
+/// them into the terminated set — so a dead referencer stops
+/// propagating liveness and a killed activity is neither "wrongfully
+/// collected" nor "leftover garbage" — without ever convicting the
+/// collector for them.
+fn environment_kills(scenario: &Scenario) -> Vec<(Time, usize)> {
+    let mut downs: Vec<(u32, Time)> = scenario
+        .profile
+        .node_crashes()
+        .iter()
+        .map(|c| (c.node, c.down.start))
+        .collect();
+    downs.extend(scenario.script.iter().filter_map(|s| match s.op {
+        Op::Leave { node } => Some((node, s.at)),
+        _ => None,
+    }));
     let mut kills = Vec::new();
-    for crash in scenario.profile.node_crashes() {
+    for (down_node, down_at) in downs {
         for s in &scenario.script {
             if let Op::Spawn { tag, node, .. } = s.op {
-                if node == crash.node && s.at < crash.down.start {
-                    kills.push((crash.down.start, tag));
+                if node == down_node && s.at < down_at {
+                    kills.push((down_at, tag));
                 }
             }
         }
@@ -258,15 +284,15 @@ fn crash_kills(scenario: &Scenario) -> Vec<(Time, usize)> {
 
 /// Derives the verdict for a run from its observed **collector**
 /// terminations. The same function judges both runtimes — that is the
-/// whole point. Crash kills come from the scenario itself (see
-/// [`crash_kills`]), never from the runtime under test: runners must
-/// not report them as observations.
+/// whole point. Environment kills (crashes, graceful leaves) come from
+/// the scenario itself (see [`environment_kills`]), never from the
+/// runtime under test: runners must not report them as observations.
 pub fn evaluate(scenario: &Scenario, observations: &[Observation]) -> Verdict {
     enum Ev {
         Kill(usize),
         Collect(usize),
     }
-    let mut timeline: Vec<(Time, u8, Ev)> = crash_kills(scenario)
+    let mut timeline: Vec<(Time, u8, Ev)> = environment_kills(scenario)
         .into_iter()
         .map(|(at, tag)| (at, 0, Ev::Kill(tag))) // kills first on ties
         .collect();
@@ -343,6 +369,7 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
             Op::SetIdle { tag, idle } => grid.set_busy(ids[&tag], !idle),
             Op::AddRef { from, to } => grid.make_ref(ids[&from], ids[&to]),
             Op::DropRef { from, to } => grid.drop_ref(ids[&from], ids[&to]),
+            Op::Leave { node } => grid.leave_proc(ProcId(node)),
         }
     }
     grid.run_until(SimTime::from_nanos(
@@ -397,10 +424,15 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
 /// could plausibly terminate an activity, and the skew is harmless.
 pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
     let profile = scenario.profile.clone().seeded(seed);
-    // Churn scenarios run on a seed-bootstrapped join cluster (crashed
-    // nodes need gossip to re-announce their new addresses); everything
-    // else keeps the chaos-proxied static topology.
-    let cluster = if profile.node_crashes().is_empty() {
+    // Churn scenarios — crashes or scripted graceful leaves — run on a
+    // seed-bootstrapped join cluster (departures and rejoins need the
+    // membership layer); everything else keeps the chaos-proxied static
+    // topology.
+    let has_leave = scenario
+        .script
+        .iter()
+        .any(|s| matches!(s.op, Op::Leave { .. }));
+    let cluster = if profile.node_crashes().is_empty() && !has_leave {
         Cluster::listen_local_chaos(scenario.nodes, NetConfig::new(scenario.dgc), profile)?
     } else {
         let membership = scenario
@@ -433,6 +465,7 @@ pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
             Op::SetIdle { tag, idle } => cluster.set_idle(ids[&tag], idle),
             Op::AddRef { from, to } => cluster.add_ref(ids[&from], ids[&to]),
             Op::DropRef { from, to } => cluster.drop_ref(ids[&from], ids[&to]),
+            Op::Leave { node } => cluster.leave_node(node),
         }
     }
 

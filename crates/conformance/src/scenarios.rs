@@ -40,17 +40,21 @@ fn at_ms(ms: u64, op: Op) -> ScriptOp {
 /// Membership timings for the churn scenarios: gossip every 50 ms,
 /// suspicion after 250 ms of silence, burial after 600 ms — so a
 /// crashed node is buried within a second while ordinary scheduling
-/// jitter (≪ 250 ms) never slanders a live one.
+/// jitter (≪ 250 ms) never slanders a live one. Delta gossip with the
+/// default full-sync backstop: the conformance suite exercises the
+/// deltas under the same faults as everything else.
 pub fn conformance_membership() -> MembershipConfig {
     MembershipConfig {
         gossip_interval: Dur::from_millis(50),
         suspect_after: Dur::from_millis(250),
         dead_after: Dur::from_millis(600),
+        full_sync_every: 10,
     }
 }
 
-/// All canonical scenarios: the four §4.2 quadrants plus the two churn
-/// scenarios of the membership layer.
+/// All canonical scenarios: the four §4.2 quadrants plus the three
+/// membership departure scenarios (crash, crash-and-rejoin, graceful
+/// leave).
 pub fn all() -> Vec<Scenario> {
     vec![
         safe_with_slack(),
@@ -59,6 +63,7 @@ pub fn all() -> Vec<Scenario> {
         pause_models_local_gc(),
         crash_without_rejoin(),
         crash_and_rejoin(),
+        graceful_leave(),
     ]
 }
 
@@ -368,6 +373,65 @@ pub fn crash_and_rejoin() -> Scenario {
         profile: FaultProfile::none().crash(2, Window::from_millis(700, 1600), Some(2)),
         membership: Some(conformance_membership()),
         horizon: Dur::from_secs(30),
+        expect: Verdict::SAFE_AND_COMPLETE,
+    }
+}
+
+/// **graceful-leave** — the clean-shutdown counterpart of
+/// `crash-without-rejoin`: node 2 *announces* its departure at 800 ms
+/// (`leave()` driven on clean shutdown) instead of vanishing. Its busy
+/// referencer `w` dies with it — the environment's kill, not a
+/// collection — which orphans the idle `u` on node 1; the `Left`
+/// verdict cuts the edge immediately (no suspicion timeout), so `u`
+/// falls as correct collection, while `v`, held by a live busy root,
+/// must not be touched. Both runtimes must reach clean collection.
+pub fn graceful_leave() -> Scenario {
+    Scenario {
+        name: "graceful-leave",
+        nodes: 3,
+        dgc: conformance_dgc(),
+        script: vec![
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 0,
+                    node: 0,
+                    busy: true, // the root, busy forever
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 1,
+                    node: 1,
+                    busy: true, // v: live forever, guarded by the root
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 2,
+                    node: 2,
+                    busy: true, // w: departs (busy) with the leave
+                },
+            ),
+            at_ms(
+                0,
+                Op::Spawn {
+                    tag: 3,
+                    node: 1,
+                    busy: true, // u: held only by w
+                },
+            ),
+            at_ms(0, Op::AddRef { from: 0, to: 1 }),
+            at_ms(0, Op::AddRef { from: 2, to: 3 }),
+            at_ms(100, Op::SetIdle { tag: 1, idle: true }),
+            at_ms(100, Op::SetIdle { tag: 3, idle: true }),
+            at_ms(800, Op::Leave { node: 2 }),
+        ],
+        profile: FaultProfile::none(),
+        membership: Some(conformance_membership()),
+        horizon: Dur::from_secs(25),
         expect: Verdict::SAFE_AND_COMPLETE,
     }
 }

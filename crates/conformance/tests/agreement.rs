@@ -60,6 +60,11 @@ fn crash_and_rejoin_agrees_across_runtimes() {
     agree_on(scenarios::crash_and_rejoin());
 }
 
+#[test]
+fn graceful_leave_agrees_across_runtimes() {
+    agree_on(scenarios::graceful_leave());
+}
+
 /// Randomized profiles, simulator-side: a fixed, verified corpus of
 /// seeded profiles with amplitudes well inside the TTA slack keeps the
 /// safe scenario safe. The corpus is deterministic (same seeds → same

@@ -1,0 +1,441 @@
+//! The egress plane: one per-destination outbox for every message the
+//! node sends, whatever plane it belongs to.
+//!
+//! The paper's §4.2 bandwidth argument assumes DGC heartbeats ride
+//! communication that is flowing anyway; before this module each plane
+//! paid its own way — the socket runtime batched DGC units only with
+//! each other, membership gossiped on its own cadence, and application
+//! requests shipped alone. The egress plane replaces those per-feature
+//! batching policies with **one** composable mechanism: every outgoing
+//! unit, classified by [`EgressClass`], is enqueued into a runtime's
+//! [`Outbox`]; the [`FlushPolicy`] decides when a destination's queue
+//! becomes a frame:
+//!
+//! * **flush-on-app-send** — an application request/reply is latency
+//!   sensitive and flushes its destination immediately, carrying every
+//!   queued heartbeat and gossip digest with it for free (the
+//!   *piggyback*: a heartbeat to a peer we are already talking to costs
+//!   ~0 extra frames);
+//! * **max-delay** — background units (heartbeats, digests, control)
+//!   may linger at most this long waiting for company;
+//! * **max-bytes / max-items** — a queue that grows past either bound
+//!   flushes early so frames stay bounded.
+//!
+//! The outbox is sans-io and runtime-neutral, like the rest of this
+//! crate: `dgc-rt-net` drives one per node event loop and turns flushes
+//! into length-prefixed TCP frames; `dgc-simnet`'s grid drives one per
+//! process and turns flushes into single metered network sends (one
+//! call envelope per frame instead of one per unit, which is exactly
+//! the saving the paper measures). Items flush in enqueue order, so
+//! per-destination — and therefore per-class — FIFO is preserved, the
+//! §3.2 transport assumption both runtimes rely on.
+
+use std::collections::BTreeMap;
+
+use crate::units::{Dur, Time};
+
+/// Classification of an egress unit: which plane it belongs to.
+///
+/// The classes mirror the traffic accounting of the paper's
+/// instrumented proxy (and `dgc_simnet::TrafficClass`); the egress
+/// plane itself only distinguishes *application* traffic (which
+/// triggers flush-on-app-send) from everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EgressClass {
+    /// An application request (method call between activities).
+    AppRequest,
+    /// An application reply (future value).
+    AppReply,
+    /// A DGC message (TTB heartbeat).
+    DgcMessage,
+    /// A DGC response.
+    DgcResponse,
+    /// A membership gossip digest.
+    Gossip,
+    /// Transport control (send-failure notifications and the like).
+    Control,
+}
+
+impl EgressClass {
+    /// True for the latency-sensitive application classes that trigger
+    /// flush-on-app-send.
+    pub fn is_app(self) -> bool {
+        matches!(self, EgressClass::AppRequest | EgressClass::AppReply)
+    }
+}
+
+/// When a destination's queue becomes a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush the destination the moment an application unit is
+    /// enqueued, so background units piggyback on the app frame.
+    pub flush_on_app: bool,
+    /// Longest a queued unit may wait for company. [`Dur::ZERO`] makes
+    /// the outbox *immediate*: every enqueue flushes by itself (the
+    /// one-frame-per-unit behaviour the paper measured as baseline).
+    pub max_delay: Dur,
+    /// Flush when a destination's queued bytes reach this bound.
+    pub max_bytes: u64,
+    /// Flush when a destination's queued unit count reaches this bound.
+    pub max_items: usize,
+}
+
+impl FlushPolicy {
+    /// Every enqueue flushes by itself — no coalescing, no added
+    /// latency. The baseline the batching comparisons run against.
+    /// (`max_items` stays above 1 so these flushes report as
+    /// [`FlushReason::MaxDelay`], the immediate-policy reason, not as
+    /// a bounds trip.)
+    pub fn immediate() -> FlushPolicy {
+        FlushPolicy {
+            flush_on_app: true,
+            max_delay: Dur::ZERO,
+            max_bytes: 64 * 1024,
+            max_items: 4096,
+        }
+    }
+
+    /// True when every enqueue flushes immediately.
+    pub fn is_immediate(&self) -> bool {
+        self.max_delay.is_zero()
+    }
+}
+
+impl Default for FlushPolicy {
+    /// Batching defaults: app sends flush instantly (and carry the
+    /// queue), background units linger up to 1 ms — comfortably one
+    /// event-loop sweep at millisecond TTBs, invisible at the paper's
+    /// 30 s TTB — and frames stay under 64 KiB / 4096 units.
+    fn default() -> FlushPolicy {
+        FlushPolicy {
+            flush_on_app: true,
+            max_delay: Dur::from_millis(1),
+            max_bytes: 64 * 1024,
+            max_items: 4096,
+        }
+    }
+}
+
+/// One unit inside the outbox (and inside a [`Flush`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedItem<T> {
+    /// The unit's plane.
+    pub class: EgressClass,
+    /// Its wire size in bytes (what the runtime will charge the link).
+    pub size: u64,
+    /// The unit itself.
+    pub item: T,
+}
+
+/// Why a flush fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// An application unit was enqueued (flush-on-app-send); everything
+    /// else in the flush piggybacked.
+    AppSend,
+    /// The oldest queued unit reached `max_delay` (or the policy is
+    /// immediate).
+    MaxDelay,
+    /// The queue reached `max_bytes` or `max_items`.
+    Bounds,
+    /// The runtime forced the flush (shutdown, graceful leave).
+    Forced,
+}
+
+/// One frame's worth of units for one destination, in enqueue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flush<T> {
+    /// Destination node.
+    pub dest: u32,
+    /// What fired it.
+    pub reason: FlushReason,
+    /// The units, oldest first.
+    pub items: Vec<QueuedItem<T>>,
+}
+
+impl<T> Flush<T> {
+    /// Total payload bytes of the flush.
+    pub fn bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.size).sum()
+    }
+}
+
+/// Monotone counters of what the outbox did, for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgressStats {
+    /// Flushes emitted (= frames the runtime will send).
+    pub flushes: u64,
+    /// Units flushed.
+    pub items: u64,
+    /// Payload bytes flushed.
+    pub bytes: u64,
+    /// Non-app units that rode an [`FlushReason::AppSend`] flush — the
+    /// heartbeats and digests that cost no frame of their own.
+    pub piggybacked: u64,
+    /// Flushes fired by an application send.
+    pub app_flushes: u64,
+    /// Flushes fired by the delay bound (or immediate policy).
+    pub delay_flushes: u64,
+    /// Flushes fired by the byte/item bounds.
+    pub bound_flushes: u64,
+    /// Flushes forced by the runtime.
+    pub forced_flushes: u64,
+}
+
+#[derive(Debug)]
+struct DestQueue<T> {
+    items: Vec<QueuedItem<T>>,
+    bytes: u64,
+    /// When the oldest queued item must flush.
+    deadline: Time,
+}
+
+/// The per-destination outbox. `T` is the runtime's unit type (a frame
+/// item on sockets, a scheduled event payload in the simulator); the
+/// outbox never looks inside it.
+#[derive(Debug)]
+pub struct Outbox<T> {
+    policy: FlushPolicy,
+    queues: BTreeMap<u32, DestQueue<T>>,
+    stats: EgressStats,
+}
+
+impl<T> Outbox<T> {
+    /// An empty outbox under `policy`.
+    pub fn new(policy: FlushPolicy) -> Outbox<T> {
+        Outbox {
+            policy,
+            queues: BTreeMap::new(),
+            stats: EgressStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &FlushPolicy {
+        &self.policy
+    }
+
+    /// Queues one unit for `dest` and returns the flush it triggered,
+    /// if the policy demands one *now* (app send, a bound reached, or
+    /// an immediate policy). Otherwise the unit waits — the runtime
+    /// must call [`Outbox::poll`] no later than
+    /// [`Outbox::next_deadline`].
+    pub fn enqueue(
+        &mut self,
+        now: Time,
+        dest: u32,
+        class: EgressClass,
+        size: u64,
+        item: T,
+    ) -> Option<Flush<T>> {
+        let q = self.queues.entry(dest).or_insert_with(|| DestQueue {
+            items: Vec::new(),
+            bytes: 0,
+            deadline: now + self.policy.max_delay,
+        });
+        if q.items.is_empty() {
+            q.deadline = now + self.policy.max_delay;
+        }
+        q.items.push(QueuedItem { class, size, item });
+        q.bytes += size;
+        if self.policy.flush_on_app && class.is_app() {
+            return self.take(dest, FlushReason::AppSend);
+        }
+        if q.bytes >= self.policy.max_bytes || q.items.len() >= self.policy.max_items {
+            return self.take(dest, FlushReason::Bounds);
+        }
+        if self.policy.max_delay.is_zero() {
+            return self.take(dest, FlushReason::MaxDelay);
+        }
+        None
+    }
+
+    /// Flushes every destination whose oldest unit has waited out
+    /// `max_delay`, oldest deadline first.
+    pub fn poll(&mut self, now: Time) -> Vec<Flush<T>> {
+        let due: Vec<u32> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.items.is_empty() && q.deadline <= now)
+            .map(|(d, _)| *d)
+            .collect();
+        due.into_iter()
+            .filter_map(|d| self.take(d, FlushReason::MaxDelay))
+            .collect()
+    }
+
+    /// The earliest instant a queued unit must flush; `None` while
+    /// nothing is queued.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.queues
+            .values()
+            .filter(|q| !q.items.is_empty())
+            .map(|q| q.deadline)
+            .min()
+    }
+
+    /// Forces `dest`'s queue out (shutdown, graceful leave).
+    pub fn flush(&mut self, dest: u32) -> Option<Flush<T>> {
+        self.take(dest, FlushReason::Forced)
+    }
+
+    /// Forces every queue out, destination order.
+    pub fn flush_all(&mut self) -> Vec<Flush<T>> {
+        let dests: Vec<u32> = self.queues.keys().copied().collect();
+        dests
+            .into_iter()
+            .filter_map(|d| self.take(d, FlushReason::Forced))
+            .collect()
+    }
+
+    /// Units currently waiting across all destinations.
+    pub fn pending_items(&self) -> usize {
+        self.queues.values().map(|q| q.items.len()).sum()
+    }
+
+    /// What the outbox has flushed so far.
+    pub fn stats(&self) -> EgressStats {
+        self.stats
+    }
+
+    fn take(&mut self, dest: u32, reason: FlushReason) -> Option<Flush<T>> {
+        let q = self.queues.get_mut(&dest)?;
+        if q.items.is_empty() {
+            return None;
+        }
+        let items = std::mem::take(&mut q.items);
+        q.bytes = 0;
+        self.stats.flushes += 1;
+        self.stats.items += items.len() as u64;
+        self.stats.bytes += items.iter().map(|i| i.size).sum::<u64>();
+        match reason {
+            FlushReason::AppSend => {
+                self.stats.app_flushes += 1;
+                self.stats.piggybacked += items.iter().filter(|i| !i.class.is_app()).count() as u64;
+            }
+            FlushReason::MaxDelay => self.stats.delay_flushes += 1,
+            FlushReason::Bounds => self.stats.bound_flushes += 1,
+            FlushReason::Forced => self.stats.forced_flushes += 1,
+        }
+        Some(Flush {
+            dest,
+            reason,
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Time {
+        Time::from_nanos(v * 1_000_000)
+    }
+
+    fn policy() -> FlushPolicy {
+        FlushPolicy {
+            flush_on_app: true,
+            max_delay: Dur::from_millis(5),
+            max_bytes: 1000,
+            max_items: 10,
+        }
+    }
+
+    #[test]
+    fn background_units_linger_until_max_delay() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        assert!(ob
+            .enqueue(ms(0), 1, EgressClass::DgcMessage, 34, 0)
+            .is_none());
+        assert!(ob.enqueue(ms(1), 1, EgressClass::Gossip, 20, 1).is_none());
+        assert_eq!(ob.next_deadline(), Some(ms(5)));
+        assert!(ob.poll(ms(4)).is_empty(), "not due yet");
+        let flushes = ob.poll(ms(5));
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].reason, FlushReason::MaxDelay);
+        assert_eq!(flushes[0].items.len(), 2);
+        assert_eq!(flushes[0].bytes(), 54);
+        assert_eq!(ob.pending_items(), 0);
+        assert_eq!(ob.next_deadline(), None);
+    }
+
+    #[test]
+    fn app_send_flushes_and_piggybacks_the_queue() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        ob.enqueue(ms(0), 1, EgressClass::DgcMessage, 34, 0);
+        ob.enqueue(ms(0), 1, EgressClass::Gossip, 20, 1);
+        // A different destination's queue must be untouched.
+        ob.enqueue(ms(0), 2, EgressClass::DgcMessage, 34, 9);
+        let flush = ob
+            .enqueue(ms(1), 1, EgressClass::AppRequest, 128, 2)
+            .expect("app send flushes");
+        assert_eq!(flush.reason, FlushReason::AppSend);
+        assert_eq!(flush.dest, 1);
+        let order: Vec<u32> = flush.items.iter().map(|i| i.item).collect();
+        assert_eq!(order, vec![0, 1, 2], "enqueue order preserved");
+        assert_eq!(ob.stats().piggybacked, 2, "heartbeat + digest rode along");
+        assert_eq!(ob.pending_items(), 1, "dest 2 still queued");
+    }
+
+    #[test]
+    fn byte_and_item_bounds_flush_early() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        let flush = ob
+            .enqueue(ms(0), 1, EgressClass::DgcMessage, 2000, 0)
+            .expect("oversized unit flushes at once");
+        assert_eq!(flush.reason, FlushReason::Bounds);
+        for i in 0..9 {
+            assert!(ob.enqueue(ms(0), 1, EgressClass::Control, 1, i).is_none());
+        }
+        let flush = ob
+            .enqueue(ms(0), 1, EgressClass::Control, 1, 9)
+            .expect("10th unit hits max_items");
+        assert_eq!(flush.items.len(), 10);
+    }
+
+    #[test]
+    fn immediate_policy_flushes_every_enqueue() {
+        let mut ob: Outbox<u32> = Outbox::new(FlushPolicy::immediate());
+        assert!(FlushPolicy::immediate().is_immediate());
+        for i in 0..3 {
+            let f = ob
+                .enqueue(ms(0), 7, EgressClass::DgcResponse, 26, i)
+                .expect("immediate");
+            assert_eq!(f.items.len(), 1);
+            assert_eq!(f.reason, FlushReason::MaxDelay, "the immediate reason");
+        }
+        assert_eq!(ob.stats().flushes, 3);
+        assert_eq!(ob.stats().delay_flushes, 3);
+        assert_eq!(ob.stats().piggybacked, 0);
+    }
+
+    #[test]
+    fn deadline_restarts_with_each_fresh_queue() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        ob.enqueue(ms(0), 1, EgressClass::DgcMessage, 1, 0);
+        ob.poll(ms(5));
+        // The queue emptied; a later unit gets its own full delay.
+        ob.enqueue(ms(20), 1, EgressClass::DgcMessage, 1, 1);
+        assert_eq!(ob.next_deadline(), Some(ms(25)));
+        // But the deadline is pinned to the *oldest* unit: later
+        // arrivals do not extend it.
+        ob.enqueue(ms(24), 1, EgressClass::DgcMessage, 1, 2);
+        assert_eq!(ob.next_deadline(), Some(ms(25)));
+    }
+
+    #[test]
+    fn forced_flush_drains_everything() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        ob.enqueue(ms(0), 1, EgressClass::DgcMessage, 1, 0);
+        ob.enqueue(ms(0), 3, EgressClass::Gossip, 1, 1);
+        ob.enqueue(ms(0), 2, EgressClass::Control, 1, 2);
+        let flushes = ob.flush_all();
+        assert_eq!(flushes.len(), 3);
+        assert!(flushes.iter().all(|f| f.reason == FlushReason::Forced));
+        let dests: Vec<u32> = flushes.iter().map(|f| f.dest).collect();
+        assert_eq!(dests, vec![1, 2, 3], "destination order");
+        assert_eq!(ob.pending_items(), 0);
+        assert!(ob.flush(1).is_none(), "nothing left");
+    }
+}

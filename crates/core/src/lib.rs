@@ -33,6 +33,10 @@
 //! * [`config::DgcConfig`] — TTB/TTA (safety: `TTA > 2·TTB + MaxComm`),
 //!   the §4.3 consensus-propagation optimization, and the paper's §7
 //!   extensions (adaptive timing, breadth-first spanning trees);
+//! * [`egress`] — the one egress plane: a per-destination outbox that
+//!   coalesces heartbeats, gossip digests and application traffic into
+//!   shared frames under a flush policy (flush-on-app-send, max-delay,
+//!   max-bytes), realized by both runtimes;
 //! * [`faults`] — runtime-neutral fault profiles (delay / drop /
 //!   partition / pause) that both the simulator and the socket runtime's
 //!   chaos proxy replay, so one scenario exercises the §4.2 bound
@@ -68,6 +72,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod egress;
 pub mod faults;
 pub mod harness;
 pub mod id;
@@ -82,6 +87,7 @@ pub mod wire;
 
 pub use clock::NamedClock;
 pub use config::{DgcConfig, DgcConfigBuilder, ParentPolicy, TimingMode};
+pub use egress::{EgressClass, EgressStats, Flush, FlushPolicy, FlushReason, Outbox};
 pub use faults::{FaultKind, FaultProfile, LinkDisruption, NodeCrash, NodePause, Window};
 pub use id::{AoId, AoIdAllocator};
 pub use message::{Action, DgcMessage, DgcResponse, TerminateReason};

@@ -1,0 +1,115 @@
+//! Property tests of the egress outbox: whatever interleaving of
+//! enqueues, polls and forced flushes a runtime drives, the flushed
+//! stream per destination preserves enqueue order (hence per-class
+//! FIFO, the §3.2 transport assumption), loses nothing, and respects
+//! the policy bounds.
+
+use proptest::prelude::*;
+
+use dgc_core::egress::{EgressClass, FlushPolicy, Outbox};
+use dgc_core::units::{Dur, Time};
+
+fn class_of(b: u8) -> EgressClass {
+    match b % 6 {
+        0 => EgressClass::AppRequest,
+        1 => EgressClass::AppReply,
+        2 => EgressClass::DgcMessage,
+        3 => EgressClass::DgcResponse,
+        4 => EgressClass::Gossip,
+        _ => EgressClass::Control,
+    }
+}
+
+proptest! {
+    /// Runs a random op sequence against an outbox and checks, per
+    /// destination: flushed items appear in exact enqueue order (the
+    /// global FIFO that implies per-class FIFO), every item flushes by
+    /// the final drain, and no flush exceeds the policy's item bound
+    /// by more than the one unit that triggered it.
+    #[test]
+    fn flushes_preserve_per_destination_fifo_and_lose_nothing(
+        ops in proptest::collection::vec(
+            // (dest, class selector, size, ms advance, poll?)
+            (0u32..4, any::<u8>(), 1u64..200, 0u64..4, any::<bool>()),
+            1..120,
+        ),
+        max_delay_ms in 0u64..6,
+        max_items in 1usize..12,
+    ) {
+        let policy = FlushPolicy {
+            flush_on_app: true,
+            max_delay: Dur::from_millis(max_delay_ms),
+            max_bytes: 600,
+            max_items,
+        };
+        let mut ob: Outbox<u64> = Outbox::new(policy);
+        let mut now_ms = 0u64;
+        let mut seq = 0u64;
+        let mut enqueued: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        let mut flushed: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        let drain = |flushes: Vec<dgc_core::egress::Flush<u64>>,
+                         flushed: &mut Vec<Vec<u64>>| {
+            for f in flushes {
+                prop_assert!(
+                    f.items.len() <= max_items.max(1),
+                    "flush of {} items exceeds max_items {}",
+                    f.items.len(),
+                    max_items
+                );
+                for qi in f.items {
+                    flushed[f.dest as usize].push(qi.item);
+                }
+            }
+            Ok(())
+        };
+        for (dest, class, size, advance, poll) in ops {
+            now_ms += advance;
+            let now = Time::from_nanos(now_ms * 1_000_000);
+            if poll {
+                drain(ob.poll(now), &mut flushed)?;
+            }
+            let item = seq;
+            seq += 1;
+            enqueued[dest as usize].push(item);
+            if let Some(f) = ob.enqueue(now, dest, class_of(class), size, item) {
+                drain(vec![f], &mut flushed)?;
+            }
+        }
+        drain(ob.flush_all(), &mut flushed)?;
+        prop_assert_eq!(ob.pending_items(), 0, "final drain must empty the outbox");
+        for d in 0..4 {
+            prop_assert_eq!(
+                &flushed[d],
+                &enqueued[d],
+                "destination {} reordered or lost items",
+                d
+            );
+        }
+    }
+
+    /// The deadline contract: while anything is queued, the outbox
+    /// names a deadline no later than oldest-enqueue + max_delay, and a
+    /// poll at that deadline flushes the oldest item.
+    #[test]
+    fn oldest_item_never_waits_past_max_delay(
+        lead in 0u64..10,
+        max_delay_ms in 1u64..8,
+    ) {
+        let policy = FlushPolicy {
+            flush_on_app: false,
+            max_delay: Dur::from_millis(max_delay_ms),
+            max_bytes: u64::MAX,
+            max_items: usize::MAX,
+        };
+        let mut ob: Outbox<u32> = Outbox::new(policy);
+        let t0 = Time::from_nanos(lead * 1_000_000);
+        ob.enqueue(t0, 0, EgressClass::DgcMessage, 1, 0);
+        // Later company must not push the deadline out.
+        ob.enqueue(t0 + Dur::from_millis(max_delay_ms / 2), 0, EgressClass::Gossip, 1, 1);
+        let deadline = ob.next_deadline().expect("queued");
+        prop_assert!(deadline <= t0 + Dur::from_millis(max_delay_ms));
+        let flushes = ob.poll(deadline);
+        prop_assert_eq!(flushes.len(), 1);
+        prop_assert_eq!(flushes[0].items[0].item, 0, "oldest first");
+    }
+}

@@ -125,9 +125,33 @@ fn transition_of(status: NodeStatus, newly_known: bool) -> Transition {
 /// A replicated map of [`NodeRecord`]s with last-writer-wins merge on
 /// [`NodeRecord::precedence`]. `BTreeMap` keeps iteration deterministic
 /// (the simulator's reproducibility depends on it).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The directory additionally keeps a **local version counter**, bumped
+/// on every effective change, and stamps each record with the version
+/// at which it last changed. That is what delta gossip is built on:
+/// [`Directory::changed_since`] yields exactly the records a peer that
+/// acknowledged version `v` has not seen yet, so a steady-state gossip
+/// round carries O(churn) records instead of O(cluster). Versions are
+/// local bookkeeping — they never leave the node inside records, and
+/// two replicas holding the same records are [equal](PartialEq) whatever
+/// their counters say.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct Directory {
     records: BTreeMap<u32, NodeRecord>,
+    /// Bumped on every effective change (new record, precedence win,
+    /// or a contributed address).
+    version: u64,
+    /// Per-node version at which the record last changed.
+    stamps: BTreeMap<u32, u64>,
+}
+
+impl PartialEq for Directory {
+    /// Replica equality is about the *records*: version counters are
+    /// local delta-gossip bookkeeping and differ by merge order even
+    /// between converged replicas.
+    fn eq(&self, other: &Directory) -> bool {
+        self.records == other.records
+    }
 }
 
 impl Directory {
@@ -145,25 +169,55 @@ impl Directory {
     /// (the simulator gossips address-free records; the socket runtime
     /// must never *lose* an address to them).
     pub fn merge(&mut self, rec: &NodeRecord) -> Option<Transition> {
-        match self.records.get_mut(&rec.node) {
+        let (changed, transition) = match self.records.get_mut(&rec.node) {
             None => {
                 self.records.insert(rec.node, *rec);
-                Some(transition_of(rec.status, true))
+                (true, Some(transition_of(rec.status, true)))
             }
             Some(cur) => {
                 if rec.precedence() > cur.precedence() {
                     let status_changed = rec.status != cur.status;
                     let addr = rec.addr.or(cur.addr);
                     *cur = NodeRecord { addr, ..*rec };
-                    status_changed.then(|| transition_of(rec.status, false))
+                    (
+                        true,
+                        status_changed.then(|| transition_of(rec.status, false)),
+                    )
+                } else if rec.precedence() == cur.precedence()
+                    && cur.addr.is_none()
+                    && rec.addr.is_some()
+                {
+                    // An address contribution is a visible change too:
+                    // peers behind this version still need to learn it.
+                    cur.addr = rec.addr;
+                    (true, None)
                 } else {
-                    if rec.precedence() == cur.precedence() && cur.addr.is_none() {
-                        cur.addr = rec.addr;
-                    }
-                    None
+                    (false, None)
                 }
             }
+        };
+        if changed {
+            self.version += 1;
+            self.stamps.insert(rec.node, self.version);
         }
+        transition
+    }
+
+    /// The local version counter: how many effective changes this
+    /// replica has applied.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The records that changed after local version `since`, in node-id
+    /// order — the payload of a delta digest toward a peer that
+    /// acknowledged `since`. `changed_since(0)` is the full directory.
+    pub fn changed_since(&self, since: u64) -> Vec<NodeRecord> {
+        self.records
+            .iter()
+            .filter(|(node, _)| self.stamps.get(node).copied().unwrap_or(0) > since)
+            .map(|(_, rec)| *rec)
+            .collect()
     }
 
     /// The record for `node`, if any.
@@ -332,6 +386,48 @@ mod tests {
             ..rec(2, 1, NodeStatus::Alive)
         });
         assert_eq!(d2.addr_of(2), Some(addr));
+    }
+
+    #[test]
+    fn version_counts_effective_changes_and_deltas_track_them() {
+        let mut d = Directory::new();
+        assert_eq!(d.version(), 0);
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        assert_eq!(d.version(), 1);
+        d.merge(&rec(1, 1, NodeStatus::Alive)); // duplicate: no change
+        assert_eq!(d.version(), 1);
+        d.merge(&rec(2, 1, NodeStatus::Alive));
+        d.merge(&rec(1, 1, NodeStatus::Suspect));
+        assert_eq!(d.version(), 3);
+        // A peer that acked version 2 only needs node 1's suspicion.
+        let delta = d.changed_since(2);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].node, 1);
+        assert_eq!(delta[0].status, NodeStatus::Suspect);
+        // Version 0 means everything; current version means nothing.
+        assert_eq!(d.changed_since(0).len(), 2);
+        assert!(d.changed_since(d.version()).is_empty());
+        // A stale record changes nothing and bumps nothing.
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        assert_eq!(d.version(), 3);
+    }
+
+    #[test]
+    fn address_contribution_bumps_the_version() {
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        let mut d = Directory::new();
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        let v = d.version();
+        // Same precedence, but now with an address: peers must relearn.
+        d.merge(&NodeRecord {
+            addr: Some(addr),
+            ..rec(1, 1, NodeStatus::Alive)
+        });
+        assert_eq!(d.version(), v + 1);
+        assert_eq!(d.changed_since(v)[0].addr, Some(addr));
+        // An addressless tie afterwards is a no-op again.
+        d.merge(&rec(1, 1, NodeStatus::Alive));
+        assert_eq!(d.version(), v + 1);
     }
 
     #[test]

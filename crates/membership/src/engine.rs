@@ -15,11 +15,17 @@
 //!   ([`Membership::on_contact`], or a socket dial of a seed address).
 //!   Its first digest introduces it; the seed replies with the full
 //!   directory (push-on-new), and anti-entropy spreads the join.
-//! * **Anti-entropy** — every `gossip_interval` the engine pushes its
-//!   full directory to every present peer. For the cluster sizes this
-//!   repository drives (single-digit nodes) full push is simpler and
-//!   converges in one round-trip; the digest is a few dozen bytes per
-//!   node and rides piggybacked on frames that were being sent anyway.
+//! * **Anti-entropy, as deltas** — every `gossip_interval` the engine
+//!   pushes each present peer a [`Digest`] of the records that changed
+//!   since the directory version that peer last **acknowledged**
+//!   (digests carry the sender's version; the receiver echoes it back
+//!   in its own digests' `ack` field). In steady state the delta is
+//!   empty and a digest is a ~19-byte heartbeat, so gossip cost is
+//!   O(churn) per round instead of O(cluster). Unacknowledged changes
+//!   simply stay in the next delta, which is what makes loss harmless.
+//!   A **full sync** (the entire directory) goes out to new, rejoined
+//!   or restarted peers and periodically every `full_sync_every`
+//!   rounds, so no replica can stay divergent behind a lost ack.
 //! * **Failure detection** — a peer silent past `suspect_after` is
 //!   suspected; past `dead_after` it is declared dead, which the
 //!   runtime feeds into `DgcState::on_node_dead` so the collector
@@ -49,17 +55,31 @@ pub struct MembershipConfig {
     /// Silence after which a peer is declared dead. Must exceed
     /// `suspect_after`; the gap is the refutation window.
     pub dead_after: Dur,
+    /// Gossip rounds between unconditional full-directory pushes to a
+    /// peer (the anti-entropy backstop for lost acks); rounds in
+    /// between carry only deltas. `0` or `1` pushes the full directory
+    /// every round — the pre-delta behaviour, kept as the bandwidth
+    /// baseline.
+    pub full_sync_every: u32,
 }
 
 impl MembershipConfig {
     /// A config scaled around one gossip interval: suspicion after 5
-    /// silent intervals, death after 15.
+    /// silent intervals, death after 15, a full sync every 10 rounds.
     pub fn scaled(gossip_interval: Dur) -> MembershipConfig {
         MembershipConfig {
             gossip_interval,
             suspect_after: gossip_interval.saturating_mul(5),
             dead_after: gossip_interval.saturating_mul(15),
+            full_sync_every: 10,
         }
+    }
+
+    /// The same timings with full-directory pushes every round (no
+    /// deltas) — what the `gossip_bandwidth` bench compares against.
+    pub fn full_push(mut self) -> MembershipConfig {
+        self.full_sync_every = 1;
+        self
     }
 
     fn validate(&self) {
@@ -84,13 +104,33 @@ impl Default for MembershipConfig {
     }
 }
 
+/// One gossip digest: a versioned, acknowledged batch of directory
+/// records. Deltas carry only records the destination has not
+/// acknowledged; full syncs carry the whole directory; an empty delta
+/// is a liveness heartbeat (failure detection listens for digests, not
+/// for their contents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digest {
+    /// The sender's directory version when the digest was built. The
+    /// receiver echoes the highest version it has applied back in
+    /// `ack`, which is what lets the sender shrink future deltas.
+    pub version: u64,
+    /// Highest version of the *receiver's* directory the sender has
+    /// applied (the acknowledgement driving the receiver's deltas).
+    pub ack: u64,
+    /// True when `records` is the sender's entire directory.
+    pub full: bool,
+    /// The records, node-id order.
+    pub records: Vec<NodeRecord>,
+}
+
 /// One digest the runtime must deliver to a peer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GossipOut {
     /// Destination node.
     pub to: u32,
-    /// The full directory at emission time.
-    pub records: Vec<NodeRecord>,
+    /// What to deliver.
+    pub digest: Digest,
 }
 
 /// One observed membership transition, in the runtime's scenario time.
@@ -106,6 +146,20 @@ pub struct MembershipEvent {
     pub transition: Transition,
 }
 
+/// Per-peer delta-gossip bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerSync {
+    /// Highest of *our* directory versions the peer acknowledged.
+    acked: u64,
+    /// The peer's directory version as of its most recent digest (what
+    /// we echo back as `ack`). Tracks the statement, not a running
+    /// max — see [`Membership::on_digest`].
+    applied: u64,
+    /// Gossip rounds left until the periodic full sync; 0 = full now.
+    /// Fresh peers start at 0, so the first push is always full.
+    until_full: u32,
+}
+
 /// The per-node membership engine.
 #[derive(Debug, Clone)]
 pub struct Membership {
@@ -116,8 +170,12 @@ pub struct Membership {
     directory: Directory,
     /// Last instant a digest arrived from each peer.
     last_heard: BTreeMap<u32, Time>,
+    /// Delta-gossip state per peer.
+    peers: BTreeMap<u32, PeerSync>,
     next_gossip: Time,
     events: Vec<MembershipEvent>,
+    /// Set by [`Membership::leave`]: self-defense is off.
+    left: bool,
 }
 
 impl Membership {
@@ -147,8 +205,10 @@ impl Membership {
             config,
             directory,
             last_heard: BTreeMap::new(),
+            peers: BTreeMap::new(),
             next_gossip: now,
             events: Vec::new(),
+            left: false,
         }
     }
 
@@ -192,34 +252,111 @@ impl Membership {
     }
 
     /// Periodic driver: runs failure detection, and when the gossip
-    /// period elapsed, emits the anti-entropy push to every present
-    /// peer. Call at least a couple of times per `gossip_interval`.
+    /// period elapsed, emits one digest to every present peer — a delta
+    /// of whatever that peer has not acknowledged (possibly empty: the
+    /// heartbeat), or the full directory when the periodic full sync is
+    /// due. Call at least a couple of times per `gossip_interval`.
     pub fn on_tick(&mut self, now: Time) -> Vec<GossipOut> {
         self.detect_failures(now);
-        if now >= self.next_gossip {
-            self.next_gossip = now + self.config.gossip_interval;
-            self.broadcast()
+        if now < self.next_gossip {
+            return Vec::new();
+        }
+        self.next_gossip = now + self.config.gossip_interval;
+        let present: Vec<u32> = self
+            .directory
+            .iter()
+            .filter(|r| r.node != self.node && r.status.is_present())
+            .map(|r| r.node)
+            .collect();
+        present
+            .into_iter()
+            .map(|p| {
+                let full = {
+                    let sync = self.peers.entry(p).or_default();
+                    let due = self.config.full_sync_every <= 1 || sync.until_full == 0;
+                    sync.until_full = if due {
+                        self.config.full_sync_every.saturating_sub(1)
+                    } else {
+                        sync.until_full - 1
+                    };
+                    due
+                };
+                GossipOut {
+                    to: p,
+                    digest: self.digest_for(p, full),
+                }
+            })
+            .collect()
+    }
+
+    /// The digest this engine would send `to` right now: the full
+    /// directory, or the delta of records `to` has not acknowledged.
+    /// Runtimes normally receive digests from [`Membership::on_tick`] /
+    /// [`Membership::on_digest`]; this is the building block, public
+    /// for tests and drivers that splice digests themselves.
+    pub fn digest_for(&self, to: u32, full: bool) -> Digest {
+        let sync = self.peers.get(&to).copied().unwrap_or_default();
+        let records = if full {
+            self.records()
         } else {
-            Vec::new()
+            self.directory.changed_since(sync.acked)
+        };
+        Digest {
+            version: self.directory.version(),
+            ack: sync.applied,
+            full,
+            records,
         }
     }
 
     /// Handles one received digest. Returns any immediate replies:
     /// the full directory pushed back when the sender is new or just
-    /// transitioned (back) to alive (a joiner or rejoiner converges in
-    /// one round-trip instead of waiting out a gossip period), when a
-    /// record about *this* node had to be refuted, or when the sender
+    /// transitioned (back) to alive — a joiner, rejoiner or restarted
+    /// peer (its rejoin incarnation outbids the old record) converges
+    /// in one round-trip instead of waiting out a gossip period — when
+    /// a record about *this* node had to be refuted, or when the sender
     /// is one we had written off (it must learn the verdict to outbid
     /// it).
-    pub fn on_digest(&mut self, now: Time, from: u32, records: &[NodeRecord]) -> Vec<GossipOut> {
+    pub fn on_digest(&mut self, now: Time, from: u32, digest: &Digest) -> Vec<GossipOut> {
         let known_before = self.directory.contains(from);
         self.last_heard.insert(from, now);
+        {
+            // `applied` tracks the sender's *stated* version, not a
+            // running max: a version that runs backwards is either a
+            // stale digest delivered out of order (a reorder fault) or
+            // a peer that restarted into a fresh, smaller version
+            // space — in both cases our next ack must not overstate in
+            // the sender's current space. Tracking the statement
+            // (rather than resyncing from scratch) keeps one delayed
+            // digest from costing O(cluster) full pushes; a *genuine*
+            // restart is detected below by its higher incarnation
+            // (`sender_reappeared`), which resets the acks and replies
+            // with a full sync.
+            let sync = self.peers.entry(from).or_default();
+            sync.applied = digest.version;
+            sync.acked = sync.acked.max(digest.ack);
+        }
         let mut refuted = false;
         let mut sender_reappeared = false;
-        for rec in records {
+        for rec in &digest.records {
             if rec.node == self.node {
                 refuted |= self.defend(now, rec);
                 continue;
+            }
+            // A sender announcing itself under a *higher incarnation*
+            // than we knew has restarted (or refuted) — even when its
+            // visible status never left Alive, because the restart beat
+            // the failure detector. That is the reliable rejoin signal
+            // (version counters are not: they regress on mere
+            // reordering), and it must resync the delta state below.
+            if rec.node == from
+                && rec.status == NodeStatus::Alive
+                && self
+                    .directory
+                    .get(from)
+                    .is_some_and(|prior| rec.incarnation > prior.incarnation)
+            {
+                sender_reappeared = true;
             }
             if let Some(tr) = self.directory.merge(rec) {
                 self.push_event(now, rec.node, rec.incarnation, tr);
@@ -231,18 +368,24 @@ impl Membership {
                 }
             }
         }
+        if !known_before || sender_reappeared {
+            // A joiner or rejoiner may have lost every ack it held:
+            // resume its deltas from scratch (the reply below is full).
+            self.peers.entry(from).or_default().acked = 0;
+        }
         let written_off = self
             .directory
             .status_of(from)
             .is_some_and(|s| !s.is_present());
         if !known_before || refuted || written_off || sender_reappeared {
-            let mut outs = self.broadcast();
-            // `broadcast` skips written-off peers; this reply is the one
-            // channel through which a slandered node learns its verdict.
+            let mut outs = self.broadcast_full();
+            // `broadcast_full` skips written-off peers; this reply is
+            // the one channel through which a slandered node learns its
+            // verdict.
             if written_off {
                 outs.push(GossipOut {
                     to: from,
-                    records: self.records(),
+                    digest: self.digest_for(from, true),
                 });
             }
             outs
@@ -285,8 +428,12 @@ impl Membership {
 
     /// Graceful departure: marks this node [`NodeStatus::Left`] and
     /// returns the farewell digest for every present peer. The engine
-    /// should not be driven afterwards.
+    /// stops defending itself afterwards — echoes of its own `Left`
+    /// record must not goad it into refuting its voluntary departure —
+    /// and should not be ticked any more (the runtime is shutting
+    /// down).
     pub fn leave(&mut self, now: Time) -> Vec<GossipOut> {
+        self.left = true;
         let rec = NodeRecord {
             node: self.node,
             incarnation: self.incarnation,
@@ -296,7 +443,7 @@ impl Membership {
         if let Some(tr) = self.directory.merge(&rec) {
             self.push_event(now, self.node, self.incarnation, tr);
         }
-        self.broadcast()
+        self.broadcast_full()
     }
 
     /// Drains the pending membership events, oldest first.
@@ -327,6 +474,12 @@ impl Membership {
     /// the slander and re-announce alive. Returns true if a refutation
     /// happened (the caller then pushes the new record out).
     fn defend(&mut self, now: Time, rec: &NodeRecord) -> bool {
+        if self.left {
+            // A voluntary departure is not slander: the engine said
+            // `Left` about itself and must not outbid its own farewell
+            // when gossip echoes it back.
+            return false;
+        }
         let slandered = rec.status != NodeStatus::Alive && rec.incarnation >= self.incarnation;
         let outrun = rec.incarnation > self.incarnation;
         if !(slandered || outrun) {
@@ -376,14 +529,16 @@ impl Membership {
         }
     }
 
-    fn broadcast(&self) -> Vec<GossipOut> {
-        let records = self.records();
+    /// A full-directory push to every present peer: the convergence
+    /// accelerator behind joins, refutations and farewells (ordinary
+    /// rounds go through [`Membership::on_tick`]'s deltas).
+    fn broadcast_full(&self) -> Vec<GossipOut> {
         self.directory
             .iter()
             .filter(|r| r.node != self.node && r.status.is_present())
             .map(|r| GossipOut {
                 to: r.node,
-                records: records.clone(),
+                digest: self.digest_for(r.node, true),
             })
             .collect()
     }
@@ -398,11 +553,13 @@ mod tests {
     }
 
     fn cfg() -> MembershipConfig {
-        // 50 ms gossip, suspect at 250 ms, dead at 750 ms.
+        // 50 ms gossip, suspect at 250 ms, dead at 750 ms, full sync
+        // every 10 rounds (delta gossip in between).
         MembershipConfig {
             gossip_interval: Dur::from_millis(50),
             suspect_after: Dur::from_millis(250),
             dead_after: Dur::from_millis(750),
+            full_sync_every: 10,
         }
     }
 
@@ -420,7 +577,7 @@ mod tests {
             }
             while let Some((from, out)) = outbox.pop() {
                 if let Some(dst) = engines.iter_mut().find(|e| e.node_id() == out.to) {
-                    for reply in dst.on_digest(ms(t), from, &out.records) {
+                    for reply in dst.on_digest(ms(t), from, &out.digest) {
                         outbox.push((dst.node_id(), reply));
                     }
                 }
@@ -492,9 +649,9 @@ mod tests {
         // Introduce them.
         let hello = b.on_tick(ms(0));
         for out in hello {
-            for reply in a.on_digest(ms(0), 1, &out.records) {
+            for reply in a.on_digest(ms(0), 1, &out.digest) {
                 if reply.to == 1 {
-                    b.on_digest(ms(0), 0, &reply.records);
+                    b.on_digest(ms(0), 0, &reply.digest);
                 }
             }
         }
@@ -505,7 +662,7 @@ mod tests {
         assert_eq!(a.directory().status_of(1), Some(NodeStatus::Suspect));
         // A's next digest reaches B: B must outbid the suspicion.
         let inc_before = b.incarnation();
-        let replies = b.on_digest(ms(400), 0, &a.records());
+        let replies = b.on_digest(ms(400), 0, &a.digest_for(1, true));
         assert_eq!(b.incarnation(), inc_before + 1, "refutation bumps");
         assert!(
             replies.iter().any(|o| o.to == 0),
@@ -513,7 +670,7 @@ mod tests {
         );
         for out in replies {
             if out.to == 0 {
-                a.on_digest(ms(400), 1, &out.records);
+                a.on_digest(ms(400), 1, &out.digest);
             }
         }
         assert_eq!(a.directory().status_of(1), Some(NodeStatus::Alive));
@@ -531,7 +688,7 @@ mod tests {
         a.poll_events();
         // Rejoin under incarnation 2 (strictly above the corpse).
         let b2 = Membership::new(1, None, 2, ms(1500), cfg());
-        let outs = a.on_digest(ms(1500), 1, &b2.records());
+        let outs = a.on_digest(ms(1500), 1, &b2.digest_for(0, true));
         assert_eq!(a.directory().status_of(1), Some(NodeStatus::Alive));
         let evs = a.poll_events();
         assert!(
@@ -556,7 +713,7 @@ mod tests {
         // assumed-contact one an alive re-announcement would outbid).
         for out in b.on_tick(ms(0)) {
             if out.to == 0 {
-                a.on_digest(ms(0), 1, &out.records);
+                a.on_digest(ms(0), 1, &out.digest);
             }
         }
         for t in (0..1000).step_by(10) {
@@ -564,13 +721,13 @@ mod tests {
         }
         assert_eq!(a.directory().status_of(1), Some(NodeStatus::Dead));
         // B's routine digest reaches A: A replies with the verdict.
-        let replies = a.on_digest(ms(1000), 1, &b.records());
+        let replies = a.on_digest(ms(1000), 1, &b.digest_for(0, true));
         let to_b: Vec<_> = replies.into_iter().filter(|o| o.to == 1).collect();
         assert!(!to_b.is_empty(), "a written-off sender must get a reply");
         for out in to_b {
-            for back in b.on_digest(ms(1000), 0, &out.records) {
+            for back in b.on_digest(ms(1000), 0, &out.digest) {
                 if back.to == 0 {
-                    a.on_digest(ms(1000), 1, &back.records);
+                    a.on_digest(ms(1000), 1, &back.digest);
                 }
             }
         }
@@ -586,14 +743,30 @@ mod tests {
         b.on_contact(ms(0), 0, None);
         let farewell = b.leave(ms(100));
         assert!(farewell.iter().any(|o| o.to == 0));
+        assert!(farewell.iter().all(|o| o.digest.full), "farewells are full");
         for out in farewell {
             if out.to == 0 {
-                a.on_digest(ms(100), 1, &out.records);
+                a.on_digest(ms(100), 1, &out.digest);
             }
         }
         assert_eq!(a.directory().status_of(1), Some(NodeStatus::Left));
         // Left is quieter than dead but still departed: not present.
         assert_eq!(a.directory().present_nodes(), vec![0]);
+        // An echo of its own farewell must not goad b into refuting its
+        // voluntary departure (a runtime may deliver digests between
+        // the leave and the actual shutdown).
+        let echo = a.digest_for(1, true);
+        let replies = b.on_digest(ms(150), 0, &echo);
+        assert_eq!(b.incarnation(), 1, "no refutation after leave");
+        assert_eq!(b.directory().status_of(1), Some(NodeStatus::Left));
+        assert!(
+            replies.iter().all(|o| o
+                .digest
+                .records
+                .iter()
+                .all(|r| r.node != 1 || r.status == NodeStatus::Left)),
+            "a left engine must not re-announce itself alive"
+        );
     }
 
     #[test]
@@ -623,5 +796,176 @@ mod tests {
         assert!(a.on_tick(ms(10)).is_empty(), "inside the interval");
         assert!(a.on_tick(ms(49)).is_empty());
         assert!(!a.on_tick(ms(50)).is_empty(), "interval elapsed");
+    }
+
+    /// Wires a ⇄ b until both directories and acks are settled.
+    fn settle(a: &mut Membership, b: &mut Membership, from_ms: u64, rounds: u64) -> u64 {
+        let mut t = from_ms;
+        for _ in 0..rounds {
+            let mut outbox: Vec<(u32, GossipOut)> = Vec::new();
+            for e in [&mut *a, &mut *b] {
+                let from = e.node_id();
+                outbox.extend(e.on_tick(ms(t)).into_iter().map(|o| (from, o)));
+            }
+            while let Some((from, out)) = outbox.pop() {
+                let dst = if out.to == a.node_id() {
+                    &mut *a
+                } else {
+                    &mut *b
+                };
+                let replies = dst.on_digest(ms(t), from, &out.digest);
+                let dst_id = dst.node_id();
+                outbox.extend(replies.into_iter().map(|o| (dst_id, o)));
+            }
+            t += 50;
+        }
+        t
+    }
+
+    #[test]
+    fn steady_state_rounds_send_empty_deltas() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        b.on_contact(ms(0), 0, None);
+        let t = settle(&mut a, &mut b, 0, 6);
+        // Nothing changed since the peers acked: ordinary rounds are
+        // pure heartbeats.
+        let outs = a.on_tick(ms(t));
+        assert_eq!(outs.len(), 1);
+        assert!(!outs[0].digest.full, "steady state must not full-sync");
+        assert!(
+            outs[0].digest.records.is_empty(),
+            "steady-state delta must be empty, got {:?}",
+            outs[0].digest.records
+        );
+    }
+
+    #[test]
+    fn unacked_changes_stay_in_the_delta_until_acknowledged() {
+        // Long silence timeouts: node 5 gossips only once here, and a
+        // drifting suspicion would (correctly!) re-enter the delta.
+        let quiet = MembershipConfig {
+            suspect_after: Dur::from_secs(10),
+            dead_after: Dur::from_secs(20),
+            ..cfg()
+        };
+        let mut a = Membership::new(0, None, 1, ms(0), quiet);
+        let mut b = Membership::new(1, None, 1, ms(0), quiet);
+        b.on_contact(ms(0), 0, None);
+        let t = settle(&mut a, &mut b, 0, 6);
+        // A learns something new (node 5 joins through it).
+        a.on_digest(
+            ms(t),
+            5,
+            &Membership::new(5, None, 1, ms(t), cfg()).digest_for(0, true),
+        );
+        // Every subsequent delta to b carries node 5's record for as
+        // long as b has not acknowledged — lost digests are simply
+        // retransmitted.
+        for round in 0..3u64 {
+            let outs = a.on_tick(ms(t + 50 + round * 50));
+            let to_b = outs.iter().find(|o| o.to == 1).expect("b is present");
+            assert!(
+                to_b.digest.records.iter().any(|r| r.node == 5),
+                "round {round}: unacked join missing from delta"
+            );
+        }
+        // b finally hears one and acks; a's next delta is empty again.
+        let digest = a.digest_for(1, false);
+        b.on_digest(ms(t + 200), 0, &digest);
+        let ack = b.digest_for(0, false);
+        a.on_digest(ms(t + 200), 1, &ack);
+        let outs = a.on_tick(ms(t + 250));
+        let to_b = outs.iter().find(|o| o.to == 1).expect("b still present");
+        assert!(
+            to_b.digest.records.iter().all(|r| r.node != 5),
+            "acked change must leave the delta"
+        );
+    }
+
+    #[test]
+    fn full_sync_recurs_every_configured_round() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        a.on_contact(ms(0), 1, None);
+        let mut fulls = Vec::new();
+        for round in 0..25u64 {
+            // Keep node 1 alive: an empty heartbeat delta per round
+            // (silence would bury it and end the gossip).
+            a.on_digest(
+                ms(round * 50),
+                1,
+                &Digest {
+                    version: round + 1,
+                    ack: 0,
+                    full: false,
+                    records: Vec::new(),
+                },
+            );
+            for out in a.on_tick(ms(round * 50)) {
+                if out.digest.full {
+                    fulls.push(round);
+                }
+            }
+        }
+        assert_eq!(
+            fulls,
+            vec![0, 10, 20],
+            "first push full, then every full_sync_every rounds"
+        );
+    }
+
+    #[test]
+    fn a_stale_reordered_digest_does_not_trigger_a_full_resync() {
+        // A delay/reorder fault delivers an *older* digest after a
+        // newer one. That must not be mistaken for a peer restart: no
+        // O(cluster) full broadcast, no transition events — only a
+        // temporarily conservative ack (benign retransmission).
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        b.on_contact(ms(0), 0, None);
+        let t = settle(&mut a, &mut b, 0, 6);
+        let fresh = b.digest_for(0, false);
+        let stale = Digest {
+            version: fresh.version.saturating_sub(2),
+            ack: fresh.ack,
+            full: false,
+            records: Vec::new(),
+        };
+        assert!(a.on_digest(ms(t), 1, &fresh).is_empty());
+        a.poll_events();
+        let replies = a.on_digest(ms(t + 10), 1, &stale);
+        assert!(
+            replies.is_empty(),
+            "a reordered digest must not trigger replies: {replies:?}"
+        );
+        assert!(a.poll_events().is_empty(), "and no spurious transitions");
+        // The next in-order digest restores the ack.
+        a.on_digest(ms(t + 20), 1, &b.digest_for(0, false));
+        assert_eq!(a.digest_for(1, false).ack, fresh.version);
+    }
+
+    #[test]
+    fn a_restarted_peer_is_resynced_from_scratch() {
+        let mut a = Membership::new(0, None, 1, ms(0), cfg());
+        let mut b = Membership::new(1, None, 1, ms(0), cfg());
+        b.on_contact(ms(0), 0, None);
+        let t = settle(&mut a, &mut b, 0, 6);
+        // b crashes and rejoins with a *fresh* directory: its version
+        // counter restarts far below what a had applied.
+        let mut b2 = Membership::new(1, None, 2, ms(t), cfg());
+        b2.on_contact(ms(t), 0, None);
+        let probe = b2.digest_for(0, true);
+        let replies = a.on_digest(ms(t), 1, &probe);
+        // a must notice the restart (the rejoin incarnation outbids
+        // the old record), resync the acks, and push full.
+        let to_b: Vec<_> = replies.iter().filter(|o| o.to == 1).collect();
+        assert!(!to_b.is_empty(), "rejoiner must get an immediate reply");
+        assert!(to_b.iter().all(|o| o.digest.full));
+        for out in replies {
+            if out.to == 1 {
+                b2.on_digest(ms(t), 0, &out.digest);
+            }
+        }
+        assert_eq!(b2.directory().alive_nodes(), vec![0, 1]);
     }
 }

@@ -12,12 +12,15 @@
 //!   `(incarnation, status severity)`; merges are commutative, so any
 //!   gossip order converges;
 //! * [`Membership`] — the per-node engine: seed bootstrap, periodic
-//!   anti-entropy push of the full directory, silence-based
-//!   suspect/dead detection, SWIM-style refutation by incarnation
-//!   outbidding, and a [`MembershipEvent`] stream for the runtime;
+//!   anti-entropy as **delta digests** (records the peer has not
+//!   acknowledged, with a periodic full-sync backstop — steady-state
+//!   gossip is an empty ~19-byte heartbeat, O(churn) not O(cluster)),
+//!   silence-based suspect/dead detection, SWIM-style refutation by
+//!   incarnation outbidding, and a [`MembershipEvent`] stream for the
+//!   runtime;
 //! * [`wire`] — the binary digest codec, sized so gossip piggybacks on
-//!   the socket runtime's existing batched frames and meters honestly
-//!   in the simulator.
+//!   the egress plane's shared frames and meters honestly in the
+//!   simulator.
 //!
 //! Both runtimes realize the same engine: `dgc-simnet`'s grid drives it
 //! from simulated delivery (deterministic verdicts, replayable churn),
@@ -40,9 +43,9 @@
 //! b.on_contact(Time::ZERO, 0, None); // all b knows: the seed exists
 //! // b's first gossip introduces it; the seed replies with everything.
 //! for out in b.on_tick(Time::ZERO) {
-//!     for reply in seed.on_digest(Time::ZERO, 1, &out.records) {
+//!     for reply in seed.on_digest(Time::ZERO, 1, &out.digest) {
 //!         if reply.to == 1 {
-//!             b.on_digest(Time::ZERO, 0, &reply.records);
+//!             b.on_digest(Time::ZERO, 0, &reply.digest);
 //!         }
 //!     }
 //! }
@@ -58,4 +61,4 @@ pub mod engine;
 pub mod wire;
 
 pub use directory::{Directory, NodeRecord, NodeStatus, Transition};
-pub use engine::{GossipOut, Membership, MembershipConfig, MembershipEvent};
+pub use engine::{Digest, GossipOut, Membership, MembershipConfig, MembershipEvent};

@@ -9,13 +9,18 @@
 //! Layout:
 //!
 //! ```text
-//! digest := count(2) record*
+//! digest := version(8) ack(8) flags(1) count(2) record*
+//! flags  := bit0 = full sync (records are the whole directory)
 //! record := node(4) incarnation(8) status(1) addr
 //! addr   := 0x00                                -- none
 //!         | 0x04 ip(4) port(2)                  -- IPv4
 //!         | 0x06 ip(16) port(2)                 -- IPv6
 //! status := 0 alive | 1 suspect | 2 left | 3 dead
 //! ```
+//!
+//! `version`/`ack` are the delta-gossip bookkeeping (see
+//! [`crate::engine::Digest`]): a steady-state heartbeat digest is the
+//! 19-byte header with `count = 0`, which is the whole point.
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
@@ -24,6 +29,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dgc_core::wire::DecodeError;
 
 use crate::directory::{NodeRecord, NodeStatus};
+use crate::engine::Digest;
 
 const STATUS_ALIVE: u8 = 0;
 const STATUS_SUSPECT: u8 = 1;
@@ -115,27 +121,38 @@ pub fn get_record(buf: &mut Bytes) -> Result<NodeRecord, DecodeError> {
     })
 }
 
-/// Appends a whole digest (count-prefixed record list).
+const FLAG_FULL: u8 = 0b0000_0001;
+
+/// Appends a whole digest (versioned header + count-prefixed records).
 ///
 /// # Panics
 ///
-/// Panics if `records` exceeds [`MAX_DIGEST_RECORDS`].
-pub fn put_digest(buf: &mut BytesMut, records: &[NodeRecord]) {
+/// Panics if the digest exceeds [`MAX_DIGEST_RECORDS`].
+pub fn put_digest(buf: &mut BytesMut, digest: &Digest) {
     assert!(
-        records.len() <= MAX_DIGEST_RECORDS,
+        digest.records.len() <= MAX_DIGEST_RECORDS,
         "digest of {} records exceeds MAX_DIGEST_RECORDS",
-        records.len()
+        digest.records.len()
     );
-    buf.put_u16(records.len() as u16);
-    for rec in records {
+    buf.put_u64(digest.version);
+    buf.put_u64(digest.ack);
+    buf.put_u8(if digest.full { FLAG_FULL } else { 0 });
+    buf.put_u16(digest.records.len() as u16);
+    for rec in &digest.records {
         put_record(buf, rec);
     }
 }
 
 /// Reads a digest written by [`put_digest`] from the front of `buf`.
-pub fn get_digest(buf: &mut Bytes) -> Result<Vec<NodeRecord>, DecodeError> {
-    if buf.remaining() < 2 {
+pub fn get_digest(buf: &mut Bytes) -> Result<Digest, DecodeError> {
+    if buf.remaining() < 8 + 8 + 1 + 2 {
         return Err(DecodeError::Truncated);
+    }
+    let version = buf.get_u64();
+    let ack = buf.get_u64();
+    let flags = buf.get_u8();
+    if flags & !FLAG_FULL != 0 {
+        return Err(DecodeError::BadTag(flags));
     }
     let count = buf.get_u16() as usize;
     if count > MAX_DIGEST_RECORDS {
@@ -145,7 +162,12 @@ pub fn get_digest(buf: &mut Bytes) -> Result<Vec<NodeRecord>, DecodeError> {
     for _ in 0..count {
         records.push(get_record(buf)?);
     }
-    Ok(records)
+    Ok(Digest {
+        version,
+        ack,
+        full: flags & FLAG_FULL != 0,
+        records,
+    })
 }
 
 /// Encoded size of one record, in bytes (what the simulator's traffic
@@ -159,16 +181,25 @@ pub fn record_wire_size(rec: &NodeRecord) -> u64 {
     4 + 8 + 1 + addr
 }
 
-/// Encoded size of a whole digest.
-pub fn digest_wire_size(records: &[NodeRecord]) -> u64 {
-    2 + records.iter().map(record_wire_size).sum::<u64>()
+/// Encoded size of a whole digest (header + records).
+pub fn digest_wire_size(digest: &Digest) -> u64 {
+    8 + 8 + 1 + 2 + digest.records.iter().map(record_wire_size).sum::<u64>()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample() -> Vec<NodeRecord> {
+    fn sample() -> Digest {
+        Digest {
+            version: 42,
+            ack: 17,
+            full: false,
+            records: sample_records(),
+        }
+    }
+
+    fn sample_records() -> Vec<NodeRecord> {
         vec![
             NodeRecord {
                 node: 0,
@@ -199,20 +230,27 @@ mod tests {
 
     #[test]
     fn digest_round_trips() {
-        let records = sample();
+        let digest = sample();
         let mut buf = BytesMut::new();
-        put_digest(&mut buf, &records);
-        assert_eq!(buf.len() as u64, digest_wire_size(&records));
+        put_digest(&mut buf, &digest);
+        assert_eq!(buf.len() as u64, digest_wire_size(&digest));
         let mut bytes = buf.freeze();
-        assert_eq!(get_digest(&mut bytes).unwrap(), records);
+        assert_eq!(get_digest(&mut bytes).unwrap(), digest);
         assert_eq!(bytes.remaining(), 0, "self-delimiting");
     }
 
     #[test]
-    fn empty_digest_round_trips() {
+    fn empty_heartbeat_digest_is_a_19_byte_header() {
+        let digest = Digest {
+            version: u64::MAX,
+            ack: u64::MAX,
+            full: true,
+            records: Vec::new(),
+        };
         let mut buf = BytesMut::new();
-        put_digest(&mut buf, &[]);
-        assert_eq!(get_digest(&mut buf.freeze()).unwrap(), Vec::new());
+        put_digest(&mut buf, &digest);
+        assert_eq!(buf.len(), 19, "the steady-state gossip cost");
+        assert_eq!(get_digest(&mut buf.freeze()).unwrap(), digest);
     }
 
     #[test]
@@ -220,6 +258,7 @@ mod tests {
         let mut buf = BytesMut::new();
         put_digest(&mut buf, &sample());
         let raw = buf.freeze();
+        assert!(raw.len() > 19);
         for len in 0..raw.len() {
             let mut cut = raw.slice(0..len);
             assert!(
@@ -253,7 +292,27 @@ mod tests {
     #[test]
     fn oversized_digest_count_is_corrupt() {
         let mut buf = BytesMut::new();
+        buf.put_u64(1); // version
+        buf.put_u64(0); // ack
+        buf.put_u8(0); // flags
         buf.put_u16(u16::MAX);
         assert!(get_digest(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn unknown_digest_flags_are_corrupt() {
+        let mut buf = BytesMut::new();
+        put_digest(
+            &mut buf,
+            &Digest {
+                version: 1,
+                ack: 0,
+                full: false,
+                records: Vec::new(),
+            },
+        );
+        let mut raw = buf.freeze().to_vec();
+        raw[16] |= 0x80; // flags byte
+        assert!(get_digest(&mut Bytes::from(raw)).is_err());
     }
 }

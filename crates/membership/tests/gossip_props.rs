@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use dgc_core::units::{Dur, Time};
-use dgc_membership::{Membership, MembershipConfig, NodeRecord, NodeStatus, Transition};
+use dgc_membership::{Digest, Membership, MembershipConfig, NodeRecord, NodeStatus, Transition};
 
 fn ms(v: u64) -> Time {
     Time::from_nanos(v * 1_000_000)
@@ -20,7 +20,41 @@ fn cfg() -> MembershipConfig {
         gossip_interval: Dur::from_millis(50),
         suspect_after: Dur::from_secs(2),
         dead_after: Dur::from_secs(5),
+        full_sync_every: 10,
     }
+}
+
+/// Drives `engines` for `until_ms` of lock-step time with seeded
+/// Bernoulli loss of whole digests; returns `(digests sent, lost,
+/// record payloads carried)`.
+fn run_lossy(
+    engines: &mut [Membership],
+    until_ms: u64,
+    seed: u64,
+    loss_permille: u16,
+) -> (u64, u64, u64) {
+    let (mut sent, mut lost, mut records_carried) = (0u64, 0u64, 0u64);
+    for t in (0..until_ms).step_by(10) {
+        // Collect this step's digests, then deliver the survivors;
+        // replies (push-on-new) go through the same lossy filter.
+        let mut outbox: Vec<(u32, u32, Digest)> = Vec::new();
+        for e in engines.iter_mut() {
+            let from = e.node_id();
+            outbox.extend(e.on_tick(ms(t)).into_iter().map(|o| (from, o.to, o.digest)));
+        }
+        while let Some((from, to, digest)) = outbox.pop() {
+            sent += 1;
+            records_carried += digest.records.len() as u64;
+            if dgc_core::faults::decision(seed, 0, from, to, sent, loss_permille) {
+                lost += 1;
+                continue;
+            }
+            let dst = engines.iter_mut().find(|e| e.node_id() == to).unwrap();
+            let replies = dst.on_digest(ms(t), from, &digest);
+            outbox.extend(replies.into_iter().map(|o| (to, o.to, o.digest)));
+        }
+    }
+    (sent, lost, records_carried)
 }
 
 proptest! {
@@ -41,27 +75,7 @@ proptest! {
         for e in engines.iter_mut().skip(1) {
             e.on_contact(ms(0), 0, None); // everyone knows only the seed
         }
-        let mut sent: u64 = 0;
-        let mut lost: u64 = 0;
-        for t in (0..4000u64).step_by(10) {
-            // Collect this step's digests, then deliver the survivors;
-            // replies (push-on-new) go through the same lossy filter.
-            let mut outbox: Vec<(u32, u32, Vec<NodeRecord>)> = Vec::new();
-            for e in engines.iter_mut() {
-                let from = e.node_id();
-                outbox.extend(e.on_tick(ms(t)).into_iter().map(|o| (from, o.to, o.records)));
-            }
-            while let Some((from, to, records)) = outbox.pop() {
-                sent += 1;
-                if dgc_core::faults::decision(seed, 0, from, to, sent, loss_permille) {
-                    lost += 1;
-                    continue;
-                }
-                let dst = engines.iter_mut().find(|e| e.node_id() == to).unwrap();
-                let replies = dst.on_digest(ms(t), from, &records);
-                outbox.extend(replies.into_iter().map(|o| (to, o.to, o.records)));
-            }
-        }
+        let (sent, lost, _) = run_lossy(&mut engines, 4000, seed, loss_permille);
         for e in &engines {
             let alive: Vec<u32> = e.directory().alive_nodes();
             prop_assert_eq!(
@@ -71,6 +85,50 @@ proptest! {
                 e.node_id(), seed, loss_permille, lost, sent
             );
         }
+    }
+
+    /// Delta gossip (with its periodic full-sync backstop) reaches the
+    /// same converged directories as unconditional full pushes under
+    /// the *same* Bernoulli loss stream of ≤ 30% — while carrying
+    /// strictly fewer record payloads. The delta optimization must be
+    /// invisible to the protocol's outcome and visible to its meter.
+    #[test]
+    fn delta_and_full_push_converge_to_the_same_directory_under_loss(
+        nodes in 2u32..6,
+        loss_permille in 0u16..300,
+        seed in 0u64..512,
+    ) {
+        let build = |config: MembershipConfig| -> Vec<Membership> {
+            let mut engines: Vec<Membership> = (0..nodes)
+                .map(|n| Membership::new(n, None, 1, ms(0), config))
+                .collect();
+            for e in engines.iter_mut().skip(1) {
+                e.on_contact(ms(0), 0, None);
+            }
+            engines
+        };
+        let mut delta = build(cfg());
+        let mut full = build(cfg().full_push());
+        let (_, _, delta_records) = run_lossy(&mut delta, 4000, seed, loss_permille);
+        let (_, _, full_records) = run_lossy(&mut full, 4000, seed, loss_permille);
+        for (d, f) in delta.iter().zip(&full) {
+            prop_assert_eq!(
+                d.directory(),
+                f.directory(),
+                "node {}: delta and full-push replicas diverged (seed {}, loss {}‰)",
+                d.node_id(), seed, loss_permille
+            );
+            prop_assert_eq!(
+                d.directory().alive_nodes(),
+                (0..nodes).collect::<Vec<u32>>(),
+                "node {} never converged", d.node_id()
+            );
+        }
+        prop_assert!(
+            delta_records < full_records,
+            "deltas must carry fewer record payloads ({} vs {})",
+            delta_records, full_records
+        );
     }
 
     /// Directory merges never regress: the winning precedence per node
@@ -132,7 +190,13 @@ proptest! {
                 status: status(st),
                 addr: None,
             };
-            e.on_digest(ms(i as u64), 0, &[about_me]);
+            let hostile = Digest {
+                version: i as u64 + 1,
+                ack: 0,
+                full: false,
+                records: vec![about_me],
+            };
+            e.on_digest(ms(i as u64), 0, &hostile);
             prop_assert!(e.incarnation() >= prev, "incarnation regressed");
             prev = e.incarnation();
             let own = e.directory().get(7).unwrap();
@@ -173,7 +237,16 @@ fn incarnation_climbs_across_a_full_lifecycle() {
         let before = observer.directory().get(1).unwrap().precedence();
         // Deliver through a digest from node 2 (a third party).
         observer.on_contact(ms(0), 2, None);
-        observer.on_digest(ms(10), 2, &[rec]);
+        observer.on_digest(
+            ms(10),
+            2,
+            &Digest {
+                version: seen_incarnation + 1,
+                ack: 0,
+                full: false,
+                records: vec![rec],
+            },
+        );
         let after = observer.directory().get(1).unwrap();
         assert!(after.precedence() >= before, "directory regressed");
         assert!(

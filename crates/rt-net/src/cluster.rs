@@ -11,14 +11,25 @@
 //! * [`Cluster::listen_local`] — **static registration**: every node is
 //!   handed every other node's address up front (the pre-membership
 //!   wiring, kept for focused transport tests);
-//! * [`Cluster::join_local`] — **seed bootstrap**: only node 0's
-//!   address is known; every other node joins through it and discovers
-//!   the rest via `dgc-membership` gossip. Join clusters support
-//!   *churn*: [`Cluster::crash_node`] / [`Cluster::restart_node`] kill
-//!   and resurrect whole nodes (fresh incarnation, fresh port, fresh
-//!   activity-id range), and [`Cluster::schedule_churn`] scripts them
-//!   from a [`FaultProfile`]'s `NodeCrash` primitives.
+//! * [`Cluster::join_local`] / [`Cluster::join_local_seeded`] — **seed
+//!   bootstrap**: only the seed nodes' addresses are known (node 0, or
+//!   nodes `0..seeds`); every other node joins through them — retrying
+//!   across all of them — and discovers the rest via `dgc-membership`
+//!   gossip. With several seeds a crashed or restarted seed no longer
+//!   strands rejoins: dialers fall through to the surviving seeds, and
+//!   a restarted seed's fresh address replaces its stale entry. Join
+//!   clusters support *churn*: [`Cluster::crash_node`] /
+//!   [`Cluster::restart_node`] kill and resurrect whole nodes (fresh
+//!   incarnation, fresh port, fresh activity-id range), and
+//!   [`Cluster::schedule_churn`] scripts them from a [`FaultProfile`]'s
+//!   `NodeCrash` primitives.
+//!
+//! Clean shutdown is **graceful**: dropping a membership cluster (or
+//! calling [`Cluster::leave_node`] on one node) drives the engine's
+//! `leave()` first, so peers learn the departure from a `Left` verdict
+//! instead of a suspicion timeout.
 
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,8 +57,25 @@ struct Slot {
 
 type SharedSlot = Arc<Mutex<Slot>>;
 
+/// The seed directory: node id → current listen address, shared with
+/// churn timers so a restarted seed can refresh its entry (the old
+/// ephemeral port died with the old process).
+type SeedMap = Arc<Mutex<Vec<(u32, SocketAddr)>>>;
+
 fn lock(slot: &SharedSlot) -> std::sync::MutexGuard<'_, Slot> {
     slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Current seed addresses to bootstrap `joiner` through (its own entry
+/// excluded: dialing yourself is not a bootstrap).
+fn seed_addrs_for(seeds: &SeedMap, joiner: u32) -> Vec<SocketAddr> {
+    seeds
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter(|(id, _)| *id != joiner)
+        .map(|(_, addr)| *addr)
+        .collect()
 }
 
 /// Kills the node in `slot` (if any): collector terminations it
@@ -75,7 +103,7 @@ fn crash_slot(slot: &SharedSlot, graveyard: &Mutex<Vec<Terminated>>) {
 fn restart_slot(
     slot: &SharedSlot,
     config: NetConfig,
-    seeds: &[SocketAddr],
+    seeds: &SeedMap,
     node_id: u32,
     incarnation: u64,
     closed: &AtomicBool,
@@ -90,7 +118,15 @@ fn restart_slot(
         "rejoin incarnation must exceed every earlier life"
     );
     let node = NetNode::bind_rejoin(node_id, config, incarnation, s.next_first_index)?;
-    node.join(seeds);
+    node.join(&seed_addrs_for(seeds, node_id));
+    // A restarted *seed* listens on a fresh port: refresh its entry so
+    // later rejoins dial the live incarnation, not the corpse.
+    let addr = node.addr();
+    for entry in seeds.lock().unwrap_or_else(|e| e.into_inner()).iter_mut() {
+        if entry.0 == node_id {
+            entry.1 = addr;
+        }
+    }
     s.incarnation = incarnation;
     s.node = Some(node);
     Ok(())
@@ -101,8 +137,8 @@ pub struct Cluster {
     slots: Vec<SharedSlot>,
     /// Collector terminations recorded by nodes that later crashed.
     graveyard: Arc<Mutex<Vec<Terminated>>>,
-    /// Seed addresses used by (re)joins; empty for static clusters.
-    seeds: Vec<SocketAddr>,
+    /// Seed directory used by (re)joins; empty for static clusters.
+    seeds: SeedMap,
     config: NetConfig,
     proxies: Vec<ChaosProxy>,
     /// Tells scheduled churn/pause timers the cluster is gone.
@@ -125,7 +161,7 @@ impl Cluster {
                 })
                 .collect(),
             graveyard: Arc::new(Mutex::new(Vec::new())),
-            seeds: Vec::new(),
+            seeds: Arc::new(Mutex::new(Vec::new())),
             config,
             proxies: Vec::new(),
             closed: Arc::new(AtomicBool::new(false)),
@@ -153,25 +189,49 @@ impl Cluster {
     }
 
     /// Starts `n` nodes that discover each other through **seed
-    /// bootstrap**: node 0 is the seed; nodes 1.. are handed only its
-    /// address and must join, gossip, and converge. Requires (and
-    /// asserts) `config.membership`.
+    /// bootstrap** with node 0 as the only seed. Shorthand for
+    /// [`Cluster::join_local_seeded`]`(n, 1, config)`.
     pub fn join_local(n: u32, config: NetConfig) -> std::io::Result<Cluster> {
+        Cluster::join_local_seeded(n, 1, config)
+    }
+
+    /// Starts `n` nodes that discover each other through **multi-seed
+    /// bootstrap**: nodes `0..seeds` are all seeds; every node is
+    /// handed every *other* seed's address and must join, gossip, and
+    /// converge. Joins and rejoins retry across all seeds, so one
+    /// crashed (or mid-restart) seed no longer strands them — the
+    /// ROADMAP's restarted-seed gap. Requires (and asserts)
+    /// `config.membership`.
+    pub fn join_local_seeded(n: u32, seeds: u32, config: NetConfig) -> std::io::Result<Cluster> {
         assert!(
             config.membership.is_some(),
-            "Cluster::join_local needs NetConfig::membership"
+            "Cluster::join_local_seeded needs NetConfig::membership"
         );
-        assert!(n >= 1, "a cluster needs at least the seed");
+        assert!(n >= 1, "a cluster needs at least one seed");
+        assert!(
+            (1..=n).contains(&seeds),
+            "seed count must be between 1 and the cluster size"
+        );
         let mut nodes = Vec::with_capacity(n as usize);
         for id in 0..n {
             nodes.push(NetNode::bind(id, config)?);
         }
-        let seeds = vec![nodes[0].addr()];
-        for node in nodes.iter().skip(1) {
-            node.join(&seeds);
+        let seed_map: Vec<(u32, SocketAddr)> = nodes[..seeds as usize]
+            .iter()
+            .map(|nd| (nd.node_id(), nd.addr()))
+            .collect();
+        for node in &nodes {
+            let contacts: Vec<SocketAddr> = seed_map
+                .iter()
+                .filter(|(id, _)| *id != node.node_id())
+                .map(|(_, addr)| *addr)
+                .collect();
+            if !contacts.is_empty() {
+                node.join(&contacts);
+            }
         }
         let mut cluster = Cluster::from_nodes(nodes, config, Instant::now());
-        cluster.seeds = seeds;
+        cluster.seeds = Arc::new(Mutex::new(seed_map));
         Ok(cluster)
     }
 
@@ -270,23 +330,40 @@ impl Cluster {
     /// Schedules the profile's `NodeCrash`es: one detached timer thread
     /// per crash kills the node at `down.start` and, for rejoining
     /// crashes, restarts it at `down.end` under the scripted
-    /// incarnation via the seed addresses. Crashing the seed itself is
-    /// rejected (nothing could bootstrap the rejoin).
+    /// incarnation via the surviving seeds. Individual seeds may crash
+    /// and rejoin (the other seeds bootstrap them, and their fresh
+    /// address replaces the stale entry) — only a profile that crashes
+    /// *every* seed is rejected, since nothing could bootstrap any
+    /// rejoin then.
     pub fn schedule_churn(&self, profile: &FaultProfile) {
+        let seed_ids: BTreeSet<u32> = self
+            .seeds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         assert!(
-            !self.seeds.is_empty(),
+            !seed_ids.is_empty(),
             "churn needs a join cluster (Cluster::join_local)"
         );
+        if profile
+            .node_crashes()
+            .iter()
+            .any(|c| c.rejoin_incarnation.is_some())
+        {
+            let crashed: BTreeSet<u32> = profile.node_crashes().iter().map(|c| c.node).collect();
+            assert!(
+                seed_ids.iter().any(|s| !crashed.contains(s)),
+                "crashing every seed strands every rejoin"
+            );
+        }
         let epoch = self.epoch;
         for crash in profile.node_crashes() {
-            assert!(
-                !(crash.node == 0 && crash.rejoin_incarnation.is_some()),
-                "crashing the seed strands every rejoin"
-            );
             let slot = Arc::clone(&self.slots[crash.node as usize]);
             let graveyard = Arc::clone(&self.graveyard);
             let closed = Arc::clone(&self.closed);
-            let seeds = self.seeds.clone();
+            let seeds = Arc::clone(&self.seeds);
             let config = self.config;
             let crash = *crash;
             let _ = std::thread::Builder::new()
@@ -325,10 +402,15 @@ impl Cluster {
     }
 
     /// Restarts a crashed `node` under `incarnation` (must exceed every
-    /// earlier life), rejoining through the seed. Join clusters only.
+    /// earlier life), rejoining through the surviving seeds. Join
+    /// clusters only.
     pub fn restart_node(&self, node: u32, incarnation: u64) -> std::io::Result<()> {
         assert!(
-            !self.seeds.is_empty(),
+            !self
+                .seeds
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty(),
             "restart needs a join cluster (Cluster::join_local)"
         );
         restart_slot(
@@ -339,6 +421,17 @@ impl Cluster {
             incarnation,
             &self.closed,
         )
+    }
+
+    /// Graceful departure of one node — the clean-shutdown path: the
+    /// node announces [`dgc_membership::NodeStatus::Left`], flushes the
+    /// farewell digests, and only then goes down (its collector
+    /// terminations are preserved like a crash's). Peers learn the
+    /// departure from the `Left` verdict immediately instead of waiting
+    /// out the suspicion timeout.
+    pub fn leave_node(&self, node: u32) {
+        self.with_node(node, |nd| nd.leave());
+        crash_slot(&self.slots[node as usize], &self.graveyard);
     }
 
     /// True while `node` is crashed.
@@ -363,9 +456,15 @@ impl Cluster {
         self.epoch
     }
 
-    /// The seed addresses of a join cluster (empty for static ones).
-    pub fn seed_addrs(&self) -> &[SocketAddr] {
-        &self.seeds
+    /// The current seed addresses of a join cluster (empty for static
+    /// ones); a restarted seed appears under its fresh address.
+    pub fn seed_addrs(&self) -> Vec<SocketAddr> {
+        self.seeds
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(_, addr)| *addr)
+            .collect()
     }
 
     /// Aggregated chaos-proxy counters (all zero for a plain cluster).
@@ -421,6 +520,18 @@ impl Cluster {
     /// Drops the reference edge `from → to`.
     pub fn drop_ref(&self, from: AoId, to: AoId) {
         self.with_live(from.node, |nd| nd.drop_ref(from, to));
+    }
+
+    /// Sends an opaque application unit (see [`NetNode::send_app`]):
+    /// the egress flush trigger everything else piggybacks on.
+    pub fn send_app(&self, from: AoId, to: AoId, reply: bool, payload: Vec<u8>) {
+        self.with_live(from.node, |nd| nd.send_app(from, to, reply, payload));
+    }
+
+    /// Application units delivered to `node` so far, in arrival order.
+    pub fn app_received(&self, node: u32) -> Vec<crate::node::AppReceived> {
+        self.with_node(node, |nd| nd.app_received())
+            .unwrap_or_default()
     }
 
     /// All collector terminations recorded so far, across nodes —
@@ -532,6 +643,26 @@ impl Drop for Cluster {
         // Stop scheduled churn first: a restart racing the teardown
         // would resurrect a node nobody will ever stop.
         self.closed.store(true, Ordering::SeqCst);
+        // Clean shutdown is graceful: every membership node announces
+        // its departure before going down, so any peer that outlives
+        // this teardown (or an observer mid-test) sees `Left` verdicts,
+        // not a wall of suspicions. All leaves start concurrently; the
+        // acks are then collected and one shared socket grace covers
+        // the lot (not a per-node sleep).
+        if self.config.membership.is_some() {
+            let acks: Vec<_> = self
+                .slots
+                .iter()
+                .filter_map(|slot| lock(slot).node.as_ref().and_then(|nd| nd.leave_begin()))
+                .collect();
+            let mut any = false;
+            for rx in acks {
+                any |= rx.recv_timeout(Duration::from_secs(1)).is_ok();
+            }
+            if any {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
         // Nodes next: their link threads are the proxies' clients, so
         // closing them lets proxy pumps drain out on EOF instead of
         // being killed mid-frame.

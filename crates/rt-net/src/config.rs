@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use dgc_core::config::DgcConfig;
+use dgc_core::egress::FlushPolicy;
 use dgc_membership::MembershipConfig;
 
 /// Configuration of one network node: the DGC parameters its activities
@@ -11,17 +12,14 @@ use dgc_membership::MembershipConfig;
 pub struct NetConfig {
     /// Protocol parameters handed to every hosted [`dgc_core::DgcState`].
     pub dgc: DgcConfig,
-    /// How long an outbound link lingers after its first queued item to
-    /// let co-scheduled heartbeats pile into the same frame. Zero still
-    /// coalesces whatever is already queued (opportunistic batching);
-    /// the default 1 ms comfortably covers one event-loop tick sweep at
-    /// millisecond TTBs without adding measurable latency at the paper's
-    /// 30 s TTB.
-    pub batch_window: Duration,
-    /// When false, every protocol unit ships in its own frame — the
-    /// one-RMI-call-per-message behaviour the paper measured; kept as a
-    /// switch so the `net_batching` bench can quantify the difference.
-    pub batching: bool,
+    /// The egress plane's flush policy: when a destination's queued
+    /// units (heartbeats, digests, control, app payloads) become a
+    /// frame. The default coalesces background units for up to 1 ms and
+    /// flushes immediately — with the queue piggybacking — on every
+    /// application send; [`FlushPolicy::immediate`] restores the
+    /// one-RMI-call-per-message behaviour the paper measured as its
+    /// baseline (kept so `net_batching` can quantify the difference).
+    pub egress: FlushPolicy,
     /// First reconnect delay after a link drops; doubles per failure.
     pub reconnect_base: Duration,
     /// Reconnect delay cap.
@@ -47,8 +45,7 @@ impl NetConfig {
     pub fn new(dgc: DgcConfig) -> Self {
         NetConfig {
             dgc,
-            batch_window: Duration::from_millis(1),
-            batching: true,
+            egress: FlushPolicy::default(),
             reconnect_base: Duration::from_millis(10),
             reconnect_max: Duration::from_secs(1),
             fail_after_attempts: 20,
@@ -62,15 +59,20 @@ impl NetConfig {
         self
     }
 
-    /// Sets the batching window.
-    pub fn batch_window(mut self, w: Duration) -> Self {
-        self.batch_window = w;
+    /// Sets the egress flush policy.
+    pub fn egress(mut self, policy: FlushPolicy) -> Self {
+        self.egress = policy;
         self
     }
 
-    /// Enables or disables frame batching.
+    /// Enables (default policy) or disables ([`FlushPolicy::immediate`])
+    /// egress coalescing — the switch the `net_batching` bench flips.
     pub fn batching(mut self, on: bool) -> Self {
-        self.batching = on;
+        self.egress = if on {
+            FlushPolicy::default()
+        } else {
+            FlushPolicy::immediate()
+        };
         self
     }
 }
@@ -84,12 +86,15 @@ impl Default for NetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgc_core::units::Dur;
 
     #[test]
-    fn defaults_batch() {
+    fn defaults_batch_through_the_egress_plane() {
         let c = NetConfig::default();
-        assert!(c.batching);
-        assert!(c.batch_window >= Duration::from_micros(100));
+        assert!(!c.egress.is_immediate());
+        assert!(c.egress.flush_on_app);
+        assert!(c.egress.max_delay >= Dur::from_nanos(100_000));
         assert!(c.fail_after_attempts > 0);
+        assert!(c.batching(false).egress.is_immediate());
     }
 }

@@ -5,8 +5,9 @@
 //! message or response; a *node* link needs more: who is connecting
 //! (hello), which activity a unit is addressed to, notification that a
 //! destination activity no longer exists, and — the paper's fig. 8 cost
-//! lever — **batching**, so every DGC unit bound for the same remote
-//! node inside one TTB window shares a single frame and its overhead.
+//! lever — **batching**: every unit the egress plane flushes toward one
+//! remote node (DGC heartbeats, membership digests, application
+//! payloads) shares a single frame and its overhead.
 //!
 //! Layout (big-endian), length-prefixed for TCP:
 //!
@@ -17,24 +18,29 @@
 //! item     := 0x01 from(8) to(8) message                   -- Dgc
 //!           | 0x02 from(8) to(8) response                  -- Resp
 //!           | 0x03 holder(8) target(8)                     -- SendFailure
+//!           | 0x04 from(4) to(4) digest                    -- Gossip
+//!           | 0x05 from(8) to(8) flags(1) len(4) bytes     -- App
 //! ```
 //!
-//! `message` / `response` reuse [`dgc_core::wire`]'s self-delimiting
-//! encodings byte for byte, so the bandwidth accounting of the simulator
-//! and of the socket transport agree on the cost of a protocol unit.
+//! `message` / `response` / `digest` reuse the self-delimiting
+//! encodings of [`dgc_core::wire`] and [`dgc_membership::wire`] byte
+//! for byte, so the bandwidth accounting of the simulator and of the
+//! socket transport agree on the cost of a protocol unit.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use dgc_core::egress::EgressClass;
 use dgc_core::id::AoId;
 use dgc_core::message::{DgcMessage, DgcResponse};
 use dgc_core::wire::{self, DecodeError};
 use dgc_membership::wire as membership_wire;
-use dgc_membership::NodeRecord;
+use dgc_membership::Digest;
 
 /// Protocol version carried by [`Frame::Hello`]; bumped on any layout
 /// change so mismatched nodes fail the handshake instead of
-/// misinterpreting frames.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// misinterpreting frames. Version 2: versioned delta gossip digests
+/// and application items in the shared egress frames.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame tag bytes (disjoint from `dgc_core::wire`'s unit tags).
 const TAG_HELLO: u8 = 0xF0;
@@ -44,6 +50,13 @@ const ITEM_DGC: u8 = 0x01;
 const ITEM_RESP: u8 = 0x02;
 const ITEM_FAIL: u8 = 0x03;
 const ITEM_GOSSIP: u8 = 0x04;
+const ITEM_APP: u8 = 0x05;
+
+const APP_FLAG_REPLY: u8 = 0b0000_0001;
+
+/// Hard cap on one application payload inside a frame (anything larger
+/// should stream on its own connection, not ride the shared frames).
+pub const MAX_APP_PAYLOAD: usize = 1 << 20;
 
 /// Wildcard destination for the gossip item a **join probe** sends: a
 /// joining node dials a seed *address* before it knows the seed's node
@@ -92,15 +105,28 @@ pub enum Item {
         /// The activity that is gone.
         target: AoId,
     },
-    /// A membership gossip digest (`dgc-membership` anti-entropy),
+    /// A membership gossip digest (`dgc-membership` delta anti-entropy),
     /// batched into the same frames as the DGC units it rides with.
     Gossip {
         /// Sending node.
         from: u32,
         /// Destination node, or [`GOSSIP_ANYCAST`] on a join probe.
         to: u32,
-        /// The sender's full directory.
-        records: Vec<NodeRecord>,
+        /// The versioned delta (or full-sync) digest.
+        digest: Digest,
+    },
+    /// An opaque application unit (request or reply payload) sharing
+    /// the egress frames — the traffic everything else piggybacks on.
+    App {
+        /// Sending activity.
+        from: AoId,
+        /// Destination activity, hosted on the receiving node.
+        to: AoId,
+        /// True for a reply (travels back over the socket the
+        /// requester's node opened, like DGC responses).
+        reply: bool,
+        /// The serialized call/value, opaque to the transport.
+        payload: Vec<u8>,
     },
 }
 
@@ -108,9 +134,35 @@ impl Item {
     /// The node the item must be routed to.
     pub fn destination_node(&self) -> u32 {
         match self {
-            Item::Dgc { to, .. } | Item::Resp { to, .. } => to.node,
+            Item::Dgc { to, .. } | Item::Resp { to, .. } | Item::App { to, .. } => to.node,
             Item::SendFailure { holder, .. } => holder.node,
             Item::Gossip { to, .. } => *to,
+        }
+    }
+
+    /// The egress class the item is metered and flushed under.
+    pub fn class(&self) -> EgressClass {
+        match self {
+            Item::Dgc { .. } => EgressClass::DgcMessage,
+            Item::Resp { .. } => EgressClass::DgcResponse,
+            Item::SendFailure { .. } => EgressClass::Control,
+            Item::Gossip { .. } => EgressClass::Gossip,
+            Item::App { reply: false, .. } => EgressClass::AppRequest,
+            Item::App { reply: true, .. } => EgressClass::AppReply,
+        }
+    }
+
+    /// Encoded size of the item inside a batch, in bytes (tag and all
+    /// fields) — what the egress plane charges against its byte bound.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Item::Dgc { .. } => 1 + 8 + 8 + wire::message_wire_size(),
+            Item::Resp { response, .. } => {
+                1 + 8 + 8 + wire::response_wire_size(response.depth.is_some())
+            }
+            Item::SendFailure { .. } => 1 + 8 + 8,
+            Item::Gossip { digest, .. } => 1 + 4 + 4 + membership_wire::digest_wire_size(digest),
+            Item::App { payload, .. } => 1 + 8 + 8 + 1 + 4 + payload.len() as u64,
         }
     }
 }
@@ -148,11 +200,29 @@ fn put_item(buf: &mut BytesMut, item: &Item) {
             wire::put_aoid(buf, *holder);
             wire::put_aoid(buf, *target);
         }
-        Item::Gossip { from, to, records } => {
+        Item::Gossip { from, to, digest } => {
             buf.put_u8(ITEM_GOSSIP);
             buf.put_u32(*from);
             buf.put_u32(*to);
-            membership_wire::put_digest(buf, records);
+            membership_wire::put_digest(buf, digest);
+        }
+        Item::App {
+            from,
+            to,
+            reply,
+            payload,
+        } => {
+            assert!(
+                payload.len() <= MAX_APP_PAYLOAD,
+                "app payload of {} bytes exceeds MAX_APP_PAYLOAD",
+                payload.len()
+            );
+            buf.put_u8(ITEM_APP);
+            wire::put_aoid(buf, *from);
+            wire::put_aoid(buf, *to);
+            buf.put_u8(if *reply { APP_FLAG_REPLY } else { 0 });
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
         }
     }
 }
@@ -185,8 +255,34 @@ fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
             }
             let from = buf.get_u32();
             let to = buf.get_u32();
-            let records = membership_wire::get_digest(buf)?;
-            Ok(Item::Gossip { from, to, records })
+            let digest = membership_wire::get_digest(buf)?;
+            Ok(Item::Gossip { from, to, digest })
+        }
+        ITEM_APP => {
+            let from = wire::get_aoid(buf)?;
+            let to = wire::get_aoid(buf)?;
+            if buf.remaining() < 1 + 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let flags = buf.get_u8();
+            if flags & !APP_FLAG_REPLY != 0 {
+                return Err(DecodeError::BadTag(flags));
+            }
+            let len = buf.get_u32() as usize;
+            if len > MAX_APP_PAYLOAD {
+                return Err(DecodeError::BadTag(ITEM_APP));
+            }
+            if buf.remaining() < len {
+                return Err(DecodeError::Truncated);
+            }
+            let mut payload = vec![0u8; len];
+            buf.copy_to_slice(&mut payload);
+            Ok(Item::App {
+                from,
+                to,
+                reply: flags & APP_FLAG_REPLY != 0,
+                payload,
+            })
         }
         other => Err(DecodeError::BadTag(other)),
     }
@@ -379,20 +475,37 @@ mod tests {
             Item::Gossip {
                 from: 0,
                 to: 1,
-                records: vec![
-                    dgc_membership::NodeRecord {
-                        node: 0,
-                        incarnation: 2,
-                        status: dgc_membership::NodeStatus::Alive,
-                        addr: Some("127.0.0.1:40100".parse().unwrap()),
-                    },
-                    dgc_membership::NodeRecord {
-                        node: 2,
-                        incarnation: 1,
-                        status: dgc_membership::NodeStatus::Dead,
-                        addr: None,
-                    },
-                ],
+                digest: Digest {
+                    version: 7,
+                    ack: 3,
+                    full: false,
+                    records: vec![
+                        dgc_membership::NodeRecord {
+                            node: 0,
+                            incarnation: 2,
+                            status: dgc_membership::NodeStatus::Alive,
+                            addr: Some("127.0.0.1:40100".parse().unwrap()),
+                        },
+                        dgc_membership::NodeRecord {
+                            node: 2,
+                            incarnation: 1,
+                            status: dgc_membership::NodeStatus::Dead,
+                            addr: None,
+                        },
+                    ],
+                },
+            },
+            Item::App {
+                from: AoId::new(0, 1),
+                to: AoId::new(1, 0),
+                reply: false,
+                payload: vec![0xAB; 48],
+            },
+            Item::App {
+                from: AoId::new(1, 0),
+                to: AoId::new(0, 1),
+                reply: true,
+                payload: Vec::new(),
             },
         ])
     }
@@ -474,6 +587,42 @@ mod tests {
             encode_frame(&Frame::Batch(items.clone()))
         );
         assert_eq!(encode_batch_frame(&[]), encode_frame(&Frame::Batch(vec![])));
+    }
+
+    #[test]
+    fn item_wire_size_matches_the_encoder() {
+        let Frame::Batch(items) = sample_batch() else {
+            unreachable!()
+        };
+        for item in items {
+            let mut buf = BytesMut::new();
+            put_item(&mut buf, &item);
+            assert_eq!(
+                buf.len() as u64,
+                item.wire_size(),
+                "size model drifted for {item:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn item_classes_cover_every_plane() {
+        use dgc_core::egress::EgressClass;
+        let Frame::Batch(items) = sample_batch() else {
+            unreachable!()
+        };
+        let classes: Vec<EgressClass> = items.iter().map(|i| i.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                EgressClass::DgcMessage,
+                EgressClass::DgcResponse,
+                EgressClass::Control,
+                EgressClass::Gossip,
+                EgressClass::AppRequest,
+                EgressClass::AppReply,
+            ]
+        );
     }
 
     #[test]

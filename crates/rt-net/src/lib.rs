@@ -16,11 +16,20 @@
 //!   [`frame::FrameDecoder`] for arbitrary TCP fragmentation;
 //! * [`node`] — the per-node event loop plus acceptor/reader threads;
 //!   responses travel back over the socket the referencer's node
-//!   opened, preserving the paper's firewall/NAT story (§2.2);
-//! * [`peer`] — reconnecting outbound links with **per-destination
-//!   heartbeat batching**: all TTB messages due to activities
-//!   co-located on one remote node coalesce into a single frame,
-//!   attacking the fig. 8 bandwidth cost at scale;
+//!   opened, preserving the paper's firewall/NAT story (§2.2). The
+//!   loop owns the node's **egress plane**
+//!   ([`dgc_core::egress::Outbox`]): every outgoing unit — TTB
+//!   heartbeat, gossip digest, control, or an [`Item::App`] payload
+//!   sent via [`NetNode::send_app`] — queues per destination, and the
+//!   flush policy ([`NetConfig::egress`]) coalesces them into shared
+//!   frames: an app send flushes immediately with the queue
+//!   piggybacking (a heartbeat to a peer we're already talking to
+//!   costs ~0 extra frames), background units linger at most
+//!   `max_delay` — attacking the fig. 8 bandwidth cost at scale;
+//! * [`peer`] — reconnecting outbound links that write exactly what
+//!   the outbox flushes (one flush, one frame) and keep the transport
+//!   duties: exponential-backoff reconnects, terminal send-failure
+//!   surfacing, bounded buffering;
 //! * [`cluster`] — a localhost N-node driver with the same surface as
 //!   `ThreadGrid`, used by `tests/net.rs` to collect a cross-node cycle
 //!   end-to-end over real sockets;
@@ -86,7 +95,7 @@ pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
 pub use config::NetConfig;
 pub use frame::{Frame, FrameDecoder, Item, GOSSIP_ANYCAST};
-pub use node::{NetNode, Terminated};
+pub use node::{AppReceived, NetNode, Terminated};
 pub use stats::{NetStats, NetStatsSnapshot};
 
 #[cfg(test)]

@@ -14,11 +14,21 @@
 //!            └───────────────────────────────────────────────┘
 //! ```
 //!
-//! Routing discipline (paper §2.2): DGC **messages** go over the link
-//! this node *initiates* toward the referenced node; **responses** and
-//! send-failure notifications go back over whichever socket the peer
-//! opened to us. A node behind a NAT that can open connections but not
-//! accept them still collects correctly.
+//! Routing discipline (paper §2.2): DGC **messages** and application
+//! **requests** go over the link this node *initiates* toward the
+//! referenced node; **responses**, reply payloads and send-failure
+//! notifications go back over whichever socket the peer opened to us.
+//! A node behind a NAT that can open connections but not accept them
+//! still collects correctly.
+//!
+//! Every outgoing unit crosses the node's **egress plane**
+//! ([`dgc_core::egress::Outbox`]): one per-destination outbox whose
+//! flush policy coalesces heartbeats, gossip digests and application
+//! payloads into shared frames — an app send flushes its destination
+//! immediately and carries the queued background units for free, while
+//! pure background traffic lingers at most the policy's `max_delay`.
+//! The link writers in [`crate::peer`] just write what the outbox
+//! flushes: one flush, one frame.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
@@ -29,11 +39,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use dgc_core::egress::{Flush, FlushReason, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, TerminateReason};
 use dgc_core::protocol::DgcState;
 use dgc_core::units::Time;
-use dgc_membership::{Membership, MembershipEvent, NodeRecord, NodeStatus, Transition};
+use dgc_membership::{Digest, Membership, MembershipEvent, NodeRecord, NodeStatus, Transition};
 
 use crate::config::NetConfig;
 use crate::frame::{encode_frame, Frame, FrameDecoder, Item, GOSSIP_ANYCAST, PROTOCOL_VERSION};
@@ -65,18 +76,44 @@ pub struct Terminated {
     pub reason: TerminateReason,
 }
 
+/// One application unit delivered to this node, in arrival order —
+/// what the piggyback/FIFO tests assert over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppReceived {
+    /// Sending activity.
+    pub from: AoId,
+    /// Destination activity (hosted here).
+    pub to: AoId,
+    /// True for a reply payload.
+    pub reply: bool,
+    /// The opaque payload.
+    pub payload: Vec<u8>,
+}
+
 /// Everything the event loop can be asked to process.
 #[derive(Debug)]
 pub enum Event {
     /// A protocol unit, from a socket or the local loopback.
     Item(Item),
+    /// An outgoing protocol unit from the driver (application sends):
+    /// routed through the egress plane like everything else.
+    Send {
+        /// The unit to route.
+        item: Item,
+    },
+    /// Graceful departure: announce [`NodeStatus::Left`], flush every
+    /// farewell digest, stop gossiping, and acknowledge.
+    Leave {
+        /// Signalled once the farewells reached the link writers.
+        ack: mpsc::Sender<()>,
+    },
     /// An accepted connection finished its hello; responses for `node`
     /// now have a reply path.
     PeerLink {
         /// The remote node id.
         node: u32,
         /// Queue of the reply writer bound to that socket.
-        tx: mpsc::Sender<Item>,
+        tx: mpsc::Sender<Vec<Item>>,
     },
     /// Registers the listen address of a remote node.
     AddPeer {
@@ -207,6 +244,7 @@ pub struct NetNode {
     next_index: AtomicU32,
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
+    app_log: Arc<Mutex<Vec<AppReceived>>>,
     member_events: Arc<Mutex<Vec<MembershipEvent>>>,
     member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     shutting_down: Arc<AtomicBool>,
@@ -244,6 +282,7 @@ impl NetNode {
         let (tx, rx) = mpsc::channel();
         let stats = NetStats::shared();
         let terminated = Arc::new(Mutex::new(Vec::new()));
+        let app_log = Arc::new(Mutex::new(Vec::new()));
         let member_events = Arc::new(Mutex::new(Vec::new()));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SocketTracker::default());
@@ -262,6 +301,7 @@ impl NetNode {
             peer_addrs: HashMap::new(),
             outbound: HashMap::new(),
             reply: HashMap::new(),
+            outbox: Outbox::new(config.egress),
             epoch: Instant::now(),
             membership,
             next_member_tick,
@@ -269,6 +309,7 @@ impl NetNode {
             member_snapshot: Arc::clone(&member_snapshot),
             stats: Arc::clone(&stats),
             terminated: Arc::clone(&terminated),
+            app_log: Arc::clone(&app_log),
             shutting_down: Arc::clone(&shutting_down),
             tracker: Arc::clone(&tracker),
         };
@@ -280,7 +321,6 @@ impl NetNode {
         let acceptor = Acceptor {
             node_id,
             listener,
-            config,
             events: tx.clone(),
             stats: Arc::clone(&stats),
             shutting_down: Arc::clone(&shutting_down),
@@ -300,6 +340,7 @@ impl NetNode {
             next_index: AtomicU32::new(first_index),
             stats,
             terminated,
+            app_log,
             member_events,
             member_snapshot,
             shutting_down,
@@ -365,13 +406,20 @@ impl NetNode {
                 node: self.node_id,
                 version: PROTOCOL_VERSION,
             });
+            // Version 0 is safely below any live engine's counter, so
+            // the seed treats the probe as "nothing applied yet" and
+            // replies with a full sync.
             let probe_digest = encode_frame(&Frame::Batch(vec![Item::Gossip {
                 from: self.node_id,
                 to: GOSSIP_ANYCAST,
-                records: vec![record],
+                digest: Digest {
+                    version: 0,
+                    ack: 0,
+                    full: false,
+                    records: vec![record],
+                },
             }]));
             let node_id = self.node_id;
-            let config = self.config;
             let events = self.tx.clone();
             let stats = Arc::clone(&self.stats);
             let tracker = Arc::clone(&self.tracker);
@@ -412,7 +460,6 @@ impl NetNode {
                                 spawn_socket_reader(
                                     node_id,
                                     stream,
-                                    config,
                                     events.clone(),
                                     Arc::clone(&stats),
                                     false,
@@ -476,6 +523,76 @@ impl NetNode {
     /// Drops the reference edge `from → to`; `from` must be hosted here.
     pub fn drop_ref(&self, from: AoId, to: AoId) {
         let _ = self.tx.send(Event::DropRef { from, to });
+    }
+
+    /// Sends an opaque application unit from `from` (hosted here) to
+    /// `to`. Application sends are the egress plane's flush trigger:
+    /// the destination's queued heartbeats and gossip digests ride the
+    /// same frame (`reply = true` payloads travel back over the socket
+    /// the peer opened, like DGC responses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`crate::frame::MAX_APP_PAYLOAD`] —
+    /// rejected here, on the caller's thread, so an oversized payload
+    /// can never reach (and kill) a link writer mid-frame.
+    pub fn send_app(&self, from: AoId, to: AoId, reply: bool, payload: Vec<u8>) {
+        assert!(
+            payload.len() <= crate::frame::MAX_APP_PAYLOAD,
+            "app payload of {} bytes exceeds MAX_APP_PAYLOAD ({}); \
+             stream bulk data on its own connection",
+            payload.len(),
+            crate::frame::MAX_APP_PAYLOAD
+        );
+        let _ = self.tx.send(Event::Send {
+            item: Item::App {
+                from,
+                to,
+                reply,
+                payload,
+            },
+        });
+    }
+
+    /// Application units delivered to this node so far, in arrival
+    /// order.
+    pub fn app_received(&self) -> Vec<AppReceived> {
+        self.app_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Graceful departure (no-op without membership): announces
+    /// [`NodeStatus::Left`], flushes the farewell digests to every
+    /// present peer and stops gossiping. Returns once the farewells
+    /// reached the link writers (plus a short grace for the sockets),
+    /// so a [`NetNode::shutdown`] right after does not sever them
+    /// mid-write. Peers treat the `Left` verdict like a dead one for
+    /// collection purposes — the node's referencers are gone — but
+    /// without the suspicion delay.
+    pub fn leave(&self) -> bool {
+        let acked = self
+            .leave_begin()
+            .is_some_and(|rx| rx.recv_timeout(Duration::from_secs(1)).is_ok());
+        if acked {
+            // The writers own the sockets; give them a beat to push the
+            // farewell frames out before any teardown severs them.
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        acked
+    }
+
+    /// The non-blocking half of [`NetNode::leave`]: queues the
+    /// departure and returns the ack channel (`None` if the event loop
+    /// is already gone). A caller tearing several nodes down — e.g.
+    /// `Cluster`'s drop — starts every leave first, then waits the
+    /// acks and one shared socket grace, instead of paying the grace
+    /// per node.
+    pub(crate) fn leave_begin(&self) -> Option<mpsc::Receiver<()>> {
+        let (ack, ack_rx) = mpsc::channel();
+        self.tx.send(Event::Leave { ack }).ok()?;
+        Some(ack_rx)
     }
 
     /// Stops this node's world until `now + d`: no TTB ticks fire and
@@ -556,7 +673,6 @@ impl Drop for NetNode {
 struct Acceptor {
     node_id: u32,
     listener: TcpListener,
-    config: NetConfig,
     events: mpsc::Sender<Event>,
     stats: Arc<NetStats>,
     shutting_down: Arc<AtomicBool>,
@@ -586,7 +702,6 @@ impl Acceptor {
             spawn_socket_reader(
                 self.node_id,
                 stream,
-                self.config,
                 self.events.clone(),
                 Arc::clone(&self.stats),
                 true,
@@ -604,7 +719,6 @@ impl Acceptor {
 pub(crate) fn spawn_socket_reader(
     node_id: u32,
     stream: TcpStream,
-    config: NetConfig,
     events: mpsc::Sender<Event>,
     stats: Arc<NetStats>,
     accept_hello: bool,
@@ -642,13 +756,8 @@ pub(crate) fn spawn_socket_reader(
                                 // Give the event loop a reply path over
                                 // this same socket (firewall-transparent).
                                 if let Ok(w) = stream.try_clone() {
-                                    let (tx, _h) = spawn_reply_writer(
-                                        node_id,
-                                        node,
-                                        w,
-                                        config,
-                                        Arc::clone(&stats),
-                                    );
+                                    let (tx, _h) =
+                                        spawn_reply_writer(node_id, node, w, Arc::clone(&stats));
                                     let _ = events.send(Event::PeerLink { node, tx });
                                 }
                             }
@@ -680,7 +789,10 @@ struct Worker {
     endpoints: BTreeMap<u32, Endpoint>,
     peer_addrs: HashMap<u32, SocketAddr>,
     outbound: HashMap<u32, OutboundLink>,
-    reply: HashMap<u32, mpsc::Sender<Item>>,
+    reply: HashMap<u32, mpsc::Sender<Vec<Item>>>,
+    /// The egress plane: every outgoing unit queues here; the flush
+    /// policy decides when a destination's queue becomes a frame.
+    outbox: Outbox<Item>,
     epoch: Instant,
     membership: Option<Membership>,
     next_member_tick: Option<Instant>,
@@ -688,6 +800,7 @@ struct Worker {
     member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
+    app_log: Arc<Mutex<Vec<AppReceived>>>,
     shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
 }
@@ -697,65 +810,110 @@ impl Worker {
         Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// Sends `item` toward its destination node. Messages prefer the
-    /// forward (initiated) link; responses and failure notifications
-    /// prefer the reply path of the socket the peer opened to us.
+    /// Queues `item` for its destination node on the egress plane (or
+    /// loops it back locally). An application unit triggers an
+    /// immediate flush — the queued background units piggyback — while
+    /// heartbeats, digests and control units wait out the policy's
+    /// `max_delay` for company.
     fn route(&mut self, item: Item) {
         let dest = item.destination_node();
         if dest == self.node_id {
             let _ = self.loopback.send(Event::Item(item));
             return;
         }
-        match item {
-            Item::Dgc { .. } => self.route_forward(dest, item),
-            // Gossip prefers the socket the peer opened toward us (the
-            // join-probe reply *must* ride it: the joiner's listen addr
-            // may not have merged yet), then the forward link.
-            Item::Resp { .. } | Item::SendFailure { .. } | Item::Gossip { .. } => {
-                let item = if let Some(tx) = self.reply.get(&dest) {
-                    match tx.send(item) {
-                        Ok(()) => return,
-                        Err(mpsc::SendError(item)) => {
-                            self.reply.remove(&dest);
-                            item
-                        }
-                    }
-                } else {
-                    item
-                };
-                // No live inbound socket from that node: fall back to a
-                // forward link if we can reach it at all.
-                self.route_forward(dest, item);
-            }
+        let now = self.now();
+        let class = item.class();
+        let size = item.wire_size();
+        if let Some(flush) = self.outbox.enqueue(now, dest, class, size, item) {
+            self.deliver_flush(flush);
         }
     }
 
-    fn route_forward(&mut self, dest: u32, item: Item) {
+    /// Flushes every destination whose max-delay expired.
+    fn flush_due(&mut self) {
+        let now = self.now();
+        for flush in self.outbox.poll(now) {
+            self.deliver_flush(flush);
+        }
+    }
+
+    /// Turns one egress flush into link frames, preserving the §2.2
+    /// routing discipline per unit: DGC messages and app requests
+    /// prefer the forward (initiated) link; responses, reply payloads,
+    /// gossip and failure notifications prefer the reply path of the
+    /// socket the peer opened to us (the join-probe reply *must* ride
+    /// it: the joiner's listen addr may not have merged yet). Units of
+    /// one class always take the same path, so per-class FIFO survives
+    /// the split.
+    fn deliver_flush(&mut self, flush: Flush<Item>) {
+        if flush.reason == FlushReason::AppSend {
+            let riders = flush.items.iter().filter(|i| !i.class.is_app()).count() as u64;
+            self.stats.on_piggybacked(riders);
+        }
+        let dest = flush.dest;
+        let mut forward: Vec<Item> = Vec::new();
+        let mut back: Vec<Item> = Vec::new();
+        for qi in flush.items {
+            match &qi.item {
+                Item::Dgc { .. } | Item::App { reply: false, .. } => forward.push(qi.item),
+                Item::Resp { .. }
+                | Item::SendFailure { .. }
+                | Item::Gossip { .. }
+                | Item::App { reply: true, .. } => back.push(qi.item),
+            }
+        }
+        if !back.is_empty() {
+            self.send_batch_reply(dest, back);
+        }
+        if !forward.is_empty() {
+            self.send_batch_forward(dest, forward);
+        }
+    }
+
+    fn send_batch_reply(&mut self, dest: u32, batch: Vec<Item>) {
+        let batch = if let Some(tx) = self.reply.get(&dest) {
+            match tx.send(batch) {
+                Ok(()) => return,
+                Err(mpsc::SendError(batch)) => {
+                    self.reply.remove(&dest);
+                    batch
+                }
+            }
+        } else {
+            batch
+        };
+        // No live inbound socket from that node: fall back to a
+        // forward link if we can reach it at all.
+        self.send_batch_forward(dest, batch);
+    }
+
+    fn send_batch_forward(&mut self, dest: u32, batch: Vec<Item>) {
         if !self.outbound.contains_key(&dest) {
             let Some(addr) = self.peer_addrs.get(&dest).copied() else {
-                if let Item::Dgc { from, to, .. } = item {
-                    // Whether a missing address condemns the edge
-                    // depends on the wiring. Static registration:
-                    // unknown means never — fail the send so the
-                    // referencer drops it. Membership: the address may
-                    // simply not have gossiped in yet, so only a
-                    // dead/left verdict convicts; otherwise drop the
-                    // heartbeat silently — the next TTB regenerates it
-                    // once discovery converges (TTA budgets for far
-                    // more than a gossip round-trip).
-                    let condemned = match &self.membership {
-                        Some(engine) => matches!(
-                            engine.directory().status_of(dest),
-                            Some(s) if !s.is_present()
-                        ),
-                        None => true,
-                    };
-                    if condemned {
-                        let _ = self.loopback.send(Event::Item(Item::SendFailure {
-                            holder: from,
-                            target: to,
-                        }));
-                        self.stats.on_send_failures(1);
+                // Whether a missing address condemns the edges depends
+                // on the wiring. Static registration: unknown means
+                // never — fail the sends so the referencers drop them.
+                // Membership: the address may simply not have gossiped
+                // in yet, so only a dead/left verdict convicts;
+                // otherwise drop the heartbeats silently — the next TTB
+                // regenerates them once discovery converges (TTA
+                // budgets for far more than a gossip round-trip).
+                let condemned = match &self.membership {
+                    Some(engine) => matches!(
+                        engine.directory().status_of(dest),
+                        Some(s) if !s.is_present()
+                    ),
+                    None => true,
+                };
+                if condemned {
+                    for item in batch {
+                        if let Item::Dgc { from, to, .. } = item {
+                            let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                                holder: from,
+                                target: to,
+                            }));
+                            self.stats.on_send_failures(1);
+                        }
                     }
                 }
                 return;
@@ -774,7 +932,7 @@ impl Worker {
         self.outbound
             .get(&dest)
             .expect("link just ensured")
-            .send(item);
+            .send_batch(batch);
     }
 
     fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
@@ -848,7 +1006,23 @@ impl Worker {
                     ep.state.on_send_failure(target);
                 }
             }
-            Item::Gossip { from, records, .. } => self.handle_gossip(from, records),
+            Item::Gossip { from, digest, .. } => self.handle_gossip(from, digest),
+            Item::App {
+                from,
+                to,
+                reply,
+                payload,
+            } => {
+                self.app_log
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(AppReceived {
+                        from,
+                        to,
+                        reply,
+                        payload,
+                    });
+            }
         }
     }
 
@@ -858,10 +1032,10 @@ impl Worker {
 
     /// Applies one received digest and pushes out whatever the engine
     /// wants answered (introductions, refutations, verdict replies).
-    fn handle_gossip(&mut self, from: u32, records: Vec<NodeRecord>) {
+    fn handle_gossip(&mut self, from: u32, digest: Digest) {
         let now = self.now();
         let outs = match &mut self.membership {
-            Some(engine) => engine.on_digest(now, from, &records),
+            Some(engine) => engine.on_digest(now, from, &digest),
             // Static cluster (membership disabled): digests are noise.
             None => return,
         };
@@ -873,7 +1047,7 @@ impl Worker {
         Item::Gossip {
             from: self.node_id,
             to: out.to,
-            records: out.records,
+            digest: out.digest,
         }
     }
 
@@ -940,11 +1114,15 @@ impl Worker {
             None => return,
         };
         for ev in &events {
-            if ev.transition == Transition::Dead {
-                // The dead verdict is the terminal send failure, in
-                // bulk: every hosted collector treats the node's
-                // activities as departed, and its links are torn down
-                // (a rejoin re-announces a fresh address).
+            let departed = matches!(ev.transition, Transition::Dead | Transition::Left)
+                && ev.node != self.node_id;
+            if departed {
+                // A dead verdict — or an announced graceful leave,
+                // which is the same departure without the suspicion
+                // delay — is the terminal send failure, in bulk: every
+                // hosted collector treats the node's activities as
+                // departed, and its links are torn down (a rejoin
+                // re-announces a fresh address).
                 for ep in self.endpoints.values_mut() {
                     ep.state.on_node_dead(ev.node);
                 }
@@ -966,7 +1144,32 @@ impl Worker {
 
     fn handle(&mut self, event: Event) -> bool {
         match event {
-            Event::Shutdown => return false,
+            Event::Shutdown => {
+                // Hand whatever still lingers on the egress plane to
+                // the writers; they flush before exiting.
+                let flushes = self.outbox.flush_all();
+                for flush in flushes {
+                    self.deliver_flush(flush);
+                }
+                return false;
+            }
+            Event::Send { item } => self.route(item),
+            Event::Leave { ack } => {
+                let now = self.now();
+                if let Some(engine) = &mut self.membership {
+                    let outs = engine.leave(now);
+                    self.flush_gossip(outs);
+                    // Farewells must not wait out the egress delay: the
+                    // node is about to go.
+                    let flushes = self.outbox.flush_all();
+                    for flush in flushes {
+                        self.deliver_flush(flush);
+                    }
+                    // The engine said goodbye; stop gossiping.
+                    self.next_member_tick = None;
+                }
+                let _ = ack.send(());
+            }
             Event::Pause { until } => {
                 // A real stop-the-world: this thread owns every endpoint
                 // and every tick, so sleeping here stops the protocol on
@@ -1077,6 +1280,11 @@ impl Worker {
             if let Some(t) = self.next_member_tick {
                 next_wake = next_wake.min(t);
             }
+            if let Some(deadline) = self.outbox.next_deadline() {
+                // Egress deadlines live on the scenario clock; convert
+                // back to the wall clock the loop sleeps on.
+                next_wake = next_wake.min(self.epoch + Duration::from_nanos(deadline.as_nanos()));
+            }
             let timeout = next_wake.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(timeout) {
                 Ok(event) => {
@@ -1089,6 +1297,7 @@ impl Worker {
             }
             self.tick_due();
             self.membership_due();
+            self.flush_due();
         }
     }
 }

@@ -1,29 +1,29 @@
 //! Outbound peer links: one queue + writer thread per remote node.
 //!
 //! A link owns the TCP connection **initiated** by this node toward a
-//! peer. DGC messages travel in that direction (referencer → referenced,
-//! the direction the application can already talk in, which is what
-//! keeps the collector firewall-transparent); responses and failure
-//! notifications ride back on the *accepting* side's reply writer (see
-//! [`crate::node`]), never on a fresh reverse connection.
+//! peer. DGC messages and application requests travel in that direction
+//! (referencer → referenced, the direction the application can already
+//! talk in, which is what keeps the collector firewall-transparent);
+//! responses, reply payloads and failure notifications ride back on the
+//! *accepting* side's reply writer (see [`crate::node`]), never on a
+//! fresh reverse connection.
 //!
-//! Both directions share one queue-draining engine, [`BatchPump`],
-//! which implements the transport behaviours the tentpole is about:
+//! Batching policy does **not** live here any more: the node's egress
+//! plane ([`dgc_core::egress::Outbox`]) decides what coalesces into a
+//! frame and hands each writer ready-made batches — one flush, one
+//! frame. What the writers keep is the *transport* behaviour:
 //!
-//! * **Per-destination batching** — after the first queued item it
-//!   lingers `batch_window`, then packs everything queued for this peer
-//!   into shared [`Frame::Batch`]es (capped well under the frame size
-//!   limit). At scale, the TTB sweep of a node with many activities
-//!   referencing one remote node becomes a single frame instead of
-//!   hundreds (the paper's fig. 8 bandwidth lever).
 //! * **Reconnect-on-drop** — a broken connection is retried with
-//!   exponential backoff while items keep queueing; after
+//!   exponential backoff while batches keep queueing; after
 //!   `fail_after_attempts` consecutive failures (connects *or* writes,
 //!   so a peer that accepts and immediately closes still backs off)
 //!   the queued DGC messages are surfaced to the local protocol as
 //!   send failures so referencers drop edges to the unreachable node,
 //!   exactly like a permanently failing RMI call. Backoff waits keep
 //!   draining the queue channel, so shutdown never blocks on a sleep.
+//! * **Bounded buffering** — a peer that stays down long enough sheds
+//!   the oldest queued batches (they are periodic heartbeats; the next
+//!   TTB regenerates them anyway).
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -38,35 +38,56 @@ use crate::frame::{encode_batch_frame, encode_frame, Frame, Item, PROTOCOL_VERSI
 use crate::node::{Event, SocketTracker};
 use crate::stats::NetStats;
 
-/// Queue bound: a peer that stays down long enough to accumulate this
-/// many pending items starts shedding the oldest (they are periodic
-/// heartbeats; the next TTB regenerates them anyway).
+/// Queue bound in *items*: a peer that stays down long enough to
+/// accumulate this many pending units starts shedding the oldest
+/// batches.
 const MAX_PENDING: usize = 100_000;
 
-/// Items per flushed frame, kept orders of magnitude under both
+/// Items per written frame, kept orders of magnitude under both
 /// [`crate::frame::MAX_BATCH_ITEMS`] and [`crate::frame::MAX_FRAME_LEN`].
+/// Oversized flushes are split across frames at this boundary.
 const MAX_ITEMS_PER_FRAME: usize = 4096;
 
+/// Payload bytes per written frame (item encodings, headers excluded):
+/// half of [`crate::frame::MAX_FRAME_LEN`], so no flush — whatever the
+/// egress policy's `max_bytes` allows — can produce a frame the
+/// receiver's decoder rejects as oversized. A single item always fits
+/// (`MAX_APP_PAYLOAD` is far smaller).
+const MAX_BYTES_PER_FRAME: u64 = (crate::frame::MAX_FRAME_LEN as u64) / 2;
+
 /// The queue-draining half shared by the outbound writer and the reply
-/// writer: blocks for work, lingers to coalesce, flushes in bounded
-/// frames, and sheds overflow when the sink stalls.
+/// writer: blocks for flushed batches, writes one frame per batch, and
+/// sheds overflow when the sink stalls.
 struct BatchPump {
-    rx: mpsc::Receiver<Item>,
-    pending: VecDeque<Item>,
-    config: NetConfig,
+    rx: mpsc::Receiver<Vec<Item>>,
+    pending: VecDeque<Vec<Item>>,
+    pending_items: usize,
     stats: Arc<NetStats>,
     /// All senders dropped: the owning node is shutting down.
     closed: bool,
 }
 
 impl BatchPump {
-    fn new(rx: mpsc::Receiver<Item>, config: NetConfig, stats: Arc<NetStats>) -> Self {
+    fn new(rx: mpsc::Receiver<Vec<Item>>, stats: Arc<NetStats>) -> Self {
         BatchPump {
             rx,
             pending: VecDeque::new(),
-            config,
+            pending_items: 0,
             stats,
             closed: false,
+        }
+    }
+
+    fn push(&mut self, batch: Vec<Item>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.pending_items += batch.len();
+        self.pending.push_back(batch);
+        while self.pending_items > MAX_PENDING {
+            if let Some(old) = self.pending.pop_front() {
+                self.pending_items -= old.len();
+            }
         }
     }
 
@@ -80,9 +101,9 @@ impl BatchPump {
             return false;
         }
         match self.rx.recv() {
-            Ok(item) => {
-                self.pending.push_back(item);
-                true
+            Ok(batch) => {
+                self.push(batch);
+                !self.pending.is_empty()
             }
             Err(_) => {
                 self.closed = true;
@@ -91,32 +112,15 @@ impl BatchPump {
         }
     }
 
-    /// After the first item, linger `batch_window` collecting co-due
-    /// items, then drain whatever else is queued and shed overflow.
+    /// Drains whatever else the channel already holds (no waiting: the
+    /// egress plane, not this thread, decides coalescing).
     fn gather(&mut self) {
-        if self.config.batching && !self.config.batch_window.is_zero() {
-            let deadline = Instant::now() + self.config.batch_window;
-            while !self.closed {
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    break;
-                }
-                match self.rx.recv_timeout(left) {
-                    Ok(item) => self.pending.push_back(item),
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => self.closed = true,
-                }
-            }
-        }
-        while let Ok(item) = self.rx.try_recv() {
-            self.pending.push_back(item);
-        }
-        while self.pending.len() > MAX_PENDING {
-            self.pending.pop_front();
+        while let Ok(batch) = self.rx.try_recv() {
+            self.push(batch);
         }
     }
 
-    /// Sleeps up to `d` while still accepting queued items, returning
+    /// Sleeps up to `d` while still accepting queued batches, returning
     /// early (and fast) once the channel closes — an interruptible
     /// backoff, so a node shutting down never waits out a retry timer.
     fn idle(&mut self, d: Duration) {
@@ -127,28 +131,41 @@ impl BatchPump {
                 return;
             }
             match self.rx.recv_timeout(left) {
-                Ok(item) => self.pending.push_back(item),
+                Ok(batch) => self.push(batch),
                 Err(RecvTimeoutError::Timeout) => return,
                 Err(RecvTimeoutError::Disconnected) => self.closed = true,
             }
         }
     }
 
-    /// Writes everything pending to `stream` in bounded frames (one
-    /// item per frame when batching is off). Items are drained only
-    /// after their frame is written, so a failure keeps them for the
-    /// retry — without cloning on the success path.
+    /// Writes everything pending to `stream`, one frame per flushed
+    /// batch — split at [`MAX_ITEMS_PER_FRAME`] items *or*
+    /// [`MAX_BYTES_PER_FRAME`] payload bytes, whichever comes first, so
+    /// a permissive egress policy can never emit a frame the receiver
+    /// rejects as oversized. Items are drained frame by frame as each
+    /// frame is written: a failure keeps only the *unwritten* remainder
+    /// for the retry — never re-sending a frame the peer may already
+    /// have processed (duplicates would break the per-class
+    /// exactly-once-in-order delivery the egress plane preserves).
     fn flush_to(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
-        while !self.pending.is_empty() {
-            let n = if self.config.batching {
-                self.pending.len().min(MAX_ITEMS_PER_FRAME)
-            } else {
-                1
-            };
-            let raw = encode_batch_frame(&self.pending.make_contiguous()[..n]);
-            stream.write_all(&raw)?;
-            self.stats.on_frame_sent(n as u64, raw.len() as u64);
-            self.pending.drain(..n);
+        while let Some(batch) = self.pending.front_mut() {
+            while !batch.is_empty() {
+                let mut end = 0;
+                let mut bytes = 0u64;
+                while end < batch.len().min(MAX_ITEMS_PER_FRAME) {
+                    bytes += batch[end].wire_size();
+                    if end > 0 && bytes > MAX_BYTES_PER_FRAME {
+                        break;
+                    }
+                    end += 1;
+                }
+                let raw = encode_batch_frame(&batch[..end]);
+                stream.write_all(&raw)?;
+                self.stats.on_frame_sent(end as u64, raw.len() as u64);
+                batch.drain(..end);
+                self.pending_items -= end;
+            }
+            self.pending.pop_front();
         }
         Ok(())
     }
@@ -156,7 +173,7 @@ impl BatchPump {
 
 /// Handle to an outbound link's queue and thread.
 pub struct OutboundLink {
-    tx: mpsc::Sender<Item>,
+    tx: mpsc::Sender<Vec<Item>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -184,7 +201,7 @@ impl OutboundLink {
             stats: Arc::clone(&stats),
             loopback,
             tracker,
-            pump: BatchPump::new(rx, config, stats),
+            pump: BatchPump::new(rx, stats),
             conn: None,
             failed_attempts: 0,
             ever_connected: false,
@@ -200,10 +217,11 @@ impl OutboundLink {
         }
     }
 
-    /// Queues `item` for the peer. Errors (thread gone during shutdown)
-    /// are ignored — the item is a periodic protocol unit.
-    pub fn send(&self, item: Item) {
-        let _ = self.tx.send(item);
+    /// Queues one flushed batch (one frame) for the peer. Errors
+    /// (thread gone during shutdown) are ignored — the units are
+    /// periodic protocol traffic.
+    pub fn send_batch(&self, batch: Vec<Item>) {
+        let _ = self.tx.send(batch);
     }
 }
 
@@ -301,7 +319,6 @@ impl Writer {
                     crate::node::spawn_socket_reader(
                         self.local_node,
                         rs,
-                        self.config,
                         self.loopback.clone(),
                         Arc::clone(&self.stats),
                         false,
@@ -351,39 +368,42 @@ impl Writer {
     /// failure notifications have no local handler to notify, but their
     /// loss is still counted so the degraded link shows in the stats.
     fn surface_send_failures(&mut self) {
-        let abandoned = self.pump.pending.len() as u64;
-        for item in self.pump.pending.drain(..) {
-            if let Item::Dgc { from, to, .. } = item {
-                let _ = self.loopback.send(Event::Item(Item::SendFailure {
-                    holder: from,
-                    target: to,
-                }));
+        let abandoned = self.pump.pending_items as u64;
+        for batch in self.pump.pending.drain(..) {
+            for item in batch {
+                if let Item::Dgc { from, to, .. } = item {
+                    let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                        holder: from,
+                        target: to,
+                    }));
+                }
             }
         }
+        self.pump.pending_items = 0;
         if abandoned > 0 {
             self.stats.on_send_failures(abandoned);
         }
     }
 }
 
-/// Spawns the batching writer for an **accepted** connection's reply
-/// direction: responses and send-failure notifications travel back on
-/// the socket the referencer's node opened, so no reverse connectivity
-/// is ever required (NAT/firewall transparency, §2.2 of the paper).
+/// Spawns the batch writer for an **accepted** connection's reply
+/// direction: responses, reply payloads and send-failure notifications
+/// travel back on the socket the referencer's node opened, so no
+/// reverse connectivity is ever required (NAT/firewall transparency,
+/// §2.2 of the paper).
 pub fn spawn_reply_writer(
     local_node: u32,
     peer_node: u32,
     mut stream: TcpStream,
-    config: NetConfig,
     stats: Arc<NetStats>,
-) -> (mpsc::Sender<Item>, JoinHandle<()>) {
-    let (tx, rx) = mpsc::channel::<Item>();
+) -> (mpsc::Sender<Vec<Item>>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<Vec<Item>>();
     let handle = std::thread::Builder::new()
         .name(format!("dgc-net-{local_node}-reply-{peer_node}"))
         .spawn(move || {
             let _ = stream.set_nodelay(true);
             let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-            let mut pump = BatchPump::new(rx, config, stats);
+            let mut pump = BatchPump::new(rx, stats);
             loop {
                 if !pump.wait_for_work() {
                     return;

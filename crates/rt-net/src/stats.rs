@@ -21,6 +21,7 @@ pub struct NetStats {
     reconnects: AtomicU64,
     send_failures: AtomicU64,
     decode_errors: AtomicU64,
+    piggybacked: AtomicU64,
 }
 
 /// Point-in-time copy of a [`NetStats`].
@@ -46,6 +47,10 @@ pub struct NetStatsSnapshot {
     pub send_failures: u64,
     /// Inbound traffic rejected as corrupt or misaddressed.
     pub decode_errors: u64,
+    /// Background units (heartbeats, gossip digests, control) that
+    /// rode an application-send flush — frames they did not pay for
+    /// (the egress plane's piggyback win).
+    pub piggybacked: u64,
 }
 
 impl NetStatsSnapshot {
@@ -100,6 +105,11 @@ impl NetStats {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` background units piggybacking on an app-send flush.
+    pub fn on_piggybacked(&self, n: u64) {
+        self.piggybacked.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Consistent-enough copy for reporting.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
@@ -112,6 +122,7 @@ impl NetStats {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             send_failures: self.send_failures.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            piggybacked: self.piggybacked.load(Ordering::Relaxed),
         }
     }
 }

@@ -72,36 +72,61 @@ fn arb_record() -> impl Strategy<Value = dgc_membership::NodeRecord> {
         )
 }
 
+fn arb_digest() -> impl Strategy<Value = dgc_membership::Digest> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_record(), 0..5),
+    )
+        .prop_map(|(version, ack, full, records)| dgc_membership::Digest {
+            version,
+            ack,
+            full,
+            records,
+        })
+}
+
 fn arb_item() -> impl Strategy<Value = Item> {
     (
-        0u8..4,
+        0u8..5,
         arb_aoid(),
         arb_aoid(),
         arb_message(),
         arb_response(),
-        proptest::collection::vec(arb_record(), 0..5),
+        arb_digest(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        any::<bool>(),
     )
-        .prop_map(|(kind, x, y, message, response, records)| match kind {
-            0 => Item::Dgc {
-                from: x,
-                to: y,
-                message,
+        .prop_map(
+            |(kind, x, y, message, response, digest, payload, reply)| match kind {
+                0 => Item::Dgc {
+                    from: x,
+                    to: y,
+                    message,
+                },
+                1 => Item::Resp {
+                    from: x,
+                    to: y,
+                    response,
+                },
+                2 => Item::SendFailure {
+                    holder: x,
+                    target: y,
+                },
+                3 => Item::Gossip {
+                    from: x.node,
+                    to: y.node,
+                    digest,
+                },
+                _ => Item::App {
+                    from: x,
+                    to: y,
+                    reply,
+                    payload,
+                },
             },
-            1 => Item::Resp {
-                from: x,
-                to: y,
-                response,
-            },
-            2 => Item::SendFailure {
-                holder: x,
-                target: y,
-            },
-            _ => Item::Gossip {
-                from: x.node,
-                to: y.node,
-                records,
-            },
-        })
+        )
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {

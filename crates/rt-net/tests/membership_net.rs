@@ -21,6 +21,7 @@ fn cfg() -> NetConfig {
         gossip_interval: Dur::from_millis(50),
         suspect_after: Dur::from_millis(250),
         dead_after: Dur::from_millis(750),
+        full_sync_every: 10,
     })
 }
 
@@ -137,6 +138,134 @@ fn rejoined_node_runs_the_full_collection_cycle() {
     assert!(
         cluster.terminated().iter().any(|t| t.reason.is_cyclic()),
         "it is a cycle: consensus must have fired"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn a_crashed_seed_no_longer_strands_rejoins() {
+    // 4 nodes, 2 seeds (0 and 1). Seed 0 — the node every pre-multi-seed
+    // join went through — crashes for good; node 3 then crashes and
+    // must still rejoin, bootstrapping through surviving seed 1.
+    let cluster = Cluster::join_local_seeded(4, 2, cfg()).expect("bind cluster");
+    for node in 0..4 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 4)),
+            "node {node} never converged: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    cluster.crash_node(0);
+    cluster.crash_node(3);
+    assert!(
+        cluster.wait_membership_until(1, Duration::from_secs(10), |r| {
+            r.iter()
+                .any(|x| x.node == 3 && x.status == NodeStatus::Dead)
+        }),
+        "seed 1 never buried node 3: {:?}",
+        cluster.member_records(1)
+    );
+    cluster.restart_node(3, 2).expect("restart through seed 1");
+    for node in [1, 2, 3] {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(15), |r| {
+                r.iter()
+                    .any(|x| x.node == 3 && x.status == NodeStatus::Alive && x.incarnation == 2)
+            }),
+            "node {node} never saw the rejoin: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn a_restarted_seed_rejoins_through_the_other_seed_and_refreshes_its_address() {
+    // The seed itself dies and comes back (fresh port, incarnation 2):
+    // with a second seed alive this must converge, and later rejoins
+    // must dial the seed's *new* address, not the corpse's.
+    let cluster = Cluster::join_local_seeded(3, 2, cfg()).expect("bind cluster");
+    for node in 0..3 {
+        assert!(cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 3)));
+    }
+    let old_seed_addrs = cluster.seed_addrs();
+    cluster.crash_node(0);
+    assert!(
+        cluster.wait_membership_until(1, Duration::from_secs(10), |r| {
+            r.iter()
+                .any(|x| x.node == 0 && x.status == NodeStatus::Dead)
+        })
+    );
+    cluster
+        .restart_node(0, 2)
+        .expect("seed restarts via seed 1");
+    for node in 0..3 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(15), |r| {
+                r.iter()
+                    .any(|x| x.node == 0 && x.status == NodeStatus::Alive && x.incarnation == 2)
+            }),
+            "node {node} never adopted the seed's rejoin: {:?}",
+            cluster.member_records(node)
+        );
+    }
+    let new_seed_addrs = cluster.seed_addrs();
+    assert_ne!(
+        old_seed_addrs[0], new_seed_addrs[0],
+        "the restarted seed listens on a fresh port"
+    );
+    assert_eq!(new_seed_addrs[0], cluster.addr(0));
+    // And the refreshed directory actually bootstraps: crash node 2 and
+    // rejoin it through the *new* seed set.
+    cluster.crash_node(2);
+    cluster
+        .restart_node(2, 2)
+        .expect("rejoin via refreshed seeds");
+    assert!(
+        cluster.wait_membership_until(0, Duration::from_secs(15), |r| {
+            r.iter()
+                .any(|x| x.node == 2 && x.status == NodeStatus::Alive && x.incarnation == 2)
+        }),
+        "rejoin through the refreshed seed set failed: {:?}",
+        cluster.member_records(0)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn graceful_leave_is_announced_and_buries_without_suspicion_delay() {
+    let cluster = Cluster::join_local(3, cfg()).expect("bind cluster");
+    for node in 0..3 {
+        assert!(cluster.wait_membership_until(node, Duration::from_secs(10), |r| full_alive(r, 3)));
+    }
+    // An activity on the leaver holds one on node 1: the Left verdict
+    // must cut that edge (on_node_dead) so the orphan falls.
+    let w = cluster.add_activity(2);
+    let u = cluster.add_activity(1);
+    cluster.add_ref(w, u);
+    cluster.set_idle(u, true);
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(!cluster.is_terminated(u), "held by busy w before the leave");
+    cluster.leave_node(2);
+    assert!(cluster.is_down(2));
+    for node in 0..2 {
+        assert!(
+            cluster.wait_membership_until(node, Duration::from_secs(5), |r| {
+                r.iter()
+                    .any(|x| x.node == 2 && x.status == NodeStatus::Left)
+            }),
+            "node {node} never heard the farewell: {:?}",
+            cluster.member_records(node)
+        );
+        assert!(cluster
+            .membership_events(node)
+            .iter()
+            .any(|e| e.node == 2 && e.transition == Transition::Left));
+    }
+    assert!(
+        cluster.wait_until(Duration::from_secs(10), |t| t.iter().any(|x| x.ao == u)),
+        "orphaned by the leave: must fall as correct collection: {:?}",
+        cluster.terminated()
     );
     cluster.shutdown();
 }
