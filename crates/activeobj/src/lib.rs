@@ -59,4 +59,4 @@ pub use activity::{Activity, AoCtx, Behavior, Inert, SpawnAlloc};
 pub use collector::{Collector, CollectorKind};
 pub use oracle::{garbage_set, live_set, InflightMessage, SafetyViolation, Snapshot};
 pub use request::{FutureId, Reply, Request};
-pub use runtime::{CollectedRecord, Grid, GridConfig, Sample};
+pub use runtime::{AppDelivered, CollectedRecord, Grid, GridConfig, Sample};

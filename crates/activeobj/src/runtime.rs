@@ -183,6 +183,25 @@ pub struct CollectedRecord {
     pub at: SimTime,
 }
 
+/// One driver-level application unit delivered by the simulated
+/// network — the simulator twin of `dgc-rt-net`'s `AppReceived`, so a
+/// runtime-neutral workload driver can poll either runtime the same
+/// way. Also the shape of a *failed* outgoing unit in
+/// [`Grid::app_send_failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppDelivered {
+    /// Delivery (or failure) time.
+    pub at: SimTime,
+    /// Sending activity.
+    pub from: AoId,
+    /// Destination activity.
+    pub to: AoId,
+    /// True for a reply payload.
+    pub reply: bool,
+    /// The opaque payload.
+    pub payload: Vec<u8>,
+}
+
 /// One time-series sample (Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -245,6 +264,14 @@ enum Event {
         to: ProcId,
         digest: Digest,
     },
+    /// A driver-level opaque application unit arriving (the simulator
+    /// twin of `dgc-rt-net`'s `Item::App` delivery).
+    AppBytes {
+        from: AoId,
+        to: AoId,
+        reply: bool,
+        payload: Vec<u8>,
+    },
     /// `proc`'s egress outbox reached a max-delay deadline: flush the
     /// due destinations. (A paused process defers this like all its
     /// work — a stalled node sends nothing, faithfully.)
@@ -299,6 +326,15 @@ enum OutUnit {
         to: ProcId,
         digest: Digest,
     },
+    /// A driver-level opaque app payload ([`Grid::send_app`]): metered
+    /// and flushed like socket app traffic, delivered to the drainable
+    /// inbox instead of a behavior.
+    AppBytes {
+        from: AoId,
+        to: AoId,
+        reply: bool,
+        payload: Vec<u8>,
+    },
 }
 
 /// The meter class an egress class is charged under.
@@ -345,6 +381,11 @@ pub struct Grid {
     /// The earliest scheduled [`Event::EgressFlush`] per process, to
     /// avoid flooding the queue with duplicate wake-ups.
     egress_wake: Vec<Option<SimTime>>,
+    /// Driver-level app units delivered and not yet drained.
+    app_inbox: Vec<AppDelivered>,
+    /// Driver-level app units the network accepted but could not
+    /// deliver (dropped frame, departed destination process).
+    app_failures: Vec<AppDelivered>,
 }
 
 impl Grid {
@@ -424,6 +465,8 @@ impl Grid {
             member_events: (0..procs_n).map(|_| Vec::new()).collect(),
             outboxes: (0..procs_n).map(|_| Outbox::new(egress)).collect(),
             egress_wake: vec![None; procs_n as usize],
+            app_inbox: Vec::new(),
+            app_failures: Vec::new(),
         }
     }
 
@@ -521,6 +564,47 @@ impl Grid {
         self.terminate_activity(ao, None);
     }
 
+    /// Sends a driver-level opaque application unit — the simulator
+    /// twin of `dgc_rt_net::NetNode::send_app`, so a runtime-neutral
+    /// workload driver can ship the same payloads over either runtime.
+    /// The unit crosses the egress plane (metered under its app class,
+    /// coalescing and dropping with the frame it rides in) and lands in
+    /// the inbox drained by [`Grid::drain_app_received`]; it never
+    /// touches a behavior, so activity idleness is unaffected —
+    /// exactly like the socket runtime's opaque app plane.
+    pub fn send_app(&mut self, from: AoId, to: AoId, reply: bool, payload: Vec<u8>) {
+        let class = if reply {
+            EgressClass::AppReply
+        } else {
+            EgressClass::AppRequest
+        };
+        let size = payload.len() as u64;
+        let unit = OutUnit::AppBytes {
+            from,
+            to,
+            reply,
+            payload,
+        };
+        if from.node == to.node {
+            self.schedule_unit(self.now, ProcId(from.node), unit);
+        } else {
+            self.enqueue_unit(ProcId(from.node), ProcId(to.node), class, size, unit);
+        }
+    }
+
+    /// Drains the driver-level app units delivered since the last call,
+    /// in delivery order.
+    pub fn drain_app_received(&mut self) -> Vec<AppDelivered> {
+        std::mem::take(&mut self.app_inbox)
+    }
+
+    /// Driver-level app units the network accepted but could not
+    /// deliver (frame lost to a fault window, destination process
+    /// departed), in failure order.
+    pub fn app_send_failures(&self) -> &[AppDelivered] {
+        &self.app_failures
+    }
+
     // ------------------------------------------------------------------
     // Execution
     // ------------------------------------------------------------------
@@ -585,6 +669,29 @@ impl Grid {
             Event::AppTimer { ao, token } => self.handle_app_timer(ao, token),
             Event::MembershipTick { proc } => self.handle_membership_tick(proc),
             Event::Gossip { from, to, digest } => self.handle_gossip(from, to, digest),
+            Event::AppBytes {
+                from,
+                to,
+                reply,
+                payload,
+            } => {
+                let delivered = AppDelivered {
+                    at: self.now,
+                    from,
+                    to,
+                    reply,
+                    payload,
+                };
+                // A departed process hears nothing; its caller learns
+                // through the failure log, like on sockets.
+                let up =
+                    self.config.membership.is_none() || self.members[to.node as usize].is_some();
+                if up {
+                    self.app_inbox.push(delivered);
+                } else {
+                    self.app_failures.push(delivered);
+                }
+            }
             Event::EgressFlush { proc } => self.handle_egress_flush(proc),
             Event::NodeCrash { proc } => self.handle_crash(proc),
             Event::NodeRejoin { proc, incarnation } => self.handle_rejoin(proc, incarnation),
@@ -1113,6 +1220,22 @@ impl Grid {
             OutUnit::Gossip { to, digest } => {
                 self.events.schedule(at, Event::Gossip { from, to, digest });
             }
+            OutUnit::AppBytes {
+                from,
+                to,
+                reply,
+                payload,
+            } => {
+                self.events.schedule(
+                    at,
+                    Event::AppBytes {
+                        from,
+                        to,
+                        reply,
+                        payload,
+                    },
+                );
+            }
         }
     }
 
@@ -1141,6 +1264,23 @@ impl Grid {
                     act.waiting.remove(&reply.future.seq);
                 }
                 self.refresh_idle(to);
+            }
+            OutUnit::AppBytes {
+                from,
+                to,
+                reply,
+                payload,
+            } => {
+                // Opaque payloads have no protocol to retry them: the
+                // loss surfaces on the sender's failure log, never
+                // silently.
+                self.app_failures.push(AppDelivered {
+                    at: self.now,
+                    from,
+                    to,
+                    reply,
+                    payload,
+                });
             }
             // A dropped heartbeat/digest is what the fault profiles are
             // *for*: the next TTB/gossip round regenerates it.
@@ -1403,6 +1543,16 @@ impl Grid {
         for ev in events {
             if matches!(ev.transition, Transition::Dead | Transition::Left) && ev.node != proc.0 {
                 self.apply_node_dead(proc, ev.node);
+                // Reclaim the departed node's egress queue — items,
+                // bytes and flush deadline — and give every stranded
+                // unit its loss semantics (a waiting caller is
+                // released, a driver-level app payload surfaces on the
+                // failure log) instead of letting the queue rot against
+                // a corpse for the grid's lifetime.
+                let stranded = self.outboxes[proc.0 as usize].drop_dest(ev.node);
+                for qi in stranded {
+                    self.drop_unit(qi.item);
+                }
             }
             self.member_events[proc.0 as usize].push(ev);
         }
@@ -1576,6 +1726,11 @@ impl Grid {
         self.now
     }
 
+    /// The topology the grid runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
     /// True if `ao` has not terminated.
     pub fn is_alive(&self, ao: AoId) -> bool {
         self.procs[ao.node as usize].contains_key(&ao.index)
@@ -1721,6 +1876,7 @@ fn event_proc(event: &Event) -> Option<ProcId> {
         Event::Tick { ao } | Event::ServeDone { ao } | Event::AppTimer { ao, .. } => {
             Some(ProcId(ao.node))
         }
+        Event::AppBytes { to, .. } => Some(ProcId(to.node)),
         Event::LocalGc { proc } => Some(*proc),
         // A paused process gossips late (and gets suspected — that is
         // the §4.2 hazard, faithfully): these defer like its other work.
@@ -2391,6 +2547,127 @@ mod tests {
         assert!(
             g.egress_stats(ProcId(0)).piggybacked > 0,
             "the ride must be visible in the egress stats"
+        );
+    }
+
+    #[test]
+    fn driver_level_app_plane_delivers_in_order_and_is_metered() {
+        use dgc_simnet::traffic::TrafficClass;
+        let mut g = grid(CollectorKind::Complete(dgc_cfg()));
+        let a = g.spawn_root(ProcId(0), Box::new(Inert));
+        let b = g.spawn_root(ProcId(1), Box::new(Inert));
+        for seq in 0u64..20 {
+            g.send_app(a, b, false, seq.to_be_bytes().to_vec());
+        }
+        g.send_app(b, a, true, vec![0xFF; 8]);
+        g.run_for(SimDuration::from_secs(1));
+        let delivered = g.drain_app_received();
+        assert_eq!(delivered.len(), 21);
+        let seqs: Vec<u64> = delivered
+            .iter()
+            .filter(|d| !d.reply)
+            .map(|d| u64::from_be_bytes(d.payload.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(seqs, (0u64..20).collect::<Vec<u64>>(), "FIFO per class");
+        assert!(delivered.iter().any(|d| d.reply && d.to == a));
+        assert!(g.traffic().bytes(TrafficClass::AppRequest) >= 20 * 8);
+        assert!(g.traffic().bytes(TrafficClass::AppReply) >= 8);
+        assert!(g.drain_app_received().is_empty(), "drained");
+        // Idleness untouched: the app plane is opaque to the collector.
+        assert!(g.violations().is_empty());
+    }
+
+    #[test]
+    fn departed_peer_egress_queue_is_reclaimed_on_the_left_verdict() {
+        // Heartbeats toward proc 1 linger under an hour-long background
+        // delay; when proc 1 leaves, the observer's Left transition
+        // must reclaim its queue (items, bytes, deadline) and the
+        // stranded units must get their loss semantics — the simnet
+        // twin of the rt-net leak regression.
+        let policy = dgc_core::egress::FlushPolicy {
+            flush_on_app: true,
+            max_delay: dgc_core::units::Dur::from_secs(3600),
+            max_bytes: u64::MAX,
+            max_items: usize::MAX,
+        };
+        let topo = Topology::single_site(2, SimDuration::from_millis(2));
+        // Suspicion timings far beyond the test horizon: with gossip
+        // lingering behind the hour-long delay, silence is expected —
+        // only the scripted *leave* may produce the departure verdict.
+        let membership = MembershipConfig {
+            gossip_interval: dgc_core::units::Dur::from_secs(1),
+            suspect_after: dgc_core::units::Dur::from_secs(100_000),
+            dead_after: dgc_core::units::Dur::from_secs(200_000),
+            full_sync_every: 4,
+        };
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .collector(CollectorKind::Complete(dgc_cfg()))
+                .seed(9)
+                .membership(membership)
+                .egress(policy),
+        );
+        // Converge membership by riding app traffic (gossip alone would
+        // wait out the hour): both directions pump for a while.
+        let a = g.spawn_root(ProcId(0), Box::new(Inert));
+        let b = g.spawn_root(ProcId(1), Box::new(Inert));
+        for _ in 0..40 {
+            g.send_app(a, b, false, vec![1]);
+            g.send_app(b, a, false, vec![2]);
+            g.run_for(SimDuration::from_millis(500));
+        }
+        assert!(
+            g.member_records(ProcId(0)).is_some_and(|r| r.len() == 2),
+            "app-carried gossip must converge the directories"
+        );
+        // Phase 2: no more rides; heartbeats toward proc 1 accumulate.
+        // The target stays pinned busy: with its heartbeats starved
+        // behind the hour linger it would otherwise (correctly) fall to
+        // TTA expiry, which is not what this test is about.
+        let holder = g.spawn_root(ProcId(0), Box::new(Inert));
+        let kept = g.spawn(ProcId(1), Box::new(Inert));
+        g.set_busy(kept, true);
+        g.make_ref(holder, kept);
+        g.run_for(SimDuration::from_secs(90)); // a few TTB rounds
+        let before = g.egress_stats(ProcId(0));
+        assert!(
+            before.enqueued_items > before.items + before.dropped_items,
+            "heartbeats should be lingering: {before:?}"
+        );
+        g.leave_proc(ProcId(1));
+        g.run_for(SimDuration::from_secs(10));
+        let after = g.egress_stats(ProcId(0));
+        assert!(after.dropped_items > 0, "queue reclaimed: {after:?}");
+        assert_eq!(
+            after.enqueued_items,
+            after.items + after.dropped_items,
+            "nothing may stay queued for the departed peer: {after:?}"
+        );
+        assert!(g.violations().is_empty(), "{:?}", g.violations());
+    }
+
+    #[test]
+    fn app_unit_to_a_departed_proc_surfaces_on_the_failure_log() {
+        let topo = Topology::single_site(2, SimDuration::from_millis(2));
+        let mut g = Grid::new(
+            GridConfig::new(topo)
+                .seed(4)
+                .membership(MembershipConfig::scaled(dgc_core::units::Dur::from_secs(1))),
+        );
+        let a = g.spawn_root(ProcId(0), Box::new(Inert));
+        let b = g.spawn_root(ProcId(1), Box::new(Inert));
+        g.run_for(SimDuration::from_secs(20)); // converge
+        g.leave_proc(ProcId(1));
+        g.run_for(SimDuration::from_secs(5));
+        g.send_app(a, b, false, b"too late".to_vec());
+        g.run_for(SimDuration::from_secs(5));
+        assert!(g.drain_app_received().is_empty(), "nobody home");
+        assert!(
+            g.app_send_failures()
+                .iter()
+                .any(|f| f.payload == b"too late"),
+            "the undeliverable unit must surface, not vanish: {:?}",
+            g.app_send_failures()
         );
     }
 

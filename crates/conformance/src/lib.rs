@@ -55,6 +55,7 @@ use dgc_simnet::time::{SimDuration, SimTime};
 use dgc_simnet::topology::{ProcId, Topology};
 
 pub mod scenarios;
+pub mod workload;
 
 /// One scripted operation, applied at a scenario time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

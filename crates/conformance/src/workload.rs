@@ -1,0 +1,177 @@
+//! Workload-driven conformance: the oracle judges a *real* application
+//! run, not a scripted one.
+//!
+//! The scripted scenarios in [`crate::scenarios`] pin the §4.2 fault
+//! quadrants with hand-written timelines. This module closes the other
+//! gap: it runs an actual §5 workload — the CG-style bulk-synchronous
+//! request/reply rounds of [`dgc_workloads::bsp`] — over both runtimes
+//! through the shared [`dgc_workloads::driver::AppTransport`] trait,
+//! then rebuilds the run's ground-truth script from the driver trace
+//! and hands it to the *same* [`evaluate`] oracle the scripted
+//! scenarios use. Conformance means both runtimes earn
+//! [`Verdict::SAFE_AND_COMPLETE`]: nothing live collected while the
+//! rounds ran, and the released worker clique fully collected after.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dgc_activeobj::collector::CollectorKind;
+use dgc_activeobj::runtime::{Grid, GridConfig};
+use dgc_core::config::DgcConfig;
+use dgc_core::faults::FaultProfile;
+use dgc_core::id::AoId;
+use dgc_core::units::{Dur, Time};
+use dgc_rt_net::{Cluster, NetConfig};
+use dgc_simnet::time::SimDuration;
+use dgc_simnet::topology::Topology;
+use dgc_workloads::driver::{AppTransport, ClusterTransport, GridTransport, Traced, TracedOp};
+use dgc_workloads::nas::Kernel;
+use dgc_workloads::run_bsp;
+
+use crate::{evaluate, Observation, Op, Scenario, ScriptOp, Verdict};
+
+/// Millisecond-scale protocol shared by both runtimes, like the
+/// scripted scenarios use.
+fn workload_dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_millis(25))
+        .tta(Dur::from_millis(80))
+        .max_comm(Dur::from_millis(20))
+        .build()
+}
+
+fn workload_params() -> dgc_workloads::NasParams {
+    let mut params = Kernel::Cg.class_c().scaled_down(4, 25);
+    params.iterations = 8;
+    params
+}
+
+const NODES: u32 = 2;
+
+/// One workload conformance run on one runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadRun {
+    /// The oracle's verdict over the reconstructed script.
+    pub verdict: Verdict,
+    /// The kernel's verification value (must also agree bit-for-bit
+    /// between runtimes — same math, different wires).
+    pub checksum: f64,
+}
+
+/// Drives the workload on any transport and judges it with the shared
+/// oracle.
+fn run_and_judge<T: AppTransport>(transport: &mut T) -> WorkloadRun {
+    let params = workload_params();
+    let outcome = run_bsp(
+        transport,
+        &params,
+        &|i| Kernel::Cg.math(i),
+        Time::ZERO + Dur::from_secs(120),
+    );
+
+    // Watch the collector finish the released clique, stamping each
+    // termination when first seen (the same observation discipline as
+    // the scripted socket runner).
+    let mut first_seen: BTreeMap<AoId, Time> = BTreeMap::new();
+    let deadline = outcome.result_at + Dur::from_secs(60);
+    loop {
+        for ao in transport.terminated() {
+            first_seen.entry(ao).or_insert_with(|| transport.now());
+        }
+        let all = outcome
+            .layout
+            .workers
+            .iter()
+            .all(|w| first_seen.contains_key(w));
+        if all || transport.now() >= deadline {
+            break;
+        }
+        transport.step();
+    }
+
+    // Rebuild the ground truth: tags are assigned in spawn order, so
+    // the verdict cannot depend on runtime-specific AoIds.
+    let mut tags: BTreeMap<AoId, usize> = BTreeMap::new();
+    let mut script: Vec<ScriptOp> = Vec::new();
+    for Traced { at, op } in &outcome.trace {
+        let op = match *op {
+            TracedOp::Spawn { ao, busy } => {
+                let tag = tags.len();
+                tags.insert(ao, tag);
+                Op::Spawn {
+                    tag,
+                    node: ao.node,
+                    busy,
+                }
+            }
+            TracedOp::SetIdle { ao, idle } => Op::SetIdle {
+                tag: tags[&ao],
+                idle,
+            },
+            TracedOp::AddRef { from, to } => Op::AddRef {
+                from: tags[&from],
+                to: tags[&to],
+            },
+            TracedOp::DropRef { from, to } => Op::DropRef {
+                from: tags[&from],
+                to: tags[&to],
+            },
+        };
+        script.push(ScriptOp { at: *at, op });
+    }
+    let horizon = transport
+        .now()
+        .since(Time::ZERO)
+        .saturating_add(Dur::from_millis(1));
+    let scenario = Scenario {
+        name: "workload-cg-rounds",
+        nodes: NODES,
+        dgc: workload_dgc(),
+        script,
+        profile: FaultProfile::none(),
+        membership: None,
+        horizon,
+        expect: Verdict::SAFE_AND_COMPLETE,
+    };
+    let observations: Vec<Observation> = first_seen
+        .iter()
+        .filter_map(|(ao, at)| tags.get(ao).map(|tag| Observation { at: *at, tag: *tag }))
+        .collect();
+    WorkloadRun {
+        verdict: evaluate(&scenario, &observations),
+        checksum: outcome.checksum,
+    }
+}
+
+/// The workload scenario on the deterministic simulator.
+pub fn run_workload_simnet(seed: u64) -> WorkloadRun {
+    let topo = Topology::single_site(NODES, SimDuration::from_millis(2));
+    let grid = Grid::new(
+        GridConfig::new(topo)
+            .collector(CollectorKind::Complete(workload_dgc()))
+            .seed(seed)
+            .egress(dgc_core::egress::FlushPolicy::default()),
+    );
+    let mut transport = GridTransport::new(grid, SimDuration::from_millis(5));
+    let run = run_and_judge(&mut transport);
+    // The grid's built-in oracle must concur with the harness verdict,
+    // exactly like the scripted simnet runner cross-checks it.
+    assert_eq!(
+        run.verdict.wrongful_collection,
+        !transport.grid().violations().is_empty(),
+        "workload harness and grid oracle disagree: {:?}",
+        transport.grid().violations()
+    );
+    run
+}
+
+/// The workload scenario on a localhost TCP cluster.
+pub fn run_workload_rtnet(_seed: u64) -> std::io::Result<WorkloadRun> {
+    // The wall clock is the socket runtime's only seed; the parameter
+    // keeps the call shape symmetric with the scripted runners.
+    let cluster = Cluster::listen_local(NODES, NetConfig::new(workload_dgc()))?;
+    let mut transport = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let run = run_and_judge(&mut transport);
+    transport.into_cluster().shutdown();
+    Ok(run)
+}

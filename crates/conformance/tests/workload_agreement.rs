@@ -1,0 +1,29 @@
+//! The workload-driven conformance scenario: the same CG-style
+//! request/reply rounds on the simulator and on a real TCP cluster,
+//! judged by the same oracle — the verdicts (and the genuinely
+//! executed kernel checksums) must agree under every seed.
+
+use dgc_conformance::workload::{run_workload_rtnet, run_workload_simnet};
+use dgc_conformance::{seeds, Verdict};
+
+#[test]
+fn workload_verdicts_agree_across_runtimes_and_seeds() {
+    for seed in seeds() {
+        let sim = run_workload_simnet(seed);
+        let net = run_workload_rtnet(seed).expect("socket run");
+        assert_eq!(
+            sim.verdict, net.verdict,
+            "seed {seed}: runtimes disagree (sim {sim:?}, net {net:?})"
+        );
+        assert_eq!(
+            sim.verdict,
+            Verdict::SAFE_AND_COMPLETE,
+            "seed {seed}: the workload run must be safe and fully collected"
+        );
+        assert_eq!(
+            sim.checksum.to_bits(),
+            net.checksum.to_bits(),
+            "seed {seed}: kernel math must agree bit-for-bit"
+        );
+    }
+}

@@ -161,8 +161,22 @@ impl<T> Flush<T> {
 }
 
 /// Monotone counters of what the outbox did, for benches and tests.
+///
+/// Conservation invariant (checked by `tests/egress_props.rs`): every
+/// unit that enters the outbox either flushes or is returned by
+/// [`Outbox::drop_dest`], so
+/// `enqueued_items = items + dropped_items + pending` (and likewise
+/// for bytes).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EgressStats {
+    /// Units accepted by [`Outbox::enqueue`].
+    pub enqueued_items: u64,
+    /// Payload bytes accepted by [`Outbox::enqueue`].
+    pub enqueued_bytes: u64,
+    /// Units returned by [`Outbox::drop_dest`] for departed peers.
+    pub dropped_items: u64,
+    /// Payload bytes returned by [`Outbox::drop_dest`].
+    pub dropped_bytes: u64,
     /// Flushes emitted (= frames the runtime will send).
     pub flushes: u64,
     /// Units flushed.
@@ -238,6 +252,8 @@ impl<T> Outbox<T> {
         }
         q.items.push(QueuedItem { class, size, item });
         q.bytes += size;
+        self.stats.enqueued_items += 1;
+        self.stats.enqueued_bytes += size;
         if self.policy.flush_on_app && class.is_app() {
             return self.take(dest, FlushReason::AppSend);
         }
@@ -288,9 +304,39 @@ impl<T> Outbox<T> {
             .collect()
     }
 
+    /// Forgets `dest` entirely — queue, byte count and flush deadline —
+    /// and returns whatever was still waiting, oldest first.
+    ///
+    /// This is the reclamation path for a **departed** peer (a
+    /// membership Dead/Left verdict, a terminal transport conviction):
+    /// without it a destination's queue lives for the outbox's whole
+    /// lifetime, exactly like the lease lists of Birrell-style
+    /// reference listing retaining state for parties that are gone. The
+    /// caller must surface the returned units as send failures — they
+    /// were accepted for delivery and must not silently vanish.
+    pub fn drop_dest(&mut self, dest: u32) -> Vec<QueuedItem<T>> {
+        let Some(q) = self.queues.remove(&dest) else {
+            return Vec::new();
+        };
+        self.stats.dropped_items += q.items.len() as u64;
+        self.stats.dropped_bytes += q.bytes;
+        q.items
+    }
+
     /// Units currently waiting across all destinations.
     pub fn pending_items(&self) -> usize {
         self.queues.values().map(|q| q.items.len()).sum()
+    }
+
+    /// Payload bytes currently waiting across all destinations.
+    pub fn pending_bytes(&self) -> u64 {
+        self.queues.values().map(|q| q.bytes).sum()
+    }
+
+    /// Units currently waiting for `dest` (0 after a
+    /// [`Outbox::drop_dest`]).
+    pub fn pending_items_for(&self, dest: u32) -> usize {
+        self.queues.get(&dest).map_or(0, |q| q.items.len())
     }
 
     /// What the outbox has flushed so far.
@@ -422,6 +468,53 @@ mod tests {
         // arrivals do not extend it.
         ob.enqueue(ms(24), 1, EgressClass::DgcMessage, 1, 2);
         assert_eq!(ob.next_deadline(), Some(ms(25)));
+    }
+
+    #[test]
+    fn drop_dest_forgets_queue_bytes_and_deadline() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        ob.enqueue(ms(0), 1, EgressClass::DgcMessage, 34, 0);
+        ob.enqueue(ms(1), 1, EgressClass::Gossip, 20, 1);
+        ob.enqueue(ms(2), 2, EgressClass::DgcMessage, 34, 2);
+        assert_eq!(ob.next_deadline(), Some(ms(5)), "dest 1 owns the wakeup");
+        let returned = ob.drop_dest(1);
+        let items: Vec<u32> = returned.iter().map(|qi| qi.item).collect();
+        assert_eq!(items, vec![0, 1], "queued units come back, oldest first");
+        assert_eq!(ob.pending_items_for(1), 0);
+        assert_eq!(ob.pending_items(), 1, "dest 2 untouched");
+        assert_eq!(ob.pending_bytes(), 34);
+        assert_eq!(
+            ob.next_deadline(),
+            Some(ms(7)),
+            "the departed peer's wakeup deadline is gone with its queue"
+        );
+        let stats = ob.stats();
+        assert_eq!(stats.dropped_items, 2);
+        assert_eq!(stats.dropped_bytes, 54);
+        assert_eq!(stats.enqueued_items, 3);
+        assert!(ob.drop_dest(1).is_empty(), "idempotent");
+        assert!(ob.drop_dest(9).is_empty(), "unknown destinations are fine");
+    }
+
+    #[test]
+    fn stats_conserve_items_and_bytes() {
+        let mut ob: Outbox<u32> = Outbox::new(policy());
+        ob.enqueue(ms(0), 1, EgressClass::DgcMessage, 10, 0);
+        ob.enqueue(ms(0), 2, EgressClass::Gossip, 20, 1);
+        ob.enqueue(ms(0), 1, EgressClass::AppRequest, 30, 2); // flushes dest 1
+        ob.drop_dest(2);
+        ob.enqueue(ms(0), 3, EgressClass::Control, 40, 3); // still pending
+        let s = ob.stats();
+        assert_eq!(s.enqueued_items, 4);
+        assert_eq!(s.enqueued_bytes, 100);
+        assert_eq!(
+            s.enqueued_items,
+            s.items + s.dropped_items + ob.pending_items() as u64
+        );
+        assert_eq!(
+            s.enqueued_bytes,
+            s.bytes + s.dropped_bytes + ob.pending_bytes()
+        );
     }
 
     #[test]

@@ -87,6 +87,101 @@ proptest! {
         }
     }
 
+    /// Random interleavings of enqueue / poll / drop_dest: the outbox
+    /// never retains an item for a dropped destination (a later
+    /// enqueue to the same destination starts a fresh queue, and the
+    /// dropped units are returned exactly once), and the stats
+    /// counters stay conserved — flushed + returned (+ still pending)
+    /// = enqueued, for items and bytes alike.
+    #[test]
+    fn drop_dest_retains_nothing_and_conserves_counters(
+        ops in proptest::collection::vec(
+            // (dest, class selector, size, ms advance, action selector)
+            // action: 0..=5 enqueue, 6..=7 poll, 8..=9 drop_dest
+            (0u32..4, any::<u8>(), 1u64..200, 0u64..4, 0u8..10),
+            1..150,
+        ),
+        max_delay_ms in 0u64..6,
+        max_items in 1usize..12,
+    ) {
+        let policy = FlushPolicy {
+            flush_on_app: true,
+            max_delay: Dur::from_millis(max_delay_ms),
+            max_bytes: 600,
+            max_items,
+        };
+        let mut ob: Outbox<u64> = Outbox::new(policy);
+        let mut now_ms = 0u64;
+        let mut seq = 0u64;
+        // Ground truth: what each destination still owes us.
+        let mut outstanding: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        let mut flushed_count = 0u64;
+        let mut returned_count = 0u64;
+        for (dest, class, size, advance, action) in ops {
+            now_ms += advance;
+            let now = Time::from_nanos(now_ms * 1_000_000);
+            match action {
+                0..=5 => {
+                    let item = seq;
+                    seq += 1;
+                    outstanding[dest as usize].push(item);
+                    if let Some(f) = ob.enqueue(now, dest, class_of(class), size, item) {
+                        for qi in &f.items {
+                            prop_assert_eq!(
+                                outstanding[f.dest as usize].remove(0),
+                                qi.item,
+                                "flush out of enqueue order"
+                            );
+                            flushed_count += 1;
+                        }
+                    }
+                }
+                6..=7 => {
+                    for f in ob.poll(now) {
+                        for qi in &f.items {
+                            prop_assert_eq!(
+                                outstanding[f.dest as usize].remove(0),
+                                qi.item,
+                                "poll out of enqueue order"
+                            );
+                            flushed_count += 1;
+                        }
+                    }
+                }
+                _ => {
+                    let returned = ob.drop_dest(dest);
+                    let items: Vec<u64> = returned.iter().map(|qi| qi.item).collect();
+                    prop_assert_eq!(
+                        &items,
+                        &outstanding[dest as usize],
+                        "drop_dest must return exactly the outstanding queue"
+                    );
+                    returned_count += items.len() as u64;
+                    outstanding[dest as usize].clear();
+                    prop_assert_eq!(ob.pending_items_for(dest), 0);
+                }
+            }
+        }
+        let pending = ob.pending_items() as u64;
+        let pending_bytes = ob.pending_bytes();
+        let s = ob.stats();
+        prop_assert_eq!(s.items, flushed_count);
+        prop_assert_eq!(s.dropped_items, returned_count);
+        prop_assert_eq!(
+            s.enqueued_items,
+            s.items + s.dropped_items + pending,
+            "item conservation: enqueued = flushed + returned + pending"
+        );
+        prop_assert_eq!(
+            s.enqueued_bytes,
+            s.bytes + s.dropped_bytes + pending_bytes,
+            "byte conservation: enqueued = flushed + returned + pending"
+        );
+        // And the pending remainder is exactly the ground truth.
+        let left: u64 = outstanding.iter().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(pending, left);
+    }
+
     /// The deadline contract: while anything is queued, the outbox
     /// names a deadline no later than oldest-enqueue + max_delay, and a
     /// poll at that deadline flushes the oldest item.

@@ -1,0 +1,403 @@
+//! The socket-facing lease driver: Birrell-style reference listing as
+//! **application traffic**.
+//!
+//! The simulator hosts [`RmiEndpoint`]s natively and meters their calls
+//! as a dedicated traffic class. On the real transport the baseline
+//! behaves like what it models — Java RMI's DGC, whose `dirty`/`clean`
+//! calls are ordinary remote invocations: this driver turns endpoint
+//! actions into [`LeasePacket`]s (opaque call/reply payloads built by
+//! [`crate::wire`]'s lease codec) for `dgc-rt-net`'s
+//! `NetNode::send_app`, and consumes the packets the peer node
+//! delivers. It is sans-io like the engines in `dgc-core` and
+//! `dgc-membership`: the runtime decides when to tick and how packets
+//! travel, so the same driver runs over the simulator, a localhost TCP
+//! cluster, or a unit test's in-memory loop.
+//!
+//! One driver instance manages the endpoints of **one node** (one
+//! address space); a deployment runs one per node and lets the
+//! transport carry the packets between them.
+
+use std::collections::BTreeMap;
+
+use dgc_core::id::AoId;
+use dgc_core::units::Time;
+use dgc_core::wire::DecodeError;
+
+use crate::endpoint::{RmiAction, RmiConfig, RmiEndpoint, RmiMessage};
+use crate::wire::{decode_call, decode_reply, encode_call, encode_reply, LeaseCall, LeaseReply};
+
+/// One lease call or reply, shaped for the application plane: exactly
+/// the arguments of `NetNode::send_app` / the fields of a delivered
+/// app unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeasePacket {
+    /// Sending activity.
+    pub from: AoId,
+    /// Destination activity.
+    pub to: AoId,
+    /// True for a reply payload (travels the reply socket).
+    pub reply: bool,
+    /// The encoded [`LeaseCall`] or [`LeaseReply`].
+    pub payload: Vec<u8>,
+}
+
+/// Traffic counters of one driver, mirroring the §5 accounting: first
+/// registrations, renewals and releases are distinguishable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// First `dirty` calls shipped.
+    pub dirty_sent: u64,
+    /// Renewal calls shipped.
+    pub renew_sent: u64,
+    /// `clean` calls shipped.
+    pub clean_sent: u64,
+    /// Grant replies received (our dirties/renews acknowledged).
+    pub granted_received: u64,
+    /// Release replies received (our cleans acknowledged).
+    pub released_received: u64,
+    /// Payloads that failed to decode (corrupt or misrouted).
+    pub decode_errors: u64,
+}
+
+/// Per-node lease driver: hosts [`RmiEndpoint`]s, speaks
+/// [`LeasePacket`]s.
+#[derive(Debug)]
+pub struct LeaseDriver {
+    config: RmiConfig,
+    endpoints: BTreeMap<AoId, RmiEndpoint>,
+    idle: BTreeMap<AoId, bool>,
+    terminated: Vec<AoId>,
+    stats: LeaseStats,
+}
+
+impl LeaseDriver {
+    /// An empty driver for one node's endpoints.
+    pub fn new(config: RmiConfig) -> LeaseDriver {
+        LeaseDriver {
+            config,
+            endpoints: BTreeMap::new(),
+            idle: BTreeMap::new(),
+            terminated: Vec::new(),
+            stats: LeaseStats::default(),
+        }
+    }
+
+    /// Hosts the endpoint for `id` (initially busy, like a fresh
+    /// activity).
+    pub fn add_endpoint(&mut self, id: AoId, now: Time) {
+        self.endpoints
+            .insert(id, RmiEndpoint::new(id, now, self.config));
+        self.idle.insert(id, false);
+    }
+
+    /// Marks `id` idle or busy; only idle endpoints with no lease
+    /// holders are ever collected.
+    pub fn set_idle(&mut self, id: AoId, idle: bool) {
+        if let Some(flag) = self.idle.get_mut(&id) {
+            *flag = idle;
+        }
+    }
+
+    /// `holder` (hosted here) gained a reference to `target`: ships the
+    /// immediate first `dirty`.
+    pub fn add_ref(&mut self, now: Time, holder: AoId, target: AoId) -> Vec<LeasePacket> {
+        let Some(ep) = self.endpoints.get_mut(&holder) else {
+            return Vec::new();
+        };
+        let actions = ep.on_stub_deserialized(now, target);
+        self.realize(holder, actions, CallKind::Dirty)
+    }
+
+    /// `holder` dropped its last stub for `target`: ships the `clean`.
+    pub fn drop_ref(&mut self, holder: AoId, target: AoId) -> Vec<LeasePacket> {
+        let Some(ep) = self.endpoints.get_mut(&holder) else {
+            return Vec::new();
+        };
+        let actions = ep.on_stubs_collected(target);
+        self.realize(holder, actions, CallKind::Clean)
+    }
+
+    /// Periodic driver: renewals at half-lease (client role), lease
+    /// expiry and idle-collection (server role). Call it at least a few
+    /// times per lease period.
+    pub fn tick(&mut self, now: Time) -> Vec<LeasePacket> {
+        let ids: Vec<AoId> = self.endpoints.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let idle = self.idle.get(&id).copied().unwrap_or(false);
+            let Some(ep) = self.endpoints.get_mut(&id) else {
+                continue;
+            };
+            let actions = ep.on_tick(now, idle);
+            out.extend(self.realize(id, actions, CallKind::Renew));
+        }
+        out
+    }
+
+    /// Consumes one delivered application payload addressed to an
+    /// endpoint hosted here. Calls are applied to the server role and
+    /// answered (`dirty`/`renew` → `Granted`, `clean` → `Released`);
+    /// replies update the client-side accounting.
+    pub fn on_payload(
+        &mut self,
+        now: Time,
+        from: AoId,
+        to: AoId,
+        reply: bool,
+        payload: &[u8],
+    ) -> Vec<LeasePacket> {
+        if reply {
+            match decode_reply(payload) {
+                Ok(LeaseReply::Granted { .. }) => self.stats.granted_received += 1,
+                Ok(LeaseReply::Released { .. }) => self.stats.released_received += 1,
+                Err(_) => self.stats.decode_errors += 1,
+            }
+            return Vec::new();
+        }
+        let call = match decode_call(payload) {
+            Ok(call) => call,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return Vec::new();
+            }
+        };
+        let Some(ep) = self.endpoints.get_mut(&to) else {
+            // Target already collected: in real RMI the call raises
+            // NoSuchObjectException; the caller's send-failure path
+            // (transport-level) handles it, nothing to answer.
+            return Vec::new();
+        };
+        ep.on_message(now, &call.as_message());
+        let answer = match call {
+            LeaseCall::Dirty { holder, lease } | LeaseCall::Renew { holder, lease } => {
+                LeaseReply::Granted { holder, lease }
+            }
+            LeaseCall::Clean { holder } => LeaseReply::Released { holder },
+        };
+        vec![LeasePacket {
+            from: to,
+            to: from,
+            reply: true,
+            payload: encode_reply(&answer),
+        }]
+    }
+
+    /// A transport-level send failure toward `target`: every endpoint
+    /// hosted here forgets it (stops renewing).
+    pub fn on_send_failure(&mut self, target: AoId) {
+        for ep in self.endpoints.values_mut() {
+            ep.on_send_failure(target);
+        }
+    }
+
+    /// Endpoints collected so far (idle, no holders, grace expired), in
+    /// collection order.
+    pub fn terminated(&self) -> &[AoId] {
+        &self.terminated
+    }
+
+    /// True once `id` was collected.
+    pub fn is_dead(&self, id: AoId) -> bool {
+        self.terminated.contains(&id)
+    }
+
+    /// Current lease holders registered with `id` (server role).
+    pub fn lease_holders(&self, id: AoId) -> usize {
+        self.endpoints.get(&id).map_or(0, |e| e.lease_holders())
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// Turns endpoint actions into packets. `kind` disambiguates what a
+    /// `Send` action means in the context it was produced: dirties come
+    /// from deserialization, renewals from ticks, cleans from stub
+    /// collection (the endpoint emits the same `RmiMessage::Dirty` for
+    /// the first two — the wire keeps them tellable apart).
+    fn realize(&mut self, who: AoId, actions: Vec<RmiAction>, kind: CallKind) -> Vec<LeasePacket> {
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                RmiAction::Send { to, message } => {
+                    let call = match (message, kind) {
+                        (RmiMessage::Dirty { holder, lease }, CallKind::Dirty) => {
+                            self.stats.dirty_sent += 1;
+                            LeaseCall::Dirty { holder, lease }
+                        }
+                        (RmiMessage::Dirty { holder, lease }, _) => {
+                            self.stats.renew_sent += 1;
+                            LeaseCall::Renew { holder, lease }
+                        }
+                        (RmiMessage::Clean { holder }, _) => {
+                            self.stats.clean_sent += 1;
+                            LeaseCall::Clean { holder }
+                        }
+                    };
+                    out.push(LeasePacket {
+                        from: who,
+                        to,
+                        reply: false,
+                        payload: encode_call(&call),
+                    });
+                }
+                RmiAction::Terminate => {
+                    self.endpoints.remove(&who);
+                    self.idle.remove(&who);
+                    self.terminated.push(who);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What a `Send` action means in the context that produced it.
+#[derive(Debug, Clone, Copy)]
+enum CallKind {
+    Dirty,
+    Renew,
+    Clean,
+}
+
+/// Decodes a payload for inspection without a driver (tests, benches).
+pub fn peek_call(payload: &[u8]) -> Result<LeaseCall, DecodeError> {
+    decode_call(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_core::units::Dur;
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    fn cfg() -> RmiConfig {
+        RmiConfig {
+            lease: Dur::from_secs(60),
+        }
+    }
+
+    /// Delivers `packets` into the driver hosting their destinations,
+    /// returning the replies produced.
+    fn deliver(driver: &mut LeaseDriver, now: Time, packets: &[LeasePacket]) -> Vec<LeasePacket> {
+        packets
+            .iter()
+            .flat_map(|p| driver.on_payload(now, p.from, p.to, p.reply, &p.payload))
+            .collect()
+    }
+
+    #[test]
+    fn full_lease_round_trip_over_packets() {
+        // node 0 hosts the holder, node 1 the target; packets are the
+        // only thing crossing between the two drivers.
+        let holder = AoId::new(0, 0);
+        let target = AoId::new(1, 0);
+        let mut client = LeaseDriver::new(cfg());
+        let mut server = LeaseDriver::new(cfg());
+        client.add_endpoint(holder, t(0));
+        server.add_endpoint(target, t(0));
+        server.set_idle(target, true);
+
+        // Dirty registers the lease and is answered with a grant.
+        let dirty = client.add_ref(t(0), holder, target);
+        assert_eq!(dirty.len(), 1);
+        assert!(!dirty[0].reply);
+        assert_eq!(
+            decode_call(&dirty[0].payload).unwrap(),
+            LeaseCall::Dirty {
+                holder,
+                lease: Dur::from_secs(60)
+            }
+        );
+        let grants = deliver(&mut server, t(0), &dirty);
+        assert_eq!(server.lease_holders(target), 1);
+        assert_eq!(grants.len(), 1);
+        assert!(grants[0].reply);
+        deliver(&mut client, t(0), &grants);
+        assert_eq!(client.stats().granted_received, 1);
+
+        // Renewal at half-lease keeps the target alive past the
+        // original expiry.
+        let renew = client.tick(t(30));
+        assert_eq!(renew.len(), 1);
+        assert!(matches!(
+            decode_call(&renew[0].payload).unwrap(),
+            LeaseCall::Renew { .. }
+        ));
+        deliver(&mut server, t(30), &renew);
+        assert!(server.tick(t(70)).is_empty());
+        assert!(!server.is_dead(target), "renewed lease holds");
+
+        // Clean releases; the idle target collects after the grace.
+        let clean = client.drop_ref(holder, target);
+        let released = deliver(&mut server, t(80), &clean);
+        assert_eq!(server.lease_holders(target), 0);
+        deliver(&mut client, t(80), &released);
+        assert_eq!(client.stats().released_received, 1);
+        server.tick(t(145)); // last dirty at 30 + lease 60 < 145: grace over
+        assert!(server.is_dead(target), "released idle target collects");
+        assert_eq!(server.terminated(), &[target]);
+        let s = client.stats();
+        assert_eq!((s.dirty_sent, s.renew_sent, s.clean_sent), (1, 1, 1));
+    }
+
+    #[test]
+    fn busy_or_leased_endpoints_survive_ticks() {
+        let target = AoId::new(1, 0);
+        let mut server = LeaseDriver::new(cfg());
+        server.add_endpoint(target, t(0));
+        // Busy: never collected, no matter how stale.
+        server.tick(t(1_000));
+        assert!(!server.is_dead(target));
+        // Idle but leased: stays.
+        server.set_idle(target, true);
+        let holder = AoId::new(0, 0);
+        let dirty = LeasePacket {
+            from: holder,
+            to: target,
+            reply: false,
+            payload: encode_call(&LeaseCall::Dirty {
+                holder,
+                lease: Dur::from_secs(60),
+            }),
+        };
+        server.on_payload(t(1_000), holder, target, false, &dirty.payload);
+        server.tick(t(1_030));
+        assert!(!server.is_dead(target));
+        // Lease expires without renewal: collected.
+        server.tick(t(1_075));
+        assert!(server.is_dead(target));
+    }
+
+    #[test]
+    fn corrupt_payloads_are_counted_not_fatal() {
+        let target = AoId::new(1, 0);
+        let mut server = LeaseDriver::new(cfg());
+        server.add_endpoint(target, t(0));
+        let replies = server.on_payload(t(0), AoId::new(0, 0), target, false, &[0xFF, 0x01]);
+        assert!(replies.is_empty());
+        assert_eq!(server.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn calls_to_collected_endpoints_are_unanswered() {
+        let target = AoId::new(1, 0);
+        let holder = AoId::new(0, 0);
+        let mut server = LeaseDriver::new(cfg());
+        server.add_endpoint(target, t(0));
+        server.set_idle(target, true);
+        server.tick(t(61)); // fresh-object grace expires
+        assert!(server.is_dead(target));
+        let payload = encode_call(&LeaseCall::Dirty {
+            holder,
+            lease: Dur::from_secs(60),
+        });
+        assert!(server
+            .on_payload(t(62), holder, target, false, &payload)
+            .is_empty());
+    }
+}

@@ -20,7 +20,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod endpoint;
 pub mod wire;
 
+pub use driver::{LeaseDriver, LeasePacket, LeaseStats};
 pub use endpoint::{RmiAction, RmiConfig, RmiEndpoint, RmiMessage};
+pub use wire::{LeaseCall, LeaseReply};

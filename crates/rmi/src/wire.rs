@@ -5,6 +5,20 @@
 //! RMI call envelope. We encode a compact binary equivalent and account
 //! a calibrated envelope on top, mirroring how `dgc-core::wire` treats
 //! the paper's DGC traffic.
+//!
+//! Two layers share this module:
+//!
+//! * [`encode`] / [`decode`] — the simulator-era codec for a bare
+//!   [`RmiMessage`], kept for the metered `dgc-simnet` runs;
+//! * [`LeaseCall`] / [`LeaseReply`] and their codecs — the **socket**
+//!   payloads the [`crate::driver::LeaseDriver`] ships as opaque
+//!   `Item::App` units over `dgc-rt-net`. A call distinguishes the
+//!   first `dirty` from a `renew` (Java RMI's renewal is a dirty call
+//!   with a fresh sequence number; keeping the distinction visible is
+//!   what lets the §5 traffic figures count renewals), and every call
+//!   has a reply — real `DGC.dirty` returns the granted `Lease` —
+//!   which is exactly the request/reply round trip the egress plane's
+//!   piggybacking is measured on.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -16,6 +30,9 @@ use crate::endpoint::RmiMessage;
 
 const TAG_DIRTY: u8 = 0xA1;
 const TAG_CLEAN: u8 = 0xA2;
+const TAG_RENEW: u8 = 0xA3;
+const TAG_GRANTED: u8 = 0xB1;
+const TAG_RELEASED: u8 = 0xB2;
 
 /// Per-call envelope of an RMI DGC invocation (transport framing, ObjID,
 /// operation number, serialization headers). Same calibration basis as
@@ -71,6 +88,171 @@ pub fn wire_size(message: &RmiMessage) -> u64 {
     }
 }
 
+/// A lease **call** payload: what a referencer ships to a referenced
+/// object over the application plane. `Renew` is semantically a
+/// `dirty` (the server treats both identically) but stays its own tag
+/// so traffic accounting can tell first registrations from renewals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseCall {
+    /// First registration: the holder announces itself.
+    Dirty {
+        /// The lease holder.
+        holder: AoId,
+        /// Requested lease duration.
+        lease: Dur,
+    },
+    /// Renewal at half-lease, Java RMI style.
+    Renew {
+        /// The lease holder.
+        holder: AoId,
+        /// Requested lease duration.
+        lease: Dur,
+    },
+    /// The holder's stub was collected; release the lease.
+    Clean {
+        /// The former lease holder.
+        holder: AoId,
+    },
+}
+
+impl LeaseCall {
+    /// The server-side view: renewals are dirty calls.
+    pub fn as_message(&self) -> RmiMessage {
+        match *self {
+            LeaseCall::Dirty { holder, lease } | LeaseCall::Renew { holder, lease } => {
+                RmiMessage::Dirty { holder, lease }
+            }
+            LeaseCall::Clean { holder } => RmiMessage::Clean { holder },
+        }
+    }
+}
+
+/// A lease **reply** payload: what the referenced object sends back
+/// (real `DGC.dirty` returns the granted `Lease`; `clean` returns
+/// void, acknowledged here so the round trip is observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// The lease was granted (or renewed) until `lease` from receipt.
+    Granted {
+        /// The lease holder the grant is addressed to.
+        holder: AoId,
+        /// The granted duration.
+        lease: Dur,
+    },
+    /// The clean call was processed; the holder is forgotten.
+    Released {
+        /// The former lease holder.
+        holder: AoId,
+    },
+}
+
+fn put_aoid(buf: &mut BytesMut, id: AoId) {
+    buf.put_u32(id.node);
+    buf.put_u32(id.index);
+}
+
+fn get_aoid(buf: &mut Bytes) -> Result<AoId, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(AoId::new(buf.get_u32(), buf.get_u32()))
+}
+
+/// Encodes a lease call for the application plane.
+pub fn encode_call(call: &LeaseCall) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(18);
+    match *call {
+        LeaseCall::Dirty { holder, lease } => {
+            buf.put_u8(TAG_DIRTY);
+            put_aoid(&mut buf, holder);
+            buf.put_u64(lease.as_nanos());
+        }
+        LeaseCall::Renew { holder, lease } => {
+            buf.put_u8(TAG_RENEW);
+            put_aoid(&mut buf, holder);
+            buf.put_u64(lease.as_nanos());
+        }
+        LeaseCall::Clean { holder } => {
+            buf.put_u8(TAG_CLEAN);
+            put_aoid(&mut buf, holder);
+        }
+    }
+    buf.as_slice().to_vec()
+}
+
+/// Decodes a lease call.
+pub fn decode_call(bytes: &[u8]) -> Result<LeaseCall, DecodeError> {
+    let mut buf = Bytes::from(bytes);
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let holder = get_aoid(&mut buf)?;
+    let call = match tag {
+        TAG_DIRTY | TAG_RENEW => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let lease = Dur::from_nanos(buf.get_u64());
+            if tag == TAG_DIRTY {
+                LeaseCall::Dirty { holder, lease }
+            } else {
+                LeaseCall::Renew { holder, lease }
+            }
+        }
+        TAG_CLEAN => LeaseCall::Clean { holder },
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if buf.remaining() != 0 {
+        return Err(DecodeError::BadTag(0));
+    }
+    Ok(call)
+}
+
+/// Encodes a lease reply for the application plane.
+pub fn encode_reply(reply: &LeaseReply) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(18);
+    match *reply {
+        LeaseReply::Granted { holder, lease } => {
+            buf.put_u8(TAG_GRANTED);
+            put_aoid(&mut buf, holder);
+            buf.put_u64(lease.as_nanos());
+        }
+        LeaseReply::Released { holder } => {
+            buf.put_u8(TAG_RELEASED);
+            put_aoid(&mut buf, holder);
+        }
+    }
+    buf.as_slice().to_vec()
+}
+
+/// Decodes a lease reply.
+pub fn decode_reply(bytes: &[u8]) -> Result<LeaseReply, DecodeError> {
+    let mut buf = Bytes::from(bytes);
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let holder = get_aoid(&mut buf)?;
+    let reply = match tag {
+        TAG_GRANTED => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            LeaseReply::Granted {
+                holder,
+                lease: Dur::from_nanos(buf.get_u64()),
+            }
+        }
+        TAG_RELEASED => LeaseReply::Released { holder },
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if buf.remaining() != 0 {
+        return Err(DecodeError::BadTag(0));
+    }
+    Ok(reply)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +297,84 @@ mod tests {
         buf.put_u32(0);
         buf.put_u32(0);
         assert!(matches!(decode(buf.freeze()), Err(DecodeError::BadTag(0))));
+    }
+
+    #[test]
+    fn lease_calls_round_trip() {
+        let calls = [
+            LeaseCall::Dirty {
+                holder: AoId::new(3, 4),
+                lease: Dur::from_secs(60),
+            },
+            LeaseCall::Renew {
+                holder: AoId::new(3, 4),
+                lease: Dur::from_secs(60),
+            },
+            LeaseCall::Clean {
+                holder: AoId::new(7, 0),
+            },
+        ];
+        for call in calls {
+            let e = encode_call(&call);
+            assert_eq!(decode_call(&e).unwrap(), call);
+            // Every strict prefix is rejected.
+            for len in 0..e.len() {
+                assert!(decode_call(&e[..len]).is_err(), "prefix {len} decoded");
+            }
+            // Trailing garbage too.
+            let mut long = e.clone();
+            long.push(0xEE);
+            assert!(decode_call(&long).is_err());
+        }
+    }
+
+    #[test]
+    fn lease_replies_round_trip() {
+        let replies = [
+            LeaseReply::Granted {
+                holder: AoId::new(1, 2),
+                lease: Dur::from_secs(60),
+            },
+            LeaseReply::Released {
+                holder: AoId::new(1, 2),
+            },
+        ];
+        for reply in replies {
+            let e = encode_reply(&reply);
+            assert_eq!(decode_reply(&e).unwrap(), reply);
+            for len in 0..e.len() {
+                assert!(decode_reply(&e[..len]).is_err(), "prefix {len} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn renew_is_a_dirty_to_the_server() {
+        let holder = AoId::new(0, 1);
+        let lease = Dur::from_secs(30);
+        assert_eq!(
+            LeaseCall::Renew { holder, lease }.as_message(),
+            RmiMessage::Dirty { holder, lease }
+        );
+        assert_eq!(
+            LeaseCall::Clean { holder }.as_message(),
+            RmiMessage::Clean { holder }
+        );
+    }
+
+    #[test]
+    fn call_and_reply_tags_are_disjoint() {
+        // A reply payload must never decode as a call (the transport's
+        // reply flag is belt; this is suspenders).
+        let reply = encode_reply(&LeaseReply::Granted {
+            holder: AoId::new(1, 2),
+            lease: Dur::from_secs(60),
+        });
+        assert!(decode_call(&reply).is_err());
+        let call = encode_call(&LeaseCall::Dirty {
+            holder: AoId::new(1, 2),
+            lease: Dur::from_secs(60),
+        });
+        assert!(decode_reply(&call).is_err());
     }
 }

@@ -528,10 +528,37 @@ impl Cluster {
         self.with_live(from.node, |nd| nd.send_app(from, to, reply, payload));
     }
 
-    /// Application units delivered to `node` so far, in arrival order.
+    /// Application units delivered to `node` so far, in arrival order
+    /// (empty while a handler is registered — see
+    /// [`Cluster::set_app_handler`]).
     pub fn app_received(&self, node: u32) -> Vec<crate::node::AppReceived> {
         self.with_node(node, |nd| nd.app_received())
             .unwrap_or_default()
+    }
+
+    /// Registers `node`'s application dispatch hook (see
+    /// [`NetNode::set_app_handler`]): delivered app units run through
+    /// the handler on the node's event loop instead of accumulating in
+    /// the inbox, and any sends it returns are routed immediately.
+    pub fn set_app_handler(
+        &self,
+        node: u32,
+        f: impl FnMut(&crate::node::AppReceived) -> Vec<crate::node::AppSend> + Send + 'static,
+    ) {
+        self.with_live(node, |nd| nd.set_app_handler(f));
+    }
+
+    /// Outgoing application units `node` accepted but could not deliver
+    /// (see [`NetNode::app_send_failures`]).
+    pub fn app_send_failures(&self, node: u32) -> Vec<crate::node::AppReceived> {
+        self.with_node(node, |nd| nd.app_send_failures())
+            .unwrap_or_default()
+    }
+
+    /// `node`'s egress-plane occupancy (see [`NetNode::egress_pending`]);
+    /// `None` while the node is down or its event loop did not answer.
+    pub fn egress_pending(&self, node: u32) -> Option<crate::node::EgressPending> {
+        self.with_node(node, |nd| nd.egress_pending()).flatten()
     }
 
     /// All collector terminations recorded so far, across nodes —
@@ -600,6 +627,7 @@ impl Cluster {
             total.reconnects += s.reconnects;
             total.send_failures += s.send_failures;
             total.decode_errors += s.decode_errors;
+            total.piggybacked += s.piggybacked;
         }
         total
     }

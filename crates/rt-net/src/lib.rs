@@ -95,7 +95,7 @@ pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
 pub use config::NetConfig;
 pub use frame::{Frame, FrameDecoder, Item, GOSSIP_ANYCAST};
-pub use node::{AppReceived, NetNode, Terminated};
+pub use node::{AppHandler, AppReceived, AppSend, EgressPending, NetNode, Terminated};
 pub use stats::{NetStats, NetStatsSnapshot};
 
 #[cfg(test)]

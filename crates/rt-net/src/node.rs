@@ -77,7 +77,10 @@ pub struct Terminated {
 }
 
 /// One application unit delivered to this node, in arrival order —
-/// what the piggyback/FIFO tests assert over.
+/// what the piggyback/FIFO tests assert over. Also the shape of a
+/// **failed** outgoing unit in [`NetNode::app_send_failures`]: an app
+/// payload the transport accepted but could not deliver (departed
+/// peer, dead link with no reply path) is handed back, not dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppReceived {
     /// Sending activity.
@@ -88,6 +91,56 @@ pub struct AppReceived {
     pub reply: bool,
     /// The opaque payload.
     pub payload: Vec<u8>,
+}
+
+/// An outgoing application unit produced by an [`AppHandler`]; routed
+/// through the egress plane exactly like [`NetNode::send_app`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppSend {
+    /// Sending activity (hosted on the handling node).
+    pub from: AoId,
+    /// Destination activity.
+    pub to: AoId,
+    /// True for a reply payload.
+    pub reply: bool,
+    /// The opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// The boxed dispatch function inside an [`AppHandler`].
+type AppHandlerFn = Box<dyn FnMut(&AppReceived) -> Vec<AppSend> + Send>;
+
+/// An application dispatch hook, run **on the node's event loop** for
+/// every delivered [`Item::App`]. The units it returns are routed
+/// through the egress plane in the same sweep — a server answering a
+/// request therefore gets its reply into the very frame window the
+/// request's piggybacked heartbeats rode in on. While a handler is
+/// registered the test inbox ([`NetNode::app_received`]) is bypassed.
+pub struct AppHandler(AppHandlerFn);
+
+impl AppHandler {
+    /// Wraps a dispatch function.
+    pub fn new(f: impl FnMut(&AppReceived) -> Vec<AppSend> + Send + 'static) -> AppHandler {
+        AppHandler(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for AppHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AppHandler")
+    }
+}
+
+/// Point-in-time occupancy of a node's egress plane, for tests and
+/// diagnostics (see [`NetNode::egress_pending`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EgressPending {
+    /// Units queued across all destinations.
+    pub items: usize,
+    /// Payload bytes queued across all destinations.
+    pub bytes: u64,
+    /// The earliest scheduled flush deadline, if anything is queued.
+    pub next_deadline: Option<Time>,
 }
 
 /// Everything the event loop can be asked to process.
@@ -169,6 +222,36 @@ pub enum Event {
     PeerUnreachable {
         /// The unreachable node.
         node: u32,
+        /// Everything the dead writer still had queued, handed back so
+        /// the event loop can reroute it over the peer's reply socket
+        /// (the forward direction failing says nothing about the
+        /// reverse one) or surface it as send failures — never drop it.
+        unsent: Vec<Item>,
+    },
+    /// A link writer could not ship these units and cannot retry them:
+    /// stragglers caught in the window between a terminal conviction
+    /// and the node dropping the link (rerouted over the peer's reply
+    /// socket if one is live), or units lost to a backlogged queue's
+    /// overflow shedding / a dying reply socket (failed outright — the
+    /// peer may still be fine, so no reroute that could reorder or
+    /// duplicate what the live path will deliver).
+    Undeliverable {
+        /// The peer the units were bound for.
+        node: u32,
+        /// The units.
+        items: Vec<Item>,
+        /// Try the reply path before surfacing failures.
+        reroute: bool,
+    },
+    /// Installs (or replaces) the application dispatch hook.
+    SetAppHandler {
+        /// The hook; delivered app units stop landing in the inbox.
+        handler: AppHandler,
+    },
+    /// Reports the egress plane's current occupancy (tests).
+    QueryEgress {
+        /// Where to send the snapshot.
+        reply: mpsc::Sender<EgressPending>,
     },
     /// Stops the event loop.
     Shutdown,
@@ -245,6 +328,7 @@ pub struct NetNode {
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
     app_log: Arc<Mutex<Vec<AppReceived>>>,
+    app_failures: Arc<Mutex<Vec<AppReceived>>>,
     member_events: Arc<Mutex<Vec<MembershipEvent>>>,
     member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     shutting_down: Arc<AtomicBool>,
@@ -283,6 +367,7 @@ impl NetNode {
         let stats = NetStats::shared();
         let terminated = Arc::new(Mutex::new(Vec::new()));
         let app_log = Arc::new(Mutex::new(Vec::new()));
+        let app_failures = Arc::new(Mutex::new(Vec::new()));
         let member_events = Arc::new(Mutex::new(Vec::new()));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SocketTracker::default());
@@ -310,6 +395,8 @@ impl NetNode {
             stats: Arc::clone(&stats),
             terminated: Arc::clone(&terminated),
             app_log: Arc::clone(&app_log),
+            app_failures: Arc::clone(&app_failures),
+            app_handler: None,
             shutting_down: Arc::clone(&shutting_down),
             tracker: Arc::clone(&tracker),
         };
@@ -341,6 +428,7 @@ impl NetNode {
             stats,
             terminated,
             app_log,
+            app_failures,
             member_events,
             member_snapshot,
             shutting_down,
@@ -555,12 +643,47 @@ impl NetNode {
     }
 
     /// Application units delivered to this node so far, in arrival
-    /// order.
+    /// order. Empty while an [`AppHandler`] is registered — dispatch
+    /// replaces the inbox.
     pub fn app_received(&self) -> Vec<AppReceived> {
         self.app_log
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Registers the application dispatch hook: every delivered app
+    /// unit runs through `f` on the event loop instead of landing in
+    /// the [`NetNode::app_received`] inbox, and the sends `f` returns
+    /// are routed through the egress plane immediately.
+    pub fn set_app_handler(&self, f: impl FnMut(&AppReceived) -> Vec<AppSend> + Send + 'static) {
+        let _ = self.tx.send(Event::SetAppHandler {
+            handler: AppHandler::new(f),
+        });
+    }
+
+    /// Outgoing application units the transport accepted but could not
+    /// deliver (departed peer, terminal link without a reply path) —
+    /// the send-failure surface of the app plane, in failure order.
+    pub fn app_send_failures(&self) -> Vec<AppReceived> {
+        self.app_failures
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The egress plane's current occupancy: queued units, queued
+    /// bytes, and the earliest flush deadline. Answers through the
+    /// event loop, so the snapshot is ordered after everything sent
+    /// before the call. Tests use it to assert a departed peer's queue
+    /// (and its wakeup) are actually reclaimed; `None` means the event
+    /// loop did not answer (gone or wedged) — deliberately *not* an
+    /// empty snapshot, so a reclamation test can never pass vacuously
+    /// against a dead loop.
+    pub fn egress_pending(&self) -> Option<EgressPending> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Event::QueryEgress { reply }).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
     }
 
     /// Graceful departure (no-op without membership): announces
@@ -756,8 +879,13 @@ pub(crate) fn spawn_socket_reader(
                                 // Give the event loop a reply path over
                                 // this same socket (firewall-transparent).
                                 if let Ok(w) = stream.try_clone() {
-                                    let (tx, _h) =
-                                        spawn_reply_writer(node_id, node, w, Arc::clone(&stats));
+                                    let (tx, _h) = spawn_reply_writer(
+                                        node_id,
+                                        node,
+                                        w,
+                                        Arc::clone(&stats),
+                                        events.clone(),
+                                    );
                                     let _ = events.send(Event::PeerLink { node, tx });
                                 }
                             }
@@ -801,6 +929,8 @@ struct Worker {
     stats: Arc<NetStats>,
     terminated: Arc<Mutex<Vec<Terminated>>>,
     app_log: Arc<Mutex<Vec<AppReceived>>>,
+    app_failures: Arc<Mutex<Vec<AppReceived>>>,
+    app_handler: Option<AppHandler>,
     shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
 }
@@ -870,21 +1000,28 @@ impl Worker {
         }
     }
 
-    fn send_batch_reply(&mut self, dest: u32, batch: Vec<Item>) {
-        let batch = if let Some(tx) = self.reply.get(&dest) {
-            match tx.send(batch) {
-                Ok(()) => return,
-                Err(mpsc::SendError(batch)) => {
-                    self.reply.remove(&dest);
-                    batch
-                }
-            }
-        } else {
-            batch
+    /// Hands `batch` to the reply writer bound to the socket `dest`
+    /// opened toward us; a missing or dead writer (its channel closed)
+    /// returns the batch and evicts the stale entry.
+    fn try_reply(&mut self, dest: u32, batch: Vec<Item>) -> Result<(), Vec<Item>> {
+        let Some(tx) = self.reply.get(&dest) else {
+            return Err(batch);
         };
+        match tx.send(batch) {
+            Ok(()) => Ok(()),
+            Err(mpsc::SendError(batch)) => {
+                self.reply.remove(&dest);
+                Err(batch)
+            }
+        }
+    }
+
+    fn send_batch_reply(&mut self, dest: u32, batch: Vec<Item>) {
         // No live inbound socket from that node: fall back to a
         // forward link if we can reach it at all.
-        self.send_batch_forward(dest, batch);
+        if let Err(batch) = self.try_reply(dest, batch) {
+            self.send_batch_forward(dest, batch);
+        }
     }
 
     fn send_batch_forward(&mut self, dest: u32, batch: Vec<Item>) {
@@ -898,6 +1035,9 @@ impl Worker {
                 // otherwise drop the heartbeats silently — the next TTB
                 // regenerates them once discovery converges (TTA
                 // budgets for far more than a gossip round-trip).
+                // Application payloads are never regenerated by the
+                // protocol, so they surface as send failures either
+                // way instead of silently vanishing.
                 let condemned = match &self.membership {
                     Some(engine) => matches!(
                         engine.directory().status_of(dest),
@@ -905,17 +1045,14 @@ impl Worker {
                     ),
                     None => true,
                 };
-                if condemned {
-                    for item in batch {
-                        if let Item::Dgc { from, to, .. } = item {
-                            let _ = self.loopback.send(Event::Item(Item::SendFailure {
-                                holder: from,
-                                target: to,
-                            }));
-                            self.stats.on_send_failures(1);
-                        }
-                    }
-                }
+                let failed: Vec<Item> = batch
+                    .into_iter()
+                    .filter(|item| {
+                        matches!(item, Item::App { .. })
+                            || (condemned && matches!(item, Item::Dgc { .. }))
+                    })
+                    .collect();
+                self.fail_items(failed);
                 return;
             };
             let link = OutboundLink::spawn(
@@ -929,10 +1066,88 @@ impl Worker {
             );
             self.outbound.insert(dest, link);
         }
-        self.outbound
+        if let Err(batch) = self
+            .outbound
             .get(&dest)
             .expect("link just ensured")
-            .send_batch(batch);
+            .send_batch(batch)
+        {
+            // The writer went terminal and exited: its channel is a
+            // dead letterbox, not a link. Requests used to vanish into
+            // it here — fall back to the socket the peer opened to us
+            // (the reverse direction may be perfectly healthy), or
+            // fail fast so the caller learns.
+            self.outbound.remove(&dest);
+            self.reroute_or_fail(dest, batch);
+        }
+    }
+
+    /// Last-resort delivery for a batch whose forward link is dead:
+    /// the peer's reply socket if one is live, the send-failure path
+    /// otherwise. Never tries the forward direction again — that is
+    /// what just failed.
+    fn reroute_or_fail(&mut self, dest: u32, batch: Vec<Item>) {
+        if let Err(batch) = self.try_reply(dest, batch) {
+            self.fail_items(batch);
+        }
+    }
+
+    /// Surfaces undeliverable units as send failures. DGC messages
+    /// notify the local referencer (it must drop the dead edge), app
+    /// payloads land in the [`NetNode::app_send_failures`] log; every
+    /// lost unit is counted, none vanishes unrecorded.
+    fn fail_items(&mut self, items: Vec<Item>) {
+        for item in items {
+            match item {
+                Item::Dgc { from, to, .. } => {
+                    let _ = self.loopback.send(Event::Item(Item::SendFailure {
+                        holder: from,
+                        target: to,
+                    }));
+                    self.stats.on_send_failures(1);
+                }
+                Item::App {
+                    from,
+                    to,
+                    reply,
+                    payload,
+                } => {
+                    self.app_failures
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(AppReceived {
+                            from,
+                            to,
+                            reply,
+                            payload,
+                        });
+                    self.stats.on_send_failures(1);
+                }
+                // Responses, digests and relayed failure notifications
+                // have no local caller to notify; the loss still counts
+                // so a degraded link shows in the stats.
+                Item::Resp { .. } | Item::SendFailure { .. } | Item::Gossip { .. } => {
+                    self.stats.on_send_failures(1);
+                }
+            }
+        }
+    }
+
+    /// Reclaims the egress queue of a **departed** peer (dead/left
+    /// verdict, terminal transport conviction): the queue, its bytes
+    /// and its flush deadline are dropped in one motion, and whatever
+    /// was waiting surfaces as send failures. Without this, the outbox
+    /// entry of every peer that ever left would live as long as the
+    /// node — the Birrell lease-list mistake, reproduced in the plane
+    /// built to measure it.
+    fn reclaim_egress(&mut self, dest: u32) {
+        let stranded: Vec<Item> = self
+            .outbox
+            .drop_dest(dest)
+            .into_iter()
+            .map(|qi| qi.item)
+            .collect();
+        self.fail_items(stranded);
     }
 
     fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
@@ -1013,15 +1228,37 @@ impl Worker {
                 reply,
                 payload,
             } => {
-                self.app_log
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(AppReceived {
-                        from,
-                        to,
-                        reply,
-                        payload,
-                    });
+                let received = AppReceived {
+                    from,
+                    to,
+                    reply,
+                    payload,
+                };
+                // Registered handlers replace the test inbox: the unit
+                // is dispatched on this loop and any sends it produces
+                // are routed straight back through the egress plane
+                // (taken out for the call so the handler can never
+                // observe a half-borrowed worker).
+                match self.app_handler.take() {
+                    Some(mut handler) => {
+                        let outs = (handler.0)(&received);
+                        self.app_handler = Some(handler);
+                        for out in outs {
+                            self.route(Item::App {
+                                from: out.from,
+                                to: out.to,
+                                reply: out.reply,
+                                payload: out.payload,
+                            });
+                        }
+                    }
+                    None => {
+                        self.app_log
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(received);
+                    }
+                }
             }
         }
     }
@@ -1128,6 +1365,10 @@ impl Worker {
                 }
                 self.outbound.remove(&ev.node);
                 self.reply.remove(&ev.node);
+                // And its egress queue goes with it: items, bytes and
+                // the flush deadline — queued app units surface as
+                // send failures rather than rotting against a corpse.
+                self.reclaim_egress(ev.node);
             }
         }
         *self
@@ -1188,10 +1429,18 @@ impl Worker {
             Event::PeerLink { node, tx } => {
                 self.reply.insert(node, tx);
             }
-            Event::PeerUnreachable { node } => {
+            Event::PeerUnreachable { node, unsent } => {
                 // Stop feeding the dead link; membership (or a fresh
                 // address announcement) decides if it ever comes back.
                 self.outbound.remove(&node);
+                // The writer hands back what it never shipped. The
+                // *forward* direction is what failed — the peer may
+                // still be reachable over the socket it opened to us
+                // (asymmetric failures are §2.2's normal case), so try
+                // the reply path before surfacing anything.
+                if !unsent.is_empty() {
+                    self.reroute_or_fail(node, unsent);
+                }
                 let now = self.now();
                 match &mut self.membership {
                     Some(engine) => {
@@ -1201,12 +1450,35 @@ impl Worker {
                     None => {
                         // No membership layer to adjudicate: the
                         // transport's verdict is terminal, not an
-                        // endless retry.
+                        // endless retry — so the peer's egress queue is
+                        // reclaimed here too, not just its link.
+                        self.reclaim_egress(node);
                         for ep in self.endpoints.values_mut() {
                             ep.state.on_node_dead(node);
                         }
                     }
                 }
+            }
+            Event::Undeliverable {
+                node,
+                items,
+                reroute,
+            } => {
+                if reroute {
+                    self.reroute_or_fail(node, items);
+                } else {
+                    self.fail_items(items);
+                }
+            }
+            Event::SetAppHandler { handler } => {
+                self.app_handler = Some(handler);
+            }
+            Event::QueryEgress { reply } => {
+                let _ = reply.send(EgressPending {
+                    items: self.outbox.pending_items(),
+                    bytes: self.outbox.pending_bytes(),
+                    next_deadline: self.outbox.next_deadline(),
+                });
             }
             Event::AddPeer { node, addr } => {
                 self.peer_addrs.insert(node, addr);

@@ -17,13 +17,17 @@
 //!   exponential backoff while batches keep queueing; after
 //!   `fail_after_attempts` consecutive failures (connects *or* writes,
 //!   so a peer that accepts and immediately closes still backs off)
-//!   the queued DGC messages are surfaced to the local protocol as
-//!   send failures so referencers drop edges to the unreachable node,
-//!   exactly like a permanently failing RMI call. Backoff waits keep
-//!   draining the queue channel, so shutdown never blocks on a sleep.
+//!   the link goes terminal and everything still queued is handed back
+//!   to the node event loop, which reroutes it over the peer's reply
+//!   socket or surfaces it as send failures so referencers drop edges
+//!   to the unreachable node, exactly like a permanently failing RMI
+//!   call. Backoff waits keep draining the queue channel, so shutdown
+//!   never blocks on a sleep.
 //! * **Bounded buffering** — a peer that stays down long enough sheds
-//!   the oldest queued batches (they are periodic heartbeats; the next
-//!   TTB regenerates them anyway).
+//!   the oldest queued batches. Heartbeats and digests go quietly (the
+//!   next TTB/gossip round regenerates them anyway), but application
+//!   payloads are never regenerated, so shed app units are handed back
+//!   to the node's send-failure surface instead of vanishing.
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -65,6 +69,12 @@ struct BatchPump {
     stats: Arc<NetStats>,
     /// All senders dropped: the owning node is shutting down.
     closed: bool,
+    /// Application payloads from shed overflow batches: unlike the
+    /// periodic heartbeats they rode with (which the next TTB simply
+    /// regenerates), an app unit is never re-produced by the protocol,
+    /// so the writer must hand these back as send failures instead of
+    /// letting the overload drop them unrecorded.
+    shed_app: Vec<Item>,
 }
 
 impl BatchPump {
@@ -75,6 +85,7 @@ impl BatchPump {
             pending_items: 0,
             stats,
             closed: false,
+            shed_app: Vec::new(),
         }
     }
 
@@ -87,8 +98,16 @@ impl BatchPump {
         while self.pending_items > MAX_PENDING {
             if let Some(old) = self.pending.pop_front() {
                 self.pending_items -= old.len();
+                self.shed_app
+                    .extend(old.into_iter().filter(|i| matches!(i, Item::App { .. })));
             }
         }
+    }
+
+    /// Takes the app payloads lost to overflow shedding since the last
+    /// call; the writer surfaces them through the node's failure path.
+    fn take_shed_app(&mut self) -> Vec<Item> {
+        std::mem::take(&mut self.shed_app)
     }
 
     /// Blocks until there is something to send. `false` means the
@@ -217,11 +236,13 @@ impl OutboundLink {
         }
     }
 
-    /// Queues one flushed batch (one frame) for the peer. Errors
-    /// (thread gone during shutdown) are ignored — the units are
-    /// periodic protocol traffic.
-    pub fn send_batch(&self, batch: Vec<Item>) {
-        let _ = self.tx.send(batch);
+    /// Queues one flushed batch (one frame) for the peer. A closed
+    /// channel — the writer went terminal, or is mid-shutdown — hands
+    /// the batch back so the caller can reroute it over the peer's
+    /// reply socket or surface it as send failures; silently accepting
+    /// units for a dead letterbox is how requests used to vanish.
+    pub fn send_batch(&self, batch: Vec<Item>) -> Result<(), Vec<Item>> {
+        self.tx.send(batch).map_err(|mpsc::SendError(b)| b)
     }
 }
 
@@ -257,14 +278,21 @@ impl Writer {
     fn run(mut self) {
         loop {
             if !self.pump.wait_for_work() {
+                self.surface_shed();
                 return; // owner gone, nothing pending
             }
             self.pump.gather();
+            self.surface_shed();
             if self.conn.is_none() && !self.connect() {
-                if self.terminal || self.pump.closed {
-                    // Convicted as unreachable (or shutting down): the
-                    // pending heartbeats were already surfaced as send
-                    // failures; the writer's job is over.
+                if self.terminal {
+                    // Convicted as unreachable: the queue was handed
+                    // back with the conviction; stay on the channel
+                    // until the node drops the link, so nothing sent in
+                    // the conviction window dies unheard.
+                    self.linger_terminal();
+                    return;
+                }
+                if self.pump.closed {
                     return;
                 }
                 continue;
@@ -283,8 +311,51 @@ impl Writer {
                     self.penalty();
                 }
             }
-            if self.terminal || (self.pump.closed && self.pump.pending.is_empty()) {
+            if self.terminal {
+                self.linger_terminal();
                 return;
+            }
+            if self.pump.closed && self.pump.pending.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Surfaces app payloads the pump shed to overflow: the peer may
+    /// merely be slow, so they fail outright (no reroute that could
+    /// reorder around what the still-live link will deliver).
+    fn surface_shed(&mut self) {
+        let shed = self.pump.take_shed_app();
+        if !shed.is_empty() {
+            let _ = self.loopback.send(Event::Undeliverable {
+                node: self.peer_node,
+                items: shed,
+                reroute: false,
+            });
+        }
+    }
+
+    /// The terminal tail: between this writer's conviction and the node
+    /// processing it, the node may still hand batches to our (open)
+    /// channel — they used to die with the receiver. Keep draining and
+    /// hand everything back for rerouting until the node drops the link
+    /// (which closes the channel and releases this thread).
+    fn linger_terminal(&mut self) {
+        loop {
+            self.pump.gather();
+            let mut items: Vec<Item> = self.pump.pending.drain(..).flatten().collect();
+            items.extend(self.pump.take_shed_app());
+            self.pump.pending_items = 0;
+            if !items.is_empty() {
+                let _ = self.loopback.send(Event::Undeliverable {
+                    node: self.peer_node,
+                    items,
+                    reroute: true,
+                });
+            }
+            match self.pump.rx.recv() {
+                Ok(batch) => self.pump.push(batch),
+                Err(_) => return, // the node dropped the link
             }
         }
     }
@@ -337,19 +408,24 @@ impl Writer {
 
     /// One failed connect or write: count it, back off (without
     /// blocking shutdown or the queue) — and at `fail_after_attempts`
-    /// consecutive failures, go **terminal**: everything queued is
-    /// surfaced as send failures, the node is told the peer is
-    /// unreachable (`Event::PeerUnreachable` — membership's transport
-    /// hook, or the direct `on_node_dead` verdict without membership),
-    /// and the writer exits instead of retrying forever. The node
-    /// re-establishes a link lazily if the peer's address is ever
-    /// (re)announced.
+    /// consecutive failures, go **terminal**: everything still queued
+    /// (channel included) is handed back to the node inside
+    /// `Event::PeerUnreachable` — the event loop reroutes it over the
+    /// peer's reply socket if one is live, or surfaces it as send
+    /// failures — and the writer exits instead of retrying forever.
+    /// The node re-establishes a link lazily if the peer's address is
+    /// ever (re)announced.
     fn penalty(&mut self) {
         self.failed_attempts = self.failed_attempts.saturating_add(1);
         if self.failed_attempts >= self.config.fail_after_attempts {
-            self.surface_send_failures();
+            // Batches sitting unread in the channel are as undelivered
+            // as the gathered ones; take them along.
+            self.pump.gather();
+            let unsent: Vec<Item> = self.pump.pending.drain(..).flatten().collect();
+            self.pump.pending_items = 0;
             let _ = self.loopback.send(Event::PeerUnreachable {
                 node: self.peer_node,
+                unsent,
             });
             self.terminal = true;
             return;
@@ -361,29 +437,6 @@ impl Writer {
             .min(self.config.reconnect_max);
         self.pump.idle(backoff);
     }
-
-    /// Abandons everything queued for the unreachable peer, converting
-    /// DGC messages into local send-failure events (the referencing
-    /// activities must learn the edge is gone). Responses and relayed
-    /// failure notifications have no local handler to notify, but their
-    /// loss is still counted so the degraded link shows in the stats.
-    fn surface_send_failures(&mut self) {
-        let abandoned = self.pump.pending_items as u64;
-        for batch in self.pump.pending.drain(..) {
-            for item in batch {
-                if let Item::Dgc { from, to, .. } = item {
-                    let _ = self.loopback.send(Event::Item(Item::SendFailure {
-                        holder: from,
-                        target: to,
-                    }));
-                }
-            }
-        }
-        self.pump.pending_items = 0;
-        if abandoned > 0 {
-            self.stats.on_send_failures(abandoned);
-        }
-    }
 }
 
 /// Spawns the batch writer for an **accepted** connection's reply
@@ -391,11 +444,17 @@ impl Writer {
 /// travel back on the socket the referencer's node opened, so no
 /// reverse connectivity is ever required (NAT/firewall transparency,
 /// §2.2 of the paper).
+///
+/// `events` receives what a dying reply socket could not ship: the
+/// protocol regenerates its own responses, but application payloads
+/// must surface on the node's send-failure path, never evaporate with
+/// the connection.
 pub fn spawn_reply_writer(
     local_node: u32,
     peer_node: u32,
     mut stream: TcpStream,
     stats: Arc<NetStats>,
+    events: mpsc::Sender<Event>,
 ) -> (mpsc::Sender<Vec<Item>>, JoinHandle<()>) {
     let (tx, rx) = mpsc::channel::<Vec<Item>>();
     let handle = std::thread::Builder::new()
@@ -404,13 +463,39 @@ pub fn spawn_reply_writer(
             let _ = stream.set_nodelay(true);
             let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
             let mut pump = BatchPump::new(rx, stats);
+            let salvage = |pump: &mut BatchPump, events: &mpsc::Sender<Event>| {
+                let mut items: Vec<Item> = pump.pending.drain(..).flatten().collect();
+                items.extend(pump.take_shed_app());
+                pump.pending_items = 0;
+                if !items.is_empty() {
+                    // No reroute: the peer may be reconnecting already,
+                    // and retrying around a half-written stream could
+                    // reorder what the fresh socket will carry.
+                    let _ = events.send(Event::Undeliverable {
+                        node: peer_node,
+                        items,
+                        reroute: false,
+                    });
+                }
+            };
             loop {
                 if !pump.wait_for_work() {
                     return;
                 }
                 pump.gather();
+                let shed = pump.take_shed_app();
+                if !shed.is_empty() {
+                    let _ = events.send(Event::Undeliverable {
+                        node: peer_node,
+                        items: shed,
+                        reroute: false,
+                    });
+                }
                 if pump.flush_to(&mut stream).is_err() {
-                    return; // reply link dead; peer will reconnect
+                    // Reply link dead; the peer will reconnect. Hand
+                    // back the unwritten remainder first.
+                    salvage(&mut pump, &events);
+                    return;
                 }
                 if pump.closed && pump.pending.is_empty() {
                     return;

@@ -1,0 +1,616 @@
+//! The NAS communication skeleton as a **sans-io engine**: CG/EP/FT
+//! bulk-synchronous request/reply rounds, runnable over any
+//! [`AppTransport`].
+//!
+//! The Behavior-based kernels in [`crate::nas`] model §5.2 faithfully
+//! inside the simulator — compute times, class-C payloads, deployment
+//! bytes. This module is their transport-neutral twin: the same
+//! master/worker structure (a master hands every worker references to
+//! all its peers plus a `RUN` call; workers exchange per-iteration
+//! chunks behind a barrier and finally reply; the released worker
+//! clique becomes idle cyclic garbage), but with the communication
+//! expressed as encoded [`AppPacket`]s — so the *identical* workload
+//! runs over the simulated grid and over real TCP, heartbeats and
+//! gossip digests piggybacking on its frames. Local numerics are still
+//! genuinely executed through [`KernelMath`]; scaled compute *delays*
+//! are not modeled (rounds advance at transport speed), which is what
+//! lets a socket run finish in milliseconds.
+
+use std::collections::BTreeMap;
+
+use dgc_core::id::AoId;
+use dgc_core::units::Time;
+
+use crate::driver::{AppPacket, AppTransport, Traced, TracedOp};
+use crate::nas::{KernelMath, NasParams};
+
+const TAG_RUN: u8 = 0x01;
+const TAG_CHUNK: u8 = 0x02;
+const TAG_DONE: u8 = 0x03;
+
+/// Decoded workload payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireMsg {
+    /// Master → worker kickoff.
+    Run,
+    /// Worker → peer chunk for `iter`.
+    Chunk {
+        /// The sender's iteration.
+        iter: u32,
+    },
+    /// Worker → master final reply carrying its checksum.
+    Done {
+        /// The worker's verification value.
+        checksum: f64,
+    },
+}
+
+/// Encodes a workload payload, padded to `size` bytes so the wire
+/// carries the kernel's scaled message sizes for real.
+pub fn encode_msg(msg: &WireMsg, size: u64) -> Vec<u8> {
+    let mut out = match *msg {
+        WireMsg::Run => vec![TAG_RUN],
+        WireMsg::Chunk { iter } => {
+            let mut v = vec![TAG_CHUNK];
+            v.extend_from_slice(&iter.to_be_bytes());
+            v
+        }
+        WireMsg::Done { checksum } => {
+            let mut v = vec![TAG_DONE];
+            v.extend_from_slice(&checksum.to_bits().to_be_bytes());
+            v
+        }
+    };
+    if (out.len() as u64) < size {
+        out.resize(size as usize, 0);
+    }
+    out
+}
+
+/// Decodes a workload payload (padding ignored).
+pub fn decode_msg(payload: &[u8]) -> Option<WireMsg> {
+    match *payload.first()? {
+        TAG_RUN => Some(WireMsg::Run),
+        TAG_CHUNK => {
+            let iter = u32::from_be_bytes(payload.get(1..5)?.try_into().ok()?);
+            Some(WireMsg::Chunk { iter })
+        }
+        TAG_DONE => {
+            let bits = u64::from_be_bytes(payload.get(1..9)?.try_into().ok()?);
+            Some(WireMsg::Done {
+                checksum: f64::from_bits(bits),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Where the workload's activities live.
+#[derive(Debug, Clone)]
+pub struct BspLayout {
+    /// The master (deployment root; never idle, never collected).
+    pub master: AoId,
+    /// The workers, by index.
+    pub workers: Vec<AoId>,
+}
+
+/// One driver-level operation the engine wants applied.
+#[derive(Debug)]
+pub enum WorkOp {
+    /// Ship a packet.
+    Send(AppPacket),
+    /// Add a reference edge (drives the collector under test).
+    AddRef {
+        /// Referencer.
+        from: AoId,
+        /// Referenced.
+        to: AoId,
+    },
+    /// Drop a reference edge.
+    DropRef {
+        /// Referencer.
+        from: AoId,
+        /// Referenced.
+        to: AoId,
+    },
+    /// Flip idleness.
+    SetIdle {
+        /// The activity.
+        ao: AoId,
+        /// New idleness.
+        idle: bool,
+    },
+}
+
+struct WorkerState {
+    index: u32,
+    iter: u32,
+    /// Chunks received, bucketed by iteration parity (peers run at
+    /// most one iteration ahead — same argument as the Behavior
+    /// twin's).
+    received: [u32; 2],
+    checksum: f64,
+    math: Box<dyn KernelMath>,
+    running: bool,
+    finished: bool,
+}
+
+/// The sans-io bulk-synchronous engine for one whole deployment (it
+/// owns every worker's state; the transport decides which packets
+/// actually cross a wire).
+pub struct BspEngine {
+    params: NasParams,
+    layout: BspLayout,
+    workers: BTreeMap<AoId, WorkerState>,
+    /// Per-worker-index checksums, filled as DONE replies arrive;
+    /// summed in index order so the result is identical whatever order
+    /// the transport delivered them in.
+    done_checksums: BTreeMap<u32, f64>,
+    done: bool,
+}
+
+impl BspEngine {
+    /// Builds the engine; `math` constructs each worker's genuinely
+    /// executed numerical state from its index.
+    pub fn new(
+        params: &NasParams,
+        layout: BspLayout,
+        math: &dyn Fn(u32) -> Box<dyn KernelMath>,
+    ) -> BspEngine {
+        let workers = layout
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                (
+                    *id,
+                    WorkerState {
+                        index: i as u32,
+                        iter: 0,
+                        received: [0, 0],
+                        checksum: 0.0,
+                        math: math(i as u32),
+                        running: false,
+                        finished: false,
+                    },
+                )
+            })
+            .collect();
+        BspEngine {
+            params: *params,
+            layout,
+            workers,
+            done_checksums: BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// The deployment step: the master references every worker and
+    /// ships the `RUN` calls (paper: deployment wiring + kickoff).
+    pub fn kickoff(&mut self) -> Vec<WorkOp> {
+        let mut ops = Vec::new();
+        for w in self.layout.workers.clone() {
+            ops.push(WorkOp::AddRef {
+                from: self.layout.master,
+                to: w,
+            });
+        }
+        for w in self.layout.workers.clone() {
+            ops.push(WorkOp::Send(AppPacket {
+                from: self.layout.master,
+                to: w,
+                reply: false,
+                payload: encode_msg(&WireMsg::Run, 256),
+            }));
+        }
+        ops
+    }
+
+    /// Feeds one delivered packet; returns the operations it caused.
+    pub fn on_packet(&mut self, pkt: &AppPacket) -> Vec<WorkOp> {
+        let Some(msg) = decode_msg(&pkt.payload) else {
+            return Vec::new();
+        };
+        match msg {
+            WireMsg::Run => self.on_run(pkt.to),
+            WireMsg::Chunk { iter } => self.on_chunk(pkt.to, iter),
+            WireMsg::Done { checksum } => self.on_done(pkt.from, checksum),
+        }
+    }
+
+    /// True once the master holds every worker's reply (and released
+    /// the clique).
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// The verification value: per-worker checksums summed in worker
+    /// order — deterministic across transports and delivery orders.
+    pub fn checksum(&self) -> f64 {
+        self.done_checksums.values().sum()
+    }
+
+    fn peers_of(&self, w: AoId) -> Vec<AoId> {
+        self.layout
+            .workers
+            .iter()
+            .copied()
+            .filter(|p| *p != w)
+            .collect()
+    }
+
+    fn broadcast(&self, w: AoId, iter: u32) -> Vec<WorkOp> {
+        self.peers_of(w)
+            .into_iter()
+            .map(|p| {
+                WorkOp::Send(AppPacket {
+                    from: w,
+                    to: p,
+                    reply: false,
+                    payload: encode_msg(&WireMsg::Chunk { iter }, self.params.chunk_bytes),
+                })
+            })
+            .collect()
+    }
+
+    fn on_run(&mut self, w: AoId) -> Vec<WorkOp> {
+        let peers = self.peers_of(w);
+        let mut ops: Vec<WorkOp> = peers
+            .iter()
+            .map(|p| WorkOp::AddRef { from: w, to: *p })
+            .collect();
+        let exchange = self.params.exchange && !peers.is_empty();
+        {
+            let Some(state) = self.workers.get_mut(&w) else {
+                return Vec::new();
+            };
+            if state.running {
+                return Vec::new(); // duplicate RUN
+            }
+            state.running = true;
+        }
+        if exchange {
+            ops.extend(self.broadcast(w, 0));
+            // Chunks that raced ahead of the RUN call cannot exist —
+            // per-destination FIFO (§3.2) orders RUN before any chunk
+            // from the same sender, and peers only chunk after their
+            // own RUN — but a 0-peer degenerate barrier opens at once.
+            ops.extend(self.try_advance(w));
+        } else {
+            // EP-style: pure local compute, no exchange.
+            ops.extend(self.finish_all_iterations(w));
+        }
+        ops
+    }
+
+    fn on_chunk(&mut self, w: AoId, iter: u32) -> Vec<WorkOp> {
+        {
+            let Some(state) = self.workers.get_mut(&w) else {
+                return Vec::new();
+            };
+            if state.finished {
+                return Vec::new();
+            }
+            state.received[(iter & 1) as usize] += 1;
+        }
+        self.try_advance(w)
+    }
+
+    /// The barrier: when all peers' chunks for the current iteration
+    /// arrived, compute (for real) and move on — possibly several
+    /// iterations, if this worker was the straggler both buckets were
+    /// waiting on.
+    fn try_advance(&mut self, w: AoId) -> Vec<WorkOp> {
+        let barrier = self.peers_of(w).len() as u32;
+        let mut ops = Vec::new();
+        loop {
+            let (advance, iter_now) = {
+                let Some(state) = self.workers.get_mut(&w) else {
+                    return ops;
+                };
+                if !state.running || state.finished {
+                    return ops;
+                }
+                let bucket = (state.iter & 1) as usize;
+                if state.received[bucket] < barrier {
+                    return ops;
+                }
+                state.received[bucket] = 0;
+                let it = state.iter;
+                state.checksum += state.math.compute(it);
+                state.iter += 1;
+                (state.iter < self.params.iterations, it + 1)
+            };
+            if advance {
+                ops.extend(self.broadcast(w, iter_now));
+                // Loop: if this worker was the straggler, the whole
+                // next barrier may already be sitting in the other
+                // parity bucket — no further delivery will re-poke us.
+            } else {
+                ops.extend(self.finish(w));
+                return ops;
+            }
+        }
+    }
+
+    /// EP-style completion: run every iteration locally, then reply.
+    fn finish_all_iterations(&mut self, w: AoId) -> Vec<WorkOp> {
+        if let Some(state) = self.workers.get_mut(&w) {
+            while state.iter < self.params.iterations {
+                let it = state.iter;
+                state.checksum += state.math.compute(it);
+                state.iter += 1;
+            }
+        }
+        self.finish(w)
+    }
+
+    /// The worker's last act: reply to the master's future and go
+    /// idle. Peer references stay held — the workers now form the idle
+    /// garbage clique the §5.2 DGC-time column measures the collection
+    /// of.
+    fn finish(&mut self, w: AoId) -> Vec<WorkOp> {
+        let Some(state) = self.workers.get_mut(&w) else {
+            return Vec::new();
+        };
+        state.finished = true;
+        let checksum = state.checksum;
+        vec![
+            WorkOp::Send(AppPacket {
+                from: w,
+                to: self.layout.master,
+                reply: true,
+                payload: encode_msg(&WireMsg::Done { checksum }, self.params.reply_bytes),
+            }),
+            WorkOp::SetIdle { ao: w, idle: true },
+        ]
+    }
+
+    fn on_done(&mut self, from: AoId, checksum: f64) -> Vec<WorkOp> {
+        let Some(index) = self.workers.get(&from).map(|s| s.index) else {
+            return Vec::new();
+        };
+        self.done_checksums.insert(index, checksum);
+        if self.done_checksums.len() < self.layout.workers.len() || self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        // "The main drops its references": from here on the worker
+        // clique is garbage and the collector's clock starts.
+        self.layout
+            .workers
+            .clone()
+            .into_iter()
+            .map(|w| WorkOp::DropRef {
+                from: self.layout.master,
+                to: w,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one driver-level BSP run.
+#[derive(Debug, Clone)]
+pub struct BspOutcome {
+    /// Kernel name (from the params).
+    pub kernel: &'static str,
+    /// Deterministic verification checksum.
+    pub checksum: f64,
+    /// When the master had every reply (scenario clock) — §5.2's
+    /// "benchmark has its result".
+    pub result_at: Time,
+    /// Application packets shipped (requests + replies), for traffic
+    /// ratio accounting.
+    pub packets_sent: u64,
+    /// Where everything lives.
+    pub layout: BspLayout,
+    /// Every driver-level op applied, with its scenario time — the
+    /// ground-truth script of the run.
+    pub trace: Vec<Traced>,
+}
+
+/// Runs one BSP workload over `transport` until the master has its
+/// result; workers are left as an idle garbage clique for the
+/// transport's collector (await it with
+/// [`crate::driver::wait_all_terminated`]).
+///
+/// Workers spread round-robin over the transport's nodes, master on
+/// node 0. Panics if the scenario clock passes `deadline` first.
+pub fn run_bsp<T: AppTransport>(
+    transport: &mut T,
+    params: &NasParams,
+    math: &dyn Fn(u32) -> Box<dyn KernelMath>,
+    deadline: Time,
+) -> BspOutcome {
+    let nodes = transport.nodes();
+    let mut trace: Vec<Traced> = Vec::new();
+    let master = transport.spawn(0);
+    trace.push(Traced {
+        at: transport.now(),
+        op: TracedOp::Spawn {
+            ao: master,
+            busy: true,
+        },
+    });
+    let workers: Vec<AoId> = (0..params.workers)
+        .map(|i| {
+            let w = transport.spawn(i % nodes);
+            trace.push(Traced {
+                at: transport.now(),
+                op: TracedOp::Spawn { ao: w, busy: true },
+            });
+            w
+        })
+        .collect();
+    let layout = BspLayout {
+        master,
+        workers: workers.clone(),
+    };
+    let mut engine = BspEngine::new(params, layout.clone(), math);
+    let mut packets_sent = 0u64;
+
+    let apply =
+        |transport: &mut T, trace: &mut Vec<Traced>, packets_sent: &mut u64, ops: Vec<WorkOp>| {
+            for op in ops {
+                let at = transport.now();
+                match op {
+                    WorkOp::Send(pkt) => {
+                        *packets_sent += 1;
+                        transport.send(pkt);
+                    }
+                    WorkOp::AddRef { from, to } => {
+                        transport.add_ref(from, to);
+                        trace.push(Traced {
+                            at,
+                            op: TracedOp::AddRef { from, to },
+                        });
+                    }
+                    WorkOp::DropRef { from, to } => {
+                        transport.drop_ref(from, to);
+                        trace.push(Traced {
+                            at,
+                            op: TracedOp::DropRef { from, to },
+                        });
+                    }
+                    WorkOp::SetIdle { ao, idle } => {
+                        transport.set_idle(ao, idle);
+                        trace.push(Traced {
+                            at,
+                            op: TracedOp::SetIdle { ao, idle },
+                        });
+                    }
+                }
+            }
+        };
+
+    let ops = engine.kickoff();
+    apply(transport, &mut trace, &mut packets_sent, ops);
+    while !engine.done() {
+        assert!(
+            transport.now() < deadline,
+            "{} BSP workload failed to converge before the deadline",
+            params.name
+        );
+        for pkt in transport.poll() {
+            let ops = engine.on_packet(&pkt);
+            apply(transport, &mut trace, &mut packets_sent, ops);
+        }
+        if engine.done() {
+            break;
+        }
+        // Always pace: one quantum per delivery round stands in for the
+        // kernel's per-iteration compute, so the run spans enough
+        // scenario time for the background planes to interleave with
+        // it (which is the traffic shape the paper measures).
+        transport.step();
+    }
+    BspOutcome {
+        kernel: params.name,
+        checksum: engine.checksum(),
+        result_at: transport.now(),
+        packets_sent,
+        layout,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_round_trip_and_pad_to_size() {
+        let cases = [
+            (WireMsg::Run, 256u64),
+            (WireMsg::Chunk { iter: 7 }, 128),
+            (WireMsg::Done { checksum: 3.25 }, 64),
+            (WireMsg::Chunk { iter: 0 }, 0), // smaller than the header
+        ];
+        for (msg, size) in cases {
+            let bytes = encode_msg(&msg, size);
+            assert!(bytes.len() as u64 >= size.min(bytes.len() as u64));
+            assert_eq!(decode_msg(&bytes), Some(msg));
+        }
+        assert_eq!(decode_msg(&[0xEE]), None);
+        assert_eq!(decode_msg(&[]), None);
+    }
+
+    /// An in-memory loop: deliver every sent packet instantly, assert
+    /// the rounds complete with the right structure.
+    #[test]
+    fn engine_completes_exchange_rounds_in_memory() {
+        let params = crate::nas::Kernel::Cg.class_c().scaled_down(4, 25);
+        let layout = BspLayout {
+            master: AoId::new(0, 0),
+            workers: (0..4).map(|i| AoId::new(i % 2, 1 + i)).collect(),
+        };
+        let math = |i: u32| crate::nas::Kernel::Cg.math(i);
+        let mut engine = BspEngine::new(&params, layout.clone(), &math);
+        let mut queue: Vec<AppPacket> = Vec::new();
+        let mut refs = 0u64;
+        let mut idles: Vec<AoId> = Vec::new();
+        let mut drops = 0u64;
+        let mut apply = |ops: Vec<WorkOp>, queue: &mut Vec<AppPacket>| {
+            for op in ops {
+                match op {
+                    WorkOp::Send(pkt) => queue.push(pkt),
+                    WorkOp::AddRef { .. } => refs += 1,
+                    WorkOp::DropRef { .. } => drops += 1,
+                    WorkOp::SetIdle { ao, idle } => {
+                        assert!(idle);
+                        idles.push(ao);
+                    }
+                }
+            }
+        };
+        apply(engine.kickoff(), &mut queue);
+        let mut steps = 0u64;
+        while !engine.done() {
+            steps += 1;
+            assert!(steps < 1_000_000, "engine wedged");
+            let pkt = queue.remove(0);
+            let ops = engine.on_packet(&pkt);
+            apply(ops, &mut queue);
+        }
+        // master→workers + every worker→its 3 peers.
+        assert_eq!(refs, 4 + 4 * 3);
+        assert_eq!(drops, 4, "master released every worker");
+        assert_eq!(idles.len(), 4, "every worker went idle");
+        assert!(engine.checksum().is_finite());
+        // Checksum is the sum of the genuinely executed math.
+        let expected: f64 = (0..4)
+            .map(|i| {
+                let mut m = math(i);
+                (0..params.iterations).map(|it| m.compute(it)).sum::<f64>()
+            })
+            .sum();
+        assert!((engine.checksum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ep_style_completes_without_exchange() {
+        let params = crate::nas::Kernel::Ep.class_c().scaled_down(3, 25);
+        assert!(!params.exchange);
+        let layout = BspLayout {
+            master: AoId::new(0, 0),
+            workers: (0..3).map(|i| AoId::new(0, 1 + i)).collect(),
+        };
+        let math = |i: u32| crate::nas::Kernel::Ep.math(i);
+        let mut engine = BspEngine::new(&params, layout.clone(), &math);
+        let mut queue: Vec<AppPacket> = Vec::new();
+        for op in engine.kickoff() {
+            if let WorkOp::Send(pkt) = op {
+                queue.push(pkt);
+            }
+        }
+        while !engine.done() {
+            let pkt = queue.remove(0);
+            for op in engine.on_packet(&pkt) {
+                if let WorkOp::Send(pkt) = op {
+                    queue.push(pkt);
+                }
+            }
+        }
+        assert!(engine.checksum().is_finite());
+    }
+}

@@ -1,0 +1,320 @@
+//! The runtime-neutral workload driver seam.
+//!
+//! §5 of the paper measures its collector on *application* traffic —
+//! NAS kernels, the RMI lease baseline — but until this module the
+//! workload code could only drive the simulated grid. [`AppTransport`]
+//! is the surface a workload script actually needs (host activities,
+//! wire references, flip idleness, ship opaque payloads, watch the
+//! collector), realized by:
+//!
+//! * [`GridTransport`] — the deterministic simulator
+//!   ([`dgc_activeobj::runtime::Grid`]): payloads cross the metered
+//!   virtual network via `Grid::send_app`, time is virtual;
+//! * [`ClusterTransport`] — a localhost TCP cluster
+//!   ([`dgc_rt_net::Cluster`]): payloads ship as `Item::App` units in
+//!   the egress plane's shared frames, delivered through registered
+//!   app handlers (not the test inbox), time is the wall clock.
+//!
+//! The same workload run over both transports is what lets the
+//! conformance harness compare verdicts — and what turns the bench
+//! numbers from "synthetic bytes" into "the paper's traffic".
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dgc_activeobj::runtime::Grid;
+use dgc_core::id::AoId;
+use dgc_core::units::Time;
+use dgc_rt_net::Cluster;
+use dgc_simnet::time::SimDuration;
+use dgc_simnet::topology::ProcId;
+
+/// One opaque application unit: exactly the arguments of
+/// `NetNode::send_app` / `Grid::send_app`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppPacket {
+    /// Sending activity.
+    pub from: AoId,
+    /// Destination activity.
+    pub to: AoId,
+    /// True for a reply payload.
+    pub reply: bool,
+    /// The serialized call/value.
+    pub payload: Vec<u8>,
+}
+
+/// A driver-level operation, recorded with its scenario time by the
+/// generic runners so a conformance harness can rebuild the run's
+/// ground-truth script after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracedOp {
+    /// An activity was hosted.
+    Spawn {
+        /// Its id.
+        ao: AoId,
+        /// Initially busy?
+        busy: bool,
+    },
+    /// Idleness flipped.
+    SetIdle {
+        /// The activity.
+        ao: AoId,
+        /// New idleness.
+        idle: bool,
+    },
+    /// Reference edge added.
+    AddRef {
+        /// Referencer.
+        from: AoId,
+        /// Referenced.
+        to: AoId,
+    },
+    /// Reference edge dropped.
+    DropRef {
+        /// Referencer.
+        from: AoId,
+        /// Referenced.
+        to: AoId,
+    },
+}
+
+/// A [`TracedOp`] with the scenario time it was applied at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traced {
+    /// When (transport scenario clock).
+    pub at: Time,
+    /// What.
+    pub op: TracedOp,
+}
+
+/// What a §5 workload needs from a runtime. Scenario time is
+/// nanoseconds since transport start: virtual on the grid, wall-clock
+/// on sockets — the same convention as the conformance harness.
+pub trait AppTransport {
+    /// Number of nodes (processes) available.
+    fn nodes(&self) -> u32;
+    /// Hosts a new activity on `node`, initially **busy**.
+    fn spawn(&mut self, node: u32) -> AoId;
+    /// Declares `ao` idle or busy.
+    fn set_idle(&mut self, ao: AoId, idle: bool);
+    /// Adds the reference edge `from → to` (drives the collector).
+    fn add_ref(&mut self, from: AoId, to: AoId);
+    /// Drops the reference edge `from → to`.
+    fn drop_ref(&mut self, from: AoId, to: AoId);
+    /// Ships one opaque application unit.
+    fn send(&mut self, pkt: AppPacket);
+    /// Drains the units delivered since the last call, arrival order.
+    fn poll(&mut self) -> Vec<AppPacket>;
+    /// Advances the scenario a small quantum (runs the simulator /
+    /// sleeps the wall clock).
+    fn step(&mut self);
+    /// The scenario clock.
+    fn now(&self) -> Time;
+    /// Activities the **collector** has terminated so far.
+    fn terminated(&self) -> Vec<AoId>;
+}
+
+// ---------------------------------------------------------------------
+// Simulator realization
+// ---------------------------------------------------------------------
+
+/// [`AppTransport`] over the deterministic simulated grid.
+pub struct GridTransport {
+    grid: Grid,
+    quantum: SimDuration,
+}
+
+impl GridTransport {
+    /// Wraps `grid`, stepping it `quantum` of virtual time per
+    /// [`AppTransport::step`].
+    pub fn new(grid: Grid, quantum: SimDuration) -> GridTransport {
+        GridTransport { grid, quantum }
+    }
+
+    /// The wrapped grid (oracle checks, traffic meters).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Unwraps the grid.
+    pub fn into_grid(self) -> Grid {
+        self.grid
+    }
+}
+
+impl AppTransport for GridTransport {
+    fn nodes(&self) -> u32 {
+        self.grid.topology().procs()
+    }
+
+    fn spawn(&mut self, node: u32) -> AoId {
+        let id = self
+            .grid
+            .spawn(ProcId(node), Box::new(dgc_activeobj::activity::Inert));
+        // Same contract as `NetNode::add_activity`: born busy.
+        self.grid.set_busy(id, true);
+        id
+    }
+
+    fn set_idle(&mut self, ao: AoId, idle: bool) {
+        self.grid.set_busy(ao, !idle);
+    }
+
+    fn add_ref(&mut self, from: AoId, to: AoId) {
+        self.grid.make_ref(from, to);
+    }
+
+    fn drop_ref(&mut self, from: AoId, to: AoId) {
+        self.grid.drop_ref(from, to);
+    }
+
+    fn send(&mut self, pkt: AppPacket) {
+        self.grid.send_app(pkt.from, pkt.to, pkt.reply, pkt.payload);
+    }
+
+    fn poll(&mut self) -> Vec<AppPacket> {
+        self.grid
+            .drain_app_received()
+            .into_iter()
+            .map(|d| AppPacket {
+                from: d.from,
+                to: d.to,
+                reply: d.reply,
+                payload: d.payload,
+            })
+            .collect()
+    }
+
+    fn step(&mut self) {
+        self.grid.run_for(self.quantum);
+    }
+
+    fn now(&self) -> Time {
+        Time::from_nanos(self.grid.now().as_nanos())
+    }
+
+    fn terminated(&self) -> Vec<AoId> {
+        self.grid
+            .collected()
+            .iter()
+            .filter(|c| c.reason.is_some())
+            .map(|c| c.ao)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket realization
+// ---------------------------------------------------------------------
+
+/// [`AppTransport`] over a localhost TCP cluster: payloads ride the
+/// egress plane's shared frames and arrive through per-node registered
+/// app handlers (dispatch, not the test inbox).
+pub struct ClusterTransport {
+    cluster: Cluster,
+    inbox: Arc<Mutex<Vec<AppPacket>>>,
+    quantum: Duration,
+    epoch: Instant,
+}
+
+impl ClusterTransport {
+    /// Wraps `cluster`, registering an app handler on every node that
+    /// funnels deliveries into one polled queue. `quantum` is the
+    /// wall-clock step size.
+    pub fn new(cluster: Cluster, quantum: Duration) -> ClusterTransport {
+        let inbox: Arc<Mutex<Vec<AppPacket>>> = Arc::new(Mutex::new(Vec::new()));
+        for node in 0..cluster.len() as u32 {
+            let sink = Arc::clone(&inbox);
+            cluster.set_app_handler(node, move |received| {
+                sink.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(AppPacket {
+                        from: received.from,
+                        to: received.to,
+                        reply: received.reply,
+                        payload: received.payload.clone(),
+                    });
+                Vec::new()
+            });
+        }
+        ClusterTransport {
+            epoch: cluster.epoch(),
+            cluster,
+            inbox,
+            quantum,
+        }
+    }
+
+    /// The wrapped cluster (stats, membership records).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Unwraps the cluster (e.g. to shut it down).
+    pub fn into_cluster(self) -> Cluster {
+        self.cluster
+    }
+}
+
+impl AppTransport for ClusterTransport {
+    fn nodes(&self) -> u32 {
+        self.cluster.len() as u32
+    }
+
+    fn spawn(&mut self, node: u32) -> AoId {
+        self.cluster.add_activity(node)
+    }
+
+    fn set_idle(&mut self, ao: AoId, idle: bool) {
+        self.cluster.set_idle(ao, idle);
+    }
+
+    fn add_ref(&mut self, from: AoId, to: AoId) {
+        self.cluster.add_ref(from, to);
+    }
+
+    fn drop_ref(&mut self, from: AoId, to: AoId) {
+        self.cluster.drop_ref(from, to);
+    }
+
+    fn send(&mut self, pkt: AppPacket) {
+        self.cluster
+            .send_app(pkt.from, pkt.to, pkt.reply, pkt.payload);
+    }
+
+    fn poll(&mut self) -> Vec<AppPacket> {
+        std::mem::take(&mut *self.inbox.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn step(&mut self) {
+        std::thread::sleep(self.quantum);
+    }
+
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn terminated(&self) -> Vec<AoId> {
+        self.cluster.terminated().iter().map(|t| t.ao).collect()
+    }
+}
+
+/// Polls the transport until every id in `ids` has terminated or the
+/// scenario clock passes `deadline`; returns the observation time when
+/// the last one was first seen gone, `None` on timeout.
+pub fn wait_all_terminated<T: AppTransport>(
+    t: &mut T,
+    ids: &[AoId],
+    deadline: Time,
+) -> Option<Time> {
+    loop {
+        let gone = t.terminated();
+        if ids.iter().all(|id| gone.contains(id)) {
+            return Some(t.now());
+        }
+        if t.now() >= deadline {
+            return None;
+        }
+        t.step();
+    }
+}

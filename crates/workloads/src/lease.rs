@@ -1,0 +1,122 @@
+//! The §5 Java-RMI baseline as real traffic: Birrell-style lease
+//! renewal (`dirty` / `renew` / `clean` and their replies) shipped as
+//! opaque application payloads over any [`AppTransport`].
+//!
+//! The simulator hosts `dgc-rmi` endpoints natively; this runner is
+//! the transport-neutral deployment of the same collector — one
+//! [`LeaseDriver`] per node, packets crossing whatever wire the
+//! transport provides. Over `dgc-rt-net` that means lease calls ride
+//! the egress plane's shared frames exactly like the paper's RMI
+//! traffic rode JVM sockets — and the DGC/membership planes piggyback
+//! on *them*.
+
+use dgc_core::units::{Dur, Time};
+use dgc_rmi::{LeaseDriver, LeasePacket, LeaseStats, RmiConfig};
+
+use crate::driver::{AppPacket, AppTransport};
+
+/// Outcome of one lease-baseline run.
+#[derive(Debug, Clone)]
+pub struct LeaseOutcome {
+    /// The holder-side driver's counters (dirty/renew/clean sent).
+    pub holder_stats: LeaseStats,
+    /// The target-side driver's counters (grants answered).
+    pub target_stats: LeaseStats,
+    /// When the released target's endpoint collected (lease layer
+    /// verdict), `None` if the deadline passed first.
+    pub target_collected_at: Option<Time>,
+    /// True if the target survived the whole hold phase (it must: the
+    /// holder kept renewing).
+    pub target_survived_hold: bool,
+    /// Lease packets shipped (calls + replies).
+    pub packets_sent: u64,
+}
+
+/// Runs the lease baseline: a holder on node 0 keeps an object on the
+/// last node alive by renewal for `hold_for`, then releases it; the
+/// run ends when the lease layer collects the target (or `deadline`
+/// passes). Both activities stay busy at the transport level — the
+/// *lease* protocol, not the host collector, owns their lifecycle,
+/// exactly like RMI's DGC owns exported objects.
+pub fn run_lease<T: AppTransport>(
+    transport: &mut T,
+    lease: Dur,
+    hold_for: Dur,
+    deadline: Time,
+) -> LeaseOutcome {
+    let config = RmiConfig { lease };
+    let last = transport.nodes() - 1;
+    let holder = transport.spawn(0);
+    let target = transport.spawn(last);
+    let mut holder_side = LeaseDriver::new(config);
+    let mut target_side = LeaseDriver::new(config);
+    holder_side.add_endpoint(holder, transport.now());
+    target_side.add_endpoint(target, transport.now());
+    // The target is idle as far as the lease layer is concerned: only
+    // the lease list keeps it.
+    target_side.set_idle(target, true);
+
+    let mut packets_sent = 0u64;
+    let ship = |transport: &mut T, packets_sent: &mut u64, pkts: Vec<LeasePacket>| {
+        for p in pkts {
+            *packets_sent += 1;
+            transport.send(AppPacket {
+                from: p.from,
+                to: p.to,
+                reply: p.reply,
+                payload: p.payload,
+            });
+        }
+    };
+
+    let start = transport.now();
+    let pkts = holder_side.add_ref(start, holder, target);
+    ship(transport, &mut packets_sent, pkts);
+
+    let tick_every = Dur::from_nanos((lease.as_nanos() / 8).max(1_000_000));
+    let mut next_tick = start + tick_every;
+    let mut released = false;
+    let mut target_survived_hold = false;
+    let mut target_collected_at = None;
+    loop {
+        let now = transport.now();
+        if now >= deadline {
+            break;
+        }
+        // Route deliveries into the right side's driver.
+        for pkt in transport.poll() {
+            let side = if pkt.to.node == last && pkt.to == target {
+                &mut target_side
+            } else {
+                &mut holder_side
+            };
+            let replies = side.on_payload(now, pkt.from, pkt.to, pkt.reply, &pkt.payload);
+            ship(transport, &mut packets_sent, replies);
+        }
+        if now >= next_tick {
+            next_tick = now + tick_every;
+            let pkts = holder_side.tick(now);
+            ship(transport, &mut packets_sent, pkts);
+            let pkts = target_side.tick(now);
+            ship(transport, &mut packets_sent, pkts);
+        }
+        if !released && now.since(start) >= hold_for {
+            released = true;
+            target_survived_hold = !target_side.is_dead(target);
+            let pkts = holder_side.drop_ref(holder, target);
+            ship(transport, &mut packets_sent, pkts);
+        }
+        if released && target_side.is_dead(target) {
+            target_collected_at = Some(now);
+            break;
+        }
+        transport.step();
+    }
+    LeaseOutcome {
+        holder_stats: holder_side.stats(),
+        target_stats: target_side.stats(),
+        target_collected_at,
+        target_survived_hold,
+        packets_sent,
+    }
+}

@@ -8,14 +8,30 @@
 //! * [`torture`] — the master/slave reference-churn torture test of
 //!   §5.3 (6401 activities at paper scale, Fig. 10 time series);
 //! * [`scenarios`] — the reference-graph shapes of Figs. 3–7 plus
-//!   rings, chains, cliques and random graphs for tests and ablations.
+//!   rings, chains, cliques and random graphs for tests and ablations;
+//! * [`driver`] — the runtime-neutral [`driver::AppTransport`] seam,
+//!   realized by the simulated grid and by a real `dgc-rt-net` TCP
+//!   cluster, so one workload script runs over both;
+//! * [`bsp`] — the NAS communication skeleton as a sans-io engine
+//!   (CG/EP/FT-style request/reply rounds over encoded payloads): the
+//!   §5 traffic the egress plane's piggybacking is measured on;
+//! * [`lease`] — the Java-RMI lease baseline (`dirty`/`renew`/`clean`
+//!   and replies) deployed as application traffic over any transport.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bsp;
+pub mod driver;
+pub mod lease;
 pub mod nas;
 pub mod scenarios;
 pub mod torture;
 
+pub use bsp::{run_bsp, BspEngine, BspLayout, BspOutcome};
+pub use driver::{
+    wait_all_terminated, AppPacket, AppTransport, ClusterTransport, GridTransport, Traced, TracedOp,
+};
+pub use lease::{run_lease, LeaseOutcome};
 pub use nas::{run_kernel, Kernel, NasOutcome, NasParams};
 pub use torture::{run_torture, TortureOutcome, TortureParams};

@@ -1,0 +1,232 @@
+//! §5 workloads over real sockets — and the same workload over the
+//! simulated grid, through one driver trait.
+//!
+//! The tentpole claim of PR 5: the traffic the paper's figures are
+//! about (NAS-style request/reply rounds, the RMI baseline's lease
+//! calls) actually crosses TCP, with DGC heartbeats and membership
+//! digests piggybacking on its frames — and the identical workload
+//! binary-for-binary runs on the deterministic grid.
+
+use std::time::Duration;
+
+use dgc_activeobj::collector::CollectorKind;
+use dgc_activeobj::runtime::{Grid, GridConfig};
+use dgc_core::config::DgcConfig;
+use dgc_core::units::{Dur, Time};
+use dgc_rt_net::{Cluster, NetConfig};
+use dgc_simnet::time::SimDuration;
+use dgc_simnet::topology::Topology;
+use dgc_workloads::driver::{wait_all_terminated, AppTransport, ClusterTransport, GridTransport};
+use dgc_workloads::nas::Kernel;
+use dgc_workloads::{run_bsp, run_lease};
+
+/// Millisecond-scale protocol so a socket run finishes in seconds.
+fn net_dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_millis(25))
+        .tta(Dur::from_millis(80))
+        .max_comm(Dur::from_millis(20))
+        .build()
+}
+
+/// Second-scale protocol for the virtual-time grid run.
+fn sim_dgc() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(2))
+        .tta(Dur::from_secs(5))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+#[test]
+fn cg_rounds_run_over_tcp_and_the_clique_is_collected() {
+    // Enough iterations that the run spans several TTB sweeps: the
+    // piggybacking is measured on traffic that genuinely interleaves
+    // with the protocol, not on a burst that outruns the first tick.
+    let mut params = Kernel::Cg.class_c().scaled_down(4, 10);
+    params.iterations = 30;
+    let dgc = DgcConfig::builder()
+        .ttb(Dur::from_millis(10))
+        .tta(Dur::from_millis(80))
+        .max_comm(Dur::from_millis(20))
+        .build();
+    // Background units wait up to 40 ms for an app ride — well inside
+    // TTA (10 ms TTB + 40 ms linger < 80 ms), so the piggybacking is
+    // visible without starving the consensus of heartbeats.
+    let policy = dgc_core::egress::FlushPolicy {
+        flush_on_app: true,
+        max_delay: Dur::from_millis(40),
+        max_bytes: 64 * 1024,
+        max_items: 4096,
+    };
+    let cluster = Cluster::listen_local(2, NetConfig::new(dgc).egress(policy)).unwrap();
+    let mut t = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let outcome = run_bsp(
+        &mut t,
+        &params,
+        &|i| Kernel::Cg.math(i),
+        Time::ZERO + Dur::from_secs(60),
+    );
+    assert!(outcome.checksum.is_finite());
+    assert!(outcome.packets_sent > 0);
+    // The released worker clique is cyclic garbage: the complete DGC
+    // must collect it over real sockets.
+    let collected_at = wait_all_terminated(
+        &mut t,
+        &outcome.layout.workers,
+        outcome.result_at + Dur::from_secs(60),
+    );
+    assert!(
+        collected_at.is_some(),
+        "worker clique must be collected over TCP: terminated {:?}",
+        t.terminated()
+    );
+    // The DGC plane rode the workload's frames: piggybacking happened
+    // on real traffic, and nothing the workload sent was lost.
+    let stats = t.cluster().total_stats();
+    assert!(
+        stats.piggybacked > 0,
+        "heartbeats must ride the workload's app frames: {stats:?}"
+    );
+    t.into_cluster().shutdown();
+}
+
+#[test]
+fn the_same_workload_runs_on_both_runtimes_with_the_same_checksum() {
+    let params = Kernel::Cg.class_c().scaled_down(4, 25);
+
+    // Grid run (virtual time).
+    let topo = Topology::single_site(2, SimDuration::from_millis(2));
+    let grid = Grid::new(
+        GridConfig::new(topo)
+            .collector(CollectorKind::Complete(sim_dgc()))
+            .seed(11)
+            .egress(dgc_core::egress::FlushPolicy::default()),
+    );
+    let mut sim = GridTransport::new(grid, SimDuration::from_millis(5));
+    let sim_outcome = run_bsp(
+        &mut sim,
+        &params,
+        &|i| Kernel::Cg.math(i),
+        Time::ZERO + Dur::from_secs(100_000),
+    );
+    assert!(
+        wait_all_terminated(
+            &mut sim,
+            &sim_outcome.layout.workers,
+            sim_outcome.result_at + Dur::from_secs(1_000),
+        )
+        .is_some(),
+        "grid must collect the released clique"
+    );
+    assert!(
+        sim.grid().violations().is_empty(),
+        "{:?}",
+        sim.grid().violations()
+    );
+
+    // Socket run (wall clock).
+    let cluster = Cluster::listen_local(2, NetConfig::new(net_dgc())).unwrap();
+    let mut net = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let net_outcome = run_bsp(
+        &mut net,
+        &params,
+        &|i| Kernel::Cg.math(i),
+        Time::ZERO + Dur::from_secs(60),
+    );
+    net.into_cluster().shutdown();
+
+    // Identical numerics through two entirely different transports.
+    assert_eq!(
+        sim_outcome.checksum.to_bits(),
+        net_outcome.checksum.to_bits(),
+        "the genuinely executed kernel math must agree bit-for-bit"
+    );
+    assert_eq!(sim_outcome.packets_sent, net_outcome.packets_sent);
+}
+
+#[test]
+fn ep_style_workload_completes_over_tcp() {
+    // EP has no inter-worker exchange: the whole run is RUN fan-out and
+    // DONE replies — the lightly-communicating end of the §5 table.
+    let params = Kernel::Ep.class_c().scaled_down(3, 25);
+    let cluster = Cluster::listen_local(3, NetConfig::new(net_dgc())).unwrap();
+    let mut t = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let outcome = run_bsp(
+        &mut t,
+        &params,
+        &|i| Kernel::Ep.math(i),
+        Time::ZERO + Dur::from_secs(60),
+    );
+    assert!(outcome.checksum.is_finite());
+    // RUN×3 + DONE×3, no chunks.
+    assert_eq!(outcome.packets_sent, 6);
+    t.into_cluster().shutdown();
+}
+
+#[test]
+fn lease_baseline_renews_and_collects_over_tcp() {
+    let cluster = Cluster::listen_local(2, NetConfig::new(net_dgc())).unwrap();
+    let mut t = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let outcome = run_lease(
+        &mut t,
+        Dur::from_millis(400),  // lease
+        Dur::from_millis(1200), // hold: several renewal periods
+        Time::ZERO + Dur::from_secs(30),
+    );
+    assert!(
+        outcome.target_survived_hold,
+        "renewals over TCP must keep the lease alive: {outcome:?}"
+    );
+    assert!(
+        outcome.holder_stats.renew_sent >= 1,
+        "the holder must have renewed: {:?}",
+        outcome.holder_stats
+    );
+    assert!(
+        outcome.holder_stats.granted_received >= 1,
+        "grant replies must travel the reply socket back: {:?}",
+        outcome.holder_stats
+    );
+    assert_eq!(outcome.holder_stats.clean_sent, 1);
+    assert!(
+        outcome.target_collected_at.is_some(),
+        "the released lease must expire and the target collect: {outcome:?}"
+    );
+    t.into_cluster().shutdown();
+}
+
+#[test]
+fn lease_baseline_agrees_between_runtimes() {
+    // Same lease script on the grid: the counters the §5 table is
+    // built from (dirties, renewals, cleans) must match the socket
+    // run's exactly — virtual or wall clock, the protocol is the same.
+    let topo = Topology::single_site(2, SimDuration::from_millis(2));
+    let grid = Grid::new(GridConfig::new(topo).seed(3));
+    let mut sim = GridTransport::new(grid, SimDuration::from_millis(5));
+    let sim_out = run_lease(
+        &mut sim,
+        Dur::from_millis(400),
+        Dur::from_millis(1200),
+        Time::ZERO + Dur::from_secs(1_000),
+    );
+    let cluster = Cluster::listen_local(2, NetConfig::new(net_dgc())).unwrap();
+    let mut net = ClusterTransport::new(cluster, Duration::from_millis(1));
+    let net_out = run_lease(
+        &mut net,
+        Dur::from_millis(400),
+        Dur::from_millis(1200),
+        Time::ZERO + Dur::from_secs(30),
+    );
+    net.into_cluster().shutdown();
+    assert!(sim_out.target_survived_hold && net_out.target_survived_hold);
+    assert!(sim_out.target_collected_at.is_some() && net_out.target_collected_at.is_some());
+    assert_eq!(
+        sim_out.holder_stats.dirty_sent,
+        net_out.holder_stats.dirty_sent
+    );
+    assert_eq!(
+        sim_out.holder_stats.clean_sent,
+        net_out.holder_stats.clean_sent
+    );
+}
