@@ -9,6 +9,8 @@
 //! so a `(seed, workload)` pair always replays identically.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dgc_core::faults::FaultProfile;
 use dgc_simnet::fault::FaultPlan;
@@ -20,15 +22,18 @@ use dgc_simnet::topology::{ProcId, Topology};
 use dgc_simnet::trace::{TraceLevel, TraceLog};
 use dgc_simnet::traffic::{TrafficClass, TrafficMeter};
 
-use dgc_core::egress::{EgressClass, Flush, FlushPolicy, Outbox};
+use dgc_core::egress::{EgressClass, EgressObs, Flush, FlushPolicy, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use dgc_core::stats::DgcStats;
+use dgc_core::telemetry::DgcObs;
 use dgc_core::wire as dgc_wire;
 use dgc_membership::wire as membership_wire;
 use dgc_membership::{
-    Digest, GossipOut, Membership, MembershipConfig, MembershipEvent, NodeRecord, Transition,
+    Digest, GossipOut, Membership, MembershipConfig, MembershipEvent, MembershipObs, NodeRecord,
+    Transition,
 };
+use dgc_obs::{Registry, TimeSource};
 use dgc_rmi::endpoint::{RmiAction, RmiMessage};
 use dgc_rmi::wire as rmi_wire;
 
@@ -386,6 +391,12 @@ pub struct Grid {
     /// Driver-level app units the network accepted but could not
     /// deliver (dropped frame, departed destination process).
     app_failures: Vec<AppDelivered>,
+    /// Shared virtual clock the telemetry plane reads; kept equal to
+    /// `now` as the event loop advances.
+    obs_clock: Arc<AtomicU64>,
+    /// Per-process telemetry registries, all reading `obs_clock` and
+    /// sharing the grid trace ring.
+    obs: Vec<Registry>,
 }
 
 impl Grid {
@@ -442,6 +453,31 @@ impl Grid {
         }
         let trace = TraceLog::new(config.trace_level);
         let egress = config.egress;
+        // One virtual clock for the whole grid: every per-proc registry
+        // reads it, so cross-node telemetry timestamps are mutually
+        // ordered — exactly like the wall clock on real sockets.
+        let (obs_time, obs_clock) = TimeSource::simulated();
+        let obs: Vec<Registry> = (0..procs_n)
+            .map(|_| Registry::with_tracer(obs_time.clone(), trace.tracer().clone()))
+            .collect();
+        let outboxes: Vec<Outbox<OutUnit>> = obs
+            .iter()
+            .map(|r| {
+                let mut ob = Outbox::new(egress);
+                ob.set_obs(EgressObs::new(r));
+                ob
+            })
+            .collect();
+        let members: Vec<Option<Membership>> = members
+            .into_iter()
+            .zip(&obs)
+            .map(|(m, r)| {
+                m.map(|mut engine| {
+                    engine.set_obs(MembershipObs::new(r));
+                    engine
+                })
+            })
+            .collect();
         Grid {
             spawn_alloc: SpawnAlloc::new(procs_n),
             procs: (0..procs_n).map(|_| BTreeMap::new()).collect(),
@@ -463,10 +499,12 @@ impl Grid {
             dgc_stats_collected: DgcStats::default(),
             members,
             member_events: (0..procs_n).map(|_| Vec::new()).collect(),
-            outboxes: (0..procs_n).map(|_| Outbox::new(egress)).collect(),
+            outboxes,
             egress_wake: vec![None; procs_n as usize],
             app_inbox: Vec::new(),
             app_failures: Vec::new(),
+            obs_clock,
+            obs,
         }
     }
 
@@ -617,6 +655,7 @@ impl Grid {
             }
             let (at, event) = self.events.pop().expect("peeked event");
             self.now = at;
+            self.obs_clock.store(at.as_nanos(), Ordering::Relaxed);
             // §4.2 process pauses: a paused process handles nothing; its
             // events are deferred to the end of the pause.
             if let Some(proc) = event_proc(&event) {
@@ -628,6 +667,7 @@ impl Grid {
             self.handle(event);
         }
         self.now = self.now.max(deadline);
+        self.obs_clock.store(self.now.as_nanos(), Ordering::Relaxed);
     }
 
     /// Runs for `d` of simulated time.
@@ -731,6 +771,9 @@ impl Grid {
         let rng = self.rng.fork(hash_id(id));
         let mut act = Activity::new(id, behavior, is_root, rng);
         act.collector = Collector::new(&self.config.collector, id, self.now);
+        if let Collector::Complete(state) = &mut act.collector {
+            state.set_obs(DgcObs::new(&self.obs[id.node as usize]));
+        }
         if let Some(period) = act.collector.tick_period() {
             let phase = if self.config.tick_jitter {
                 self.rng.jitter(period)
@@ -815,7 +858,7 @@ impl Grid {
         if idle {
             self.idle_count += 1;
             if let Collector::Complete(s) = &mut act.collector {
-                s.on_became_idle();
+                s.on_became_idle(proto_time(now));
             }
             self.trace.debug(now, "idle", format!("{ao}"));
         } else {
@@ -1667,7 +1710,8 @@ impl Grid {
         let Some(m) = self.config.membership else {
             return;
         };
-        let engine = new_member(&self.config, proc, incarnation, self.now, m);
+        let mut engine = new_member(&self.config, proc, incarnation, self.now, m);
+        engine.set_obs(MembershipObs::new(&self.obs[proc.0 as usize]));
         self.members[proc.0 as usize] = Some(engine);
         self.events
             .schedule(self.now, Event::MembershipTick { proc });
@@ -1779,6 +1823,21 @@ impl Grid {
     /// Time-series samples (when sampling is enabled).
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// Process `proc`'s telemetry registry (virtual-time clock, shared
+    /// trace ring): where its DGC endpoints, outbox and membership
+    /// engine record.
+    pub fn obs(&self, proc: ProcId) -> &Registry {
+        &self.obs[proc.0 as usize]
+    }
+
+    /// Fleet-wide metric totals: every process's snapshot merged.
+    pub fn obs_merged(&self) -> dgc_obs::Snapshot {
+        self.obs
+            .iter()
+            .map(|r| r.snapshot())
+            .fold(dgc_obs::Snapshot::default(), |acc, s| acc.merge(&s))
     }
 
     /// The trace log.

@@ -50,23 +50,26 @@ fn cycle_latency(cluster: Cluster) -> Duration {
     elapsed
 }
 
-fn simnet_scenarios() {
+/// Returns total simulator wall time across all scenarios, in ms.
+fn simnet_scenarios() -> f64 {
     println!("simulator replay cost per canonical conformance scenario (seed 42):");
+    let mut total_ms = 0.0;
     for s in scenarios::all() {
         let start = Instant::now();
         let verdict = run_simnet(&s, 42);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        total_ms += ms;
         println!(
             "  {:<24} {:>8.1} ms wall   verdict {{wrongful: {}, leftover: {}}}",
-            s.name,
-            start.elapsed().as_secs_f64() * 1e3,
-            verdict.wrongful_collection,
-            verdict.leftover_garbage
+            s.name, ms, verdict.wrongful_collection, verdict.leftover_garbage
         );
         assert_eq!(verdict, s.expect, "bench must not mask a regression");
     }
+    total_ms
 }
 
-fn socket_latency() {
+/// Returns `(direct, proxied, delayed)` median cycle latencies in ms.
+fn socket_latency() -> (f64, f64, f64) {
     println!("\nsocket cycle collection latency (2 nodes, TTB 25 ms / TTA 80 ms), median of 3:");
     let median = |mut xs: Vec<Duration>| {
         xs.sort_unstable();
@@ -98,9 +101,23 @@ fn socket_latency() {
         "  +20 ms delay profile  {:>8.1} ms  (in-slack fault: slower, still safe)",
         delayed.as_secs_f64() * 1e3
     );
+    (
+        plain.as_secs_f64() * 1e3,
+        proxied.as_secs_f64() * 1e3,
+        delayed.as_secs_f64() * 1e3,
+    )
 }
 
 fn main() {
-    simnet_scenarios();
-    socket_latency();
+    let simnet_total_ms = simnet_scenarios();
+    let (direct_ms, proxied_ms, delayed_ms) = socket_latency();
+    dgc_bench::record(
+        "chaos_conformance",
+        &[
+            ("simnet_all_scenarios_ms", simnet_total_ms),
+            ("socket_cycle_direct_ms", direct_ms),
+            ("socket_cycle_proxied_ms", proxied_ms),
+            ("socket_cycle_delayed_ms", delayed_ms),
+        ],
+    );
 }

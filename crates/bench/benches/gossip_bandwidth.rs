@@ -67,7 +67,9 @@ fn run_cluster(nodes: u32, config: MembershipConfig, rounds: u64, measure_from: 
     (bytes, digests)
 }
 
-fn steady_state_table() {
+/// Returns `(full B/round, delta B/round, saved %)` at 8 nodes, for
+/// the recorded report.
+fn steady_state_table() -> (f64, f64, f64) {
     println!("steady-state gossip cost per round (loss-free, converged cluster)");
     println!(
         "{:>6} {:>16} {:>16} {:>9}",
@@ -76,35 +78,37 @@ fn steady_state_table() {
     const ROUNDS: u64 = 140;
     const WARMUP: u64 = 40; // convergence + ack settling
     let window = ROUNDS - WARMUP;
-    let mut eight_node_saving = None;
+    let mut eight_node = None;
     for nodes in [2u32, 4, 8, 16] {
         let (full_bytes, _) = run_cluster(nodes, timings().full_push(), ROUNDS, WARMUP);
         let (delta_bytes, _) = run_cluster(nodes, timings(), ROUNDS, WARMUP);
         let saved = 100.0 * (1.0 - delta_bytes as f64 / full_bytes as f64);
+        let full_per_round = full_bytes as f64 / window as f64;
+        let delta_per_round = delta_bytes as f64 / window as f64;
         println!(
             "{:>6} {:>16.1} {:>16.1} {:>8.1}%",
-            nodes,
-            full_bytes as f64 / window as f64,
-            delta_bytes as f64 / window as f64,
-            saved
+            nodes, full_per_round, delta_per_round, saved
         );
         if nodes == 8 {
-            eight_node_saving = Some(saved);
+            eight_node = Some((full_per_round, delta_per_round, saved));
         }
     }
-    let saving = eight_node_saving.expect("8-node row ran");
+    let (full, delta, saving) = eight_node.expect("8-node row ran");
     assert!(
         saving >= 30.0,
         "acceptance: delta gossip must cut ≥30% of steady-state bytes at 8 nodes, got {saving:.1}%"
     );
     println!("  8-node saving {saving:.1}% (acceptance floor: 30%)");
+    (full, delta, saving)
 }
 
 /// Frame accounting for the piggyback: a digest flushed standalone pays
 /// frame overhead; a digest riding an app-send flush pays none. Uses
 /// the same `Outbox` both runtimes drive, with the socket frame
 /// overhead model the `net_batching` bench validated.
-fn piggyback_accounting() {
+/// Returns `(standalone frame-overhead bytes, digests that rode)` for
+/// the recorded report.
+fn piggyback_accounting() -> (u64, u64) {
     const DIGEST_BYTES: u64 = 19; // steady-state heartbeat digest
     const ROUNDS: u64 = 1000;
     let policy = FlushPolicy::default();
@@ -155,9 +159,23 @@ fn piggyback_accounting() {
         "piggybacked: zero frames per digest"
     );
     assert_eq!(piggy_gossip_frames, 0);
+    (standalone_overhead, pg.piggybacked)
 }
 
 fn main() {
-    steady_state_table();
-    piggyback_accounting();
+    let (full_per_round, delta_per_round, saving) = steady_state_table();
+    let (standalone_overhead, rode) = piggyback_accounting();
+    dgc_bench::record(
+        "gossip_bandwidth",
+        &[
+            ("full_push_bytes_per_round_8_nodes", full_per_round),
+            ("delta_bytes_per_round_8_nodes", delta_per_round),
+            ("saving_pct_8_nodes", saving),
+            (
+                "standalone_frame_overhead_bytes",
+                standalone_overhead as f64,
+            ),
+            ("digests_piggybacked", rode as f64),
+        ],
+    );
 }

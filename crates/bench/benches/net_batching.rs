@@ -121,14 +121,23 @@ fn main() {
         "  unbatched: {ui:>6} items in {uf:>5} frames, {ub:>8} B ({:>6.1} B/item)",
         per(ub, ui)
     );
+    let mut saving_pct = 0.0;
     if bi > 0 && ui > 0 {
         assert!(
             per(bb, bi) < per(ub, ui),
             "batched transport must cost fewer bytes per protocol unit"
         );
-        println!(
-            "  batching saves {:.1}% bytes per delivered unit",
-            100.0 * (1.0 - per(bb, bi) / per(ub, ui))
-        );
+        saving_pct = 100.0 * (1.0 - per(bb, bi) / per(ub, ui));
+        println!("  batching saves {saving_pct:.1}% bytes per delivered unit");
     }
+    dgc_bench::record(
+        "net_batching",
+        &[
+            ("batched_bytes_per_item", per(bb, bi)),
+            ("unbatched_bytes_per_item", per(ub, ui)),
+            ("batched_items_per_frame", per(bi, bf)),
+            ("unbatched_items_per_frame", per(ui, uf)),
+            ("socket_saving_pct", saving_pct),
+        ],
+    );
 }

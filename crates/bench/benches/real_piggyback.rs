@@ -142,4 +142,14 @@ fn main() {
         "  acceptance floor 20% met: {:.1}% of the protocol's own units rode the paper's traffic",
         ratio * 100.0
     );
+    dgc_bench::record(
+        "real_piggyback",
+        &[
+            ("ride_ratio_pct", ratio * 100.0),
+            ("units_sent", items as f64),
+            ("frames_sent", frames as f64),
+            ("units_piggybacked", piggybacked as f64),
+            ("immediate_frames_sent", imm_frames as f64),
+        ],
+    );
 }

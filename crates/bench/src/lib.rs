@@ -213,6 +213,27 @@ pub fn overhead_pct(without: f64, with: f64) -> f64 {
     (with - without) / without * 100.0
 }
 
+/// Records a bench run's headline numbers as `BENCH_<name>.json` at the
+/// repo root — the perf trajectory the CI `bench-record` step uploads
+/// and future re-anchors diff. The schema is
+/// [`dgc_obs::bench::report_json`]'s flat metric map. Recording is
+/// best-effort: an unwritable checkout (say, a sandboxed bench run)
+/// logs and moves on rather than failing the measurement.
+pub fn record(name: &str, metrics: &[(&str, f64)]) {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = dgc_obs::bench::report_json(name, unix_secs, metrics);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] recorded {}", path.display()),
+        Err(e) => eprintln!("[bench] could not record {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,12 +50,73 @@ use dgc_core::faults::FaultProfile;
 use dgc_core::id::AoId;
 use dgc_core::units::{Dur, Time};
 use dgc_membership::MembershipConfig;
+use dgc_obs::TraceEvent;
+pub use dgc_obs::TraceLevel;
 use dgc_rt_net::{Cluster, NetConfig};
 use dgc_simnet::time::{SimDuration, SimTime};
 use dgc_simnet::topology::{ProcId, Topology};
 
 pub mod scenarios;
 pub mod workload;
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+/// Events kept per node when a runner captures a trace tail for a
+/// failure dump.
+pub const TRACE_TAIL: usize = 100;
+
+/// The trace level conformance runs record at: `DGC_TRACE=info` (or
+/// `debug`) turns the telemetry plane's tracer on in **both** runtimes,
+/// so a verdict disagreement comes with the protocol events that led to
+/// it. Unset, empty or unrecognized means off — the default keeps the
+/// suite allocation-free.
+pub fn env_trace_level() -> TraceLevel {
+    std::env::var("DGC_TRACE")
+        .ok()
+        .and_then(|s| TraceLevel::parse(&s))
+        .unwrap_or(TraceLevel::Off)
+}
+
+/// What a runner observed besides the verdict: the merged metric
+/// snapshot of every node and the recent trace events (per node on
+/// sockets; the grid shares one ring across its processes).
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Union of every node's [`dgc_obs::Registry`] snapshot.
+    pub snapshot: dgc_obs::Snapshot,
+    /// `(label, most recent events)` per trace ring.
+    pub trace_tails: Vec<(String, Vec<TraceEvent>)>,
+}
+
+impl RunTelemetry {
+    /// Renders the trace tails for a failure dump; points at
+    /// `DGC_TRACE` when nothing was recorded.
+    pub fn dump_tails(&self, runtime: &str, scenario: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.trace_tails.iter().all(|(_, t)| t.is_empty()) {
+            let _ = writeln!(
+                out,
+                "--- {runtime} trace of {scenario}: empty \
+                 (re-run with DGC_TRACE=info or DGC_TRACE=debug to capture one) ---"
+            );
+            return out;
+        }
+        for (label, tail) in &self.trace_tails {
+            let _ = writeln!(
+                out,
+                "--- {runtime} trace tail of {scenario}, {label} (last {} events) ---",
+                tail.len()
+            );
+            for ev in tail {
+                let _ = writeln!(out, "{ev}");
+            }
+        }
+        out
+    }
+}
 
 /// One scripted operation, applied at a scenario time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -346,11 +407,19 @@ pub fn evaluate(scenario: &Scenario, observations: &[Observation]) -> Verdict {
 /// scenario description and the runtime diverged, which is a harness
 /// bug, not a protocol result.
 pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
+    run_simnet_obs(scenario, seed).0
+}
+
+/// [`run_simnet`], also returning the run's [`RunTelemetry`] (merged
+/// metric snapshot plus the grid's trace tail). Tracing records at
+/// [`env_trace_level`].
+pub fn run_simnet_obs(scenario: &Scenario, seed: u64) -> (Verdict, RunTelemetry) {
     let profile = scenario.profile.clone().seeded(seed);
     let topo = Topology::single_site(scenario.nodes, SimDuration::from_millis(2));
     let mut config = GridConfig::new(topo)
         .collector(CollectorKind::Complete(scenario.dgc))
         .seed(seed)
+        .trace_level(env_trace_level())
         .fault_profile(&profile);
     if let Some(m) = scenario.membership {
         config = config.membership(m);
@@ -391,15 +460,28 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
         })
         .collect();
     let verdict = evaluate(scenario, &observations);
-    assert_eq!(
-        verdict.wrongful_collection,
-        !grid.violations().is_empty(),
-        "{}: harness ground truth disagrees with the grid's built-in oracle \
-         (violations: {:?})",
-        scenario.name,
-        grid.violations()
-    );
-    verdict
+    // One ring serves every grid process, so the per-node tail budget
+    // pools into a single, longer tail.
+    let telemetry = RunTelemetry {
+        snapshot: grid.obs_merged(),
+        trace_tails: vec![(
+            "grid (all procs)".to_string(),
+            grid.trace()
+                .tracer()
+                .tail(TRACE_TAIL * scenario.nodes as usize),
+        )],
+    };
+    if verdict.wrongful_collection == grid.violations().is_empty() {
+        eprint!("{}", telemetry.dump_tails("simnet", scenario.name));
+        panic!(
+            "{}: harness ground truth disagrees with the grid's built-in oracle \
+             (harness wrongful: {}, violations: {:?})",
+            scenario.name,
+            verdict.wrongful_collection,
+            grid.violations()
+        );
+    }
+    (verdict, telemetry)
 }
 
 // ---------------------------------------------------------------------
@@ -424,6 +506,13 @@ pub fn run_simnet(scenario: &Scenario, seed: u64) -> Verdict {
 /// scripted state change ≥ 100 ms away from any instant the collector
 /// could plausibly terminate an activity, and the skew is harmless.
 pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
+    Ok(run_rtnet_obs(scenario, seed)?.0)
+}
+
+/// [`run_rtnet`], also returning the run's [`RunTelemetry`] (merged
+/// metric snapshot — chaos counters folded in — plus one trace tail per
+/// surviving node). Tracing records at [`env_trace_level`].
+pub fn run_rtnet_obs(scenario: &Scenario, seed: u64) -> std::io::Result<(Verdict, RunTelemetry)> {
     let profile = scenario.profile.clone().seeded(seed);
     // Churn scenarios — crashes or scripted graceful leaves — run on a
     // seed-bootstrapped join cluster (departures and rejoins need the
@@ -433,17 +522,14 @@ pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
         .script
         .iter()
         .any(|s| matches!(s.op, Op::Leave { .. }));
+    let config = NetConfig::new(scenario.dgc).trace(env_trace_level());
     let cluster = if profile.node_crashes().is_empty() && !has_leave {
-        Cluster::listen_local_chaos(scenario.nodes, NetConfig::new(scenario.dgc), profile)?
+        Cluster::listen_local_chaos(scenario.nodes, config, profile)?
     } else {
         let membership = scenario
             .membership
             .expect("churn scenarios must set Scenario::membership");
-        Cluster::join_local_churn(
-            scenario.nodes,
-            NetConfig::new(scenario.dgc).membership(membership),
-            &profile,
-        )?
+        Cluster::join_local_churn(scenario.nodes, config.membership(membership), &profile)?
     };
     let epoch = cluster.epoch();
     let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
@@ -523,8 +609,18 @@ pub fn run_rtnet(scenario: &Scenario, seed: u64) -> std::io::Result<Verdict> {
         }
         std::thread::sleep(Duration::from_millis(5));
     };
+    let trace_tails = (0..scenario.nodes)
+        .filter_map(|node| {
+            let reg = cluster.obs(node)?;
+            Some((format!("node {node}"), reg.tracer().tail(TRACE_TAIL)))
+        })
+        .collect();
+    let telemetry = RunTelemetry {
+        snapshot: cluster.obs_merged(),
+        trace_tails,
+    };
     cluster.shutdown();
-    Ok(verdict)
+    Ok((verdict, telemetry))
 }
 
 // ---------------------------------------------------------------------

@@ -6,27 +6,32 @@
 //! One test per scenario so the suites run concurrently and a failure
 //! names the scenario directly.
 
-use dgc_conformance::{evaluate, run_rtnet, run_simnet, scenarios, seeds, Observation, Scenario};
+use dgc_conformance::{
+    evaluate, run_rtnet_obs, run_simnet, run_simnet_obs, scenarios, seeds, Observation, Scenario,
+};
 
 fn agree_on(scenario: Scenario) {
     for seed in seeds() {
-        let sim = run_simnet(&scenario, seed);
-        assert_eq!(
-            sim, scenario.expect,
-            "[{} seed {seed}] simnet verdict diverged",
-            scenario.name
-        );
-        let net = run_rtnet(&scenario, seed).expect("bind chaos cluster");
-        assert_eq!(
-            net, scenario.expect,
-            "[{} seed {seed}] rt-net verdict diverged",
-            scenario.name
-        );
-        assert_eq!(
-            sim, net,
-            "[{} seed {seed}] the two runtimes disagree",
-            scenario.name
-        );
+        // A divergence report comes with the trace tails of both runs
+        // (empty unless DGC_TRACE=info|debug was set — the dump says
+        // how to re-run with it).
+        let (sim, sim_tel) = run_simnet_obs(&scenario, seed);
+        if sim != scenario.expect {
+            eprint!("{}", sim_tel.dump_tails("simnet", scenario.name));
+            panic!(
+                "[{} seed {seed}] simnet verdict diverged: {sim:?} != {:?}",
+                scenario.name, scenario.expect
+            );
+        }
+        let (net, net_tel) = run_rtnet_obs(&scenario, seed).expect("bind chaos cluster");
+        if net != scenario.expect || sim != net {
+            eprint!("{}", sim_tel.dump_tails("simnet", scenario.name));
+            eprint!("{}", net_tel.dump_tails("rt-net", scenario.name));
+            panic!(
+                "[{} seed {seed}] rt-net verdict diverged: {net:?} != {:?} (simnet said {sim:?})",
+                scenario.name, scenario.expect
+            );
+        }
     }
 }
 

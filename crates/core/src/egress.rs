@@ -32,6 +32,8 @@
 
 use std::collections::BTreeMap;
 
+use dgc_obs::{Counter, Histogram, LocalHistogram, Registry};
+
 use crate::units::{Dur, Time};
 
 /// Classification of an egress unit: which plane it belongs to.
@@ -196,12 +198,68 @@ pub struct EgressStats {
     pub forced_flushes: u64,
 }
 
+/// Cached `dgc-obs` handles an [`Outbox`] mirrors its [`EgressStats`]
+/// into when attached ([`Outbox::set_obs`]). Counter names live under
+/// `egress.` in the owning node's registry and converge to the legacy
+/// struct by delta-sync: the enqueue and flush hot paths touch **no**
+/// shared atomics — histogram samples buffer in a [`LocalHistogram`]
+/// and counter deltas accumulate in plain stats, and the outbox pushes
+/// both into the registry on a sparse cadence (every
+/// [`SYNC_EVERY_FLUSHES`]th flush, any forced flush or destination
+/// drop, and whenever the outbox drains empty). A mid-burst snapshot
+/// may therefore lag the legacy struct slightly; at quiescence they are
+/// equal (the conservation tests cross-check). The histograms add what
+/// plain counters cannot: the distribution of how long flushed units
+/// lingered waiting for company (`egress.flush_linger_ns`) and of
+/// flush sizes (`egress.flush_items`).
+#[derive(Debug, Clone)]
+pub struct EgressObs {
+    enqueued_items: Counter,
+    enqueued_bytes: Counter,
+    dropped_items: Counter,
+    dropped_bytes: Counter,
+    flushes: Counter,
+    items: Counter,
+    bytes: Counter,
+    piggybacked: Counter,
+    app_flushes: Counter,
+    delay_flushes: Counter,
+    bound_flushes: Counter,
+    forced_flushes: Counter,
+    flush_linger: Histogram,
+    flush_items: Histogram,
+}
+
+impl EgressObs {
+    /// Resolves the outbox's handles against `registry`.
+    pub fn new(registry: &Registry) -> EgressObs {
+        EgressObs {
+            enqueued_items: registry.counter("egress.enqueued_items"),
+            enqueued_bytes: registry.counter("egress.enqueued_bytes"),
+            dropped_items: registry.counter("egress.dropped_items"),
+            dropped_bytes: registry.counter("egress.dropped_bytes"),
+            flushes: registry.counter("egress.flushes"),
+            items: registry.counter("egress.items"),
+            bytes: registry.counter("egress.bytes"),
+            piggybacked: registry.counter("egress.piggybacked"),
+            app_flushes: registry.counter("egress.flush_reason.app"),
+            delay_flushes: registry.counter("egress.flush_reason.delay"),
+            bound_flushes: registry.counter("egress.flush_reason.bounds"),
+            forced_flushes: registry.counter("egress.flush_reason.forced"),
+            flush_linger: registry.histogram("egress.flush_linger_ns"),
+            flush_items: registry.histogram("egress.flush_items"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct DestQueue<T> {
     items: Vec<QueuedItem<T>>,
     bytes: u64,
     /// When the oldest queued item must flush.
     deadline: Time,
+    /// When the oldest queued item was enqueued (linger histogram).
+    first_at: Time,
 }
 
 /// The per-destination outbox. `T` is the runtime's unit type (a frame
@@ -212,7 +270,22 @@ pub struct Outbox<T> {
     policy: FlushPolicy,
     queues: BTreeMap<u32, DestQueue<T>>,
     stats: EgressStats,
+    obs: Option<EgressObs>,
+    /// The stats values already pushed into `obs` (delta-sync marker).
+    mirrored: EgressStats,
+    /// Cached `Σ queues.items.len()` so the drained-empty sync trigger
+    /// costs one integer compare instead of a map walk.
+    pending: u64,
+    /// Flushes since the last [`Outbox::sync_obs`].
+    unsynced_flushes: u32,
+    local_flush_linger: LocalHistogram,
+    local_flush_items: LocalHistogram,
 }
+
+/// How many flushes may pass between registry syncs while the outbox
+/// stays non-empty. Small enough that observers stay fresh to within a
+/// burst, large enough to amortize the shared-atomic traffic to noise.
+pub const SYNC_EVERY_FLUSHES: u32 = 64;
 
 impl<T> Outbox<T> {
     /// An empty outbox under `policy`.
@@ -221,7 +294,51 @@ impl<T> Outbox<T> {
             policy,
             queues: BTreeMap::new(),
             stats: EgressStats::default(),
+            obs: None,
+            mirrored: EgressStats::default(),
+            pending: 0,
+            unsynced_flushes: 0,
+            local_flush_linger: LocalHistogram::new(),
+            local_flush_items: LocalHistogram::new(),
         }
+    }
+
+    /// Attaches telemetry handles; the outbox mirrors its stats into
+    /// the registry they came from at every flush boundary (see
+    /// [`EgressObs`] — the enqueue hot path stays atomic-free).
+    pub fn set_obs(&mut self, obs: EgressObs) {
+        self.obs = Some(obs);
+        self.sync_obs();
+    }
+
+    /// Pushes the not-yet-mirrored stats deltas and buffered histogram
+    /// samples into the registry handles. Called on the sparse sync
+    /// cadence, never per enqueue.
+    fn sync_obs(&mut self) {
+        let Some(obs) = &self.obs else { return };
+        self.unsynced_flushes = 0;
+        self.local_flush_linger.drain_into(&obs.flush_linger);
+        self.local_flush_items.drain_into(&obs.flush_items);
+        let s = self.stats;
+        let m = &mut self.mirrored;
+        let push = |c: &Counter, new: u64, old: &mut u64| {
+            if new > *old {
+                c.add(new - *old);
+                *old = new;
+            }
+        };
+        push(&obs.enqueued_items, s.enqueued_items, &mut m.enqueued_items);
+        push(&obs.enqueued_bytes, s.enqueued_bytes, &mut m.enqueued_bytes);
+        push(&obs.dropped_items, s.dropped_items, &mut m.dropped_items);
+        push(&obs.dropped_bytes, s.dropped_bytes, &mut m.dropped_bytes);
+        push(&obs.flushes, s.flushes, &mut m.flushes);
+        push(&obs.items, s.items, &mut m.items);
+        push(&obs.bytes, s.bytes, &mut m.bytes);
+        push(&obs.piggybacked, s.piggybacked, &mut m.piggybacked);
+        push(&obs.app_flushes, s.app_flushes, &mut m.app_flushes);
+        push(&obs.delay_flushes, s.delay_flushes, &mut m.delay_flushes);
+        push(&obs.bound_flushes, s.bound_flushes, &mut m.bound_flushes);
+        push(&obs.forced_flushes, s.forced_flushes, &mut m.forced_flushes);
     }
 
     /// The policy in force.
@@ -246,22 +363,25 @@ impl<T> Outbox<T> {
             items: Vec::new(),
             bytes: 0,
             deadline: now + self.policy.max_delay,
+            first_at: now,
         });
         if q.items.is_empty() {
             q.deadline = now + self.policy.max_delay;
+            q.first_at = now;
         }
         q.items.push(QueuedItem { class, size, item });
         q.bytes += size;
+        self.pending += 1;
         self.stats.enqueued_items += 1;
         self.stats.enqueued_bytes += size;
         if self.policy.flush_on_app && class.is_app() {
-            return self.take(dest, FlushReason::AppSend);
+            return self.take(Some(now), dest, FlushReason::AppSend);
         }
         if q.bytes >= self.policy.max_bytes || q.items.len() >= self.policy.max_items {
-            return self.take(dest, FlushReason::Bounds);
+            return self.take(Some(now), dest, FlushReason::Bounds);
         }
         if self.policy.max_delay.is_zero() {
-            return self.take(dest, FlushReason::MaxDelay);
+            return self.take(Some(now), dest, FlushReason::MaxDelay);
         }
         None
     }
@@ -276,7 +396,7 @@ impl<T> Outbox<T> {
             .map(|(d, _)| *d)
             .collect();
         due.into_iter()
-            .filter_map(|d| self.take(d, FlushReason::MaxDelay))
+            .filter_map(|d| self.take(Some(now), d, FlushReason::MaxDelay))
             .collect()
     }
 
@@ -292,7 +412,7 @@ impl<T> Outbox<T> {
 
     /// Forces `dest`'s queue out (shutdown, graceful leave).
     pub fn flush(&mut self, dest: u32) -> Option<Flush<T>> {
-        self.take(dest, FlushReason::Forced)
+        self.take(None, dest, FlushReason::Forced)
     }
 
     /// Forces every queue out, destination order.
@@ -300,7 +420,7 @@ impl<T> Outbox<T> {
         let dests: Vec<u32> = self.queues.keys().copied().collect();
         dests
             .into_iter()
-            .filter_map(|d| self.take(d, FlushReason::Forced))
+            .filter_map(|d| self.take(None, d, FlushReason::Forced))
             .collect()
     }
 
@@ -318,8 +438,10 @@ impl<T> Outbox<T> {
         let Some(q) = self.queues.remove(&dest) else {
             return Vec::new();
         };
+        self.pending -= q.items.len() as u64;
         self.stats.dropped_items += q.items.len() as u64;
         self.stats.dropped_bytes += q.bytes;
+        self.sync_obs();
         q.items
     }
 
@@ -344,24 +466,44 @@ impl<T> Outbox<T> {
         self.stats
     }
 
-    fn take(&mut self, dest: u32, reason: FlushReason) -> Option<Flush<T>> {
+    fn take(&mut self, now: Option<Time>, dest: u32, reason: FlushReason) -> Option<Flush<T>> {
         let q = self.queues.get_mut(&dest)?;
         if q.items.is_empty() {
             return None;
         }
+        let first_at = q.first_at;
         let items = std::mem::take(&mut q.items);
         q.bytes = 0;
+        self.pending -= items.len() as u64;
         self.stats.flushes += 1;
         self.stats.items += items.len() as u64;
-        self.stats.bytes += items.iter().map(|i| i.size).sum::<u64>();
+        let flushed_bytes = items.iter().map(|i| i.size).sum::<u64>();
+        self.stats.bytes += flushed_bytes;
+        let rode_along = items.iter().filter(|i| !i.class.is_app()).count() as u64;
         match reason {
             FlushReason::AppSend => {
                 self.stats.app_flushes += 1;
-                self.stats.piggybacked += items.iter().filter(|i| !i.class.is_app()).count() as u64;
+                self.stats.piggybacked += rode_along;
             }
             FlushReason::MaxDelay => self.stats.delay_flushes += 1,
             FlushReason::Bounds => self.stats.bound_flushes += 1,
             FlushReason::Forced => self.stats.forced_flushes += 1,
+        }
+        if self.obs.is_some() {
+            self.local_flush_items.record(items.len() as u64);
+            // How long the oldest unit waited for company; forced
+            // flushes carry no "now" and skip the sample.
+            if let Some(now) = now {
+                self.local_flush_linger
+                    .record(now.since(first_at).as_nanos());
+            }
+            self.unsynced_flushes += 1;
+            if self.unsynced_flushes >= SYNC_EVERY_FLUSHES
+                || self.pending == 0
+                || reason == FlushReason::Forced
+            {
+                self.sync_obs();
+            }
         }
         Some(Flush {
             dest,

@@ -105,9 +105,10 @@ impl Harness {
     /// Declares `id` idle or busy; a busy→idle transition bumps the
     /// activity clock exactly as the middleware would.
     pub fn set_idle(&mut self, id: AoId, idle: bool) {
+        let now = self.now;
         let ep = self.endpoints.get_mut(&id).expect("unknown endpoint");
         if idle && !ep.idle {
-            ep.state.on_became_idle();
+            ep.state.on_became_idle(now);
         }
         ep.idle = idle;
     }

@@ -82,16 +82,18 @@ pub mod protocol;
 pub mod referenced;
 pub mod referencers;
 pub mod stats;
+pub mod telemetry;
 pub mod units;
 pub mod wire;
 
 pub use clock::NamedClock;
 pub use config::{DgcConfig, DgcConfigBuilder, ParentPolicy, TimingMode};
-pub use egress::{EgressClass, EgressStats, Flush, FlushPolicy, FlushReason, Outbox};
+pub use egress::{EgressClass, EgressObs, EgressStats, Flush, FlushPolicy, FlushReason, Outbox};
 pub use faults::{FaultKind, FaultProfile, LinkDisruption, NodeCrash, NodePause, Window};
 pub use id::{AoId, AoIdAllocator};
 pub use message::{Action, DgcMessage, DgcResponse, TerminateReason};
 pub use process_graph::ProcessGraph;
 pub use protocol::{DgcState, Phase};
 pub use stats::{ClockBumpReason, DgcStats};
+pub use telemetry::DgcObs;
 pub use units::{Dur, Time};

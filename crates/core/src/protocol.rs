@@ -24,6 +24,7 @@ use crate::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use crate::referenced::ReferencedTable;
 use crate::referencers::ReferencerTable;
 use crate::stats::{ClockBumpReason, DgcStats};
+use crate::telemetry::DgcObs;
 use crate::units::{Dur, Time};
 
 /// Life-cycle phase of a DGC endpoint.
@@ -61,6 +62,12 @@ pub struct DgcState {
     phase: Phase,
     current_ttb: Dur,
     stats: DgcStats,
+    // Telemetry: creation/idle/beat timestamps feeding the collection
+    // latency histograms when a registry is attached via `set_obs`.
+    created_at: Time,
+    last_idle_at: Option<Time>,
+    last_tick_at: Option<Time>,
+    obs: Option<DgcObs>,
 }
 
 impl DgcState {
@@ -82,7 +89,19 @@ impl DgcState {
             phase: Phase::Active,
             current_ttb,
             stats: DgcStats::default(),
+            created_at: now,
+            last_idle_at: None,
+            last_tick_at: None,
+            obs: None,
         }
+    }
+
+    /// Attaches cached telemetry handles (usually
+    /// [`DgcObs::new`] against the hosting node's registry). The
+    /// legacy [`DgcStats`] counters keep counting regardless; the
+    /// handles add latency histograms and fleet-mergeable counters.
+    pub fn set_obs(&mut self, obs: DgcObs) {
+        self.obs = Some(obs);
     }
 
     // ------------------------------------------------------------------
@@ -155,10 +174,13 @@ impl DgcState {
     /// The activity transitioned busy → idle: bump the clock (§3.2 — the
     /// primary reason the clock exists; an object that alternates between
     /// idle and busy must invalidate in-progress consensus attempts).
-    pub fn on_became_idle(&mut self) {
+    /// `now` timestamps the transition for the collection-latency
+    /// histograms (idle → consensus → collected).
+    pub fn on_became_idle(&mut self, now: Time) {
         if self.phase != Phase::Active {
             return;
         }
+        self.last_idle_at = Some(now);
         self.bump_clock(ClockBumpReason::BecameIdle);
     }
 
@@ -177,12 +199,20 @@ impl DgcState {
                 // §4.3: wait TTA, then terminate. No heartbeats meanwhile.
                 if now.since(since) >= self.config.tta {
                     self.phase = Phase::Dead;
+                    self.record_collected(now, reason, Some(since));
                     return vec![Action::Terminate { reason }];
                 }
                 return Vec::new();
             }
             Phase::Active => {}
         }
+
+        if let Some(obs) = &self.obs {
+            if let Some(prev) = self.last_tick_at {
+                obs.ttb_round.record(now.since(prev).as_nanos());
+            }
+        }
+        self.last_tick_at = Some(now);
 
         let mut actions = Vec::new();
 
@@ -201,6 +231,7 @@ impl DgcState {
                 .max_expiry(self.config.tta, self.config.max_comm);
             if now.since(self.last_message_timestamp) > timeout {
                 self.phase = Phase::Dead;
+                self.record_collected(now, TerminateReason::Acyclic, None);
                 actions.push(Action::Terminate {
                     reason: TerminateReason::Acyclic,
                 });
@@ -216,6 +247,12 @@ impl DgcState {
                 && self.referencers.agree(self.clock)
             {
                 self.stats.consensus_detected += 1;
+                if let Some(obs) = &self.obs {
+                    obs.consensus_detected.incr();
+                    if let Some(idle) = self.last_idle_at {
+                        obs.idle_to_consensus.record(now.since(idle).as_nanos());
+                    }
+                }
                 if self.config.propagate_consensus {
                     self.phase = Phase::Dying {
                         since: now,
@@ -224,6 +261,7 @@ impl DgcState {
                     return actions;
                 }
                 self.phase = Phase::Dead;
+                self.record_collected(now, TerminateReason::CyclicDetected, Some(now));
                 actions.push(Action::Terminate {
                     reason: TerminateReason::CyclicDetected,
                 });
@@ -382,6 +420,9 @@ impl DgcState {
             && self.config.propagate_consensus
         {
             self.stats.consensus_propagated += 1;
+            if let Some(obs) = &self.obs {
+                obs.consensus_propagated.incr();
+            }
             self.phase = Phase::Dying {
                 since: now,
                 reason: TerminateReason::CyclicPropagated,
@@ -440,6 +481,31 @@ impl DgcState {
         self.parent = None;
         self.tree_depth = None;
         self.stats.record_bump(reason);
+        if let Some(obs) = &self.obs {
+            obs.bump_counter(reason).incr();
+        }
+    }
+
+    /// Feeds the collection-latency histograms at the moment this
+    /// endpoint goes `Dead`. `dying_since` is when consensus put it in
+    /// the Dying phase (the §4.3 TTA wait), `None` on the acyclic path.
+    fn record_collected(&self, now: Time, reason: TerminateReason, dying_since: Option<Time>) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        match reason {
+            TerminateReason::Acyclic => obs.collected_acyclic.incr(),
+            _ => obs.collected_cyclic.incr(),
+        }
+        obs.spawn_to_collected
+            .record(now.since(self.created_at).as_nanos());
+        if let Some(idle) = self.last_idle_at {
+            obs.idle_to_collected.record(now.since(idle).as_nanos());
+        }
+        if let Some(since) = dying_since {
+            obs.consensus_to_collected
+                .record(now.since(since).as_nanos());
+        }
     }
 
     /// §7.1 adaptive heartbeat, following the paper's two criteria:
@@ -727,7 +793,7 @@ mod tests {
     #[test]
     fn smaller_clock_is_not_adopted() {
         let mut s = DgcState::new(ao(5), t(0), cfg());
-        s.on_became_idle(); // clock -> ao5:1
+        s.on_became_idle(t(0)); // clock -> ao5:1
         let m = DgcMessage {
             sender: ao(2),
             clock: NamedClock {
@@ -760,7 +826,7 @@ mod tests {
             sender_ttb: Dur::from_secs(30),
         };
         s.on_message(t(1), &m);
-        s.on_became_idle();
+        s.on_became_idle(t(1));
         assert_eq!(
             s.clock(),
             NamedClock {

@@ -40,6 +40,7 @@ use std::collections::BTreeMap;
 use std::net::SocketAddr;
 
 use dgc_core::units::{Dur, Time};
+use dgc_obs::{Counter, Registry};
 
 use crate::directory::{Directory, NodeRecord, NodeStatus, Transition};
 
@@ -160,6 +161,42 @@ struct PeerSync {
     until_full: u32,
 }
 
+/// Cached `dgc-obs` counters for membership verdict transitions,
+/// recorded at the single place every [`MembershipEvent`] is born.
+/// Names live under `member.transitions.` in the owning node's
+/// registry.
+#[derive(Debug, Clone)]
+pub struct MembershipObs {
+    joined: Counter,
+    alive: Counter,
+    suspected: Counter,
+    left: Counter,
+    dead: Counter,
+}
+
+impl MembershipObs {
+    /// Resolves the engine's handles against `registry`.
+    pub fn new(registry: &Registry) -> MembershipObs {
+        MembershipObs {
+            joined: registry.counter("member.transitions.joined"),
+            alive: registry.counter("member.transitions.alive"),
+            suspected: registry.counter("member.transitions.suspected"),
+            left: registry.counter("member.transitions.left"),
+            dead: registry.counter("member.transitions.dead"),
+        }
+    }
+
+    fn counter(&self, t: Transition) -> &Counter {
+        match t {
+            Transition::Joined => &self.joined,
+            Transition::Alive => &self.alive,
+            Transition::Suspected => &self.suspected,
+            Transition::Left => &self.left,
+            Transition::Dead => &self.dead,
+        }
+    }
+}
+
 /// The per-node membership engine.
 #[derive(Debug, Clone)]
 pub struct Membership {
@@ -176,6 +213,7 @@ pub struct Membership {
     events: Vec<MembershipEvent>,
     /// Set by [`Membership::leave`]: self-defense is off.
     left: bool,
+    obs: Option<MembershipObs>,
 }
 
 impl Membership {
@@ -209,7 +247,14 @@ impl Membership {
             next_gossip: now,
             events: Vec::new(),
             left: false,
+            obs: None,
         }
+    }
+
+    /// Attaches verdict-transition counters (usually
+    /// [`MembershipObs::new`] against the hosting node's registry).
+    pub fn set_obs(&mut self, obs: MembershipObs) {
+        self.obs = Some(obs);
     }
 
     /// This engine's node id.
@@ -460,6 +505,9 @@ impl Membership {
     }
 
     fn push_event(&mut self, at: Time, node: u32, incarnation: u64, transition: Transition) {
+        if let Some(obs) = &self.obs {
+            obs.counter(transition).incr();
+        }
         self.events.push(MembershipEvent {
             at,
             node,

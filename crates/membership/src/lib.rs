@@ -61,4 +61,4 @@ pub mod engine;
 pub mod wire;
 
 pub use directory::{Directory, NodeRecord, NodeStatus, Transition};
-pub use engine::{Digest, GossipOut, Membership, MembershipConfig, MembershipEvent};
+pub use engine::{Digest, GossipOut, Membership, MembershipConfig, MembershipEvent, MembershipObs};

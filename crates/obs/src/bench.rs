@@ -1,0 +1,56 @@
+//! Bench report encoding: the `BENCH_<name>.json` files the repo
+//! records its perf trajectory in.
+//!
+//! The schema is deliberately tiny — a name, a unix timestamp, and a
+//! flat metric map — so a future re-anchor can diff two commits'
+//! reports with `jq`. The bench crate owns path resolution and file
+//! writing; this module only encodes.
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+
+/// Encodes one bench report. `metrics` are `(name, value)` pairs,
+/// emitted in the given order; `unix_secs` is when the run happened.
+pub fn report_json(name: &str, unix_secs: u64, metrics: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"recorded_at_unix\": {unix_secs},\n  \"metrics\": {{",
+        json_escape(name)
+    );
+    let mut first = true;
+    for (k, v) in metrics {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if v.is_finite() {
+            let _ = write!(out, "\n    \"{}\": {v}", json_escape(k));
+        } else {
+            let _ = write!(out, "\n    \"{}\": null", json_escape(k));
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape() {
+        let j = report_json("gossip_bandwidth", 1_700_000_000, &[("saving_pct", 34.5)]);
+        assert!(j.contains("\"bench\": \"gossip_bandwidth\""));
+        assert!(j.contains("\"recorded_at_unix\": 1700000000"));
+        assert!(j.contains("\"saving_pct\": 34.5"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        let j = report_json("x", 0, &[("bad", f64::NAN)]);
+        assert!(j.contains("\"bad\": null"));
+    }
+}

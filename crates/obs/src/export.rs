@@ -1,0 +1,209 @@
+//! Trace and snapshot exporters: JSONL for grepping, Chrome
+//! `trace_event` JSON for `chrome://tracing` / Perfetto timelines.
+//!
+//! Hand-rolled JSON (the workspace is offline; no serde) — the schema
+//! is flat enough that escaping strings is the only subtlety.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+use crate::trace::{TraceEvent, TraceLevel};
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn level_str(l: TraceLevel) -> &'static str {
+    match l {
+        TraceLevel::Off => "off",
+        TraceLevel::Info => "info",
+        TraceLevel::Debug => "debug",
+    }
+}
+
+/// One JSON object per line per event — stable keys, grep-friendly.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"at_ns\":{},\"level\":\"{}\",\"tag\":\"{}\",\"detail\":\"{}\"",
+            ev.at_nanos,
+            level_str(ev.level),
+            json_escape(ev.tag),
+            json_escape(&ev.detail),
+        );
+        if let Some(d) = ev.dur_nanos {
+            let _ = write!(out, ",\"dur_ns\":{d}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders per-node event tracks as a Chrome `trace_event` document:
+/// each `(name, events)` pair becomes one pid, spans become `"X"`
+/// (complete) events, instants `"i"`. Load the output in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(tracks: &[(&str, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (pid, (name, events)) in tracks.iter().enumerate() {
+        // Per-pid metadata record so the timeline shows node names.
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        );
+        for ev in events {
+            let ts_us = ev.at_nanos as f64 / 1000.0;
+            out.push_str(",\n");
+            match ev.dur_nanos {
+                Some(d) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us},\
+                         \"dur\":{},\"pid\":{pid},\"tid\":0,\
+                         \"args\":{{\"detail\":\"{}\"}}}}",
+                        json_escape(ev.tag),
+                        level_str(ev.level),
+                        d as f64 / 1000.0,
+                        json_escape(&ev.detail),
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{ts_us},\
+                         \"s\":\"p\",\"pid\":{pid},\"tid\":0,\
+                         \"args\":{{\"detail\":\"{}\"}}}}",
+                        json_escape(ev.tag),
+                        level_str(ev.level),
+                        json_escape(&ev.detail),
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes a snapshot as one JSON object (counters/gauges flat,
+/// histograms as count/sum/quantile digests).
+pub fn snapshot_json(s: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (k, v) in &s.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{v}", json_escape(k));
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (k, v) in &s.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{v}", json_escape(k));
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (k, h) in &s.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_escape(k),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn ev(at: u64, dur: Option<u64>, tag: &'static str, detail: &str) -> TraceEvent {
+        TraceEvent {
+            at_nanos: at,
+            dur_nanos: dur,
+            level: TraceLevel::Info,
+            tag,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let s = to_jsonl(&[ev(5, None, "a", "x\"y"), ev(9, Some(3), "b", "")]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\\\"y"));
+        assert!(lines[1].contains("\"dur_ns\":3"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let doc = chrome_trace(&[
+            ("node-0", vec![ev(1000, None, "spawn", "ao 1")]),
+            ("node-1", vec![ev(2000, Some(500), "flush", "3 items")]),
+        ]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"pid\":1"));
+        assert!(doc.trim_end().ends_with("]}"));
+        // Balanced braces — cheap well-formedness check.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn snapshot_json_digests_histograms() {
+        let r = Registry::default();
+        r.counter("net.frames_sent").add(4);
+        r.histogram("lat").record(100);
+        let j = snapshot_json(&r.snapshot());
+        assert!(j.contains("\"net.frames_sent\":4"));
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"p50\":"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `dgc-obs` — the runtime-neutral telemetry plane.
+//!
+//! The paper's evaluation (§5) is an observability exercise: bytes per
+//! plane, collection latency under TTB/TTA. This crate is the one
+//! substrate both runtimes record into:
+//!
+//! * [`registry::Registry`] — one per node; lock-free named counters,
+//!   gauges and log2 [`metrics::Histogram`]s, snapshotted into a
+//!   mergeable [`registry::Snapshot`] tree;
+//! * [`trace::Tracer`] — bounded structured event ring over the
+//!   [`time::TimeSource`] seam (virtual nanoseconds on the simulated
+//!   grid, wall-clock on sockets), off by default and allocation-free
+//!   when disabled;
+//! * [`export`] — JSONL and Chrome `trace_event` renderings, so a
+//!   conformance scenario or BSP run opens as a timeline in
+//!   `chrome://tracing`;
+//! * [`bench`] — the `BENCH_<name>.json` report encoding the bench
+//!   harnesses persist the perf trajectory with.
+//!
+//! The crate is dependency-free and sans-io except for [`export`]
+//! string building; file writing stays with the callers.
+
+pub mod bench;
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod time;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram};
+pub use registry::{Registry, Snapshot};
+pub use time::TimeSource;
+pub use trace::{TraceEvent, TraceLevel, Tracer};

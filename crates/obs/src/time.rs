@@ -1,0 +1,86 @@
+//! The virtual/wall time seam.
+//!
+//! Every timestamp the telemetry plane records comes from a
+//! [`TimeSource`]: the socket runtime anchors one to a wall-clock
+//! [`Instant`] epoch, the deterministic simulator drives one from a
+//! shared atomic the event loop advances in virtual nanoseconds. Code
+//! instrumented against this seam is oblivious to which world it runs
+//! in — the same property the simulator's determinism rests on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where "now" comes from, in nanoseconds since an arbitrary epoch.
+#[derive(Debug, Clone)]
+pub enum TimeSource {
+    /// Wall clock: nanoseconds elapsed since `epoch` (socket runtime).
+    Wall {
+        /// The anchor instant; readings are `epoch.elapsed()`.
+        epoch: Instant,
+    },
+    /// Virtual clock: whatever the owner last stored (simulator). All
+    /// registries of one simulation share a single atomic, so their
+    /// timestamps are mutually ordered.
+    Shared(Arc<AtomicU64>),
+}
+
+impl TimeSource {
+    /// A wall-clock source anchored now.
+    pub fn wall() -> TimeSource {
+        TimeSource::Wall {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A wall-clock source anchored at `epoch` (share the runtime's
+    /// existing epoch so telemetry and protocol timestamps agree).
+    pub fn wall_since(epoch: Instant) -> TimeSource {
+        TimeSource::Wall { epoch }
+    }
+
+    /// A virtual source read from `clock`; the simulation's event loop
+    /// stores the current virtual time into it as it advances.
+    pub fn shared(clock: Arc<AtomicU64>) -> TimeSource {
+        TimeSource::Shared(clock)
+    }
+
+    /// A fresh virtual source plus the handle that advances it.
+    pub fn simulated() -> (TimeSource, Arc<AtomicU64>) {
+        let clock = Arc::new(AtomicU64::new(0));
+        (TimeSource::Shared(Arc::clone(&clock)), clock)
+    }
+
+    /// Current time in nanoseconds since this source's epoch.
+    pub fn now_nanos(&self) -> u64 {
+        match self {
+            TimeSource::Wall { epoch } => epoch.elapsed().as_nanos() as u64,
+            TimeSource::Shared(clock) => clock.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_advances() {
+        let t = TimeSource::wall();
+        let a = t.now_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(t.now_nanos() > a);
+    }
+
+    #[test]
+    fn shared_reads_what_was_stored() {
+        let (t, clock) = TimeSource::simulated();
+        assert_eq!(t.now_nanos(), 0);
+        clock.store(42_000, Ordering::Relaxed);
+        assert_eq!(t.now_nanos(), 42_000);
+        // Clones observe the same virtual clock.
+        let t2 = t.clone();
+        clock.store(99, Ordering::Relaxed);
+        assert_eq!(t2.now_nanos(), 99);
+    }
+}

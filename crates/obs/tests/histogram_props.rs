@@ -1,0 +1,94 @@
+//! Property tests of the log2 histogram: whatever values land in it,
+//! bucketing conserves the count, merging is associative (so
+//! fleet-wide aggregation is order-independent), quantiles are
+//! monotone in `q`, and bucket boundaries classify onto themselves.
+
+use proptest::prelude::*;
+
+use dgc_obs::metrics::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+fn fill(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every observation lands in exactly one bucket: Σ buckets ==
+    /// count == number of records, and sum is the exact value total.
+    #[test]
+    fn count_conservation(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let s = fill(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        let expect: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        // Histogram sum uses wrapping atomics semantics only via
+        // fetch_add; both sides wrap identically.
+        prop_assert_eq!(s.sum, expect);
+    }
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), and merging conserves counts.
+    #[test]
+    fn merge_associativity(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+        c in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (sa, sb, sc) = (fill(&a), fill(&b), fill(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count, (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(left.buckets.iter().sum::<u64>(), left.count);
+        // Commutativity rides along for free.
+        prop_assert_eq!(sb.merge(&sa), sa.merge(&sb));
+    }
+
+    /// quantile(q) is non-decreasing in q, and bracketed by the
+    /// extreme quantiles.
+    #[test]
+    fn quantile_monotonicity(
+        values in proptest::collection::vec(any::<u64>(), 1..150),
+        milli_qs in proptest::collection::vec(0u32..1001, 2..20),
+    ) {
+        let s = fill(&values);
+        let mut sorted_qs = milli_qs.clone();
+        sorted_qs.sort_unstable();
+        let mut prev = s.quantile(0.0);
+        for mq in sorted_qs {
+            let q = mq as f64 / 1000.0;
+            let cur = s.quantile(q);
+            prop_assert!(cur >= prev, "quantile({q}) = {cur} < {prev}");
+            prev = cur;
+        }
+        prop_assert!(s.quantile(1.0) >= prev);
+        // The max quantile's bucket really contains the max value.
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.quantile(1.0), bucket_bound(bucket_index(max)));
+    }
+
+    /// Power-of-two boundary values: 2^k opens bucket k+1, 2^k − 1
+    /// closes bucket k, and every bucket bound classifies into its own
+    /// bucket.
+    #[test]
+    fn bucket_boundary_values(k in 0u32..63) {
+        let v = 1u64 << k;
+        prop_assert_eq!(bucket_index(v), (k as usize + 1).min(BUCKETS - 1));
+        if v > 1 {
+            prop_assert_eq!(bucket_index(v - 1), k as usize);
+        }
+        prop_assert!(bucket_bound(bucket_index(v)) >= v);
+    }
+}
+
+#[test]
+fn quantile_of_single_value_hits_its_bucket() {
+    for v in [0u64, 1, 7, 4096, u64::MAX] {
+        let s = fill(&[v]);
+        let bound = bucket_bound(bucket_index(v));
+        assert_eq!(s.quantile(0.5), bound);
+        assert_eq!(s.quantile(1.0), bound);
+    }
+}

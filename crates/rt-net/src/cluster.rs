@@ -561,6 +561,12 @@ impl Cluster {
         self.with_node(node, |nd| nd.egress_pending()).flatten()
     }
 
+    /// `node`'s lifetime egress counters (see [`NetNode::egress_stats`]);
+    /// `None` while the node is down or its event loop did not answer.
+    pub fn egress_stats(&self, node: u32) -> Option<dgc_core::egress::EgressStats> {
+        self.with_node(node, |nd| nd.egress_stats()).flatten()
+    }
+
     /// All collector terminations recorded so far, across nodes —
     /// including those a since-crashed node recorded before it died.
     /// (Activities killed *by* a crash never appear here: a crash is
@@ -630,6 +636,39 @@ impl Cluster {
             total.piggybacked += s.piggybacked;
         }
         total
+    }
+
+    /// `node`'s telemetry-plane registry (`None` while it is down).
+    /// The handle stays valid after the node crashes — counters merely
+    /// stop moving — but a restarted node gets a fresh registry.
+    pub fn obs(&self, node: u32) -> Option<dgc_obs::Registry> {
+        self.with_node(node, |nd| nd.obs().clone())
+    }
+
+    /// One fleet-wide metric snapshot: every live node's registry
+    /// merged, with the chaos proxies' counters folded in under
+    /// `chaos.*` so the whole deployment reads as one tree.
+    pub fn obs_merged(&self) -> dgc_obs::Snapshot {
+        let mut snap = dgc_obs::Snapshot::default();
+        for node in 0..self.slots.len() as u32 {
+            if let Some(s) = self.with_node(node, |nd| nd.obs().snapshot()) {
+                snap = snap.merge(&s);
+            }
+        }
+        let chaos = self.chaos_stats();
+        if chaos != ChaosStatsSnapshot::default() {
+            for (name, v) in [
+                ("chaos.forwarded", chaos.forwarded),
+                ("chaos.dropped", chaos.dropped),
+                ("chaos.delayed", chaos.delayed),
+                ("chaos.reordered", chaos.reordered),
+                ("chaos.severed", chaos.severed),
+                ("chaos.corrupted", chaos.corrupted),
+            ] {
+                snap.counters.insert(name.to_string(), v);
+            }
+        }
+        snap
     }
 
     /// `node`'s membership directory snapshot (`None` while it is down

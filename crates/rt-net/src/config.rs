@@ -5,6 +5,7 @@ use std::time::Duration;
 use dgc_core::config::DgcConfig;
 use dgc_core::egress::FlushPolicy;
 use dgc_membership::MembershipConfig;
+use dgc_obs::TraceLevel;
 
 /// Configuration of one network node: the DGC parameters its activities
 /// run with plus the link behaviour of the transport.
@@ -38,6 +39,10 @@ pub struct NetConfig {
     /// collectors' send-failure path. `None` keeps the static
     /// registration behaviour.
     pub membership: Option<MembershipConfig>,
+    /// Structured-tracing filter for the node's telemetry plane
+    /// ([`dgc_obs::Tracer`]). `Off` (the default) keeps the hot paths
+    /// allocation-free; conformance runners flip it from `DGC_TRACE`.
+    pub trace: TraceLevel,
 }
 
 impl NetConfig {
@@ -50,6 +55,7 @@ impl NetConfig {
             reconnect_max: Duration::from_secs(1),
             fail_after_attempts: 20,
             membership: None,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -62,6 +68,12 @@ impl NetConfig {
     /// Sets the egress flush policy.
     pub fn egress(mut self, policy: FlushPolicy) -> Self {
         self.egress = policy;
+        self
+    }
+
+    /// Sets the tracing filter level (off by default).
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
         self
     }
 

@@ -39,12 +39,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dgc_core::egress::{Flush, FlushReason, Outbox};
+use dgc_core::egress::{EgressObs, Flush, FlushReason, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, TerminateReason};
 use dgc_core::protocol::DgcState;
+use dgc_core::telemetry::DgcObs;
 use dgc_core::units::Time;
-use dgc_membership::{Digest, Membership, MembershipEvent, NodeRecord, NodeStatus, Transition};
+use dgc_membership::{
+    Digest, Membership, MembershipEvent, MembershipObs, NodeRecord, NodeStatus, Transition,
+};
+use dgc_obs::{Registry, TimeSource, TraceLevel, Tracer};
 
 use crate::config::NetConfig;
 use crate::frame::{encode_frame, Frame, FrameDecoder, Item, GOSSIP_ANYCAST, PROTOCOL_VERSION};
@@ -253,6 +257,12 @@ pub enum Event {
         /// Where to send the snapshot.
         reply: mpsc::Sender<EgressPending>,
     },
+    /// Reports the egress plane's lifetime counters (tests,
+    /// conservation checks against the telemetry registry).
+    QueryEgressStats {
+        /// Where to send the counters.
+        reply: mpsc::Sender<dgc_core::egress::EgressStats>,
+    },
     /// Stops the event loop.
     Shutdown,
 }
@@ -326,6 +336,7 @@ pub struct NetNode {
     tx: mpsc::Sender<Event>,
     next_index: AtomicU32,
     stats: Arc<NetStats>,
+    obs: Registry,
     terminated: Arc<Mutex<Vec<Terminated>>>,
     app_log: Arc<Mutex<Vec<AppReceived>>>,
     app_failures: Arc<Mutex<Vec<AppReceived>>>,
@@ -364,7 +375,16 @@ impl NetNode {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
-        let stats = NetStats::shared();
+        // The telemetry plane: one registry per node, timestamps
+        // anchored at the worker's epoch so traces and histograms read
+        // in nanoseconds-since-boot, same shape as the grid's virtual
+        // clock.
+        let epoch = Instant::now();
+        let obs = Registry::with_tracer(
+            TimeSource::wall_since(epoch),
+            Tracer::new(config.trace, dgc_obs::trace::DEFAULT_CAPACITY),
+        );
+        let stats = NetStats::shared_with_obs(&obs);
         let terminated = Arc::new(Mutex::new(Vec::new()));
         let app_log = Arc::new(Mutex::new(Vec::new()));
         let app_failures = Arc::new(Mutex::new(Vec::new()));
@@ -372,11 +392,15 @@ impl NetNode {
         let shutting_down = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SocketTracker::default());
 
-        let membership = config
-            .membership
-            .map(|m| Membership::new(node_id, Some(addr), incarnation, Time::ZERO, m));
+        let membership = config.membership.map(|m| {
+            let mut engine = Membership::new(node_id, Some(addr), incarnation, Time::ZERO, m);
+            engine.set_obs(MembershipObs::new(&obs));
+            engine
+        });
         let member_snapshot = Arc::new(Mutex::new(membership.as_ref().map(|m| m.records())));
         let next_member_tick = membership.as_ref().map(|_| Instant::now());
+        let mut outbox = Outbox::new(config.egress);
+        outbox.set_obs(EgressObs::new(&obs));
         let worker = Worker {
             node_id,
             config,
@@ -386,8 +410,9 @@ impl NetNode {
             peer_addrs: HashMap::new(),
             outbound: HashMap::new(),
             reply: HashMap::new(),
-            outbox: Outbox::new(config.egress),
-            epoch: Instant::now(),
+            outbox,
+            obs: obs.clone(),
+            epoch,
             membership,
             next_member_tick,
             member_events: Arc::clone(&member_events),
@@ -426,6 +451,7 @@ impl NetNode {
             tx,
             next_index: AtomicU32::new(first_index),
             stats,
+            obs,
             terminated,
             app_log,
             app_failures,
@@ -686,6 +712,17 @@ impl NetNode {
         rx.recv_timeout(Duration::from_secs(2)).ok()
     }
 
+    /// The egress plane's lifetime counters ([`EgressStats`]), answered
+    /// through the event loop like [`NetNode::egress_pending`]. The
+    /// conservation tests compare these legacy counters against the
+    /// node registry's `egress.*` mirrors; `None` means the event loop
+    /// did not answer.
+    pub fn egress_stats(&self) -> Option<dgc_core::egress::EgressStats> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Event::QueryEgressStats { reply }).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
+    }
+
     /// Graceful departure (no-op without membership): announces
     /// [`NodeStatus::Left`], flushes the farewell digests to every
     /// present peer and stops gossiping. Returns once the farewells
@@ -746,6 +783,14 @@ impl NetNode {
     /// Transport counters for this node.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// This node's telemetry plane: the registry every layer records
+    /// into (`net.*` transport mirrors, `egress.*` flush metrics,
+    /// `dgc.*` collection latencies, `member.*` verdict transitions)
+    /// plus the tracer ring behind `config.trace`.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Blocks until `predicate` holds over this node's termination log
@@ -921,6 +966,9 @@ struct Worker {
     /// The egress plane: every outgoing unit queues here; the flush
     /// policy decides when a destination's queue becomes a frame.
     outbox: Outbox<Item>,
+    /// The node's telemetry plane (shared with the handle and, through
+    /// `stats`, with every link thread).
+    obs: Registry,
     epoch: Instant,
     membership: Option<Membership>,
     next_member_tick: Option<Instant>,
@@ -938,6 +986,14 @@ struct Worker {
 impl Worker {
     fn now(&self) -> Time {
         Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Records a trace event; the detail closure only runs when the
+    /// level passes the filter, so disabled tracing allocates nothing.
+    fn trace(&self, level: TraceLevel, tag: &'static str, detail: impl FnOnce() -> String) {
+        if self.obs.tracer().enabled(level) {
+            self.obs.trace(level, tag, detail());
+        }
     }
 
     /// Queues `item` for its destination node on the egress plane (or
@@ -976,6 +1032,14 @@ impl Worker {
     /// one class always take the same path, so per-class FIFO survives
     /// the split.
     fn deliver_flush(&mut self, flush: Flush<Item>) {
+        self.trace(TraceLevel::Debug, "flush", || {
+            format!(
+                "dest {} reason {:?} items {}",
+                flush.dest,
+                flush.reason,
+                flush.items.len()
+            )
+        });
         if flush.reason == FlushReason::AppSend {
             let riders = flush.items.iter().filter(|i| !i.class.is_app()).count() as u64;
             self.stats.on_piggybacked(riders);
@@ -1055,6 +1119,9 @@ impl Worker {
                 self.fail_items(failed);
                 return;
             };
+            self.trace(TraceLevel::Info, "link-open", || {
+                format!("dial node {dest} at {addr}")
+            });
             let link = OutboundLink::spawn(
                 self.node_id,
                 dest,
@@ -1165,6 +1232,9 @@ impl Worker {
                 }),
                 Action::Terminate { reason } => {
                     self.endpoints.remove(&who.index);
+                    self.trace(TraceLevel::Info, "terminate", || {
+                        format!("ao {who} ({reason:?})")
+                    });
                     self.terminated
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
@@ -1351,6 +1421,9 @@ impl Worker {
             None => return,
         };
         for ev in &events {
+            self.trace(TraceLevel::Info, "member", || {
+                format!("node {} -> {:?}", ev.node, ev.transition)
+            });
             let departed = matches!(ev.transition, Transition::Dead | Transition::Left)
                 && ev.node != self.node_id;
             if departed {
@@ -1427,9 +1500,15 @@ impl Worker {
             }
             Event::Item(item) => self.handle_item(item),
             Event::PeerLink { node, tx } => {
+                self.trace(TraceLevel::Info, "reply-link", || {
+                    format!("node {node} opened a connection")
+                });
                 self.reply.insert(node, tx);
             }
             Event::PeerUnreachable { node, unsent } => {
+                self.trace(TraceLevel::Info, "link-terminal", || {
+                    format!("node {node} unreachable, {} unsent", unsent.len())
+                });
                 // Stop feeding the dead link; membership (or a fresh
                 // address announcement) decides if it ever comes back.
                 self.outbound.remove(&node);
@@ -1480,15 +1559,21 @@ impl Worker {
                     next_deadline: self.outbox.next_deadline(),
                 });
             }
+            Event::QueryEgressStats { reply } => {
+                let _ = reply.send(self.outbox.stats());
+            }
             Event::AddPeer { node, addr } => {
                 self.peer_addrs.insert(node, addr);
             }
             Event::AddActivity { id } => {
                 let now = self.now();
+                self.trace(TraceLevel::Debug, "spawn", || format!("ao {id}"));
+                let mut state = DgcState::new(id, now, self.config.dgc);
+                state.set_obs(DgcObs::new(&self.obs));
                 self.endpoints.insert(
                     id.index,
                     Endpoint {
-                        state: DgcState::new(id, now, self.config.dgc),
+                        state,
                         idle: false,
                         next_tick: Instant::now()
                             + Duration::from_nanos(self.config.dgc.ttb.as_nanos()),
@@ -1496,9 +1581,10 @@ impl Worker {
                 );
             }
             Event::SetIdle { ao, idle } => {
+                let now = self.now();
                 if let Some(ep) = self.endpoints.get_mut(&ao.index) {
                     if idle && !ep.idle {
-                        ep.state.on_became_idle();
+                        ep.state.on_became_idle(now);
                     }
                     ep.idle = idle;
                 }

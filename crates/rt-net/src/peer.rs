@@ -435,6 +435,7 @@ impl Writer {
             .reconnect_base
             .saturating_mul(1u32 << self.failed_attempts.min(10))
             .min(self.config.reconnect_max);
+        self.stats.on_backoff(backoff.as_nanos() as u64);
         self.pump.idle(backoff);
     }
 }

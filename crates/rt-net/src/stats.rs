@@ -8,6 +8,46 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dgc_obs::{Counter, Histogram, Registry};
+
+/// Cached telemetry-plane handles mirroring every [`NetStats`] counter
+/// under `net.*` in the node's [`Registry`], plus the reconnect-backoff
+/// histogram only the registry carries. The legacy counters keep
+/// counting; the mirror is what merges fleet-wide and what the
+/// conservation test cross-checks against a snapshot.
+#[derive(Debug, Clone)]
+struct NetObs {
+    frames_sent: Counter,
+    bytes_sent: Counter,
+    items_sent: Counter,
+    frames_received: Counter,
+    bytes_received: Counter,
+    items_received: Counter,
+    reconnects: Counter,
+    send_failures: Counter,
+    decode_errors: Counter,
+    piggybacked: Counter,
+    reconnect_backoff: Histogram,
+}
+
+impl NetObs {
+    fn new(registry: &Registry) -> NetObs {
+        NetObs {
+            frames_sent: registry.counter("net.frames_sent"),
+            bytes_sent: registry.counter("net.bytes_sent"),
+            items_sent: registry.counter("net.items_sent"),
+            frames_received: registry.counter("net.frames_received"),
+            bytes_received: registry.counter("net.bytes_received"),
+            items_received: registry.counter("net.items_received"),
+            reconnects: registry.counter("net.reconnects"),
+            send_failures: registry.counter("net.send_failures"),
+            decode_errors: registry.counter("net.decode_errors"),
+            piggybacked: registry.counter("net.piggybacked"),
+            reconnect_backoff: registry.histogram("net.reconnect_backoff_ns"),
+        }
+    }
+}
+
 /// Monotonic transport counters, shared between a node's link threads
 /// and its driver. All methods are lock-free.
 #[derive(Debug, Default)]
@@ -22,6 +62,7 @@ pub struct NetStats {
     send_failures: AtomicU64,
     decode_errors: AtomicU64,
     piggybacked: AtomicU64,
+    obs: Option<NetObs>,
 }
 
 /// Point-in-time copy of a [`NetStats`].
@@ -71,43 +112,84 @@ impl NetStats {
         Arc::new(NetStats::default())
     }
 
+    /// Fresh counters that additionally mirror every increment into
+    /// `registry` under `net.*` (one extra relaxed atomic per event).
+    pub fn shared_with_obs(registry: &Registry) -> Arc<NetStats> {
+        Arc::new(NetStats {
+            obs: Some(NetObs::new(registry)),
+            ..NetStats::default()
+        })
+    }
+
     /// Records one written frame carrying `items` units in `bytes` bytes.
     pub fn on_frame_sent(&self, items: u64, bytes: u64) {
         self.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.items_sent.fetch_add(items, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.frames_sent.incr();
+            obs.bytes_sent.add(bytes);
+            obs.items_sent.add(items);
+        }
     }
 
     /// Records one read frame carrying `items` units.
     pub fn on_frame_received(&self, items: u64) {
         self.frames_received.fetch_add(1, Ordering::Relaxed);
         self.items_received.fetch_add(items, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.frames_received.incr();
+            obs.items_received.add(items);
+        }
     }
 
     /// Records raw bytes read off a socket (counted per `read`, so it
     /// covers partial frames too).
     pub fn on_raw_received(&self, bytes: u64) {
         self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.bytes_received.add(bytes);
+        }
     }
 
     /// Records an outbound link reconnect.
     pub fn on_reconnect(&self) {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.reconnects.incr();
+        }
+    }
+
+    /// Records one served reconnect-backoff wait (registry-only: the
+    /// histogram has no legacy twin).
+    pub fn on_backoff(&self, nanos: u64) {
+        if let Some(obs) = &self.obs {
+            obs.reconnect_backoff.record(nanos);
+        }
     }
 
     /// Records `n` items surfaced as send failures.
     pub fn on_send_failures(&self, n: u64) {
         self.send_failures.fetch_add(n, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.send_failures.add(n);
+        }
     }
 
     /// Records a corrupt inbound frame.
     pub fn on_decode_error(&self) {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.decode_errors.incr();
+        }
     }
 
     /// Records `n` background units piggybacking on an app-send flush.
     pub fn on_piggybacked(&self, n: u64) {
         self.piggybacked.fetch_add(n, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.piggybacked.add(n);
+        }
     }
 
     /// Consistent-enough copy for reporting.
@@ -154,5 +236,40 @@ mod tests {
     #[test]
     fn empty_snapshot_has_no_batching_factor() {
         assert_eq!(NetStatsSnapshot::default().items_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn obs_mirror_conserves_every_counter() {
+        let r = Registry::default();
+        let s = NetStats::shared_with_obs(&r);
+        s.on_frame_sent(3, 100);
+        s.on_frame_sent(1, 20);
+        s.on_frame_received(2);
+        s.on_raw_received(64);
+        s.on_reconnect();
+        s.on_send_failures(2);
+        s.on_decode_error();
+        s.on_piggybacked(5);
+        s.on_backoff(1_000_000);
+        let snap = s.snapshot();
+        let o = r.snapshot();
+        assert_eq!(o.counter("net.frames_sent"), snap.frames_sent);
+        assert_eq!(o.counter("net.bytes_sent"), snap.bytes_sent);
+        assert_eq!(o.counter("net.items_sent"), snap.items_sent);
+        assert_eq!(o.counter("net.frames_received"), snap.frames_received);
+        assert_eq!(o.counter("net.bytes_received"), snap.bytes_received);
+        assert_eq!(o.counter("net.items_received"), snap.items_received);
+        assert_eq!(o.counter("net.reconnects"), snap.reconnects);
+        assert_eq!(o.counter("net.send_failures"), snap.send_failures);
+        assert_eq!(o.counter("net.decode_errors"), snap.decode_errors);
+        assert_eq!(o.counter("net.piggybacked"), snap.piggybacked);
+        assert_eq!(o.histogram("net.reconnect_backoff_ns").count, 1);
+    }
+
+    #[test]
+    fn plain_stats_skip_backoff_histogram() {
+        let s = NetStats::shared();
+        s.on_backoff(500); // no registry attached: a quiet no-op
+        assert_eq!(s.snapshot(), NetStatsSnapshot::default());
     }
 }

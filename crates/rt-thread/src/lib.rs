@@ -147,7 +147,7 @@ impl NodeWorker {
             NodeMsg::SetIdle { ao, idle } => {
                 if let Some(ep) = self.endpoints.get_mut(&ao.index) {
                     if idle && !ep.idle {
-                        ep.state.on_became_idle();
+                        ep.state.on_became_idle(now);
                     }
                     ep.idle = idle;
                 }

@@ -1,26 +1,22 @@
-//! Lightweight structured trace log.
+//! Lightweight structured trace log — now a thin adapter over the
+//! workspace-wide tracing plane ([`dgc_obs::Tracer`]).
 //!
 //! The simulator and the middleware record notable events (terminations,
-//! consensus steps, clock bumps…) into an in-memory log that tests and
-//! examples can inspect or print. Tracing is off by default and filtered
-//! by level to keep large benchmarks allocation-free.
+//! consensus steps, clock bumps…) through this historical API; since the
+//! telemetry refactor the events land in a bounded `dgc-obs` ring with
+//! virtual-nanosecond timestamps, so one vocabulary (and one exporter
+//! set) covers the grid and the socket runtime alike. Tracing is off by
+//! default and filtered by level to keep large benchmarks
+//! allocation-free.
 
 use std::fmt;
 
+pub use dgc_obs::TraceLevel;
+use dgc_obs::Tracer;
+
 use crate::time::SimTime;
 
-/// Verbosity of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum TraceLevel {
-    /// Nothing is recorded.
-    Off,
-    /// Life-cycle events: creations, terminations, consensus decisions.
-    Info,
-    /// Every protocol step: clock updates, parent adoption, message flow.
-    Debug,
-}
-
-/// One recorded event.
+/// One recorded event, viewed with simulated timestamps.
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// When the event happened (simulated time).
@@ -39,19 +35,32 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// An append-only trace log with level filtering.
-#[derive(Debug)]
+fn to_record(ev: dgc_obs::TraceEvent) -> TraceRecord {
+    TraceRecord {
+        at: SimTime::from_nanos(ev.at_nanos),
+        level: ev.level,
+        tag: ev.tag,
+        detail: ev.detail,
+    }
+}
+
+/// Ring capacity backing a [`TraceLog`]: generous enough that the
+/// historical "append-only log" reading of small scenarios still holds,
+/// bounded so soak runs cannot grow without limit.
+pub const TRACELOG_CAPACITY: usize = 65_536;
+
+/// An append-only trace log with level filtering (adapter over
+/// [`dgc_obs::Tracer`]; see the module docs).
+#[derive(Debug, Clone)]
 pub struct TraceLog {
-    level: TraceLevel,
-    records: Vec<TraceRecord>,
+    tracer: Tracer,
 }
 
 impl TraceLog {
     /// Creates a log that records events at or below `level`.
     pub fn new(level: TraceLevel) -> Self {
         TraceLog {
-            level,
-            records: Vec::new(),
+            tracer: Tracer::new(level, TRACELOG_CAPACITY),
         }
     }
 
@@ -60,52 +69,58 @@ impl TraceLog {
         TraceLog::new(TraceLevel::Off)
     }
 
+    /// Wraps an existing tracer, sharing its ring and level — this is
+    /// how the grid's log and its per-proc registries speak through one
+    /// event stream.
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        TraceLog { tracer }
+    }
+
+    /// The shared tracer (for exporters and registry wiring).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Current filter level.
     pub fn level(&self) -> TraceLevel {
-        self.level
+        self.tracer.level()
     }
 
     /// True if records at `level` would be kept (callers can skip building
     /// the detail string otherwise).
     pub fn enabled(&self, level: TraceLevel) -> bool {
-        level <= self.level && self.level != TraceLevel::Off
+        self.tracer.enabled(level)
     }
 
     /// Records an event if the level passes the filter.
-    pub fn record(&mut self, at: SimTime, level: TraceLevel, tag: &'static str, detail: String) {
-        if self.enabled(level) {
-            self.records.push(TraceRecord {
-                at,
-                level,
-                tag,
-                detail,
-            });
-        }
+    pub fn record(&self, at: SimTime, level: TraceLevel, tag: &'static str, detail: String) {
+        self.tracer.event(at.as_nanos(), level, tag, detail);
     }
 
     /// Convenience for `Info` records.
-    pub fn info(&mut self, at: SimTime, tag: &'static str, detail: String) {
+    pub fn info(&self, at: SimTime, tag: &'static str, detail: String) {
         self.record(at, TraceLevel::Info, tag, detail);
     }
 
     /// Convenience for `Debug` records.
-    pub fn debug(&mut self, at: SimTime, tag: &'static str, detail: String) {
+    pub fn debug(&self, at: SimTime, tag: &'static str, detail: String) {
         self.record(at, TraceLevel::Debug, tag, detail);
     }
 
-    /// All records so far, in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All retained records so far, in order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.tracer.events().into_iter().map(to_record).collect()
     }
 
     /// Records whose tag equals `tag`.
-    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.tag == tag)
+    pub fn with_tag(&self, tag: &str) -> impl Iterator<Item = TraceRecord> {
+        let tag = tag.to_string();
+        self.records().into_iter().filter(move |r| r.tag == tag)
     }
 
     /// Discards all records (the filter level is kept).
-    pub fn clear(&mut self) {
-        self.records.clear();
+    pub fn clear(&self) {
+        self.tracer.clear();
     }
 }
 
@@ -115,7 +130,7 @@ mod tests {
 
     #[test]
     fn off_records_nothing() {
-        let mut log = TraceLog::off();
+        let log = TraceLog::off();
         log.info(SimTime::ZERO, "x", "y".into());
         log.debug(SimTime::ZERO, "x", "y".into());
         assert!(log.records().is_empty());
@@ -124,7 +139,7 @@ mod tests {
 
     #[test]
     fn info_filters_debug() {
-        let mut log = TraceLog::new(TraceLevel::Info);
+        let log = TraceLog::new(TraceLevel::Info);
         log.info(SimTime::ZERO, "a", "1".into());
         log.debug(SimTime::ZERO, "b", "2".into());
         assert_eq!(log.records().len(), 1);
@@ -133,7 +148,7 @@ mod tests {
 
     #[test]
     fn debug_records_everything() {
-        let mut log = TraceLog::new(TraceLevel::Debug);
+        let log = TraceLog::new(TraceLevel::Debug);
         log.info(SimTime::from_secs(1), "a", "1".into());
         log.debug(SimTime::from_secs(2), "b", "2".into());
         assert_eq!(log.records().len(), 2);
@@ -141,7 +156,7 @@ mod tests {
 
     #[test]
     fn with_tag_filters() {
-        let mut log = TraceLog::new(TraceLevel::Info);
+        let log = TraceLog::new(TraceLevel::Info);
         log.info(SimTime::ZERO, "terminate", "ao1".into());
         log.info(SimTime::ZERO, "clock-bump", "ao2".into());
         log.info(SimTime::ZERO, "terminate", "ao3".into());
@@ -150,7 +165,7 @@ mod tests {
 
     #[test]
     fn clear_keeps_level() {
-        let mut log = TraceLog::new(TraceLevel::Debug);
+        let log = TraceLog::new(TraceLevel::Debug);
         log.info(SimTime::ZERO, "a", String::new());
         log.clear();
         assert!(log.records().is_empty());
@@ -168,5 +183,15 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("terminate"));
         assert!(s.contains("ao 7 (cyclic)"));
+    }
+
+    #[test]
+    fn shares_ring_with_wrapped_tracer() {
+        let tracer = Tracer::new(TraceLevel::Info, 8);
+        let log = TraceLog::with_tracer(tracer.clone());
+        log.info(SimTime::from_secs(3), "spawn", "ao 1".into());
+        assert_eq!(tracer.events().len(), 1);
+        assert_eq!(tracer.events()[0].at_nanos, 3_000_000_000);
+        assert_eq!(log.records()[0].at, SimTime::from_secs(3));
     }
 }

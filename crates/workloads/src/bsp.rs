@@ -224,6 +224,13 @@ impl BspEngine {
         self.done
     }
 
+    /// The slowest worker's iteration — the global BSP round boundary.
+    /// It only moves when every worker has crossed the barrier, so each
+    /// increment marks one collective round completing.
+    pub fn min_iteration(&self) -> u32 {
+        self.workers.values().map(|s| s.iter).min().unwrap_or(0)
+    }
+
     /// The verification value: per-worker checksums summed in worker
     /// order — deterministic across transports and delivery orders.
     pub fn checksum(&self) -> f64 {
@@ -407,6 +414,10 @@ pub struct BspOutcome {
     /// Every driver-level op applied, with its scenario time — the
     /// ground-truth script of the run.
     pub trace: Vec<Traced>,
+    /// Scenario-time width of each global BSP round (one sample per
+    /// [`BspEngine::min_iteration`] increment): the barrier latency the
+    /// telemetry plane tracks for this workload.
+    pub barrier_latency: dgc_obs::HistogramSnapshot,
 }
 
 /// Runs one BSP workload over `transport` until the master has its
@@ -485,6 +496,9 @@ pub fn run_bsp<T: AppTransport>(
 
     let ops = engine.kickoff();
     apply(transport, &mut trace, &mut packets_sent, ops);
+    let barrier_hist = dgc_obs::Histogram::default();
+    let mut barrier_iter = engine.min_iteration();
+    let mut last_barrier_at = transport.now();
     while !engine.done() {
         assert!(
             transport.now() < deadline,
@@ -494,6 +508,18 @@ pub fn run_bsp<T: AppTransport>(
         for pkt in transport.poll() {
             let ops = engine.on_packet(&pkt);
             apply(transport, &mut trace, &mut packets_sent, ops);
+        }
+        // Each min-iteration increment is one whole clique crossing the
+        // barrier; the time since the previous crossing is that round's
+        // barrier latency.
+        let round = engine.min_iteration();
+        if round > barrier_iter {
+            let now = transport.now();
+            for _ in barrier_iter..round {
+                barrier_hist.record(now.since(last_barrier_at).as_nanos());
+            }
+            last_barrier_at = now;
+            barrier_iter = round;
         }
         if engine.done() {
             break;
@@ -511,6 +537,7 @@ pub fn run_bsp<T: AppTransport>(
         packets_sent,
         layout,
         trace,
+        barrier_latency: barrier_hist.snapshot(),
     }
 }
 

@@ -10,6 +10,8 @@
 //! traffic rode JVM sockets — and the DGC/membership planes piggyback
 //! on *them*.
 
+use std::collections::VecDeque;
+
 use dgc_core::units::{Dur, Time};
 use dgc_rmi::{LeaseDriver, LeasePacket, LeaseStats, RmiConfig};
 
@@ -30,6 +32,10 @@ pub struct LeaseOutcome {
     pub target_survived_hold: bool,
     /// Lease packets shipped (calls + replies).
     pub packets_sent: u64,
+    /// Holder-observed round-trip of each lease call (dirty/renew/clean
+    /// send → matching grant reply), in scenario nanoseconds — the
+    /// app/RMI round-trip histogram of the telemetry plane.
+    pub lease_rtt: dgc_obs::HistogramSnapshot,
 }
 
 /// Runs the lease baseline: a holder on node 0 keeps an object on the
@@ -57,9 +63,21 @@ pub fn run_lease<T: AppTransport>(
     target_side.set_idle(target, true);
 
     let mut packets_sent = 0u64;
-    let ship = |transport: &mut T, packets_sent: &mut u64, pkts: Vec<LeasePacket>| {
+    // Call-send times, popped as the matching grant replies arrive
+    // (per-class FIFO keeps calls and grants in lockstep): the
+    // holder-observed lease round-trip.
+    let rtt_hist = dgc_obs::Histogram::default();
+    let mut call_sent_at: VecDeque<Time> = VecDeque::new();
+    let ship = |transport: &mut T,
+                packets_sent: &mut u64,
+                calls: &mut VecDeque<Time>,
+                pkts: Vec<LeasePacket>| {
+        let now = transport.now();
         for p in pkts {
             *packets_sent += 1;
+            if !p.reply {
+                calls.push_back(now);
+            }
             transport.send(AppPacket {
                 from: p.from,
                 to: p.to,
@@ -71,7 +89,7 @@ pub fn run_lease<T: AppTransport>(
 
     let start = transport.now();
     let pkts = holder_side.add_ref(start, holder, target);
-    ship(transport, &mut packets_sent, pkts);
+    ship(transport, &mut packets_sent, &mut call_sent_at, pkts);
 
     let tick_every = Dur::from_nanos((lease.as_nanos() / 8).max(1_000_000));
     let mut next_tick = start + tick_every;
@@ -85,26 +103,34 @@ pub fn run_lease<T: AppTransport>(
         }
         // Route deliveries into the right side's driver.
         for pkt in transport.poll() {
-            let side = if pkt.to.node == last && pkt.to == target {
+            let to_target = pkt.to.node == last && pkt.to == target;
+            if !to_target && pkt.reply {
+                // A grant landing back at the holder closes the oldest
+                // outstanding call.
+                if let Some(sent_at) = call_sent_at.pop_front() {
+                    rtt_hist.record(now.since(sent_at).as_nanos());
+                }
+            }
+            let side = if to_target {
                 &mut target_side
             } else {
                 &mut holder_side
             };
             let replies = side.on_payload(now, pkt.from, pkt.to, pkt.reply, &pkt.payload);
-            ship(transport, &mut packets_sent, replies);
+            ship(transport, &mut packets_sent, &mut call_sent_at, replies);
         }
         if now >= next_tick {
             next_tick = now + tick_every;
             let pkts = holder_side.tick(now);
-            ship(transport, &mut packets_sent, pkts);
+            ship(transport, &mut packets_sent, &mut call_sent_at, pkts);
             let pkts = target_side.tick(now);
-            ship(transport, &mut packets_sent, pkts);
+            ship(transport, &mut packets_sent, &mut call_sent_at, pkts);
         }
         if !released && now.since(start) >= hold_for {
             released = true;
             target_survived_hold = !target_side.is_dead(target);
             let pkts = holder_side.drop_ref(holder, target);
-            ship(transport, &mut packets_sent, pkts);
+            ship(transport, &mut packets_sent, &mut call_sent_at, pkts);
         }
         if released && target_side.is_dead(target) {
             target_collected_at = Some(now);
@@ -118,5 +144,6 @@ pub fn run_lease<T: AppTransport>(
         target_collected_at,
         target_survived_hold,
         packets_sent,
+        lease_rtt: rtt_hist.snapshot(),
     }
 }
