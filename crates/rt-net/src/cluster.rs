@@ -624,16 +624,10 @@ impl Cluster {
     pub fn total_stats(&self) -> NetStatsSnapshot {
         let mut total = NetStatsSnapshot::default();
         for s in self.stats() {
-            total.frames_sent += s.frames_sent;
-            total.bytes_sent += s.bytes_sent;
-            total.items_sent += s.items_sent;
-            total.frames_received += s.frames_received;
-            total.bytes_received += s.bytes_received;
-            total.items_received += s.items_received;
-            total.reconnects += s.reconnects;
-            total.send_failures += s.send_failures;
-            total.decode_errors += s.decode_errors;
-            total.piggybacked += s.piggybacked;
+            // An exhaustive fold (`merge` destructures the snapshot),
+            // so a newly added counter can never be silently dropped
+            // from the cluster total — the PR 5 `piggybacked` bug class.
+            total.merge(&s);
         }
         total
     }

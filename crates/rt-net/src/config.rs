@@ -7,6 +7,35 @@ use dgc_core::egress::FlushPolicy;
 use dgc_membership::MembershipConfig;
 use dgc_obs::TraceLevel;
 
+/// Which I/O engine drives a node's links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoEngine {
+    /// Blocking sockets, one OS thread per direction per link (an
+    /// acceptor, a reader per inbound connection, a writer plus a
+    /// reply writer per peer): ~3 threads per peer, the transport's
+    /// original shape. Still the default.
+    Threaded,
+    /// A single readiness loop (epoll on Linux via the vendored
+    /// `polling` shim, short-timeout poll emulation elsewhere) that
+    /// owns every socket nonblocking: O(shards) I/O threads however
+    /// many peers a node talks to.
+    Reactor,
+}
+
+impl IoEngine {
+    /// Engine selected by the `DGC_NET_ENGINE` environment variable
+    /// (`reactor` or `threaded`; anything else, or unset, means
+    /// [`IoEngine::Threaded`]). [`NetConfig::new`] reads this, so every
+    /// runner — conformance, workloads, tests — honours the variable
+    /// without plumbing.
+    pub fn from_env() -> IoEngine {
+        match std::env::var("DGC_NET_ENGINE").as_deref() {
+            Ok("reactor") => IoEngine::Reactor,
+            _ => IoEngine::Threaded,
+        }
+    }
+}
+
 /// Configuration of one network node: the DGC parameters its activities
 /// run with plus the link behaviour of the transport.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +72,18 @@ pub struct NetConfig {
     /// ([`dgc_obs::Tracer`]). `Off` (the default) keeps the hot paths
     /// allocation-free; conformance runners flip it from `DGC_TRACE`.
     pub trace: TraceLevel,
+    /// Which I/O engine drives the node's links. Defaults to whatever
+    /// `DGC_NET_ENGINE` says ([`IoEngine::Threaded`] when unset).
+    pub engine: IoEngine,
+    /// Reactor loop shards. The loop is structured so links could hash
+    /// across several independent pollers, but only `1` is implemented;
+    /// [`crate::NetNode::bind`] rejects anything else.
+    pub reactor_shards: usize,
+    /// Most items a single link will hold queued (wire frames included)
+    /// before it sheds its oldest batches: a slow or dead peer must not
+    /// hoard unbounded memory. Shed application payloads surface as
+    /// failed sends; background units regenerate on protocol cadence.
+    pub max_link_pending: usize,
 }
 
 impl NetConfig {
@@ -56,7 +97,22 @@ impl NetConfig {
             fail_after_attempts: 20,
             membership: None,
             trace: TraceLevel::Off,
+            engine: IoEngine::from_env(),
+            reactor_shards: 1,
+            max_link_pending: 100_000,
         }
+    }
+
+    /// Selects the I/O engine explicitly (overriding `DGC_NET_ENGINE`).
+    pub fn engine(mut self, engine: IoEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Caps per-link queued items before backpressure shedding.
+    pub fn max_link_pending(mut self, max: usize) -> Self {
+        self.max_link_pending = max.max(1);
+        self
     }
 
     /// Enables the membership layer with `m` timings.
@@ -108,5 +164,15 @@ mod tests {
         assert!(c.egress.max_delay >= Dur::from_nanos(100_000));
         assert!(c.fail_after_attempts > 0);
         assert!(c.batching(false).egress.is_immediate());
+        assert_eq!(c.reactor_shards, 1);
+        assert!(c.max_link_pending > 0);
+    }
+
+    #[test]
+    fn engine_knob_overrides_environment() {
+        let c = NetConfig::default().engine(IoEngine::Reactor);
+        assert_eq!(c.engine, IoEngine::Reactor);
+        assert_eq!(c.engine(IoEngine::Threaded).engine, IoEngine::Threaded);
+        assert_eq!(NetConfig::default().max_link_pending(0).max_link_pending, 1);
     }
 }

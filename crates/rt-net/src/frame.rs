@@ -382,6 +382,38 @@ pub fn encode_batch_frame(items: &[Item]) -> Vec<u8> {
 /// the `net_batching` bench to predict fig. 8-style savings.
 pub const FRAME_OVERHEAD: u64 = 4 + 1 + 4;
 
+/// Items per written frame, kept orders of magnitude under both
+/// [`MAX_BATCH_ITEMS`] and [`MAX_FRAME_LEN`]. Oversized flushes are
+/// split across frames at this boundary.
+pub const MAX_ITEMS_PER_FRAME: usize = 4096;
+
+/// Payload bytes per written frame (item encodings, headers excluded):
+/// half of [`MAX_FRAME_LEN`], so no flush — whatever the egress
+/// policy's `max_bytes` allows — can produce a frame the receiver's
+/// decoder rejects as oversized. A single item always fits
+/// ([`MAX_APP_PAYLOAD`] is far smaller).
+pub const MAX_BYTES_PER_FRAME: u64 = (MAX_FRAME_LEN as u64) / 2;
+
+/// How many leading items of `items` fit in one wire frame: up to
+/// [`MAX_ITEMS_PER_FRAME`] items or [`MAX_BYTES_PER_FRAME`] encoded
+/// payload bytes, whichever bound bites first. Always at least 1 for a
+/// non-empty slice (a single item can never exceed the byte bound, so
+/// oversized queues always make progress). Both I/O engines split
+/// their write queues at exactly this boundary, and `frame_props`
+/// fuzzes it directly.
+pub fn split_len(items: &[Item]) -> usize {
+    let mut end = 0;
+    let mut bytes = 0u64;
+    while end < items.len().min(MAX_ITEMS_PER_FRAME) {
+        bytes += items[end].wire_size();
+        if end > 0 && bytes > MAX_BYTES_PER_FRAME {
+            break;
+        }
+        end += 1;
+    }
+    end
+}
+
 /// Incremental frame extractor: feed arbitrary byte chunks as they
 /// arrive from a stream, take complete frames out. This is the exact
 /// decode path the node's socket readers use, so the property tests that

@@ -50,11 +50,17 @@
 //!   what the `dgc-conformance` harness compares.
 //!
 //! Implementation note: the container this repository builds in has no
-//! crates.io access, so the runtime is written against `std::net` with
-//! dedicated blocking I/O threads per link instead of an async reactor.
-//! The module boundaries (frame codec / link writer / event loop) are
-//! the seams a tokio port would slot into; nothing in the public API
-//! exposes the threading choice.
+//! crates.io access, so the runtime is written against `std::net` and
+//! ships **two I/O engines** behind one [`NetConfig::engine`] knob
+//! ([`IoEngine`], overridable via `DGC_NET_ENGINE`): the original
+//! *threaded* engine (dedicated blocking I/O threads per link — simple,
+//! but ~3 OS threads per peer) and the *reactor* engine
+//! ([`crate::reactor`]): every socket of a node on one nonblocking
+//! readiness loop over a vendored [`polling::Poller`] (epoll on Linux,
+//! portable emulation elsewhere), O(1) threads regardless of peer
+//! count. The module boundaries (frame codec / link layer / event
+//! loop) are the seams a tokio port would slot into; nothing in the
+//! public API exposes the engine choice.
 //!
 //! ## Example: a cross-node cycle over real sockets
 //!
@@ -89,11 +95,12 @@ pub mod config;
 pub mod frame;
 pub mod node;
 pub mod peer;
+mod reactor;
 pub mod stats;
 
 pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
-pub use config::NetConfig;
+pub use config::{IoEngine, NetConfig};
 pub use frame::{Frame, FrameDecoder, Item, GOSSIP_ANYCAST};
 pub use node::{AppHandler, AppReceived, AppSend, EgressPending, NetNode, Terminated};
 pub use stats::{NetStats, NetStatsSnapshot};

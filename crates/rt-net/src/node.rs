@@ -50,9 +50,10 @@ use dgc_membership::{
 };
 use dgc_obs::{Registry, TimeSource, TraceLevel, Tracer};
 
-use crate::config::NetConfig;
+use crate::config::{IoEngine, NetConfig};
 use crate::frame::{encode_frame, Frame, FrameDecoder, Item, GOSSIP_ANYCAST, PROTOCOL_VERSION};
 use crate::peer::{spawn_reply_writer, OutboundLink};
+use crate::reactor::{Notice, Reactor};
 use crate::stats::{NetStats, NetStatsSnapshot};
 
 /// Polls `check` every couple of milliseconds until it holds or
@@ -68,6 +69,109 @@ pub(crate) fn poll_until(deadline: Duration, check: impl Fn() -> bool) -> bool {
             return false;
         }
         std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The event loop's ingress handle: the mpsc sender every producer
+/// feeds, plus — reactor engine only — the poller waker that interrupts
+/// a loop parked in [`Reactor::poll`] rather than on the channel. With
+/// the threaded engine the waker is `None` and this is a plain sender.
+#[derive(Clone)]
+pub(crate) struct LoopSender {
+    tx: mpsc::Sender<Event>,
+    waker: Option<Arc<polling::Waker>>,
+}
+
+impl LoopSender {
+    pub(crate) fn new(tx: mpsc::Sender<Event>, waker: Option<Arc<polling::Waker>>) -> LoopSender {
+        LoopSender { tx, waker }
+    }
+
+    /// Enqueues `event` and nudges the loop awake. Fails exactly when
+    /// the underlying channel does (the loop is gone).
+    pub(crate) fn send(&self, event: Event) -> Result<(), mpsc::SendError<Event>> {
+        self.tx.send(event)?;
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+/// Joins the transport's helper threads — socket readers, reply
+/// writers, join dialers — at node shutdown. They used to be detached
+/// ("they exit on EOF anyway"), which was true but unaccounted: under
+/// crash/rejoin churn the exited-but-unjoined carcasses and any reader
+/// wedged on a half-dead socket accumulated real OS threads. Every
+/// helper registers here; [`ThreadReaper::join_all`] reaps them after
+/// the sockets are shut down.
+#[derive(Default)]
+pub(crate) struct ThreadReaper {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ThreadReaper {
+    /// Tracks `handle` for shutdown, dropping already-finished entries
+    /// so a long-lived node's list stays proportional to *live*
+    /// helpers, not historical churn.
+    pub(crate) fn register(&self, handle: JoinHandle<()>) {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+    }
+
+    /// Joins every tracked thread, looping until the list stays empty
+    /// (a reader being joined may have just registered the reply writer
+    /// it spawned). Callers must have unblocked the threads first —
+    /// sockets shut down, channels closed.
+    pub(crate) fn join_all(&self) {
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *handles)
+            };
+            if drained.is_empty() {
+                return;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Bounded exponential backoff for transient `accept` errors (EMFILE,
+/// ECONNABORTED, ENFILE): both engines' accept paths count the error
+/// and wait this out instead of spinning — or worse, treating it as
+/// fatal and going silently deaf to inbound connections.
+pub(crate) struct AcceptBackoff {
+    consecutive: u32,
+}
+
+impl AcceptBackoff {
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_millis(500);
+
+    pub(crate) fn new() -> AcceptBackoff {
+        AcceptBackoff { consecutive: 0 }
+    }
+
+    /// A successful accept ends the episode.
+    pub(crate) fn on_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Records one failed accept (the `net.accept_errors` counter) and
+    /// returns how long to back off: 10ms doubling to a 500ms cap, so
+    /// a descriptor-exhaustion episode retries promptly but a
+    /// persistent failure cannot busy-loop the acceptor.
+    pub(crate) fn on_error(&mut self, stats: &NetStats) -> Duration {
+        stats.on_accept_error();
+        let wait = Self::BASE
+            .saturating_mul(1u32 << self.consecutive.min(6))
+            .min(Self::CAP);
+        self.consecutive = self.consecutive.saturating_add(1);
+        wait
     }
 }
 
@@ -247,6 +351,14 @@ pub enum Event {
         /// Try the reply path before surfacing failures.
         reroute: bool,
     },
+    /// A join-probe dialer opened this socket and already wrote the
+    /// hello and probe digest; the transport reads the seed's gossip
+    /// replies off it (a detached reader thread on the threaded
+    /// engine, an adopted reactor connection otherwise).
+    AdoptSocket {
+        /// The probe connection, handshake already sent.
+        stream: TcpStream,
+    },
     /// Installs (or replaces) the application dispatch hook.
     SetAppHandler {
         /// The hook; delivered app units stop landing in the inbox.
@@ -333,7 +445,7 @@ pub struct NetNode {
     addr: SocketAddr,
     config: NetConfig,
     incarnation: u64,
-    tx: mpsc::Sender<Event>,
+    tx: LoopSender,
     next_index: AtomicU32,
     stats: Arc<NetStats>,
     obs: Registry,
@@ -344,6 +456,7 @@ pub struct NetNode {
     member_snapshot: Arc<Mutex<Option<Vec<NodeRecord>>>>,
     shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
+    reaper: Arc<ThreadReaper>,
     loop_handle: Option<JoinHandle<()>>,
     acceptor_handle: Option<JoinHandle<()>>,
 }
@@ -372,9 +485,12 @@ impl NetNode {
         first_index: u32,
     ) -> std::io::Result<NetNode> {
         config.dgc.validate().expect("unsafe TTB/TTA configuration");
+        assert_eq!(
+            config.reactor_shards, 1,
+            "multi-shard reactor loops are a roadmap follow-on; reactor_shards must be 1"
+        );
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let (tx, rx) = mpsc::channel();
         // The telemetry plane: one registry per node, timestamps
         // anchored at the worker's epoch so traces and histograms read
         // in nanoseconds-since-boot, same shape as the grid's virtual
@@ -391,6 +507,34 @@ impl NetNode {
         let member_events = Arc::new(Mutex::new(Vec::new()));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SocketTracker::default());
+        let reaper = Arc::new(ThreadReaper::default());
+
+        // Engine selection. The reactor takes the listener onto its
+        // readiness loop (no acceptor thread at all) and hands out the
+        // waker that lets event senders interrupt a parked poll; the
+        // threaded engine keeps the listener for its blocking acceptor.
+        let mut listener = Some(listener);
+        let (links, waker) = match config.engine {
+            IoEngine::Reactor => {
+                let reactor = Reactor::new(
+                    node_id,
+                    listener.take().expect("listener is present"),
+                    config,
+                    Arc::clone(&stats),
+                )?;
+                let waker = reactor.waker();
+                (Links::Reactor(Box::new(reactor)), Some(waker))
+            }
+            IoEngine::Threaded => (
+                Links::Threaded {
+                    outbound: HashMap::new(),
+                    reply: HashMap::new(),
+                },
+                None,
+            ),
+        };
+        let (raw_tx, rx) = mpsc::channel();
+        let tx = LoopSender::new(raw_tx, waker);
 
         let membership = config.membership.map(|m| {
             let mut engine = Membership::new(node_id, Some(addr), incarnation, Time::ZERO, m);
@@ -408,8 +552,7 @@ impl NetNode {
             loopback: tx.clone(),
             endpoints: BTreeMap::new(),
             peer_addrs: HashMap::new(),
-            outbound: HashMap::new(),
-            reply: HashMap::new(),
+            links,
             outbox,
             obs: obs.clone(),
             epoch,
@@ -424,24 +567,32 @@ impl NetNode {
             app_handler: None,
             shutting_down: Arc::clone(&shutting_down),
             tracker: Arc::clone(&tracker),
+            reaper: Arc::clone(&reaper),
         };
         let loop_handle = std::thread::Builder::new()
             .name(format!("dgc-net-node-{node_id}"))
             .spawn(move || worker.run())
             .expect("spawn node event loop");
 
-        let acceptor = Acceptor {
-            node_id,
-            listener,
-            events: tx.clone(),
-            stats: Arc::clone(&stats),
-            shutting_down: Arc::clone(&shutting_down),
-            tracker: Arc::clone(&tracker),
-        };
-        let acceptor_handle = std::thread::Builder::new()
-            .name(format!("dgc-net-accept-{node_id}"))
-            .spawn(move || acceptor.run())
-            .expect("spawn acceptor");
+        // Threaded engine only: the reactor (which consumed the
+        // listener above) serves accepts from its own loop.
+        let acceptor_handle = listener.map(|listener| {
+            let acceptor = Acceptor {
+                ctx: ReaderCtx {
+                    node_id,
+                    events: tx.clone(),
+                    stats: Arc::clone(&stats),
+                    tracker: Arc::clone(&tracker),
+                    reaper: Arc::clone(&reaper),
+                    max_link_pending: config.max_link_pending,
+                },
+                shutting_down: Arc::clone(&shutting_down),
+            };
+            std::thread::Builder::new()
+                .name(format!("dgc-net-accept-{node_id}"))
+                .spawn(move || acceptor.run_with(move || listener.accept().map(|(s, _)| s)))
+                .expect("spawn acceptor")
+        });
 
         Ok(NetNode {
             node_id,
@@ -459,8 +610,9 @@ impl NetNode {
             member_snapshot,
             shutting_down,
             tracker,
+            reaper,
             loop_handle: Some(loop_handle),
-            acceptor_handle: Some(acceptor_handle),
+            acceptor_handle,
         })
     }
 
@@ -536,10 +688,9 @@ impl NetNode {
             let node_id = self.node_id;
             let events = self.tx.clone();
             let stats = Arc::clone(&self.stats);
-            let tracker = Arc::clone(&self.tracker);
             let shutting_down = Arc::clone(&self.shutting_down);
             let snapshot = Arc::clone(&self.member_snapshot);
-            let _ = std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name(format!("dgc-net-join-{node_id}"))
                 .spawn(move || {
                     for _ in 0..40 {
@@ -569,21 +720,29 @@ impl NetNode {
                                     (probe_hello.len() + probe_digest.len()) as u64,
                                 );
                                 // The seed replies over this same socket
-                                // (its reply writer binds to our hello),
-                                // so read it into the event loop.
-                                spawn_socket_reader(
-                                    node_id,
-                                    stream,
-                                    events.clone(),
-                                    Arc::clone(&stats),
-                                    false,
-                                    Arc::clone(&tracker),
-                                );
+                                // (its reply path binds to our hello), so
+                                // hand it to the transport to read — the
+                                // event loop picks the engine-appropriate
+                                // way (detached reader or adopted
+                                // reactor connection).
+                                if events.send(Event::AdoptSocket { stream }).is_err() {
+                                    return;
+                                }
                             }
                         }
-                        std::thread::sleep(Duration::from_millis(250));
+                        // Sliced, so shutdown never waits out the retry.
+                        let deadline = Instant::now() + Duration::from_millis(250);
+                        while Instant::now() < deadline {
+                            if shutting_down.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
                     }
                 });
+            if let Ok(handle) = handle {
+                self.reaper.register(handle);
+            }
         }
     }
 
@@ -768,7 +927,7 @@ impl NetNode {
     }
 
     /// Clone of the event-loop sender, for in-crate fault schedulers.
-    pub(crate) fn event_sender(&self) -> mpsc::Sender<Event> {
+    pub(crate) fn event_sender(&self) -> LoopSender {
         self.tx.clone()
     }
 
@@ -820,13 +979,17 @@ impl NetNode {
         if let Some(h) = self.loop_handle.take() {
             let _ = h.join();
         }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(h) = self.acceptor_handle.take() {
+            // Wake the blocking accept with a throwaway connection
+            // (reactor nodes have no acceptor thread to wake).
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
             let _ = h.join();
         }
         // Again, for connections established during the join window.
         self.tracker.shutdown_all();
+        // Everything is unblocked (sockets severed, channels closed):
+        // reap the reader/reply/dialer threads so churn leaves nothing.
+        self.reaper.join_all();
     }
 }
 
@@ -838,67 +1001,82 @@ impl Drop for NetNode {
     }
 }
 
+/// Everything a socket-side helper (acceptor, reader, reply writer,
+/// outbound link) needs from its node: identity, the event-loop
+/// ingress, counters, the shutdown socket registry, the thread reaper,
+/// and the per-link buffering bound.
+#[derive(Clone)]
+pub(crate) struct ReaderCtx {
+    pub(crate) node_id: u32,
+    pub(crate) events: LoopSender,
+    pub(crate) stats: Arc<NetStats>,
+    pub(crate) tracker: Arc<SocketTracker>,
+    pub(crate) reaper: Arc<ThreadReaper>,
+    pub(crate) max_link_pending: usize,
+}
+
+/// The threaded engine's accept loop (the reactor serves accepts from
+/// its readiness loop instead).
 struct Acceptor {
-    node_id: u32,
-    listener: TcpListener,
-    events: mpsc::Sender<Event>,
-    stats: Arc<NetStats>,
+    ctx: ReaderCtx,
     shutting_down: Arc<AtomicBool>,
-    tracker: Arc<SocketTracker>,
 }
 
 impl Acceptor {
-    fn run(self) {
+    /// Runs the accept loop with its accept source injected, so tests
+    /// can feed it transient errors without exhausting real
+    /// descriptors. Production passes `listener.accept()`.
+    ///
+    /// A failed accept backs off ([`AcceptBackoff`]) instead of either
+    /// busy-looping or — the bug this replaces — ending inbound
+    /// connectivity forever while the node looks healthy. The wait is
+    /// sliced so shutdown never waits out a backoff.
+    fn run_with(self, mut accept: impl FnMut() -> std::io::Result<TcpStream>) {
+        let mut backoff = AcceptBackoff::new();
         loop {
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
+            let stream = match accept() {
+                Ok(stream) => stream,
                 Err(_) => {
-                    // Transient accept errors (EMFILE, ECONNABORTED)
-                    // must not silently end inbound connectivity.
                     if self.shutting_down.load(Ordering::SeqCst) {
                         return;
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    let deadline = Instant::now() + backoff.on_error(&self.ctx.stats);
+                    while Instant::now() < deadline {
+                        if self.shutting_down.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        std::thread::sleep(left.min(Duration::from_millis(10)));
+                    }
                     continue;
                 }
             };
+            backoff.on_success();
             if self.shutting_down.load(Ordering::SeqCst) {
                 return;
             }
-            // Reader threads are detached: they exit on EOF/error, which
-            // `NetNode::stop` forces via the tracker's `Shutdown::Both`.
-            spawn_socket_reader(
-                self.node_id,
-                stream,
-                self.events.clone(),
-                Arc::clone(&self.stats),
-                true,
-                Arc::clone(&self.tracker),
-            );
+            // Readers exit on EOF/error, which `NetNode::stop` forces
+            // via the tracker's `Shutdown::Both`; the reaper joins them.
+            spawn_socket_reader(self.ctx.clone(), stream, true);
         }
     }
 }
 
-/// Spawns a detached thread decoding frames off `stream` into the event
-/// loop. Used for both sides of the link topology: accepted connections
-/// (`accept_hello = true`, registering a reply path on the peer's
-/// hello) and the read half of connections this node *initiated*, which
-/// is where the peer's responses and failure notifications arrive.
-pub(crate) fn spawn_socket_reader(
-    node_id: u32,
-    stream: TcpStream,
-    events: mpsc::Sender<Event>,
-    stats: Arc<NetStats>,
-    accept_hello: bool,
-    tracker: Arc<SocketTracker>,
-) {
-    let _ = std::thread::Builder::new()
-        .name(format!("dgc-net-read-{node_id}"))
+/// Spawns a thread decoding frames off `stream` into the event loop
+/// (registered with the node's reaper). Used for both sides of the
+/// link topology: accepted connections (`accept_hello = true`,
+/// registering a reply path on the peer's hello) and the read half of
+/// connections this node *initiated*, which is where the peer's
+/// responses and failure notifications arrive.
+pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hello: bool) {
+    let reaper = Arc::clone(&ctx.reaper);
+    let handle = std::thread::Builder::new()
+        .name(format!("dgc-net-read-{}", ctx.node_id))
         .spawn(move || {
             let mut stream = stream;
             // Registered for the reader's lifetime: node shutdown can
             // unblock this thread, and the entry leaves with it.
-            let _tracked = tracker.register(&stream);
+            let _tracked = ctx.tracker.register(&stream);
             let mut decoder = FrameDecoder::new();
             let mut chunk = [0u8; 16 * 1024];
             let mut peer: Option<u32> = None;
@@ -907,44 +1085,39 @@ pub(crate) fn spawn_socket_reader(
                     Ok(0) | Err(_) => return,
                     Ok(n) => n,
                 };
-                stats.on_raw_received(n as u64);
+                ctx.stats.on_raw_received(n as u64);
                 decoder.push(&chunk[..n]);
                 loop {
                     match decoder.next_frame() {
                         Ok(None) => break,
                         Ok(Some(Frame::Hello { node, version })) => {
                             if version != PROTOCOL_VERSION {
-                                stats.on_decode_error();
+                                ctx.stats.on_decode_error();
                                 let _ = stream.shutdown(Shutdown::Both);
                                 return;
                             }
-                            stats.on_frame_received(0);
+                            ctx.stats.on_frame_received(0);
                             if accept_hello && peer.is_none() {
                                 peer = Some(node);
                                 // Give the event loop a reply path over
                                 // this same socket (firewall-transparent).
                                 if let Ok(w) = stream.try_clone() {
-                                    let (tx, _h) = spawn_reply_writer(
-                                        node_id,
-                                        node,
-                                        w,
-                                        Arc::clone(&stats),
-                                        events.clone(),
-                                    );
-                                    let _ = events.send(Event::PeerLink { node, tx });
+                                    let (tx, h) = spawn_reply_writer(&ctx, node, w);
+                                    ctx.reaper.register(h);
+                                    let _ = ctx.events.send(Event::PeerLink { node, tx });
                                 }
                             }
                         }
                         Ok(Some(Frame::Batch(items))) => {
-                            stats.on_frame_received(items.len() as u64);
+                            ctx.stats.on_frame_received(items.len() as u64);
                             for item in items {
-                                if events.send(Event::Item(item)).is_err() {
+                                if ctx.events.send(Event::Item(item)).is_err() {
                                     return; // node is shutting down
                                 }
                             }
                         }
                         Err(_) => {
-                            stats.on_decode_error();
+                            ctx.stats.on_decode_error();
                             let _ = stream.shutdown(Shutdown::Both);
                             return;
                         }
@@ -952,17 +1125,32 @@ pub(crate) fn spawn_socket_reader(
                 }
             }
         });
+    if let Ok(handle) = handle {
+        reaper.register(handle);
+    }
+}
+
+/// The worker's link layer: which I/O engine carries its traffic.
+enum Links {
+    /// Thread-per-link: a writer thread per outbound peer, a reply
+    /// channel per inbound connection (plus their detached readers).
+    Threaded {
+        outbound: HashMap<u32, OutboundLink>,
+        reply: HashMap<u32, mpsc::Sender<Vec<Item>>>,
+    },
+    /// Every socket on the worker's own readiness loop: O(1) threads
+    /// regardless of peer count.
+    Reactor(Box<Reactor>),
 }
 
 struct Worker {
     node_id: u32,
     config: NetConfig,
     rx: mpsc::Receiver<Event>,
-    loopback: mpsc::Sender<Event>,
+    loopback: LoopSender,
     endpoints: BTreeMap<u32, Endpoint>,
     peer_addrs: HashMap<u32, SocketAddr>,
-    outbound: HashMap<u32, OutboundLink>,
-    reply: HashMap<u32, mpsc::Sender<Vec<Item>>>,
+    links: Links,
     /// The egress plane: every outgoing unit queues here; the flush
     /// policy decides when a destination's queue becomes a frame.
     outbox: Outbox<Item>,
@@ -981,9 +1169,53 @@ struct Worker {
     app_handler: Option<AppHandler>,
     shutting_down: Arc<AtomicBool>,
     tracker: Arc<SocketTracker>,
+    reaper: Arc<ThreadReaper>,
 }
 
 impl Worker {
+    /// The plumbing bundle handed to every socket-side helper the
+    /// threaded engine spawns (link writers, readers, reply writers).
+    fn reader_ctx(&self) -> ReaderCtx {
+        ReaderCtx {
+            node_id: self.node_id,
+            events: self.loopback.clone(),
+            stats: Arc::clone(&self.stats),
+            tracker: Arc::clone(&self.tracker),
+            reaper: Arc::clone(&self.reaper),
+            max_link_pending: self.config.max_link_pending,
+        }
+    }
+
+    /// Whether a forward (initiated) link toward `dest` exists.
+    fn has_forward_link(&self, dest: u32) -> bool {
+        match &self.links {
+            Links::Threaded { outbound, .. } => outbound.contains_key(&dest),
+            Links::Reactor(r) => r.has_link(dest),
+        }
+    }
+
+    /// Drops `dest`'s forward link (address change, terminal verdict);
+    /// the next routed send re-dials lazily.
+    fn drop_forward_link(&mut self, dest: u32) {
+        match &mut self.links {
+            Links::Threaded { outbound, .. } => {
+                outbound.remove(&dest);
+            }
+            Links::Reactor(r) => r.drop_link(dest),
+        }
+    }
+
+    /// Severs every path to a departed peer: the forward link and the
+    /// reply route of whatever socket it had opened toward us.
+    fn drop_peer_links(&mut self, dest: u32) {
+        match &mut self.links {
+            Links::Threaded { outbound, reply } => {
+                outbound.remove(&dest);
+                reply.remove(&dest);
+            }
+            Links::Reactor(r) => r.drop_peer(dest),
+        }
+    }
     fn now(&self) -> Time {
         Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
@@ -1068,15 +1300,20 @@ impl Worker {
     /// opened toward us; a missing or dead writer (its channel closed)
     /// returns the batch and evicts the stale entry.
     fn try_reply(&mut self, dest: u32, batch: Vec<Item>) -> Result<(), Vec<Item>> {
-        let Some(tx) = self.reply.get(&dest) else {
-            return Err(batch);
-        };
-        match tx.send(batch) {
-            Ok(()) => Ok(()),
-            Err(mpsc::SendError(batch)) => {
-                self.reply.remove(&dest);
-                Err(batch)
+        match &mut self.links {
+            Links::Threaded { reply, .. } => {
+                let Some(tx) = reply.get(&dest) else {
+                    return Err(batch);
+                };
+                match tx.send(batch) {
+                    Ok(()) => Ok(()),
+                    Err(mpsc::SendError(batch)) => {
+                        reply.remove(&dest);
+                        Err(batch)
+                    }
+                }
             }
+            Links::Reactor(r) => r.queue_reply(dest, batch),
         }
     }
 
@@ -1089,7 +1326,7 @@ impl Worker {
     }
 
     fn send_batch_forward(&mut self, dest: u32, batch: Vec<Item>) {
-        if !self.outbound.contains_key(&dest) {
+        if !self.has_forward_link(dest) {
             let Some(addr) = self.peer_addrs.get(&dest).copied() else {
                 // Whether a missing address condemns the edges depends
                 // on the wiring. Static registration: unknown means
@@ -1122,29 +1359,28 @@ impl Worker {
             self.trace(TraceLevel::Info, "link-open", || {
                 format!("dial node {dest} at {addr}")
             });
-            let link = OutboundLink::spawn(
-                self.node_id,
-                dest,
-                addr,
-                self.config,
-                Arc::clone(&self.stats),
-                self.loopback.clone(),
-                Arc::clone(&self.tracker),
-            );
-            self.outbound.insert(dest, link);
+            let ctx = self.reader_ctx();
+            match &mut self.links {
+                Links::Threaded { outbound, .. } => {
+                    outbound.insert(dest, OutboundLink::spawn(dest, addr, self.config, ctx));
+                }
+                Links::Reactor(r) => r.open_link(dest, addr),
+            }
         }
-        if let Err(batch) = self
-            .outbound
-            .get(&dest)
-            .expect("link just ensured")
-            .send_batch(batch)
-        {
+        let result = match &mut self.links {
+            Links::Threaded { outbound, .. } => outbound
+                .get(&dest)
+                .expect("link just ensured")
+                .send_batch(batch),
+            Links::Reactor(r) => r.queue_forward(dest, batch),
+        };
+        if let Err(batch) = result {
             // The writer went terminal and exited: its channel is a
             // dead letterbox, not a link. Requests used to vanish into
             // it here — fall back to the socket the peer opened to us
             // (the reverse direction may be perfectly healthy), or
             // fail fast so the caller learns.
-            self.outbound.remove(&dest);
+            self.drop_forward_link(dest);
             self.reroute_or_fail(dest, batch);
         }
     }
@@ -1215,6 +1451,39 @@ impl Worker {
             .map(|qi| qi.item)
             .collect();
         self.fail_items(stranded);
+    }
+
+    /// A link burned through `fail_after_attempts`: stop feeding it
+    /// (membership, or a fresh address announcement, decides if it ever
+    /// comes back), try the peer's reply socket for whatever the dead
+    /// writer handed back — the *forward* direction is what failed, and
+    /// asymmetric failures are §2.2's normal case — then let membership
+    /// adjudicate, or treat the verdict as terminal without it.
+    fn on_peer_unreachable(&mut self, node: u32, unsent: Vec<Item>) {
+        self.trace(TraceLevel::Info, "link-terminal", || {
+            format!("node {node} unreachable, {} unsent", unsent.len())
+        });
+        self.drop_forward_link(node);
+        if !unsent.is_empty() {
+            self.reroute_or_fail(node, unsent);
+        }
+        let now = self.now();
+        match &mut self.membership {
+            Some(engine) => {
+                engine.on_peer_unreachable(now, node);
+                self.drain_member_events();
+            }
+            None => {
+                // No membership layer to adjudicate: the transport's
+                // verdict is terminal, not an endless retry — so the
+                // peer's egress queue is reclaimed here too, not just
+                // its link.
+                self.reclaim_egress(node);
+                for ep in self.endpoints.values_mut() {
+                    ep.state.on_node_dead(node);
+                }
+            }
+        }
     }
 
     fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
@@ -1411,7 +1680,7 @@ impl Worker {
         }
         for (node, addr) in changed {
             self.peer_addrs.insert(node, addr);
-            self.outbound.remove(&node);
+            self.drop_forward_link(node);
         }
     }
 
@@ -1436,8 +1705,7 @@ impl Worker {
                 for ep in self.endpoints.values_mut() {
                     ep.state.on_node_dead(ev.node);
                 }
-                self.outbound.remove(&ev.node);
-                self.reply.remove(&ev.node);
+                self.drop_peer_links(ev.node);
                 // And its egress queue goes with it: items, bytes and
                 // the flush deadline — queued app units surface as
                 // send failures rather than rotting against a corpse.
@@ -1479,6 +1747,12 @@ impl Worker {
                     for flush in flushes {
                         self.deliver_flush(flush);
                     }
+                    // Threaded writers flush from their own threads;
+                    // the reactor's farewells only *queued* on its
+                    // sockets — push them out before acknowledging.
+                    if let Links::Reactor(r) = &mut self.links {
+                        r.drain(Duration::from_millis(100));
+                    }
                     // The engine said goodbye; stop gossiping.
                     self.next_member_tick = None;
                 }
@@ -1503,39 +1777,19 @@ impl Worker {
                 self.trace(TraceLevel::Info, "reply-link", || {
                     format!("node {node} opened a connection")
                 });
-                self.reply.insert(node, tx);
-            }
-            Event::PeerUnreachable { node, unsent } => {
-                self.trace(TraceLevel::Info, "link-terminal", || {
-                    format!("node {node} unreachable, {} unsent", unsent.len())
-                });
-                // Stop feeding the dead link; membership (or a fresh
-                // address announcement) decides if it ever comes back.
-                self.outbound.remove(&node);
-                // The writer hands back what it never shipped. The
-                // *forward* direction is what failed — the peer may
-                // still be reachable over the socket it opened to us
-                // (asymmetric failures are §2.2's normal case), so try
-                // the reply path before surfacing anything.
-                if !unsent.is_empty() {
-                    self.reroute_or_fail(node, unsent);
+                // Reactor nodes track reply routes inside the engine;
+                // this event only arrives from threaded-engine readers.
+                if let Links::Threaded { reply, .. } = &mut self.links {
+                    reply.insert(node, tx);
                 }
-                let now = self.now();
-                match &mut self.membership {
-                    Some(engine) => {
-                        engine.on_peer_unreachable(now, node);
-                        self.drain_member_events();
-                    }
-                    None => {
-                        // No membership layer to adjudicate: the
-                        // transport's verdict is terminal, not an
-                        // endless retry — so the peer's egress queue is
-                        // reclaimed here too, not just its link.
-                        self.reclaim_egress(node);
-                        for ep in self.endpoints.values_mut() {
-                            ep.state.on_node_dead(node);
-                        }
-                    }
+            }
+            Event::PeerUnreachable { node, unsent } => self.on_peer_unreachable(node, unsent),
+            Event::AdoptSocket { stream } => {
+                if let Links::Reactor(r) = &mut self.links {
+                    r.adopt(stream);
+                } else {
+                    let ctx = self.reader_ctx();
+                    spawn_socket_reader(ctx, stream, false);
                 }
             }
             Event::Undeliverable {
@@ -1627,23 +1881,55 @@ impl Worker {
         }
     }
 
+    /// The earliest instant the worker's own timers need it awake: TTB
+    /// ticks, membership gossip, egress flush deadlines.
+    fn next_wake(&self) -> Instant {
+        let mut next_wake = self
+            .endpoints
+            .values()
+            .map(|e| e.next_tick)
+            .min()
+            .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
+        if let Some(t) = self.next_member_tick {
+            next_wake = next_wake.min(t);
+        }
+        if let Some(deadline) = self.outbox.next_deadline() {
+            // Egress deadlines live on the scenario clock; convert
+            // back to the wall clock the loop sleeps on.
+            next_wake = next_wake.min(self.epoch + Duration::from_nanos(deadline.as_nanos()));
+        }
+        next_wake
+    }
+
+    /// The engine's link layer as a reactor, or panics: only the
+    /// reactor loop calls this.
+    fn reactor_mut(&mut self) -> &mut Reactor {
+        match &mut self.links {
+            Links::Reactor(r) => r,
+            Links::Threaded { .. } => unreachable!("reactor loop over threaded links"),
+        }
+    }
+
+    fn reactor_deadline(&self) -> Option<Instant> {
+        match &self.links {
+            Links::Reactor(r) => r.next_deadline(),
+            Links::Threaded { .. } => None,
+        }
+    }
+
     fn run(mut self) {
+        if matches!(self.links, Links::Reactor(_)) {
+            self.run_reactor()
+        } else {
+            self.run_threaded()
+        }
+    }
+
+    /// The threaded engine's loop turn: park on the event channel (the
+    /// link threads do their own I/O) until an event or a timer.
+    fn run_threaded(&mut self) {
         loop {
-            let mut next_wake = self
-                .endpoints
-                .values()
-                .map(|e| e.next_tick)
-                .min()
-                .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
-            if let Some(t) = self.next_member_tick {
-                next_wake = next_wake.min(t);
-            }
-            if let Some(deadline) = self.outbox.next_deadline() {
-                // Egress deadlines live on the scenario clock; convert
-                // back to the wall clock the loop sleeps on.
-                next_wake = next_wake.min(self.epoch + Duration::from_nanos(deadline.as_nanos()));
-            }
-            let timeout = next_wake.saturating_duration_since(Instant::now());
+            let timeout = self.next_wake().saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(timeout) {
                 Ok(event) => {
                     if !self.handle(event) {
@@ -1657,5 +1943,135 @@ impl Worker {
             self.membership_due();
             self.flush_due();
         }
+    }
+
+    /// The reactor engine's loop turn: park in [`Reactor::poll`] —
+    /// socket readiness, reactor timers and (via the waker inside
+    /// [`LoopSender`]) channel sends all interrupt it — translate the
+    /// engine's notices, then drain the channel without blocking.
+    fn run_reactor(&mut self) {
+        let mut notices: Vec<Notice> = Vec::new();
+        loop {
+            let mut next_wake = self.next_wake();
+            if let Some(d) = self.reactor_deadline() {
+                next_wake = next_wake.min(d);
+            }
+            let timeout = next_wake.saturating_duration_since(Instant::now());
+            self.reactor_mut().poll(timeout, &mut notices);
+            for notice in notices.drain(..) {
+                match notice {
+                    Notice::Item(item) => self.handle_item(item),
+                    Notice::PeerUnreachable { node, unsent } => {
+                        self.on_peer_unreachable(node, unsent)
+                    }
+                    Notice::Undeliverable {
+                        node,
+                        items,
+                        reroute,
+                    } => {
+                        if reroute {
+                            self.reroute_or_fail(node, items);
+                        } else {
+                            self.fail_items(items);
+                        }
+                    }
+                }
+            }
+            loop {
+                match self.rx.try_recv() {
+                    Ok(event) => {
+                        if !self.handle(event) {
+                            // Shutdown flushed the egress plane into the
+                            // reactor's queues; give the sockets a
+                            // bounded grace to carry it out.
+                            self.reactor_mut().drain(Duration::from_millis(300));
+                            return;
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        self.reactor_mut().drain(Duration::from_millis(300));
+                        return;
+                    }
+                }
+            }
+            self.tick_due();
+            self.membership_due();
+            self.flush_due();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Transient `accept` errors (the EMFILE / ECONNABORTED family)
+    /// must not kill the acceptor: three injected failures precede a
+    /// real connection, and the link must still come up — with every
+    /// failure landing on the `accept_errors` counter instead of
+    /// vanishing.
+    #[test]
+    fn acceptor_survives_transient_accept_errors() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let stats = NetStats::shared();
+        let tracker = Arc::new(SocketTracker::default());
+        let reaper = Arc::new(ThreadReaper::default());
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let acceptor = Acceptor {
+            ctx: ReaderCtx {
+                node_id: 7,
+                events: LoopSender::new(tx, None),
+                stats: Arc::clone(&stats),
+                tracker: Arc::clone(&tracker),
+                reaper: Arc::clone(&reaper),
+                max_link_pending: 1024,
+            },
+            shutting_down: Arc::clone(&shutting_down),
+        };
+        let handle = std::thread::spawn(move || {
+            let attempts = AtomicUsize::new(0);
+            acceptor.run_with(move || {
+                if attempts.fetch_add(1, Ordering::SeqCst) < 3 {
+                    Err(std::io::Error::other("injected descriptor exhaustion"))
+                } else {
+                    listener.accept().map(|(s, _)| s)
+                }
+            })
+        });
+
+        // The injected failures cost 10+20+40ms of backoff; the fourth
+        // attempt must take the real connection and register a reply
+        // path off its hello.
+        let client = TcpStream::connect(addr).unwrap();
+        (&client)
+            .write_all(&encode_frame(&Frame::Hello {
+                node: 3,
+                version: PROTOCOL_VERSION,
+            }))
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(Event::PeerLink { node, .. }) => assert_eq!(node, 3),
+            other => panic!("expected a PeerLink after recovery, got {other:?}"),
+        }
+        assert_eq!(
+            stats.snapshot().accept_errors,
+            3,
+            "each injected failure must be counted"
+        );
+
+        // Teardown: flag shutdown, poke the blocking accept, then
+        // unblock and reap the reader/reply-writer pair.
+        shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        handle.join().unwrap();
+        drop(client);
+        drop(rx);
+        tracker.shutdown_all();
+        reaper.join_all();
     }
 }

@@ -1,4 +1,5 @@
-//! Outbound peer links: one queue + writer thread per remote node.
+//! Outbound peer links for the **threaded** engine: one queue + writer
+//! thread per remote node.
 //!
 //! A link owns the TCP connection **initiated** by this node toward a
 //! peer. DGC messages and application requests travel in that direction
@@ -6,7 +7,9 @@
 //! talk in, which is what keeps the collector firewall-transparent);
 //! responses, reply payloads and failure notifications ride back on the
 //! *accepting* side's reply writer (see [`crate::node`]), never on a
-//! fresh reverse connection.
+//! fresh reverse connection. The reactor engine
+//! ([`crate::reactor`]) implements the same link semantics without the
+//! per-peer threads.
 //!
 //! Batching policy does **not** live here any more: the node's egress
 //! plane ([`dgc_core::egress::Outbox`]) decides what coalesces into a
@@ -24,40 +27,28 @@
 //!   call. Backoff waits keep draining the queue channel, so shutdown
 //!   never blocks on a sleep.
 //! * **Bounded buffering** — a peer that stays down long enough sheds
-//!   the oldest queued batches. Heartbeats and digests go quietly (the
-//!   next TTB/gossip round regenerates them anyway), but application
-//!   payloads are never regenerated, so shed app units are handed back
-//!   to the node's send-failure surface instead of vanishing.
+//!   the oldest queued batches (the `max_link_pending` knob). Heartbeats
+//!   and digests go quietly (the next TTB/gossip round regenerates them
+//!   anyway), but application payloads are never regenerated, so shed
+//!   app units are handed back to the node's send-failure surface
+//!   instead of vanishing.
+//! * **No stranded readers** — every writer shuts its socket down on
+//!   exit, which EOFs the paired (detached) socket-reader thread; the
+//!   node's [`crate::node::ThreadReaper`] then joins it, so crash/
+//!   rejoin churn cannot accumulate OS threads.
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::config::NetConfig;
-use crate::frame::{encode_batch_frame, encode_frame, Frame, Item, PROTOCOL_VERSION};
-use crate::node::{Event, SocketTracker};
+use crate::frame::{encode_batch_frame, encode_frame, split_len, Frame, Item, PROTOCOL_VERSION};
+use crate::node::{Event, ReaderCtx};
 use crate::stats::NetStats;
-
-/// Queue bound in *items*: a peer that stays down long enough to
-/// accumulate this many pending units starts shedding the oldest
-/// batches.
-const MAX_PENDING: usize = 100_000;
-
-/// Items per written frame, kept orders of magnitude under both
-/// [`crate::frame::MAX_BATCH_ITEMS`] and [`crate::frame::MAX_FRAME_LEN`].
-/// Oversized flushes are split across frames at this boundary.
-const MAX_ITEMS_PER_FRAME: usize = 4096;
-
-/// Payload bytes per written frame (item encodings, headers excluded):
-/// half of [`crate::frame::MAX_FRAME_LEN`], so no flush — whatever the
-/// egress policy's `max_bytes` allows — can produce a frame the
-/// receiver's decoder rejects as oversized. A single item always fits
-/// (`MAX_APP_PAYLOAD` is far smaller).
-const MAX_BYTES_PER_FRAME: u64 = (crate::frame::MAX_FRAME_LEN as u64) / 2;
 
 /// The queue-draining half shared by the outbound writer and the reply
 /// writer: blocks for flushed batches, writes one frame per batch, and
@@ -66,6 +57,10 @@ struct BatchPump {
     rx: mpsc::Receiver<Vec<Item>>,
     pending: VecDeque<Vec<Item>>,
     pending_items: usize,
+    /// Queue bound in *items* (`NetConfig::max_link_pending`): a peer
+    /// that stays down long enough to accumulate this many pending
+    /// units starts shedding the oldest batches.
+    max_pending: usize,
     stats: Arc<NetStats>,
     /// All senders dropped: the owning node is shutting down.
     closed: bool,
@@ -78,11 +73,12 @@ struct BatchPump {
 }
 
 impl BatchPump {
-    fn new(rx: mpsc::Receiver<Vec<Item>>, stats: Arc<NetStats>) -> Self {
+    fn new(rx: mpsc::Receiver<Vec<Item>>, stats: Arc<NetStats>, max_pending: usize) -> Self {
         BatchPump {
             rx,
             pending: VecDeque::new(),
             pending_items: 0,
+            max_pending,
             stats,
             closed: false,
             shed_app: Vec::new(),
@@ -95,7 +91,7 @@ impl BatchPump {
         }
         self.pending_items += batch.len();
         self.pending.push_back(batch);
-        while self.pending_items > MAX_PENDING {
+        while self.pending_items > self.max_pending {
             if let Some(old) = self.pending.pop_front() {
                 self.pending_items -= old.len();
                 self.shed_app
@@ -158,26 +154,18 @@ impl BatchPump {
     }
 
     /// Writes everything pending to `stream`, one frame per flushed
-    /// batch — split at [`MAX_ITEMS_PER_FRAME`] items *or*
-    /// [`MAX_BYTES_PER_FRAME`] payload bytes, whichever comes first, so
-    /// a permissive egress policy can never emit a frame the receiver
-    /// rejects as oversized. Items are drained frame by frame as each
-    /// frame is written: a failure keeps only the *unwritten* remainder
-    /// for the retry — never re-sending a frame the peer may already
-    /// have processed (duplicates would break the per-class
+    /// batch — split at [`crate::frame::split_len`]'s boundary (item
+    /// *or* payload-byte bound, whichever comes first), so a permissive
+    /// egress policy can never emit a frame the receiver rejects as
+    /// oversized. Items are drained frame by frame as each frame is
+    /// written: a failure keeps only the *unwritten* remainder for the
+    /// retry — never re-sending a frame the peer may already have
+    /// processed (duplicates would break the per-class
     /// exactly-once-in-order delivery the egress plane preserves).
     fn flush_to(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
         while let Some(batch) = self.pending.front_mut() {
             while !batch.is_empty() {
-                let mut end = 0;
-                let mut bytes = 0u64;
-                while end < batch.len().min(MAX_ITEMS_PER_FRAME) {
-                    bytes += batch[end].wire_size();
-                    if end > 0 && bytes > MAX_BYTES_PER_FRAME {
-                        break;
-                    }
-                    end += 1;
-                }
+                let end = split_len(batch);
                 let raw = encode_batch_frame(&batch[..end]);
                 stream.write_all(&raw)?;
                 self.stats.on_frame_sent(end as u64, raw.len() as u64);
@@ -199,28 +187,26 @@ pub struct OutboundLink {
 impl OutboundLink {
     /// Spawns the writer thread for `peer_addr`.
     ///
-    /// `loopback` feeds send-failure notifications back into the owning
-    /// node's event loop when the peer proves unreachable; `tracker`
-    /// owns the read-half sockets so node shutdown can unblock them.
+    /// `ctx` carries the node plumbing: its loopback sender feeds
+    /// send-failure notifications back into the owning node's event
+    /// loop when the peer proves unreachable, its tracker owns the
+    /// read-half sockets so node shutdown can unblock them, and its
+    /// reaper joins the reader threads those sockets run on.
     pub(crate) fn spawn(
-        local_node: u32,
         peer_node: u32,
         peer_addr: SocketAddr,
         config: NetConfig,
-        stats: Arc<NetStats>,
-        loopback: mpsc::Sender<Event>,
-        tracker: Arc<SocketTracker>,
+        ctx: ReaderCtx,
     ) -> OutboundLink {
         let (tx, rx) = mpsc::channel();
+        let local_node = ctx.node_id;
+        let stats = Arc::clone(&ctx.stats);
         let worker = Writer {
-            local_node,
             peer_node,
             peer_addr,
             config,
-            stats: Arc::clone(&stats),
-            loopback,
-            tracker,
-            pump: BatchPump::new(rx, stats),
+            pump: BatchPump::new(rx, stats, config.max_link_pending),
+            ctx,
             conn: None,
             failed_attempts: 0,
             ever_connected: false,
@@ -258,13 +244,10 @@ impl Drop for OutboundLink {
 }
 
 struct Writer {
-    local_node: u32,
     peer_node: u32,
     peer_addr: SocketAddr,
     config: NetConfig,
-    stats: Arc<NetStats>,
-    loopback: mpsc::Sender<Event>,
-    tracker: Arc<SocketTracker>,
+    ctx: ReaderCtx,
     pump: BatchPump,
     conn: Option<TcpStream>,
     failed_attempts: u32,
@@ -276,6 +259,16 @@ struct Writer {
 
 impl Writer {
     fn run(mut self) {
+        self.pump_until_done();
+        // Shutting the connection down EOFs the paired detached reader
+        // thread out of its blocking read; the node's reaper then joins
+        // it, so link churn cannot strand reader threads.
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn pump_until_done(&mut self) {
         loop {
             if !self.pump.wait_for_work() {
                 self.surface_shed();
@@ -307,7 +300,9 @@ impl Writer {
                 // (e.g. version mismatch) would spin without backoff.
                 Ok(()) => self.failed_attempts = 0,
                 Err(_) => {
-                    self.conn = None;
+                    if let Some(conn) = self.conn.take() {
+                        let _ = conn.shutdown(Shutdown::Both);
+                    }
                     self.penalty();
                 }
             }
@@ -327,7 +322,7 @@ impl Writer {
     fn surface_shed(&mut self) {
         let shed = self.pump.take_shed_app();
         if !shed.is_empty() {
-            let _ = self.loopback.send(Event::Undeliverable {
+            let _ = self.ctx.events.send(Event::Undeliverable {
                 node: self.peer_node,
                 items: shed,
                 reroute: false,
@@ -347,7 +342,7 @@ impl Writer {
             items.extend(self.pump.take_shed_app());
             self.pump.pending_items = 0;
             if !items.is_empty() {
-                let _ = self.loopback.send(Event::Undeliverable {
+                let _ = self.ctx.events.send(Event::Undeliverable {
                     node: self.peer_node,
                     items,
                     reroute: true,
@@ -370,16 +365,16 @@ impl Writer {
                 // this thread (and node shutdown) forever.
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                 let hello = encode_frame(&Frame::Hello {
-                    node: self.local_node,
+                    node: self.ctx.node_id,
                     version: PROTOCOL_VERSION,
                 });
                 if stream.write_all(&hello).is_err() {
                     self.penalty();
                     return false;
                 }
-                self.stats.on_frame_sent(0, hello.len() as u64);
+                self.ctx.stats.on_frame_sent(0, hello.len() as u64);
                 if self.ever_connected {
-                    self.stats.on_reconnect();
+                    self.ctx.stats.on_reconnect();
                 }
                 self.ever_connected = true;
                 // Responses and send-failure notifications come back on
@@ -387,14 +382,7 @@ impl Writer {
                 // one toward us — §2.2 firewall transparency), so the
                 // initiating side reads it too.
                 if let Ok(rs) = stream.try_clone() {
-                    crate::node::spawn_socket_reader(
-                        self.local_node,
-                        rs,
-                        self.loopback.clone(),
-                        Arc::clone(&self.stats),
-                        false,
-                        Arc::clone(&self.tracker),
-                    );
+                    crate::node::spawn_socket_reader(self.ctx.clone(), rs, false);
                 }
                 self.conn = Some(stream);
                 true
@@ -423,7 +411,7 @@ impl Writer {
             self.pump.gather();
             let unsent: Vec<Item> = self.pump.pending.drain(..).flatten().collect();
             self.pump.pending_items = 0;
-            let _ = self.loopback.send(Event::PeerUnreachable {
+            let _ = self.ctx.events.send(Event::PeerUnreachable {
                 node: self.peer_node,
                 unsent,
             });
@@ -435,7 +423,7 @@ impl Writer {
             .reconnect_base
             .saturating_mul(1u32 << self.failed_attempts.min(10))
             .min(self.config.reconnect_max);
-        self.stats.on_backoff(backoff.as_nanos() as u64);
+        self.ctx.stats.on_backoff(backoff.as_nanos() as u64);
         self.pump.idle(backoff);
     }
 }
@@ -446,25 +434,27 @@ impl Writer {
 /// reverse connectivity is ever required (NAT/firewall transparency,
 /// §2.2 of the paper).
 ///
-/// `events` receives what a dying reply socket could not ship: the
+/// `ctx.events` receives what a dying reply socket could not ship: the
 /// protocol regenerates its own responses, but application payloads
 /// must surface on the node's send-failure path, never evaporate with
 /// the connection.
-pub fn spawn_reply_writer(
-    local_node: u32,
+pub(crate) fn spawn_reply_writer(
+    ctx: &ReaderCtx,
     peer_node: u32,
     mut stream: TcpStream,
-    stats: Arc<NetStats>,
-    events: mpsc::Sender<Event>,
 ) -> (mpsc::Sender<Vec<Item>>, JoinHandle<()>) {
     let (tx, rx) = mpsc::channel::<Vec<Item>>();
+    let local_node = ctx.node_id;
+    let stats = Arc::clone(&ctx.stats);
+    let events = ctx.events.clone();
+    let max_pending = ctx.max_link_pending;
     let handle = std::thread::Builder::new()
         .name(format!("dgc-net-{local_node}-reply-{peer_node}"))
         .spawn(move || {
             let _ = stream.set_nodelay(true);
             let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-            let mut pump = BatchPump::new(rx, stats);
-            let salvage = |pump: &mut BatchPump, events: &mpsc::Sender<Event>| {
+            let mut pump = BatchPump::new(rx, stats, max_pending);
+            let salvage = |pump: &mut BatchPump, events: &crate::node::LoopSender| {
                 let mut items: Vec<Item> = pump.pending.drain(..).flatten().collect();
                 items.extend(pump.take_shed_app());
                 pump.pending_items = 0;
@@ -481,7 +471,7 @@ pub fn spawn_reply_writer(
             };
             loop {
                 if !pump.wait_for_work() {
-                    return;
+                    break;
                 }
                 pump.gather();
                 let shed = pump.take_shed_app();
@@ -496,12 +486,15 @@ pub fn spawn_reply_writer(
                     // Reply link dead; the peer will reconnect. Hand
                     // back the unwritten remainder first.
                     salvage(&mut pump, &events);
-                    return;
+                    break;
                 }
                 if pump.closed && pump.pending.is_empty() {
-                    return;
+                    break;
                 }
             }
+            // EOF the paired reader so churned links leave no thread
+            // behind (the reaper joins it).
+            let _ = stream.shutdown(Shutdown::Both);
         })
         .expect("spawn reply writer thread");
     (tx, handle)

@@ -1,0 +1,1028 @@
+//! The **reactor** I/O engine: every socket of a node, one readiness
+//! loop, zero per-peer threads.
+//!
+//! The threaded engine ([`crate::peer`]) spends ~3 OS threads per peer
+//! (writer, reply writer, detached reader); past a few hundred peers
+//! that is the transport's scaling ceiling. This module keeps the exact
+//! link semantics — hello-first handshake, forward/reply routing
+//! discipline (§2.2 firewall transparency), exponential backoff with
+//! terminal conviction after `fail_after_attempts`, bounded per-link
+//! buffering with app-item salvage — but drives all of it from the
+//! node's own event-loop thread over nonblocking sockets and a
+//! [`polling::Poller`] (epoll on Linux, portable emulation elsewhere).
+//!
+//! The worker calls [`Reactor::poll`] instead of parking on its event
+//! channel; cross-thread senders nudge the loop through the poller's
+//! [`polling::Waker`]. Everything the reactor cannot decide alone —
+//! delivering items, convicting peers, rerouting salvage — surfaces as
+//! a [`Notice`] for the worker, mirroring the events the threaded
+//! engine's link threads send.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polling::{Interest, PollEvent, Poller, Waker};
+
+use crate::config::NetConfig;
+use crate::frame::{
+    encode_batch_frame, encode_frame, split_len, Frame, FrameDecoder, Item, PROTOCOL_VERSION,
+};
+use crate::node::AcceptBackoff;
+use crate::stats::NetStats;
+
+/// Poller key of the listening socket.
+const TOKEN_LISTENER: usize = 0;
+/// Poller key of the cross-thread waker.
+const TOKEN_WAKER: usize = 1;
+/// First key handed to connections; keys are never reused, so a stale
+/// event for a dead connection simply misses in the map.
+const TOKEN_BASE: usize = 2;
+
+/// How long an in-flight nonblocking connect may take before it counts
+/// as a failed attempt (the threaded engine's `connect_timeout`).
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// How long a connection may sit write-blocked with data pending before
+/// it is declared dead (the threaded engine's write timeout): a peer
+/// that accepts but never reads must not hoard frames forever.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// Read buffer per syscall, matching the threaded reader's chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+/// Most read syscalls served per readiness event, so one firehose
+/// connection cannot starve the rest of the loop (level-triggered
+/// polling re-reports whatever is left).
+const MAX_READS_PER_EVENT: usize = 16;
+
+/// What the reactor needs the worker to handle — the same decisions the
+/// threaded engine's link threads send as loop events.
+pub(crate) enum Notice {
+    /// A decoded protocol unit addressed to this node.
+    Item(Item),
+    /// `fail_after_attempts` consecutive failures convicted the peer;
+    /// `unsent` is everything still queued for it.
+    PeerUnreachable {
+        /// The convicted peer.
+        node: u32,
+        /// Items the link never managed to write.
+        unsent: Vec<Item>,
+    },
+    /// Items a dying or overloaded connection could not carry. With
+    /// `reroute` the worker may retry them over the peer's other path;
+    /// without it they fail outright (retrying could reorder around
+    /// what a reconnecting peer will deliver).
+    Undeliverable {
+        /// The peer the items were addressed to.
+        node: u32,
+        /// The salvaged items.
+        items: Vec<Item>,
+        /// Whether rerouting over another path is safe.
+        reroute: bool,
+    },
+}
+
+/// Which side opened the connection — decides routing and salvage.
+enum ConnKind {
+    /// Accepted from the listener: carries the peer's forward traffic
+    /// in, our replies out (once its hello names the peer).
+    Inbound,
+    /// Dialed by [`Reactor::open_link`]: carries our forward traffic
+    /// out, the peer's replies in. Failure feeds the link's backoff.
+    Outbound,
+    /// Handed over by a join-probe dialer: read-only gossip tail.
+    Adopted,
+}
+
+/// One frame mid-write: the encoded bytes, how far the socket got, and
+/// the items to salvage if the connection dies before completion.
+struct PendingFrame {
+    bytes: Vec<u8>,
+    written: usize,
+    /// Item count, for `on_frame_sent` accounting (0 for hellos).
+    items: u64,
+    salvage: Vec<Item>,
+}
+
+/// A registered nonblocking connection and its codec state.
+struct Conn {
+    stream: TcpStream,
+    kind: ConnKind,
+    /// Peer node id: always known for outbound conns, learned from the
+    /// hello on inbound ones.
+    peer: Option<u32>,
+    decoder: FrameDecoder,
+    /// Items accepted but not yet framed.
+    queue: VecDeque<Item>,
+    /// Frames in flight (at most a hello plus one data frame).
+    wire: VecDeque<PendingFrame>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// A nonblocking connect is still in flight.
+    connecting: bool,
+    connect_deadline: Option<Instant>,
+    /// Set while a write sits in `WouldBlock`; expiry kills the conn.
+    stall_deadline: Option<Instant>,
+}
+
+impl Conn {
+    /// A read-only registration for an accepted or adopted socket.
+    fn reader(stream: TcpStream, kind: ConnKind) -> Conn {
+        Conn {
+            stream,
+            kind,
+            peer: None,
+            decoder: FrameDecoder::new(),
+            queue: VecDeque::new(),
+            wire: VecDeque::new(),
+            interest: Interest::READ,
+            connecting: false,
+            connect_deadline: None,
+            stall_deadline: None,
+        }
+    }
+
+    /// Bytes or items still waiting to go out.
+    fn has_unsent(&self) -> bool {
+        !self.wire.is_empty() || !self.queue.is_empty()
+    }
+}
+
+/// Connection state of an outbound link.
+#[derive(Clone, Copy)]
+enum LinkState {
+    /// A connection exists (possibly still connecting) under `token`.
+    Wired { token: usize },
+    /// Waiting out a reconnect backoff; redialed at `until` if traffic
+    /// is parked, or lazily on the next send.
+    Backoff { until: Instant },
+}
+
+/// An outbound link: the reactor's analogue of a threaded
+/// [`crate::peer::OutboundLink`], minus the thread.
+struct OutLink {
+    addr: SocketAddr,
+    state: LinkState,
+    /// Consecutive failed attempts; a fully written frame resets it.
+    failed_attempts: u32,
+    /// Whether the link ever completed a connect (for reconnect stats).
+    ever_connected: bool,
+    /// Items queued while no connection exists.
+    parked: VecDeque<Item>,
+}
+
+/// The engine: owns the listener, every connection, all outbound link
+/// state, and the poller that multiplexes them on one thread.
+pub(crate) struct Reactor {
+    node_id: u32,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: TcpListener,
+    /// Set while the listener is unhooked after an accept error; it is
+    /// re-registered when the backoff expires.
+    listener_resume: Option<Instant>,
+    accept_backoff: AcceptBackoff,
+    next_token: usize,
+    conns: HashMap<usize, Conn>,
+    links: HashMap<u32, OutLink>,
+    /// peer node → token of the inbound conn its replies travel on.
+    reply_routes: HashMap<u32, usize>,
+    /// Reused event buffer for `Poller::wait`.
+    events: Vec<PollEvent>,
+    /// Notices accumulated since the worker last drained them.
+    pending: Vec<Notice>,
+}
+
+fn earlier(a: Option<Instant>, b: Instant) -> Option<Instant> {
+    Some(match a {
+        Some(a) => a.min(b),
+        None => b,
+    })
+}
+
+/// Bounded buffering (`NetConfig::max_link_pending`), shared by parked
+/// and wired queues: drop the oldest items, but surface shed app
+/// payloads — the protocol regenerates heartbeats and digests, never
+/// application units.
+fn shed_overflow(queue: &mut VecDeque<Item>, max: usize, pending: &mut Vec<Notice>, node: u32) {
+    if queue.len() <= max {
+        return;
+    }
+    let mut shed_app = Vec::new();
+    while queue.len() > max {
+        if let Some(old) = queue.pop_front() {
+            if matches!(old, Item::App { .. }) {
+                shed_app.push(old);
+            }
+        }
+    }
+    if !shed_app.is_empty() {
+        pending.push(Notice::Undeliverable {
+            node,
+            items: shed_app,
+            reroute: false,
+        });
+    }
+}
+
+impl Reactor {
+    /// Takes ownership of the node's (already bound) listener and opens
+    /// the poller. The listener goes nonblocking; accepts are served
+    /// from [`Reactor::poll`].
+    pub(crate) fn new(
+        node_id: u32,
+        listener: TcpListener,
+        config: NetConfig,
+        stats: Arc<NetStats>,
+    ) -> std::io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(&listener, TOKEN_LISTENER, Interest::READ)?;
+        let waker = Arc::new(poller.waker(TOKEN_WAKER)?);
+        Ok(Reactor {
+            node_id,
+            config,
+            stats,
+            poller,
+            waker,
+            listener,
+            listener_resume: None,
+            accept_backoff: AcceptBackoff::new(),
+            next_token: TOKEN_BASE,
+            conns: HashMap::new(),
+            links: HashMap::new(),
+            reply_routes: HashMap::new(),
+            events: Vec::new(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Handle event senders use to interrupt a parked [`Reactor::poll`].
+    pub(crate) fn waker(&self) -> Arc<Waker> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Whether an outbound link toward `dest` exists (wired or backing
+    /// off) — the reactor's analogue of the threaded outbound map's
+    /// `contains_key`.
+    pub(crate) fn has_link(&self, dest: u32) -> bool {
+        self.links.contains_key(&dest)
+    }
+
+    /// Ensures an outbound link toward `dest` at `addr`, dialing
+    /// immediately. No-op if one already exists.
+    pub(crate) fn open_link(&mut self, dest: u32, addr: SocketAddr) {
+        if self.links.contains_key(&dest) {
+            return;
+        }
+        self.links.insert(
+            dest,
+            OutLink {
+                addr,
+                state: LinkState::Backoff {
+                    until: Instant::now(),
+                },
+                failed_attempts: 0,
+                ever_connected: false,
+                parked: VecDeque::new(),
+            },
+        );
+        self.dial(dest);
+    }
+
+    /// Queues forward items (heartbeats, requests, anycast gossip) on
+    /// `dest`'s link and pushes whatever the socket will take right
+    /// now. `Err` hands the batch back: no link exists (the caller
+    /// reroutes or fails the items, as with a closed threaded channel).
+    pub(crate) fn queue_forward(&mut self, dest: u32, batch: Vec<Item>) -> Result<(), Vec<Item>> {
+        let Some(link) = self.links.get_mut(&dest) else {
+            return Err(batch);
+        };
+        match link.state {
+            LinkState::Wired { token } => {
+                let conn = self
+                    .conns
+                    .get_mut(&token)
+                    .expect("wired link state implies a live conn");
+                conn.queue.extend(batch);
+                shed_overflow(
+                    &mut conn.queue,
+                    self.config.max_link_pending,
+                    &mut self.pending,
+                    dest,
+                );
+                self.flush_token(token);
+            }
+            LinkState::Backoff { until } => {
+                link.parked.extend(batch);
+                shed_overflow(
+                    &mut link.parked,
+                    self.config.max_link_pending,
+                    &mut self.pending,
+                    dest,
+                );
+                if Instant::now() >= until {
+                    self.dial(dest);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Queues reply items (responses, reply payloads, failure notices)
+    /// on the inbound connection `dest`'s forward traffic arrived on.
+    /// `Err` hands the batch back: the peer has no live reply socket.
+    pub(crate) fn queue_reply(&mut self, dest: u32, batch: Vec<Item>) -> Result<(), Vec<Item>> {
+        let Some(&token) = self.reply_routes.get(&dest) else {
+            return Err(batch);
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            self.reply_routes.remove(&dest);
+            return Err(batch);
+        };
+        conn.queue.extend(batch);
+        shed_overflow(
+            &mut conn.queue,
+            self.config.max_link_pending,
+            &mut self.pending,
+            dest,
+        );
+        self.flush_token(token);
+        Ok(())
+    }
+
+    /// Tears down `dest`'s outbound link (address changed or peer
+    /// departed); its backlog surfaces as reroutable salvage.
+    pub(crate) fn drop_link(&mut self, dest: u32) {
+        let Some(link) = self.links.remove(&dest) else {
+            return;
+        };
+        let mut salvage: Vec<Item> = Vec::new();
+        if let LinkState::Wired { token } = link.state {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.delete(&conn.stream, token);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                for f in conn.wire {
+                    salvage.extend(f.salvage);
+                }
+                salvage.extend(conn.queue);
+            }
+        }
+        salvage.extend(link.parked);
+        if !salvage.is_empty() {
+            self.pending.push(Notice::Undeliverable {
+                node: dest,
+                items: salvage,
+                reroute: true,
+            });
+        }
+    }
+
+    /// Full disconnect from a departed peer: outbound link *and* the
+    /// inbound reply route (after one last nonblocking flush attempt —
+    /// farewell acks ride out if the socket has room).
+    pub(crate) fn drop_peer(&mut self, dest: u32) {
+        if let Some(&token) = self.reply_routes.get(&dest) {
+            self.flush_token(token);
+        }
+        if let Some(token) = self.reply_routes.remove(&dest) {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.delete(&conn.stream, token);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                let mut leftovers: Vec<Item> = Vec::new();
+                for f in conn.wire {
+                    leftovers.extend(f.salvage);
+                }
+                leftovers.extend(conn.queue);
+                if !leftovers.is_empty() {
+                    self.pending.push(Notice::Undeliverable {
+                        node: dest,
+                        items: leftovers,
+                        reroute: false,
+                    });
+                }
+            }
+        }
+        self.drop_link(dest);
+    }
+
+    /// Adopts a socket a join-probe dialer opened (hello and probe
+    /// digest already written, blocking): the reactor reads the seed's
+    /// gossip replies from it until EOF.
+    pub(crate) fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.poller.add(&stream, token, Interest::READ).is_err() {
+            return;
+        }
+        self.conns
+            .insert(token, Conn::reader(stream, ConnKind::Adopted));
+    }
+
+    /// The earliest instant any reactor timer fires: connect/write
+    /// deadlines, backoff expiries with traffic parked, listener
+    /// re-arm. The worker folds this into its `recv_timeout`.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        let mut next = self.listener_resume;
+        for c in self.conns.values() {
+            if let Some(d) = c.connect_deadline {
+                next = earlier(next, d);
+            }
+            if let Some(d) = c.stall_deadline {
+                next = earlier(next, d);
+            }
+        }
+        for l in self.links.values() {
+            if let LinkState::Backoff { until } = l.state {
+                if !l.parked.is_empty() {
+                    next = earlier(next, until);
+                }
+            }
+        }
+        next
+    }
+
+    /// One loop turn: waits up to `timeout` for readiness (or a waker
+    /// nudge), services every ready socket and due timer, and appends
+    /// what the worker must handle to `notices`.
+    pub(crate) fn poll(&mut self, timeout: Duration, notices: &mut Vec<Notice>) {
+        notices.append(&mut self.pending);
+        self.events.clear();
+        let mut events = std::mem::take(&mut self.events);
+        if self.poller.wait(&mut events, Some(timeout)).is_err() {
+            // A failed wait degrades to a timeout; don't spin hot.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.events = events;
+        self.dispatch_io();
+        self.service_timers();
+        notices.append(&mut self.pending);
+    }
+
+    /// Best-effort flush of everything still queued, for up to `grace`:
+    /// the reactor's shutdown/leave analogue of the threaded writers
+    /// draining their channels on drop. Notices raised while draining
+    /// stay pending (a leaving node surfaces them on its next poll; a
+    /// stopping node discards them with the reactor).
+    pub(crate) fn drain(&mut self, grace: Duration) {
+        let deadline = Instant::now() + grace;
+        loop {
+            let busy: Vec<usize> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.connecting && c.has_unsent())
+                .map(|(&t, _)| t)
+                .collect();
+            for t in busy {
+                self.flush_token(t);
+            }
+            let unsent = self.conns.values().any(|c| c.has_unsent());
+            if !unsent {
+                return;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            self.events.clear();
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self
+                .poller
+                .wait(&mut events, Some(left.min(Duration::from_millis(10))));
+            self.events = events;
+            self.dispatch_io();
+            self.service_timers();
+        }
+    }
+
+    /// Routes every event in `self.events` to its handler.
+    fn dispatch_io(&mut self) {
+        let events = std::mem::take(&mut self.events);
+        for ev in &events {
+            match ev.key {
+                TOKEN_WAKER => self.waker.clear(),
+                TOKEN_LISTENER => self.accept_ready(),
+                token => {
+                    if ev.readable {
+                        self.read_ready(token);
+                    }
+                    if ev.writable {
+                        self.write_ready(token);
+                    }
+                }
+            }
+        }
+        self.events = events;
+    }
+
+    /// Accepts everything queued on the listener. A transient error
+    /// (EMFILE and friends) unhooks the listener for a bounded backoff
+    /// instead of killing accepts forever — the bug the threaded
+    /// acceptor shares the [`AcceptBackoff`] fix with.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff.on_success();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.add(&stream, token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.conns
+                        .insert(token, Conn::reader(stream, ConnKind::Inbound));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let wait = self.accept_backoff.on_error(&self.stats);
+                    let _ = self.poller.delete(&self.listener, TOKEN_LISTENER);
+                    self.listener_resume = Some(Instant::now() + wait);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Fires every due timer: listener re-arm, connect and write-stall
+    /// deadlines, backoff expiries with parked traffic.
+    fn service_timers(&mut self) {
+        let now = Instant::now();
+        if self.listener_resume.is_some_and(|t| t <= now) {
+            self.listener_resume = None;
+            if self
+                .poller
+                .add(&self.listener, TOKEN_LISTENER, Interest::READ)
+                .is_err()
+            {
+                // Couldn't re-arm: back off again rather than go deaf.
+                let wait = self.accept_backoff.on_error(&self.stats);
+                self.listener_resume = Some(now + wait);
+            } else {
+                self.accept_ready();
+            }
+        }
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter_map(|(&t, c)| {
+                let connect_expired = c.connecting && c.connect_deadline.is_some_and(|d| d <= now);
+                let stalled = c.stall_deadline.is_some_and(|d| d <= now);
+                (connect_expired || stalled).then_some(t)
+            })
+            .collect();
+        for t in expired {
+            self.conn_dead(t);
+        }
+        let redial: Vec<u32> = self
+            .links
+            .iter()
+            .filter_map(|(&d, l)| match l.state {
+                LinkState::Backoff { until } if until <= now && !l.parked.is_empty() => Some(d),
+                _ => None,
+            })
+            .collect();
+        for d in redial {
+            self.dial(d);
+        }
+    }
+
+    /// Starts a nonblocking connect for `dest`'s link, moving its
+    /// parked items onto the new connection's queue. A synchronous
+    /// failure takes the normal penalty path.
+    fn dial(&mut self, dest: u32) {
+        let Some(link) = self.links.get_mut(&dest) else {
+            return;
+        };
+        match polling::connect_nonblocking(&link.addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let token = self.next_token;
+                self.next_token += 1;
+                let mut conn = Conn {
+                    stream,
+                    kind: ConnKind::Outbound,
+                    peer: Some(dest),
+                    decoder: FrameDecoder::new(),
+                    queue: std::mem::take(&mut link.parked),
+                    wire: VecDeque::new(),
+                    interest: Interest::WRITE,
+                    connecting: true,
+                    connect_deadline: Some(Instant::now() + CONNECT_TIMEOUT),
+                    stall_deadline: None,
+                };
+                if self
+                    .poller
+                    .add(&conn.stream, token, Interest::WRITE)
+                    .is_err()
+                {
+                    link.parked = std::mem::take(&mut conn.queue);
+                    self.penalize_link(dest, Vec::new());
+                    return;
+                }
+                link.state = LinkState::Wired { token };
+                self.conns.insert(token, conn);
+            }
+            Err(_) => self.penalize_link(dest, Vec::new()),
+        }
+    }
+
+    /// An in-flight connect's socket polled writable: harvest `SO_ERROR`
+    /// to learn whether it landed, and on success send the hello — the
+    /// first frame on every outbound connection.
+    fn connect_ready(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match polling::take_socket_error(&conn.stream) {
+            Ok(()) => {
+                conn.connecting = false;
+                conn.connect_deadline = None;
+                let hello = encode_frame(&Frame::Hello {
+                    node: self.node_id,
+                    version: PROTOCOL_VERSION,
+                });
+                conn.wire.push_front(PendingFrame {
+                    bytes: hello,
+                    written: 0,
+                    items: 0,
+                    salvage: Vec::new(),
+                });
+                if let Some(dest) = conn.peer {
+                    if let Some(link) = self.links.get_mut(&dest) {
+                        if link.ever_connected {
+                            self.stats.on_reconnect();
+                        }
+                        link.ever_connected = true;
+                    }
+                }
+                self.flush_token(token);
+            }
+            Err(_) => self.conn_dead(token),
+        }
+    }
+
+    fn write_ready(&mut self, token: usize) {
+        let connecting = match self.conns.get(&token) {
+            Some(c) => c.connecting,
+            None => return,
+        };
+        if connecting {
+            self.connect_ready(token);
+        } else {
+            self.flush_token(token);
+        }
+    }
+
+    /// Drives `token`'s write side: frames items off its queue as the
+    /// wire drains, writes until `WouldBlock` or empty, and feeds fatal
+    /// errors to [`Reactor::conn_dead`]. Never blocks.
+    fn flush_token(&mut self, token: usize) {
+        let mut fatal = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.connecting {
+                break;
+            }
+            if conn.wire.is_empty() {
+                if conn.queue.is_empty() {
+                    break;
+                }
+                let n = split_len(conn.queue.make_contiguous());
+                let items: Vec<Item> = conn.queue.drain(..n).collect();
+                let bytes = encode_batch_frame(&items);
+                conn.wire.push_back(PendingFrame {
+                    bytes,
+                    written: 0,
+                    items: n as u64,
+                    salvage: items,
+                });
+            }
+            let f = conn.wire.front_mut().expect("wire was just checked/filled");
+            match conn.stream.write(&f.bytes[f.written..]) {
+                Ok(0) => {
+                    fatal = true;
+                    break;
+                }
+                Ok(n) => {
+                    f.written += n;
+                    let complete = f.written == f.bytes.len();
+                    conn.stall_deadline = None;
+                    if complete {
+                        let done = conn.wire.pop_front().expect("front frame exists");
+                        self.stats
+                            .on_frame_sent(done.items, done.bytes.len() as u64);
+                        // A fully written frame proves the link works —
+                        // the reactor's analogue of a completed flush
+                        // resetting the threaded writer's failure count.
+                        if matches!(conn.kind, ConnKind::Outbound) {
+                            if let Some(dest) = conn.peer {
+                                if let Some(link) = self.links.get_mut(&dest) {
+                                    link.failed_attempts = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if conn.stall_deadline.is_none() {
+                        conn.stall_deadline = Some(Instant::now() + WRITE_STALL_TIMEOUT);
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        if fatal {
+            self.conn_dead(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Reads `token` until `WouldBlock` (bounded per event), feeding the
+    /// frame decoder and surfacing decoded items as notices.
+    fn read_ready(&mut self, token: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..MAX_READS_PER_EVENT {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.connecting {
+                return;
+            }
+            let n = match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.conn_dead(token);
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.conn_dead(token);
+                    return;
+                }
+            };
+            self.stats.on_raw_received(n as u64);
+            conn.decoder.push(&chunk[..n]);
+            let mut dead = false;
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some(Frame::Hello { node, version })) => {
+                        if version != PROTOCOL_VERSION {
+                            self.stats.on_decode_error();
+                            dead = true;
+                            break;
+                        }
+                        self.stats.on_frame_received(0);
+                        if matches!(conn.kind, ConnKind::Inbound) && conn.peer.is_none() {
+                            // The hello names the peer: its replies now
+                            // route back over this connection (§2.2 —
+                            // never a fresh reverse connection).
+                            conn.peer = Some(node);
+                            self.reply_routes.insert(node, token);
+                        }
+                    }
+                    Ok(Some(Frame::Batch(items))) => {
+                        self.stats.on_frame_received(items.len() as u64);
+                        self.pending.extend(items.into_iter().map(Notice::Item));
+                    }
+                    Err(_) => {
+                        self.stats.on_decode_error();
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                self.conn_dead(token);
+                return;
+            }
+        }
+    }
+
+    /// Removes `token`'s connection and routes its unsent items:
+    /// outbound deaths take the link penalty path (backoff, eventually
+    /// conviction), inbound deaths surface queued replies as
+    /// non-reroutable salvage, adopted probes just close.
+    fn conn_dead(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.delete(&conn.stream, token);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        let mut salvage: Vec<Item> = Vec::new();
+        for f in conn.wire {
+            salvage.extend(f.salvage);
+        }
+        salvage.extend(conn.queue);
+        match conn.kind {
+            ConnKind::Outbound => {
+                let dest = conn.peer.expect("outbound conns always know their peer");
+                self.penalize_link(dest, salvage);
+            }
+            ConnKind::Inbound => {
+                if let Some(peer) = conn.peer {
+                    if self.reply_routes.get(&peer) == Some(&token) {
+                        self.reply_routes.remove(&peer);
+                    }
+                    if !salvage.is_empty() {
+                        // No reroute: the peer may be reconnecting, and
+                        // retrying around a half-written stream could
+                        // reorder what the fresh socket will carry.
+                        self.pending.push(Notice::Undeliverable {
+                            node: peer,
+                            items: salvage,
+                            reroute: false,
+                        });
+                    }
+                }
+            }
+            ConnKind::Adopted => {}
+        }
+    }
+
+    /// One failed connect or write on `dest`'s link (its connection, if
+    /// any, is already gone): park the salvage, count the failure, and
+    /// back off — or convict the peer at `fail_after_attempts`, exactly
+    /// like the threaded writer's `penalty`.
+    fn penalize_link(&mut self, dest: u32, salvage: Vec<Item>) {
+        let Some(link) = self.links.get_mut(&dest) else {
+            if !salvage.is_empty() {
+                self.pending.push(Notice::Undeliverable {
+                    node: dest,
+                    items: salvage,
+                    reroute: true,
+                });
+            }
+            return;
+        };
+        link.parked.extend(salvage);
+        shed_overflow(
+            &mut link.parked,
+            self.config.max_link_pending,
+            &mut self.pending,
+            dest,
+        );
+        link.failed_attempts = link.failed_attempts.saturating_add(1);
+        if link.failed_attempts >= self.config.fail_after_attempts {
+            let unsent: Vec<Item> = std::mem::take(&mut link.parked).into_iter().collect();
+            self.links.remove(&dest);
+            self.pending
+                .push(Notice::PeerUnreachable { node: dest, unsent });
+            return;
+        }
+        let backoff = self
+            .config
+            .reconnect_base
+            .saturating_mul(1u32 << link.failed_attempts.min(10))
+            .min(self.config.reconnect_max);
+        self.stats.on_backoff(backoff.as_nanos() as u64);
+        link.state = LinkState::Backoff {
+            until: Instant::now() + backoff,
+        };
+    }
+
+    /// Re-registers `token` with the interest its state wants: WRITE
+    /// while connecting, READ plus WRITE-while-unsent-data otherwise.
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = if conn.connecting {
+            Interest::WRITE
+        } else if conn.has_unsent() {
+            Interest::BOTH
+        } else {
+            Interest::READ
+        };
+        if want != conn.interest && self.poller.modify(&conn.stream, token, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_core::id::AoId;
+
+    fn test_reactor() -> Reactor {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Reactor::new(1, listener, NetConfig::default(), NetStats::shared()).unwrap()
+    }
+
+    fn app_item(n: u32) -> Item {
+        Item::App {
+            from: AoId::new(1, 0),
+            to: AoId::new(2, n),
+            reply: false,
+            payload: vec![n as u8; 8],
+        }
+    }
+
+    #[test]
+    fn forward_link_handshakes_then_delivers() {
+        let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = sink.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (mut s, _) = sink.accept().unwrap();
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            let mut buf = [0u8; 4096];
+            while frames.len() < 2 {
+                let n = s.read(&mut buf).unwrap();
+                assert!(n > 0, "sender closed early");
+                dec.push(&buf[..n]);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            frames
+        });
+
+        let mut r = test_reactor();
+        r.open_link(2, addr);
+        r.queue_forward(2, vec![app_item(7), app_item(8)]).unwrap();
+        let mut notices = Vec::new();
+        let start = Instant::now();
+        while !reader.is_finished() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "delivery timed out"
+            );
+            r.poll(Duration::from_millis(5), &mut notices);
+        }
+        let frames = reader.join().unwrap();
+        assert_eq!(
+            frames[0],
+            Frame::Hello {
+                node: 1,
+                version: PROTOCOL_VERSION
+            },
+            "hello must be the first frame on an outbound connection"
+        );
+        assert_eq!(frames[1], Frame::Batch(vec![app_item(7), app_item(8)]));
+    }
+
+    #[test]
+    fn missing_link_hands_the_batch_back() {
+        let mut r = test_reactor();
+        assert_eq!(
+            r.queue_forward(9, vec![app_item(1)]),
+            Err(vec![app_item(1)])
+        );
+        assert_eq!(r.queue_reply(9, vec![app_item(2)]), Err(vec![app_item(2)]));
+    }
+
+    #[test]
+    fn unreachable_peer_is_convicted_with_its_backlog() {
+        // Bind-then-drop: a (very likely) dead port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = NetConfig {
+            fail_after_attempts: 3,
+            reconnect_base: Duration::from_millis(1),
+            reconnect_max: Duration::from_millis(2),
+            ..NetConfig::default()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut r = Reactor::new(1, listener, config, NetStats::shared()).unwrap();
+        r.open_link(2, addr);
+        let _ = r.queue_forward(2, vec![app_item(1)]);
+        let mut notices = Vec::new();
+        let start = Instant::now();
+        loop {
+            assert!(start.elapsed() < Duration::from_secs(5), "never convicted");
+            r.poll(Duration::from_millis(5), &mut notices);
+            if let Some(Notice::PeerUnreachable { node, unsent }) = notices
+                .iter()
+                .find(|n| matches!(n, Notice::PeerUnreachable { .. }))
+            {
+                assert_eq!(*node, 2);
+                assert_eq!(unsent, &vec![app_item(1)]);
+                break;
+            }
+        }
+        assert!(!r.has_link(2), "convicted links are removed");
+    }
+}

@@ -27,6 +27,7 @@ struct NetObs {
     send_failures: Counter,
     decode_errors: Counter,
     piggybacked: Counter,
+    accept_errors: Counter,
     reconnect_backoff: Histogram,
 }
 
@@ -43,6 +44,7 @@ impl NetObs {
             send_failures: registry.counter("net.send_failures"),
             decode_errors: registry.counter("net.decode_errors"),
             piggybacked: registry.counter("net.piggybacked"),
+            accept_errors: registry.counter("net.accept_errors"),
             reconnect_backoff: registry.histogram("net.reconnect_backoff_ns"),
         }
     }
@@ -62,6 +64,7 @@ pub struct NetStats {
     send_failures: AtomicU64,
     decode_errors: AtomicU64,
     piggybacked: AtomicU64,
+    accept_errors: AtomicU64,
     obs: Option<NetObs>,
 }
 
@@ -92,6 +95,9 @@ pub struct NetStatsSnapshot {
     /// rode an application-send flush — frames they did not pay for
     /// (the egress plane's piggyback win).
     pub piggybacked: u64,
+    /// Transient `accept()` failures (fd exhaustion and friends) the
+    /// acceptor survived by backing off instead of dying silently.
+    pub accept_errors: u64,
 }
 
 impl NetStatsSnapshot {
@@ -103,6 +109,71 @@ impl NetStatsSnapshot {
         } else {
             self.items_sent as f64 / self.frames_sent as f64
         }
+    }
+
+    /// Adds every counter of `other` into `self` — the fleet-wide fold
+    /// behind [`crate::Cluster::total_stats`]. Destructures both
+    /// snapshots exhaustively, so adding a counter without folding it
+    /// is a compile error, not a silently dropped stat.
+    pub fn merge(&mut self, other: &NetStatsSnapshot) {
+        let NetStatsSnapshot {
+            frames_sent,
+            bytes_sent,
+            items_sent,
+            frames_received,
+            bytes_received,
+            items_received,
+            reconnects,
+            send_failures,
+            decode_errors,
+            piggybacked,
+            accept_errors,
+        } = *other;
+        self.frames_sent += frames_sent;
+        self.bytes_sent += bytes_sent;
+        self.items_sent += items_sent;
+        self.frames_received += frames_received;
+        self.bytes_received += bytes_received;
+        self.items_received += items_received;
+        self.reconnects += reconnects;
+        self.send_failures += send_failures;
+        self.decode_errors += decode_errors;
+        self.piggybacked += piggybacked;
+        self.accept_errors += accept_errors;
+    }
+
+    /// Every counter as `(registry key, value)` pairs, keyed exactly as
+    /// the `net.*` telemetry mirror registers them. Exhaustive by
+    /// construction (destructuring), so the obs-conservation test can
+    /// cross-check snapshot ↔ registry in both directions and a new
+    /// field can never dodge the mirror unnoticed.
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        let NetStatsSnapshot {
+            frames_sent,
+            bytes_sent,
+            items_sent,
+            frames_received,
+            bytes_received,
+            items_received,
+            reconnects,
+            send_failures,
+            decode_errors,
+            piggybacked,
+            accept_errors,
+        } = *self;
+        vec![
+            ("net.frames_sent", frames_sent),
+            ("net.bytes_sent", bytes_sent),
+            ("net.items_sent", items_sent),
+            ("net.frames_received", frames_received),
+            ("net.bytes_received", bytes_received),
+            ("net.items_received", items_received),
+            ("net.reconnects", reconnects),
+            ("net.send_failures", send_failures),
+            ("net.decode_errors", decode_errors),
+            ("net.piggybacked", piggybacked),
+            ("net.accept_errors", accept_errors),
+        ]
     }
 }
 
@@ -192,6 +263,14 @@ impl NetStats {
         }
     }
 
+    /// Records a transient acceptor failure that triggered backoff.
+    pub fn on_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.accept_errors.incr();
+        }
+    }
+
     /// Consistent-enough copy for reporting.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
@@ -205,6 +284,7 @@ impl NetStats {
             send_failures: self.send_failures.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             piggybacked: self.piggybacked.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -250,20 +330,39 @@ mod tests {
         s.on_send_failures(2);
         s.on_decode_error();
         s.on_piggybacked(5);
+        s.on_accept_error();
         s.on_backoff(1_000_000);
         let snap = s.snapshot();
         let o = r.snapshot();
-        assert_eq!(o.counter("net.frames_sent"), snap.frames_sent);
-        assert_eq!(o.counter("net.bytes_sent"), snap.bytes_sent);
-        assert_eq!(o.counter("net.items_sent"), snap.items_sent);
-        assert_eq!(o.counter("net.frames_received"), snap.frames_received);
-        assert_eq!(o.counter("net.bytes_received"), snap.bytes_received);
-        assert_eq!(o.counter("net.items_received"), snap.items_received);
-        assert_eq!(o.counter("net.reconnects"), snap.reconnects);
-        assert_eq!(o.counter("net.send_failures"), snap.send_failures);
-        assert_eq!(o.counter("net.decode_errors"), snap.decode_errors);
-        assert_eq!(o.counter("net.piggybacked"), snap.piggybacked);
+        for (key, value) in snap.named_counters() {
+            assert_eq!(o.counter(key), value, "mirror diverged for {key}");
+        }
+        assert!(snap.named_counters().iter().any(|&(_, v)| v > 0));
         assert_eq!(o.histogram("net.reconnect_backoff_ns").count, 1);
+    }
+
+    #[test]
+    fn merge_folds_every_field() {
+        let a = NetStats::shared();
+        a.on_frame_sent(3, 100);
+        a.on_accept_error();
+        let b = NetStats::shared();
+        b.on_frame_received(2);
+        b.on_raw_received(64);
+        b.on_reconnect();
+        b.on_send_failures(2);
+        b.on_decode_error();
+        b.on_piggybacked(5);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        for ((key, folded), ((_, va), (_, vb))) in total.named_counters().iter().zip(
+            a.snapshot()
+                .named_counters()
+                .into_iter()
+                .zip(b.snapshot().named_counters()),
+        ) {
+            assert_eq!(*folded, va + vb, "fold lost {key}");
+        }
     }
 
     #[test]

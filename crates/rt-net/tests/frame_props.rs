@@ -338,3 +338,79 @@ fn every_prefix_of_a_stream_is_safe() {
         assert_eq!(dec.pending_bytes(), cut - consumed);
     }
 }
+
+/// Items with payloads big enough to make the per-frame *byte* bound
+/// bite (the plain `arb_item` payloads are tiny, so only the item
+/// bound ever would).
+fn arb_weighty_item() -> impl Strategy<Value = Item> {
+    (
+        any::<bool>(),
+        arb_item(),
+        arb_aoid(),
+        arb_aoid(),
+        1usize..(1 << 20),
+    )
+        .prop_map(|(heavy, light, from, to, size)| {
+            if heavy {
+                Item::App {
+                    from,
+                    to,
+                    reply: false,
+                    payload: vec![0xA5; size],
+                }
+            } else {
+                light
+            }
+        })
+}
+
+proptest! {
+    // Big allocations per case: fewer cases than the codec properties.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The frame-splitting boundary both I/O engines cut their write
+    /// queues at: greedy (never leaves room unused), bounded (never
+    /// emits an oversized frame unless a single item alone is the
+    /// frame), and a partition (repeated splits walk the whole queue
+    /// losslessly).
+    #[test]
+    fn split_len_is_a_greedy_bounded_partition(
+        items in proptest::collection::vec(arb_weighty_item(), 0..12)
+    ) {
+        use dgc_rt_net::frame::{split_len, MAX_BYTES_PER_FRAME, MAX_ITEMS_PER_FRAME};
+        let n = split_len(&items);
+        if items.is_empty() {
+            prop_assert_eq!(n, 0);
+            return Ok(());
+        }
+        // Always progresses, never over-reaches.
+        prop_assert!(n >= 1);
+        prop_assert!(n <= items.len().min(MAX_ITEMS_PER_FRAME));
+        // Within the byte bound — except the one allowed case, a lone
+        // item that is itself oversized.
+        let bytes: u64 = items[..n].iter().map(|i| i.wire_size()).sum();
+        prop_assert!(
+            bytes <= MAX_BYTES_PER_FRAME || n == 1,
+            "split of {} items carries {} bytes", n, bytes
+        );
+        // Greedy: if anything was left out, taking one more item would
+        // burst a bound.
+        if n < items.len() {
+            let with_next = bytes + items[n].wire_size();
+            prop_assert!(
+                n == MAX_ITEMS_PER_FRAME || with_next > MAX_BYTES_PER_FRAME,
+                "split stopped at {} of {} with room to spare", n, items.len()
+            );
+        }
+        // Partition: repeated splitting consumes exactly the queue.
+        let mut rest: &[Item] = &items;
+        let mut walked = 0usize;
+        while !rest.is_empty() {
+            let step = split_len(rest);
+            prop_assert!(step >= 1);
+            walked += step;
+            rest = &rest[step..];
+        }
+        prop_assert_eq!(walked, items.len());
+    }
+}

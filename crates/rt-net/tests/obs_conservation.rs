@@ -35,17 +35,12 @@ fn poll_until(deadline: Duration, check: impl Fn() -> bool) -> bool {
 fn legacy_pairs(cluster: &Cluster, node: u32) -> Option<Vec<(&'static str, u64)>> {
     let net = cluster.stats().get(node as usize).copied()?;
     let eg = cluster.egress_stats(node)?;
-    Some(vec![
-        ("net.frames_sent", net.frames_sent),
-        ("net.bytes_sent", net.bytes_sent),
-        ("net.items_sent", net.items_sent),
-        ("net.frames_received", net.frames_received),
-        ("net.bytes_received", net.bytes_received),
-        ("net.items_received", net.items_received),
-        ("net.reconnects", net.reconnects),
-        ("net.send_failures", net.send_failures),
-        ("net.decode_errors", net.decode_errors),
-        ("net.piggybacked", net.piggybacked),
+    // The transport half comes from the snapshot's own exhaustive
+    // enumeration (`named_counters` destructures the struct), so a
+    // counter added to `NetStatsSnapshot` is cross-checked here without
+    // anyone remembering to extend this list.
+    let mut pairs = net.named_counters();
+    pairs.extend([
         ("egress.enqueued_items", eg.enqueued_items),
         ("egress.enqueued_bytes", eg.enqueued_bytes),
         ("egress.dropped_items", eg.dropped_items),
@@ -58,7 +53,8 @@ fn legacy_pairs(cluster: &Cluster, node: u32) -> Option<Vec<(&'static str, u64)>
         ("egress.flush_reason.delay", eg.delay_flushes),
         ("egress.flush_reason.bounds", eg.bound_flushes),
         ("egress.flush_reason.forced", eg.forced_flushes),
-    ])
+    ]);
+    Some(pairs)
 }
 
 fn mismatches(cluster: &Cluster, nodes: u32) -> Vec<String> {
@@ -136,6 +132,68 @@ fn registry_mirrors_conserve_transport_and_egress_counters() {
         total.counter("dgc.collected.acyclic") + total.counter("dgc.collected.cyclic") == 3,
         "collections not recorded: {}",
         total.render_tree()
+    );
+    cluster.shutdown();
+}
+
+/// Disagreements between the cluster-wide [`NetStatsSnapshot`] fold
+/// (`Cluster::total_stats`) and the merged registry view, both
+/// directions.
+fn fold_mismatches(cluster: &Cluster) -> Vec<String> {
+    let mut out = Vec::new();
+    let folded = cluster.total_stats().named_counters();
+    let merged = cluster.obs_merged();
+    // Every snapshot field must be mirrored counter-for-counter…
+    for (name, value) in &folded {
+        let mirrored = merged.counter(name);
+        if mirrored != *value {
+            out.push(format!(
+                "{name}: fold {value} != merged registry {mirrored}"
+            ));
+        }
+    }
+    // …and every `net.*` counter the registry holds must exist in the
+    // snapshot's enumeration, or `total_stats` is silently dropping a
+    // counter somebody added to the registry only.
+    for (name, value) in merged
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("net."))
+    {
+        if !folded.iter().any(|(n, _)| n == name) {
+            out.push(format!(
+                "registry counter {name} ({value}) missing from NetStatsSnapshot::named_counters"
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn total_stats_fold_and_registry_agree_on_every_net_counter() {
+    // A cross-node cycle gives every transport counter a chance to
+    // move; afterwards the exhaustive fold and the merged registries
+    // must tell the same story, key by key.
+    let cluster = Cluster::listen_local(2, NetConfig::new(dgc())).unwrap();
+    let a = cluster.add_activity(0);
+    let b = cluster.add_activity(1);
+    cluster.add_ref(a, b);
+    cluster.add_ref(b, a);
+    cluster.set_idle(a, true);
+    cluster.set_idle(b, true);
+    assert!(
+        cluster.wait_until(Duration::from_secs(20), |t| t.len() == 2),
+        "cycle must collect; saw {:?}",
+        cluster.terminated()
+    );
+
+    let agreed = poll_until(Duration::from_secs(5), || {
+        fold_mismatches(&cluster).is_empty()
+    });
+    assert!(
+        agreed,
+        "total_stats fold diverged from the merged registry:\n{}",
+        fold_mismatches(&cluster).join("\n")
     );
     cluster.shutdown();
 }
