@@ -57,6 +57,7 @@ pub mod runtime;
 
 pub use activity::{Activity, AoCtx, Behavior, Inert, SpawnAlloc};
 pub use collector::{Collector, CollectorKind};
+pub use dgc_plane::{AuthKey, Pipeline, TenantCounters, TenantId};
 pub use oracle::{garbage_set, live_set, InflightMessage, SafetyViolation, Snapshot};
 pub use request::{FutureId, Reply, Request};
 pub use runtime::{AppDelivered, CollectedRecord, Grid, GridConfig, Sample};

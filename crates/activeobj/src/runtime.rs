@@ -34,6 +34,10 @@ use dgc_membership::{
     Transition,
 };
 use dgc_obs::{Registry, TimeSource};
+use dgc_plane::{
+    AuthKey, Envelope, MiddlewareCtx, Pipeline, TenantCounters, TenantId, TenantLedger, TenantMap,
+    Verdict,
+};
 use dgc_rmi::endpoint::{RmiAction, RmiMessage};
 use dgc_rmi::wire as rmi_wire;
 
@@ -91,6 +95,12 @@ pub struct GridConfig {
     /// piggyback saving. `flush_on_app` must stay on: the application's
     /// synchronous rendezvous (§2) cannot wait out a linger.
     pub egress: FlushPolicy,
+    /// The deployment's link key (`dgc-plane` PSK). On sockets the key
+    /// drives a real HMAC handshake; the simulator *models* the
+    /// outcome: a cross-process link counts as authenticated when both
+    /// ends hold equal keys (or no key is configured anywhere). Procs
+    /// default to this key; [`Grid::set_proc_key`] plants rogues.
+    pub auth: Option<AuthKey>,
 }
 
 impl GridConfig {
@@ -111,7 +121,14 @@ impl GridConfig {
             membership: None,
             membership_seeds: vec![ProcId(0)],
             egress: FlushPolicy::immediate(),
+            auth: None,
         }
+    }
+
+    /// Sets the deployment link key (see [`GridConfig::auth`]).
+    pub fn auth(mut self, key: AuthKey) -> Self {
+        self.auth = Some(key);
+        self
     }
 
     /// Enables the membership layer with `config` timings.
@@ -275,6 +292,7 @@ enum Event {
         from: AoId,
         to: AoId,
         reply: bool,
+        tenant: TenantId,
         payload: Vec<u8>,
     },
     /// `proc`'s egress outbox reached a max-delay deadline: flush the
@@ -338,6 +356,7 @@ enum OutUnit {
         from: AoId,
         to: AoId,
         reply: bool,
+        tenant: TenantId,
         payload: Vec<u8>,
     },
 }
@@ -397,6 +416,19 @@ pub struct Grid {
     /// Per-process telemetry registries, all reading `obs_clock` and
     /// sharing the grid trace ring.
     obs: Vec<Registry>,
+    /// The app-plane middleware pipeline every [`Grid::send_app`]
+    /// payload traverses (outgoing at the sender, incoming at
+    /// delivery). Empty by default: single-tenant grids are untouched.
+    pipeline: Pipeline,
+    /// Activity → tenant assignments. The grid's one map plays the role
+    /// of every node's broadcast-synchronized copy on sockets.
+    tenants: TenantMap,
+    /// Per-tenant app-plane conservation ledger
+    /// (`enqueued = flushed + returned + pending`).
+    ledger: TenantLedger,
+    /// Each process's link key; initialized from [`GridConfig::auth`],
+    /// overridden per proc by [`Grid::set_proc_key`] to model rogues.
+    proc_keys: Vec<Option<AuthKey>>,
 }
 
 impl Grid {
@@ -478,6 +510,13 @@ impl Grid {
                 })
             })
             .collect();
+        // The tenant ledger mirrors into proc 0's registry: tenants are
+        // a grid-wide namespace, and `obs_merged` folds every registry
+        // anyway, so one mirror keeps the counters visible fleet-wide
+        // without double counting.
+        let mut ledger = TenantLedger::new();
+        ledger.set_obs(obs[0].clone());
+        let proc_keys = vec![config.auth; procs_n as usize];
         Grid {
             spawn_alloc: SpawnAlloc::new(procs_n),
             procs: (0..procs_n).map(|_| BTreeMap::new()).collect(),
@@ -505,6 +544,10 @@ impl Grid {
             app_failures: Vec::new(),
             obs_clock,
             obs,
+            pipeline: Pipeline::new(),
+            tenants: TenantMap::new(),
+            ledger,
+            proc_keys,
         }
     }
 
@@ -569,9 +612,24 @@ impl Grid {
     }
 
     /// Hands `holder` a reference to `target` (deployment-time wiring:
-    /// stub deserialization without a message).
+    /// stub deserialization without a message). Refused when the two
+    /// belong to different tenants: reference graphs — and therefore
+    /// every TTB sweep and termination verdict walking them — never
+    /// cross a tenant boundary (the socket runtime rejects the same
+    /// way in its `AddRef` path).
     pub fn make_ref(&mut self, holder: AoId, target: AoId) {
         assert!(self.is_alive(holder), "make_ref: unknown holder {holder}");
+        if self.tenants.of(holder) != self.tenants.of(target) {
+            self.ledger.on_rejected_outgoing(self.tenants.of(holder));
+            if self.trace.enabled(TraceLevel::Debug) {
+                self.trace.debug(
+                    self.now,
+                    "ref-reject",
+                    format!("{holder}→{target}: cross-tenant"),
+                );
+            }
+            return;
+        }
         self.register_deserialized(holder, std::slice::from_ref(&target));
     }
 
@@ -611,22 +669,101 @@ impl Grid {
     /// touches a behavior, so activity idleness is unaffected —
     /// exactly like the socket runtime's opaque app plane.
     pub fn send_app(&mut self, from: AoId, to: AoId, reply: bool, payload: Vec<u8>) {
-        let class = if reply {
+        let mut env = Envelope {
+            from,
+            to,
+            reply,
+            tenant: self.tenants.of(from),
+            payload,
+        };
+        // Outgoing side: the local sender is trusted (auth gates links,
+        // not intent — the socket runtime behaves identically).
+        let ctx = MiddlewareCtx {
+            link_authenticated: true,
+            tenants: &self.tenants,
+        };
+        if let Verdict::Reject(why) = self.pipeline.outgoing(&mut env, &ctx) {
+            self.ledger.on_rejected_outgoing(self.tenants.of(env.from));
+            if self.trace.enabled(TraceLevel::Debug) {
+                self.trace
+                    .debug(self.now, "app-reject", format!("{from}→{to}: {why}"));
+            }
+            return;
+        }
+        self.ledger.on_enqueued(env.tenant);
+        let class = if env.reply {
             EgressClass::AppReply
         } else {
             EgressClass::AppRequest
         };
-        let size = payload.len() as u64;
+        let size = env.payload.len() as u64;
         let unit = OutUnit::AppBytes {
-            from,
-            to,
-            reply,
-            payload,
+            from: env.from,
+            to: env.to,
+            reply: env.reply,
+            tenant: env.tenant,
+            payload: env.payload,
         };
         if from.node == to.node {
             self.schedule_unit(self.now, ProcId(from.node), unit);
         } else {
             self.enqueue_unit(ProcId(from.node), ProcId(to.node), class, size, unit);
+        }
+    }
+
+    /// Installs the app-plane middleware pipeline (e.g.
+    /// [`Pipeline::standard`] for the multi-tenant policy). Replaces
+    /// the current one wholesale; the default is empty.
+    pub fn set_pipeline(&mut self, pipeline: Pipeline) {
+        self.pipeline = pipeline;
+    }
+
+    /// Assigns `ao` to `tenant` — the grid twin of
+    /// `dgc_rt_net::Cluster::set_tenant` (one map here plays every
+    /// node's copy). Isolation stages and the [`Grid::make_ref`] guard
+    /// consult it for both endpoints.
+    pub fn set_tenant(&mut self, ao: AoId, tenant: TenantId) {
+        self.tenants.register(ao, tenant);
+    }
+
+    /// The tenant `ao` belongs to.
+    pub fn tenant_of(&self, ao: AoId) -> TenantId {
+        self.tenants.of(ao)
+    }
+
+    /// Overrides `proc`'s link key (see [`GridConfig::auth`]): `None`
+    /// models a keyless process, a mismatching key models a rogue —
+    /// either way its cross-process app units arrive on links that
+    /// never authenticated, and a [`dgc_plane::RequireAuth`] stage
+    /// refuses them at delivery.
+    pub fn set_proc_key(&mut self, proc: ProcId, key: Option<AuthKey>) {
+        self.proc_keys[proc.0 as usize] = key;
+    }
+
+    /// Every tenant that moved at least one app unit, with its
+    /// conservation counters.
+    pub fn tenant_snapshot(&self) -> Vec<(TenantId, TenantCounters)> {
+        self.ledger.snapshot()
+    }
+
+    /// `tenant`'s app-plane counters (zeros if it never moved a unit).
+    pub fn tenant_counters(&self, tenant: TenantId) -> TenantCounters {
+        self.ledger.counters(tenant)
+    }
+
+    /// True when a `proc_a` ↔ `proc_b` link counts as authenticated:
+    /// same process (loopback never leaves the node), both keyless, or
+    /// both holding the same key — the modeled outcome of the socket
+    /// runtime's HMAC handshake.
+    fn link_authenticated(&self, proc_a: u32, proc_b: u32) -> bool {
+        if proc_a == proc_b {
+            return true;
+        }
+        let key = |p: u32| self.proc_keys.get(p as usize).copied().flatten();
+        match (key(proc_a), key(proc_b)) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
         }
     }
 
@@ -713,24 +850,51 @@ impl Grid {
                 from,
                 to,
                 reply,
+                tenant,
                 payload,
             } => {
-                let delivered = AppDelivered {
-                    at: self.now,
-                    from,
-                    to,
-                    reply,
-                    payload,
-                };
                 // A departed process hears nothing; its caller learns
                 // through the failure log, like on sockets.
                 let up =
                     self.config.membership.is_none() || self.members[to.node as usize].is_some();
-                if up {
-                    self.app_inbox.push(delivered);
-                } else {
-                    self.app_failures.push(delivered);
+                if !up {
+                    self.app_failures.push(AppDelivered {
+                        at: self.now,
+                        from,
+                        to,
+                        reply,
+                        payload,
+                    });
+                    return;
                 }
+                // Incoming side of the pipeline, with the modeled link
+                // auth outcome: a rogue process's units die here.
+                let mut env = Envelope {
+                    from,
+                    to,
+                    reply,
+                    tenant,
+                    payload,
+                };
+                let ctx = MiddlewareCtx {
+                    link_authenticated: self.link_authenticated(from.node, to.node),
+                    tenants: &self.tenants,
+                };
+                if let Verdict::Reject(why) = self.pipeline.incoming(&mut env, &ctx) {
+                    self.ledger.on_rejected_incoming(env.tenant);
+                    if self.trace.enabled(TraceLevel::Debug) {
+                        self.trace
+                            .debug(self.now, "app-reject", format!("{from}→{to}: {why}"));
+                    }
+                    return;
+                }
+                self.app_inbox.push(AppDelivered {
+                    at: self.now,
+                    from: env.from,
+                    to: env.to,
+                    reply: env.reply,
+                    payload: env.payload,
+                });
             }
             Event::EgressFlush { proc } => self.handle_egress_flush(proc),
             Event::NodeCrash { proc } => self.handle_crash(proc),
@@ -1215,7 +1379,7 @@ impl Grid {
             }
             Delivery::Dropped => {
                 for qi in flush.items {
-                    self.drop_unit(qi.item);
+                    self.drop_unit(qi.item, true);
                 }
             }
         }
@@ -1267,14 +1431,20 @@ impl Grid {
                 from,
                 to,
                 reply,
+                tenant,
                 payload,
             } => {
+                // The unit left the egress plane (or loopback-delivered
+                // on the spot): flushed, for conservation purposes —
+                // whatever happens to it now is in-flight semantics.
+                self.ledger.on_flushed(tenant);
                 self.events.schedule(
                     at,
                     Event::AppBytes {
                         from,
                         to,
                         reply,
+                        tenant,
                         payload,
                     },
                 );
@@ -1282,9 +1452,15 @@ impl Grid {
         }
     }
 
-    /// The frame carrying `unit` was lost to a drop window: apply the
-    /// unit's loss semantics.
-    fn drop_unit(&mut self, unit: OutUnit) {
+    /// The frame carrying `unit` was lost to a drop window (`flushed:
+    /// true` — it had left the outbox) or the unit was reclaimed from
+    /// an outbox queue before any flush (`flushed: false`): apply the
+    /// unit's loss semantics. The flag only matters to the tenant
+    /// ledger: a post-flush loss counts as flushed (the failure log is
+    /// its record), a pre-flush reclaim is *returned* — exactly the
+    /// socket runtime's split between send failures and
+    /// `reclaim_egress`.
+    fn drop_unit(&mut self, unit: OutUnit, flushed: bool) {
         match unit {
             OutUnit::Request { request, .. } => {
                 // The call never arrives and no future will ever
@@ -1312,11 +1488,17 @@ impl Grid {
                 from,
                 to,
                 reply,
+                tenant,
                 payload,
             } => {
                 // Opaque payloads have no protocol to retry them: the
                 // loss surfaces on the sender's failure log, never
                 // silently.
+                if flushed {
+                    self.ledger.on_flushed(tenant);
+                } else {
+                    self.ledger.on_returned(tenant);
+                }
                 self.app_failures.push(AppDelivered {
                     at: self.now,
                     from,
@@ -1594,7 +1776,7 @@ impl Grid {
                 // a corpse for the grid's lifetime.
                 let stranded = self.outboxes[proc.0 as usize].drop_dest(ev.node);
                 for qi in stranded {
-                    self.drop_unit(qi.item);
+                    self.drop_unit(qi.item, false);
                 }
             }
             self.member_events[proc.0 as usize].push(ev);
@@ -1630,8 +1812,20 @@ impl Grid {
         }
         self.members[proc.0 as usize] = None;
         // Whatever the crashed process had queued on its egress plane
-        // dies with it (stale EgressFlush wake-ups find it empty).
-        self.outboxes[proc.0 as usize] = Outbox::new(self.config.egress);
+        // dies with it (stale EgressFlush wake-ups find it empty) —
+        // but the tenant ledger must still balance, so queued app
+        // units are returned, not leaked into pending forever.
+        let mut dead_outbox = std::mem::replace(
+            &mut self.outboxes[proc.0 as usize],
+            Outbox::new(self.config.egress),
+        );
+        for flush in dead_outbox.flush_all() {
+            for qi in flush.items {
+                if let OutUnit::AppBytes { tenant, .. } = qi.item {
+                    self.ledger.on_returned(tenant);
+                }
+            }
+        }
         self.egress_wake[proc.0 as usize] = None;
         if self.trace.enabled(TraceLevel::Info) {
             self.trace
@@ -2812,5 +3006,63 @@ mod tests {
         let clean = g.run_until_clean(SimDuration::from_secs(30), SimTime::from_secs(1_000));
         assert!(clean);
         assert_eq!(g.alive_count(), 0);
+    }
+
+    #[test]
+    fn tenant_isolation_rejects_cross_tenant_app_and_refs() {
+        let mut g = grid(CollectorKind::None);
+        g.set_pipeline(Pipeline::standard());
+        let a = g.spawn_root(ProcId(0), Box::new(Inert));
+        let b = g.spawn_root(ProcId(1), Box::new(Inert));
+        let c = g.spawn_root(ProcId(2), Box::new(Inert));
+        g.set_tenant(a, TenantId(1));
+        g.set_tenant(b, TenantId(1));
+        g.set_tenant(c, TenantId(2));
+        // Same tenant crosses; cross-tenant dies before the egress plane.
+        g.send_app(a, b, false, b"in".to_vec());
+        g.send_app(a, c, false, b"out".to_vec());
+        g.run_for(SimDuration::from_secs(1));
+        let inbox = g.drain_app_received();
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].to, b);
+        let t1 = g.tenant_counters(TenantId(1));
+        assert_eq!(t1.enqueued, 1);
+        assert_eq!(t1.flushed, 1);
+        assert_eq!(t1.rejected_outgoing, 1);
+        assert_eq!(t1.pending(), 0);
+        // A cross-tenant reference is refused too: b never holds c, so
+        // no TTB sweep can cross the boundary through this edge.
+        g.make_ref(b, c);
+        assert_eq!(g.tenant_counters(TenantId(1)).rejected_outgoing, 2);
+        // The mirror surfaces the same ledger fleet-wide.
+        let snap = g.obs_merged();
+        assert_eq!(snap.counter("tenant.1.app_enqueued"), 1);
+        assert_eq!(snap.counter("tenant.1.app_rejected_out"), 2);
+    }
+
+    #[test]
+    fn rogue_proc_with_wrong_key_cannot_inject_app_units() {
+        let key = AuthKey::from_secret("grid-secret");
+        let topo = Topology::single_site(3, SimDuration::from_millis(1));
+        let mut g = Grid::new(GridConfig::new(topo).seed(7).auth(key));
+        g.set_pipeline(Pipeline::standard());
+        let honest = g.spawn_root(ProcId(0), Box::new(Inert));
+        let victim = g.spawn_root(ProcId(1), Box::new(Inert));
+        let rogue = g.spawn_root(ProcId(2), Box::new(Inert));
+        g.set_proc_key(ProcId(2), Some(AuthKey::from_secret("guessed-wrong")));
+        g.send_app(honest, victim, false, b"trusted".to_vec());
+        g.send_app(rogue, victim, false, b"forged".to_vec());
+        g.run_for(SimDuration::from_secs(1));
+        let inbox = g.drain_app_received();
+        assert_eq!(inbox.len(), 1, "only the authenticated link delivers");
+        assert_eq!(inbox[0].payload, b"trusted");
+        let t0 = g.tenant_counters(TenantId::DEFAULT);
+        assert_eq!(t0.rejected_incoming, 1, "the forgery died at delivery");
+        assert_eq!(t0.enqueued, t0.flushed, "ledger still balances");
+        // Loopback on the rogue proc itself still works: auth gates
+        // links, and a process always trusts itself.
+        g.send_app(rogue, rogue, false, b"local".to_vec());
+        g.run_for(SimDuration::from_secs(1));
+        assert_eq!(g.drain_app_received().len(), 1);
     }
 }

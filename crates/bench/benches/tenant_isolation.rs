@@ -1,0 +1,175 @@
+//! Per-envelope cost of the secure plane's app-path machinery: the
+//! standard middleware pipeline (RequireAuth → TenantTag →
+//! TenantIsolation) plus the tenant ledger, with the obs mirror on and
+//! off, against the bare un-tenanted baseline.
+//!
+//! Every app payload in both runtimes now traverses exactly this
+//! sequence — `Pipeline::outgoing`, an `on_enqueued`, and (for the
+//! delivered ones) `Pipeline::incoming` + `on_flushed` — so its cost is
+//! the marginal price of multi-tenancy per message. The traffic mix
+//! mirrors the conformance two-tenant scenario: mostly in-tenant sends
+//! with a steady trickle of cross-tenant attempts that the isolation
+//! stage must reject (rejections are *not* free and belong in the
+//! measured mix).
+//!
+//! Methodology matches `obs_overhead`: interleaved trials, minimum-of-N
+//! (the noise-robust statistic for a throughput microbench), identical
+//! inputs across modes, checksummed so the comparison cannot drift.
+//!
+//! Run: `cargo bench -p dgc-bench --bench tenant_isolation`
+
+use std::time::Instant;
+
+use dgc_core::id::AoId;
+use dgc_obs::{Registry, TimeSource};
+use dgc_plane::{Envelope, MiddlewareCtx, Pipeline, TenantId, TenantLedger, TenantMap};
+
+/// Envelopes per trial — large enough that a trial runs for
+/// milliseconds, amortizing timer noise.
+const OPS: u64 = 200_000;
+const TRIALS: usize = 9;
+/// Activities per tenant; two tenants, interleaved across "nodes".
+const PER_TENANT: u32 = 8;
+
+fn tenants() -> TenantMap {
+    let mut map = TenantMap::new();
+    for i in 0..PER_TENANT {
+        map.register(AoId::new(i % 2, i), TenantId(1));
+        map.register(AoId::new(i % 2, PER_TENANT + i), TenantId(2));
+    }
+    map
+}
+
+/// Picks the `i`-th sender/receiver pair. Every 17th envelope is a
+/// cross-tenant attempt; the rest stay in-tenant.
+fn pair(i: u64) -> (AoId, AoId) {
+    let s = (i % PER_TENANT as u64) as u32;
+    let from = AoId::new(s % 2, s);
+    let to = if i % 17 == 16 {
+        AoId::new((s + 1) % 2, PER_TENANT + (s + 3) % PER_TENANT) // tenant 2
+    } else {
+        AoId::new((s + 1) % 2, (s + 1) % PER_TENANT) // tenant 1
+    };
+    (from, to)
+}
+
+/// One trial. `Mode::Bare` runs the pre-tenancy app path (envelope
+/// construction only); the pipeline modes add the standard stages and
+/// the ledger, optionally mirrored into an obs registry.
+enum Mode<'a> {
+    Bare,
+    Pipeline(Option<&'a Registry>),
+}
+
+/// Returns `(seconds, delivered, rejected)`.
+fn trial(mode: &Mode<'_>) -> (f64, u64, u64) {
+    let map = tenants();
+    let mut pipeline = Pipeline::standard();
+    let mut ledger = TenantLedger::new();
+    if let Mode::Pipeline(Some(reg)) = mode {
+        ledger.set_obs((*reg).clone());
+    }
+    let ctx = MiddlewareCtx {
+        link_authenticated: true,
+        tenants: &map,
+    };
+    let mut delivered = 0u64;
+    let mut rejected = 0u64;
+    let payload = vec![0xABu8; 48];
+    let start = Instant::now();
+    for i in 0..OPS {
+        let (from, to) = pair(i);
+        let mut env = Envelope {
+            from,
+            to,
+            reply: false,
+            tenant: map.of(from),
+            payload: payload.clone(),
+        };
+        match mode {
+            Mode::Bare => {
+                // The pre-tenancy path: the envelope goes straight to
+                // the egress plane. `black_box`-equivalent use below.
+                delivered += u64::from(!env.payload.is_empty());
+            }
+            Mode::Pipeline(_) => {
+                if !pipeline.outgoing(&mut env, &ctx).is_continue() {
+                    ledger.on_rejected_outgoing(env.tenant);
+                    rejected += 1;
+                    continue;
+                }
+                ledger.on_enqueued(env.tenant);
+                // Delivery: the receiving end's incoming traversal.
+                if pipeline.incoming(&mut env, &ctx).is_continue() {
+                    ledger.on_flushed(env.tenant);
+                    delivered += 1;
+                } else {
+                    ledger.on_rejected_incoming(env.tenant);
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(ledger.conserves(), "ledger must conserve inside the bench");
+    (secs, delivered, rejected)
+}
+
+fn main() {
+    let registry = Registry::new(TimeSource::wall());
+
+    // Warmup + cross-mode checksums: identical inputs, identical
+    // accept/reject split between the two pipeline modes.
+    let (_, bare_n, _) = trial(&Mode::Bare);
+    let (_, p_del, p_rej) = trial(&Mode::Pipeline(None));
+    let (_, o_del, o_rej) = trial(&Mode::Pipeline(Some(&registry)));
+    assert_eq!(bare_n, OPS);
+    assert_eq!(
+        (p_del, p_rej),
+        (o_del, o_rej),
+        "modes must do identical work"
+    );
+    assert!(p_rej > 0, "the mix must exercise the rejection path");
+
+    let mut bare = f64::INFINITY;
+    let mut piped = f64::INFINITY;
+    let mut piped_obs = f64::INFINITY;
+    for _ in 0..TRIALS {
+        bare = bare.min(trial(&Mode::Bare).0);
+        piped = piped.min(trial(&Mode::Pipeline(None)).0);
+        piped_obs = piped_obs.min(trial(&Mode::Pipeline(Some(&registry))).0);
+    }
+
+    let ns = |secs: f64| secs * 1e9 / OPS as f64;
+    let overhead = dgc_bench::overhead_pct(bare, piped);
+    let obs_extra = dgc_bench::overhead_pct(piped, piped_obs);
+    println!("app path, {OPS} envelopes ({p_rej} cross-tenant rejects), min of {TRIALS} trials:");
+    println!("  bare envelope:            {:>7.1} ns/op", ns(bare));
+    println!(
+        "  + standard pipeline+ledger: {:>6.1} ns/op  ({overhead:+.2}% vs bare)",
+        ns(piped)
+    );
+    println!(
+        "  + obs mirror:             {:>7.1} ns/op  ({obs_extra:+.2}% vs pipeline)",
+        ns(piped_obs)
+    );
+
+    // The mirror did run: per-tenant counters reached the registry.
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("tenant.1.app_enqueued") > 0,
+        "obs mode recorded nothing"
+    );
+
+    dgc_bench::record(
+        "tenant_isolation",
+        &[
+            ("bare_ns_per_op", ns(bare)),
+            ("pipeline_ns_per_op", ns(piped)),
+            ("pipeline_obs_ns_per_op", ns(piped_obs)),
+            ("pipeline_overhead_pct", overhead),
+            ("obs_extra_pct", obs_extra),
+            ("rejected_per_trial", p_rej as f64),
+        ],
+    );
+}

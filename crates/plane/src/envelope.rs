@@ -1,0 +1,377 @@
+//! The app-plane envelope and its middleware pipeline.
+//!
+//! Modeled on harmony's `PipelineExecutor`: every payload crossing the
+//! app plane — on sockets or in the simulator — is wrapped in a
+//! protocol-agnostic [`Envelope`] and walked through one [`Pipeline`]
+//! of [`Middleware`] stages, **outgoing** before it may enter the
+//! egress plane and **incoming** before it may reach a handler or
+//! inbox. Policy is written once; both runtimes merely traverse it.
+//!
+//! Stages run in declaration order in both directions (authentication
+//! first, so it sees every envelope before any transform — the harmony
+//! rule). A [`Verdict::Reject`] stops the walk: rejected outgoing
+//! envelopes never enter the egress plane (they are accounted under
+//! `rejected_out`, outside the conservation sum); rejected incoming
+//! envelopes are dropped before dispatch and accounted under
+//! `rejected_in`.
+
+use dgc_core::id::AoId;
+
+use crate::tenant::{TenantId, TenantMap};
+
+/// One app-plane payload in flight, protocol-agnostic: both runtimes
+/// build it from their native representation at the pipeline boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending activity.
+    pub from: AoId,
+    /// Destination activity.
+    pub to: AoId,
+    /// True for a reply payload.
+    pub reply: bool,
+    /// The tenant the envelope travels under (stamped by [`TenantTag`]
+    /// on the way out; trusted-but-verified on the way in).
+    pub tenant: TenantId,
+    /// The opaque payload. Transform stages may rewrite it.
+    pub payload: Vec<u8>,
+}
+
+/// A stage's decision about one envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Pass to the next stage (the envelope may have been mutated).
+    Continue,
+    /// Stop: the envelope must not proceed. The label names the policy
+    /// that fired (it feeds rejection logs/metrics, not the wire).
+    Reject(&'static str),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Continue`].
+    pub fn is_continue(&self) -> bool {
+        matches!(self, Verdict::Continue)
+    }
+}
+
+/// What a stage may consult besides the envelope: link- and node-level
+/// facts owned by the runtime's event loop.
+#[derive(Debug, Clone, Copy)]
+pub struct MiddlewareCtx<'a> {
+    /// Whether the link the envelope arrived on (or will leave on)
+    /// completed the [`crate::auth`] handshake. Runtimes without auth
+    /// configured report `true` (the trusted-LAN default).
+    pub link_authenticated: bool,
+    /// Activity → tenant assignments known to this node.
+    pub tenants: &'a TenantMap,
+}
+
+/// One pipeline stage. Both directions default to pass-through, so a
+/// stage implements only the side it cares about.
+pub trait Middleware: Send {
+    /// Stage name (debug rendering, rejection labels).
+    fn name(&self) -> &'static str;
+
+    /// Runs on envelopes leaving this node, before the egress plane.
+    fn outgoing(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        let _ = (env, ctx);
+        Verdict::Continue
+    }
+
+    /// Runs on envelopes arriving at this node, before dispatch.
+    fn incoming(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        let _ = (env, ctx);
+        Verdict::Continue
+    }
+}
+
+/// An ordered stack of stages; the single policy object a runtime
+/// traverses for every app-plane envelope.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn Middleware>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.stages.iter().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Empty pipeline: everything passes.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// The standard multi-tenant policy: [`RequireAuth`] →
+    /// [`TenantTag`] → [`TenantIsolation`].
+    pub fn standard() -> Pipeline {
+        Pipeline::new()
+            .stage(RequireAuth)
+            .stage(TenantTag)
+            .stage(TenantIsolation)
+    }
+
+    /// Appends a stage.
+    pub fn stage(mut self, m: impl Middleware + 'static) -> Pipeline {
+        self.stages.push(Box::new(m));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stage is installed.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Walks the outgoing side of every stage, in order, stopping at
+    /// the first rejection.
+    pub fn outgoing(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        for stage in &mut self.stages {
+            if let v @ Verdict::Reject(_) = stage.outgoing(env, ctx) {
+                return v;
+            }
+        }
+        Verdict::Continue
+    }
+
+    /// Walks the incoming side of every stage, in order, stopping at
+    /// the first rejection.
+    pub fn incoming(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        for stage in &mut self.stages {
+            if let v @ Verdict::Reject(_) = stage.incoming(env, ctx) {
+                return v;
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+/// Rejects incoming envelopes from unauthenticated links. On sockets
+/// the transport already refuses pre-auth *frames*; this stage is the
+/// defense in depth that also covers the simulator, where "the link"
+/// is the pair of process keys.
+#[derive(Debug, Clone, Copy)]
+pub struct RequireAuth;
+
+impl Middleware for RequireAuth {
+    fn name(&self) -> &'static str {
+        "require-auth"
+    }
+
+    fn incoming(&mut self, _env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        if ctx.link_authenticated {
+            Verdict::Continue
+        } else {
+            Verdict::Reject("unauthenticated")
+        }
+    }
+}
+
+/// Stamps outgoing envelopes with the sender's tenant. Whatever tenant
+/// the caller put in the envelope is overwritten: the map is the
+/// authority, so an application cannot impersonate another tenant by
+/// forging the field.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantTag;
+
+impl Middleware for TenantTag {
+    fn name(&self) -> &'static str {
+        "tenant-tag"
+    }
+
+    fn outgoing(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        env.tenant = ctx.tenants.of(env.from);
+        Verdict::Continue
+    }
+}
+
+/// Rejects envelopes crossing a tenant boundary, on both sides: the
+/// sender refuses to emit them (its map knows the destination's tenant
+/// — drivers broadcast registrations) and the receiver refuses to
+/// dispatch them (its map knows its own activities), so a node that
+/// skipped the outgoing check still cannot inject across the boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantIsolation;
+
+impl Middleware for TenantIsolation {
+    fn name(&self) -> &'static str {
+        "tenant-isolation"
+    }
+
+    fn outgoing(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        if ctx.tenants.of(env.to) == env.tenant {
+            Verdict::Continue
+        } else {
+            Verdict::Reject("cross-tenant")
+        }
+    }
+
+    fn incoming(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        if ctx.tenants.of(env.to) == env.tenant {
+            Verdict::Continue
+        } else {
+            Verdict::Reject("cross-tenant")
+        }
+    }
+}
+
+/// A closure-backed stage for transform/reject policies that do not
+/// deserve a named type (payload caps, rewrites, test probes).
+pub struct FnStage {
+    name: &'static str,
+    #[allow(clippy::type_complexity)]
+    outgoing: Option<Box<dyn FnMut(&mut Envelope, &MiddlewareCtx<'_>) -> Verdict + Send>>,
+    #[allow(clippy::type_complexity)]
+    incoming: Option<Box<dyn FnMut(&mut Envelope, &MiddlewareCtx<'_>) -> Verdict + Send>>,
+}
+
+impl FnStage {
+    /// A stage with no behavior (attach sides with
+    /// [`FnStage::on_outgoing`] / [`FnStage::on_incoming`]).
+    pub fn named(name: &'static str) -> FnStage {
+        FnStage {
+            name,
+            outgoing: None,
+            incoming: None,
+        }
+    }
+
+    /// Sets the outgoing side.
+    pub fn on_outgoing(
+        mut self,
+        f: impl FnMut(&mut Envelope, &MiddlewareCtx<'_>) -> Verdict + Send + 'static,
+    ) -> FnStage {
+        self.outgoing = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the incoming side.
+    pub fn on_incoming(
+        mut self,
+        f: impl FnMut(&mut Envelope, &MiddlewareCtx<'_>) -> Verdict + Send + 'static,
+    ) -> FnStage {
+        self.incoming = Some(Box::new(f));
+        self
+    }
+}
+
+impl Middleware for FnStage {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn outgoing(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        match &mut self.outgoing {
+            Some(f) => f(env, ctx),
+            None => Verdict::Continue,
+        }
+    }
+
+    fn incoming(&mut self, env: &mut Envelope, ctx: &MiddlewareCtx<'_>) -> Verdict {
+        match &mut self.incoming {
+            Some(f) => f(env, ctx),
+            None => Verdict::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: AoId, to: AoId) -> Envelope {
+        Envelope {
+            from,
+            to,
+            reply: false,
+            tenant: TenantId::DEFAULT,
+            payload: b"hi".to_vec(),
+        }
+    }
+
+    #[test]
+    fn standard_pipeline_stamps_and_isolates() {
+        let mut tenants = TenantMap::new();
+        let (a1, a2, b1) = (AoId::new(0, 1), AoId::new(1, 1), AoId::new(1, 2));
+        tenants.register(a1, TenantId(1));
+        tenants.register(a2, TenantId(1));
+        tenants.register(b1, TenantId(2));
+        let ctx = MiddlewareCtx {
+            link_authenticated: true,
+            tenants: &tenants,
+        };
+        let mut p = Pipeline::standard();
+        // Same tenant: stamped and passed.
+        let mut e = env(a1, a2);
+        assert!(p.outgoing(&mut e, &ctx).is_continue());
+        assert_eq!(e.tenant, TenantId(1));
+        assert!(p.incoming(&mut e, &ctx).is_continue());
+        // Cross tenant: rejected on the way out — even with a forged
+        // tenant field, since TenantTag overwrites it from the map.
+        let mut x = env(a1, b1);
+        x.tenant = TenantId(2);
+        assert_eq!(p.outgoing(&mut x, &ctx), Verdict::Reject("cross-tenant"));
+        assert_eq!(x.tenant, TenantId(1), "stamp happened before the check");
+        // Cross tenant on the way in (a peer that skipped the check).
+        let mut forged = env(a1, b1);
+        forged.tenant = TenantId(1);
+        assert_eq!(
+            p.incoming(&mut forged, &ctx),
+            Verdict::Reject("cross-tenant")
+        );
+    }
+
+    #[test]
+    fn unauthenticated_links_are_rejected_first() {
+        let tenants = TenantMap::new();
+        let ctx = MiddlewareCtx {
+            link_authenticated: false,
+            tenants: &tenants,
+        };
+        let mut p = Pipeline::standard();
+        let mut e = env(AoId::new(0, 1), AoId::new(1, 1));
+        assert_eq!(p.incoming(&mut e, &ctx), Verdict::Reject("unauthenticated"));
+        // Outgoing still passes: auth gates the *link*, not the intent
+        // to send (the transport refuses to use unauthenticated links).
+        assert!(p.outgoing(&mut e, &ctx).is_continue());
+    }
+
+    #[test]
+    fn fn_stage_transforms_and_rejects() {
+        let tenants = TenantMap::new();
+        let ctx = MiddlewareCtx {
+            link_authenticated: true,
+            tenants: &tenants,
+        };
+        let mut p = Pipeline::new()
+            .stage(FnStage::named("frame-cap").on_outgoing(|e, _| {
+                if e.payload.len() > 4 {
+                    Verdict::Reject("oversize")
+                } else {
+                    Verdict::Continue
+                }
+            }))
+            .stage(FnStage::named("uppercase").on_outgoing(|e, _| {
+                e.payload.make_ascii_uppercase();
+                Verdict::Continue
+            }));
+        assert_eq!(format!("{p:?}"), r#"["frame-cap", "uppercase"]"#);
+        let mut small = env(AoId::new(0, 1), AoId::new(1, 1));
+        assert!(p.outgoing(&mut small, &ctx).is_continue());
+        assert_eq!(small.payload, b"HI");
+        let mut big = small.clone();
+        big.payload = vec![b'x'; 10];
+        assert_eq!(p.outgoing(&mut big, &ctx), Verdict::Reject("oversize"));
+        assert_eq!(big.payload.len(), 10, "rejection stopped the walk");
+        assert!(p.incoming(&mut big, &ctx).is_continue());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

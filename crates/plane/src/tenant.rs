@@ -1,0 +1,254 @@
+//! Tenant identity, ownership, and conservation-checked accounting.
+
+use std::collections::BTreeMap;
+
+use dgc_core::id::AoId;
+use dgc_obs::{Counter, Registry};
+
+/// A tenant namespace. Tenant `0` is the **default tenant**: every
+/// activity not explicitly registered belongs to it, which keeps
+/// single-tenant deployments exactly as they were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default tenant unregistered activities belong to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Which tenant each activity belongs to. Owned by the runtime's event
+/// loop (one per node / one per grid) and consulted by the pipeline
+/// stages through [`crate::MiddlewareCtx`].
+#[derive(Debug, Default, Clone)]
+pub struct TenantMap {
+    map: BTreeMap<AoId, TenantId>,
+}
+
+impl TenantMap {
+    /// Empty map: everything is the default tenant.
+    pub fn new() -> TenantMap {
+        TenantMap::default()
+    }
+
+    /// Assigns `ao` to `tenant`. Isolation policy is only as good as
+    /// this map: every node enforcing a tenant boundary must know both
+    /// endpoints' assignments (drivers broadcast registrations).
+    pub fn register(&mut self, ao: AoId, tenant: TenantId) {
+        if tenant == TenantId::DEFAULT {
+            self.map.remove(&ao);
+        } else {
+            self.map.insert(ao, tenant);
+        }
+    }
+
+    /// The tenant `ao` belongs to ([`TenantId::DEFAULT`] when never
+    /// registered).
+    pub fn of(&self, ao: AoId) -> TenantId {
+        self.map.get(&ao).copied().unwrap_or(TenantId::DEFAULT)
+    }
+
+    /// True when no activity is registered outside the default tenant.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-tenant lifetime app-plane counters, with the same conservation
+/// treatment as [`dgc_core::egress::EgressStats`]: every accepted unit
+/// is eventually flushed, returned, or still pending —
+/// `enqueued = flushed + returned + pending`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// App units the pipeline accepted onto the egress plane.
+    pub enqueued: u64,
+    /// App units flushed toward (or delivered on) their destination.
+    pub flushed: u64,
+    /// App units returned to the sender as failures (peer unreachable,
+    /// frame lost, queue shed or reclaimed).
+    pub returned: u64,
+    /// Outgoing app units the pipeline rejected (never entered the
+    /// egress plane; outside the conservation sum by design).
+    pub rejected_outgoing: u64,
+    /// Incoming app units the pipeline rejected before dispatch.
+    pub rejected_incoming: u64,
+}
+
+impl TenantCounters {
+    /// Units still in flight on the egress plane, by conservation.
+    /// (Saturating: a runtime that flushed more than it enqueued has a
+    /// ledger bug, which [`TenantCounters::conserves`] exposes.)
+    pub fn pending(&self) -> u64 {
+        self.enqueued.saturating_sub(self.flushed + self.returned)
+    }
+
+    /// The conservation law itself: no unit unaccounted for. At
+    /// quiescence a test additionally asserts `pending() == 0`.
+    pub fn conserves(&self) -> bool {
+        self.enqueued >= self.flushed + self.returned
+    }
+}
+
+/// Cached `tenant.<id>.*` registry handles (one set per tenant, interned
+/// once — the hot path pays one relaxed atomic per event, like the
+/// `net.*` mirror).
+#[derive(Debug, Clone)]
+struct TenantObs {
+    enqueued: Counter,
+    flushed: Counter,
+    returned: Counter,
+    rejected_outgoing: Counter,
+    rejected_incoming: Counter,
+}
+
+impl TenantObs {
+    fn new(registry: &Registry, tenant: TenantId) -> TenantObs {
+        let name = |field: &str| format!("tenant.{tenant}.app_{field}");
+        TenantObs {
+            enqueued: registry.counter(&name("enqueued")),
+            flushed: registry.counter(&name("flushed")),
+            returned: registry.counter(&name("returned")),
+            rejected_outgoing: registry.counter(&name("rejected_out")),
+            rejected_incoming: registry.counter(&name("rejected_in")),
+        }
+    }
+}
+
+/// The per-tenant app-plane ledger one runtime event loop keeps, with an
+/// optional `dgc-obs` mirror so per-tenant traffic merges fleet-wide
+/// like every other metric.
+#[derive(Debug, Default)]
+pub struct TenantLedger {
+    per: BTreeMap<TenantId, TenantCounters>,
+    obs: Option<(Registry, BTreeMap<TenantId, TenantObs>)>,
+}
+
+impl TenantLedger {
+    /// Fresh, unmirrored ledger.
+    pub fn new() -> TenantLedger {
+        TenantLedger::default()
+    }
+
+    /// Mirrors every subsequent increment into `registry` under
+    /// `tenant.<id>.app_*`.
+    pub fn set_obs(&mut self, registry: Registry) {
+        self.obs = Some((registry, BTreeMap::new()));
+    }
+
+    fn bump(&mut self, tenant: TenantId, f: impl Fn(&mut TenantCounters), g: impl Fn(&TenantObs)) {
+        f(self.per.entry(tenant).or_default());
+        if let Some((registry, handles)) = &mut self.obs {
+            g(handles
+                .entry(tenant)
+                .or_insert_with(|| TenantObs::new(registry, tenant)));
+        }
+    }
+
+    /// One app unit accepted onto the egress plane.
+    pub fn on_enqueued(&mut self, tenant: TenantId) {
+        self.bump(tenant, |c| c.enqueued += 1, |o| o.enqueued.incr());
+    }
+
+    /// One app unit flushed toward its destination.
+    pub fn on_flushed(&mut self, tenant: TenantId) {
+        self.bump(tenant, |c| c.flushed += 1, |o| o.flushed.incr());
+    }
+
+    /// One app unit returned to its sender as a failure.
+    pub fn on_returned(&mut self, tenant: TenantId) {
+        self.bump(tenant, |c| c.returned += 1, |o| o.returned.incr());
+    }
+
+    /// One outgoing app unit rejected by the pipeline.
+    pub fn on_rejected_outgoing(&mut self, tenant: TenantId) {
+        self.bump(
+            tenant,
+            |c| c.rejected_outgoing += 1,
+            |o| o.rejected_outgoing.incr(),
+        );
+    }
+
+    /// One incoming app unit rejected by the pipeline.
+    pub fn on_rejected_incoming(&mut self, tenant: TenantId) {
+        self.bump(
+            tenant,
+            |c| c.rejected_incoming += 1,
+            |o| o.rejected_incoming.incr(),
+        );
+    }
+
+    /// `tenant`'s counters (zeros if it never moved a unit).
+    pub fn counters(&self, tenant: TenantId) -> TenantCounters {
+        self.per.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// Every tenant that moved at least one unit, with its counters.
+    pub fn snapshot(&self) -> Vec<(TenantId, TenantCounters)> {
+        self.per.iter().map(|(t, c)| (*t, *c)).collect()
+    }
+
+    /// True when every tenant's counters satisfy the conservation law.
+    pub fn conserves(&self) -> bool {
+        self.per.values().all(TenantCounters::conserves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_activities_are_default_tenant() {
+        let mut map = TenantMap::new();
+        let a = AoId::new(0, 1);
+        assert_eq!(map.of(a), TenantId::DEFAULT);
+        map.register(a, TenantId(7));
+        assert_eq!(map.of(a), TenantId(7));
+        map.register(a, TenantId::DEFAULT);
+        assert_eq!(map.of(a), TenantId::DEFAULT);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn ledger_conserves_and_mirrors() {
+        let registry = Registry::default();
+        let mut ledger = TenantLedger::new();
+        ledger.set_obs(registry.clone());
+        let (a, b) = (TenantId(1), TenantId(2));
+        ledger.on_enqueued(a);
+        ledger.on_enqueued(a);
+        ledger.on_flushed(a);
+        ledger.on_returned(a);
+        ledger.on_enqueued(b);
+        ledger.on_rejected_outgoing(b);
+        ledger.on_rejected_incoming(b);
+        let ca = ledger.counters(a);
+        assert_eq!(ca.enqueued, 2);
+        assert_eq!(ca.flushed, 1);
+        assert_eq!(ca.returned, 1);
+        assert_eq!(ca.pending(), 0);
+        assert!(ledger.conserves());
+        let cb = ledger.counters(b);
+        assert_eq!(cb.pending(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tenant.1.app_enqueued"), 2);
+        assert_eq!(snap.counter("tenant.1.app_flushed"), 1);
+        assert_eq!(snap.counter("tenant.1.app_returned"), 1);
+        assert_eq!(snap.counter("tenant.2.app_rejected_out"), 1);
+        assert_eq!(snap.counter("tenant.2.app_rejected_in"), 1);
+        assert_eq!(ledger.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn broken_ledger_fails_conservation() {
+        let mut ledger = TenantLedger::new();
+        ledger.on_flushed(TenantId(3));
+        assert!(!ledger.conserves());
+        assert_eq!(ledger.counters(TenantId(3)).pending(), 0);
+    }
+}

@@ -555,6 +555,32 @@ impl Cluster {
             .unwrap_or_default()
     }
 
+    /// Installs `node`'s envelope middleware pipeline (see
+    /// [`NetNode::set_pipeline`]).
+    pub fn set_pipeline(&self, node: u32, pipeline: dgc_plane::Pipeline) {
+        self.with_live(node, |nd| nd.set_pipeline(pipeline));
+    }
+
+    /// Assigns `ao` to `tenant` on **every live node**: tenancy is a
+    /// cluster-wide namespace, and the isolation stages consult each
+    /// node's local map for both ends of an envelope — so the
+    /// assignment must be visible everywhere, not just on `ao`'s host.
+    pub fn set_tenant(&self, ao: AoId, tenant: dgc_plane::TenantId) {
+        for node in 0..self.slots.len() as u32 {
+            self.with_node(node, |nd| nd.register_tenant(ao, tenant));
+        }
+    }
+
+    /// `node`'s per-tenant app-plane ledger (see
+    /// [`NetNode::tenant_snapshot`]); `None` while the node is down or
+    /// its event loop did not answer.
+    pub fn tenant_snapshot(
+        &self,
+        node: u32,
+    ) -> Option<Vec<(dgc_plane::TenantId, dgc_plane::TenantCounters)>> {
+        self.with_node(node, |nd| nd.tenant_snapshot()).flatten()
+    }
+
     /// `node`'s egress-plane occupancy (see [`NetNode::egress_pending`]);
     /// `None` while the node is down or its event loop did not answer.
     pub fn egress_pending(&self, node: u32) -> Option<crate::node::EgressPending> {

@@ -6,6 +6,7 @@ use dgc_core::config::DgcConfig;
 use dgc_core::egress::FlushPolicy;
 use dgc_membership::MembershipConfig;
 use dgc_obs::TraceLevel;
+use dgc_plane::AuthKey;
 
 /// Which I/O engine drives a node's links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,18 @@ pub struct NetConfig {
     /// hoard unbounded memory. Shed application payloads surface as
     /// failed sends; background units regenerate on protocol cadence.
     pub max_link_pending: usize,
+    /// When set, every link runs the `dgc-plane` pre-shared-key
+    /// HMAC challenge/response handshake after `Hello`, and no frame
+    /// item is accepted from — or sent to — a peer that has not proven
+    /// key possession. `None` (the default) keeps the trusted-LAN
+    /// behaviour: links are live as soon as `Hello` checks out.
+    pub auth: Option<AuthKey>,
+    /// How long an accepted connection may sit without completing its
+    /// `Hello` (and, with [`NetConfig::auth`] set, its auth handshake)
+    /// before the node reclaims the slot and counts a
+    /// `net.handshake_timeouts`. Bounds the damage of peers that
+    /// connect and go silent — with or without authentication.
+    pub handshake_timeout: Duration,
 }
 
 impl NetConfig {
@@ -100,7 +113,22 @@ impl NetConfig {
             engine: IoEngine::from_env(),
             reactor_shards: 1,
             max_link_pending: 100_000,
+            auth: None,
+            handshake_timeout: Duration::from_secs(2),
         }
+    }
+
+    /// Requires the `dgc-plane` link-authentication handshake with
+    /// `key` on every link.
+    pub fn auth(mut self, key: AuthKey) -> Self {
+        self.auth = Some(key);
+        self
+    }
+
+    /// Bounds how long a connection may idle mid-handshake.
+    pub fn handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = timeout.max(Duration::from_millis(1));
+        self
     }
 
     /// Selects the I/O engine explicitly (overriding `DGC_NET_ENGINE`).
@@ -166,6 +194,19 @@ mod tests {
         assert!(c.batching(false).egress.is_immediate());
         assert_eq!(c.reactor_shards, 1);
         assert!(c.max_link_pending > 0);
+        assert!(c.auth.is_none());
+        assert!(c.handshake_timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn auth_knobs() {
+        let key = AuthKey::from_secret("swordfish");
+        let c = NetConfig::default()
+            .auth(key)
+            .handshake_timeout(Duration::ZERO);
+        assert_eq!(c.auth, Some(key));
+        // Zero would make every handshake instantly late; clamped.
+        assert_eq!(c.handshake_timeout, Duration::from_millis(1));
     }
 
     #[test]

@@ -15,12 +15,21 @@
 //! frame    := len(4) payload            len = payload size in bytes
 //! payload  := 0xF0 version(1) node(4)                      -- Hello
 //!           | 0xF1 count(4) item*                          -- Batch
+//!           | 0xF2 nonce(16)                               -- AuthInit
+//!           | 0xF3 nonce(16) mac(32)                       -- AuthChallenge
+//!           | 0xF4 mac(32)                                 -- AuthProof
 //! item     := 0x01 from(8) to(8) message                   -- Dgc
 //!           | 0x02 from(8) to(8) response                  -- Resp
 //!           | 0x03 holder(8) target(8)                     -- SendFailure
 //!           | 0x04 from(4) to(4) digest                    -- Gossip
-//!           | 0x05 from(8) to(8) flags(1) len(4) bytes     -- App
+//!           | 0x05 from(8) to(8) flags(1) tenant(4)
+//!                  len(4) bytes                            -- App
 //! ```
+//!
+//! The `Auth*` frames carry the `dgc-plane` pre-shared-key handshake
+//! (HMAC-SHA256 challenge/response) that follows `Hello` on links with
+//! authentication configured; they are handshake-only and never appear
+//! inside a batch.
 //!
 //! `message` / `response` / `digest` reuse the self-delimiting
 //! encodings of [`dgc_core::wire`] and [`dgc_membership::wire`] byte
@@ -38,13 +47,22 @@ use dgc_membership::Digest;
 
 /// Protocol version carried by [`Frame::Hello`]; bumped on any layout
 /// change so mismatched nodes fail the handshake instead of
-/// misinterpreting frames. Version 2: versioned delta gossip digests
-/// and application items in the shared egress frames.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// misinterpreting frames. Version 3: link-authentication handshake
+/// frames and a tenant tag on application items.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Frame tag bytes (disjoint from `dgc_core::wire`'s unit tags).
 const TAG_HELLO: u8 = 0xF0;
 const TAG_BATCH: u8 = 0xF1;
+const TAG_AUTH_INIT: u8 = 0xF2;
+const TAG_AUTH_CHALLENGE: u8 = 0xF3;
+const TAG_AUTH_PROOF: u8 = 0xF4;
+
+/// Length of an auth handshake nonce (`dgc_plane::auth::NONCE_LEN`).
+pub const AUTH_NONCE_LEN: usize = 16;
+
+/// Length of an auth handshake MAC (`dgc_plane::auth::MAC_LEN`).
+pub const AUTH_MAC_LEN: usize = 32;
 
 const ITEM_DGC: u8 = 0x01;
 const ITEM_RESP: u8 = 0x02;
@@ -125,6 +143,10 @@ pub enum Item {
         /// True for a reply (travels back over the socket the
         /// requester's node opened, like DGC responses).
         reply: bool,
+        /// Tenant the payload travels under (`dgc_plane::TenantId`;
+        /// `0` is the default tenant). Stamped by the sender's
+        /// pipeline and re-checked by the receiver's.
+        tenant: u32,
         /// The serialized call/value, opaque to the transport.
         payload: Vec<u8>,
     },
@@ -162,7 +184,7 @@ impl Item {
             }
             Item::SendFailure { .. } => 1 + 8 + 8,
             Item::Gossip { digest, .. } => 1 + 4 + 4 + membership_wire::digest_wire_size(digest),
-            Item::App { payload, .. } => 1 + 8 + 8 + 1 + 4 + payload.len() as u64,
+            Item::App { payload, .. } => 1 + 8 + 8 + 1 + 4 + 4 + payload.len() as u64,
         }
     }
 }
@@ -179,6 +201,26 @@ pub enum Frame {
     },
     /// One or more protocol units for activities on the receiving node.
     Batch(Vec<Item>),
+    /// Auth handshake, step 1: the connecting side's fresh nonce
+    /// (follows its `Hello` when the link requires authentication).
+    AuthInit {
+        /// Initiator nonce.
+        nonce: [u8; AUTH_NONCE_LEN],
+    },
+    /// Auth handshake, step 2: the accepting side's nonce plus its
+    /// proof of key possession over both nonces.
+    AuthChallenge {
+        /// Responder nonce.
+        nonce: [u8; AUTH_NONCE_LEN],
+        /// `HMAC(key, "dgc-auth-s2c" ‖ nonce_c ‖ nonce_s)`.
+        mac: [u8; AUTH_MAC_LEN],
+    },
+    /// Auth handshake, step 3: the connecting side's proof; on
+    /// verification the link is authenticated and batches may flow.
+    AuthProof {
+        /// `HMAC(key, "dgc-auth-c2s" ‖ nonce_c ‖ nonce_s)`.
+        mac: [u8; AUTH_MAC_LEN],
+    },
 }
 
 fn put_item(buf: &mut BytesMut, item: &Item) {
@@ -210,6 +252,7 @@ fn put_item(buf: &mut BytesMut, item: &Item) {
             from,
             to,
             reply,
+            tenant,
             payload,
         } => {
             assert!(
@@ -221,6 +264,7 @@ fn put_item(buf: &mut BytesMut, item: &Item) {
             wire::put_aoid(buf, *from);
             wire::put_aoid(buf, *to);
             buf.put_u8(if *reply { APP_FLAG_REPLY } else { 0 });
+            buf.put_u32(*tenant);
             buf.put_u32(payload.len() as u32);
             buf.put_slice(payload);
         }
@@ -261,13 +305,14 @@ fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
         ITEM_APP => {
             let from = wire::get_aoid(buf)?;
             let to = wire::get_aoid(buf)?;
-            if buf.remaining() < 1 + 4 {
+            if buf.remaining() < 1 + 4 + 4 {
                 return Err(DecodeError::Truncated);
             }
             let flags = buf.get_u8();
             if flags & !APP_FLAG_REPLY != 0 {
                 return Err(DecodeError::BadTag(flags));
             }
+            let tenant = buf.get_u32();
             let len = buf.get_u32() as usize;
             if len > MAX_APP_PAYLOAD {
                 return Err(DecodeError::BadTag(ITEM_APP));
@@ -281,6 +326,7 @@ fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
                 from,
                 to,
                 reply: flags & APP_FLAG_REPLY != 0,
+                tenant,
                 payload,
             })
         }
@@ -298,8 +344,30 @@ pub fn encode_payload(frame: &Frame) -> Bytes {
             buf.put_u32(*node);
         }
         Frame::Batch(items) => put_batch(&mut buf, items),
+        Frame::AuthInit { nonce } => {
+            buf.put_u8(TAG_AUTH_INIT);
+            buf.put_slice(nonce);
+        }
+        Frame::AuthChallenge { nonce, mac } => {
+            buf.put_u8(TAG_AUTH_CHALLENGE);
+            buf.put_slice(nonce);
+            buf.put_slice(mac);
+        }
+        Frame::AuthProof { mac } => {
+            buf.put_u8(TAG_AUTH_PROOF);
+            buf.put_slice(mac);
+        }
     }
     buf.freeze()
+}
+
+fn get_array<const N: usize>(buf: &mut Bytes) -> Result<[u8; N], DecodeError> {
+    if buf.remaining() < N {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = [0u8; N];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
 }
 
 /// Single source of truth for the batch payload layout, shared by
@@ -347,6 +415,16 @@ pub fn decode_payload(mut buf: Bytes) -> Result<Frame, DecodeError> {
             }
             Frame::Batch(items)
         }
+        TAG_AUTH_INIT => Frame::AuthInit {
+            nonce: get_array(&mut buf)?,
+        },
+        TAG_AUTH_CHALLENGE => Frame::AuthChallenge {
+            nonce: get_array(&mut buf)?,
+            mac: get_array(&mut buf)?,
+        },
+        TAG_AUTH_PROOF => Frame::AuthProof {
+            mac: get_array(&mut buf)?,
+        },
         other => return Err(DecodeError::BadTag(other)),
     };
     if buf.remaining() != 0 {
@@ -531,12 +609,14 @@ mod tests {
                 from: AoId::new(0, 1),
                 to: AoId::new(1, 0),
                 reply: false,
+                tenant: 4,
                 payload: vec![0xAB; 48],
             },
             Item::App {
                 from: AoId::new(1, 0),
                 to: AoId::new(0, 1),
                 reply: true,
+                tenant: 0,
                 payload: Vec::new(),
             },
         ])
@@ -555,6 +635,35 @@ mod tests {
     fn batch_round_trips() {
         let f = sample_batch();
         assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn auth_frames_round_trip() {
+        let frames = [
+            Frame::AuthInit { nonce: [0x11; 16] },
+            Frame::AuthChallenge {
+                nonce: [0x22; 16],
+                mac: [0x33; 32],
+            },
+            Frame::AuthProof { mac: [0x44; 32] },
+        ];
+        for f in frames {
+            assert_eq!(decode_payload(encode_payload(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncated_auth_frames_are_detected() {
+        let payload = encode_payload(&Frame::AuthChallenge {
+            nonce: [7; 16],
+            mac: [9; 32],
+        });
+        for len in 0..payload.len() {
+            assert!(
+                decode_payload(payload.slice(0..len)).is_err(),
+                "auth payload truncated to {len} must not decode"
+            );
+        }
     }
 
     #[test]

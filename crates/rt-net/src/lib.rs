@@ -101,6 +101,10 @@ pub mod stats;
 pub use chaos::{ChaosProxy, ChaosStatsSnapshot};
 pub use cluster::Cluster;
 pub use config::{IoEngine, NetConfig};
+pub use dgc_plane::{
+    AuthKey, Envelope, Middleware, MiddlewareCtx, Pipeline, TenantCounters, TenantId, TenantLedger,
+    TenantMap, Verdict,
+};
 pub use frame::{Frame, FrameDecoder, Item, GOSSIP_ANYCAST};
 pub use node::{AppHandler, AppReceived, AppSend, EgressPending, NetNode, Terminated};
 pub use stats::{NetStats, NetStatsSnapshot};

@@ -31,7 +31,7 @@
 //! flushes: one flush, one frame.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -49,6 +49,10 @@ use dgc_membership::{
     Digest, Membership, MembershipEvent, MembershipObs, NodeRecord, NodeStatus, Transition,
 };
 use dgc_obs::{Registry, TimeSource, TraceLevel, Tracer};
+use dgc_plane::{
+    AuthKey, AuthMsg, Authenticator, Envelope, MiddlewareCtx, Pipeline, Step, TenantCounters,
+    TenantId, TenantLedger, TenantMap, Verdict,
+};
 
 use crate::config::{IoEngine, NetConfig};
 use crate::frame::{encode_frame, Frame, FrameDecoder, Item, GOSSIP_ANYCAST, PROTOCOL_VERSION};
@@ -364,6 +368,26 @@ pub enum Event {
         /// The hook; delivered app units stop landing in the inbox.
         handler: AppHandler,
     },
+    /// Installs (or replaces) the node's envelope middleware pipeline:
+    /// every application payload — outgoing and incoming — traverses
+    /// its stages on the event loop.
+    SetPipeline {
+        /// The stage chain (not `Copy`, hence an event, not config).
+        pipeline: Pipeline,
+    },
+    /// Assigns a hosted (or remote) activity to a tenant namespace.
+    RegisterTenant {
+        /// The activity.
+        ao: AoId,
+        /// Its tenant ([`TenantId::DEFAULT`] unregisters).
+        tenant: TenantId,
+    },
+    /// Reports the per-tenant app-plane traffic ledger (tests,
+    /// conservation checks).
+    QueryTenants {
+        /// Where to send the snapshot.
+        reply: mpsc::Sender<Vec<(TenantId, TenantCounters)>>,
+    },
     /// Reports the egress plane's current occupancy (tests).
     QueryEgress {
         /// Where to send the snapshot.
@@ -545,6 +569,8 @@ impl NetNode {
         let next_member_tick = membership.as_ref().map(|_| Instant::now());
         let mut outbox = Outbox::new(config.egress);
         outbox.set_obs(EgressObs::new(&obs));
+        let mut ledger = TenantLedger::new();
+        ledger.set_obs(obs.clone());
         let worker = Worker {
             node_id,
             config,
@@ -554,6 +580,9 @@ impl NetNode {
             peer_addrs: HashMap::new(),
             links,
             outbox,
+            pipeline: Pipeline::new(),
+            tenants: TenantMap::default(),
+            ledger,
             obs: obs.clone(),
             epoch,
             membership,
@@ -585,6 +614,8 @@ impl NetNode {
                     tracker: Arc::clone(&tracker),
                     reaper: Arc::clone(&reaper),
                     max_link_pending: config.max_link_pending,
+                    auth: config.auth,
+                    handshake_timeout: config.handshake_timeout,
                 },
                 shutting_down: Arc::clone(&shutting_down),
             };
@@ -666,6 +697,8 @@ impl NetNode {
             status: NodeStatus::Alive,
             addr: Some(self.addr),
         };
+        let auth = self.config.auth;
+        let handshake_timeout = self.config.handshake_timeout;
         for seed in seeds {
             let seed = *seed;
             let probe_hello = encode_frame(&Frame::Hello {
@@ -709,12 +742,22 @@ impl NetNode {
                             TcpStream::connect_timeout(&seed, Duration::from_millis(500))
                         {
                             let _ = stream.set_nodelay(true);
-                            use std::io::Write;
-                            if stream
-                                .write_all(&probe_hello)
-                                .and_then(|()| stream.write_all(&probe_digest))
-                                .is_ok()
-                            {
+                            // With auth on, the seed accepts nothing —
+                            // the probe digest included — until the
+                            // challenge/response after our hello
+                            // succeeds. Adopted sockets are therefore
+                            // always pre-authenticated.
+                            let introduced_ok = stream.write_all(&probe_hello).is_ok()
+                                && match auth {
+                                    Some(key) => client_auth_handshake(
+                                        &mut stream,
+                                        key,
+                                        handshake_timeout,
+                                        &stats,
+                                    ),
+                                    None => true,
+                                };
+                            if introduced_ok && stream.write_all(&probe_digest).is_ok() {
                                 stats.on_frame_sent(
                                     1,
                                     (probe_hello.len() + probe_digest.len()) as u64,
@@ -822,6 +865,9 @@ impl NetNode {
                 from,
                 to,
                 reply,
+                // The worker's tenant map is the authority; the wire
+                // field is stamped by the outgoing pipeline.
+                tenant: TenantId::DEFAULT.0,
                 payload,
             },
         });
@@ -845,6 +891,33 @@ impl NetNode {
         let _ = self.tx.send(Event::SetAppHandler {
             handler: AppHandler::new(f),
         });
+    }
+
+    /// Installs the node's envelope middleware pipeline: every app
+    /// payload, outgoing and incoming, traverses its stages on the
+    /// event loop ([`dgc_plane::Pipeline::standard`] gives the
+    /// authenticated, tenant-isolating default).
+    pub fn set_pipeline(&self, pipeline: Pipeline) {
+        let _ = self.tx.send(Event::SetPipeline { pipeline });
+    }
+
+    /// Assigns `ao` to `tenant`'s namespace. Tenancy is a node-local
+    /// map over activity ids, so remote activities can (and in a
+    /// multi-tenant cluster should) be registered too — the
+    /// [`dgc_plane::TenantIsolation`] stage consults it for both ends
+    /// of every envelope. [`TenantId::DEFAULT`] unregisters.
+    pub fn register_tenant(&self, ao: AoId, tenant: TenantId) {
+        let _ = self.tx.send(Event::RegisterTenant { ao, tenant });
+    }
+
+    /// The per-tenant app-plane traffic ledger, answered through the
+    /// event loop like [`NetNode::egress_stats`]. Each tenant's
+    /// counters obey `enqueued = flushed + returned + pending`; `None`
+    /// means the event loop did not answer.
+    pub fn tenant_snapshot(&self) -> Option<Vec<(TenantId, TenantCounters)>> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Event::QueryTenants { reply }).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
     }
 
     /// Outgoing application units the transport accepted but could not
@@ -1013,6 +1086,12 @@ pub(crate) struct ReaderCtx {
     pub(crate) tracker: Arc<SocketTracker>,
     pub(crate) reaper: Arc<ThreadReaper>,
     pub(crate) max_link_pending: usize,
+    /// When set, accepted connections must complete the `dgc-plane`
+    /// challenge/response after their hello before any item passes.
+    pub(crate) auth: Option<AuthKey>,
+    /// Bound on how long an accepted connection may idle before its
+    /// hello (and auth handshake, if any) completes.
+    pub(crate) handshake_timeout: Duration,
 }
 
 /// The threaded engine's accept loop (the reactor serves accepts from
@@ -1068,6 +1147,17 @@ impl Acceptor {
 /// registering a reply path on the peer's hello) and the read half of
 /// connections this node *initiated*, which is where the peer's
 /// responses and failure notifications arrive.
+///
+/// Accepted connections are held to `ctx.handshake_timeout`: until the
+/// hello — and, with `ctx.auth` set, the challenge/response that
+/// follows it — completes, the socket reads under a deadline, and
+/// expiry reclaims the slot (`net.handshake_timeouts`) instead of
+/// parking a reader thread on a silent peer forever. With auth on, the
+/// reply path is registered and items are accepted only *after* the
+/// peer proves key possession; a batch before that, a bad MAC, or an
+/// out-of-order handshake frame rejects the connection
+/// (`net.auth_rejects`) — a link is authenticated or dead, never
+/// half-trusted.
 pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hello: bool) {
     let reaper = Arc::clone(&ctx.reaper);
     let handle = std::thread::Builder::new()
@@ -1080,10 +1170,37 @@ pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hell
             let mut decoder = FrameDecoder::new();
             let mut chunk = [0u8; 16 * 1024];
             let mut peer: Option<u32> = None;
+            // Initiated connections authenticated synchronously before
+            // this reader existed (`client_auth_handshake`); accepted
+            // ones must still earn it when a key is configured.
+            let mut authenticated = !(accept_hello && ctx.auth.is_some());
+            let mut responder: Option<Authenticator> = None;
+            let mut deadline = accept_hello.then(|| Instant::now() + ctx.handshake_timeout);
             loop {
+                if let Some(d) = deadline {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        ctx.stats.on_handshake_timeout();
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    let _ = stream.set_read_timeout(Some(left));
+                }
                 let n = match stream.read(&mut chunk) {
-                    Ok(0) | Err(_) => return,
+                    Ok(0) => return,
                     Ok(n) => n,
+                    Err(e)
+                        if deadline.is_some()
+                            && matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                    {
+                        ctx.stats.on_handshake_timeout();
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    Err(_) => return,
                 };
                 ctx.stats.on_raw_received(n as u64);
                 decoder.push(&chunk[..n]);
@@ -1099,16 +1216,82 @@ pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hell
                             ctx.stats.on_frame_received(0);
                             if accept_hello && peer.is_none() {
                                 peer = Some(node);
-                                // Give the event loop a reply path over
-                                // this same socket (firewall-transparent).
-                                if let Ok(w) = stream.try_clone() {
-                                    let (tx, h) = spawn_reply_writer(&ctx, node, w);
-                                    ctx.reaper.register(h);
-                                    let _ = ctx.events.send(Event::PeerLink { node, tx });
+                                match ctx.auth {
+                                    // The hello names the peer, but the
+                                    // reply path waits for its proof.
+                                    Some(key) => {
+                                        responder =
+                                            Some(Authenticator::responder(key, fresh_nonce()));
+                                    }
+                                    None => {
+                                        // Give the event loop a reply
+                                        // path over this same socket
+                                        // (firewall-transparent).
+                                        if let Ok(w) = stream.try_clone() {
+                                            let (tx, h) = spawn_reply_writer(&ctx, node, w);
+                                            ctx.reaper.register(h);
+                                            let _ = ctx.events.send(Event::PeerLink { node, tx });
+                                        }
+                                        deadline = None;
+                                        let _ = stream.set_read_timeout(None);
+                                    }
+                                }
+                            }
+                        }
+                        Ok(Some(
+                            frame @ (Frame::AuthInit { .. }
+                            | Frame::AuthChallenge { .. }
+                            | Frame::AuthProof { .. }),
+                        )) => {
+                            ctx.stats.on_frame_received(0);
+                            let msg = frame_to_auth(&frame)
+                                .expect("auth frames convert to auth messages");
+                            // Handshake frames are meaningful exactly
+                            // once: on an accepted, hello'd, not yet
+                            // authenticated connection of an auth-enabled
+                            // node. Anywhere else they are an attack or
+                            // a confused peer — same verdict.
+                            let Some(machine) = responder.as_mut().filter(|_| !authenticated)
+                            else {
+                                ctx.stats.on_auth_reject();
+                                let _ = stream.shutdown(Shutdown::Both);
+                                return;
+                            };
+                            match machine.on_msg(&msg) {
+                                Ok(Step::Send(reply) | Step::SendAndDone(reply)) => {
+                                    let bytes = encode_frame(&auth_frame(&reply));
+                                    if stream.write_all(&bytes).is_err() {
+                                        return;
+                                    }
+                                    ctx.stats.on_frame_sent(0, bytes.len() as u64);
+                                }
+                                Ok(Step::Done) => {
+                                    authenticated = true;
+                                    ctx.stats.on_auth_ok();
+                                    let node = peer.expect("hello preceded the handshake");
+                                    if let Ok(w) = stream.try_clone() {
+                                        let (tx, h) = spawn_reply_writer(&ctx, node, w);
+                                        ctx.reaper.register(h);
+                                        let _ = ctx.events.send(Event::PeerLink { node, tx });
+                                    }
+                                    deadline = None;
+                                    let _ = stream.set_read_timeout(None);
+                                }
+                                Err(_) => {
+                                    ctx.stats.on_auth_reject();
+                                    let _ = stream.shutdown(Shutdown::Both);
+                                    return;
                                 }
                             }
                         }
                         Ok(Some(Frame::Batch(items))) => {
+                            if !authenticated {
+                                // No frame item is ever processed from
+                                // a peer that has not proven the key.
+                                ctx.stats.on_auth_reject();
+                                let _ = stream.shutdown(Shutdown::Both);
+                                return;
+                            }
                             ctx.stats.on_frame_received(items.len() as u64);
                             for item in items {
                                 if ctx.events.send(Event::Item(item)).is_err() {
@@ -1127,6 +1310,134 @@ pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hell
         });
     if let Ok(handle) = handle {
         reaper.register(handle);
+    }
+}
+
+/// A `dgc-plane` handshake message as its wire frame.
+pub(crate) fn auth_frame(msg: &AuthMsg) -> Frame {
+    match *msg {
+        AuthMsg::Init { nonce } => Frame::AuthInit { nonce },
+        AuthMsg::Challenge { nonce, mac } => Frame::AuthChallenge { nonce, mac },
+        AuthMsg::Proof { mac } => Frame::AuthProof { mac },
+    }
+}
+
+/// The inverse of [`auth_frame`]; `None` for non-handshake frames.
+pub(crate) fn frame_to_auth(frame: &Frame) -> Option<AuthMsg> {
+    match *frame {
+        Frame::AuthInit { nonce } => Some(AuthMsg::Init { nonce }),
+        Frame::AuthChallenge { nonce, mac } => Some(AuthMsg::Challenge { nonce, mac }),
+        Frame::AuthProof { mac } => Some(AuthMsg::Proof { mac }),
+        _ => None,
+    }
+}
+
+/// A fresh handshake nonce. Uniqueness is the whole requirement — the
+/// MACs cover both sides' nonces, so an attacker without the key gains
+/// nothing from predicting one — and a process-wide counter folded
+/// through SHA-256 with the wall clock and pid guarantees it without
+/// a randomness dependency.
+pub(crate) fn fresh_nonce() -> [u8; dgc_plane::NONCE_LEN] {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut seed = [0u8; 24];
+    seed[..8].copy_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    seed[8..16].copy_from_slice(&nanos.to_le_bytes());
+    seed[16..24].copy_from_slice(&u64::from(std::process::id()).to_le_bytes());
+    let digest = hmac::sha256(&seed);
+    let mut nonce = [0u8; dgc_plane::NONCE_LEN];
+    nonce.copy_from_slice(&digest[..dgc_plane::NONCE_LEN]);
+    nonce
+}
+
+/// The initiator half of the link handshake, run synchronously on a
+/// freshly connected socket right after the hello: `AuthInit` out,
+/// `AuthChallenge` in (the responder's MAC verified), `AuthProof` out.
+/// Returns whether the link authenticated; every failure mode lands on
+/// exactly one counter — `net.handshake_timeouts` for a silent peer,
+/// `net.auth_rejects` for a wrong MAC or out-of-protocol frame,
+/// `net.decode_errors` for wire garbage — and the caller treats
+/// `false` like a failed connect.
+pub(crate) fn client_auth_handshake(
+    stream: &mut TcpStream,
+    key: AuthKey,
+    timeout: Duration,
+    stats: &NetStats,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    let (mut machine, init) = Authenticator::initiator(key, fresh_nonce());
+    let init_bytes = encode_frame(&auth_frame(&init));
+    if stream.write_all(&init_bytes).is_err() {
+        return false;
+    }
+    stats.on_frame_sent(0, init_bytes.len() as u64);
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            stats.on_handshake_timeout();
+            return false;
+        }
+        if stream.set_read_timeout(Some(left)).is_err() {
+            return false;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stats.on_handshake_timeout();
+                return false;
+            }
+            Err(_) => return false,
+        };
+        stats.on_raw_received(n as u64);
+        decoder.push(&chunk[..n]);
+        match decoder.next_frame() {
+            Ok(None) => continue,
+            Ok(Some(frame)) => {
+                let Some(msg) = frame_to_auth(&frame) else {
+                    // The responder spoke out of protocol (a batch or
+                    // hello where its challenge belongs).
+                    stats.on_auth_reject();
+                    return false;
+                };
+                match machine.on_msg(&msg) {
+                    Ok(Step::SendAndDone(proof)) => {
+                        if decoder.pending_bytes() != 0 {
+                            // The responder must not say anything more
+                            // until it has our proof.
+                            stats.on_auth_reject();
+                            return false;
+                        }
+                        let bytes = encode_frame(&auth_frame(&proof));
+                        if stream.write_all(&bytes).is_err() {
+                            return false;
+                        }
+                        stats.on_frame_sent(0, bytes.len() as u64);
+                        let _ = stream.set_read_timeout(None);
+                        stats.on_auth_ok();
+                        return true;
+                    }
+                    _ => {
+                        stats.on_auth_reject();
+                        return false;
+                    }
+                }
+            }
+            Err(_) => {
+                stats.on_decode_error();
+                return false;
+            }
+        }
     }
 }
 
@@ -1154,6 +1465,18 @@ struct Worker {
     /// The egress plane: every outgoing unit queues here; the flush
     /// policy decides when a destination's queue becomes a frame.
     outbox: Outbox<Item>,
+    /// The envelope middleware pipeline every app payload traverses —
+    /// outgoing before the egress plane, incoming before delivery.
+    /// Empty by default (pass-through); [`Event::SetPipeline`] installs
+    /// stages.
+    pipeline: Pipeline,
+    /// Activity → tenant assignments: the authority the pipeline's
+    /// tenant stages consult, and the namespace the DGC reference
+    /// graph is partitioned by.
+    tenants: TenantMap,
+    /// Per-tenant app-plane traffic accounting
+    /// (`enqueued = flushed + returned + pending`, per tenant).
+    ledger: TenantLedger,
     /// The node's telemetry plane (shared with the handle and, through
     /// `stats`, with every link thread).
     obs: Registry,
@@ -1183,6 +1506,8 @@ impl Worker {
             tracker: Arc::clone(&self.tracker),
             reaper: Arc::clone(&self.reaper),
             max_link_pending: self.config.max_link_pending,
+            auth: self.config.auth,
+            handshake_timeout: self.config.handshake_timeout,
         }
     }
 
@@ -1247,6 +1572,52 @@ impl Worker {
         }
     }
 
+    /// Routes one outgoing application payload through the envelope
+    /// pipeline and, if it passes, the egress plane. The worker's
+    /// tenant map — not the caller, not the wire — decides the
+    /// envelope's tenant stamp; rejections (cross-tenant sends, policy
+    /// stages) land on the per-tenant ledger, never silently.
+    fn route_app(&mut self, from: AoId, to: AoId, reply: bool, payload: Vec<u8>) {
+        let mut env = Envelope {
+            from,
+            to,
+            reply,
+            tenant: self.tenants.of(from),
+            payload,
+        };
+        let ctx = MiddlewareCtx {
+            // Link authentication gates connection setup below this
+            // plane: by the time an envelope is routed, its path is
+            // authenticated (or the node runs trusted-LAN, auth off).
+            link_authenticated: true,
+            tenants: &self.tenants,
+        };
+        match self.pipeline.outgoing(&mut env, &ctx) {
+            Verdict::Reject(why) => {
+                self.ledger.on_rejected_outgoing(self.tenants.of(env.from));
+                self.trace(TraceLevel::Info, "app-reject", || {
+                    format!("outgoing {} -> {}: {why}", env.from, env.to)
+                });
+            }
+            Verdict::Continue => {
+                self.ledger.on_enqueued(env.tenant);
+                if env.to.node == self.node_id {
+                    // Loopback payloads never enter the outbox: they
+                    // count as flushed the moment they are accepted,
+                    // keeping the tenant's conservation law exact.
+                    self.ledger.on_flushed(env.tenant);
+                }
+                self.route(Item::App {
+                    from: env.from,
+                    to: env.to,
+                    reply: env.reply,
+                    tenant: env.tenant.0,
+                    payload: env.payload,
+                });
+            }
+        }
+    }
+
     /// Flushes every destination whose max-delay expired.
     fn flush_due(&mut self) {
         let now = self.now();
@@ -1280,6 +1651,13 @@ impl Worker {
         let mut forward: Vec<Item> = Vec::new();
         let mut back: Vec<Item> = Vec::new();
         for qi in flush.items {
+            if let Item::App { tenant, .. } = &qi.item {
+                // The unit leaves the egress plane: per-tenant
+                // `flushed`. Whatever the link does to it afterwards
+                // is a send failure, not a return — the ledger's
+                // conservation law counts outbox custody only.
+                self.ledger.on_flushed(TenantId(*tenant));
+            }
             match &qi.item {
                 Item::Dgc { .. } | Item::App { reply: false, .. } => forward.push(qi.item),
                 Item::Resp { .. }
@@ -1414,6 +1792,7 @@ impl Worker {
                     to,
                     reply,
                     payload,
+                    ..
                 } => {
                     self.app_failures
                         .lock()
@@ -1450,6 +1829,13 @@ impl Worker {
             .into_iter()
             .map(|qi| qi.item)
             .collect();
+        for item in &stranded {
+            if let Item::App { tenant, .. } = item {
+                // Reclaimed while still in outbox custody: the unit is
+                // handed back (`returned`), balancing its `enqueued`.
+                self.ledger.on_returned(TenantId(*tenant));
+            }
+        }
         self.fail_items(stranded);
     }
 
@@ -1565,13 +1951,35 @@ impl Worker {
                 from,
                 to,
                 reply,
+                tenant,
                 payload,
             } => {
-                let received = AppReceived {
+                let mut env = Envelope {
                     from,
                     to,
                     reply,
+                    tenant: TenantId(tenant),
                     payload,
+                };
+                let ctx = MiddlewareCtx {
+                    // Unauthenticated sockets never get this far: with
+                    // auth configured the transport rejects their
+                    // frames before any item reaches the loop.
+                    link_authenticated: true,
+                    tenants: &self.tenants,
+                };
+                if let Verdict::Reject(why) = self.pipeline.incoming(&mut env, &ctx) {
+                    self.ledger.on_rejected_incoming(env.tenant);
+                    self.trace(TraceLevel::Info, "app-reject", || {
+                        format!("incoming {} -> {}: {why}", env.from, env.to)
+                    });
+                    return;
+                }
+                let received = AppReceived {
+                    from: env.from,
+                    to: env.to,
+                    reply: env.reply,
+                    payload: env.payload,
                 };
                 // Registered handlers replace the test inbox: the unit
                 // is dispatched on this loop and any sends it produces
@@ -1583,12 +1991,9 @@ impl Worker {
                         let outs = (handler.0)(&received);
                         self.app_handler = Some(handler);
                         for out in outs {
-                            self.route(Item::App {
-                                from: out.from,
-                                to: out.to,
-                                reply: out.reply,
-                                payload: out.payload,
-                            });
+                            // Handler sends cross the outgoing pipeline
+                            // like any application send would.
+                            self.route_app(out.from, out.to, out.reply, out.payload);
                         }
                     }
                     None => {
@@ -1735,7 +2140,18 @@ impl Worker {
                 }
                 return false;
             }
-            Event::Send { item } => self.route(item),
+            Event::Send { item } => match item {
+                // App payloads cross the envelope pipeline; the wire
+                // tenant field is advisory (the node's map decides).
+                Item::App {
+                    from,
+                    to,
+                    reply,
+                    payload,
+                    ..
+                } => self.route_app(from, to, reply, payload),
+                item => self.route(item),
+            },
             Event::Leave { ack } => {
                 let now = self.now();
                 if let Some(engine) = &mut self.membership {
@@ -1806,6 +2222,15 @@ impl Worker {
             Event::SetAppHandler { handler } => {
                 self.app_handler = Some(handler);
             }
+            Event::SetPipeline { pipeline } => {
+                self.pipeline = pipeline;
+            }
+            Event::RegisterTenant { ao, tenant } => {
+                self.tenants.register(ao, tenant);
+            }
+            Event::QueryTenants { reply } => {
+                let _ = reply.send(self.ledger.snapshot());
+            }
             Event::QueryEgress { reply } => {
                 let _ = reply.send(EgressPending {
                     items: self.outbox.pending_items(),
@@ -1844,7 +2269,17 @@ impl Worker {
                 }
             }
             Event::AddRef { from, to } => {
-                if let Some(ep) = self.endpoints.get_mut(&from.index) {
+                // Tenant isolation extends to the DGC graph itself: a
+                // reference edge crossing tenants is refused before any
+                // collector learns it, so a tenant's heartbeats, TTB
+                // sweeps and verdicts never observe another tenant's
+                // activities.
+                if self.tenants.of(from) != self.tenants.of(to) {
+                    self.ledger.on_rejected_outgoing(self.tenants.of(from));
+                    self.trace(TraceLevel::Info, "ref-reject", || {
+                        format!("cross-tenant ref {from} -> {to}")
+                    });
+                } else if let Some(ep) = self.endpoints.get_mut(&from.index) {
                     ep.state.on_stub_deserialized(to);
                 }
             }
@@ -2030,6 +2465,8 @@ mod tests {
                 tracker: Arc::clone(&tracker),
                 reaper: Arc::clone(&reaper),
                 max_link_pending: 1024,
+                auth: None,
+                handshake_timeout: Duration::from_secs(2),
             },
             shutting_down: Arc::clone(&shutting_down),
         };

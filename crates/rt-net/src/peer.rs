@@ -373,6 +373,21 @@ impl Writer {
                     return false;
                 }
                 self.ctx.stats.on_frame_sent(0, hello.len() as u64);
+                // With a key configured, prove possession right after
+                // the hello — the peer accepts no batch before the
+                // handshake, and neither side trusts a half-shaken
+                // link. Failure takes the normal penalty path.
+                if let Some(key) = self.config.auth {
+                    if !crate::node::client_auth_handshake(
+                        &mut stream,
+                        key,
+                        self.config.handshake_timeout,
+                        &self.ctx.stats,
+                    ) {
+                        self.penalty();
+                        return false;
+                    }
+                }
                 if self.ever_connected {
                     self.ctx.stats.on_reconnect();
                 }

@@ -24,13 +24,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dgc_plane::{Authenticator, Step};
 use polling::{Interest, PollEvent, Poller, Waker};
 
 use crate::config::NetConfig;
 use crate::frame::{
     encode_batch_frame, encode_frame, split_len, Frame, FrameDecoder, Item, PROTOCOL_VERSION,
 };
-use crate::node::AcceptBackoff;
+use crate::node::{auth_frame, frame_to_auth, fresh_nonce, AcceptBackoff};
 use crate::stats::NetStats;
 
 /// Poller key of the listening socket.
@@ -123,6 +124,19 @@ struct Conn {
     connect_deadline: Option<Instant>,
     /// Set while a write sits in `WouldBlock`; expiry kills the conn.
     stall_deadline: Option<Instant>,
+    /// Whether frame items may cross this connection. `true` from
+    /// birth on the trusted-LAN path (no key configured) and on
+    /// adopted join-probe sockets (their dialer authenticated
+    /// synchronously); earned through the challenge/response
+    /// otherwise. A batch on an unearned connection kills it.
+    authenticated: bool,
+    /// The handshake state machine mid-flight: the responder on
+    /// accepted connections, the initiator on dialed ones.
+    machine: Option<Authenticator>,
+    /// Accepted and freshly connected sockets must complete their
+    /// hello (and handshake, with auth on) before this; expiry
+    /// reclaims the slot and counts `net.handshake_timeouts`.
+    handshake_deadline: Option<Instant>,
 }
 
 impl Conn {
@@ -139,6 +153,9 @@ impl Conn {
             connecting: false,
             connect_deadline: None,
             stall_deadline: None,
+            authenticated: true,
+            machine: None,
+            handshake_deadline: None,
         }
     }
 
@@ -436,6 +453,9 @@ impl Reactor {
             if let Some(d) = c.stall_deadline {
                 next = earlier(next, d);
             }
+            if let Some(d) = c.handshake_deadline {
+                next = earlier(next, d);
+            }
         }
         for l in self.links.values() {
             if let LinkState::Backoff { until } = l.state {
@@ -538,8 +558,14 @@ impl Reactor {
                     if self.poller.add(&stream, token, Interest::READ).is_err() {
                         continue;
                     }
-                    self.conns
-                        .insert(token, Conn::reader(stream, ConnKind::Inbound));
+                    let mut conn = Conn::reader(stream, ConnKind::Inbound);
+                    // Accepted sockets earn their keep before the
+                    // deadline: hello, plus the proof when a key is
+                    // configured — no more parking a silent peer's
+                    // connection (and its slot) forever.
+                    conn.authenticated = self.config.auth.is_none();
+                    conn.handshake_deadline = Some(Instant::now() + self.config.handshake_timeout);
+                    self.conns.insert(token, conn);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -583,6 +609,18 @@ impl Reactor {
         for t in expired {
             self.conn_dead(t);
         }
+        // Handshakes that never completed: reclaim the slot and count
+        // the timeout — a connected-but-silent peer is the leak this
+        // deadline exists to bound.
+        let hs_expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter_map(|(&t, c)| c.handshake_deadline.is_some_and(|d| d <= now).then_some(t))
+            .collect();
+        for t in hs_expired {
+            self.stats.on_handshake_timeout();
+            self.conn_dead(t);
+        }
         let redial: Vec<u32> = self
             .links
             .iter()
@@ -619,6 +657,9 @@ impl Reactor {
                     connecting: true,
                     connect_deadline: Some(Instant::now() + CONNECT_TIMEOUT),
                     stall_deadline: None,
+                    authenticated: self.config.auth.is_none(),
+                    machine: None,
+                    handshake_deadline: None,
                 };
                 if self
                     .poller
@@ -657,6 +698,21 @@ impl Reactor {
                     items: 0,
                     salvage: Vec::new(),
                 });
+                if let Some(key) = self.config.auth {
+                    // Open the challenge/response right behind the
+                    // hello; queued items stay unframed until the
+                    // proof goes out (`flush_token` gates on
+                    // `authenticated`).
+                    let (machine, init) = Authenticator::initiator(key, fresh_nonce());
+                    conn.machine = Some(machine);
+                    conn.handshake_deadline = Some(Instant::now() + self.config.handshake_timeout);
+                    conn.wire.push_back(PendingFrame {
+                        bytes: encode_frame(&auth_frame(&init)),
+                        written: 0,
+                        items: 0,
+                        salvage: Vec::new(),
+                    });
+                }
                 if let Some(dest) = conn.peer {
                     if let Some(link) = self.links.get_mut(&dest) {
                         if link.ever_connected {
@@ -696,7 +752,10 @@ impl Reactor {
                 break;
             }
             if conn.wire.is_empty() {
-                if conn.queue.is_empty() {
+                // Items are framed only on authenticated connections;
+                // mid-handshake, the wire carries handshake frames and
+                // nothing else.
+                if conn.queue.is_empty() || !conn.authenticated {
                     break;
                 }
                 let n = split_len(conn.queue.make_contiguous());
@@ -782,6 +841,7 @@ impl Reactor {
             self.stats.on_raw_received(n as u64);
             conn.decoder.push(&chunk[..n]);
             let mut dead = false;
+            let mut kick = false;
             loop {
                 match conn.decoder.next_frame() {
                     Ok(None) => break,
@@ -795,12 +855,88 @@ impl Reactor {
                         if matches!(conn.kind, ConnKind::Inbound) && conn.peer.is_none() {
                             // The hello names the peer: its replies now
                             // route back over this connection (§2.2 —
-                            // never a fresh reverse connection).
+                            // never a fresh reverse connection). With a
+                            // key configured the route waits for the
+                            // proof.
                             conn.peer = Some(node);
-                            self.reply_routes.insert(node, token);
+                            match self.config.auth {
+                                Some(key) => {
+                                    conn.machine =
+                                        Some(Authenticator::responder(key, fresh_nonce()));
+                                }
+                                None => {
+                                    conn.handshake_deadline = None;
+                                    self.reply_routes.insert(node, token);
+                                }
+                            }
+                        }
+                    }
+                    Ok(Some(
+                        frame @ (Frame::AuthInit { .. }
+                        | Frame::AuthChallenge { .. }
+                        | Frame::AuthProof { .. }),
+                    )) => {
+                        self.stats.on_frame_received(0);
+                        let msg =
+                            frame_to_auth(&frame).expect("auth frames convert to auth messages");
+                        // Meaningful exactly once: mid-handshake, with
+                        // a machine in flight. Anywhere else — already
+                        // authenticated, auth off, no hello — it is an
+                        // attack or a confused peer; same verdict.
+                        if conn.authenticated || conn.machine.is_none() {
+                            self.stats.on_auth_reject();
+                            dead = true;
+                            break;
+                        }
+                        let machine = conn.machine.as_mut().expect("machine presence checked");
+                        match machine.on_msg(&msg) {
+                            Ok(Step::Send(reply)) => {
+                                conn.wire.push_back(PendingFrame {
+                                    bytes: encode_frame(&auth_frame(&reply)),
+                                    written: 0,
+                                    items: 0,
+                                    salvage: Vec::new(),
+                                });
+                                kick = true;
+                            }
+                            Ok(Step::SendAndDone(reply)) => {
+                                conn.wire.push_back(PendingFrame {
+                                    bytes: encode_frame(&auth_frame(&reply)),
+                                    written: 0,
+                                    items: 0,
+                                    salvage: Vec::new(),
+                                });
+                                conn.authenticated = true;
+                                conn.handshake_deadline = None;
+                                self.stats.on_auth_ok();
+                                kick = true;
+                            }
+                            Ok(Step::Done) => {
+                                conn.authenticated = true;
+                                conn.handshake_deadline = None;
+                                self.stats.on_auth_ok();
+                                if matches!(conn.kind, ConnKind::Inbound) {
+                                    if let Some(node) = conn.peer {
+                                        self.reply_routes.insert(node, token);
+                                    }
+                                }
+                                kick = true;
+                            }
+                            Err(_) => {
+                                self.stats.on_auth_reject();
+                                dead = true;
+                                break;
+                            }
                         }
                     }
                     Ok(Some(Frame::Batch(items))) => {
+                        if !conn.authenticated {
+                            // No frame item is ever processed from a
+                            // peer that has not proven the key.
+                            self.stats.on_auth_reject();
+                            dead = true;
+                            break;
+                        }
                         self.stats.on_frame_received(items.len() as u64);
                         self.pending.extend(items.into_iter().map(Notice::Item));
                     }
@@ -814,6 +950,11 @@ impl Reactor {
             if dead {
                 self.conn_dead(token);
                 return;
+            }
+            if kick {
+                // Handshake frames queued (or authentication just
+                // unlocked the item queue): push them out now.
+                self.flush_token(token);
             }
         }
     }
@@ -934,6 +1075,7 @@ mod tests {
             from: AoId::new(1, 0),
             to: AoId::new(2, n),
             reply: false,
+            tenant: 0,
             payload: vec![n as u8; 8],
         }
     }

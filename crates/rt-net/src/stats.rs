@@ -28,6 +28,9 @@ struct NetObs {
     decode_errors: Counter,
     piggybacked: Counter,
     accept_errors: Counter,
+    auth_ok: Counter,
+    auth_rejects: Counter,
+    handshake_timeouts: Counter,
     reconnect_backoff: Histogram,
 }
 
@@ -45,6 +48,9 @@ impl NetObs {
             decode_errors: registry.counter("net.decode_errors"),
             piggybacked: registry.counter("net.piggybacked"),
             accept_errors: registry.counter("net.accept_errors"),
+            auth_ok: registry.counter("net.auth_ok"),
+            auth_rejects: registry.counter("net.auth_rejects"),
+            handshake_timeouts: registry.counter("net.handshake_timeouts"),
             reconnect_backoff: registry.histogram("net.reconnect_backoff_ns"),
         }
     }
@@ -65,6 +71,9 @@ pub struct NetStats {
     decode_errors: AtomicU64,
     piggybacked: AtomicU64,
     accept_errors: AtomicU64,
+    auth_ok: AtomicU64,
+    auth_rejects: AtomicU64,
+    handshake_timeouts: AtomicU64,
     obs: Option<NetObs>,
 }
 
@@ -98,6 +107,14 @@ pub struct NetStatsSnapshot {
     /// Transient `accept()` failures (fd exhaustion and friends) the
     /// acceptor survived by backing off instead of dying silently.
     pub accept_errors: u64,
+    /// Links that completed the `dgc-plane` auth handshake.
+    pub auth_ok: u64,
+    /// Links dropped for failing it: bad MAC, out-of-order handshake,
+    /// or a batch item attempted before authentication.
+    pub auth_rejects: u64,
+    /// Connections reclaimed for idling mid-handshake past
+    /// [`crate::NetConfig::handshake_timeout`].
+    pub handshake_timeouts: u64,
 }
 
 impl NetStatsSnapshot {
@@ -128,6 +145,9 @@ impl NetStatsSnapshot {
             decode_errors,
             piggybacked,
             accept_errors,
+            auth_ok,
+            auth_rejects,
+            handshake_timeouts,
         } = *other;
         self.frames_sent += frames_sent;
         self.bytes_sent += bytes_sent;
@@ -140,6 +160,9 @@ impl NetStatsSnapshot {
         self.decode_errors += decode_errors;
         self.piggybacked += piggybacked;
         self.accept_errors += accept_errors;
+        self.auth_ok += auth_ok;
+        self.auth_rejects += auth_rejects;
+        self.handshake_timeouts += handshake_timeouts;
     }
 
     /// Every counter as `(registry key, value)` pairs, keyed exactly as
@@ -160,6 +183,9 @@ impl NetStatsSnapshot {
             decode_errors,
             piggybacked,
             accept_errors,
+            auth_ok,
+            auth_rejects,
+            handshake_timeouts,
         } = *self;
         vec![
             ("net.frames_sent", frames_sent),
@@ -173,6 +199,9 @@ impl NetStatsSnapshot {
             ("net.decode_errors", decode_errors),
             ("net.piggybacked", piggybacked),
             ("net.accept_errors", accept_errors),
+            ("net.auth_ok", auth_ok),
+            ("net.auth_rejects", auth_rejects),
+            ("net.handshake_timeouts", handshake_timeouts),
         ]
     }
 }
@@ -271,6 +300,30 @@ impl NetStats {
         }
     }
 
+    /// Records a link that completed the auth handshake.
+    pub fn on_auth_ok(&self) {
+        self.auth_ok.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.auth_ok.incr();
+        }
+    }
+
+    /// Records a link dropped for failing authentication.
+    pub fn on_auth_reject(&self) {
+        self.auth_rejects.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.auth_rejects.incr();
+        }
+    }
+
+    /// Records a connection reclaimed for idling mid-handshake.
+    pub fn on_handshake_timeout(&self) {
+        self.handshake_timeouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.handshake_timeouts.incr();
+        }
+    }
+
     /// Consistent-enough copy for reporting.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
@@ -285,6 +338,9 @@ impl NetStats {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             piggybacked: self.piggybacked.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            auth_ok: self.auth_ok.load(Ordering::Relaxed),
+            auth_rejects: self.auth_rejects.load(Ordering::Relaxed),
+            handshake_timeouts: self.handshake_timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -331,6 +387,9 @@ mod tests {
         s.on_decode_error();
         s.on_piggybacked(5);
         s.on_accept_error();
+        s.on_auth_ok();
+        s.on_auth_reject();
+        s.on_handshake_timeout();
         s.on_backoff(1_000_000);
         let snap = s.snapshot();
         let o = r.snapshot();
@@ -353,6 +412,9 @@ mod tests {
         b.on_send_failures(2);
         b.on_decode_error();
         b.on_piggybacked(5);
+        b.on_auth_ok();
+        b.on_auth_reject();
+        b.on_handshake_timeout();
         let mut total = a.snapshot();
         total.merge(&b.snapshot());
         for ((key, folded), ((_, va), (_, vb))) in total.named_counters().iter().zip(

@@ -123,6 +123,7 @@ fn arb_item() -> impl Strategy<Value = Item> {
                     from: x,
                     to: y,
                     reply,
+                    tenant: x.index ^ y.index,
                     payload,
                 },
             },
@@ -356,6 +357,7 @@ fn arb_weighty_item() -> impl Strategy<Value = Item> {
                     from,
                     to,
                     reply: false,
+                    tenant: 0,
                     payload: vec![0xA5; size],
                 }
             } else {

@@ -46,6 +46,7 @@ fn hello_and_batch(node: u32, to: AoId, payload: &[u8]) -> (Vec<u8>, Vec<u8>) {
         from: AoId::new(node, 0),
         to,
         reply: false,
+        tenant: 0,
         payload: payload.to_vec(),
     }]);
     (hello, batch)

@@ -1,0 +1,126 @@
+//! Property tests of the vendored SHA-256 / HMAC primitives, in the
+//! `frame_props` idiom: arbitrary inputs through the incremental and
+//! one-shot paths must agree, and the adversarial length/prefix games a
+//! handshake attacker can play (truncation, extension, bit flips) must
+//! never produce a passing comparison.
+
+use hmac::{ct_eq, hmac_sha256, sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing at an arbitrary split point equals the
+    /// one-shot digest (the socket readers feed packets, not messages).
+    #[test]
+    fn incremental_split_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<u64>(),
+    ) {
+        let at = if data.is_empty() { 0 } else { (split % (data.len() as u64 + 1)) as usize };
+        let mut h = Sha256::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Feeding byte-at-a-time (worst fragmentation) equals one-shot.
+    #[test]
+    fn byte_at_a_time_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut h = Sha256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// A strict prefix of a message never authenticates as the whole
+    /// message: truncating a handshake frame must break its MAC.
+    #[test]
+    fn truncated_message_changes_the_mac(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 1..256),
+        cut in any::<u64>(),
+    ) {
+        let at = (cut % msg.len() as u64) as usize;
+        let full = hmac_sha256(&key, &msg);
+        let truncated = hmac_sha256(&key, &msg[..at]);
+        prop_assert!(!ct_eq(&full, &truncated));
+    }
+
+    /// Appending bytes (a replay attacker splicing traffic onto a
+    /// recorded handshake) never preserves the MAC — HMAC is immune to
+    /// the length-extension trick plain SHA-256 concatenation allows.
+    #[test]
+    fn extended_message_changes_the_mac(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        suffix in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut extended = msg.clone();
+        extended.extend_from_slice(&suffix);
+        prop_assert!(!ct_eq(&hmac_sha256(&key, &msg), &hmac_sha256(&key, &extended)));
+    }
+
+    /// Any single flipped bit in the message flips the MAC.
+    #[test]
+    fn bit_flip_changes_the_mac(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        msg in proptest::collection::vec(any::<u8>(), 1..128),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut tampered = msg.clone();
+        let at = (pos % msg.len() as u64) as usize;
+        tampered[at] ^= 1 << bit;
+        prop_assert!(!ct_eq(&hmac_sha256(&key, &msg), &hmac_sha256(&key, &tampered)));
+    }
+
+    /// A different key yields a different MAC (two tenants with
+    /// different secrets can never validate each other's traffic).
+    #[test]
+    fn different_key_changes_the_mac(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut other = key.clone();
+        let at = (pos % key.len() as u64) as usize;
+        other[at] ^= 1 << bit;
+        prop_assert!(!ct_eq(&hmac_sha256(&key, &msg), &hmac_sha256(&other, &msg)));
+    }
+
+    /// `ct_eq` agrees with `==` on arbitrary byte vectors — including
+    /// the prefix case (`a` a prefix of `b`), which must compare
+    /// unequal, not truncate.
+    #[test]
+    fn ct_eq_matches_plain_equality(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+        let mut prefix = a.clone();
+        prefix.extend_from_slice(&b);
+        prop_assert_eq!(ct_eq(&a, &prefix), b.is_empty());
+        prop_assert!(ct_eq(&a, &a.clone()));
+    }
+
+    /// Keys at and around the block boundary (64 bytes) take the
+    /// hashed-key path consistently: a key equal to its own SHA-256
+    /// padding-boundary variants never collides across the boundary.
+    #[test]
+    fn key_block_boundary_is_consistent(
+        key in proptest::collection::vec(any::<u8>(), 60..70),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Self-consistency: same key, same message, same MAC.
+        prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+        // A key extended by a nonzero byte is a different key. (A zero
+        // byte would not be: RFC 2104 zero-pads sub-block keys, so
+        // `key` and `key || 0x00` are deliberately the same key.)
+        let mut longer = key.clone();
+        longer.push(1);
+        prop_assert!(!ct_eq(&hmac_sha256(&key, &msg), &hmac_sha256(&longer, &msg)));
+    }
+}
