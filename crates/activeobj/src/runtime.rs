@@ -26,6 +26,7 @@ use dgc_core::egress::{EgressClass, EgressObs, Flush, FlushPolicy, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use dgc_core::stats::DgcStats;
+use dgc_core::sweep::{SweepScratch, SweepUnit};
 use dgc_core::telemetry::DgcObs;
 use dgc_core::wire as dgc_wire;
 use dgc_membership::wire as membership_wire;
@@ -429,6 +430,11 @@ pub struct Grid {
     /// Each process's link key; initialized from [`GridConfig::auth`],
     /// overridden per proc by [`Grid::set_proc_key`] to model rogues.
     proc_keys: Vec<Option<AuthKey>>,
+    /// Scratch and unit buffers every collector tick reuses
+    /// ([`DgcState::on_tick_into`]): million-activity grids stop
+    /// paying a `Vec<Action>` allocation per activity per TTB.
+    dgc_scratch: SweepScratch,
+    dgc_units: Vec<SweepUnit>,
 }
 
 impl Grid {
@@ -548,6 +554,8 @@ impl Grid {
             tenants: TenantMap::new(),
             ledger,
             proc_keys,
+            dgc_scratch: SweepScratch::new(),
+            dgc_units: Vec::new(),
         }
     }
 
@@ -1519,7 +1527,7 @@ impl Grid {
 
     fn handle_tick(&mut self, ao: AoId) {
         enum Ticked {
-            Dgc(Vec<Action>, SimDuration),
+            Dgc(SimDuration),
             Rmi(Vec<RmiAction>, SimDuration),
             None,
         }
@@ -1532,9 +1540,16 @@ impl Grid {
             match &mut act.collector {
                 Collector::None => Ticked::None,
                 Collector::Complete(s) => {
-                    let actions = s.on_tick(proto_time(now), idle);
+                    // The grid-held scratch/unit buffers make the tick
+                    // allocation-free; the units drain right below.
+                    s.on_tick_into(
+                        proto_time(now),
+                        idle,
+                        &mut self.dgc_scratch,
+                        &mut self.dgc_units,
+                    );
                     let period = crate::collector::sim_dur(s.current_ttb());
-                    Ticked::Dgc(actions, period)
+                    Ticked::Dgc(period)
                 }
                 Collector::Rmi(e) => {
                     let actions = e.on_tick(proto_time(now), idle);
@@ -1545,8 +1560,12 @@ impl Grid {
         };
         match ticked {
             Ticked::None => {}
-            Ticked::Dgc(actions, period) => {
-                self.apply_dgc_actions(ao, actions);
+            Ticked::Dgc(period) => {
+                let mut units = std::mem::take(&mut self.dgc_units);
+                for unit in units.drain(..) {
+                    self.apply_dgc_action(unit.from, unit.action);
+                }
+                self.dgc_units = units;
                 if self.is_alive(ao) {
                     self.events.schedule(now + period, Event::Tick { ao });
                 }
@@ -1562,54 +1581,58 @@ impl Grid {
 
     fn apply_dgc_actions(&mut self, ao: AoId, actions: Vec<Action>) {
         for action in actions {
-            match action {
-                // Cross-process DGC traffic queues on the egress plane
-                // (and is subject to loss there: a dropped heartbeat is
-                // what the fault profiles are *for* — the next TTB
-                // regenerates it; TTA decides whether that sufficed).
-                // Intra-process units stay free, instant and lossless.
-                Action::SendMessage { to, message } => {
-                    let unit = OutUnit::Dgc {
-                        from: ao,
-                        to,
-                        message,
-                    };
-                    if ao.node == to.node {
-                        self.schedule_unit(self.now, ProcId(ao.node), unit);
-                    } else {
-                        self.enqueue_unit(
-                            ProcId(ao.node),
-                            ProcId(to.node),
-                            EgressClass::DgcMessage,
-                            dgc_wire::message_wire_size(),
-                            unit,
-                        );
-                    }
+            self.apply_dgc_action(ao, action);
+        }
+    }
+
+    fn apply_dgc_action(&mut self, ao: AoId, action: Action) {
+        match action {
+            // Cross-process DGC traffic queues on the egress plane
+            // (and is subject to loss there: a dropped heartbeat is
+            // what the fault profiles are *for* — the next TTB
+            // regenerates it; TTA decides whether that sufficed).
+            // Intra-process units stay free, instant and lossless.
+            Action::SendMessage { to, message } => {
+                let unit = OutUnit::Dgc {
+                    from: ao,
+                    to,
+                    message,
+                };
+                if ao.node == to.node {
+                    self.schedule_unit(self.now, ProcId(ao.node), unit);
+                } else {
+                    self.enqueue_unit(
+                        ProcId(ao.node),
+                        ProcId(to.node),
+                        EgressClass::DgcMessage,
+                        dgc_wire::message_wire_size(),
+                        unit,
+                    );
                 }
-                Action::SendResponse { to, response } => {
-                    let size = dgc_wire::response_wire_size(response.depth.is_some());
-                    let unit = OutUnit::Resp {
-                        from: ao,
-                        to,
-                        response,
-                    };
-                    if ao.node == to.node {
-                        self.schedule_unit(self.now, ProcId(ao.node), unit);
-                    } else {
-                        self.enqueue_unit(
-                            ProcId(ao.node),
-                            ProcId(to.node),
-                            EgressClass::DgcResponse,
-                            size,
-                            unit,
-                        );
-                    }
-                }
-                Action::Terminate { reason } => {
-                    self.terminate_activity(ao, Some(reason));
-                }
-                _ => {}
             }
+            Action::SendResponse { to, response } => {
+                let size = dgc_wire::response_wire_size(response.depth.is_some());
+                let unit = OutUnit::Resp {
+                    from: ao,
+                    to,
+                    response,
+                };
+                if ao.node == to.node {
+                    self.schedule_unit(self.now, ProcId(ao.node), unit);
+                } else {
+                    self.enqueue_unit(
+                        ProcId(ao.node),
+                        ProcId(to.node),
+                        EgressClass::DgcResponse,
+                        size,
+                        unit,
+                    );
+                }
+            }
+            Action::Terminate { reason } => {
+                self.terminate_activity(ao, Some(reason));
+            }
+            _ => {}
         }
     }
 

@@ -1,0 +1,460 @@
+//! Hot-path node throughput: batched arena sweeps vs the pre-arena
+//! per-activity path, plus the full unit pipeline and the sharding axis.
+//!
+//! A node hosting `K` activities pays three recurring costs per TTB
+//! round: the **sweep** (walk every due activity's referencer/referenced
+//! tables and emit heartbeats), the **egress pipeline** (queue the
+//! emitted units per destination, frame them), and the peer's **decode**.
+//! This bench measures all three:
+//!
+//! 1. **Sweep ablation** — the arena/batched path (`DgcState::on_tick_into`
+//!    with reused [`SweepScratch`]/[`SweepUnit`] buffers over a flat due
+//!    list) against an in-run reconstruction of the pre-change path:
+//!    the `BTreeMap` tables kept verbatim in `dgc_core::legacy`, the
+//!    old `on_tick`'s idle-path logic transcribed over them (expiry
+//!    scan, acyclic/cyclic checks, per-destination consensus-bit
+//!    lookup), a fresh `Vec<Action>` per activity, and the old
+//!    runtime's collect-ids-then-`get_mut` endpoint loop.
+//! 2. **Pipeline** — units/second through sweep → egress outbox →
+//!    [`split_len`]-bounded [`encode_batch_frame`] → [`FrameDecoder`]
+//!    (the zero-copy decode).
+//! 3. **Sharding** — the same sweep fanned across
+//!    [`dgc_core::sweep_sharded`] worker threads. On a single-core
+//!    runner threads cannot beat inline; the axis is recorded honestly
+//!    for what it is.
+//!
+//! **Methodology.** Shared runners drift by integer factors between
+//! runs, so the ablation is *paired*: both populations are built up
+//! front, rounds alternate arena/legacy under the same clock, and each
+//! leg is scored by its **minimum** round time over the repetitions
+//! (after one untimed warmup round each, so first-touch page faults on
+//! the tables and unit pools stay out of the numbers). Minimum-of-N
+//! discards noise spikes; alternation cancels slow phases of the box.
+//!
+//! Scale: `quick` stops at 100 k activities; `full` adds the 1 M row.
+//! The gate this bench enforces at 100 k activities: on a runner with
+//! 2+ cores, the sharded batched sweep must clear **2×** the
+//! (single-threaded, as it always was) pre-change path; on a
+//! single-core runner, where the shard fan-out cannot help, the
+//! unsharded batched sweep must still clear **1.25×** — the
+//! single-thread ablation floor.
+//!
+//! Run: `cargo bench -p dgc-bench --bench node_throughput`
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dgc_bench::Scale;
+use dgc_core::clock::NamedClock;
+use dgc_core::config::DgcConfig;
+use dgc_core::egress::{FlushPolicy, Outbox};
+use dgc_core::id::AoId;
+use dgc_core::legacy;
+use dgc_core::message::{Action, DgcMessage, TerminateReason};
+use dgc_core::protocol::DgcState;
+use dgc_core::sweep::{sweep_sharded, SweepPools};
+use dgc_core::units::{Dur, Time};
+use dgc_rt_net::frame::{encode_batch_frame, split_len, FrameDecoder, Item};
+
+/// Referenced targets per activity (heartbeats emitted per sweep).
+const TARGETS: u32 = 32;
+/// Referencer entries per activity (expiry-scan width per sweep).
+const REFERENCERS: u32 = 32;
+/// Remote activities heartbeats are spread over (distinct egress
+/// destinations stay bounded, as on a real grid).
+const PEER_ACTIVITIES: u32 = 64;
+
+fn config() -> DgcConfig {
+    DgcConfig::builder()
+        .ttb(Dur::from_secs(30))
+        // Wide enough that no referencer expires mid-measurement: the
+        // bench times the steady broadcast state, not collection.
+        .tta(Dur::from_secs(3600))
+        .max_comm(Dur::from_millis(500))
+        .build()
+}
+
+fn heartbeat(sender: AoId) -> DgcMessage {
+    DgcMessage {
+        sender,
+        clock: NamedClock::initial(sender),
+        consensus: false,
+        sender_ttb: Dur::from_secs(30),
+    }
+}
+
+/// The arena-path node: every hosted activity's full state machine.
+fn build_states(k: u32) -> HashMap<u32, DgcState> {
+    let cfg = config();
+    let t0 = Time::ZERO;
+    let mut states = HashMap::new();
+    for i in 0..k {
+        let me = AoId::new(0, i);
+        let mut s = DgcState::new(me, t0, cfg);
+        for j in 0..TARGETS {
+            s.on_stub_deserialized(AoId::new(1, (i + j) % PEER_ACTIVITIES));
+        }
+        for j in 0..REFERENCERS {
+            let from = AoId::new(1, (i * 7 + j) % PEER_ACTIVITIES);
+            let _ = s.on_message(t0, &heartbeat(from));
+        }
+        states.insert(i, s);
+    }
+    states
+}
+
+/// The pre-change ablation baseline: the `BTreeMap` tables the arena
+/// replaced, swept exactly the way the old `on_tick` used them.
+struct LegacyEndpoint {
+    id: AoId,
+    clock: NamedClock,
+    last_message_timestamp: Time,
+    last_tick_at: Option<Time>,
+    messages_sent: u64,
+    referencers: legacy::ReferencerTable,
+    referenced: legacy::ReferencedTable,
+}
+
+impl LegacyEndpoint {
+    /// The old sweep for one idle activity, transcribed from the
+    /// pre-change `DgcState::on_tick` Active path over the legacy
+    /// tables: allocate-and-collect expiries, the acyclic self-timeout
+    /// and cyclic consensus checks, allocate-and-collect broadcast
+    /// targets, a per-destination consensus bit (Algorithm 2's
+    /// `lastResponse` lookup), and a fresh `Vec<Action>` for the
+    /// caller to route.
+    fn on_tick(&mut self, now: Time, cfg: &DgcConfig) -> Vec<Action> {
+        self.last_tick_at = Some(now);
+        let expired = self.referencers.expire_silent(now, cfg.tta, cfg.max_comm);
+        std::hint::black_box(expired.len());
+        // Acyclic garbage: no DGC message for TTA (never fires here —
+        // the bench measures the steady broadcast state).
+        let timeout = self.referencers.max_expiry(cfg.tta, cfg.max_comm);
+        if now.since(self.last_message_timestamp) > timeout {
+            return vec![Action::Terminate {
+                reason: TerminateReason::Acyclic,
+            }];
+        }
+        // Cyclic garbage: our clock, unanimously echoed (never here —
+        // the recorded referencer bits are all false).
+        if self.clock.is_owned_by(self.id)
+            && !self.referencers.is_empty()
+            && self.referencers.agree(self.clock)
+        {
+            return vec![Action::Terminate {
+                reason: TerminateReason::CyclicDetected,
+            }];
+        }
+        let (targets, dropped) = self.referenced.broadcast_targets();
+        std::hint::black_box(dropped.len());
+        let mut actions = Vec::new();
+        for dest in targets {
+            let consensus = self
+                .referenced
+                .last_response(dest)
+                .is_some_and(|r| r.clock == self.clock)
+                && self.clock.is_owned_by(self.id);
+            self.messages_sent += 1;
+            actions.push(Action::SendMessage {
+                to: dest,
+                message: DgcMessage {
+                    sender: self.id,
+                    clock: self.clock,
+                    consensus,
+                    sender_ttb: cfg.ttb,
+                },
+            });
+        }
+        actions
+    }
+}
+
+fn build_legacy(k: u32) -> HashMap<u32, LegacyEndpoint> {
+    let t0 = Time::ZERO;
+    let mut eps = HashMap::new();
+    for i in 0..k {
+        let me = AoId::new(0, i);
+        let mut ep = LegacyEndpoint {
+            id: me,
+            clock: NamedClock::initial(me),
+            last_message_timestamp: t0,
+            last_tick_at: None,
+            messages_sent: 0,
+            referencers: legacy::ReferencerTable::new(),
+            referenced: legacy::ReferencedTable::new(),
+        };
+        for j in 0..TARGETS {
+            ep.referenced
+                .on_stub_deserialized(AoId::new(1, (i + j) % PEER_ACTIVITIES));
+        }
+        for j in 0..REFERENCERS {
+            let from = AoId::new(1, (i * 7 + j) % PEER_ACTIVITIES);
+            ep.referencers.record_message(
+                from,
+                NamedClock::initial(from),
+                false,
+                t0,
+                Dur::from_secs(30),
+            );
+        }
+        eps.insert(i, ep);
+    }
+    eps
+}
+
+/// Timed repetitions per leg (one extra untimed warmup round precedes
+/// them). Minimum round time over these is the leg's score.
+fn reps_for(scale: Scale) -> u32 {
+    match scale {
+        Scale::Full => 9,
+        Scale::Quick => 5,
+    }
+}
+
+/// One arena sweep round over every activity: flat due list,
+/// [`sweep_sharded`] fan-out, drain the pooled units. Returns the
+/// number of units drained.
+fn arena_round(
+    states: &mut HashMap<u32, DgcState>,
+    pools: &mut SweepPools,
+    now: Time,
+    shards: usize,
+) -> u64 {
+    let mut due: Vec<&mut DgcState> = states.values_mut().collect();
+    sweep_sharded(&mut due, shards, pools, |state, scratch, sink| {
+        state.on_tick_into(now, true, scratch, sink);
+    });
+    drop(due);
+    let mut units = 0u64;
+    for unit in pools.drain_units() {
+        std::hint::black_box(&unit.action);
+        units += 1;
+    }
+    units
+}
+
+/// One pre-change sweep round: collect due ids, re-hash every endpoint
+/// (`HashMap::get_mut` each, as the old runtime loop did), route each
+/// activity's freshly allocated `Vec<Action>`.
+fn legacy_round(eps: &mut HashMap<u32, LegacyEndpoint>, cfg: &DgcConfig, now: Time) -> u64 {
+    let due: Vec<u32> = eps.keys().copied().collect();
+    let mut units = 0u64;
+    for idx in due {
+        let Some(ep) = eps.get_mut(&idx) else {
+            continue;
+        };
+        let actions = ep.on_tick(now, cfg);
+        for action in actions {
+            std::hint::black_box(&action);
+            units += 1;
+        }
+    }
+    units
+}
+
+/// Paired sweep ablation at `k` activities: alternating arena/legacy
+/// rounds, each leg scored by its minimum round time. Returns
+/// `(arena units/s, legacy units/s, arena activities/s)`.
+fn sweep_pair(k: u32, reps: u32) -> (f64, f64, f64) {
+    let cfg = config();
+    let mut states = build_states(k);
+    let mut eps = build_legacy(k);
+    let mut pools = SweepPools::new();
+    let per_round = k as u64 * TARGETS as u64;
+    let mut arena_best = f64::INFINITY;
+    let mut legacy_best = f64::INFINITY;
+    for r in 0..=reps {
+        let now = Time::from_nanos((r as u64 + 1) * 1_000_000_000);
+
+        let t = Instant::now();
+        let arena_units = arena_round(&mut states, &mut pools, now, 1);
+        let arena_dt = t.elapsed().as_secs_f64();
+        assert_eq!(arena_units, per_round, "arena sweep emission drifted");
+
+        let t = Instant::now();
+        let legacy_units = legacy_round(&mut eps, &cfg, now);
+        let legacy_dt = t.elapsed().as_secs_f64();
+        assert_eq!(legacy_units, per_round, "legacy sweep emission drifted");
+
+        if r > 0 {
+            arena_best = arena_best.min(arena_dt);
+            legacy_best = legacy_best.min(legacy_dt);
+        }
+    }
+    (
+        per_round as f64 / arena_best,
+        per_round as f64 / legacy_best,
+        k as f64 / arena_best,
+    )
+}
+
+/// Sharded sweep throughput at `k` activities: minimum round time over
+/// `reps` repetitions after a warmup round.
+fn sharded_sweep(k: u32, shards: usize, reps: u32) -> f64 {
+    let mut states = build_states(k);
+    let mut pools = SweepPools::new();
+    let per_round = k as u64 * TARGETS as u64;
+    let mut best = f64::INFINITY;
+    for r in 0..=reps {
+        let now = Time::from_nanos((r as u64 + 1) * 1_000_000_000);
+        let t = Instant::now();
+        let units = arena_round(&mut states, &mut pools, now, shards);
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(units, per_round, "sharded sweep emission drifted");
+        if r > 0 {
+            best = best.min(dt);
+        }
+    }
+    per_round as f64 / best
+}
+
+/// Frames one egress flush through [`split_len`]-bounded
+/// [`encode_batch_frame`] and feeds it back through a [`FrameDecoder`];
+/// returns how many items round-tripped.
+fn ship(flush: dgc_core::egress::Flush<Item>, decoder: &mut FrameDecoder) -> u64 {
+    let mut decoded = 0u64;
+    let items: Vec<Item> = flush.items.into_iter().map(|qi| qi.item).collect();
+    let mut off = 0;
+    while off < items.len() {
+        let n = split_len(&items[off..]);
+        let wire = encode_batch_frame(&items[off..off + n]);
+        off += n;
+        decoder.push(&wire);
+        while let Some(frame) = decoder.next_frame().expect("self-framed stream") {
+            if let dgc_rt_net::Frame::Batch(batch) = frame {
+                decoded += batch.len() as u64;
+            }
+        }
+    }
+    decoded
+}
+
+/// units/s through the whole hot path: sweep → outbox enqueue → flush →
+/// [`split_len`]-bounded [`encode_batch_frame`] → [`FrameDecoder`]
+/// (zero-copy decode) → items. Minimum round time over `reps`.
+fn pipeline(k: u32, reps: u32) -> f64 {
+    let mut states = build_states(k);
+    let mut pools = SweepPools::new();
+    let mut outbox: Outbox<Item> = Outbox::new(FlushPolicy::default());
+    let mut decoder = FrameDecoder::new();
+    let per_round = k as u64 * TARGETS as u64;
+    let mut best = f64::INFINITY;
+    for r in 0..=reps {
+        let now = Time::from_nanos((r as u64 + 1) * 1_000_000_000);
+        let t = Instant::now();
+        let mut decoded = 0u64;
+        let mut due: Vec<&mut DgcState> = states.values_mut().collect();
+        sweep_sharded(&mut due, 1, &mut pools, |state, scratch, sink| {
+            state.on_tick_into(now, true, scratch, sink);
+        });
+        drop(due);
+        for unit in pools.drain_units() {
+            if let Action::SendMessage { to, message } = unit.action {
+                let item = Item::Dgc {
+                    from: unit.from,
+                    to,
+                    message,
+                };
+                let size = item.wire_size();
+                if let Some(flush) = outbox.enqueue(now, to.node, item.class(), size, item) {
+                    decoded += ship(flush, &mut decoder);
+                }
+            }
+        }
+        for flush in outbox.flush_all() {
+            decoded += ship(flush, &mut decoder);
+        }
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(
+            decoded, per_round,
+            "every emitted unit must survive encode -> decode"
+        );
+        if r > 0 {
+            best = best.min(dt);
+        }
+    }
+    per_round as f64 / best
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: &[u32] = match scale {
+        Scale::Full => &[10_000, 100_000, 1_000_000],
+        Scale::Quick => &[10_000, 100_000],
+    };
+    let reps = reps_for(scale);
+
+    println!("node_throughput (scale {scale:?}): K activities x {TARGETS} heartbeat targets");
+    println!(
+        "{:>9} {:>16} {:>16} {:>8} {:>16} {:>16}",
+        "K", "arena units/s", "legacy units/s", "speedup", "arena acts/s", "pipeline units/s"
+    );
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut speedup_100k = 0.0;
+    for &k in sizes {
+        let (arena_ups, legacy_ups, arena_aps) = sweep_pair(k, reps);
+        let pipe_ups = pipeline(k, reps);
+        let speedup = arena_ups / legacy_ups;
+        if k == 100_000 {
+            speedup_100k = speedup;
+        }
+        println!(
+            "{:>9} {:>16.0} {:>16.0} {:>7.2}x {:>16.0} {:>16.0}",
+            k, arena_ups, legacy_ups, speedup, arena_aps, pipe_ups
+        );
+        let tag = if k >= 1_000_000 {
+            format!("{}m", k / 1_000_000)
+        } else {
+            format!("{}k", k / 1_000)
+        };
+        metrics.push((format!("sweep_units_per_sec_{tag}"), arena_ups));
+        metrics.push((format!("legacy_sweep_units_per_sec_{tag}"), legacy_ups));
+        metrics.push((format!("sweep_speedup_{tag}"), speedup));
+        metrics.push((format!("sweep_activities_per_sec_{tag}"), arena_aps));
+        metrics.push((format!("pipeline_units_per_sec_{tag}"), pipe_ups));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!("sharding axis at 100k ({cores} core(s)):");
+    let mut best_sharded = 0.0f64;
+    for shards in [1usize, 2, 4] {
+        let ups = sharded_sweep(100_000, shards, reps);
+        println!("  shards {shards}: {ups:>14.0} units/s");
+        metrics.push((format!("sharded_units_per_sec_100k_s{shards}"), ups));
+        best_sharded = best_sharded.max(ups);
+    }
+    let legacy_100k = metrics
+        .iter()
+        .find(|(n, _)| n == "legacy_sweep_units_per_sec_100k")
+        .map_or(1.0, |(_, v)| *v);
+    let sharded_speedup = best_sharded / legacy_100k;
+    metrics.push(("sharded_speedup_100k".to_string(), sharded_speedup));
+    metrics.push(("cores".to_string(), cores as f64));
+    println!(
+        "  best sharded vs pre-change path: {sharded_speedup:.2}x \
+         (unsharded ablation {speedup_100k:.2}x)"
+    );
+
+    if cores >= 2 {
+        assert!(
+            sharded_speedup >= 2.0,
+            "sharded batched sweep must clear 2x the pre-change path at \
+             100k activities on a {cores}-core runner (measured \
+             {sharded_speedup:.2}x; unsharded {speedup_100k:.2}x)"
+        );
+    } else {
+        // One core: the fan-out cannot beat inline, so hold the
+        // single-thread ablation to its floor instead.
+        assert!(
+            speedup_100k >= 1.25,
+            "batched arena sweep must clear 1.25x the pre-change path at \
+             100k activities on a single-core runner (measured \
+             {speedup_100k:.2}x)"
+        );
+    }
+
+    let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    dgc_bench::record("node_throughput", &borrowed);
+}

@@ -1,0 +1,33 @@
+//! Sharded-sweep conformance: the `DGC_SWEEP_SHARDS` knob must be
+//! verdict-invariant.
+//!
+//! `dgc_core::sweep_sharded` drains its per-shard unit buffers in
+//! shard order — the order a sequential sweep would have produced — so
+//! however many threads a node fans its TTB sweep across, the oracle
+//! must reach the same verdict on the same scenario and seed. This
+//! test pins that end to end through the socket runtime: every
+//! canonical scenario, unsharded then 4-way sharded, same verdicts.
+//!
+//! The knob is an environment variable (process-global), so all runs
+//! live in this one serial test in its own test binary — no parallel
+//! test can observe a half-set variable.
+
+use dgc_conformance::{run_rtnet, scenarios, seeds};
+
+#[test]
+fn sweep_shard_count_never_changes_verdicts() {
+    for scenario in scenarios::all() {
+        for seed in seeds() {
+            std::env::remove_var("DGC_SWEEP_SHARDS");
+            let unsharded = run_rtnet(&scenario, seed).expect("bind chaos cluster");
+            std::env::set_var("DGC_SWEEP_SHARDS", "4");
+            let sharded = run_rtnet(&scenario, seed).expect("bind chaos cluster");
+            std::env::remove_var("DGC_SWEEP_SHARDS");
+            assert_eq!(
+                unsharded, sharded,
+                "[{} seed {seed}] 4-way sharded sweep diverged from unsharded",
+                scenario.name
+            );
+        }
+    }
+}

@@ -376,7 +376,7 @@ fn two_tenants_agree_with_their_single_tenant_ground_truths_on_rtnet() {
             to: ids[&3],
             reply: false,
             tenant: TENANT_TWO.0,
-            payload: b"injected".to_vec(),
+            payload: b"injected".to_vec().into(),
         }]);
         rogue.write_all(&[hello, batch].concat()).unwrap();
         rogue.flush().unwrap();

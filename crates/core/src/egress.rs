@@ -30,7 +30,7 @@
 //! per-destination — and therefore per-class — FIFO is preserved, the
 //! §3.2 transport assumption both runtimes rely on.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use dgc_obs::{Counter, Histogram, LocalHistogram, Registry};
 
@@ -254,6 +254,9 @@ impl EgressObs {
 
 #[derive(Debug)]
 struct DestQueue<T> {
+    /// The destination this slot currently serves (stale in freed
+    /// slots, which always have empty `items`).
+    dest: u32,
     items: Vec<QueuedItem<T>>,
     bytes: u64,
     /// When the oldest queued item must flush.
@@ -265,16 +268,32 @@ struct DestQueue<T> {
 /// The per-destination outbox. `T` is the runtime's unit type (a frame
 /// item on sockets, a scheduled event payload in the simulator); the
 /// outbox never looks inside it.
+///
+/// Queues live in a dense slot `Vec` — one slot per destination, found
+/// through a `dest → slot` index with a one-entry cache in front (a
+/// TTB sweep enqueues runs of units for the same destination; those
+/// repeats skip the map entirely). A departed destination's slot is
+/// recycled through a free list, keeping the slot vector bounded by
+/// the peak number of live destinations. Flush order is deterministic:
+/// [`Outbox::poll`] and [`Outbox::flush_all`] emit in ascending
+/// destination order, exactly as the `BTreeMap`-backed original did.
 #[derive(Debug)]
 pub struct Outbox<T> {
     policy: FlushPolicy,
-    queues: BTreeMap<u32, DestQueue<T>>,
+    slots: Vec<DestQueue<T>>,
+    /// Destination → slot index. Lookups iterate nothing, so the map's
+    /// (hash) iteration order never influences behavior.
+    index: HashMap<u32, usize>,
+    /// Recycled slots of departed destinations.
+    free: Vec<usize>,
+    /// Last `(dest, slot)` touched — the sweep-burst fast path.
+    last_slot: Option<(u32, usize)>,
     stats: EgressStats,
     obs: Option<EgressObs>,
     /// The stats values already pushed into `obs` (delta-sync marker).
     mirrored: EgressStats,
-    /// Cached `Σ queues.items.len()` so the drained-empty sync trigger
-    /// costs one integer compare instead of a map walk.
+    /// Cached `Σ slots.items.len()` so the drained-empty sync trigger
+    /// costs one integer compare instead of a slot walk.
     pending: u64,
     /// Flushes since the last [`Outbox::sync_obs`].
     unsynced_flushes: u32,
@@ -292,7 +311,10 @@ impl<T> Outbox<T> {
     pub fn new(policy: FlushPolicy) -> Outbox<T> {
         Outbox {
             policy,
-            queues: BTreeMap::new(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            last_slot: None,
             stats: EgressStats::default(),
             obs: None,
             mirrored: EgressStats::default(),
@@ -301,6 +323,51 @@ impl<T> Outbox<T> {
             local_flush_linger: LocalHistogram::new(),
             local_flush_items: LocalHistogram::new(),
         }
+    }
+
+    /// The slot serving `dest`, if any — the one-entry cache first,
+    /// then the index.
+    #[inline]
+    fn slot_of(&self, dest: u32) -> Option<usize> {
+        if let Some((d, s)) = self.last_slot {
+            if d == dest {
+                return Some(s);
+            }
+        }
+        self.index.get(&dest).copied()
+    }
+
+    /// The slot serving `dest`, materializing one (recycled if
+    /// possible) on first use.
+    fn slot_for(&mut self, dest: u32, now: Time) -> usize {
+        if let Some(s) = self.slot_of(dest) {
+            self.last_slot = Some((dest, s));
+            return s;
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                let q = &mut self.slots[s];
+                debug_assert!(q.items.is_empty(), "freed slot must be drained");
+                q.dest = dest;
+                q.bytes = 0;
+                q.deadline = now + self.policy.max_delay;
+                q.first_at = now;
+                s
+            }
+            None => {
+                self.slots.push(DestQueue {
+                    dest,
+                    items: Vec::new(),
+                    bytes: 0,
+                    deadline: now + self.policy.max_delay,
+                    first_at: now,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(dest, s);
+        self.last_slot = Some((dest, s));
+        s
     }
 
     /// Attaches telemetry handles; the outbox mirrors its stats into
@@ -359,12 +426,8 @@ impl<T> Outbox<T> {
         size: u64,
         item: T,
     ) -> Option<Flush<T>> {
-        let q = self.queues.entry(dest).or_insert_with(|| DestQueue {
-            items: Vec::new(),
-            bytes: 0,
-            deadline: now + self.policy.max_delay,
-            first_at: now,
-        });
+        let s = self.slot_for(dest, now);
+        let q = &mut self.slots[s];
         if q.items.is_empty() {
             q.deadline = now + self.policy.max_delay;
             q.first_at = now;
@@ -387,14 +450,15 @@ impl<T> Outbox<T> {
     }
 
     /// Flushes every destination whose oldest unit has waited out
-    /// `max_delay`, oldest deadline first.
+    /// `max_delay`, in ascending destination order.
     pub fn poll(&mut self, now: Time) -> Vec<Flush<T>> {
-        let due: Vec<u32> = self
-            .queues
+        let mut due: Vec<u32> = self
+            .slots
             .iter()
-            .filter(|(_, q)| !q.items.is_empty() && q.deadline <= now)
-            .map(|(d, _)| *d)
+            .filter(|q| !q.items.is_empty() && q.deadline <= now)
+            .map(|q| q.dest)
             .collect();
+        due.sort_unstable();
         due.into_iter()
             .filter_map(|d| self.take(Some(now), d, FlushReason::MaxDelay))
             .collect()
@@ -403,8 +467,8 @@ impl<T> Outbox<T> {
     /// The earliest instant a queued unit must flush; `None` while
     /// nothing is queued.
     pub fn next_deadline(&self) -> Option<Time> {
-        self.queues
-            .values()
+        self.slots
+            .iter()
             .filter(|q| !q.items.is_empty())
             .map(|q| q.deadline)
             .min()
@@ -417,7 +481,13 @@ impl<T> Outbox<T> {
 
     /// Forces every queue out, destination order.
     pub fn flush_all(&mut self) -> Vec<Flush<T>> {
-        let dests: Vec<u32> = self.queues.keys().copied().collect();
+        let mut dests: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|q| !q.items.is_empty())
+            .map(|q| q.dest)
+            .collect();
+        dests.sort_unstable();
         dests
             .into_iter()
             .filter_map(|d| self.take(None, d, FlushReason::Forced))
@@ -435,30 +505,38 @@ impl<T> Outbox<T> {
     /// caller must surface the returned units as send failures — they
     /// were accepted for delivery and must not silently vanish.
     pub fn drop_dest(&mut self, dest: u32) -> Vec<QueuedItem<T>> {
-        let Some(q) = self.queues.remove(&dest) else {
+        let Some(s) = self.index.remove(&dest) else {
             return Vec::new();
         };
-        self.pending -= q.items.len() as u64;
-        self.stats.dropped_items += q.items.len() as u64;
-        self.stats.dropped_bytes += q.bytes;
+        if self.last_slot.map(|(d, _)| d) == Some(dest) {
+            self.last_slot = None;
+        }
+        let q = &mut self.slots[s];
+        let items = std::mem::take(&mut q.items);
+        let bytes = q.bytes;
+        q.bytes = 0;
+        self.free.push(s);
+        self.pending -= items.len() as u64;
+        self.stats.dropped_items += items.len() as u64;
+        self.stats.dropped_bytes += bytes;
         self.sync_obs();
-        q.items
+        items
     }
 
     /// Units currently waiting across all destinations.
     pub fn pending_items(&self) -> usize {
-        self.queues.values().map(|q| q.items.len()).sum()
+        self.slots.iter().map(|q| q.items.len()).sum()
     }
 
     /// Payload bytes currently waiting across all destinations.
     pub fn pending_bytes(&self) -> u64 {
-        self.queues.values().map(|q| q.bytes).sum()
+        self.slots.iter().map(|q| q.bytes).sum()
     }
 
     /// Units currently waiting for `dest` (0 after a
     /// [`Outbox::drop_dest`]).
     pub fn pending_items_for(&self, dest: u32) -> usize {
-        self.queues.get(&dest).map_or(0, |q| q.items.len())
+        self.slot_of(dest).map_or(0, |s| self.slots[s].items.len())
     }
 
     /// What the outbox has flushed so far.
@@ -467,7 +545,8 @@ impl<T> Outbox<T> {
     }
 
     fn take(&mut self, now: Option<Time>, dest: u32, reason: FlushReason) -> Option<Flush<T>> {
-        let q = self.queues.get_mut(&dest)?;
+        let s = self.slot_of(dest)?;
+        let q = &mut self.slots[s];
         if q.items.is_empty() {
             return None;
         }

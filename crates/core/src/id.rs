@@ -61,6 +61,30 @@ impl AoIdAllocator {
     }
 }
 
+/// Widest table a [`position_sorted`] lookup probes linearly. Real
+/// referencer/referenced tables hold a handful to a few dozen edges;
+/// at those sizes a branch-predictable forward scan over the sorted
+/// vec beats `binary_search`'s data-dependent branches. Wider tables
+/// fall back to bisection, keeping lookups `O(log n)` in the tail.
+pub(crate) const LINEAR_SCAN_MAX: usize = 64;
+
+/// Locates `id` in a vec sorted by `AoId`: `Ok(i)` when present,
+/// `Err(i)` with the insertion point otherwise — `binary_search`'s
+/// contract, served by a linear probe below [`LINEAR_SCAN_MAX`]
+/// entries. The arena tables route every point lookup through this.
+pub(crate) fn position_sorted<T>(entries: &[(AoId, T)], id: AoId) -> Result<usize, usize> {
+    if entries.len() <= LINEAR_SCAN_MAX {
+        for (i, (k, _)) in entries.iter().enumerate() {
+            if *k >= id {
+                return if *k == id { Ok(i) } else { Err(i) };
+            }
+        }
+        Err(entries.len())
+    } else {
+        entries.binary_search_by(|(k, _)| k.cmp(&id))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +99,24 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(AoId::new(3, 14).to_string(), "ao3.14");
+    }
+
+    #[test]
+    fn position_sorted_matches_binary_search_in_both_regimes() {
+        for width in [0usize, 1, 5, LINEAR_SCAN_MAX, LINEAR_SCAN_MAX + 40] {
+            let entries: Vec<(AoId, u32)> = (0..width)
+                .map(|i| (AoId::new(0, 2 * i as u32), i as u32))
+                .collect();
+            for probe in 0..=(2 * width as u32 + 1) {
+                let id = AoId::new(0, probe);
+                let expect = entries.binary_search_by(|(k, _)| k.cmp(&id));
+                assert_eq!(
+                    position_sorted(&entries, id),
+                    expect,
+                    "width {width} probe {probe}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -76,12 +76,15 @@ pub mod egress;
 pub mod faults;
 pub mod harness;
 pub mod id;
+#[doc(hidden)]
+pub mod legacy;
 pub mod message;
 pub mod process_graph;
 pub mod protocol;
 pub mod referenced;
 pub mod referencers;
 pub mod stats;
+pub mod sweep;
 pub mod telemetry;
 pub mod units;
 pub mod wire;
@@ -95,5 +98,6 @@ pub use message::{Action, DgcMessage, DgcResponse, TerminateReason};
 pub use process_graph::ProcessGraph;
 pub use protocol::{DgcState, Phase};
 pub use stats::{ClockBumpReason, DgcStats};
+pub use sweep::{sweep_sharded, ActionSink, SweepPools, SweepScratch, SweepUnit};
 pub use telemetry::DgcObs;
 pub use units::{Dur, Time};

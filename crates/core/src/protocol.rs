@@ -24,6 +24,7 @@ use crate::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use crate::referenced::ReferencedTable;
 use crate::referencers::ReferencerTable;
 use crate::stats::{ClockBumpReason, DgcStats};
+use crate::sweep::{ActionSink, SweepScratch};
 use crate::telemetry::DgcObs;
 use crate::units::{Dur, Time};
 
@@ -192,17 +193,40 @@ impl DgcState {
     /// middleware's idleness verdict (waiting for a request; an object
     /// waiting on a future is *busy*, §4.1). Roots (registered objects,
     /// dummy referencers) must always be reported busy.
+    ///
+    /// Convenience wrapper over [`Self::on_tick_into`] that allocates
+    /// its own buffers — fine for tests and single activities; a sweep
+    /// over many activities should use `on_tick_into` with reused
+    /// [`SweepScratch`] and sink.
     pub fn on_tick(&mut self, now: Time, idle: bool) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut scratch = SweepScratch::new();
+        self.on_tick_into(now, idle, &mut scratch, &mut actions);
+        actions
+    }
+
+    /// [`Self::on_tick`], emitting into `sink` with caller-owned
+    /// scratch buffers — the batched-sweep hot path: one pass over the
+    /// tables, zero allocations when the buffers are warm, actions
+    /// flowing straight toward the egress plane instead of through a
+    /// per-activity `Vec`.
+    pub fn on_tick_into(
+        &mut self,
+        now: Time,
+        idle: bool,
+        scratch: &mut SweepScratch,
+        sink: &mut impl ActionSink,
+    ) {
         match self.phase {
-            Phase::Dead => return Vec::new(),
+            Phase::Dead => return,
             Phase::Dying { since, reason } => {
                 // §4.3: wait TTA, then terminate. No heartbeats meanwhile.
                 if now.since(since) >= self.config.tta {
                     self.phase = Phase::Dead;
                     self.record_collected(now, reason, Some(since));
-                    return vec![Action::Terminate { reason }];
+                    sink.emit(self.id, Action::Terminate { reason });
                 }
-                return Vec::new();
+                return;
             }
             Phase::Active => {}
         }
@@ -214,13 +238,15 @@ impl DgcState {
         }
         self.last_tick_at = Some(now);
 
-        let mut actions = Vec::new();
-
         // Loss of referencers: silent for TTA (or 2·their TTB + MaxComm).
-        let lost = self
-            .referencers
-            .expire_silent(now, self.config.tta, self.config.max_comm);
-        for _ in &lost {
+        scratch.expired.clear();
+        self.referencers.expire_silent_into(
+            now,
+            self.config.tta,
+            self.config.max_comm,
+            &mut scratch.expired,
+        );
+        for _ in 0..scratch.expired.len() {
             self.bump_clock(ClockBumpReason::LostReferencer);
         }
 
@@ -232,10 +258,13 @@ impl DgcState {
             if now.since(self.last_message_timestamp) > timeout {
                 self.phase = Phase::Dead;
                 self.record_collected(now, TerminateReason::Acyclic, None);
-                actions.push(Action::Terminate {
-                    reason: TerminateReason::Acyclic,
-                });
-                return actions;
+                sink.emit(
+                    self.id,
+                    Action::Terminate {
+                        reason: TerminateReason::Acyclic,
+                    },
+                );
+                return;
             }
 
             // Cyclic garbage (§3.2): we own the final activity clock and
@@ -258,14 +287,17 @@ impl DgcState {
                         since: now,
                         reason: TerminateReason::CyclicDetected,
                     };
-                    return actions;
+                    return;
                 }
                 self.phase = Phase::Dead;
                 self.record_collected(now, TerminateReason::CyclicDetected, Some(now));
-                actions.push(Action::Terminate {
-                    reason: TerminateReason::CyclicDetected,
-                });
-                return actions;
+                sink.emit(
+                    self.id,
+                    Action::Terminate {
+                        reason: TerminateReason::CyclicDetected,
+                    },
+                );
+                return;
             }
         }
 
@@ -273,24 +305,69 @@ impl DgcState {
 
         // Broadcast: every reachable referenced target, plus the targets
         // still owed their first message.
-        let (targets, dropped) = self.referenced.broadcast_targets();
-        for d in dropped {
-            self.lose_referenced_edge(d);
+        scratch.targets.clear();
+        scratch.dropped.clear();
+        if self.referenced.has_pending_drops() {
+            // Rare two-phase order: edges kept only for a promised
+            // first message drop first and bump the clock, then every
+            // target hears the post-drop clock.
+            self.referenced
+                .broadcast_targets_into(&mut scratch.targets, &mut scratch.dropped);
+            for i in 0..scratch.dropped.len() {
+                self.lose_referenced_edge(scratch.dropped[i]);
+            }
+            for i in 0..scratch.targets.len() {
+                let dest = scratch.targets[i];
+                let consensus = self.consensus_bit_for(dest, idle);
+                self.stats.messages_sent += 1;
+                sink.emit(
+                    self.id,
+                    Action::SendMessage {
+                        to: dest,
+                        message: DgcMessage {
+                            sender: self.id,
+                            clock: self.clock,
+                            consensus,
+                            sender_ttb: self.current_ttb,
+                        },
+                    },
+                );
+            }
+            return;
         }
-        for dest in targets {
-            let consensus = self.consensus_bit_for(dest, idle);
-            self.stats.messages_sent += 1;
-            actions.push(Action::SendMessage {
-                to: dest,
-                message: DgcMessage {
-                    sender: self.id,
-                    clock: self.clock,
-                    consensus,
-                    sender_ttb: self.current_ttb,
-                },
+        // Hot path: no drop can occur this tick, so the broadcast is
+        // one fused pass — each target's consensus bit reads the
+        // edge's last response in place
+        // ([`ReferencedTable::for_each_broadcast_target`]) instead of
+        // re-searching the table once per destination.
+        let id = self.id;
+        let clock = self.clock;
+        let parent = self.parent;
+        let ttb = self.current_ttb;
+        let referencers = &self.referencers;
+        let stats = &mut self.stats;
+        self.referenced
+            .for_each_broadcast_target(&mut scratch.dropped, |dest, last| {
+                // `consensus_bit_for`, inlined over the walk.
+                let consensus = idle
+                    && last.is_some_and(|r| r.clock == clock)
+                    && (clock.is_owned_by(id) || parent.is_some())
+                    && (parent != Some(dest) || referencers.agree(clock));
+                stats.messages_sent += 1;
+                sink.emit(
+                    id,
+                    Action::SendMessage {
+                        to: dest,
+                        message: DgcMessage {
+                            sender: id,
+                            clock,
+                            consensus,
+                            sender_ttb: ttb,
+                        },
+                    },
+                );
             });
-        }
-        actions
+        debug_assert!(scratch.dropped.is_empty());
     }
 
     /// The consensus bit sent toward `dest` (Algorithm 2, reconstructed):
@@ -327,8 +404,16 @@ impl DgcState {
     /// Handles a DGC message; always answers with a DGC response (over
     /// the same FIFO connection).
     pub fn on_message(&mut self, now: Time, message: &DgcMessage) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.on_message_into(now, message, &mut actions);
+        actions
+    }
+
+    /// [`Self::on_message`] emitting into `sink` — the delivery hot
+    /// path's allocation-free form (a response is at most one action).
+    pub fn on_message_into(&mut self, now: Time, message: &DgcMessage, sink: &mut impl ActionSink) {
         if self.phase == Phase::Dead {
-            return Vec::new();
+            return;
         }
         self.stats.messages_received += 1;
 
@@ -336,10 +421,14 @@ impl DgcState {
             // §4.3: a dying object no longer updates its state but keeps
             // answering so the consensus outcome propagates.
             self.stats.responses_sent += 1;
-            return vec![Action::SendResponse {
-                to: message.sender,
-                response: self.build_response(true),
-            }];
+            sink.emit(
+                self.id,
+                Action::SendResponse {
+                    to: message.sender,
+                    response: self.build_response(true),
+                },
+            );
+            return;
         }
 
         if message.clock > self.clock {
@@ -357,10 +446,13 @@ impl DgcState {
         self.last_message_timestamp = now;
 
         self.stats.responses_sent += 1;
-        vec![Action::SendResponse {
-            to: message.sender,
-            response: self.build_response(false),
-        }]
+        sink.emit(
+            self.id,
+            Action::SendResponse {
+                to: message.sender,
+                response: self.build_response(false),
+            },
+        );
     }
 
     fn build_response(&self, consensus_reached: bool) -> DgcResponse {

@@ -12,8 +12,15 @@
 //!   least one DGC message at the next broadcast *even if the stub is
 //!   immediately collected*, so a reference hopping quickly between
 //!   objects keeps its target alive (§3.1).
-
-use std::collections::BTreeMap;
+//!
+//! ## Storage
+//!
+//! Like [`crate::referencers`], entries are a flat `Vec` sorted by id —
+//! the TTB broadcast walks it as one linear scan and
+//! [`ReferencedTable::broadcast_targets_into`] fills caller-owned
+//! scratch buffers instead of allocating per sweep. Iteration order is
+//! unchanged (id order, load-bearing for conformance); the `BTreeMap`
+//! original lives on in [`crate::legacy`] as model and baseline.
 
 use crate::id::AoId;
 use crate::message::DgcResponse;
@@ -30,10 +37,10 @@ pub struct ReferencedInfo {
     pub must_send_once: bool,
 }
 
-/// Table of all referenced active objects, keyed by id.
+/// Table of all referenced active objects: a flat arena sorted by id.
 #[derive(Debug, Clone, Default)]
 pub struct ReferencedTable {
-    entries: BTreeMap<AoId, ReferencedInfo>,
+    entries: Vec<(AoId, ReferencedInfo)>,
 }
 
 impl ReferencedTable {
@@ -42,15 +49,33 @@ impl ReferencedTable {
         ReferencedTable::default()
     }
 
+    #[inline]
+    fn position(&self, id: AoId) -> Result<usize, usize> {
+        crate::id::position_sorted(&self.entries, id)
+    }
+
     /// Registers the deserialization of a stub for `target` (the §2.2
     /// hook). Creates the edge if needed, marks it reachable, and arms
     /// `must_send_once`. Returns `true` if the edge is new.
     pub fn on_stub_deserialized(&mut self, target: AoId) -> bool {
-        let entry = self.entries.entry(target).or_insert(ReferencedInfo {
-            last_response: None,
-            reachable: false,
-            must_send_once: false,
-        });
+        let i = match self.position(target) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    (
+                        target,
+                        ReferencedInfo {
+                            last_response: None,
+                            reachable: false,
+                            must_send_once: false,
+                        },
+                    ),
+                );
+                i
+            }
+        };
+        let entry = &mut self.entries[i].1;
         let was_new = !entry.reachable && entry.last_response.is_none() && !entry.must_send_once;
         entry.reachable = true;
         entry.must_send_once = true;
@@ -62,15 +87,16 @@ impl ReferencedTable {
     /// a first DGC message is still owed. Returns `true` if the edge was
     /// removed now (a "loss of a referenced").
     pub fn on_stubs_collected(&mut self, target: AoId) -> bool {
-        match self.entries.get_mut(&target) {
-            None => false,
-            Some(info) => {
+        match self.position(target) {
+            Err(_) => false,
+            Ok(i) => {
+                let info = &mut self.entries[i].1;
                 info.reachable = false;
                 if info.must_send_once {
                     // Keep the edge until the promised message is sent.
                     false
                 } else {
-                    self.entries.remove(&target);
+                    self.entries.remove(i);
                     true
                 }
             }
@@ -80,19 +106,25 @@ impl ReferencedTable {
     /// Records a DGC response from `target`. Returns `false` if we no
     /// longer track that target (late response after edge removal).
     pub fn record_response(&mut self, target: AoId, response: DgcResponse) -> bool {
-        match self.entries.get_mut(&target) {
-            Some(info) => {
-                info.last_response = Some(response);
+        match self.position(target) {
+            Ok(i) => {
+                self.entries[i].1.last_response = Some(response);
                 true
             }
-            None => false,
+            Err(_) => false,
         }
     }
 
     /// Removes the edge to `target` unconditionally (send failure: the
     /// target terminated). Returns `true` if it existed.
     pub fn remove(&mut self, target: AoId) -> bool {
-        self.entries.remove(&target).is_some()
+        match self.position(target) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Ids to include in the next broadcast: all reachable targets plus
@@ -100,41 +132,86 @@ impl ReferencedTable {
     /// flags, and drops edges that were only kept for that promise —
     /// returning those drops as "losses of a referenced" (second element).
     pub fn broadcast_targets(&mut self) -> (Vec<AoId>, Vec<AoId>) {
-        let targets: Vec<AoId> = self
-            .entries
-            .iter()
-            .filter(|(_, info)| info.reachable || info.must_send_once)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut targets = Vec::new();
         let mut dropped = Vec::new();
-        for id in &targets {
-            let info = self.entries.get_mut(id).expect("target exists");
-            info.must_send_once = false;
-            if !info.reachable {
-                // The promised message is being sent now; afterwards the
-                // edge is gone (stub already collected).
-                self.entries.remove(id);
-                dropped.push(*id);
-            }
-        }
+        self.broadcast_targets_into(&mut targets, &mut dropped);
         (targets, dropped)
+    }
+
+    /// [`Self::broadcast_targets`] into caller-owned scratch buffers
+    /// (appended, id order) — one in-place pass, no allocation when the
+    /// buffers' capacity is warm. This is the TTB-sweep hot path.
+    pub fn broadcast_targets_into(&mut self, targets: &mut Vec<AoId>, dropped: &mut Vec<AoId>) {
+        self.entries.retain_mut(|(id, info)| {
+            if info.reachable || info.must_send_once {
+                targets.push(*id);
+                info.must_send_once = false;
+                if !info.reachable {
+                    // The promised message is being sent now; afterwards
+                    // the edge is gone (stub already collected).
+                    dropped.push(*id);
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// True when some edge is owed its first message but is already
+    /// unreachable — i.e. the next broadcast walk will drop it. The
+    /// sweep uses this to choose between the fused single-pass walk
+    /// (no drop possible) and the exact two-phase order that drop
+    /// bookkeeping needs (drops bump the activity clock *before* the
+    /// heartbeats carrying it are built).
+    pub fn has_pending_drops(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, info)| info.must_send_once && !info.reachable)
+    }
+
+    /// The fused broadcast walk: one in-place pass that invokes `emit`
+    /// for every target due a heartbeat, handing it the edge's last
+    /// recorded response (Algorithm 2's consensus-bit input) so the
+    /// caller never re-searches the table per destination. Semantics
+    /// match [`Self::broadcast_targets_into`] followed by a
+    /// [`Self::last_response`] lookup per target: `must_send_once`
+    /// flags clear, and edges kept only for that promise drop into
+    /// `dropped`. This is the TTB-sweep hot path.
+    pub fn for_each_broadcast_target(
+        &mut self,
+        dropped: &mut Vec<AoId>,
+        mut emit: impl FnMut(AoId, Option<&DgcResponse>),
+    ) {
+        self.entries.retain_mut(|(id, info)| {
+            if info.reachable || info.must_send_once {
+                emit(*id, info.last_response.as_ref());
+                info.must_send_once = false;
+                if !info.reachable {
+                    // The promised message is being sent now; afterwards
+                    // the edge is gone (stub already collected).
+                    dropped.push(*id);
+                    return false;
+                }
+            }
+            true
+        });
     }
 
     /// Last response from `target`, if tracked and received.
     pub fn last_response(&self, target: AoId) -> Option<&DgcResponse> {
-        self.entries
-            .get(&target)
-            .and_then(|i| i.last_response.as_ref())
+        self.position(target)
+            .ok()
+            .and_then(|i| self.entries[i].1.last_response.as_ref())
     }
 
     /// Look up one edge.
     pub fn get(&self, target: AoId) -> Option<&ReferencedInfo> {
-        self.entries.get(&target)
+        self.position(target).ok().map(|i| &self.entries[i].1)
     }
 
     /// True if `target` is currently tracked.
     pub fn contains(&self, target: AoId) -> bool {
-        self.entries.contains_key(&target)
+        self.position(target).is_ok()
     }
 
     /// Number of tracked edges.
@@ -218,6 +295,53 @@ mod tests {
         assert!(!t.contains(ao(1)));
         let (targets, _) = t.broadcast_targets();
         assert!(targets.is_empty());
+    }
+
+    #[test]
+    fn broadcast_targets_into_appends_to_scratch() {
+        let mut t = ReferencedTable::new();
+        t.on_stub_deserialized(ao(2));
+        t.on_stub_deserialized(ao(1));
+        t.on_stubs_collected(ao(2)); // kept for the promise, dropped below
+        let mut targets = vec![ao(7)];
+        let mut dropped = Vec::new();
+        t.broadcast_targets_into(&mut targets, &mut dropped);
+        assert_eq!(targets, vec![ao(7), ao(1), ao(2)]);
+        assert_eq!(dropped, vec![ao(2)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fused_walk_matches_two_phase_walk_and_lookups() {
+        let mut two_phase = ReferencedTable::new();
+        two_phase.on_stub_deserialized(ao(3));
+        two_phase.on_stub_deserialized(ao(1));
+        two_phase.on_stub_deserialized(ao(2));
+        two_phase.record_response(ao(1), resp(1));
+        two_phase.on_stubs_collected(ao(2)); // kept for the promise only
+        let mut fused = two_phase.clone();
+
+        assert!(two_phase.has_pending_drops(), "ao2 is owed its drop");
+        let pre_walk = two_phase.clone();
+        let (targets, two_phase_dropped) = two_phase.broadcast_targets();
+        let expected: Vec<(AoId, Option<DgcResponse>)> = targets
+            .into_iter()
+            .map(|t| (t, pre_walk.last_response(t).cloned()))
+            .collect();
+
+        let mut walked = Vec::new();
+        let mut dropped = Vec::new();
+        fused.for_each_broadcast_target(&mut dropped, |id, last| {
+            walked.push((id, last.cloned()));
+        });
+        assert_eq!(walked, expected);
+        assert_eq!(dropped, two_phase_dropped);
+        assert_eq!(dropped, vec![ao(2)]);
+        let (after, _) = two_phase.broadcast_targets();
+        let mut fused_after = Vec::new();
+        fused.for_each_broadcast_target(&mut Vec::new(), |id, _| fused_after.push(id));
+        assert_eq!(fused_after, after, "both walks leave the same table");
+        assert!(!fused.has_pending_drops());
     }
 
     #[test]

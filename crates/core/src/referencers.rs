@@ -7,8 +7,19 @@
 //! so that Algorithm 1 can evaluate the recursive agreement and so that
 //! silent referencers can be expired after TTA (the "loss of a
 //! referencer" event of §3.2, Fig. 5).
-
-use std::collections::BTreeMap;
+//!
+//! ## Storage
+//!
+//! Entries live in a flat `Vec<(AoId, ReferencerInfo)>` kept sorted by
+//! id — an arena, not a `BTreeMap`. A TTB sweep over a node hosting
+//! hundreds of thousands of activities walks every table once per beat;
+//! a contiguous sorted slice makes that walk a linear scan over cache
+//! lines instead of a pointer chase over tree nodes, and lookups stay
+//! `O(log n)` by binary search. Iteration remains id-ordered — the
+//! determinism the simulator's reproducibility and the conformance
+//! oracle rely on. The pre-arena `BTreeMap` implementation survives as
+//! [`crate::legacy`]: the proptest model and the bench ablation
+//! baseline.
 
 use crate::clock::NamedClock;
 use crate::id::AoId;
@@ -28,19 +39,34 @@ pub struct ReferencerInfo {
     pub advertised_ttb: Dur,
 }
 
-/// Table of all known referencers, keyed by id.
-///
-/// A `BTreeMap` keeps iteration deterministic (ids are totally ordered),
-/// which the simulator's reproducibility guarantees rely on.
+impl ReferencerInfo {
+    /// The expiry window for this referencer:
+    /// `max(TTA, 2·advertised_ttb + max_comm)`.
+    #[inline]
+    pub fn expiry(&self, tta: Dur, max_comm: Dur) -> Dur {
+        tta.max(
+            self.advertised_ttb
+                .saturating_mul(2)
+                .saturating_add(max_comm),
+        )
+    }
+}
+
+/// Table of all known referencers: a flat arena sorted by id.
 #[derive(Debug, Clone, Default)]
 pub struct ReferencerTable {
-    entries: BTreeMap<AoId, ReferencerInfo>,
+    entries: Vec<(AoId, ReferencerInfo)>,
 }
 
 impl ReferencerTable {
     /// Empty table.
     pub fn new() -> Self {
         ReferencerTable::default()
+    }
+
+    #[inline]
+    fn position(&self, id: AoId) -> Result<usize, usize> {
+        crate::id::position_sorted(&self.entries, id)
     }
 
     /// Records a DGC message from `sender`; inserts the referencer if it
@@ -54,17 +80,22 @@ impl ReferencerTable {
         now: Time,
         advertised_ttb: Dur,
     ) -> bool {
-        self.entries
-            .insert(
-                sender,
-                ReferencerInfo {
-                    clock,
-                    consensus,
-                    last_message: now,
-                    advertised_ttb,
-                },
-            )
-            .is_none()
+        let info = ReferencerInfo {
+            clock,
+            consensus,
+            last_message: now,
+            advertised_ttb,
+        };
+        match self.position(sender) {
+            Ok(i) => {
+                self.entries[i].1 = info;
+                false
+            }
+            Err(i) => {
+                self.entries.insert(i, (sender, info));
+                true
+            }
+        }
     }
 
     /// Algorithm 1: do **all** referencers carry `clock` with their
@@ -77,8 +108,8 @@ impl ReferencerTable {
     /// first messages.
     pub fn agree(&self, clock: NamedClock) -> bool {
         self.entries
-            .values()
-            .all(|r| r.clock == clock && r.consensus)
+            .iter()
+            .all(|(_, r)| r.clock == clock && r.consensus)
     }
 
     /// Removes referencers whose last message is older than their expiry
@@ -86,29 +117,41 @@ impl ReferencerTable {
     /// each removal is a "loss of a referencer" that must bump the
     /// activity clock (§3.2, Fig. 5).
     pub fn expire_silent(&mut self, now: Time, tta: Dur, max_comm: Dur) -> Vec<AoId> {
-        let expired: Vec<AoId> = self
-            .entries
-            .iter()
-            .filter(|(_, info)| {
-                let per_ref = info
-                    .advertised_ttb
-                    .saturating_mul(2)
-                    .saturating_add(max_comm);
-                let timeout = tta.max(per_ref);
-                now.since(info.last_message) > timeout
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in &expired {
-            self.entries.remove(id);
-        }
+        let mut expired = Vec::new();
+        self.expire_silent_into(now, tta, max_comm, &mut expired);
         expired
+    }
+
+    /// [`Self::expire_silent`] into a caller-owned scratch buffer
+    /// (appended, id order) — the sweep-loop form that allocates
+    /// nothing when the buffer's capacity is warm.
+    pub fn expire_silent_into(
+        &mut self,
+        now: Time,
+        tta: Dur,
+        max_comm: Dur,
+        expired: &mut Vec<AoId>,
+    ) {
+        self.entries.retain(|(id, info)| {
+            if now.since(info.last_message) > info.expiry(tta, max_comm) {
+                expired.push(*id);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Forgets a referencer explicitly (used when the runtime learns the
     /// referencer terminated). Returns `true` if it was present.
     pub fn remove(&mut self, id: AoId) -> bool {
-        self.entries.remove(&id).is_some()
+        match self.position(id) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Largest per-referencer expiry among current referencers, used to
@@ -116,21 +159,15 @@ impl ReferencerTable {
     /// larger than ours.
     pub fn max_expiry(&self, tta: Dur, max_comm: Dur) -> Dur {
         self.entries
-            .values()
-            .map(|info| {
-                tta.max(
-                    info.advertised_ttb
-                        .saturating_mul(2)
-                        .saturating_add(max_comm),
-                )
-            })
+            .iter()
+            .map(|(_, info)| info.expiry(tta, max_comm))
             .max()
             .unwrap_or(tta)
     }
 
     /// Look up one referencer.
     pub fn get(&self, id: AoId) -> Option<&ReferencerInfo> {
-        self.entries.get(&id)
+        self.position(id).ok().map(|i| &self.entries[i].1)
     }
 
     /// Number of known referencers.
@@ -208,6 +245,18 @@ mod tests {
         assert_eq!(lost, vec![ao(1)]);
         assert_eq!(t.len(), 1);
         assert!(t.get(ao(2)).is_some());
+    }
+
+    #[test]
+    fn expire_silent_into_appends_to_scratch() {
+        let mut t = ReferencerTable::new();
+        let tta = Dur::from_secs(61);
+        t.record_message(ao(2), clk(0, 2), false, Time::ZERO, TTB);
+        t.record_message(ao(1), clk(0, 1), false, Time::ZERO, TTB);
+        let mut scratch = vec![ao(9)]; // pre-existing content survives
+        t.expire_silent_into(Time::from_secs(62), tta, Dur::ZERO, &mut scratch);
+        assert_eq!(scratch, vec![ao(9), ao(1), ao(2)]);
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl std::error::Error for DecodeError {}
 
 /// Appends an [`AoId`] (8 bytes). Public so node-level transports can
 /// compose frames out of the same primitives the simulator charges for.
-pub fn put_aoid(buf: &mut BytesMut, id: AoId) {
+pub fn put_aoid(buf: &mut impl BufMut, id: AoId) {
     buf.put_u32(id.node);
     buf.put_u32(id.index);
 }
@@ -69,7 +69,7 @@ pub fn get_aoid(buf: &mut Bytes) -> Result<AoId, DecodeError> {
 }
 
 /// Appends a [`NamedClock`] (16 bytes).
-pub fn put_clock(buf: &mut BytesMut, c: NamedClock) {
+pub fn put_clock(buf: &mut impl BufMut, c: NamedClock) {
     buf.put_u64(c.value);
     put_aoid(buf, c.owner);
 }
@@ -87,7 +87,7 @@ pub fn get_clock(buf: &mut Bytes) -> Result<NamedClock, DecodeError> {
 /// Appends an encoded DGC message to `buf` (tag included), letting
 /// transports embed messages inside larger frames without intermediate
 /// allocations.
-pub fn put_message(buf: &mut BytesMut, m: &DgcMessage) {
+pub fn put_message(buf: &mut impl BufMut, m: &DgcMessage) {
     buf.put_u8(TAG_MESSAGE);
     put_aoid(buf, m.sender);
     put_clock(buf, m.clock);
@@ -125,7 +125,7 @@ pub fn get_message(buf: &mut Bytes) -> Result<DgcMessage, DecodeError> {
 }
 
 /// Appends an encoded DGC response to `buf` (tag included).
-pub fn put_response(buf: &mut BytesMut, r: &DgcResponse) {
+pub fn put_response(buf: &mut impl BufMut, r: &DgcResponse) {
     buf.put_u8(TAG_RESPONSE);
     put_aoid(buf, r.responder);
     put_clock(buf, r.clock);

@@ -24,7 +24,9 @@
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+#[cfg(test)]
+use bytes::BytesMut;
+use bytes::{Buf, BufMut, Bytes};
 
 use dgc_core::wire::DecodeError;
 
@@ -65,7 +67,7 @@ fn status_of(b: u8) -> Result<NodeStatus, DecodeError> {
 }
 
 /// Appends one record (self-delimiting).
-pub fn put_record(buf: &mut BytesMut, rec: &NodeRecord) {
+pub fn put_record(buf: &mut impl BufMut, rec: &NodeRecord) {
     buf.put_u32(rec.node);
     buf.put_u64(rec.incarnation);
     buf.put_u8(status_byte(rec.status));
@@ -128,7 +130,7 @@ const FLAG_FULL: u8 = 0b0000_0001;
 /// # Panics
 ///
 /// Panics if the digest exceeds [`MAX_DIGEST_RECORDS`].
-pub fn put_digest(buf: &mut BytesMut, digest: &Digest) {
+pub fn put_digest(buf: &mut impl BufMut, digest: &Digest) {
     assert!(
         digest.records.len() <= MAX_DIGEST_RECORDS,
         "digest of {} records exceeds MAX_DIGEST_RECORDS",

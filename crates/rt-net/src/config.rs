@@ -80,6 +80,15 @@ pub struct NetConfig {
     /// across several independent pollers, but only `1` is implemented;
     /// [`crate::NetNode::bind`] rejects anything else.
     pub reactor_shards: usize,
+    /// TTB sweep shards: how many threads a node's due-endpoint sweep
+    /// fans out across ([`dgc_core::sweep_sharded`]). `1` (the default)
+    /// sweeps inline on the event loop with no thread handoff. Whatever
+    /// the count, emitted units drain into the egress plane in shard
+    /// order — identical to the sequential order — so the verdict
+    /// stream is shard-count independent. Defaults to
+    /// `DGC_SWEEP_SHARDS` when set, so every runner honours the knob
+    /// without plumbing.
+    pub sweep_shards: usize,
     /// Most items a single link will hold queued (wire frames included)
     /// before it sheds its oldest batches: a slow or dead peer must not
     /// hoard unbounded memory. Shed application payloads surface as
@@ -112,6 +121,11 @@ impl NetConfig {
             trace: TraceLevel::Off,
             engine: IoEngine::from_env(),
             reactor_shards: 1,
+            sweep_shards: std::env::var("DGC_SWEEP_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
             max_link_pending: 100_000,
             auth: None,
             handshake_timeout: Duration::from_secs(2),
@@ -140,6 +154,12 @@ impl NetConfig {
     /// Caps per-link queued items before backpressure shedding.
     pub fn max_link_pending(mut self, max: usize) -> Self {
         self.max_link_pending = max.max(1);
+        self
+    }
+
+    /// Sets the TTB sweep fan-out (overriding `DGC_SWEEP_SHARDS`).
+    pub fn sweep_shards(mut self, shards: usize) -> Self {
+        self.sweep_shards = shards.max(1);
         self
     }
 

@@ -147,8 +147,10 @@ pub enum Item {
         /// `0` is the default tenant). Stamped by the sender's
         /// pipeline and re-checked by the receiver's.
         tenant: u32,
-        /// The serialized call/value, opaque to the transport.
-        payload: Vec<u8>,
+        /// The serialized call/value, opaque to the transport. Decoded
+        /// items hold a refcounted window into the receive buffer (no
+        /// per-payload copy on the read path).
+        payload: Bytes,
     },
 }
 
@@ -223,7 +225,7 @@ pub enum Frame {
     },
 }
 
-fn put_item(buf: &mut BytesMut, item: &Item) {
+fn put_item(buf: &mut impl BufMut, item: &Item) {
     match item {
         Item::Dgc { from, to, message } => {
             buf.put_u8(ITEM_DGC);
@@ -320,8 +322,7 @@ fn get_item(buf: &mut Bytes) -> Result<Item, DecodeError> {
             if buf.remaining() < len {
                 return Err(DecodeError::Truncated);
             }
-            let mut payload = vec![0u8; len];
-            buf.copy_to_slice(&mut payload);
+            let payload = buf.split_to(len);
             Ok(Item::App {
                 from,
                 to,
@@ -372,7 +373,7 @@ fn get_array<const N: usize>(buf: &mut Bytes) -> Result<[u8; N], DecodeError> {
 
 /// Single source of truth for the batch payload layout, shared by
 /// [`encode_payload`] and [`encode_batch_frame`].
-fn put_batch(buf: &mut BytesMut, items: &[Item]) {
+fn put_batch(buf: &mut impl BufMut, items: &[Item]) {
     assert!(
         items.len() <= MAX_BATCH_ITEMS as usize,
         "batch of {} items exceeds MAX_BATCH_ITEMS",
@@ -434,24 +435,56 @@ pub fn decode_payload(mut buf: Bytes) -> Result<Frame, DecodeError> {
 }
 
 /// Encodes `frame` with its 4-byte length prefix — exactly the bytes a
-/// link writes to the socket.
+/// link writes to the socket. The payload is encoded in place after a
+/// placeholder prefix that is backfilled, so no intermediate buffer is
+/// copied.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let payload = encode_payload(frame);
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.put_u32(payload.len() as u32);
-    out.put_slice(payload.as_ref());
+    let mut out = vec![0u8; 4];
+    match frame {
+        Frame::Hello { node, version } => {
+            out.put_u8(TAG_HELLO);
+            out.put_u8(*version);
+            out.put_u32(*node);
+        }
+        Frame::Batch(items) => put_batch(&mut out, items),
+        Frame::AuthInit { nonce } => {
+            out.put_u8(TAG_AUTH_INIT);
+            out.put_slice(nonce);
+        }
+        Frame::AuthChallenge { nonce, mac } => {
+            out.put_u8(TAG_AUTH_CHALLENGE);
+            out.put_slice(nonce);
+            out.put_slice(mac);
+        }
+        Frame::AuthProof { mac } => {
+            out.put_u8(TAG_AUTH_PROOF);
+            out.put_slice(mac);
+        }
+    }
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_be_bytes());
     out
+}
+
+/// Exact encoded length of [`encode_batch_frame`]`(items)` — length
+/// prefix, batch header and every item — computed from the
+/// [`Item::wire_size`] model without encoding anything. Lets writers
+/// size buffers (and benches predict bandwidth) without a sizing pass
+/// over a cloned frame.
+pub fn batch_frame_len(items: &[Item]) -> usize {
+    FRAME_OVERHEAD as usize + items.iter().map(|i| i.wire_size() as usize).sum::<usize>()
 }
 
 /// Encodes a batch frame (length prefix included) straight from a
 /// borrowed slice, so link writers can frame their queues without
-/// cloning items into a `Frame`.
+/// cloning items into a `Frame`. Allocates exactly
+/// [`batch_frame_len`]`(items)` bytes up front.
 pub fn encode_batch_frame(items: &[Item]) -> Vec<u8> {
-    let mut payload = BytesMut::with_capacity(8 + items.len() * 64);
-    put_batch(&mut payload, items);
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.put_u32(payload.len() as u32);
-    out.put_slice(payload.as_ref());
+    let total = batch_frame_len(items);
+    let mut out = Vec::with_capacity(total);
+    out.put_u32((total - 4) as u32);
+    put_batch(&mut out, items);
+    debug_assert_eq!(out.len(), total, "wire_size model drifted");
     out
 }
 
@@ -496,9 +529,22 @@ pub fn split_len(items: &[Item]) -> usize {
 /// arrive from a stream, take complete frames out. This is the exact
 /// decode path the node's socket readers use, so the property tests that
 /// split encodings at arbitrary boundaries exercise production code.
+///
+/// The decode path is **zero-copy**: once enough bytes have
+/// accumulated, the whole accumulation buffer is frozen into a
+/// refcounted [`Bytes`] and every frame — including each `App` payload
+/// inside it — is carved out as a window into that one allocation.
+/// Only a partial trailing frame is ever copied (back into the
+/// accumulator when more bytes arrive), so cost scales with fragment
+/// remainders, not with payload volume.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    /// Bytes still accumulating toward a complete frame. At most one of
+    /// `acc`/`carry` is non-empty.
+    acc: Vec<u8>,
+    /// Unconsumed remainder of a frozen accumulation buffer; frames are
+    /// split off its front without copying.
+    carry: Bytes,
 }
 
 impl FrameDecoder {
@@ -509,7 +555,12 @@ impl FrameDecoder {
 
     /// Appends raw bytes from the stream.
     pub fn push(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
+        if !self.carry.is_empty() {
+            debug_assert!(self.acc.is_empty());
+            self.acc.extend_from_slice(self.carry.as_slice());
+            self.carry = Bytes::new();
+        }
+        self.acc.extend_from_slice(chunk);
     }
 
     /// Extracts the next complete frame, if any.
@@ -517,24 +568,41 @@ impl FrameDecoder {
     /// `Ok(None)` means "need more bytes"; an `Err` means the stream is
     /// corrupt and the connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
-        if self.buf.len() < 4 {
+        if self.carry.is_empty() {
+            if self.acc.len() < 4 {
+                return Ok(None);
+            }
+            let len =
+                u32::from_be_bytes([self.acc[0], self.acc[1], self.acc[2], self.acc[3]]) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(DecodeError::BadTag(0));
+            }
+            if self.acc.len() < 4 + len {
+                return Ok(None);
+            }
+            // A complete frame is in: freeze the accumulator and decode
+            // out of the shared buffer from here on.
+            self.carry = Bytes::from(std::mem::take(&mut self.acc));
+        }
+        let head = self.carry.as_slice();
+        if head.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(DecodeError::BadTag(0));
         }
-        if self.buf.len() < 4 + len {
+        if head.len() < 4 + len {
             return Ok(None);
         }
-        let payload: Vec<u8> = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        decode_payload(Bytes::from(payload)).map(Some)
+        self.carry.split_to(4);
+        let payload = self.carry.split_to(len);
+        decode_payload(payload).map(Some)
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len()
+        self.acc.len() + self.carry.len()
     }
 }
 
@@ -610,14 +678,14 @@ mod tests {
                 to: AoId::new(1, 0),
                 reply: false,
                 tenant: 4,
-                payload: vec![0xAB; 48],
+                payload: vec![0xAB; 48].into(),
             },
             Item::App {
                 from: AoId::new(1, 0),
                 to: AoId::new(0, 1),
                 reply: true,
                 tenant: 0,
-                payload: Vec::new(),
+                payload: Bytes::new(),
             },
         ])
     }
@@ -686,9 +754,10 @@ mod tests {
     #[test]
     fn trailing_garbage_is_rejected() {
         let payload = encode_payload(&sample_batch());
-        let mut raw: Vec<u8> = payload.as_ref().to_vec();
-        raw.push(0xEE);
-        assert!(decode_payload(Bytes::from(raw)).is_err());
+        let mut raw = BytesMut::with_capacity(payload.len() + 1);
+        raw.put_slice(payload.as_slice());
+        raw.put_u8(0xEE);
+        assert!(decode_payload(raw.freeze()).is_err());
     }
 
     #[test]
@@ -782,12 +851,38 @@ mod tests {
                 message: msg(0),
             })
             .collect();
-        let batched = encode_frame(&Frame::Batch(items.clone())).len();
+        let batched = batch_frame_len(&items);
         let unbatched: usize = items
             .iter()
-            .map(|i| encode_frame(&Frame::Batch(vec![i.clone()])).len())
+            .map(|i| batch_frame_len(std::slice::from_ref(i)))
             .sum();
+        assert_eq!(batched, encode_batch_frame(&items).len());
         assert!(batched < unbatched);
         assert_eq!(unbatched - batched, 15 * FRAME_OVERHEAD as usize);
+    }
+
+    #[test]
+    fn decoded_app_payload_is_a_window_into_the_receive_buffer() {
+        let f = sample_batch();
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_frame(&f));
+        // Pin the accumulated buffer's address range before decoding.
+        let base = dec.acc.as_ptr() as usize;
+        let len = dec.acc.len();
+        let got = dec.next_frame().unwrap().unwrap();
+        let Frame::Batch(items) = got else {
+            unreachable!()
+        };
+        let Some(Item::App { payload, .. }) = items
+            .iter()
+            .find(|i| matches!(i, Item::App { payload, .. } if !payload.is_empty()))
+        else {
+            unreachable!()
+        };
+        let p = payload.as_slice().as_ptr() as usize;
+        assert!(
+            p >= base && p + payload.len() <= base + len,
+            "App payload must alias the receive buffer, not a copy"
+        );
     }
 }

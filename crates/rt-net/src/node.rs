@@ -43,6 +43,7 @@ use dgc_core::egress::{EgressObs, Flush, FlushReason, Outbox};
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, TerminateReason};
 use dgc_core::protocol::DgcState;
+use dgc_core::sweep::{sweep_sharded, SweepPools, SweepUnit};
 use dgc_core::telemetry::DgcObs;
 use dgc_core::units::Time;
 use dgc_membership::{
@@ -580,6 +581,8 @@ impl NetNode {
             peer_addrs: HashMap::new(),
             links,
             outbox,
+            sweep_pools: SweepPools::new(),
+            msg_units: Vec::new(),
             pipeline: Pipeline::new(),
             tenants: TenantMap::default(),
             ledger,
@@ -868,7 +871,7 @@ impl NetNode {
                 // The worker's tenant map is the authority; the wire
                 // field is stamped by the outgoing pipeline.
                 tenant: TenantId::DEFAULT.0,
-                payload,
+                payload: payload.into(),
             },
         });
     }
@@ -1465,6 +1468,12 @@ struct Worker {
     /// The egress plane: every outgoing unit queues here; the flush
     /// policy decides when a destination's queue becomes a frame.
     outbox: Outbox<Item>,
+    /// Per-shard scratch and unit buffers the TTB sweep reuses tick
+    /// after tick (`config.sweep_shards` controls the fan-out), plus
+    /// the one-message buffer `handle_item` drains per DGC unit — the
+    /// event loop's steady state allocates nothing per activity.
+    sweep_pools: SweepPools,
+    msg_units: Vec<SweepUnit>,
     /// The envelope middleware pipeline every app payload traverses —
     /// outgoing before the egress plane, incoming before delivery.
     /// Empty by default (pass-through); [`Event::SetPipeline`] installs
@@ -1612,7 +1621,7 @@ impl Worker {
                     to: env.to,
                     reply: env.reply,
                     tenant: env.tenant.0,
-                    payload: env.payload,
+                    payload: env.payload.into(),
                 });
             }
         }
@@ -1801,7 +1810,7 @@ impl Worker {
                             from,
                             to,
                             reply,
-                            payload,
+                            payload: payload.into_vec(),
                         });
                     self.stats.on_send_failures(1);
                 }
@@ -1874,29 +1883,33 @@ impl Worker {
 
     fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
         for action in actions {
-            match action {
-                Action::SendMessage { to, message } => self.route(Item::Dgc {
-                    from: who,
-                    to,
-                    message,
-                }),
-                Action::SendResponse { to, response } => self.route(Item::Resp {
-                    from: who,
-                    to,
-                    response,
-                }),
-                Action::Terminate { reason } => {
-                    self.endpoints.remove(&who.index);
-                    self.trace(TraceLevel::Info, "terminate", || {
-                        format!("ao {who} ({reason:?})")
-                    });
-                    self.terminated
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(Terminated { ao: who, reason });
-                }
-                _ => {}
+            self.apply_action(who, action);
+        }
+    }
+
+    fn apply_action(&mut self, who: AoId, action: Action) {
+        match action {
+            Action::SendMessage { to, message } => self.route(Item::Dgc {
+                from: who,
+                to,
+                message,
+            }),
+            Action::SendResponse { to, response } => self.route(Item::Resp {
+                from: who,
+                to,
+                response,
+            }),
+            Action::Terminate { reason } => {
+                self.endpoints.remove(&who.index);
+                self.trace(TraceLevel::Info, "terminate", || {
+                    format!("ao {who} ({reason:?})")
+                });
+                self.terminated
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Terminated { ao: who, reason });
             }
+            _ => {}
         }
     }
 
@@ -1923,8 +1936,12 @@ impl Worker {
         match item {
             Item::Dgc { from, to, message } => match self.endpoints.get_mut(&to.index) {
                 Some(ep) => {
-                    let actions = ep.state.on_message(now, &message);
-                    self.apply_actions(to, actions);
+                    let mut units = std::mem::take(&mut self.msg_units);
+                    ep.state.on_message_into(now, &message, &mut units);
+                    for unit in units.drain(..) {
+                        self.apply_action(unit.from, unit.action);
+                    }
+                    self.msg_units = units;
                 }
                 None => {
                     // Target is gone: tell the sending node.
@@ -1959,7 +1976,7 @@ impl Worker {
                     to,
                     reply,
                     tenant: TenantId(tenant),
-                    payload,
+                    payload: payload.into_vec(),
                 };
                 let ctx = MiddlewareCtx {
                     // Unauthenticated sockets never get this far: with
@@ -2149,7 +2166,7 @@ impl Worker {
                     reply,
                     payload,
                     ..
-                } => self.route_app(from, to, reply, payload),
+                } => self.route_app(from, to, reply, payload.into_vec()),
                 item => self.route(item),
             },
             Event::Leave { ack } => {
@@ -2292,28 +2309,43 @@ impl Worker {
         true
     }
 
-    /// Runs every endpoint whose TTB tick is due. All messages emitted
-    /// in one sweep are queued before any link flushes, which is what
-    /// lets the per-peer writers coalesce a whole sweep into one frame.
+    /// Runs every endpoint whose TTB tick is due, as **one batched
+    /// sweep**: due endpoints are collected in ascending activity-id
+    /// order, ticked through `on_tick_into` (fanning out across
+    /// `config.sweep_shards` threads when configured), and every
+    /// emitted unit drains into routing afterwards — in exactly the
+    /// order a sequential sweep would have produced. All messages
+    /// emitted in one sweep are queued before any link flushes, which
+    /// is what lets the per-peer writers coalesce a whole sweep into
+    /// one frame; the reused scratch buffers are what keep the sweep
+    /// allocation-free however many activities are hosted.
     fn tick_due(&mut self) {
         let now_i = Instant::now();
-        let due: Vec<u32> = self
-            .endpoints
-            .iter()
-            .filter(|(_, ep)| ep.next_tick <= now_i)
-            .map(|(idx, _)| *idx)
-            .collect();
         let now = self.now();
-        for idx in due {
-            let Some(ep) = self.endpoints.get_mut(&idx) else {
-                continue;
-            };
-            let idle = ep.idle;
-            let actions = ep.state.on_tick(now, idle);
-            let period = Duration::from_nanos(ep.state.current_ttb().as_nanos());
-            ep.next_tick = now_i + period;
-            self.apply_actions(AoId::new(self.node_id, idx), actions);
+        let mut due: Vec<(u32, &mut Endpoint)> = self
+            .endpoints
+            .iter_mut()
+            .filter(|(_, ep)| ep.next_tick <= now_i)
+            .map(|(idx, ep)| (*idx, ep))
+            .collect();
+        if due.is_empty() {
+            return;
         }
+        let mut pools = std::mem::take(&mut self.sweep_pools);
+        sweep_sharded(
+            &mut due,
+            self.config.sweep_shards,
+            &mut pools,
+            |(_, ep), scratch, units| {
+                ep.state.on_tick_into(now, ep.idle, scratch, units);
+                ep.next_tick = now_i + Duration::from_nanos(ep.state.current_ttb().as_nanos());
+            },
+        );
+        drop(due);
+        for unit in pools.drain_units() {
+            self.apply_action(unit.from, unit.action);
+        }
+        self.sweep_pools = pools;
     }
 
     /// The earliest instant the worker's own timers need it awake: TTB

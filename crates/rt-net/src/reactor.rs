@@ -1076,7 +1076,7 @@ mod tests {
             to: AoId::new(2, n),
             reply: false,
             tenant: 0,
-            payload: vec![n as u8; 8],
+            payload: vec![n as u8; 8].into(),
         }
     }
 

@@ -9,7 +9,9 @@ use dgc_core::clock::NamedClock;
 use dgc_core::id::AoId;
 use dgc_core::message::{DgcMessage, DgcResponse};
 use dgc_core::units::Dur;
-use dgc_rt_net::frame::{decode_payload, encode_frame, encode_payload, FrameDecoder};
+use dgc_rt_net::frame::{
+    batch_frame_len, decode_payload, encode_batch_frame, encode_frame, encode_payload, FrameDecoder,
+};
 use dgc_rt_net::{Frame, Item};
 
 fn arb_aoid() -> impl Strategy<Value = AoId> {
@@ -124,7 +126,7 @@ fn arb_item() -> impl Strategy<Value = Item> {
                     to: y,
                     reply,
                     tenant: x.index ^ y.index,
-                    payload,
+                    payload: payload.into(),
                 },
             },
         )
@@ -215,15 +217,20 @@ proptest! {
 
     /// The batching invariant the transport relies on: a coalesced batch
     /// always costs fewer bytes than the same items framed singly, by
-    /// exactly (n-1) times the framing overhead.
+    /// exactly (n-1) times the framing overhead. The `batch_frame_len`
+    /// size model must agree byte-for-byte with all three encoders, so
+    /// writers can size buffers without a clone-and-encode pass.
     #[test]
     fn batching_saves_exact_framing_overhead(
         items in proptest::collection::vec(arb_item(), 2..32)
     ) {
-        let batched = encode_frame(&Frame::Batch(items.clone())).len();
+        let encoded = encode_batch_frame(&items);
+        prop_assert_eq!(encoded.len(), batch_frame_len(&items), "size model drifted");
+        prop_assert_eq!(&encode_frame(&Frame::Batch(items.clone())), &encoded);
+        let batched = encoded.len();
         let singles: usize = items
             .iter()
-            .map(|i| encode_frame(&Frame::Batch(vec![i.clone()])).len())
+            .map(|i| batch_frame_len(std::slice::from_ref(i)))
             .sum();
         let expected_saving =
             (items.len() - 1) * dgc_rt_net::frame::FRAME_OVERHEAD as usize;
@@ -358,7 +365,7 @@ fn arb_weighty_item() -> impl Strategy<Value = Item> {
                     to,
                     reply: false,
                     tenant: 0,
-                    payload: vec![0xA5; size],
+                    payload: vec![0xA5; size].into(),
                 }
             } else {
                 light

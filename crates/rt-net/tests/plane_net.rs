@@ -152,7 +152,7 @@ fn app_batch(from_node: u32, to: AoId, payload: &[u8]) -> Vec<u8> {
         to,
         reply: false,
         tenant: 0,
-        payload: payload.to_vec(),
+        payload: payload.to_vec().into(),
     }])
 }
 

@@ -47,7 +47,7 @@ fn hello_and_batch(node: u32, to: AoId, payload: &[u8]) -> (Vec<u8>, Vec<u8>) {
         to,
         reply: false,
         tenant: 0,
-        payload: payload.to_vec(),
+        payload: payload.to_vec().into(),
     }]);
     (hello, batch)
 }

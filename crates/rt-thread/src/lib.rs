@@ -27,6 +27,7 @@ use dgc_core::config::DgcConfig;
 use dgc_core::id::AoId;
 use dgc_core::message::{Action, DgcMessage, DgcResponse, TerminateReason};
 use dgc_core::protocol::DgcState;
+use dgc_core::sweep::{sweep_sharded, SweepPools};
 use dgc_core::units::Time;
 
 /// A recorded termination, visible to the driver.
@@ -78,12 +79,15 @@ struct Endpoint {
 }
 
 struct NodeWorker {
-    node: u32,
     rx: Receiver<NodeMsg>,
     peers: Vec<Sender<NodeMsg>>,
     endpoints: BTreeMap<u32, Endpoint>,
     epoch: Instant,
     config: DgcConfig,
+    /// TTB sweep fan-out (`DGC_SWEEP_SHARDS`, default 1) plus the
+    /// per-shard scratch/unit buffers reused every sweep.
+    sweep_shards: usize,
+    sweep_pools: SweepPools,
     terminated: Arc<Mutex<Vec<Terminated>>>,
 }
 
@@ -99,33 +103,37 @@ impl NodeWorker {
 
     fn apply_actions(&mut self, who: AoId, actions: Vec<Action>) {
         for action in actions {
-            match action {
-                Action::SendMessage { to, message } => {
-                    self.route(
+            self.apply_action(who, action);
+        }
+    }
+
+    fn apply_action(&mut self, who: AoId, action: Action) {
+        match action {
+            Action::SendMessage { to, message } => {
+                self.route(
+                    to,
+                    NodeMsg::Dgc {
+                        from: who,
                         to,
-                        NodeMsg::Dgc {
-                            from: who,
-                            to,
-                            message,
-                        },
-                    );
-                }
-                Action::SendResponse { to, response } => {
-                    self.route(
-                        to,
-                        NodeMsg::Resp {
-                            from: who,
-                            to,
-                            response,
-                        },
-                    );
-                }
-                Action::Terminate { reason } => {
-                    self.endpoints.remove(&who.index);
-                    self.terminated.lock().push(Terminated { ao: who, reason });
-                }
-                _ => {}
+                        message,
+                    },
+                );
             }
+            Action::SendResponse { to, response } => {
+                self.route(
+                    to,
+                    NodeMsg::Resp {
+                        from: who,
+                        to,
+                        response,
+                    },
+                );
+            }
+            Action::Terminate { reason } => {
+                self.endpoints.remove(&who.index);
+                self.terminated.lock().push(Terminated { ao: who, reason });
+            }
+            _ => {}
         }
     }
 
@@ -196,25 +204,38 @@ impl NodeWorker {
         true
     }
 
+    /// One batched TTB sweep over every due endpoint: collected in
+    /// ascending activity-id order, ticked through `on_tick_into`
+    /// (across `sweep_shards` threads when configured) with reused
+    /// scratch buffers, emitted units routed afterwards in exactly the
+    /// sequential order.
     fn tick_due(&mut self) {
         let now_i = Instant::now();
-        let due: Vec<u32> = self
-            .endpoints
-            .iter()
-            .filter(|(_, ep)| ep.next_tick <= now_i)
-            .map(|(idx, _)| *idx)
-            .collect();
         let now = self.now();
-        for idx in due {
-            let Some(ep) = self.endpoints.get_mut(&idx) else {
-                continue;
-            };
-            let idle = ep.idle;
-            let actions = ep.state.on_tick(now, idle);
-            let period = Duration::from_nanos(ep.state.current_ttb().as_nanos());
-            ep.next_tick = now_i + period;
-            self.apply_actions(AoId::new(self.node, idx), actions);
+        let mut due: Vec<(u32, &mut Endpoint)> = self
+            .endpoints
+            .iter_mut()
+            .filter(|(_, ep)| ep.next_tick <= now_i)
+            .map(|(idx, ep)| (*idx, ep))
+            .collect();
+        if due.is_empty() {
+            return;
         }
+        let mut pools = std::mem::take(&mut self.sweep_pools);
+        sweep_sharded(
+            &mut due,
+            self.sweep_shards,
+            &mut pools,
+            |(_, ep), scratch, units| {
+                ep.state.on_tick_into(now, ep.idle, scratch, units);
+                ep.next_tick = now_i + Duration::from_nanos(ep.state.current_ttb().as_nanos());
+            },
+        );
+        drop(due);
+        for unit in pools.drain_units() {
+            self.apply_action(unit.from, unit.action);
+        }
+        self.sweep_pools = pools;
     }
 
     fn run(mut self) {
@@ -265,12 +286,17 @@ impl ThreadGrid {
         let mut handles = Vec::new();
         for (node, (_, rx)) in channels.into_iter().enumerate() {
             let worker = NodeWorker {
-                node: node as u32,
                 rx,
                 peers: senders.clone(),
                 endpoints: BTreeMap::new(),
                 epoch,
                 config,
+                sweep_shards: std::env::var("DGC_SWEEP_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(1),
+                sweep_pools: SweepPools::new(),
                 terminated: Arc::clone(&terminated),
             };
             handles.push(

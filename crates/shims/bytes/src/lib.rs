@@ -5,17 +5,21 @@
 //! so the handful of external dependencies the workspace relies on are
 //! vendored as minimal, API-compatible subsets under `crates/shims/`.
 //! This one covers exactly the surface the wire codecs use: big-endian
-//! integer puts/gets, `freeze`, `slice`, and `From<Vec<u8>>`. Swapping in
-//! the real crate is a one-line change in the workspace manifest.
+//! integer puts/gets, `freeze`, `slice`/`split_to`, and
+//! `From<Vec<u8>>`. Swapping in the real crate is a one-line change in
+//! the workspace manifest.
 //!
-//! Unlike the real crate there is no refcounted zero-copy sharing:
-//! `Bytes` owns its buffer and `slice`/`clone` copy. All codec users in
-//! this workspace operate on tiny (< 1 KiB) protocol units, where the
-//! copy is cheaper than the bookkeeping would be.
+//! Like the real crate, [`Bytes`] is **refcounted zero-copy storage**:
+//! the buffer lives behind an `Arc`, so `clone`, `slice` and
+//! `split_to` share it instead of copying — `dgc-rt-net`'s frame
+//! decoder hands out application payloads as windows into the receive
+//! buffer, and equality/hashing follow the visible byte content, not
+//! the backing allocation.
 
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Read access to a byte cursor (subset of `bytes::Buf`).
 pub trait Buf {
@@ -83,26 +87,29 @@ pub trait BufMut {
     }
 }
 
-/// An owned, cheaply sliceable byte buffer with a read cursor.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// A refcounted, zero-copy byte window with a read cursor.
+///
+/// `[start, end)` delimits the *unread* window into the shared backing
+/// buffer; `get_*` consumes from the front by advancing `start`, and
+/// `clone`/`slice`/`split_to` share the `Arc` without touching the
+/// bytes.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// The empty buffer.
-    pub const fn new() -> Self {
-        Bytes {
-            data: Vec::new(),
-            pos: 0,
-        }
+    pub fn new() -> Self {
+        Bytes::default()
     }
 
     /// Length of the *unread* remainder, matching the real crate (where
     /// `get_*` consumes the front of the buffer).
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.start
     }
 
     /// True if fully consumed or empty.
@@ -110,21 +117,54 @@ impl Bytes {
         self.len() == 0
     }
 
-    /// Copies out the sub-range `range` of the unread remainder.
+    /// The sub-range `range` of the unread remainder, sharing the
+    /// backing buffer (no copy).
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
-            data: self.data[self.pos + range.start..self.pos + range.end].to_vec(),
-            pos: 0,
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
         }
+    }
+
+    /// Splits off and returns the first `n` unread bytes, sharing the
+    /// backing buffer (no copy); `self` keeps the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
     }
 
     /// The unread remainder as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.start..self.end]
+    }
+
+    /// Consumes the window, returning its bytes as a `Vec` — without
+    /// copying when this is the only handle to the whole buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) if self.start == 0 && self.end == v.len() => v,
+            Ok(v) => v[self.start..self.end].to_vec(),
+            Err(shared) => shared[self.start..self.end].to_vec(),
+        }
     }
 }
 
@@ -134,18 +174,50 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
+/// Content equality over the unread window — two windows over
+/// different backing buffers are equal iff they show the same bytes,
+/// as in the real crate.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership without copying the contents.
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data, pos: 0 }
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-            pos: 0,
-        }
+        Bytes::from(data.to_vec())
     }
 }
 
@@ -163,8 +235,8 @@ impl Buf for Bytes {
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         assert!(dst.len() <= self.remaining(), "buffer underflow");
-        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
-        self.pos += dst.len();
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
     }
 }
 
@@ -197,12 +269,9 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: self.data,
-            pos: 0,
-        }
+        Bytes::from(self.data)
     }
 
     /// The written bytes as a slice.
@@ -256,6 +325,51 @@ mod tests {
         b.get_u8();
         assert_eq!(b.len(), 3);
         assert_eq!(b.slice(0..2).as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn slice_and_split_share_the_backing_buffer() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let base = b.as_slice().as_ptr();
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(s.as_slice().as_ptr(), unsafe { base.add(1) }, "zero-copy");
+        let mut rest = b.clone();
+        let head = rest.split_to(2);
+        assert_eq!(head.as_slice(), &[1, 2]);
+        assert_eq!(rest.as_slice(), &[3, 4, 5]);
+        assert_eq!(head.as_slice().as_ptr(), base, "zero-copy");
+        assert_eq!(
+            rest.as_slice().as_ptr(),
+            unsafe { base.add(2) },
+            "zero-copy"
+        );
+    }
+
+    #[test]
+    fn equality_and_hash_follow_content_not_backing() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(vec![9, 1, 2, 9]).slice(1..3);
+        let b = Bytes::from(vec![1, 2]);
+        assert_eq!(a, b);
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(a, *[1u8, 2].as_slice());
+    }
+
+    #[test]
+    fn freeze_does_not_copy() {
+        let mut b = BytesMut::with_capacity(3);
+        b.put_slice(&[1, 2, 3]);
+        let ptr = b.as_slice().as_ptr();
+        let f = b.freeze();
+        assert_eq!(f.as_slice().as_ptr(), ptr);
     }
 
     #[test]
