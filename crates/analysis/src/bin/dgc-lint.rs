@@ -1,0 +1,11 @@
+//! CLI entry: run the full lint pass over the workspace and print
+//! findings. Exits nonzero when there are unsuppressed findings, so it
+//! can gate CI directly (`cargo run -p dgc-analysis --bin dgc-lint`).
+
+fn main() {
+    let report = dgc_analysis::analyze_workspace();
+    println!("{report}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,458 @@
+//! A small self-contained Rust lexer.
+//!
+//! The correctness lints need exactly enough syntax to be trustworthy:
+//! tokens with line numbers, comments preserved (allow directives live
+//! there), and none of the classic false-positive traps — a
+//! `HashMap` inside a string literal, an `unwrap` inside a comment, a
+//! lifetime `'a` mistaken for an unterminated char literal, a nested
+//! block comment swallowing the rest of the file. There is no external
+//! dependency (the container has no crates.io); the grammar subset is
+//! raw/byte/C strings, char literals vs lifetimes, nested block
+//! comments, raw identifiers, numbers loose enough for suffixes and
+//! ranges, and single-char punctuation for everything else.
+//!
+//! The lexer **never panics**, on any byte sequence: malformed input
+//! degrades to best-effort tokens ending at EOF (pinned by the
+//! `lexer_props` proptest).
+
+/// What a token is; its text rides in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers arrive without `r#`).
+    Ident,
+    /// Lifetime (`'a`, text without the quote).
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`);
+    /// text is the raw content between the quotes, escapes unprocessed.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Number literal (loose: `0xff_u32`, `1.5e3`; `0..n` stays three
+    /// tokens).
+    Num,
+    /// One significant punctuation character.
+    Punct,
+    /// `// …` comment; text is everything after the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text is the inner content.
+    BlockComment,
+}
+
+/// One lexed token with its location.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line it ends on (differs for multi-line strings and
+    /// block comments; allow directives anchor to the *end* line).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Tokenizes `source`. Total: every byte of every input produces some
+/// token stream, never a panic.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.cooked_string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    /// `/* … */` with nesting; unterminated runs to EOF.
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+                text.push_str("/*");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A `"…"` body (opening quote not yet consumed); escapes keep the
+    /// next char verbatim, so `"\""` terminates correctly.
+    fn cooked_string(&mut self, line: u32) {
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `r"…"`, `r#"…"#`, … — `hashes` is the `#` count; the body ends
+    /// only at `"` followed by the same number of `#`s.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes {
+                    if self.peek(0) == Some('#') {
+                        self.bump();
+                        matched += 1;
+                    } else {
+                        // A quote with too few hashes is part of the body.
+                        text.push('"');
+                        for _ in 0..matched {
+                            text.push('#');
+                        }
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Disambiguates `'a'` / `'\n'` / `'a` (lifetime). A quote followed
+    /// by ident chars is a char literal only if the very next char after
+    /// them is a closing quote.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then to closing
+                // quote (bounded by newline/EOF so garbage can't run
+                // away).
+                self.bump(); // the backslash
+                let mut text = String::from("\\");
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' || c == '\n' {
+                        if c == '\'' {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut len = 1;
+                while self
+                    .peek(len)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    len += 1;
+                }
+                if self.peek(len) == Some('\'') {
+                    // 'a' — char literal.
+                    let mut text = String::new();
+                    for _ in 0..len {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    self.bump(); // closing quote
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    // 'a — lifetime (or a label).
+                    let mut text = String::new();
+                    for _ in 0..len {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Something like '(' — a single-char literal '(', or
+                // stray quote. Treat as char literal if closed.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            None => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    /// Loose numbers: `123`, `0xff_u64`, `1.5e3`, but `0..n` leaves the
+    /// range dots alone.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.'
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    && !text.contains('.'));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// Identifier, or a string/char prefix (`r"`, `br#"`, `b'`, `c"`,
+    /// `r#raw_ident`).
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw_capable = matches!(text.as_str(), "r" | "br" | "cr" | "rb");
+        match self.peek(0) {
+            Some('"') if matches!(text.as_str(), "b" | "c") || raw_capable => {
+                if raw_capable {
+                    self.raw_string(0, line);
+                } else {
+                    self.cooked_string(line);
+                }
+            }
+            Some('#') if raw_capable => {
+                // Count hashes; then a quote means raw string, an ident
+                // char means raw identifier (`r#fn`).
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match self.peek(hashes) {
+                    Some('"') => {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        self.raw_string(hashes, line);
+                    }
+                    Some(c) if hashes == 1 && (c.is_alphabetic() || c == '_') => {
+                        self.bump(); // '#'
+                        let mut raw = String::new();
+                        while let Some(c) = self.peek(0) {
+                            if c.is_alphanumeric() || c == '_' {
+                                raw.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.push(TokKind::Ident, raw, line);
+                    }
+                    _ => self.push(TokKind::Ident, text, line),
+                }
+            }
+            Some('\'') if text == "b" => {
+                self.char_or_lifetime(line);
+                // Relabel: `b'x'` produced a Char already; nothing to do
+                // (the prefix itself is dropped, matching how the rules
+                // consume these).
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("fn main() { x.y(); }");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokKind::Ident, "main".into()));
+        assert!(t.contains(&(TokKind::Punct, ".".into())));
+        assert!(t.contains(&(TokKind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(t.contains(&(TokKind::Char, "x".into())));
+        // And escaped / labeled edge cases:
+        let t = kinds("let c = '\\n'; 'outer: loop { break 'outer; }");
+        assert!(t.contains(&(TokKind::Char, "\\n".into())));
+        assert!(t.contains(&(TokKind::Lifetime, "outer".into())));
+    }
+
+    #[test]
+    fn raw_strings_do_not_end_early() {
+        let t = kinds(r##"let s = r#"contains "quotes" and \ backslash"#;"##);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("\"quotes\"")));
+        let t = kinds("let s = r\"plain raw\";");
+        assert!(t.contains(&(TokKind::Str, "plain raw".into())));
+        let t = kinds("let b = br#\"bytes\"#;");
+        assert!(t.contains(&(TokKind::Str, "bytes".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].0, TokKind::BlockComment);
+        assert!(t[1].1.contains("inner"));
+        assert!(t[1].1.contains("still outer"));
+        assert_eq!(t[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn strings_hide_code_from_rules() {
+        let t = kinds(r#"let s = "Instant::now() HashMap.unwrap()";"#);
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "Instant"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.contains(&(TokKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("a\n/* one\ntwo */\nb\n\"x\ny\"");
+        let a = &toks[0];
+        assert_eq!((a.line, a.end_line), (1, 1));
+        let c = &toks[1];
+        assert_eq!((c.kind, c.line, c.end_line), (TokKind::BlockComment, 2, 3));
+        let b = &toks[2];
+        assert_eq!(b.line, 4);
+        let s = &toks[3];
+        assert_eq!((s.kind, s.line, s.end_line), (TokKind::Str, 5, 6));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_quietly() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "r#"] {
+            let _ = lex(src); // must not panic
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic workspace file walking.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never worth lexing.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Paths (repo-relative prefixes) excluded from the workspace pass:
+/// the golden fixtures are *supposed* to violate the rules.
+const SKIP_PREFIXES: &[&str] = &["crates/analysis/tests/golden"];
+
+/// The repository root, resolved from this crate's manifest dir so the
+/// pass works from any CWD (cargo test sets CWD to the crate).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Collects every `.rs` file under `root` as `(repo-relative path,
+/// contents)`, sorted by path so findings are stable run to run.
+pub fn collect_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files);
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            if let Ok(contents) = fs::read_to_string(&path) {
+                out.push((rel, contents));
+            }
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

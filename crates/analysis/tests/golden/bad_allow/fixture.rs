@@ -1,0 +1,17 @@
+//! virtual-path: crates/core/src/fixture.rs
+// Golden fixture: malformed allow directives are findings themselves.
+
+fn reasonless() -> Instant {
+    // dgc-analysis: allow(wall-clock)
+    Instant::now()
+}
+
+fn unknown_rule() -> u32 {
+    // dgc-analysis: allow(fast-path): no such rule
+    0
+}
+
+fn not_an_allow() -> u32 {
+    // dgc-analysis: suppress(wall-clock): wrong verb
+    0
+}

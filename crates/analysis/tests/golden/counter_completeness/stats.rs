@@ -1,0 +1,24 @@
+//! virtual-path: crates/rt-net/src/stats.rs
+// Golden fixture (file 1 of 2): the canonical counter enumeration and
+// registrations the rule cross-checks against.
+
+impl Snapshot {
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("net.frames_sent", self.frames_sent),
+            ("net.frames_received", self.frames_received),
+        ]
+    }
+}
+
+fn register(obs: &Registry) {
+    obs.counter("net.frames_sent");
+    obs.counter("net.frames_received");
+    obs.histogram("net.reconnect_backoff_ns");
+}
+
+fn tenant_mirror(registry: &Registry, tenant: u32) {
+    let name = |field: &str| format!("tenant.{tenant}.app_{field}");
+    registry.counter(&name("enqueued"));
+    registry.counter(&name("flushed"));
+}

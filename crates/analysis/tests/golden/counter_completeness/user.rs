@@ -1,0 +1,20 @@
+//! virtual-path: crates/rt-net/src/node.rs
+// Golden fixture (file 2 of 2): counter-key usages, two of them wrong.
+
+fn record(obs: &Registry) {
+    obs.counter("net.frames_sent").inc();
+    // Typo: "snet" for "sent" — silently dodges the conservation mirror.
+    obs.counter("net.frames_snet").inc();
+    // The histogram is registered as a histogram, not a counter: fine.
+    obs.histogram("net.reconnect_backoff_ns").record(5);
+}
+
+#[cfg(test)]
+mod tests {
+    fn asserts_on_keys(snap: &Snapshot) {
+        // Test literals are checked too — this suffix was never
+        // registered by the tenant mirror.
+        assert_eq!(snap.gauge("tenant.1.app_enqueued"), 1);
+        assert_eq!(snap.gauge("tenant.1.app_enqueu"), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! virtual-path: crates/core/src/sweep.rs
+// Golden fixture: the hot-path-panic rule (virtual path is one of the
+// PR 9 hot-path modules).
+
+fn panicky(v: &[u8], o: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let first = v[0];
+    let second = o.unwrap();
+    let third = r.expect("hot path");
+    if first == 0 {
+        panic!("zero");
+    }
+    first + second + third
+}
+
+fn handled(v: &[u8], o: Option<u8>) -> Option<u8> {
+    let first = v.first()?;
+    let second = o?;
+    Some(first + second)
+}
+
+fn annotated(v: &[u8]) -> u8 {
+    // dgc-analysis: allow(hot-path-panic): caller guarantees non-empty
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    fn unwrap_in_tests_is_fine(o: Option<u8>) -> u8 {
+        o.unwrap()
+    }
+}

@@ -1,0 +1,39 @@
+//! virtual-path: crates/rt-net/src/fixture.rs
+// Golden fixture: the lock-across-send rule.
+
+fn guard_across_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g).ok();
+}
+
+fn guard_across_sleep(m: &Mutex<u32>) {
+    let mut g = m.lock();
+    std::thread::sleep(Duration::from_millis(1));
+    *g += 1;
+}
+
+fn dropped_first(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v).ok();
+}
+
+fn scoped_block(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let g = m.lock();
+        *g
+    };
+    tx.send(v).ok();
+}
+
+fn chained_lock_is_not_a_guard(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    let len = m.lock().len();
+    tx.send(len).ok();
+}
+
+fn annotated(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    // dgc-analysis: allow(lock-across-send): fixture shows the escape hatch
+    tx.send(*g).ok();
+}

@@ -1,0 +1,32 @@
+//! virtual-path: crates/membership/src/fixture.rs
+// Golden fixture: the unordered-iter rule.
+
+struct Directory {
+    members: HashMap<u32, MemberInfo>,
+    tombstones: HashSet<u32>,
+}
+
+fn broadcast_order_leak(d: &Directory) {
+    for (id, info) in d.members.iter() {
+        emit(id, info);
+    }
+}
+
+fn values_leak(d: &Directory) -> Vec<u32> {
+    d.tombstones.iter().copied().collect()
+}
+
+fn point_lookup_is_fine(d: &Directory, id: u32) -> Option<&MemberInfo> {
+    d.members.get(&id)
+}
+
+fn annotated(d: &Directory) -> usize {
+    // dgc-analysis: allow(unordered-iter): count is order-insensitive
+    d.members.iter().count()
+}
+
+fn btree_is_fine(m: &BTreeMap<u32, u64>) {
+    for (k, v) in m.iter() {
+        emit(k, v);
+    }
+}

@@ -1,0 +1,29 @@
+//! virtual-path: crates/core/src/fixture.rs
+// Golden fixture: the wall-clock rule. Lines below are *meant* to
+// violate it; the expected findings live in expected.txt.
+
+fn naked_instant() -> Instant {
+    Instant::now()
+}
+
+fn naked_system_time() -> Duration {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default()
+}
+
+fn annotated() -> Instant {
+    // dgc-analysis: allow(wall-clock): golden fixture proves the escape hatch works
+    Instant::now()
+}
+
+fn in_a_string() -> &'static str {
+    "Instant::now() inside a string is data, not code"
+}
+
+// Instant::now() in a comment is prose, not code.
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,97 @@
+//! Property and trap tests for the lint lexer: arbitrary input never
+//! panics, and the classic Rust lexical traps (raw strings, nested
+//! block comments, lifetimes vs char literals) can't smuggle code past
+//! the rules or hide real code from them.
+
+use proptest::prelude::*;
+
+use dgc_analysis::lexer::{lex, TokKind};
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = lex(&text);
+    }
+
+    #[test]
+    fn arbitrary_ascii_never_panics_and_lines_are_sane(
+        text in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let text: String = text
+            .into_iter()
+            .map(|b| (b % 96 + 32) as char) // printable ASCII
+            .collect();
+        let toks = lex(&text);
+        for t in &toks {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.end_line >= t.line);
+        }
+    }
+
+    #[test]
+    fn quote_and_hash_soup_never_panics(
+        picks in proptest::collection::vec(any::<u8>(), 0..128)
+    ) {
+        const ALPHABET: [char; 10] = ['r', '#', '"', '\'', '\\', 'b', '/', '*', 'a', '\n'];
+        let text: String = picks
+            .into_iter()
+            .map(|b| ALPHABET[b as usize % ALPHABET.len()])
+            .collect();
+        let _ = lex(&text);
+    }
+}
+
+#[test]
+fn raw_string_with_fewer_hashes_stays_in_body() {
+    // The `"#` inside the body doesn't close an `r##"…"##` string.
+    let toks = lex(r####"let s = r##"inner "# still inside"##; after()"####);
+    let s: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(s, [r##"inner "# still inside"##]);
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn nested_block_comments_fully_close() {
+    let toks = lex("/* outer /* inner */ still comment */ code()");
+    assert!(toks.iter().any(|t| t.is_ident("code")));
+    assert!(!toks
+        .iter()
+        .any(|t| t.kind != TokKind::BlockComment && t.text.contains("inner")));
+}
+
+#[test]
+fn lifetime_heavy_generics_do_not_eat_code() {
+    let toks =
+        lex("fn f<'a, 'b: 'a>(x: &'a str, c: char) -> &'a str { if c == 'x' { x } else { x } }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["a", "b", "a", "a", "a"]);
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, ["x"]);
+}
+
+#[test]
+fn unterminated_everything_terminates_the_lexer() {
+    for src in [
+        "\"never closed",
+        "r#\"never closed",
+        "/* never closed",
+        "'\\",
+        "b\"never closed",
+        "r###",
+    ] {
+        let _ = lex(src); // must not hang or panic
+    }
+}

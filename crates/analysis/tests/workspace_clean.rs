@@ -1,0 +1,16 @@
+//! The workspace gate: the full lint pass over the repository source
+//! must report **zero** unannotated findings. A new violation either
+//! gets fixed or gets an inline
+//! `// dgc-analysis: allow(<rule>): <reason>` — there is no third
+//! state, and reason-less or unknown-rule directives fail here too
+//! (`bad-allow`).
+
+#[test]
+fn workspace_has_zero_unannotated_findings() {
+    let report = dgc_analysis::analyze_workspace();
+    assert!(
+        report.is_clean(),
+        "the lint pass found unannotated violations — fix them or annotate \
+         with `// dgc-analysis: allow(<rule>): <reason>`:\n{report}"
+    );
+}

@@ -220,6 +220,7 @@ pub fn overhead_pct(without: f64, with: f64) -> f64 {
 /// best-effort: an unwritable checkout (say, a sandboxed bench run)
 /// logs and moves on rather than failing the measurement.
 pub fn record(name: &str, metrics: &[(&str, f64)]) {
+    // dgc-analysis: allow(wall-clock): the bench harness records wall time by design
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

@@ -88,6 +88,7 @@ impl ReferencerTable {
         };
         match self.position(sender) {
             Ok(i) => {
+                // dgc-analysis: allow(hot-path-panic): index is a binary-search Ok(i) into the same vec
                 self.entries[i].1 = info;
                 false
             }
@@ -167,6 +168,7 @@ impl ReferencerTable {
 
     /// Look up one referencer.
     pub fn get(&self, id: AoId) -> Option<&ReferencerInfo> {
+        // dgc-analysis: allow(hot-path-panic): index is a binary-search Ok(i) into the same vec
         self.position(id).ok().map(|i| &self.entries[i].1)
     }
 

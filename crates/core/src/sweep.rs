@@ -129,6 +129,7 @@ where
     let shards = shards.clamp(1, due.len().max(1));
     pools.ensure(shards);
     if shards == 1 {
+        // dgc-analysis: allow(hot-path-panic): pools.ensure(shards) sized the vec one line up
         let (scratch, buf) = &mut pools.shards[0];
         for e in due.iter_mut() {
             tick(e, scratch, buf);

@@ -11,7 +11,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::time::TimeSource;
@@ -64,19 +66,19 @@ impl Registry {
     /// The counter named `name`, created zeroed on first use. Cache
     /// the returned handle; lookups lock.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut t = self.inner.tables.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = self.inner.tables.lock();
         t.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// The gauge named `name`, created zeroed on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut t = self.inner.tables.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = self.inner.tables.lock();
         t.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// The histogram named `name`, created empty on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut t = self.inner.tables.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = self.inner.tables.lock();
         t.histograms.entry(name.to_string()).or_default().clone()
     }
 
@@ -104,9 +106,23 @@ impl Registry {
             .event(self.now_nanos(), level, tag, detail);
     }
 
+    /// Refreshes the `lockcheck.*` gauges from the process-wide
+    /// lock-order detector in the vendored `parking_lot` shim:
+    /// `lockcheck.edges` (distinct observed acquisition orderings) and
+    /// `lockcheck.max_held_ns` (longest single guard hold). Both stay
+    /// zero unless `DGC_LOCK_CHECK=1` enabled the detector, and both are
+    /// process-wide — every registry in the process mirrors the same
+    /// pressure — so fleet merges should read them from one node.
+    pub fn mirror_lockcheck(&self) {
+        let stats = parking_lot::lockcheck::stats();
+        self.gauge("lockcheck.edges").set(stats.edges as i64);
+        self.gauge("lockcheck.max_held_ns")
+            .set(stats.max_held_ns as i64);
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
-        let t = self.inner.tables.lock().unwrap_or_else(|e| e.into_inner());
+        let t = self.inner.tables.lock();
         Snapshot {
             counters: t
                 .counters
@@ -269,6 +285,22 @@ mod tests {
         assert!(tree.contains("pending = 3 (gauge)"), "{tree}");
         assert!(tree.contains("collect/"), "{tree}");
         assert!(tree.contains("idle_to_collected_ns: n=1"), "{tree}");
+    }
+
+    #[test]
+    fn lockcheck_gauges_mirror_detector_stats() {
+        parking_lot::lockcheck::force_enable();
+        let outer = Mutex::new(());
+        let inner = Mutex::new(());
+        {
+            let _a = outer.lock();
+            let _b = inner.lock(); // one ordered pair → at least one edge
+        }
+        let r = Registry::default();
+        r.mirror_lockcheck();
+        let snap = r.snapshot();
+        assert!(snap.gauge("lockcheck.edges") >= 1, "{snap:?}");
+        assert!(snap.gauge("lockcheck.max_held_ns") > 0, "{snap:?}");
     }
 
     #[test]

@@ -12,7 +12,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Verbosity of a trace event. Mirrors the simulator's historical
 /// levels so the `TraceLog` adapter is a pure re-export.
@@ -217,7 +219,7 @@ impl Tracer {
     }
 
     fn push(&self, ev: TraceEvent) {
-        let mut buf = self.inner.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let mut buf = self.inner.buf.lock();
         if buf.events.len() >= self.inner.capacity {
             buf.events.pop_front();
             buf.dropped += 1;
@@ -227,34 +229,25 @@ impl Tracer {
 
     /// All retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let buf = self.inner.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let buf = self.inner.buf.lock();
         buf.events.iter().cloned().collect()
     }
 
     /// The most recent `n` events, oldest first.
     pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
-        let buf = self.inner.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let buf = self.inner.buf.lock();
         let skip = buf.events.len().saturating_sub(n);
         buf.events.iter().skip(skip).cloned().collect()
     }
 
     /// Events evicted by the ring bound so far.
     pub fn dropped(&self) -> u64 {
-        self.inner
-            .buf
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .dropped
+        self.inner.buf.lock().dropped
     }
 
     /// Retained event count.
     pub fn len(&self) -> usize {
-        self.inner
-            .buf
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .events
-            .len()
+        self.inner.buf.lock().events.len()
     }
 
     /// True if nothing is retained.
@@ -264,12 +257,7 @@ impl Tracer {
 
     /// Discards retained events (level and drop counter are kept).
     pub fn clear(&self) {
-        self.inner
-            .buf
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .events
-            .clear();
+        self.inner.buf.lock().events.clear();
     }
 }
 

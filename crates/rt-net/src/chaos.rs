@@ -332,6 +332,7 @@ fn spawn_pump(
                     // long hold, and a partition window opening
                     // mid-delay severs the held frame with the link
                     // instead of delivering into it.
+                    // dgc-analysis: allow(wall-clock): the chaos schedule jitters real sockets in wall time
                     while Instant::now() < item.deliver_at {
                         if stop.load(Ordering::SeqCst) {
                             return;
@@ -345,6 +346,7 @@ fn spawn_pump(
                             let _ = wdst.shutdown(Shutdown::Both);
                             return;
                         }
+                        // dgc-analysis: allow(wall-clock): the chaos schedule jitters real sockets in wall time
                         let left = item.deliver_at.saturating_duration_since(Instant::now());
                         std::thread::sleep(left.min(Duration::from_millis(20)));
                     }
@@ -397,6 +399,7 @@ fn spawn_pump(
                 // All frames completed by this chunk *arrived* now —
                 // faults are judged at arrival, and a delayed frame's
                 // deadline is anchored to its own arrival instant.
+                // dgc-analysis: allow(wall-clock): the chaos schedule jitters real sockets in wall time
                 let arrived_at = Instant::now();
                 let t = now(epoch);
                 decoder.push(&chunk[..n]);

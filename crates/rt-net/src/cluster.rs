@@ -32,7 +32,9 @@
 use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 use dgc_core::faults::FaultProfile;
@@ -62,8 +64,8 @@ type SharedSlot = Arc<Mutex<Slot>>;
 /// ephemeral port died with the old process).
 type SeedMap = Arc<Mutex<Vec<(u32, SocketAddr)>>>;
 
-fn lock(slot: &SharedSlot) -> std::sync::MutexGuard<'_, Slot> {
-    slot.lock().unwrap_or_else(|e| e.into_inner())
+fn lock(slot: &SharedSlot) -> parking_lot::MutexGuard<'_, Slot> {
+    slot.lock()
 }
 
 /// Current seed addresses to bootstrap `joiner` through (its own entry
@@ -71,7 +73,6 @@ fn lock(slot: &SharedSlot) -> std::sync::MutexGuard<'_, Slot> {
 fn seed_addrs_for(seeds: &SeedMap, joiner: u32) -> Vec<SocketAddr> {
     seeds
         .lock()
-        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .filter(|(id, _)| *id != joiner)
         .map(|(_, addr)| *addr)
@@ -85,10 +86,7 @@ fn crash_slot(slot: &SharedSlot, graveyard: &Mutex<Vec<Terminated>>) {
     let mut s = lock(slot);
     if let Some(node) = s.node.take() {
         s.next_first_index = node.allocated();
-        graveyard
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .extend(node.terminated());
+        graveyard.lock().extend(node.terminated());
         node.shutdown();
     }
 }
@@ -118,11 +116,12 @@ fn restart_slot(
         "rejoin incarnation must exceed every earlier life"
     );
     let node = NetNode::bind_rejoin(node_id, config, incarnation, s.next_first_index)?;
+    // dgc-analysis: allow(lock-across-send): the restart path serializes the slot on purpose; join is the fresh node's membership join
     node.join(&seed_addrs_for(seeds, node_id));
     // A restarted *seed* listens on a fresh port: refresh its entry so
     // later rejoins dial the live incarnation, not the corpse.
     let addr = node.addr();
-    for entry in seeds.lock().unwrap_or_else(|e| e.into_inner()).iter_mut() {
+    for entry in seeds.lock().iter_mut() {
         if entry.0 == node_id {
             entry.1 = addr;
         }
@@ -185,6 +184,7 @@ impl Cluster {
                 }
             }
         }
+        // dgc-analysis: allow(wall-clock): harness deadlines pace real sockets in wall time
         Ok(Cluster::from_nodes(nodes, config, Instant::now()))
     }
 
@@ -230,6 +230,7 @@ impl Cluster {
                 node.join(&contacts);
             }
         }
+        // dgc-analysis: allow(wall-clock): harness deadlines pace real sockets in wall time
         let mut cluster = Cluster::from_nodes(nodes, config, Instant::now());
         cluster.seeds = Arc::new(Mutex::new(seed_map));
         Ok(cluster)
@@ -277,6 +278,7 @@ impl Cluster {
         for id in 0..n {
             nodes.push(NetNode::bind(id, config)?);
         }
+        // dgc-analysis: allow(wall-clock): harness deadlines pace real sockets in wall time
         let epoch = Instant::now();
         let profile = Arc::new(profile);
         let mut proxies = Vec::with_capacity((n as usize) * (n as usize).saturating_sub(1));
@@ -336,13 +338,7 @@ impl Cluster {
     /// *every* seed is rejected, since nothing could bootstrap any
     /// rejoin then.
     pub fn schedule_churn(&self, profile: &FaultProfile) {
-        let seed_ids: BTreeSet<u32> = self
-            .seeds
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .map(|(id, _)| *id)
-            .collect();
+        let seed_ids: BTreeSet<u32> = self.seeds.lock().iter().map(|(id, _)| *id).collect();
         assert!(
             !seed_ids.is_empty(),
             "churn needs a join cluster (Cluster::join_local)"
@@ -406,11 +402,7 @@ impl Cluster {
     /// clusters only.
     pub fn restart_node(&self, node: u32, incarnation: u64) -> std::io::Result<()> {
         assert!(
-            !self
-                .seeds
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .is_empty(),
+            !self.seeds.lock().is_empty(),
             "restart needs a join cluster (Cluster::join_local)"
         );
         restart_slot(
@@ -459,12 +451,7 @@ impl Cluster {
     /// The current seed addresses of a join cluster (empty for static
     /// ones); a restarted seed appears under its fresh address.
     pub fn seed_addrs(&self) -> Vec<SocketAddr> {
-        self.seeds
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .map(|(_, addr)| *addr)
-            .collect()
+        self.seeds.lock().iter().map(|(_, addr)| *addr).collect()
     }
 
     /// Aggregated chaos-proxy counters (all zero for a plain cluster).
@@ -598,11 +585,7 @@ impl Cluster {
     /// (Activities killed *by* a crash never appear here: a crash is
     /// the environment's kill, not a collection.)
     pub fn terminated(&self) -> Vec<Terminated> {
-        let mut all: Vec<Terminated> = self
-            .graveyard
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
+        let mut all: Vec<Terminated> = self.graveyard.lock().clone();
         for node in 0..self.slots.len() as u32 {
             if let Some(mut t) = self.with_node(node, |nd| nd.terminated()) {
                 all.append(&mut t);
@@ -687,6 +670,18 @@ impl Cluster {
             ] {
                 snap.counters.insert(name.to_string(), v);
             }
+        }
+        // The lock-order detector is process-wide, so its gauges enter
+        // the fleet tree exactly once (summing per-node mirrors would
+        // multiply one process's pressure by the node count).
+        let lockcheck = parking_lot::lockcheck::stats();
+        if lockcheck != parking_lot::lockcheck::LockCheckStats::default() {
+            snap.gauges
+                .insert("lockcheck.edges".to_string(), lockcheck.edges as i64);
+            snap.gauges.insert(
+                "lockcheck.max_held_ns".to_string(),
+                lockcheck.max_held_ns as i64,
+            );
         }
         snap
     }

@@ -257,6 +257,7 @@ fn put_item(buf: &mut impl BufMut, item: &Item) {
             tenant,
             payload,
         } => {
+            // dgc-analysis: allow(hot-path-panic): encode-side contract: a wire-limit breach is a local bug, not remote input
             assert!(
                 payload.len() <= MAX_APP_PAYLOAD,
                 "app payload of {} bytes exceeds MAX_APP_PAYLOAD",
@@ -374,6 +375,7 @@ fn get_array<const N: usize>(buf: &mut Bytes) -> Result<[u8; N], DecodeError> {
 /// Single source of truth for the batch payload layout, shared by
 /// [`encode_payload`] and [`encode_batch_frame`].
 fn put_batch(buf: &mut impl BufMut, items: &[Item]) {
+    // dgc-analysis: allow(hot-path-panic): encode-side contract: a wire-limit breach is a local bug, not remote input
     assert!(
         items.len() <= MAX_BATCH_ITEMS as usize,
         "batch of {} items exceeds MAX_BATCH_ITEMS",
@@ -462,6 +464,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
     }
     let len = (out.len() - 4) as u32;
+    // dgc-analysis: allow(hot-path-panic): the 4-byte length placeholder is written before any payload
     out[..4].copy_from_slice(&len.to_be_bytes());
     out
 }
@@ -516,6 +519,7 @@ pub fn split_len(items: &[Item]) -> usize {
     let mut end = 0;
     let mut bytes = 0u64;
     while end < items.len().min(MAX_ITEMS_PER_FRAME) {
+        // dgc-analysis: allow(hot-path-panic): end < items.len() is the loop bound
         bytes += items[end].wire_size();
         if end > 0 && bytes > MAX_BYTES_PER_FRAME {
             break;
@@ -573,6 +577,7 @@ impl FrameDecoder {
                 return Ok(None);
             }
             let len =
+                // dgc-analysis: allow(hot-path-panic): acc.len() >= 4 is checked just above
                 u32::from_be_bytes([self.acc[0], self.acc[1], self.acc[2], self.acc[3]]) as usize;
             if len > MAX_FRAME_LEN {
                 return Err(DecodeError::BadTag(0));
@@ -588,6 +593,7 @@ impl FrameDecoder {
         if head.len() < 4 {
             return Ok(None);
         }
+        // dgc-analysis: allow(hot-path-panic): head.len() >= 4 is checked just above
         let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(DecodeError::BadTag(0));

@@ -35,7 +35,9 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -65,6 +67,7 @@ use crate::stats::{NetStats, NetStatsSnapshot};
 /// `deadline` passes; shared by the node- and cluster-level
 /// `wait_until` drivers.
 pub(crate) fn poll_until(deadline: Duration, check: impl Fn() -> bool) -> bool {
+    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
     let start = Instant::now();
     loop {
         if check() {
@@ -120,7 +123,7 @@ impl ThreadReaper {
     /// so a long-lived node's list stays proportional to *live*
     /// helpers, not historical churn.
     pub(crate) fn register(&self, handle: JoinHandle<()>) {
-        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        let mut handles = self.handles.lock();
         handles.retain(|h| !h.is_finished());
         handles.push(handle);
     }
@@ -132,7 +135,7 @@ impl ThreadReaper {
     pub(crate) fn join_all(&self) {
         loop {
             let drained: Vec<JoinHandle<()>> = {
-                let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+                let mut handles = self.handles.lock();
                 std::mem::take(&mut *handles)
             };
             if drained.is_empty() {
@@ -426,10 +429,7 @@ impl SocketTracker {
     pub(crate) fn register(self: &Arc<Self>, stream: &TcpStream) -> Option<TrackedSocket> {
         let clone = stream.try_clone().ok()?;
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.sockets
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, clone);
+        self.sockets.lock().insert(id, clone);
         Some(TrackedSocket {
             tracker: Arc::clone(self),
             id,
@@ -438,12 +438,7 @@ impl SocketTracker {
 
     /// Shuts down every registered socket, unblocking its reader.
     pub(crate) fn shutdown_all(&self) {
-        for s in self
-            .sockets
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-        {
+        for s in self.sockets.lock().values() {
             let _ = s.shutdown(Shutdown::Both);
         }
     }
@@ -456,11 +451,7 @@ pub(crate) struct TrackedSocket {
 
 impl Drop for TrackedSocket {
     fn drop(&mut self) {
-        self.tracker
-            .sockets
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&self.id);
+        self.tracker.sockets.lock().remove(&self.id);
     }
 }
 
@@ -520,6 +511,7 @@ impl NetNode {
         // anchored at the worker's epoch so traces and histograms read
         // in nanoseconds-since-boot, same shape as the grid's virtual
         // clock.
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         let epoch = Instant::now();
         let obs = Registry::with_tracer(
             TimeSource::wall_since(epoch),
@@ -567,6 +559,7 @@ impl NetNode {
             engine
         });
         let member_snapshot = Arc::new(Mutex::new(membership.as_ref().map(|m| m.records())));
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         let next_member_tick = membership.as_ref().map(|_| Instant::now());
         let mut outbox = Outbox::new(config.egress);
         outbox.set_obs(EgressObs::new(&obs));
@@ -735,7 +728,6 @@ impl NetNode {
                         }
                         let introduced = snapshot
                             .lock()
-                            .unwrap_or_else(|e| e.into_inner())
                             .as_ref()
                             .is_some_and(|records| records.len() > 1);
                         if introduced {
@@ -777,7 +769,9 @@ impl NetNode {
                             }
                         }
                         // Sliced, so shutdown never waits out the retry.
+                        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                         let deadline = Instant::now() + Duration::from_millis(250);
+                        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                         while Instant::now() < deadline {
                             if shutting_down.load(Ordering::SeqCst) {
                                 return;
@@ -794,19 +788,13 @@ impl NetNode {
 
     /// Membership transitions observed so far (join/suspect/dead/...).
     pub fn membership_events(&self) -> Vec<MembershipEvent> {
-        self.member_events
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.member_events.lock().clone()
     }
 
     /// Snapshot of the membership directory; `None` when the layer is
     /// disabled.
     pub fn member_records(&self) -> Option<Vec<NodeRecord>> {
-        self.member_snapshot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.member_snapshot.lock().clone()
     }
 
     /// Blocks until `predicate` holds over the membership directory or
@@ -880,10 +868,7 @@ impl NetNode {
     /// order. Empty while an [`AppHandler`] is registered — dispatch
     /// replaces the inbox.
     pub fn app_received(&self) -> Vec<AppReceived> {
-        self.app_log
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.app_log.lock().clone()
     }
 
     /// Registers the application dispatch hook: every delivered app
@@ -927,10 +912,7 @@ impl NetNode {
     /// deliver (departed peer, terminal link without a reply path) —
     /// the send-failure surface of the app plane, in failure order.
     pub fn app_send_failures(&self) -> Vec<AppReceived> {
-        self.app_failures
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.app_failures.lock().clone()
     }
 
     /// The egress plane's current occupancy: queued units, queued
@@ -998,6 +980,7 @@ impl NetNode {
     /// not overshoot.
     pub fn pause_for(&self, d: Duration) {
         let _ = self.tx.send(Event::Pause {
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             until: Instant::now() + d,
         });
     }
@@ -1009,10 +992,7 @@ impl NetNode {
 
     /// Snapshot of terminations recorded on this node.
     pub fn terminated(&self) -> Vec<Terminated> {
-        self.terminated
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.terminated.lock().clone()
     }
 
     /// Transport counters for this node.
@@ -1122,11 +1102,14 @@ impl Acceptor {
                     if self.shutting_down.load(Ordering::SeqCst) {
                         return;
                     }
+                    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                     let deadline = Instant::now() + backoff.on_error(&self.ctx.stats);
+                    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                     while Instant::now() < deadline {
                         if self.shutting_down.load(Ordering::SeqCst) {
                             return;
                         }
+                        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                         let left = deadline.saturating_duration_since(Instant::now());
                         std::thread::sleep(left.min(Duration::from_millis(10)));
                     }
@@ -1178,9 +1161,11 @@ pub(crate) fn spawn_socket_reader(ctx: ReaderCtx, stream: TcpStream, accept_hell
             // ones must still earn it when a key is configured.
             let mut authenticated = !(accept_hello && ctx.auth.is_some());
             let mut responder: Option<Authenticator> = None;
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             let mut deadline = accept_hello.then(|| Instant::now() + ctx.handshake_timeout);
             loop {
                 if let Some(d) = deadline {
+                    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                     let left = d.saturating_duration_since(Instant::now());
                     if left.is_zero() {
                         ctx.stats.on_handshake_timeout();
@@ -1344,6 +1329,7 @@ pub(crate) fn fresh_nonce() -> [u8; dgc_plane::NONCE_LEN] {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let mut seed = [0u8; 24];
     seed[..8].copy_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
@@ -1370,6 +1356,7 @@ pub(crate) fn client_auth_handshake(
     timeout: Duration,
     stats: &NetStats,
 ) -> bool {
+    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
     let deadline = Instant::now() + timeout;
     let (mut machine, init) = Authenticator::initiator(key, fresh_nonce());
     let init_bytes = encode_frame(&auth_frame(&init));
@@ -1380,6 +1367,7 @@ pub(crate) fn client_auth_handshake(
     let mut decoder = FrameDecoder::new();
     let mut chunk = [0u8; 1024];
     loop {
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         let left = deadline.saturating_duration_since(Instant::now());
         if left.is_zero() {
             stats.on_handshake_timeout();
@@ -1803,15 +1791,12 @@ impl Worker {
                     payload,
                     ..
                 } => {
-                    self.app_failures
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(AppReceived {
-                            from,
-                            to,
-                            reply,
-                            payload: payload.into_vec(),
-                        });
+                    self.app_failures.lock().push(AppReceived {
+                        from,
+                        to,
+                        reply,
+                        payload: payload.into_vec(),
+                    });
                     self.stats.on_send_failures(1);
                 }
                 // Responses, digests and relayed failure notifications
@@ -1904,10 +1889,7 @@ impl Worker {
                 self.trace(TraceLevel::Info, "terminate", || {
                     format!("ao {who} ({reason:?})")
                 });
-                self.terminated
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(Terminated { ao: who, reason });
+                self.terminated.lock().push(Terminated { ao: who, reason });
             }
             _ => {}
         }
@@ -2014,10 +1996,7 @@ impl Worker {
                         }
                     }
                     None => {
-                        self.app_log
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push(received);
+                        self.app_log.lock().push(received);
                     }
                 }
             }
@@ -2055,6 +2034,7 @@ impl Worker {
         let Some(next) = self.next_member_tick else {
             return;
         };
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         if Instant::now() < next {
             return;
         }
@@ -2064,6 +2044,7 @@ impl Worker {
             _ => return,
         };
         let half = Duration::from_nanos((interval.as_nanos() / 2).max(1_000_000));
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         self.next_member_tick = Some(Instant::now() + half);
         self.flush_gossip(outs);
     }
@@ -2134,15 +2115,9 @@ impl Worker {
                 self.reclaim_egress(ev.node);
             }
         }
-        *self
-            .member_snapshot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner()) = Some(snapshot);
+        *self.member_snapshot.lock() = Some(snapshot);
         if !events.is_empty() {
-            self.member_events
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .extend(events);
+            self.member_events.lock().extend(events);
         }
     }
 
@@ -2197,10 +2172,12 @@ impl Worker {
                 // this node while sockets keep queueing into the channel.
                 // Sliced so node shutdown (e.g. a test unwinding out of
                 // a failed assertion) never waits out a long pause.
+                // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                 while Instant::now() < until {
                     if self.shutting_down.load(Ordering::SeqCst) {
                         break;
                     }
+                    // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                     let left = until.saturating_duration_since(Instant::now());
                     std::thread::sleep(left.min(Duration::from_millis(20)));
                 }
@@ -2271,6 +2248,7 @@ impl Worker {
                     Endpoint {
                         state,
                         idle: false,
+                        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
                         next_tick: Instant::now()
                             + Duration::from_nanos(self.config.dgc.ttb.as_nanos()),
                     },
@@ -2320,6 +2298,7 @@ impl Worker {
     /// one frame; the reused scratch buffers are what keep the sweep
     /// allocation-free however many activities are hosted.
     fn tick_due(&mut self) {
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         let now_i = Instant::now();
         let now = self.now();
         let mut due: Vec<(u32, &mut Endpoint)> = self
@@ -2356,6 +2335,7 @@ impl Worker {
             .values()
             .map(|e| e.next_tick)
             .min()
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
         if let Some(t) = self.next_member_tick {
             next_wake = next_wake.min(t);
@@ -2396,6 +2376,7 @@ impl Worker {
     /// link threads do their own I/O) until an event or a timer.
     fn run_threaded(&mut self) {
         loop {
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             let timeout = self.next_wake().saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(timeout) {
                 Ok(event) => {
@@ -2423,6 +2404,7 @@ impl Worker {
             if let Some(d) = self.reactor_deadline() {
                 next_wake = next_wake.min(d);
             }
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             let timeout = next_wake.saturating_duration_since(Instant::now());
             self.reactor_mut().poll(timeout, &mut notices);
             for notice in notices.drain(..) {

@@ -139,8 +139,10 @@ impl BatchPump {
     /// early (and fast) once the channel closes — an interruptible
     /// backoff, so a node shutting down never waits out a retry timer.
     fn idle(&mut self, d: Duration) {
+        // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
         let deadline = Instant::now() + d;
         while !self.closed {
+            // dgc-analysis: allow(wall-clock): the socket runtime paces real I/O in wall time
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return;

@@ -299,6 +299,7 @@ impl Reactor {
             OutLink {
                 addr,
                 state: LinkState::Backoff {
+                    // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                     until: Instant::now(),
                 },
                 failed_attempts: 0,
@@ -340,6 +341,7 @@ impl Reactor {
                     &mut self.pending,
                     dest,
                 );
+                // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                 if Instant::now() >= until {
                     self.dial(dest);
                 }
@@ -490,6 +492,7 @@ impl Reactor {
     /// stay pending (a leaving node surfaces them on its next poll; a
     /// stopping node discards them with the reactor).
     pub(crate) fn drain(&mut self, grace: Duration) {
+        // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
         let deadline = Instant::now() + grace;
         loop {
             let busy: Vec<usize> = self
@@ -505,6 +508,7 @@ impl Reactor {
             if !unsent {
                 return;
             }
+            // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return;
@@ -564,6 +568,7 @@ impl Reactor {
                     // configured — no more parking a silent peer's
                     // connection (and its slot) forever.
                     conn.authenticated = self.config.auth.is_none();
+                    // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                     conn.handshake_deadline = Some(Instant::now() + self.config.handshake_timeout);
                     self.conns.insert(token, conn);
                 }
@@ -572,6 +577,7 @@ impl Reactor {
                 Err(_) => {
                     let wait = self.accept_backoff.on_error(&self.stats);
                     let _ = self.poller.delete(&self.listener, TOKEN_LISTENER);
+                    // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                     self.listener_resume = Some(Instant::now() + wait);
                     return;
                 }
@@ -582,6 +588,7 @@ impl Reactor {
     /// Fires every due timer: listener re-arm, connect and write-stall
     /// deadlines, backoff expiries with parked traffic.
     fn service_timers(&mut self) {
+        // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
         let now = Instant::now();
         if self.listener_resume.is_some_and(|t| t <= now) {
             self.listener_resume = None;
@@ -655,6 +662,7 @@ impl Reactor {
                     wire: VecDeque::new(),
                     interest: Interest::WRITE,
                     connecting: true,
+                    // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                     connect_deadline: Some(Instant::now() + CONNECT_TIMEOUT),
                     stall_deadline: None,
                     authenticated: self.config.auth.is_none(),
@@ -705,6 +713,7 @@ impl Reactor {
                     // `authenticated`).
                     let (machine, init) = Authenticator::initiator(key, fresh_nonce());
                     conn.machine = Some(machine);
+                    // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                     conn.handshake_deadline = Some(Instant::now() + self.config.handshake_timeout);
                     conn.wire.push_back(PendingFrame {
                         bytes: encode_frame(&auth_frame(&init)),
@@ -796,6 +805,7 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if conn.stall_deadline.is_none() {
+                        // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
                         conn.stall_deadline = Some(Instant::now() + WRITE_STALL_TIMEOUT);
                     }
                     break;
@@ -1037,6 +1047,7 @@ impl Reactor {
             .min(self.config.reconnect_max);
         self.stats.on_backoff(backoff.as_nanos() as u64);
         link.state = LinkState::Backoff {
+            // dgc-analysis: allow(wall-clock): the reactor times out real sockets in wall time
             until: Instant::now() + backoff,
         };
     }

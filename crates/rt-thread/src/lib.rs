@@ -147,6 +147,7 @@ impl NodeWorker {
                     Endpoint {
                         state: DgcState::new(id, now, self.config),
                         idle: false,
+                        // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
                         next_tick: Instant::now()
                             + Duration::from_nanos(self.config.ttb.as_nanos()),
                     },
@@ -210,6 +211,7 @@ impl NodeWorker {
     /// scratch buffers, emitted units routed afterwards in exactly the
     /// sequential order.
     fn tick_due(&mut self) {
+        // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
         let now_i = Instant::now();
         let now = self.now();
         let mut due: Vec<(u32, &mut Endpoint)> = self
@@ -245,7 +247,9 @@ impl NodeWorker {
                 .values()
                 .map(|e| e.next_tick)
                 .min()
+                // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
                 .unwrap_or_else(|| Instant::now() + Duration::from_millis(50));
+            // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
             let timeout = next_tick.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(timeout) {
                 Ok(msg) => {
@@ -282,6 +286,7 @@ impl ThreadGrid {
         let channels: Vec<(Sender<NodeMsg>, Receiver<NodeMsg>)> =
             (0..nodes).map(|_| unbounded()).collect();
         let senders: Vec<Sender<NodeMsg>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
         let epoch = Instant::now();
         let mut handles = Vec::new();
         for (node, (_, rx)) in channels.into_iter().enumerate() {
@@ -359,6 +364,7 @@ impl ThreadGrid {
         deadline: Duration,
         predicate: impl Fn(&[Terminated]) -> bool,
     ) -> bool {
+        // dgc-analysis: allow(wall-clock): the in-process runtime times real thread wake-ups
         let start = Instant::now();
         loop {
             if predicate(&self.terminated.lock()) {

@@ -5,43 +5,130 @@
 //! `std::sync::Mutex` with parking_lot's non-poisoning API (`lock()`
 //! returns the guard directly). A panicked holder's data stays
 //! accessible, matching parking_lot semantics.
+//!
+//! Beyond the API shim, this crate carries the workspace's **lock-order
+//! race detector** (see [`lockcheck`]): with `DGC_LOCK_CHECK=1` in a
+//! debug build, every acquisition through this type feeds a per-thread
+//! held-lock stack and a process-wide lock-order graph, panicking with
+//! both acquisition sites on a potential deadlock (cycle) or a hold-time
+//! budget violation. Disabled, the instrumentation costs one relaxed
+//! atomic load per `lock()`.
 
 #![warn(missing_docs)]
 
+pub mod lockcheck;
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicUsize;
 use std::sync::{self, PoisonError};
 
 /// A mutual-exclusion lock whose `lock` never fails.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    /// Lazily-assigned process-unique id for [`lockcheck`]; 0 = unset.
+    check_id: AtomicUsize,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard; the lock is released on drop.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// Lock id to pop from the thread's held stack; 0 when the detector
+    /// was off at acquisition (drop then skips the tracker entirely).
+    check_id: usize,
+    inner: sync::MutexGuard<'a, T>,
+}
 
 impl<T> Mutex<T> {
     /// Wraps `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            check_id: AtomicUsize::new(0),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Ignores poisoning.
+    ///
+    /// Under [`lockcheck`] the acquisition is screened *before* it can
+    /// block: a lock-order cycle or a re-entrant acquisition panics with
+    /// the involved sites instead of deadlocking.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let mut check_id = 0;
+        if lockcheck::enabled() {
+            let site = std::panic::Location::caller();
+            check_id = lockcheck::lock_id(&self.check_id);
+            lockcheck::before_blocking_acquire(check_id, site);
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            lockcheck::on_acquired(check_id, site);
+            return MutexGuard {
+                check_id,
+                inner: guard,
+            };
+        }
+        MutexGuard {
+            check_id,
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
-    /// Tries to acquire without blocking.
+    /// Tries to acquire without blocking. A `try_lock` cannot deadlock,
+    /// so it adds no lock-order edges, but a successful acquisition
+    /// still joins the held stack: blocking locks taken *under* it are
+    /// ordered against it.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let mut check_id = 0;
+        if lockcheck::enabled() {
+            check_id = lockcheck::lock_id(&self.check_id);
+            lockcheck::on_acquired(check_id, std::panic::Location::caller());
         }
+        Some(MutexGuard {
+            check_id,
+            inner: guard,
+        })
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.check_id != 0 {
+            lockcheck::on_released(self.check_id);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
     }
 }
 
@@ -88,5 +175,12 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        m.lock().push(4);
+        assert_eq!(m.into_inner(), vec![1, 2, 3, 4]);
     }
 }

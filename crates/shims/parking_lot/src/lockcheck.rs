@@ -1,0 +1,420 @@
+//! The opt-in lock-order race detector behind [`crate::Mutex`].
+//!
+//! With `DGC_LOCK_CHECK=1` in a debug build (or [`force_enable`] from a
+//! test), every `lock()` records which locks the calling thread already
+//! holds and feeds a process-wide **lock-order graph**: an edge `A → B`
+//! means some thread acquired `B` while holding `A`. Before a blocking
+//! acquisition, the detector asks whether the new edge would close a
+//! cycle — the classic potential-deadlock witness: two threads that ever
+//! take the same pair of locks in opposite orders can interleave into a
+//! deadlock even if this run got lucky. On a cycle it panics naming
+//! *both* acquisition sites (the one being attempted and the held one),
+//! plus the previously recorded reverse edge, so the fix is two file:line
+//! jumps away. A re-entrant `lock()` of the same mutex (guaranteed
+//! self-deadlock on the non-reentrant shim) is reported the same way,
+//! before the thread would hang.
+//!
+//! The detector also meters **hold times**: every guard drop updates a
+//! process-wide `max_held_ns` high-water mark, and when a budget is set
+//! (`DGC_LOCK_BUDGET_MS`, or [`set_budget_ns`] from a test) a guard held
+//! past it panics with its acquisition site. [`stats`] exposes the edge
+//! count and the high-water mark; `dgc-obs` mirrors them as the
+//! `lockcheck.edges` / `lockcheck.max_held_ns` gauges.
+//!
+//! The graph is *historical*, not instantaneous: edges accumulate over
+//! the whole process, so an inversion is caught even when the two orders
+//! happen minutes apart on threads that never contend. All internal
+//! state uses `std::sync` primitives directly — the detector must not
+//! instrument itself.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// 0 = undecided, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Hold-time budget in nanoseconds; 0 = no budget.
+static BUDGET_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide high-water mark of a single guard's hold time.
+static MAX_HELD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Distinct edges currently in the lock-order graph (mirrored cheaply so
+/// [`stats`] needs no graph lock).
+static EDGE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic id source; id 0 means "not yet assigned".
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// True when the detector is tracking. Reads one atomic on the hot path;
+/// the env lookup happens once. Env enablement requires a debug build
+/// (release hot paths never pay for tracking by accident);
+/// [`force_enable`] works in any build.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = cfg!(debug_assertions)
+        && std::env::var_os("DGC_LOCK_CHECK").is_some_and(|v| !v.is_empty() && v != "0");
+    if on {
+        if let Some(ms) = std::env::var_os("DGC_LOCK_BUDGET_MS")
+            .and_then(|v| v.into_string().ok())
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            BUDGET_NS.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+        }
+    }
+    // A concurrent force_enable must not be downgraded.
+    let _ = STATE.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Turns the detector on regardless of environment or build profile
+/// (test hook; enablement is process-wide and sticky).
+pub fn force_enable() {
+    STATE.store(2, Ordering::Relaxed);
+}
+
+/// Sets the hold-time budget in nanoseconds (`None` clears it). A guard
+/// held longer than the budget panics at drop with its acquisition site.
+pub fn set_budget_ns(budget: Option<u64>) {
+    BUDGET_NS.store(budget.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Detector counters for telemetry mirrors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockCheckStats {
+    /// Distinct ordered pairs `(A, B)` observed as "acquired B while
+    /// holding A" since process start.
+    pub edges: u64,
+    /// Longest any single guard has been held, in nanoseconds.
+    pub max_held_ns: u64,
+}
+
+/// Current detector counters (all zero while disabled).
+pub fn stats() -> LockCheckStats {
+    LockCheckStats {
+        edges: EDGE_COUNT.load(Ordering::Relaxed),
+        max_held_ns: MAX_HELD_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// One acquisition a thread currently holds.
+struct Held {
+    id: usize,
+    site: &'static Location<'static>,
+    since: Instant,
+}
+
+thread_local! {
+    static HELD: std::cell::RefCell<Vec<Held>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Where both endpoints of a recorded edge were acquired.
+#[derive(Clone, Copy)]
+struct EdgeSites {
+    from: &'static Location<'static>,
+    to: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `(held, acquired)` → sites of the first occurrence.
+    edges: HashMap<(usize, usize), EdgeSites>,
+    /// Adjacency: held → every lock acquired under it.
+    succ: HashMap<usize, Vec<usize>>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+impl Graph {
+    /// Is `to` reachable from `from` along recorded edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            for &m in self.succ.get(&n).into_iter().flatten() {
+                if !seen.contains(&m) {
+                    seen.push(m);
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Assigns `slot` a process-unique lock id on first use.
+pub(crate) fn lock_id(slot: &AtomicUsize) -> usize {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(winner) => winner,
+    }
+}
+
+/// Called *before* a blocking acquisition: records edges from every held
+/// lock and panics if one of them closes a cycle (or if `id` itself is
+/// already held — a guaranteed self-deadlock).
+pub(crate) fn before_blocking_acquire(id: usize, site: &'static Location<'static>) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        for h in held.iter() {
+            if h.id == id {
+                panic!(
+                    "dgc lockcheck: re-entrant lock of mutex #{id}: \
+                     blocking acquisition at {site} while the same thread already \
+                     holds it (acquired at {})",
+                    h.site
+                );
+            }
+        }
+        if held.is_empty() {
+            return;
+        }
+        let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for h in held.iter() {
+            // Would the new edge h.id → id close a cycle? Check before
+            // inserting so the offending edge is named, not absorbed.
+            if g.reaches(id, h.id) {
+                let earlier = first_reverse_edge(&g, id, h.id).map_or_else(
+                    || "an earlier recorded chain".to_string(),
+                    |(ra, rb, sites)| {
+                        format!(
+                            "the reverse order was recorded earlier: mutex #{rb} acquired \
+                             at {} while holding mutex #{ra} (acquired at {})",
+                            sites.to, sites.from
+                        )
+                    },
+                );
+                panic!(
+                    "dgc lockcheck: lock-order cycle: acquiring mutex #{id} at {site} \
+                     while holding mutex #{held_id} (acquired at {held_site}); {earlier}",
+                    held_id = h.id,
+                    held_site = h.site,
+                );
+            }
+            if g.edges
+                .insert(
+                    (h.id, id),
+                    EdgeSites {
+                        from: h.site,
+                        to: site,
+                    },
+                )
+                .is_none()
+            {
+                g.succ.entry(h.id).or_default().push(id);
+                EDGE_COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// First edge on the recorded `from →* to` path, with its sites — the
+/// concrete earlier acquisition pair the panic message cites.
+fn first_reverse_edge(g: &Graph, from: usize, to: usize) -> Option<(usize, usize, EdgeSites)> {
+    for &m in g.succ.get(&from).into_iter().flatten() {
+        if m == to || g.reaches(m, to) {
+            let sites = *g.edges.get(&(from, m))?;
+            return Some((from, m, sites));
+        }
+    }
+    None
+}
+
+/// Called after any successful acquisition (blocking or try): pushes the
+/// lock onto the thread's held stack.
+pub(crate) fn on_acquired(id: usize, site: &'static Location<'static>) {
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            id,
+            site,
+            since: Instant::now(),
+        });
+    });
+}
+
+/// Called from guard drop: pops the lock (guards may drop out of LIFO
+/// order, so pop the *latest* matching entry), updates the hold-time
+/// high-water mark, and enforces the budget.
+pub(crate) fn on_released(id: usize) {
+    let popped = HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        let at = held.iter().rposition(|h| h.id == id)?;
+        Some(held.remove(at))
+    });
+    let Some(h) = popped else { return };
+    let held_ns = h.since.elapsed().as_nanos() as u64;
+    MAX_HELD_NS.fetch_max(held_ns, Ordering::Relaxed);
+    let budget = BUDGET_NS.load(Ordering::Relaxed);
+    if budget != 0 && held_ns > budget && !std::thread::panicking() {
+        panic!(
+            "dgc lockcheck: mutex #{id} held {held_ns} ns, over the {budget} ns budget \
+             (acquired at {})",
+            h.site
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mutex as ShimMutex;
+
+    /// The lockcheck tests mutate process-wide detector state (the
+    /// budget, the shared graph), so they serialize on this.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn catch(f: impl FnOnce()) -> String {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err("expected a lockcheck panic");
+        std::panic::set_hook(prev);
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn two_lock_inversion_names_both_sites() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        let a = ShimMutex::new(());
+        let b = ShimMutex::new(());
+        // Establish the order a → b...
+        {
+            let _ga = a.lock(); // line: SITE_A_FIRST
+            let _gb = b.lock();
+        }
+        // ...then invert it. The detector must refuse before blocking.
+        let msg = catch(|| {
+            let _gb = b.lock();
+            let _ga = a.lock(); // closes the cycle
+        });
+        assert!(msg.contains("lock-order cycle"), "got: {msg}");
+        // Both acquisition sites of the inversion are named, and so is
+        // the earlier reverse edge — four file:line sites in total, all
+        // in this file.
+        assert_eq!(
+            msg.matches("lockcheck.rs").count(),
+            4,
+            "expected all four acquisition sites, got: {msg}"
+        );
+        assert!(msg.contains("reverse order was recorded earlier"));
+    }
+
+    #[test]
+    fn reentrant_lock_is_reported_not_hung() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        let m = ShimMutex::new(7);
+        let msg = catch(|| {
+            let _g1 = m.lock();
+            let _g2 = m.lock();
+        });
+        assert!(msg.contains("re-entrant lock"), "got: {msg}");
+        assert_eq!(msg.matches("lockcheck.rs").count(), 2, "got: {msg}");
+    }
+
+    #[test]
+    fn consistent_order_accumulates_edges_without_panic() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        let before = stats().edges;
+        let a = ShimMutex::new(());
+        let b = ShimMutex::new(());
+        let c = ShimMutex::new(());
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        // a→b, a→c, b→c: three distinct edges, counted once each.
+        assert_eq!(stats().edges - before, 3);
+    }
+
+    #[test]
+    fn hold_budget_violation_names_the_acquisition_site() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        set_budget_ns(Some(1_000_000)); // 1 ms
+        let m = ShimMutex::new(());
+        let msg = catch(|| {
+            let _g = m.lock();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+        set_budget_ns(None);
+        assert!(msg.contains("over the 1000000 ns budget"), "got: {msg}");
+        assert!(msg.contains("lockcheck.rs"), "got: {msg}");
+        assert!(stats().max_held_ns >= 10_000_000);
+    }
+
+    #[test]
+    fn cross_thread_inversion_is_caught_without_contention() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        let a = std::sync::Arc::new(ShimMutex::new(()));
+        let b = std::sync::Arc::new(ShimMutex::new(()));
+        // Thread 1 takes a → b and finishes entirely before thread 2
+        // starts: no real-time overlap, so this run cannot deadlock —
+        // but the schedule where both hold their first lock can, and the
+        // historical graph remembers it.
+        {
+            let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        let msg = catch(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        });
+        assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    }
+
+    #[test]
+    fn guards_may_drop_out_of_order() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        force_enable();
+        let a = ShimMutex::new(1);
+        let b = ShimMutex::new(2);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // non-LIFO release
+        drop(gb);
+        // And the stack is clean: a fresh consistent pair still works.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+}

@@ -19,7 +19,9 @@
 //! conformance harness compare verdicts — and what turns the bench
 //! numbers from "synthetic bytes" into "the paper's traffic".
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 use dgc_activeobj::runtime::Grid;
@@ -226,14 +228,12 @@ impl ClusterTransport {
         for node in 0..cluster.len() as u32 {
             let sink = Arc::clone(&inbox);
             cluster.set_app_handler(node, move |received| {
-                sink.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(AppPacket {
-                        from: received.from,
-                        to: received.to,
-                        reply: received.reply,
-                        payload: received.payload.clone(),
-                    });
+                sink.lock().push(AppPacket {
+                    from: received.from,
+                    to: received.to,
+                    reply: received.reply,
+                    payload: received.payload.clone(),
+                });
                 Vec::new()
             });
         }
@@ -283,7 +283,7 @@ impl AppTransport for ClusterTransport {
     }
 
     fn poll(&mut self) -> Vec<AppPacket> {
-        std::mem::take(&mut *self.inbox.lock().unwrap_or_else(|e| e.into_inner()))
+        std::mem::take(&mut *self.inbox.lock())
     }
 
     fn step(&mut self) {
